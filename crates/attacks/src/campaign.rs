@@ -1,0 +1,211 @@
+//! The standard attack catalog and campaign spec types.
+//!
+//! Every experiment table iterates the same eleven attack specs so results
+//! are comparable across controllers, scenarios and threshold settings.
+
+use serde::{Deserialize, Serialize};
+
+use adassure_sim::geometry::Vec2;
+
+use crate::{AttackInjector, AttackKind, Window};
+
+/// One attack to run: a kind plus its activation window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackSpec {
+    /// The attack to inject.
+    pub kind: AttackKind,
+    /// When it is active.
+    pub window: Window,
+}
+
+impl AttackSpec {
+    /// Creates a spec.
+    pub fn new(kind: AttackKind, window: Window) -> Self {
+        AttackSpec { kind, window }
+    }
+
+    /// Builds the injector for this spec.
+    pub fn injector(&self, seed: u64) -> AttackInjector {
+        AttackInjector::new(self.kind, self.window, seed)
+    }
+
+    /// Row key used in experiment tables.
+    pub fn name(&self) -> &'static str {
+        self.kind.name()
+    }
+}
+
+/// The standard attack catalog with representative magnitudes, each
+/// activating at `start` seconds and staying active.
+///
+/// Magnitudes are chosen to be *meaningful but not absurd*: large enough to
+/// endanger path tracking, small enough that naive eyeballing of a single
+/// signal does not trivially reveal them.
+///
+/// # Example
+///
+/// ```
+/// let attacks = adassure_attacks::campaign::standard_attacks(10.0);
+/// assert_eq!(attacks.len(), 11);
+/// ```
+pub fn standard_attacks(start: f64) -> Vec<AttackSpec> {
+    let w = Window::from_start(start);
+    vec![
+        AttackSpec::new(
+            AttackKind::GnssBias {
+                offset: Vec2::new(2.5, -2.0),
+            },
+            w,
+        ),
+        AttackSpec::new(
+            AttackKind::GnssDrift {
+                rate: Vec2::new(0.4, 0.3),
+            },
+            w,
+        ),
+        AttackSpec::new(
+            AttackKind::GnssJump {
+                offset: Vec2::new(12.0, 8.0),
+            },
+            w,
+        ),
+        AttackSpec::new(AttackKind::GnssNoise { std_dev: 2.0 }, w),
+        AttackSpec::new(AttackKind::GnssFreeze, w),
+        AttackSpec::new(AttackKind::GnssDropout, w),
+        AttackSpec::new(AttackKind::GnssDelay { delay: 1.5 }, w),
+        AttackSpec::new(AttackKind::WheelSpeedScale { factor: 0.6 }, w),
+        AttackSpec::new(AttackKind::WheelSpeedFreeze, w),
+        AttackSpec::new(AttackKind::ImuYawBias { bias: 0.08 }, w),
+        AttackSpec::new(AttackKind::CompassBias { bias: 0.25 }, w),
+    ]
+}
+
+/// The extended attack catalog: the standard eleven plus three gain/noise/
+/// drift variants exercising subtler fault shapes (a wheel-encoder noise
+/// burst, an IMU gain fault only visible while turning, and the compass
+/// analogue of the GNSS drag-away spoof).
+pub fn extended_attacks(start: f64) -> Vec<AttackSpec> {
+    let w = Window::from_start(start);
+    let mut attacks = standard_attacks(start);
+    attacks.push(AttackSpec::new(
+        AttackKind::WheelSpeedNoise { std_dev: 2.5 },
+        w,
+    ));
+    attacks.push(AttackSpec::new(AttackKind::ImuYawScale { factor: 1.6 }, w));
+    attacks.push(AttackSpec::new(AttackKind::CompassDrift { rate: 0.02 }, w));
+    attacks
+}
+
+/// Scales the magnitude of an attack by `factor` (used by the threshold /
+/// severity ablations). Attacks without a magnitude (freeze, dropout) are
+/// returned unchanged.
+pub fn scale_attack(kind: AttackKind, factor: f64) -> AttackKind {
+    match kind {
+        AttackKind::GnssBias { offset } => AttackKind::GnssBias {
+            offset: offset * factor,
+        },
+        AttackKind::GnssDrift { rate } => AttackKind::GnssDrift {
+            rate: rate * factor,
+        },
+        AttackKind::GnssJump { offset } => AttackKind::GnssJump {
+            offset: offset * factor,
+        },
+        AttackKind::GnssNoise { std_dev } => AttackKind::GnssNoise {
+            std_dev: std_dev * factor,
+        },
+        AttackKind::GnssDelay { delay } => AttackKind::GnssDelay {
+            delay: delay * factor,
+        },
+        AttackKind::WheelSpeedScale { factor: f } => AttackKind::WheelSpeedScale {
+            // Scaling a multiplicative attack means moving it further from 1.
+            factor: 1.0 + (f - 1.0) * factor,
+        },
+        AttackKind::WheelSpeedNoise { std_dev } => AttackKind::WheelSpeedNoise {
+            std_dev: std_dev * factor,
+        },
+        AttackKind::ImuYawBias { bias } => AttackKind::ImuYawBias {
+            bias: bias * factor,
+        },
+        AttackKind::ImuYawScale { factor: f } => AttackKind::ImuYawScale {
+            factor: 1.0 + (f - 1.0) * factor,
+        },
+        AttackKind::CompassBias { bias } => AttackKind::CompassBias {
+            bias: bias * factor,
+        },
+        AttackKind::CompassDrift { rate } => AttackKind::CompassDrift {
+            rate: rate * factor,
+        },
+        AttackKind::GnssFreeze | AttackKind::GnssDropout | AttackKind::WheelSpeedFreeze => kind,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn standard_catalog_is_complete_and_unique() {
+        let attacks = standard_attacks(10.0);
+        assert_eq!(attacks.len(), 11);
+        let names: HashSet<_> = attacks.iter().map(AttackSpec::name).collect();
+        assert_eq!(names.len(), attacks.len());
+        assert!(attacks.iter().all(|a| a.window.start == 10.0));
+    }
+
+    #[test]
+    fn scaling_magnitude_attacks() {
+        let scaled = scale_attack(
+            AttackKind::GnssBias {
+                offset: Vec2::new(2.0, 0.0),
+            },
+            2.0,
+        );
+        assert_eq!(
+            scaled,
+            AttackKind::GnssBias {
+                offset: Vec2::new(4.0, 0.0)
+            }
+        );
+        // Multiplicative attacks scale their distance from identity.
+        let scaled = scale_attack(AttackKind::WheelSpeedScale { factor: 0.6 }, 2.0);
+        match scaled {
+            AttackKind::WheelSpeedScale { factor } => assert!((factor - 0.2).abs() < 1e-12),
+            other => panic!("unexpected kind {other:?}"),
+        }
+        // Magnitude-free attacks are unchanged.
+        assert_eq!(scale_attack(AttackKind::GnssFreeze, 5.0), AttackKind::GnssFreeze);
+    }
+
+    #[test]
+    fn extended_catalog_supersets_the_standard_one() {
+        let standard = standard_attacks(5.0);
+        let extended = extended_attacks(5.0);
+        assert_eq!(extended.len(), standard.len() + 3);
+        let names: HashSet<_> = extended.iter().map(AttackSpec::name).collect();
+        assert_eq!(names.len(), extended.len());
+        for a in &standard {
+            assert!(names.contains(a.name()));
+        }
+    }
+
+    #[test]
+    fn new_attack_kinds_scale_sensibly() {
+        match scale_attack(AttackKind::CompassDrift { rate: 0.02 }, 2.0) {
+            AttackKind::CompassDrift { rate } => assert!((rate - 0.04).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+        match scale_attack(AttackKind::ImuYawScale { factor: 1.6 }, 0.5) {
+            AttackKind::ImuYawScale { factor } => assert!((factor - 1.3).abs() < 1e-12),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spec_builds_matching_injector() {
+        let spec = AttackSpec::new(AttackKind::GnssDropout, Window::from_start(3.0));
+        let inj = spec.injector(1);
+        assert_eq!(inj.kind().name(), "gnss_dropout");
+        assert_eq!(inj.window().start, 3.0);
+    }
+}

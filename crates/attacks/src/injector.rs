@@ -1,0 +1,332 @@
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use adassure_sim::engine::SensorTap;
+use adassure_sim::geometry::{wrap_angle, Vec2};
+use adassure_sim::noise::Gaussian;
+use adassure_sim::sensor::SensorFrame;
+use adassure_sim::vehicle::VehicleState;
+
+use crate::{AttackKind, Window};
+
+/// A stateful injector applying one [`AttackKind`] during a [`Window`].
+///
+/// Implements [`SensorTap`], so it plugs directly into
+/// [`adassure_sim::engine::Engine::run_with_tap`]. Stateful attacks (freeze,
+/// delay) keep their buffers here; the injector is deterministic for a given
+/// seed.
+#[derive(Debug, Clone)]
+pub struct AttackInjector {
+    kind: AttackKind,
+    window: Window,
+    rng: SmallRng,
+    frozen_fix: Option<Vec2>,
+    frozen_speed: Option<f64>,
+    delay_buffer: VecDeque<(f64, Vec2)>,
+}
+
+impl AttackInjector {
+    /// Creates an injector. `seed` drives any stochastic attack (currently
+    /// only [`AttackKind::GnssNoise`]).
+    pub fn new(kind: AttackKind, window: Window, seed: u64) -> Self {
+        AttackInjector {
+            kind,
+            window,
+            rng: SmallRng::seed_from_u64(seed ^ 0xADA5_5u64),
+            frozen_fix: None,
+            frozen_speed: None,
+            delay_buffer: VecDeque::new(),
+        }
+    }
+
+    /// The injected attack.
+    pub fn kind(&self) -> &AttackKind {
+        &self.kind
+    }
+
+    /// The activation window.
+    pub fn window(&self) -> &Window {
+        &self.window
+    }
+}
+
+impl SensorTap for AttackInjector {
+    fn tap(&mut self, frame: &mut SensorFrame, _truth: &VehicleState) {
+        let t = frame.time;
+
+        // The delay attack records fixes even before activation so it has
+        // history to replay from the first active cycle.
+        if let AttackKind::GnssDelay { delay } = self.kind {
+            if let Some(fix) = frame.gnss {
+                self.delay_buffer.push_back((t, fix));
+            }
+            // Trim anything older than needed.
+            while let Some(&(t0, _)) = self.delay_buffer.front() {
+                if t - t0 > delay + 1.0 {
+                    self.delay_buffer.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        if !self.window.contains(t) {
+            return;
+        }
+
+        match self.kind {
+            AttackKind::GnssBias { offset } | AttackKind::GnssJump { offset } => {
+                if let Some(fix) = frame.gnss.as_mut() {
+                    *fix += offset;
+                }
+            }
+            AttackKind::GnssDrift { rate } => {
+                if let Some(fix) = frame.gnss.as_mut() {
+                    *fix += rate * self.window.elapsed(t);
+                }
+            }
+            AttackKind::GnssNoise { std_dev } => {
+                if let Some(fix) = frame.gnss.as_mut() {
+                    let noise = Gaussian::new(0.0, std_dev);
+                    *fix += Vec2::new(noise.sample(&mut self.rng), noise.sample(&mut self.rng));
+                }
+            }
+            AttackKind::GnssFreeze => {
+                if let Some(fix) = frame.gnss {
+                    let frozen = *self.frozen_fix.get_or_insert(fix);
+                    frame.gnss = Some(frozen);
+                }
+            }
+            AttackKind::GnssDropout => {
+                frame.gnss = None;
+            }
+            AttackKind::GnssDelay { delay } => {
+                if frame.gnss.is_some() {
+                    // Replace the fix with the newest buffered fix at least
+                    // `delay` old; drop the fix if no history is old enough.
+                    let replay = self
+                        .delay_buffer
+                        .iter()
+                        .rev()
+                        .find(|&&(t0, _)| t - t0 >= delay)
+                        .map(|&(_, fix)| fix);
+                    frame.gnss = replay;
+                }
+            }
+            AttackKind::WheelSpeedScale { factor } => {
+                frame.wheel_speed = (frame.wheel_speed * factor).max(0.0);
+            }
+            AttackKind::WheelSpeedFreeze => {
+                let frozen = *self.frozen_speed.get_or_insert(frame.wheel_speed);
+                frame.wheel_speed = frozen;
+            }
+            AttackKind::WheelSpeedNoise { std_dev } => {
+                let noise = Gaussian::new(0.0, std_dev);
+                frame.wheel_speed = (frame.wheel_speed + noise.sample(&mut self.rng)).max(0.0);
+            }
+            AttackKind::ImuYawBias { bias } => {
+                frame.imu_yaw_rate += bias;
+            }
+            AttackKind::ImuYawScale { factor } => {
+                frame.imu_yaw_rate *= factor;
+            }
+            AttackKind::CompassBias { bias } => {
+                frame.compass = wrap_angle(frame.compass + bias);
+            }
+            AttackKind::CompassDrift { rate } => {
+                frame.compass = wrap_angle(frame.compass + rate * self.window.elapsed(t));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(t: f64, gnss: Option<Vec2>) -> SensorFrame {
+        SensorFrame {
+            time: t,
+            gnss,
+            wheel_speed: 5.0,
+            imu_yaw_rate: 0.1,
+            imu_accel: 0.0,
+            compass: 0.2,
+        }
+    }
+
+    fn truth() -> VehicleState {
+        VehicleState::at([0.0, 0.0], 0.0)
+    }
+
+    fn apply(injector: &mut AttackInjector, f: SensorFrame) -> SensorFrame {
+        let mut f = f;
+        injector.tap(&mut f, &truth());
+        f
+    }
+
+    #[test]
+    fn attack_respects_window() {
+        let mut inj = AttackInjector::new(
+            AttackKind::GnssBias {
+                offset: Vec2::new(10.0, 0.0),
+            },
+            Window::new(1.0, 2.0),
+            0,
+        );
+        let before = apply(&mut inj, frame(0.5, Some(Vec2::ZERO)));
+        assert_eq!(before.gnss, Some(Vec2::ZERO));
+        let during = apply(&mut inj, frame(1.5, Some(Vec2::ZERO)));
+        assert_eq!(during.gnss, Some(Vec2::new(10.0, 0.0)));
+        let after = apply(&mut inj, frame(2.5, Some(Vec2::ZERO)));
+        assert_eq!(after.gnss, Some(Vec2::ZERO));
+    }
+
+    #[test]
+    fn drift_grows_linearly_from_activation() {
+        let mut inj = AttackInjector::new(
+            AttackKind::GnssDrift {
+                rate: Vec2::new(1.0, 0.0),
+            },
+            Window::from_start(10.0),
+            0,
+        );
+        let f = apply(&mut inj, frame(13.0, Some(Vec2::ZERO)));
+        assert_eq!(f.gnss, Some(Vec2::new(3.0, 0.0)));
+    }
+
+    #[test]
+    fn freeze_repeats_first_active_fix() {
+        let mut inj = AttackInjector::new(AttackKind::GnssFreeze, Window::from_start(1.0), 0);
+        apply(&mut inj, frame(0.5, Some(Vec2::new(1.0, 1.0)))); // pre-attack
+        let f1 = apply(&mut inj, frame(1.0, Some(Vec2::new(2.0, 2.0))));
+        let f2 = apply(&mut inj, frame(1.1, Some(Vec2::new(9.0, 9.0))));
+        assert_eq!(f1.gnss, Some(Vec2::new(2.0, 2.0)));
+        assert_eq!(f2.gnss, Some(Vec2::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn dropout_removes_fixes() {
+        let mut inj = AttackInjector::new(AttackKind::GnssDropout, Window::always(), 0);
+        let f = apply(&mut inj, frame(0.0, Some(Vec2::ZERO)));
+        assert_eq!(f.gnss, None);
+    }
+
+    #[test]
+    fn delay_replays_old_fixes() {
+        let mut inj = AttackInjector::new(
+            AttackKind::GnssDelay { delay: 0.5 },
+            Window::from_start(1.0),
+            0,
+        );
+        // Build history at 0.1 s cadence.
+        for i in 0..20 {
+            let t = f64::from(i) * 0.1;
+            apply(&mut inj, frame(t, Some(Vec2::new(t, 0.0))));
+        }
+        let f = apply(&mut inj, frame(2.0, Some(Vec2::new(2.0, 0.0))));
+        let fix = f.gnss.unwrap();
+        assert!((fix.x - 1.5).abs() < 1e-9, "replayed {fix:?}");
+    }
+
+    #[test]
+    fn delay_without_history_drops_fix() {
+        let mut inj = AttackInjector::new(
+            AttackKind::GnssDelay { delay: 10.0 },
+            Window::always(),
+            0,
+        );
+        let f = apply(&mut inj, frame(0.0, Some(Vec2::ZERO)));
+        assert_eq!(f.gnss, None);
+    }
+
+    #[test]
+    fn wheel_attacks() {
+        let mut inj = AttackInjector::new(
+            AttackKind::WheelSpeedScale { factor: 0.5 },
+            Window::always(),
+            0,
+        );
+        assert_eq!(apply(&mut inj, frame(0.0, None)).wheel_speed, 2.5);
+
+        let mut inj = AttackInjector::new(AttackKind::WheelSpeedFreeze, Window::always(), 0);
+        assert_eq!(apply(&mut inj, frame(0.0, None)).wheel_speed, 5.0);
+        let mut f = frame(0.1, None);
+        f.wheel_speed = 9.0;
+        assert_eq!(apply(&mut inj, f).wheel_speed, 5.0);
+    }
+
+    #[test]
+    fn wheel_noise_is_zero_mean_and_clamped() {
+        let mut inj = AttackInjector::new(
+            AttackKind::WheelSpeedNoise { std_dev: 1.0 },
+            Window::always(),
+            3,
+        );
+        let mut sum = 0.0;
+        for i in 0..2000 {
+            let f = apply(&mut inj, frame(f64::from(i) * 0.01, None));
+            assert!(f.wheel_speed >= 0.0);
+            sum += f.wheel_speed - 5.0;
+        }
+        assert!((sum / 2000.0).abs() < 0.1, "biased noise: {}", sum / 2000.0);
+    }
+
+    #[test]
+    fn imu_yaw_scale_multiplies() {
+        let mut inj =
+            AttackInjector::new(AttackKind::ImuYawScale { factor: 2.0 }, Window::always(), 0);
+        assert!((apply(&mut inj, frame(0.0, None)).imu_yaw_rate - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compass_drift_grows_from_activation() {
+        let mut inj = AttackInjector::new(
+            AttackKind::CompassDrift { rate: 0.1 },
+            Window::from_start(10.0),
+            0,
+        );
+        let before = apply(&mut inj, frame(5.0, None));
+        assert!((before.compass - 0.2).abs() < 1e-12);
+        let later = apply(&mut inj, frame(15.0, None));
+        assert!((later.compass - 0.7).abs() < 1e-12, "{}", later.compass);
+    }
+
+    #[test]
+    fn imu_and_compass_bias() {
+        let mut inj = AttackInjector::new(AttackKind::ImuYawBias { bias: 0.2 }, Window::always(), 0);
+        assert!((apply(&mut inj, frame(0.0, None)).imu_yaw_rate - 0.3).abs() < 1e-12);
+
+        let mut inj =
+            AttackInjector::new(AttackKind::CompassBias { bias: 0.5 }, Window::always(), 0);
+        assert!((apply(&mut inj, frame(0.0, None)).compass - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut inj =
+                AttackInjector::new(AttackKind::GnssNoise { std_dev: 2.0 }, Window::always(), seed);
+            (0..10)
+                .map(|i| {
+                    apply(&mut inj, frame(f64::from(i) * 0.1, Some(Vec2::ZERO)))
+                        .gnss
+                        .unwrap()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn untouched_channels_pass_through() {
+        let mut inj = AttackInjector::new(AttackKind::GnssDropout, Window::always(), 0);
+        let f = apply(&mut inj, frame(0.0, Some(Vec2::ZERO)));
+        assert_eq!(f.wheel_speed, 5.0);
+        assert_eq!(f.imu_yaw_rate, 0.1);
+        assert_eq!(f.compass, 0.2);
+    }
+}

@@ -1,0 +1,230 @@
+use serde::{Deserialize, Serialize};
+
+use adassure_sim::geometry::Vec2;
+
+/// The sensor channel an attack targets.
+///
+/// Diagnosis accuracy (experiment T3) is scored against this: the engine
+/// knows which channel was attacked, the diagnosis engine has to infer it
+/// from assertion violations alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Channel {
+    /// GNSS position fixes.
+    Gnss,
+    /// Wheel-odometry speed.
+    WheelSpeed,
+    /// IMU yaw rate.
+    ImuYaw,
+    /// Compass heading.
+    Compass,
+}
+
+impl Channel {
+    /// Short lowercase name (stable; used in reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Channel::Gnss => "gnss",
+            Channel::WheelSpeed => "wheel_speed",
+            Channel::ImuYaw => "imu_yaw",
+            Channel::Compass => "compass",
+        }
+    }
+}
+
+impl std::fmt::Display for Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The attack/fault taxonomy.
+///
+/// Magnitudes are part of the variant so a campaign can sweep them; the
+/// standard catalog in [`crate::campaign`] fixes representative values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AttackKind {
+    /// Constant position offset added to every GNSS fix (slow-cooked spoof).
+    GnssBias {
+        /// Offset applied to each fix (m).
+        offset: Vec2,
+    },
+    /// Position offset growing linearly while active (drag-away spoof).
+    GnssDrift {
+        /// Drift velocity (m/s).
+        rate: Vec2,
+    },
+    /// Sudden teleport: a large offset applied from one fix to the next.
+    GnssJump {
+        /// Offset applied to each fix (m).
+        offset: Vec2,
+    },
+    /// Additional zero-mean Gaussian noise on fixes (jamming/meaconing).
+    GnssNoise {
+        /// Extra per-axis noise standard deviation (m).
+        std_dev: f64,
+    },
+    /// Fixes freeze at the value seen when the attack started.
+    GnssFreeze,
+    /// Fixes stop arriving entirely.
+    GnssDropout,
+    /// Fixes are replayed with a delay (record-and-replay).
+    GnssDelay {
+        /// Replay delay (s).
+        delay: f64,
+    },
+    /// Wheel-speed readings are scaled by a factor.
+    WheelSpeedScale {
+        /// Multiplicative factor (1.0 = no attack).
+        factor: f64,
+    },
+    /// Wheel-speed readings freeze at the attack-start value.
+    WheelSpeedFreeze,
+    /// Additional zero-mean Gaussian noise on wheel-speed readings.
+    WheelSpeedNoise {
+        /// Extra noise standard deviation (m/s).
+        std_dev: f64,
+    },
+    /// Constant bias added to the IMU yaw rate.
+    ImuYawBias {
+        /// Bias (rad/s).
+        bias: f64,
+    },
+    /// IMU yaw-rate readings are scaled by a factor (gain fault). Only
+    /// observable while the vehicle is actually turning.
+    ImuYawScale {
+        /// Multiplicative factor (1.0 = no attack).
+        factor: f64,
+    },
+    /// Constant bias added to the compass heading.
+    CompassBias {
+        /// Bias (rad).
+        bias: f64,
+    },
+    /// Compass bias growing linearly while active — the heading analogue of
+    /// the GNSS drag-away spoof, and similarly stealthy.
+    CompassDrift {
+        /// Drift rate (rad/s).
+        rate: f64,
+    },
+}
+
+impl AttackKind {
+    /// The channel this attack targets.
+    pub fn channel(&self) -> Channel {
+        match self {
+            AttackKind::GnssBias { .. }
+            | AttackKind::GnssDrift { .. }
+            | AttackKind::GnssJump { .. }
+            | AttackKind::GnssNoise { .. }
+            | AttackKind::GnssFreeze
+            | AttackKind::GnssDropout
+            | AttackKind::GnssDelay { .. } => Channel::Gnss,
+            AttackKind::WheelSpeedScale { .. }
+            | AttackKind::WheelSpeedFreeze
+            | AttackKind::WheelSpeedNoise { .. } => Channel::WheelSpeed,
+            AttackKind::ImuYawBias { .. } | AttackKind::ImuYawScale { .. } => Channel::ImuYaw,
+            AttackKind::CompassBias { .. } | AttackKind::CompassDrift { .. } => Channel::Compass,
+        }
+    }
+
+    /// Short snake-case name of the attack class (stable; used as row keys
+    /// in every experiment table).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackKind::GnssBias { .. } => "gnss_bias",
+            AttackKind::GnssDrift { .. } => "gnss_drift",
+            AttackKind::GnssJump { .. } => "gnss_jump",
+            AttackKind::GnssNoise { .. } => "gnss_noise",
+            AttackKind::GnssFreeze => "gnss_freeze",
+            AttackKind::GnssDropout => "gnss_dropout",
+            AttackKind::GnssDelay { .. } => "gnss_delay",
+            AttackKind::WheelSpeedScale { .. } => "wheel_speed_scale",
+            AttackKind::WheelSpeedFreeze => "wheel_speed_freeze",
+            AttackKind::WheelSpeedNoise { .. } => "wheel_speed_noise",
+            AttackKind::ImuYawBias { .. } => "imu_yaw_bias",
+            AttackKind::ImuYawScale { .. } => "imu_yaw_scale",
+            AttackKind::CompassBias { .. } => "compass_bias",
+            AttackKind::CompassDrift { .. } => "compass_drift",
+        }
+    }
+}
+
+impl std::fmt::Display for AttackKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn catalog() -> Vec<AttackKind> {
+        vec![
+            AttackKind::GnssBias {
+                offset: Vec2::new(1.0, 0.0),
+            },
+            AttackKind::GnssDrift {
+                rate: Vec2::new(0.5, 0.0),
+            },
+            AttackKind::GnssJump {
+                offset: Vec2::new(10.0, 0.0),
+            },
+            AttackKind::GnssNoise { std_dev: 2.0 },
+            AttackKind::GnssFreeze,
+            AttackKind::GnssDropout,
+            AttackKind::GnssDelay { delay: 1.0 },
+            AttackKind::WheelSpeedScale { factor: 0.5 },
+            AttackKind::WheelSpeedFreeze,
+            AttackKind::WheelSpeedNoise { std_dev: 1.5 },
+            AttackKind::ImuYawBias { bias: 0.1 },
+            AttackKind::ImuYawScale { factor: 1.6 },
+            AttackKind::CompassBias { bias: 0.3 },
+            AttackKind::CompassDrift { rate: 0.02 },
+        ]
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: HashSet<_> = catalog().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), catalog().len());
+    }
+
+    #[test]
+    fn channels_partition_the_taxonomy() {
+        let gnss = catalog()
+            .iter()
+            .filter(|k| k.channel() == Channel::Gnss)
+            .count();
+        assert_eq!(gnss, 7);
+        assert_eq!(
+            catalog()
+                .iter()
+                .filter(|k| k.channel() == Channel::WheelSpeed)
+                .count(),
+            3
+        );
+        assert_eq!(
+            catalog()
+                .iter()
+                .filter(|k| k.channel() == Channel::ImuYaw)
+                .count(),
+            2
+        );
+        assert_eq!(
+            catalog()
+                .iter()
+                .filter(|k| k.channel() == Channel::Compass)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(AttackKind::GnssFreeze.to_string(), "gnss_freeze");
+        assert_eq!(Channel::ImuYaw.to_string(), "imu_yaw");
+    }
+}

@@ -1,0 +1,95 @@
+use serde::{Deserialize, Serialize};
+
+/// The time window during which an attack is active.
+///
+/// # Example
+///
+/// ```
+/// use adassure_attacks::Window;
+///
+/// let w = Window::new(5.0, 12.0);
+/// assert!(!w.contains(4.9));
+/// assert!(w.contains(5.0));
+/// assert!(w.contains(11.9));
+/// assert!(!w.contains(12.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Window {
+    /// Activation time (s), inclusive.
+    pub start: f64,
+    /// Deactivation time (s), exclusive. `f64::INFINITY` = never ends.
+    pub end: f64,
+}
+
+impl Window {
+    /// Creates a window `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `end < start` or `start` is not finite.
+    pub fn new(start: f64, end: f64) -> Self {
+        assert!(
+            start.is_finite() && end >= start,
+            "attack window must satisfy finite start <= end"
+        );
+        Window { start, end }
+    }
+
+    /// A window active from `start` until the end of the run.
+    pub fn from_start(start: f64) -> Self {
+        Window::new(start, f64::INFINITY)
+    }
+
+    /// A window covering the entire run.
+    pub fn always() -> Self {
+        Window::new(0.0, f64::INFINITY)
+    }
+
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: f64) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Seconds since activation (zero before the window opens).
+    pub fn elapsed(&self, t: f64) -> f64 {
+        (t - self.start).max(0.0)
+    }
+}
+
+impl Default for Window {
+    fn default() -> Self {
+        Window::always()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment_semantics() {
+        let w = Window::new(1.0, 2.0);
+        assert!(!w.contains(0.99));
+        assert!(w.contains(1.0));
+        assert!(!w.contains(2.0));
+    }
+
+    #[test]
+    fn open_ended_windows() {
+        assert!(Window::from_start(3.0).contains(1e12));
+        assert!(Window::always().contains(0.0));
+    }
+
+    #[test]
+    fn elapsed_clamps_before_start() {
+        let w = Window::from_start(5.0);
+        assert_eq!(w.elapsed(3.0), 0.0);
+        assert_eq!(w.elapsed(8.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "attack window")]
+    fn inverted_window_panics() {
+        let _ = Window::new(2.0, 1.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the attack-injection substrate.
+
+use adassure_attacks::campaign::{scale_attack, standard_attacks};
+use adassure_attacks::{AttackInjector, AttackKind, Window};
+use adassure_sim::engine::SensorTap;
+use adassure_sim::geometry::Vec2;
+use adassure_sim::sensor::SensorFrame;
+use adassure_sim::vehicle::VehicleState;
+use proptest::prelude::*;
+
+fn frame(t: f64) -> SensorFrame {
+    SensorFrame {
+        time: t,
+        gnss: Some(Vec2::new(10.0, -3.0)),
+        wheel_speed: 6.0,
+        imu_yaw_rate: 0.05,
+        imu_accel: 0.2,
+        compass: 0.4,
+    }
+}
+
+proptest! {
+    #[test]
+    fn no_attack_mutates_frames_outside_its_window(
+        start in 1.0f64..50.0,
+        len in 0.1f64..20.0,
+        t_before_frac in 0.0f64..0.99,
+        t_after_off in 0.01f64..50.0,
+        attack_idx in 0usize..11,
+    ) {
+        let window = Window::new(start, start + len);
+        let kind = standard_attacks(0.0)[attack_idx].kind;
+        let mut injector = AttackInjector::new(kind, window, 7);
+        let truth = VehicleState::at([10.0, -3.0], 0.4);
+
+        let t_before = start * t_before_frac;
+        let mut before = frame(t_before);
+        injector.tap(&mut before, &truth);
+        prop_assert_eq!(before, frame(t_before), "mutated before the window opened");
+
+        // Run a few in-window frames (populates stateful buffers).
+        for i in 0..3 {
+            let mut during = frame(start + len * (i as f64 + 0.5) / 4.0);
+            injector.tap(&mut during, &truth);
+        }
+
+        let t_after = start + len + t_after_off;
+        let mut after = frame(t_after);
+        injector.tap(&mut after, &truth);
+        prop_assert_eq!(after, frame(t_after), "kept mutating after the window closed");
+    }
+
+    #[test]
+    fn only_the_target_channel_is_touched(
+        attack_idx in 0usize..11,
+        t in 0.0f64..100.0,
+    ) {
+        use adassure_attacks::Channel;
+        let spec = standard_attacks(0.0)[attack_idx];
+        let mut injector = spec.injector(1);
+        let truth = VehicleState::at([10.0, -3.0], 0.4);
+        let clean = frame(t);
+        let mut attacked = clean;
+        injector.tap(&mut attacked, &truth);
+        match spec.kind.channel() {
+            Channel::Gnss => {
+                prop_assert_eq!(attacked.wheel_speed, clean.wheel_speed);
+                prop_assert_eq!(attacked.imu_yaw_rate, clean.imu_yaw_rate);
+                prop_assert_eq!(attacked.compass, clean.compass);
+            }
+            Channel::WheelSpeed => {
+                prop_assert_eq!(attacked.gnss, clean.gnss);
+                prop_assert_eq!(attacked.imu_yaw_rate, clean.imu_yaw_rate);
+                prop_assert_eq!(attacked.compass, clean.compass);
+            }
+            Channel::ImuYaw => {
+                prop_assert_eq!(attacked.gnss, clean.gnss);
+                prop_assert_eq!(attacked.wheel_speed, clean.wheel_speed);
+                prop_assert_eq!(attacked.compass, clean.compass);
+            }
+            Channel::Compass => {
+                prop_assert_eq!(attacked.gnss, clean.gnss);
+                prop_assert_eq!(attacked.wheel_speed, clean.wheel_speed);
+                prop_assert_eq!(attacked.imu_yaw_rate, clean.imu_yaw_rate);
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_by_one_is_identity(attack_idx in 0usize..11) {
+        let kind = standard_attacks(0.0)[attack_idx].kind;
+        prop_assert_eq!(scale_attack(kind, 1.0), kind);
+    }
+
+    #[test]
+    fn bias_injection_is_exact(
+        dx in -100.0f64..100.0,
+        dy in -100.0f64..100.0,
+        t in 0.0f64..100.0,
+    ) {
+        let mut injector = AttackInjector::new(
+            AttackKind::GnssBias { offset: Vec2::new(dx, dy) },
+            Window::always(),
+            0,
+        );
+        let truth = VehicleState::at([10.0, -3.0], 0.4);
+        let mut f = frame(t);
+        injector.tap(&mut f, &truth);
+        let fix = f.gnss.unwrap();
+        prop_assert!((fix.x - (10.0 + dx)).abs() < 1e-12);
+        prop_assert!((fix.y - (-3.0 + dy)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wheel_speed_never_goes_negative(factor in -5.0f64..5.0, t in 0.0f64..10.0) {
+        let mut injector = AttackInjector::new(
+            AttackKind::WheelSpeedScale { factor },
+            Window::always(),
+            0,
+        );
+        let truth = VehicleState::at([0.0, 0.0], 0.0);
+        let mut f = frame(t);
+        injector.tap(&mut f, &truth);
+        prop_assert!(f.wheel_speed >= 0.0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Criterion micro-benchmarks of the assertion checker (experiment F3's
+//! microscopic companion): per-cycle online cost, offline trace checking,
+//! and expression evaluation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use adassure_bench::{catalog_for, run_clean};
+use adassure_control::ControllerKind;
+use adassure_core::catalog::{self, CatalogConfig};
+use adassure_core::{checker, OnlineChecker, SignalExpr};
+use adassure_scenarios::{Scenario, ScenarioKind};
+use adassure_trace::SignalId;
+
+fn bench_online_cycle(c: &mut Criterion) {
+    let catalog = catalog::build(&CatalogConfig::default().with_goal_distance(300.0));
+    let signals: Vec<SignalId> = adassure_trace::well_known::ALL
+        .iter()
+        .map(SignalId::new)
+        .collect();
+
+    c.bench_function("online_checker/100_cycles_16_assertions", |b| {
+        b.iter_batched(
+            || {
+                let mut checker = OnlineChecker::new(catalog.iter().cloned());
+                // Warm the environment so every assertion is evaluable.
+                checker.begin_cycle(0.0);
+                for s in &signals {
+                    checker.update(s.clone(), 0.1);
+                }
+                checker.end_cycle();
+                checker
+            },
+            |mut checker| {
+                for i in 1..100u32 {
+                    let t = f64::from(i) * 0.01;
+                    checker.begin_cycle(t);
+                    for s in &signals {
+                        checker.update(s.clone(), 0.1 + f64::from(i) * 1e-4);
+                    }
+                    checker.end_cycle();
+                }
+                checker
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_offline_check(c: &mut Criterion) {
+    let scenario = Scenario::of_kind(ScenarioKind::Straight).expect("scenario");
+    let cat = catalog_for(&scenario);
+    let (out, _) = run_clean(&scenario, ControllerKind::PurePursuit, 1, &cat).expect("run");
+
+    c.bench_function("offline_check/75s_trace_16_assertions", |b| {
+        b.iter(|| checker::check(std::hint::black_box(&cat), std::hint::black_box(&out.trace)))
+    });
+}
+
+fn bench_expr_eval(c: &mut Criterion) {
+    use adassure_core::expr::Env;
+    let expr = SignalExpr::signal("gnss_speed")
+        .sub(SignalExpr::signal("wheel_speed"))
+        .abs();
+    let mut env = Env::new();
+    env.set_time(0.0);
+    env.update(&SignalId::new("gnss_speed"), 8.2);
+    env.update(&SignalId::new("wheel_speed"), 8.0);
+
+    c.bench_function("expr/cross_consistency_eval", |b| {
+        b.iter(|| std::hint::black_box(&expr).eval(std::hint::black_box(&env)))
+    });
+}
+
+criterion_group!(benches, bench_online_cycle, bench_offline_check, bench_expr_eval);
+criterion_main!(benches);

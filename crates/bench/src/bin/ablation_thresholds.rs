@@ -1,0 +1,75 @@
+//! **AB1 — Threshold-sensitivity ablation**: scale every catalog threshold
+//! by a common factor and measure clean false positives vs attack detection
+//! — the operating curve the default thresholds sit on.
+//!
+//! Regenerate with:
+//! `cargo run --release -p adassure-bench --bin ablation_thresholds`
+
+use adassure_attacks::campaign::AttackSpec;
+use adassure_attacks::Window;
+use adassure_bench::{attacks_for, catalog_config_for, run_attacked, run_clean};
+use adassure_control::ControllerKind;
+use adassure_core::catalog;
+use adassure_scenarios::{Scenario, ScenarioKind};
+
+fn main() {
+    let scenario = Scenario::of_kind(ScenarioKind::SCurve).expect("library scenario");
+    let controller = ControllerKind::PurePursuit;
+    let base = catalog_config_for(&scenario);
+    let attacks = attacks_for(&scenario);
+    let seeds = [1u64, 2, 3];
+
+    println!(
+        "AB1: catalog-wide threshold scaling (scenario `{}`, {} stack)\n",
+        scenario.kind, controller
+    );
+    println!(
+        "{:>8} {:>18} {:>18}",
+        "scale", "clean FP runs", "attacks detected"
+    );
+
+    for scale in [0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0] {
+        let cat: Vec<_> = catalog::build(&base)
+            .iter()
+            .map(|a| {
+                // A12's threshold is a route fraction, not an error
+                // magnitude — scaling it would make the goal unreachable.
+                if a.temporal == adassure_core::Temporal::Eventually {
+                    a.clone()
+                } else {
+                    a.with_scaled_threshold(scale)
+                }
+            })
+            .collect();
+
+        let mut clean_fp = 0usize;
+        for &seed in &seeds {
+            let (_, report) = run_clean(&scenario, controller, seed, &cat).expect("clean");
+            clean_fp += usize::from(!report.is_clean());
+        }
+
+        let mut detected = 0usize;
+        let mut total = 0usize;
+        for attack in &attacks {
+            let spec = AttackSpec::new(attack.kind, Window::from_start(scenario.attack_start));
+            for &seed in &seeds {
+                total += 1;
+                let (_, report) =
+                    run_attacked(&scenario, controller, &spec, seed, &cat).expect("attacked");
+                detected +=
+                    usize::from(report.detection_latency(spec.window.start).is_some());
+            }
+        }
+        println!(
+            "{:>7}x {:>15}/{:<2} {:>15}/{:<2}",
+            scale,
+            clean_fp,
+            seeds.len(),
+            detected,
+            total
+        );
+    }
+    println!("\n(the expected operating curve: tightening below 1x buys little extra");
+    println!(" detection but floods the monitor with false positives; loosening");
+    println!(" beyond ~2x starts losing the subtler attack classes.)");
+}

@@ -1,0 +1,58 @@
+//! Calibration probe: mines the clean-run envelope of every assertion
+//! across all scenarios × controllers × seeds and compares it with the
+//! hand-tuned defaults. Any default below the global envelope is a false-
+//! positive risk. Development tool, not a paper table.
+
+use std::collections::BTreeMap;
+
+use adassure_bench::catalog_config_for;
+use adassure_control::ControllerKind;
+use adassure_core::catalog::{self, CatalogConfig};
+use adassure_core::mining::{mine_bounds, MiningConfig};
+use adassure_scenarios::{run, Scenario};
+
+fn main() {
+    let mining = MiningConfig {
+        margin: 1.0,
+        floor: 0.0,
+    };
+    let mut global: BTreeMap<String, f64> = BTreeMap::new();
+    for scenario in Scenario::all() {
+        for controller in ControllerKind::ALL {
+            for seed in [1u64, 2, 3] {
+                let out = run::clean(&scenario, controller, seed).expect("clean run");
+                let bounds = mine_bounds(&catalog_config_for(&scenario), &[&out.trace], &mining);
+                for (id, b) in bounds {
+                    let slot = global.entry(id).or_insert(f64::NEG_INFINITY);
+                    // `observed` is the raw worst case in the assertion's
+                    // binding direction.
+                    let magnitude = b.observed.abs();
+                    if magnitude > *slot {
+                        *slot = magnitude;
+                    }
+                }
+            }
+        }
+    }
+    let defaults = catalog::build(&CatalogConfig::default().with_goal_distance(1.0));
+    println!("{:<5} {:>14} {:>14} {:>8}", "id", "clean envelope", "default", "ok?");
+    let mut ids: Vec<_> = global.keys().cloned().collect();
+    ids.sort_by_key(|id| id[1..].parse::<u32>().unwrap_or(u32::MAX));
+    for id in ids {
+        let env = global[&id];
+        let default = defaults
+            .iter()
+            .find(|a| a.id.as_str() == id)
+            .map(|a| a.condition.threshold().abs());
+        let ok = default.map(|d| d > env);
+        println!(
+            "{id:<5} {env:>14.3} {:>14} {:>8}",
+            default.map(|d| format!("{d:.3}")).unwrap_or_default(),
+            match ok {
+                Some(true) => "ok",
+                Some(false) => "TIGHT",
+                None => "?",
+            }
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Development probe: one run per attack on the straight scenario, printing
+//! fired assertions, detection latency and diagnosis. Not one of the paper
+//! tables — use it to sanity-check catalog thresholds quickly.
+
+use adassure_bench::{catalog_for, run_attacked, run_clean};
+use adassure_control::ControllerKind;
+use adassure_core::diagnosis;
+use adassure_scenarios::{Scenario, ScenarioKind};
+
+fn main() {
+    for sk in [ScenarioKind::Straight, ScenarioKind::SCurve] {
+        let scenario = Scenario::of_kind(sk).expect("library scenario");
+        let cat = catalog_for(&scenario);
+        println!("=== scenario {} (len {:.0} m) ===", sk, scenario.route_length());
+        let (out, clean) = run_clean(&scenario, ControllerKind::PurePursuit, 1, &cat)
+            .expect("clean run");
+        println!(
+            "clean: {} violations {:?}",
+            clean.violations.len(),
+            clean
+                .violated_ids()
+                .iter()
+                .map(|i| i.as_str().to_owned())
+                .collect::<Vec<_>>()
+        );
+        // Clean-envelope diagnostics for threshold calibration.
+        let steer = out
+            .trace
+            .require(adassure_trace::well_known::STEER_CMD)
+            .unwrap();
+        let d = steer.differentiate();
+        let max_rate = d
+            .samples()
+            .iter()
+            .filter(|s| s.time > 8.0)
+            .map(|s| s.value.abs())
+            .fold(0.0f64, f64::max);
+        let gs = out
+            .trace
+            .series_by_name(adassure_trace::well_known::GNSS_SPEED);
+        let ws = out
+            .trace
+            .require(adassure_trace::well_known::WHEEL_SPEED)
+            .unwrap();
+        let max_gap = gs
+            .map(|gs| {
+                gs.samples()
+                    .iter()
+                    .filter(|s| s.time > 8.0)
+                    .map(|s| (s.value - ws.value_at(s.time).unwrap_or(s.value)).abs())
+                    .fold(0.0f64, f64::max)
+            })
+            .unwrap_or(0.0);
+        println!("clean envelope: max|d steer/dt|={max_rate:.2} rad/s, max|gnss-wheel speed|={max_gap:.2} m/s");
+        for attack in adassure_attacks::campaign::extended_attacks(scenario.attack_start) {
+            let (_, report) = run_attacked(&scenario, ControllerKind::PurePursuit, &attack, 1, &cat)
+                .expect("attacked run");
+            let latency = report
+                .detection_latency(attack.window.start)
+                .map(|l| format!("{l:.2}s"))
+                .unwrap_or_else(|| "MISS".to_owned());
+            let ids: Vec<_> = report
+                .violated_ids()
+                .iter()
+                .map(|i| i.as_str().to_owned())
+                .collect();
+            let diag = diagnosis::diagnose(&report);
+            let top = diag
+                .top()
+                .map(|c| c.name().to_owned())
+                .unwrap_or_else(|| "-".to_owned());
+            println!(
+                "{:<20} latency {:<7} top-cause {:<12} fired {:?}",
+                attack.name(),
+                latency,
+                top,
+                ids
+            );
+        }
+    }
+}

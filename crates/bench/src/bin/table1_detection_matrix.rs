@@ -1,0 +1,82 @@
+//! **T1 — Detection matrix**: which assertion fires under which attack.
+//!
+//! Rows: the eleven standard attacks. Columns: the catalog assertions.
+//! A `x` marks "fired in at least one run" over three scenarios (straight,
+//! s-curve, urban loop) with the Pure Pursuit stack.
+//!
+//! Regenerate with:
+//! `cargo run --release -p adassure-bench --bin table1_detection_matrix`
+
+use std::collections::BTreeSet;
+
+use adassure_bench::{attacks_for, catalog_for, run_attacked, run_clean};
+use adassure_control::ControllerKind;
+use adassure_scenarios::{Scenario, ScenarioKind};
+
+fn main() {
+    let scenarios: Vec<Scenario> = [
+        ScenarioKind::Straight,
+        ScenarioKind::SCurve,
+        ScenarioKind::UrbanLoop,
+    ]
+    .iter()
+    .map(|&k| Scenario::of_kind(k).expect("library scenario"))
+    .collect();
+    let controller = ControllerKind::PurePursuit;
+    let seed = 1;
+
+    let assertion_ids: Vec<String> = (1..=16).map(|i| format!("A{i}")).collect();
+
+    println!("T1: detection matrix (attack x assertion), {controller} stack, seed {seed}");
+    println!("scenarios: straight, s_curve, urban_loop; x = fired in >=1 run\n");
+    print!("{:<20}", "attack \\ assertion");
+    for id in &assertion_ids {
+        print!("{id:>5}");
+    }
+    println!();
+
+    // Clean baseline row: must be empty.
+    let mut clean_fired: BTreeSet<String> = BTreeSet::new();
+    for scenario in &scenarios {
+        let cat = catalog_for(scenario);
+        let (_, report) = run_clean(scenario, controller, seed, &cat).expect("clean run");
+        clean_fired.extend(report.violated_ids().iter().map(|i| i.as_str().to_owned()));
+    }
+    print!("{:<20}", "(clean)");
+    for id in &assertion_ids {
+        print!("{:>5}", if clean_fired.contains(id) { "x" } else { "." });
+    }
+    println!();
+
+    for attack in attacks_for(&scenarios[0]) {
+        let mut fired: BTreeSet<String> = BTreeSet::new();
+        for scenario in &scenarios {
+            let cat = catalog_for(scenario);
+            let spec = adassure_attacks::campaign::AttackSpec::new(
+                attack.kind,
+                adassure_attacks::Window::from_start(scenario.attack_start),
+            );
+            let (_, report) =
+                run_attacked(scenario, controller, &spec, seed, &cat).expect("attacked run");
+            fired.extend(
+                report
+                    .violated_ids()
+                    .iter()
+                    // Only count violations detected after attack onset.
+                    .filter(|id| {
+                        report
+                            .violations_of(id.as_str())
+                            .any(|v| v.detected >= scenario.attack_start)
+                    })
+                    .map(|i| i.as_str().to_owned()),
+            );
+        }
+        print!("{:<20}", attack.name());
+        for id in &assertion_ids {
+            print!("{:>5}", if fired.contains(id) { "x" } else { "." });
+        }
+        println!();
+    }
+    println!("\n(A12 'goal eventually reached' only exists on open routes; the urban");
+    println!(" loop is closed, so its column reflects the two open scenarios.)");
+}

@@ -1,0 +1,94 @@
+//! **T3 — Root-cause diagnosis accuracy.**
+//!
+//! For every attack class: how often the diagnosis engine ranks the truly
+//! attacked channel first (top-1) or within the first two candidates
+//! (top-2), across 2 scenarios × 2 controllers × 3 seeds.
+//!
+//! Regenerate with:
+//! `cargo run --release -p adassure-bench --bin table3_diagnosis_accuracy`
+
+use adassure_attacks::campaign::AttackSpec;
+use adassure_attacks::{Channel, Window};
+use adassure_bench::{attacks_for, catalog_for, run_attacked};
+use adassure_control::ControllerKind;
+use adassure_core::diagnosis::{self, CauseTag};
+use adassure_scenarios::{Scenario, ScenarioKind};
+
+fn cause_of(channel: Channel) -> CauseTag {
+    match channel {
+        Channel::Gnss => CauseTag::GnssChannel,
+        Channel::WheelSpeed => CauseTag::WheelSpeedChannel,
+        Channel::ImuYaw => CauseTag::ImuYawChannel,
+        Channel::Compass => CauseTag::CompassChannel,
+    }
+}
+
+fn main() {
+    let scenarios: Vec<Scenario> = [ScenarioKind::Straight, ScenarioKind::SCurve]
+        .iter()
+        .map(|&k| Scenario::of_kind(k).expect("library scenario"))
+        .collect();
+    let controllers = [ControllerKind::PurePursuit, ControllerKind::Stanley];
+    let seeds = [1u64, 2, 3];
+    let per_cell = scenarios.len() * controllers.len() * seeds.len();
+
+    println!("T3: diagnosis accuracy per attack (over {per_cell} runs each)");
+    println!("scenarios: straight + s_curve; controllers: pure_pursuit + stanley\n");
+    println!(
+        "{:<20} {:<12} {:>10} {:>10} {:>10}",
+        "attack", "true cause", "detected", "top-1", "top-2"
+    );
+
+    let mut grand = (0usize, 0usize, 0usize, 0usize);
+    for attack in attacks_for(&scenarios[0]) {
+        let truth = cause_of(attack.kind.channel());
+        let mut detected = 0usize;
+        let mut top1 = 0usize;
+        let mut top2 = 0usize;
+        for scenario in &scenarios {
+            let cat = catalog_for(scenario);
+            let spec = AttackSpec::new(attack.kind, Window::from_start(scenario.attack_start));
+            for controller in controllers {
+                for &seed in &seeds {
+                    let (_, report) = run_attacked(scenario, controller, &spec, seed, &cat)
+                        .expect("attacked run");
+                    if report.detection_latency(spec.window.start).is_none() {
+                        continue;
+                    }
+                    detected += 1;
+                    let verdict = diagnosis::diagnose(&report);
+                    top1 += usize::from(verdict.top() == Some(truth));
+                    top2 += usize::from(verdict.contains_in_top(truth, 2));
+                }
+            }
+        }
+        println!(
+            "{:<20} {:<12} {:>7}/{:<2} {:>9} {:>10}",
+            attack.name(),
+            truth.name(),
+            detected,
+            per_cell,
+            format!("{}%", percent(top1, detected)),
+            format!("{}%", percent(top2, detected)),
+        );
+        grand.0 += detected;
+        grand.1 += top1;
+        grand.2 += top2;
+        grand.3 += per_cell;
+    }
+    println!(
+        "\noverall: detected {}/{} runs; top-1 {}%, top-2 {}% of detected runs",
+        grand.0,
+        grand.3,
+        percent(grand.1, grand.0),
+        percent(grand.2, grand.0)
+    );
+}
+
+fn percent(num: usize, den: usize) -> u32 {
+    if den == 0 {
+        0
+    } else {
+        ((num as f64 / den as f64) * 100.0).round() as u32
+    }
+}

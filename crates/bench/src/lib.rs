@@ -1,0 +1,116 @@
+//! Shared experiment plumbing for the ADAssure benchmark harnesses.
+//!
+//! Every table/figure binary in `src/bin/` is a thin loop over
+//! [`run_attacked`] / [`run_clean`] plus formatting; the mechanics of wiring
+//! scenario + controller + attack + catalog live here so all experiments
+//! agree on them.
+
+#![warn(missing_docs)]
+
+use adassure_attacks::campaign::AttackSpec;
+use adassure_control::ControllerKind;
+use adassure_core::catalog::{self, CatalogConfig};
+use adassure_core::{checker, Assertion, CheckReport};
+use adassure_scenarios::{run, Scenario};
+use adassure_sim::engine::SimOutput;
+use adassure_sim::SimError;
+
+/// The catalog configuration matched to a scenario: goal-distance for open
+/// routes (enabling A12), defaults otherwise.
+pub fn catalog_config_for(scenario: &Scenario) -> CatalogConfig {
+    let config = CatalogConfig::default();
+    if scenario.track.is_closed() {
+        config
+    } else {
+        config.with_goal_distance(scenario.route_length())
+    }
+}
+
+/// The standard catalog for a scenario.
+pub fn catalog_for(scenario: &Scenario) -> Vec<Assertion> {
+    catalog::build(&catalog_config_for(scenario))
+}
+
+/// Runs a clean (golden) pass and checks it against `cat`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_clean(
+    scenario: &Scenario,
+    controller: ControllerKind,
+    seed: u64,
+    cat: &[Assertion],
+) -> Result<(SimOutput, CheckReport), SimError> {
+    let out = run::clean(scenario, controller, seed)?;
+    let report = checker::check(cat, &out.trace);
+    Ok((out, report))
+}
+
+/// Runs an attacked pass and checks it against `cat`.
+///
+/// # Errors
+///
+/// Propagates simulator errors.
+pub fn run_attacked(
+    scenario: &Scenario,
+    controller: ControllerKind,
+    attack: &AttackSpec,
+    seed: u64,
+    cat: &[Assertion],
+) -> Result<(SimOutput, CheckReport), SimError> {
+    let mut injector = attack.injector(seed);
+    let out = run::with_tap(scenario, controller, seed, &mut injector)?;
+    let report = checker::check(cat, &out.trace);
+    Ok((out, report))
+}
+
+/// The standard attack set activating at the scenario's canonical attack
+/// start.
+pub fn attacks_for(scenario: &Scenario) -> Vec<AttackSpec> {
+    adassure_attacks::campaign::standard_attacks(scenario.attack_start)
+}
+
+/// Formats a row of a fixed-width text table.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    let mut out = String::new();
+    for (cell, w) in cells.iter().zip(widths) {
+        out.push_str(&format!("{cell:<w$} "));
+    }
+    out.trim_end().to_owned()
+}
+
+/// Formats mean ± std for a sample of values; `-` when empty.
+pub fn fmt_mean_std(values: &[f64]) -> String {
+    if values.is_empty() {
+        return "-".to_owned();
+    }
+    let n = values.len() as f64;
+    let mean = values.iter().sum::<f64>() / n;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+    format!("{mean:.2}±{:.2}", var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adassure_scenarios::ScenarioKind;
+
+    #[test]
+    fn catalog_config_matches_topology() {
+        let open = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+        assert!(catalog_config_for(&open).goal_distance.is_some());
+        let closed = Scenario::of_kind(ScenarioKind::Circle).unwrap();
+        assert!(catalog_config_for(&closed).goal_distance.is_none());
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(
+            row(&["a".into(), "bb".into()], &[3, 3]),
+            "a   bb"
+        );
+        assert_eq!(fmt_mean_std(&[]), "-");
+        assert_eq!(fmt_mean_std(&[2.0, 2.0]), "2.00±0.00");
+    }
+}

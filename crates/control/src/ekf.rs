@@ -1,0 +1,425 @@
+//! Extended Kalman filter state estimator.
+//!
+//! The alternative to the [`crate::estimator`] complementary filter: a
+//! textbook EKF over the state `[x, y, θ, v]` with the IMU yaw rate as a
+//! control input, and wheel-speed / compass / GNSS measurement updates.
+//! All linear algebra is hand-rolled over fixed 4×4 arrays — the state is
+//! small enough that a matrix library would be pure overhead.
+//!
+//! The filter optionally applies **innovation gating** (reject GNSS fixes
+//! whose Mahalanobis distance exceeds a χ² bound). Gating is the classic
+//! robustness mechanism — and the estimator-ablation experiment shows its
+//! double edge: it masks spoofed fixes from the *behavioural* assertions
+//! while making the *innovation* assertion fire even harder.
+
+use serde::{Deserialize, Serialize};
+
+use adassure_sim::geometry::{angle_diff, wrap_angle, Vec2};
+use adassure_sim::sensor::SensorFrame;
+
+use crate::Estimate;
+
+type Mat4 = [[f64; 4]; 4];
+
+/// EKF noise configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EkfConfig {
+    /// Process noise on position (m²/s).
+    pub q_position: f64,
+    /// Process noise on heading (rad²/s).
+    pub q_heading: f64,
+    /// Process noise on speed ((m/s)²/s).
+    pub q_speed: f64,
+    /// GNSS measurement variance per axis (m²).
+    pub r_gnss: f64,
+    /// Wheel-speed measurement variance ((m/s)²).
+    pub r_wheel: f64,
+    /// Compass measurement variance (rad²).
+    pub r_compass: f64,
+    /// Reject GNSS fixes with squared Mahalanobis distance above this
+    /// bound; `None` disables gating. 9.21 is the 99 % χ² bound for two
+    /// degrees of freedom.
+    pub gnss_gate: Option<f64>,
+}
+
+impl EkfConfig {
+    /// Defaults matched to [`adassure_sim::sensor::SensorConfig::automotive`].
+    pub fn standard() -> Self {
+        EkfConfig {
+            q_position: 0.05,
+            q_heading: 0.005,
+            q_speed: 0.5,
+            r_gnss: 0.09, // (0.3 m)²
+            r_wheel: 0.0025,
+            r_compass: 1e-4,
+            gnss_gate: None,
+        }
+    }
+
+    /// Standard configuration with 99 % innovation gating enabled.
+    pub fn gated() -> Self {
+        EkfConfig {
+            gnss_gate: Some(9.21),
+            ..EkfConfig::standard()
+        }
+    }
+}
+
+impl Default for EkfConfig {
+    fn default() -> Self {
+        EkfConfig::standard()
+    }
+}
+
+/// The EKF estimator. Drop-in behavioural equivalent of
+/// [`crate::estimator::Estimator`].
+#[derive(Debug, Clone)]
+pub struct Ekf {
+    config: EkfConfig,
+    /// State `[x, y, θ, v]`.
+    state: [f64; 4],
+    covariance: Mat4,
+    initialized: bool,
+    last_innovation: f64,
+    rejected_fixes: usize,
+}
+
+impl Ekf {
+    /// Creates a filter awaiting its first GNSS fix.
+    pub fn new(config: EkfConfig) -> Self {
+        Ekf {
+            config,
+            state: [0.0; 4],
+            covariance: scaled_identity(100.0),
+            initialized: false,
+            last_innovation: 0.0,
+            rejected_fixes: 0,
+        }
+    }
+
+    /// Whether the filter has received its first GNSS fix.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Magnitude of the most recent GNSS innovation (m). Gated (rejected)
+    /// fixes still report their innovation — that is exactly the signal
+    /// assertion A11 needs.
+    pub fn last_innovation(&self) -> f64 {
+        self.last_innovation
+    }
+
+    /// Number of GNSS fixes rejected by the innovation gate so far.
+    pub fn rejected_fixes(&self) -> usize {
+        self.rejected_fixes
+    }
+
+    /// Marginal standard deviation of the position estimate (m), a measure
+    /// of filter confidence.
+    pub fn position_sigma(&self) -> f64 {
+        (self.covariance[0][0] + self.covariance[1][1]).max(0.0).sqrt()
+    }
+
+    /// Ingests one sensor frame and returns the updated estimate.
+    pub fn update(&mut self, frame: &SensorFrame, dt: f64) -> Estimate {
+        if !self.initialized {
+            if let Some(fix) = frame.gnss {
+                self.state = [fix.x, fix.y, frame.compass, frame.wheel_speed];
+                self.covariance = scaled_identity(1.0);
+                self.covariance[2][2] = 0.05;
+                self.covariance[3][3] = 0.25;
+                self.initialized = true;
+            }
+            return self.estimate(frame);
+        }
+
+        self.predict(frame.imu_yaw_rate, dt);
+        self.update_scalar(3, frame.wheel_speed, self.config.r_wheel, false);
+        self.update_scalar(2, frame.compass, self.config.r_compass, true);
+        if let Some(fix) = frame.gnss {
+            self.update_gnss(fix);
+        }
+        self.estimate(frame)
+    }
+
+    fn predict(&mut self, yaw_rate: f64, dt: f64) {
+        let [_, _, theta, v] = self.state;
+        let (sin_t, cos_t) = theta.sin_cos();
+        self.state[0] += v * cos_t * dt;
+        self.state[1] += v * sin_t * dt;
+        self.state[2] = wrap_angle(theta + yaw_rate * dt);
+        // v: constant-velocity model (wheel updates correct it every cycle).
+
+        // Jacobian F = ∂f/∂x.
+        let mut f = scaled_identity(1.0);
+        f[0][2] = -v * sin_t * dt;
+        f[0][3] = cos_t * dt;
+        f[1][2] = v * cos_t * dt;
+        f[1][3] = sin_t * dt;
+
+        let mut p = mat_mul(&mat_mul(&f, &self.covariance), &transpose(&f));
+        p[0][0] += self.config.q_position * dt;
+        p[1][1] += self.config.q_position * dt;
+        p[2][2] += self.config.q_heading * dt;
+        p[3][3] += self.config.q_speed * dt;
+        self.covariance = p;
+    }
+
+    /// Scalar measurement update of state component `idx` (`z = x[idx]`).
+    fn update_scalar(&mut self, idx: usize, z: f64, r: f64, angular: bool) {
+        let innovation = if angular {
+            angle_diff(z, self.state[idx])
+        } else {
+            z - self.state[idx]
+        };
+        let s = self.covariance[idx][idx] + r;
+        if s <= 0.0 {
+            return;
+        }
+        // K = P · Hᵀ / s where H selects component idx.
+        let mut k = [0.0; 4];
+        for (row, k_slot) in k.iter_mut().enumerate() {
+            *k_slot = self.covariance[row][idx] / s;
+        }
+        for row in 0..4 {
+            self.state[row] += k[row] * innovation;
+        }
+        self.state[2] = wrap_angle(self.state[2]);
+        // P ← (I − K·H) P : subtract the outer product column-wise.
+        let p_row: [f64; 4] = std::array::from_fn(|col| self.covariance[idx][col]);
+        for row in 0..4 {
+            for col in 0..4 {
+                self.covariance[row][col] -= k[row] * p_row[col];
+            }
+        }
+    }
+
+    fn update_gnss(&mut self, fix: Vec2) {
+        let innovation = [fix.x - self.state[0], fix.y - self.state[1]];
+        self.last_innovation = (innovation[0].powi(2) + innovation[1].powi(2)).sqrt();
+
+        // S = H P Hᵀ + R over the position block.
+        let s = [
+            [
+                self.covariance[0][0] + self.config.r_gnss,
+                self.covariance[0][1],
+            ],
+            [
+                self.covariance[1][0],
+                self.covariance[1][1] + self.config.r_gnss,
+            ],
+        ];
+        let det = s[0][0] * s[1][1] - s[0][1] * s[1][0];
+        if det.abs() < 1e-12 {
+            return;
+        }
+        let s_inv = [
+            [s[1][1] / det, -s[0][1] / det],
+            [-s[1][0] / det, s[0][0] / det],
+        ];
+
+        if let Some(gate) = self.config.gnss_gate {
+            let d2 = innovation[0] * (s_inv[0][0] * innovation[0] + s_inv[0][1] * innovation[1])
+                + innovation[1] * (s_inv[1][0] * innovation[0] + s_inv[1][1] * innovation[1]);
+            if d2 > gate {
+                self.rejected_fixes += 1;
+                return;
+            }
+        }
+
+        // K = P Hᵀ S⁻¹ (4×2).
+        let mut k = [[0.0; 2]; 4];
+        for row in 0..4 {
+            let p0 = self.covariance[row][0];
+            let p1 = self.covariance[row][1];
+            k[row][0] = p0 * s_inv[0][0] + p1 * s_inv[1][0];
+            k[row][1] = p0 * s_inv[0][1] + p1 * s_inv[1][1];
+        }
+        for row in 0..4 {
+            self.state[row] += k[row][0] * innovation[0] + k[row][1] * innovation[1];
+        }
+        self.state[2] = wrap_angle(self.state[2]);
+        // P ← (I − K·H) P with H selecting rows 0..1.
+        let p0: [f64; 4] = self.covariance[0];
+        let p1: [f64; 4] = self.covariance[1];
+        for row in 0..4 {
+            for col in 0..4 {
+                self.covariance[row][col] -= k[row][0] * p0[col] + k[row][1] * p1[col];
+            }
+        }
+    }
+
+    fn estimate(&self, frame: &SensorFrame) -> Estimate {
+        Estimate {
+            position: Vec2::new(self.state[0], self.state[1]),
+            heading: self.state[2],
+            speed: self.state[3].max(0.0),
+            yaw_rate: frame.imu_yaw_rate,
+        }
+    }
+}
+
+fn scaled_identity(v: f64) -> Mat4 {
+    let mut m = [[0.0; 4]; 4];
+    for (i, row) in m.iter_mut().enumerate() {
+        row[i] = v;
+    }
+    m
+}
+
+fn mat_mul(a: &Mat4, b: &Mat4) -> Mat4 {
+    let mut out = [[0.0; 4]; 4];
+    for i in 0..4 {
+        for k in 0..4 {
+            let aik = a[i][k];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..4 {
+                out[i][j] += aik * b[k][j];
+            }
+        }
+    }
+    out
+}
+
+fn transpose(a: &Mat4) -> Mat4 {
+    let mut out = [[0.0; 4]; 4];
+    for i in 0..4 {
+        for j in 0..4 {
+            out[i][j] = a[j][i];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(t: f64, gnss: Option<Vec2>, speed: f64, yaw: f64, compass: f64) -> SensorFrame {
+        SensorFrame {
+            time: t,
+            gnss,
+            wheel_speed: speed,
+            imu_yaw_rate: yaw,
+            imu_accel: 0.0,
+            compass,
+        }
+    }
+
+    #[test]
+    fn first_fix_initialises() {
+        let mut ekf = Ekf::new(EkfConfig::standard());
+        assert!(!ekf.is_initialized());
+        let e = ekf.update(&frame(0.0, Some(Vec2::new(3.0, 4.0)), 2.0, 0.0, 0.5), 0.01);
+        assert!(ekf.is_initialized());
+        assert_eq!(e.position, Vec2::new(3.0, 4.0));
+        assert!((e.heading - 0.5).abs() < 1e-12);
+        assert!((e.speed - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tracks_straight_motion_with_periodic_fixes() {
+        let mut ekf = Ekf::new(EkfConfig::standard());
+        ekf.update(&frame(0.0, Some(Vec2::ZERO), 10.0, 0.0, 0.0), 0.01);
+        // 10 m/s east, GNSS every 10th cycle, exact measurements.
+        for i in 1..=500 {
+            let t = f64::from(i) * 0.01;
+            let fix = (i % 10 == 0).then(|| Vec2::new(10.0 * t, 0.0));
+            ekf.update(&frame(t, fix, 10.0, 0.0, 0.0), 0.01);
+        }
+        let e = ekf.update(&frame(5.01, None, 10.0, 0.0, 0.0), 0.01);
+        assert!((e.position.x - 50.1).abs() < 0.3, "{:?}", e.position);
+        assert!(e.position.y.abs() < 0.1);
+        assert!(ekf.position_sigma() < 1.0, "filter should be confident");
+    }
+
+    #[test]
+    fn covariance_shrinks_with_measurements() {
+        let mut ekf = Ekf::new(EkfConfig::standard());
+        ekf.update(&frame(0.0, Some(Vec2::ZERO), 0.0, 0.0, 0.0), 0.01);
+        let sigma_initial = ekf.position_sigma();
+        for i in 1..=100 {
+            ekf.update(
+                &frame(f64::from(i) * 0.01, Some(Vec2::ZERO), 0.0, 0.0, 0.0),
+                0.01,
+            );
+        }
+        assert!(ekf.position_sigma() < sigma_initial);
+        assert!(ekf.position_sigma() < 0.3);
+    }
+
+    #[test]
+    fn innovation_reported_even_when_gated() {
+        let mut ekf = Ekf::new(EkfConfig::gated());
+        ekf.update(&frame(0.0, Some(Vec2::ZERO), 0.0, 0.0, 0.0), 0.01);
+        for i in 1..=20 {
+            ekf.update(&frame(f64::from(i) * 0.01, Some(Vec2::ZERO), 0.0, 0.0, 0.0), 0.01);
+        }
+        let before = ekf.rejected_fixes();
+        // A 12 m teleport: must be rejected, but the innovation recorded.
+        ekf.update(&frame(0.3, Some(Vec2::new(12.0, 0.0)), 0.0, 0.0, 0.0), 0.01);
+        assert_eq!(ekf.rejected_fixes(), before + 1);
+        assert!((ekf.last_innovation() - 12.0).abs() < 0.5);
+        // The state must NOT have followed the spoofed fix.
+        let e = ekf.update(&frame(0.31, None, 0.0, 0.0, 0.0), 0.01);
+        assert!(e.position.norm() < 0.5, "{:?}", e.position);
+    }
+
+    #[test]
+    fn ungated_filter_follows_spoofed_fixes() {
+        let mut ekf = Ekf::new(EkfConfig::standard());
+        ekf.update(&frame(0.0, Some(Vec2::ZERO), 0.0, 0.0, 0.0), 0.01);
+        for i in 1..=50 {
+            let fix = Vec2::new(12.0, 0.0); // persistent spoof
+            ekf.update(&frame(f64::from(i) * 0.1, Some(fix), 0.0, 0.0, 0.0), 0.01);
+        }
+        let e = ekf.update(&frame(5.1, None, 0.0, 0.0, 0.0), 0.01);
+        assert!((e.position.x - 12.0).abs() < 1.0, "{:?}", e.position);
+    }
+
+    #[test]
+    fn heading_update_wraps_correctly() {
+        use std::f64::consts::PI;
+        let mut ekf = Ekf::new(EkfConfig::standard());
+        ekf.update(&frame(0.0, Some(Vec2::ZERO), 0.0, 0.0, PI - 0.05), 0.01);
+        // Compass readings on the other side of the seam must pull the
+        // heading the short way round.
+        for i in 1..=200 {
+            ekf.update(&frame(f64::from(i) * 0.01, None, 0.0, 0.0, -PI + 0.05), 0.01);
+        }
+        let e = ekf.update(&frame(2.01, None, 0.0, 0.0, -PI + 0.05), 0.01);
+        assert!(
+            (e.heading.abs() - PI).abs() < 0.12,
+            "heading {} should sit near ±π",
+            e.heading
+        );
+    }
+
+    #[test]
+    fn speed_never_reported_negative() {
+        let mut ekf = Ekf::new(EkfConfig::standard());
+        ekf.update(&frame(0.0, Some(Vec2::ZERO), 0.0, 0.0, 0.0), 0.01);
+        let e = ekf.update(&frame(0.01, None, 0.0, 0.0, 0.0), 0.01);
+        assert!(e.speed >= 0.0);
+    }
+
+    #[test]
+    fn covariance_stays_symmetric_positive() {
+        let mut ekf = Ekf::new(EkfConfig::standard());
+        ekf.update(&frame(0.0, Some(Vec2::ZERO), 5.0, 0.1, 0.0), 0.01);
+        for i in 1..=1000 {
+            let t = f64::from(i) * 0.01;
+            let fix = (i % 10 == 0).then(|| Vec2::new(5.0 * t, 0.0));
+            ekf.update(&frame(t, fix, 5.0, 0.1, 0.1 * t % 1.0), 0.01);
+        }
+        for i in 0..4 {
+            assert!(ekf.covariance[i][i] > 0.0, "P[{i}][{i}] not positive");
+            for j in 0..4 {
+                let asym = (ekf.covariance[i][j] - ekf.covariance[j][i]).abs();
+                assert!(asym < 1e-6, "P asymmetric at [{i}][{j}]: {asym}");
+            }
+        }
+    }
+}

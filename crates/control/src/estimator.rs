@@ -1,0 +1,247 @@
+//! Complementary-filter state estimator.
+//!
+//! Dead-reckons from wheel speed + IMU yaw rate every cycle and blends in
+//! GNSS position fixes and compass headings at configurable gains. This is
+//! the stack's attack surface: it has no notion of "plausible" — any
+//! consistency checking is exactly what the ADAssure assertions add on top.
+
+use serde::{Deserialize, Serialize};
+
+use adassure_sim::geometry::{angle_diff, wrap_angle, Vec2};
+use adassure_sim::sensor::SensorFrame;
+
+use crate::Estimate;
+
+/// Estimator gains.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EstimatorConfig {
+    /// Fraction of the GNSS innovation applied per fix (0 = ignore GNSS,
+    /// 1 = snap to every fix).
+    pub gnss_gain: f64,
+    /// Fraction of the compass innovation applied per cycle.
+    pub compass_gain: f64,
+    /// Low-pass time constant for wheel speed (s); zero passes speed
+    /// through unfiltered.
+    pub speed_tau: f64,
+}
+
+impl EstimatorConfig {
+    /// Defaults tuned for the 100 Hz loop / 10 Hz GNSS of the workspace.
+    pub fn standard() -> Self {
+        EstimatorConfig {
+            gnss_gain: 0.25,
+            compass_gain: 0.05,
+            speed_tau: 0.05,
+        }
+    }
+}
+
+impl Default for EstimatorConfig {
+    fn default() -> Self {
+        EstimatorConfig::standard()
+    }
+}
+
+/// The complementary-filter estimator.
+///
+/// # Example
+///
+/// ```
+/// use adassure_control::estimator::{Estimator, EstimatorConfig};
+/// use adassure_sim::sensor::SensorFrame;
+/// use adassure_sim::geometry::Vec2;
+///
+/// let mut est = Estimator::new(EstimatorConfig::standard());
+/// let frame = SensorFrame {
+///     time: 0.0,
+///     gnss: Some(Vec2::new(5.0, 1.0)),
+///     wheel_speed: 3.0,
+///     imu_yaw_rate: 0.0,
+///     imu_accel: 0.0,
+///     compass: 0.0,
+/// };
+/// let e = est.update(&frame, 0.01);
+/// assert_eq!(e.position, Vec2::new(5.0, 1.0)); // first fix initialises
+/// ```
+#[derive(Debug, Clone)]
+pub struct Estimator {
+    config: EstimatorConfig,
+    position: Vec2,
+    heading: f64,
+    speed: f64,
+    initialized: bool,
+    last_innovation: f64,
+}
+
+impl Estimator {
+    /// Creates an estimator awaiting its first GNSS fix.
+    pub fn new(config: EstimatorConfig) -> Self {
+        Estimator {
+            config,
+            position: Vec2::ZERO,
+            heading: 0.0,
+            speed: 0.0,
+            initialized: false,
+            last_innovation: 0.0,
+        }
+    }
+
+    /// Whether the estimator has received its first GNSS fix.
+    pub fn is_initialized(&self) -> bool {
+        self.initialized
+    }
+
+    /// Magnitude of the most recent GNSS innovation (m): the gap between
+    /// the fix and the dead-reckoned position at fix time. This is the
+    /// signal ADAssure assertion A11 monitors.
+    pub fn last_innovation(&self) -> f64 {
+        self.last_innovation
+    }
+
+    /// Ingests one sensor frame and returns the updated estimate.
+    pub fn update(&mut self, frame: &SensorFrame, dt: f64) -> Estimate {
+        if !self.initialized {
+            if let Some(fix) = frame.gnss {
+                self.position = fix;
+                self.heading = frame.compass;
+                self.speed = frame.wheel_speed;
+                self.initialized = true;
+            } else {
+                // Hold at origin until the first fix; report what we can.
+                self.heading = frame.compass;
+                self.speed = frame.wheel_speed;
+            }
+            return self.estimate(frame);
+        }
+
+        // Predict: dead reckoning with wheel speed and IMU yaw rate.
+        let alpha = if self.config.speed_tau > 0.0 {
+            1.0 - (-dt / self.config.speed_tau).exp()
+        } else {
+            1.0
+        };
+        self.speed += alpha * (frame.wheel_speed - self.speed);
+        self.heading = wrap_angle(self.heading + frame.imu_yaw_rate * dt);
+        self.position += Vec2::from_angle(self.heading) * (self.speed * dt);
+
+        // Correct: blend the compass every cycle and GNSS on fix cycles.
+        self.heading = wrap_angle(
+            self.heading + self.config.compass_gain * angle_diff(frame.compass, self.heading),
+        );
+        if let Some(fix) = frame.gnss {
+            let innovation = fix - self.position;
+            self.last_innovation = innovation.norm();
+            self.position += innovation * self.config.gnss_gain;
+        }
+        self.estimate(frame)
+    }
+
+    fn estimate(&self, frame: &SensorFrame) -> Estimate {
+        Estimate {
+            position: self.position,
+            heading: self.heading,
+            speed: self.speed,
+            yaw_rate: frame.imu_yaw_rate,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(t: f64, gnss: Option<Vec2>, speed: f64, yaw: f64, compass: f64) -> SensorFrame {
+        SensorFrame {
+            time: t,
+            gnss,
+            wheel_speed: speed,
+            imu_yaw_rate: yaw,
+            imu_accel: 0.0,
+            compass,
+        }
+    }
+
+    #[test]
+    fn first_fix_initialises_pose() {
+        let mut est = Estimator::new(EstimatorConfig::standard());
+        assert!(!est.is_initialized());
+        est.update(&frame(0.0, None, 2.0, 0.0, 0.5), 0.01);
+        assert!(!est.is_initialized());
+        let e = est.update(&frame(0.01, Some(Vec2::new(3.0, 4.0)), 2.0, 0.0, 0.5), 0.01);
+        assert!(est.is_initialized());
+        assert_eq!(e.position, Vec2::new(3.0, 4.0));
+        assert!((e.heading - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_reckoning_tracks_straight_motion() {
+        let mut config = EstimatorConfig::standard();
+        config.speed_tau = 0.0;
+        let mut est = Estimator::new(config);
+        est.update(&frame(0.0, Some(Vec2::ZERO), 10.0, 0.0, 0.0), 0.01);
+        // 100 cycles at 10 m/s without further fixes → ~10 m east.
+        for i in 1..=100 {
+            est.update(&frame(f64::from(i) * 0.01, None, 10.0, 0.0, 0.0), 0.01);
+        }
+        let e = est.update(&frame(1.01, None, 10.0, 0.0, 0.0), 0.01);
+        assert!((e.position.x - 10.1).abs() < 0.2, "{:?}", e.position);
+        assert!(e.position.y.abs() < 1e-9);
+    }
+
+    #[test]
+    fn gnss_fixes_pull_position_toward_fix() {
+        let mut est = Estimator::new(EstimatorConfig::standard());
+        est.update(&frame(0.0, Some(Vec2::ZERO), 0.0, 0.0, 0.0), 0.01);
+        // Stationary vehicle, fix insists it is 4 m east. Repeated fixes
+        // converge the estimate.
+        for i in 1..=50 {
+            est.update(
+                &frame(f64::from(i) * 0.1, Some(Vec2::new(4.0, 0.0)), 0.0, 0.0, 0.0),
+                0.01,
+            );
+        }
+        let e = est.update(&frame(5.1, None, 0.0, 0.0, 0.0), 0.01);
+        assert!((e.position.x - 4.0).abs() < 0.05, "{:?}", e.position);
+    }
+
+    #[test]
+    fn innovation_reports_fix_gap() {
+        let mut est = Estimator::new(EstimatorConfig::standard());
+        est.update(&frame(0.0, Some(Vec2::ZERO), 0.0, 0.0, 0.0), 0.01);
+        est.update(&frame(0.1, Some(Vec2::new(3.0, 4.0)), 0.0, 0.0, 0.0), 0.01);
+        assert!((est.last_innovation() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compass_corrects_heading_drift() {
+        let mut est = Estimator::new(EstimatorConfig::standard());
+        est.update(&frame(0.0, Some(Vec2::ZERO), 0.0, 0.0, 0.0), 0.01);
+        // IMU says no rotation, compass insists 0.3 rad. Heading converges.
+        for i in 1..=200 {
+            est.update(&frame(f64::from(i) * 0.01, None, 0.0, 0.0, 0.3), 0.01);
+        }
+        let e = est.update(&frame(2.01, None, 0.0, 0.0, 0.3), 0.01);
+        assert!((e.heading - 0.3).abs() < 0.01, "{}", e.heading);
+    }
+
+    #[test]
+    fn speed_low_pass_smooths_steps() {
+        let mut est = Estimator::new(EstimatorConfig::standard());
+        est.update(&frame(0.0, Some(Vec2::ZERO), 0.0, 0.0, 0.0), 0.01);
+        let e = est.update(&frame(0.01, None, 10.0, 0.0, 0.0), 0.01);
+        assert!(e.speed > 0.0 && e.speed < 10.0, "filtered step: {}", e.speed);
+    }
+
+    #[test]
+    fn yaw_integration_turns_heading() {
+        let mut config = EstimatorConfig::standard();
+        config.compass_gain = 0.0;
+        let mut est = Estimator::new(config);
+        est.update(&frame(0.0, Some(Vec2::ZERO), 0.0, 0.0, 0.0), 0.01);
+        for i in 1..=100 {
+            est.update(&frame(f64::from(i) * 0.01, None, 0.0, 0.5, 0.0), 0.01);
+        }
+        let e = est.update(&frame(1.01, None, 0.0, 0.5, 0.0), 0.01);
+        assert!((e.heading - 0.505).abs() < 0.01, "{}", e.heading);
+    }
+}

@@ -1,0 +1,52 @@
+//! Autonomous-driving control algorithms — the code ADAssure debugs.
+//!
+//! This crate implements the classical AD control stack the methodology is
+//! evaluated against:
+//!
+//! * [`estimator`] — a complementary-filter state estimator fusing GNSS,
+//!   IMU, wheel odometry and compass (the attack surface: it believes the
+//!   sensors); [`ekf`] — an extended Kalman filter alternative with
+//!   optional innovation gating;
+//! * [`pure_pursuit`], [`stanley`], [`lqr`], [`mpc`] — four lateral
+//!   controllers spanning geometric, error-feedback, optimal-gain and
+//!   receding-horizon designs;
+//! * [`pid`] — longitudinal PID speed control with anti-windup;
+//! * [`pipeline`] — [`pipeline::AdStack`], the full waypoint-following
+//!   pipeline implementing [`adassure_sim::engine::Driver`] and recording
+//!   every internal signal (estimates, error terms, innovation, progress)
+//!   under the [`adassure_trace::well_known`] names.
+//!
+//! # Example
+//!
+//! ```
+//! use adassure_control::pipeline::{AdStack, StackConfig};
+//! use adassure_control::ControllerKind;
+//! use adassure_sim::engine::{Engine, SimConfig};
+//! use adassure_sim::track::Track;
+//!
+//! # fn main() -> Result<(), adassure_sim::SimError> {
+//! let track = Track::line([0.0, 0.0], [300.0, 0.0], 1.0)?;
+//! let mut stack = AdStack::new(
+//!     StackConfig::new(ControllerKind::PurePursuit).with_cruise_speed(8.0),
+//!     track.clone(),
+//! );
+//! let out = Engine::new(SimConfig::new(60.0).with_seed(1), track).run(&mut stack)?;
+//! assert!(out.reached_goal);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ekf;
+pub mod estimator;
+pub mod lqr;
+pub mod mpc;
+pub mod pid;
+pub mod pipeline;
+pub mod pure_pursuit;
+pub mod stanley;
+mod types;
+
+pub use types::{ControllerKind, Estimate, LateralController};

@@ -1,0 +1,180 @@
+//! Longitudinal PID speed controller with anti-windup.
+
+use serde::{Deserialize, Serialize};
+
+/// PID gains and output limits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PidConfig {
+    /// Proportional gain.
+    pub kp: f64,
+    /// Integral gain.
+    pub ki: f64,
+    /// Derivative gain.
+    pub kd: f64,
+    /// Lower output bound (m/s², braking).
+    pub min_output: f64,
+    /// Upper output bound (m/s², accelerating).
+    pub max_output: f64,
+    /// Clamp on the integral term's contribution (anti-windup).
+    pub integral_limit: f64,
+}
+
+impl PidConfig {
+    /// Defaults for speed control of the workspace passenger car.
+    pub fn speed_control() -> Self {
+        PidConfig {
+            kp: 1.2,
+            ki: 0.3,
+            kd: 0.02,
+            min_output: -6.0,
+            max_output: 4.0,
+            integral_limit: 2.0,
+        }
+    }
+}
+
+impl Default for PidConfig {
+    fn default() -> Self {
+        PidConfig::speed_control()
+    }
+}
+
+/// A discrete PID controller.
+///
+/// # Example
+///
+/// ```
+/// use adassure_control::pid::{Pid, PidConfig};
+///
+/// let mut pid = Pid::new(PidConfig::speed_control());
+/// // Vehicle at 5 m/s, target 10 m/s → accelerate.
+/// assert!(pid.update(10.0, 5.0, 0.01) > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pid {
+    config: PidConfig,
+    integral: f64,
+    last_error: Option<f64>,
+}
+
+impl Pid {
+    /// Creates a controller with zeroed internal state.
+    pub fn new(config: PidConfig) -> Self {
+        Pid {
+            config,
+            integral: 0.0,
+            last_error: None,
+        }
+    }
+
+    /// Computes the control output for the current cycle.
+    pub fn update(&mut self, target: f64, measured: f64, dt: f64) -> f64 {
+        let error = target - measured;
+        self.integral = (self.integral + error * dt).clamp(
+            -self.config.integral_limit / self.config.ki.abs().max(1e-9),
+            self.config.integral_limit / self.config.ki.abs().max(1e-9),
+        );
+        let derivative = match self.last_error {
+            Some(prev) if dt > 0.0 => (error - prev) / dt,
+            _ => 0.0,
+        };
+        self.last_error = Some(error);
+        let raw = self.config.kp * error
+            + self.config.ki * self.integral
+            + self.config.kd * derivative;
+        raw.clamp(self.config.min_output, self.config.max_output)
+    }
+
+    /// Clears the integrator and derivative history.
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.last_error = None;
+    }
+}
+
+impl Default for Pid {
+    fn default() -> Self {
+        Pid::new(PidConfig::speed_control())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proportional_response_signs() {
+        let mut pid = Pid::default();
+        assert!(pid.update(10.0, 5.0, 0.01) > 0.0);
+        pid.reset();
+        assert!(pid.update(5.0, 10.0, 0.01) < 0.0);
+    }
+
+    #[test]
+    fn output_saturates() {
+        let mut pid = Pid::default();
+        assert_eq!(pid.update(1000.0, 0.0, 0.01), 4.0);
+        pid.reset();
+        assert_eq!(pid.update(0.0, 1000.0, 0.01), -6.0);
+    }
+
+    #[test]
+    fn integral_removes_steady_state_error() {
+        // Plant: v' = u with disturbance -0.5 m/s² (drag). P-only control
+        // would leave a steady-state error; PI must converge to the target.
+        let mut pid = Pid::default();
+        let mut v = 0.0;
+        for _ in 0..20_000 {
+            let u = pid.update(10.0, v, 0.01);
+            v += (u - 0.5) * 0.01;
+        }
+        assert!((v - 10.0).abs() < 0.05, "steady state {v}");
+    }
+
+    #[test]
+    fn anti_windup_bounds_integral() {
+        let mut pid = Pid::default();
+        // Saturate for a long time.
+        for _ in 0..100_000 {
+            pid.update(1000.0, 0.0, 0.01);
+        }
+        // After the setpoint collapses the output must leave saturation
+        // quickly (bounded integral), not stay pinned for thousands of steps.
+        let mut cycles_pinned = 0;
+        let mut v = 0.0;
+        loop {
+            let u = pid.update(0.0, v, 0.01);
+            if u >= 4.0 - 1e-9 {
+                cycles_pinned += 1;
+                v += u * 0.01;
+            } else {
+                break;
+            }
+            assert!(cycles_pinned < 2_000, "integral wind-up detected");
+        }
+    }
+
+    #[test]
+    fn derivative_damps_fast_error_changes() {
+        let mut config = PidConfig::speed_control();
+        config.kd = 1.0;
+        config.ki = 0.0;
+        let mut pid = Pid::new(config);
+        pid.update(10.0, 0.0, 0.01);
+        // Error suddenly shrinks → derivative term is negative, reducing output.
+        let out = pid.update(10.0, 9.0, 0.01);
+        let p_only = config.kp * 1.0;
+        assert!(out < p_only, "{out} vs {p_only}");
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut pid = Pid::default();
+        for _ in 0..100 {
+            pid.update(10.0, 0.0, 0.01);
+        }
+        pid.reset();
+        let fresh = Pid::default().update(10.0, 5.0, 0.01);
+        assert_eq!(pid.update(10.0, 5.0, 0.01), fresh);
+    }
+}

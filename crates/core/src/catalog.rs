@@ -1,0 +1,436 @@
+//! The ADAssure assertion catalog (A1–A16) for AD control stacks.
+//!
+//! The catalog binds to the workspace-wide signal names
+//! ([`adassure_trace::well_known`]), so any stack that records those signals
+//! — including [`adassure-control`'s pipeline](https://docs.rs) — is
+//! monitored without per-experiment wiring.
+//!
+//! Assertions fall into four classes:
+//!
+//! | Class | Assertions | Catches |
+//! |---|---|---|
+//! | behavioural bounds | A1 A2 A3 A4 A10 | any attack once it bends the vehicle's behaviour |
+//! | actuator discipline | A5 | command thrash from corrupted estimates |
+//! | cross-consistency | A6 A7 A8 A11 A13 A14 A15 A16 | sensor-channel attacks *before* behaviour degrades |
+//! | mission progress | A9 A12 | teleports, regressions, failure to finish |
+//!
+//! Thresholds ([`Thresholds`]) are either the hand-calibrated defaults
+//! below or mined from golden runs ([`crate::mining`]).
+
+use serde::{Deserialize, Serialize};
+
+use adassure_trace::well_known as sig;
+
+use crate::assertion::{Assertion, Condition, Severity, Temporal};
+use crate::expr::SignalExpr;
+
+/// Threshold parameters of the catalog, one per assertion.
+///
+/// All values are in the monitored expression's units (metres, radians,
+/// seconds, ...). `Default` gives the hand-calibrated values used by the
+/// paper-shaped experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// A1: maximum |estimated cross-track error| (m).
+    pub a1_max_xtrack: f64,
+    /// A2: maximum |heading error to path tangent| (rad).
+    pub a2_max_heading_err: f64,
+    /// A3: maximum |speed − target speed| (m/s).
+    pub a3_max_speed_err: f64,
+    /// A4: maximum |steering command| (rad).
+    pub a4_max_steer_cmd: f64,
+    /// A5: maximum |d(steer_cmd)/dt| (rad/s).
+    pub a5_max_steer_rate: f64,
+    /// A6: maximum |GNSS-derived speed − wheel speed| (m/s).
+    pub a6_max_speed_gap: f64,
+    /// A7: maximum *speed-adjusted* per-fix GNSS displacement (m): the
+    /// monitored expression is `gnss_jump − 0.15 · gnss_speed`, so the
+    /// allowance grows with how fast the GNSS stream itself says the
+    /// vehicle is moving. A fixed jump bound would fire on honest fixes at
+    /// high speed — exactly the false positive that misdiagnosed
+    /// wheel-channel attacks during calibration.
+    pub a7_max_gnss_jump: f64,
+    /// A8: maximum |IMU yaw rate − bicycle-kinematics yaw rate| (rad/s).
+    pub a8_max_yaw_residual: f64,
+    /// A9: minimum d(progress)/dt (m/s). Routine GNSS corrections nudge the
+    /// estimate backward a few centimetres within one 10 ms cycle (≈ −3
+    /// m/s spikes), so the bound is expressed as "no more than ~0.3 m of
+    /// regression in a cycle" (−30 m/s), which real teleport/replay attacks
+    /// exceed by orders of magnitude.
+    pub a9_min_progress_rate: f64,
+    /// A10: maximum |lateral acceleration| (m/s²).
+    pub a10_max_lat_accel: f64,
+    /// A11: maximum estimator innovation (m).
+    pub a11_max_innovation: f64,
+    /// A12: fraction of the goal distance that must eventually be covered.
+    pub a12_goal_fraction: f64,
+    /// A13: maximum GNSS staleness (s).
+    pub a13_gnss_max_age: f64,
+    /// A14: maximum |d(compass)/dt − IMU yaw rate| (rad/s).
+    pub a14_max_compass_rate_gap: f64,
+    /// A15: maximum |wheel-derived acceleration − IMU acceleration| (m/s²).
+    pub a15_max_accel_residual: f64,
+    /// A16: maximum wheel-speed jitter (EWMA of per-cycle change, m/s).
+    /// Debounced level checks are blind to zero-mean noise injection — the
+    /// violating samples never *sustain* — so noise is caught through this
+    /// dispersion measure instead.
+    pub a16_max_wheel_jitter: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        // Hand-calibrated against the clean envelope of all six scenarios
+        // × four controllers × three seeds (see the `calibrate` harness):
+        // each bound sits ~30 % above the worst clean observation, so a
+        // default-configured catalog is false-positive-free across the
+        // whole workload matrix while still separating every attack class.
+        Thresholds {
+            a1_max_xtrack: 2.5,
+            a2_max_heading_err: 0.6,
+            a3_max_speed_err: 2.8,
+            a4_max_steer_cmd: 0.56,
+            a5_max_steer_rate: 140.0,
+            a6_max_speed_gap: 3.0,
+            a7_max_gnss_jump: 1.6,
+            a8_max_yaw_residual: 0.06,
+            a9_min_progress_rate: -30.0,
+            a10_max_lat_accel: 9.0,
+            a11_max_innovation: 1.6,
+            a12_goal_fraction: 0.9,
+            a13_gnss_max_age: 0.5,
+            a14_max_compass_rate_gap: 8.0,
+            a15_max_accel_residual: 2.5,
+            a16_max_wheel_jitter: 0.5,
+        }
+    }
+}
+
+/// Configuration of a catalog build.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CatalogConfig {
+    /// Threshold parameters.
+    pub thresholds: Thresholds,
+    /// Total distance of the scenario's route (m); enables the A12
+    /// goal-reached assertion when known.
+    pub goal_distance: Option<f64>,
+    /// Wheelbase used by the A8 kinematic-consistency model (m).
+    pub wheelbase: f64,
+    /// Start-up grace applied to behavioural assertions (s).
+    pub behavioural_grace: f64,
+    /// Start-up grace applied to cross-consistency assertions (s).
+    pub consistency_grace: f64,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        CatalogConfig {
+            thresholds: Thresholds::default(),
+            goal_distance: None,
+            wheelbase: 2.7,
+            behavioural_grace: 8.0,
+            consistency_grace: 5.0,
+        }
+    }
+}
+
+impl CatalogConfig {
+    /// Replaces the thresholds.
+    pub fn with_thresholds(mut self, thresholds: Thresholds) -> Self {
+        self.thresholds = thresholds;
+        self
+    }
+
+    /// Sets the goal distance (enables A12).
+    pub fn with_goal_distance(mut self, distance: f64) -> Self {
+        self.goal_distance = Some(distance);
+        self
+    }
+}
+
+/// Builds the A1–A14 catalog for a configuration.
+///
+/// A12 is included only when [`CatalogConfig::goal_distance`] is set.
+pub fn build(config: &CatalogConfig) -> Vec<Assertion> {
+    let t = &config.thresholds;
+    let bg = config.behavioural_grace;
+    let cg = config.consistency_grace;
+    let mut catalog = vec![
+        Assertion::new(
+            "A1",
+            "cross-track error of the estimated pose stays bounded",
+            Severity::Critical,
+            Condition::AtMost {
+                expr: SignalExpr::signal(sig::XTRACK_ERR).abs(),
+                limit: t.a1_max_xtrack,
+            },
+        )
+        .with_temporal(Temporal::Sustained(0.3))
+        .with_grace(bg),
+        Assertion::new(
+            "A2",
+            "heading error to the path tangent stays bounded",
+            Severity::Critical,
+            Condition::AtMost {
+                expr: SignalExpr::signal(sig::HEADING_ERR).abs(),
+                limit: t.a2_max_heading_err,
+            },
+        )
+        .with_temporal(Temporal::Sustained(0.3))
+        .with_grace(bg),
+        Assertion::new(
+            "A3",
+            "estimated speed tracks the target speed",
+            Severity::Warning,
+            Condition::AtMost {
+                expr: SignalExpr::signal(sig::EST_SPEED)
+                    .sub(SignalExpr::signal(sig::TARGET_SPEED))
+                    .abs(),
+                limit: t.a3_max_speed_err,
+            },
+        )
+        .with_temporal(Temporal::Sustained(1.0))
+        .with_grace(bg),
+        Assertion::new(
+            "A4",
+            "steering command stays within the actuator range",
+            Severity::Warning,
+            Condition::AtMost {
+                expr: SignalExpr::signal(sig::STEER_CMD).abs(),
+                limit: t.a4_max_steer_cmd,
+            },
+        )
+        .with_grace(1.0),
+        Assertion::new(
+            "A5",
+            "steering command slew rate stays bounded",
+            Severity::Warning,
+            Condition::AtMost {
+                expr: SignalExpr::derivative(sig::STEER_CMD).abs(),
+                limit: t.a5_max_steer_rate,
+            },
+        )
+        .with_grace(bg),
+        Assertion::new(
+            "A6",
+            "GNSS-derived speed is consistent with wheel odometry",
+            Severity::Critical,
+            Condition::AtMost {
+                expr: SignalExpr::signal(sig::GNSS_SPEED)
+                    .sub(SignalExpr::signal(sig::WHEEL_SPEED))
+                    .abs(),
+                limit: t.a6_max_speed_gap,
+            },
+        )
+        .with_temporal(Temporal::Sustained(0.25))
+        .with_grace(cg),
+        Assertion::new(
+            "A7",
+            "per-fix GNSS displacement stays plausible for the GNSS-reported speed",
+            Severity::Critical,
+            Condition::AtMost {
+                expr: SignalExpr::signal(sig::GNSS_JUMP).sub(
+                    SignalExpr::signal(sig::GNSS_SPEED).mul(SignalExpr::constant(0.15)),
+                ),
+                limit: t.a7_max_gnss_jump,
+            },
+        )
+        .with_grace(cg),
+        Assertion::new(
+            "A8",
+            "IMU yaw rate matches bicycle kinematics of speed and steering",
+            Severity::Critical,
+            Condition::AtMost {
+                expr: SignalExpr::signal(sig::IMU_YAW_RATE)
+                    .sub(
+                        SignalExpr::signal(sig::WHEEL_SPEED)
+                            .mul(SignalExpr::signal(sig::STEER_ACTUAL).tan())
+                            .mul(SignalExpr::constant(1.0 / config.wheelbase)),
+                    )
+                    .abs(),
+                limit: t.a8_max_yaw_residual,
+            },
+        )
+        .with_temporal(Temporal::Sustained(0.4))
+        .with_grace(cg),
+        Assertion::new(
+            "A9",
+            "progress along the route never regresses",
+            Severity::Critical,
+            Condition::AtLeast {
+                expr: SignalExpr::derivative(sig::PROGRESS),
+                limit: t.a9_min_progress_rate,
+            },
+        )
+        .with_grace(3.0),
+        Assertion::new(
+            "A10",
+            "implied lateral acceleration stays within the envelope",
+            Severity::Warning,
+            Condition::AtMost {
+                expr: SignalExpr::signal(sig::EST_SPEED)
+                    .mul(SignalExpr::signal(sig::IMU_YAW_RATE))
+                    .abs(),
+                limit: t.a10_max_lat_accel,
+            },
+        )
+        .with_temporal(Temporal::Sustained(0.2))
+        .with_grace(bg),
+        Assertion::new(
+            "A11",
+            "estimator innovation (GNSS vs dead reckoning) stays bounded",
+            Severity::Critical,
+            Condition::AtMost {
+                expr: SignalExpr::signal(sig::INNOVATION),
+                limit: t.a11_max_innovation,
+            },
+        )
+        .with_temporal(Temporal::Sustained(0.3))
+        .with_grace(cg),
+        Assertion::new(
+            "A13",
+            "GNSS fixes keep arriving",
+            Severity::Critical,
+            Condition::Fresh {
+                signal: sig::GNSS_X.into(),
+                max_age: t.a13_gnss_max_age,
+            },
+        )
+        .with_grace(3.0),
+        Assertion::new(
+            "A14",
+            "compass rate of change matches the IMU yaw rate",
+            Severity::Critical,
+            Condition::AtMost {
+                // Angle-aware derivative: a compass crossing the ±π seam is
+                // a 2π numeric jump but zero physical rotation.
+                expr: SignalExpr::angular_derivative(sig::COMPASS_HEADING)
+                    .sub(SignalExpr::signal(sig::IMU_YAW_RATE))
+                    .abs(),
+                limit: t.a14_max_compass_rate_gap,
+            },
+        )
+        .with_grace(3.0),
+        Assertion::new(
+            "A15",
+            "wheel-derived acceleration matches the IMU acceleration",
+            Severity::Critical,
+            Condition::AtMost {
+                expr: SignalExpr::signal(sig::WHEEL_ACCEL)
+                    .sub(SignalExpr::signal(sig::IMU_ACCEL))
+                    .abs(),
+                limit: t.a15_max_accel_residual,
+            },
+        )
+        .with_temporal(Temporal::Sustained(0.4))
+        .with_grace(cg),
+        Assertion::new(
+            "A16",
+            "wheel-speed jitter (per-cycle dispersion) stays bounded",
+            Severity::Critical,
+            Condition::AtMost {
+                expr: SignalExpr::signal(sig::WHEEL_JITTER),
+                limit: t.a16_max_wheel_jitter,
+            },
+        )
+        .with_temporal(Temporal::Sustained(0.3))
+        .with_grace(cg),
+    ];
+    if let Some(goal) = config.goal_distance {
+        catalog.push(
+            Assertion::new(
+                "A12",
+                "the goal is eventually reached",
+                Severity::Warning,
+                Condition::AtLeast {
+                    expr: SignalExpr::signal(sig::PROGRESS),
+                    limit: goal * t.a12_goal_fraction,
+                },
+            )
+            .with_temporal(Temporal::Eventually),
+        );
+    }
+    catalog.sort_by(|a, b| {
+        // Sort numerically on the id suffix so A2 < A10.
+        let num = |a: &Assertion| a.id.as_str()[1..].parse::<u32>().unwrap_or(u32::MAX);
+        num(a).cmp(&num(b))
+    });
+    catalog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn catalog_has_sixteen_assertions_with_goal() {
+        let cfg = CatalogConfig::default().with_goal_distance(100.0);
+        let cat = build(&cfg);
+        assert_eq!(cat.len(), 16);
+        let ids: HashSet<_> = cat.iter().map(|a| a.id.as_str().to_owned()).collect();
+        for i in 1..=16 {
+            assert!(ids.contains(&format!("A{i}")), "missing A{i}");
+        }
+    }
+
+    #[test]
+    fn a12_requires_goal_distance() {
+        let cat = build(&CatalogConfig::default());
+        assert_eq!(cat.len(), 15);
+        assert!(cat.iter().all(|a| a.id.as_str() != "A12"));
+    }
+
+    #[test]
+    fn catalog_is_sorted_numerically() {
+        let cfg = CatalogConfig::default().with_goal_distance(100.0);
+        let cat = build(&cfg);
+        let ids: Vec<&str> = cat.iter().map(|a| a.id.as_str()).collect();
+        assert_eq!(ids[0], "A1");
+        assert_eq!(ids[1], "A2");
+        assert_eq!(ids[9], "A10");
+        assert_eq!(ids[15], "A16");
+    }
+
+    #[test]
+    fn thresholds_flow_into_conditions() {
+        let mut t = Thresholds::default();
+        t.a1_max_xtrack = 9.9;
+        let cfg = CatalogConfig::default().with_thresholds(t);
+        let cat = build(&cfg);
+        let a1 = cat.iter().find(|a| a.id.as_str() == "A1").unwrap();
+        assert_eq!(a1.condition.threshold(), 9.9);
+    }
+
+    #[test]
+    fn goal_assertion_uses_fraction() {
+        let cfg = CatalogConfig::default().with_goal_distance(200.0);
+        let cat = build(&cfg);
+        let a12 = cat.iter().find(|a| a.id.as_str() == "A12").unwrap();
+        assert!((a12.condition.threshold() - 180.0).abs() < 1e-9);
+        assert_eq!(a12.temporal, Temporal::Eventually);
+    }
+
+    #[test]
+    fn every_assertion_references_known_signals() {
+        let cfg = CatalogConfig::default().with_goal_distance(100.0);
+        for a in build(&cfg) {
+            for s in a.condition.signals() {
+                assert!(
+                    adassure_trace::well_known::ALL.contains(&s.as_str()),
+                    "{} references unknown signal {s}",
+                    a.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn severities_are_assigned() {
+        let cat = build(&CatalogConfig::default());
+        let criticals = cat
+            .iter()
+            .filter(|a| a.severity == Severity::Critical)
+            .count();
+        assert!(criticals >= 6, "cross-consistency checks are critical");
+    }
+}

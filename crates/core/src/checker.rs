@@ -1,0 +1,170 @@
+//! Offline checking: replay a recorded trace through the online monitor.
+//!
+//! Offline and online verdicts agree by construction because this module
+//! contains no evaluation logic of its own — it only reconstructs the
+//! per-cycle sample stream from a [`Trace`] and feeds it to
+//! [`OnlineChecker`].
+
+use adassure_trace::{SignalId, Trace};
+
+use crate::assertion::Assertion;
+use crate::online::OnlineChecker;
+use crate::report::CheckReport;
+
+/// The trace's samples flattened into `(time, signal, value)` events,
+/// sorted by time (ties resolved by signal name, so replay is
+/// deterministic).
+pub fn events(trace: &Trace) -> Vec<(f64, &SignalId, f64)> {
+    let mut out: Vec<(f64, &SignalId, f64)> = Vec::with_capacity(trace.sample_count());
+    for series in trace.iter() {
+        for sample in series.samples() {
+            out.push((sample.time, series.id(), sample.value));
+        }
+    }
+    out.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(b.1)));
+    out
+}
+
+/// Replays `trace` through a fresh [`OnlineChecker`] over `catalog` and
+/// returns the report.
+///
+/// # Example
+///
+/// ```
+/// use adassure_core::catalog::{self, CatalogConfig};
+/// use adassure_trace::Trace;
+///
+/// let trace = Trace::new();
+/// let report = adassure_core::checker::check(&catalog::build(&CatalogConfig::default()), &trace);
+/// assert!(report.is_clean());
+/// ```
+pub fn check(catalog: &[Assertion], trace: &Trace) -> CheckReport {
+    let mut checker = OnlineChecker::new(catalog.iter().cloned());
+    let stream = events(trace);
+    let mut i = 0;
+    while i < stream.len() {
+        let t = stream[i].0;
+        checker.begin_cycle(t);
+        while i < stream.len() && stream[i].0 == t {
+            let (_, id, value) = stream[i];
+            checker.update(id.clone(), value);
+            i += 1;
+        }
+        checker.end_cycle();
+    }
+    let end = trace.span().map_or(0.0, |(_, b)| b);
+    checker.finish(end)
+}
+
+/// Replays `trace` cycle by cycle, invoking `f(t, env)` after each cycle's
+/// updates. Used by assertion mining to observe expression values on golden
+/// runs with the exact semantics of the online monitor.
+pub fn replay(trace: &Trace, mut f: impl FnMut(f64, &crate::expr::Env)) {
+    let mut env = crate::expr::Env::new();
+    let stream = events(trace);
+    let mut i = 0;
+    while i < stream.len() {
+        let t = stream[i].0;
+        env.set_time(t);
+        while i < stream.len() && stream[i].0 == t {
+            let (_, id, value) = stream[i];
+            env.update(id, value);
+            i += 1;
+        }
+        f(t, &env);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assertion::{Condition, Severity, Temporal};
+    use crate::expr::SignalExpr;
+
+    fn bound(limit: f64) -> Assertion {
+        Assertion::new(
+            "A1",
+            "bounded x",
+            Severity::Critical,
+            Condition::AtMost {
+                expr: SignalExpr::signal("x").abs(),
+                limit,
+            },
+        )
+    }
+
+    #[test]
+    fn events_are_time_sorted_with_stable_ties() {
+        let mut trace = Trace::new();
+        trace.record("b", 0.0, 1.0);
+        trace.record("a", 0.0, 2.0);
+        trace.record("a", 0.1, 3.0);
+        let ev = events(&trace);
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].1.as_str(), "a");
+        assert_eq!(ev[1].1.as_str(), "b");
+        assert_eq!(ev[2].0, 0.1);
+    }
+
+    #[test]
+    fn offline_check_detects_excursion() {
+        let mut trace = Trace::new();
+        for i in 0..100 {
+            let t = f64::from(i) * 0.01;
+            trace.record("x", t, if t < 0.5 { 0.0 } else { 5.0 });
+        }
+        let report = check(&[bound(1.0)], &trace);
+        assert_eq!(report.violations.len(), 1);
+        assert!((report.violations[0].onset - 0.5).abs() < 1e-9);
+        assert!((report.end_time - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offline_matches_online_semantics() {
+        // Drive the same data both ways and compare.
+        let samples: Vec<(f64, f64)> = (0..200)
+            .map(|i| {
+                let t = f64::from(i) * 0.01;
+                (t, if (0.7..1.1).contains(&t) { 9.0 } else { 0.0 })
+            })
+            .collect();
+        let assertion = bound(1.0).with_temporal(Temporal::Sustained(0.2));
+
+        let mut trace = Trace::new();
+        for &(t, v) in &samples {
+            trace.record("x", t, v);
+        }
+        let offline = check(std::slice::from_ref(&assertion), &trace);
+
+        let mut online = OnlineChecker::new([assertion]);
+        for &(t, v) in &samples {
+            online.begin_cycle(t);
+            online.update("x", v);
+            online.end_cycle();
+        }
+        let online = online.finish(trace.span().unwrap().1);
+
+        assert_eq!(offline, online);
+        assert_eq!(offline.violations.len(), 1);
+    }
+
+    #[test]
+    fn replay_exposes_env_per_cycle() {
+        let mut trace = Trace::new();
+        trace.record("x", 0.0, 1.0);
+        trace.record("x", 0.1, 2.0);
+        trace.record("y", 0.1, 5.0);
+        let mut seen = Vec::new();
+        replay(&trace, |t, env| {
+            seen.push((t, env.value(&"x".into()), env.value(&"y".into())));
+        });
+        assert_eq!(seen, vec![(0.0, Some(1.0), None), (0.1, Some(2.0), Some(5.0))]);
+    }
+
+    #[test]
+    fn empty_trace_is_clean() {
+        let report = check(&[bound(1.0)], &Trace::new());
+        assert!(report.is_clean());
+        assert_eq!(report.end_time, 0.0);
+    }
+}

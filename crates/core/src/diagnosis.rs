@@ -1,0 +1,304 @@
+//! Root-cause diagnosis from assertion-violation patterns.
+//!
+//! The debugging payoff of ADAssure: instead of handing the engineer a bare
+//! list of fired assertions, the violation *pattern* is matched against a
+//! cause–effect matrix. Each assertion contributes evidence weight to the
+//! causes that can make it fire; causes whose *signature* assertions stayed
+//! silent are discounted (absence of evidence is evidence here, because the
+//! cross-consistency checks are specifically sensitive to their channel).
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::assertion::AssertionId;
+use crate::report::CheckReport;
+
+/// A candidate root cause of anomalous control behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum CauseTag {
+    /// The GNSS channel is compromised (spoofing, jamming, dropout, delay).
+    GnssChannel,
+    /// The wheel-odometry channel is compromised.
+    WheelSpeedChannel,
+    /// The IMU yaw-rate channel is compromised.
+    ImuYawChannel,
+    /// The compass/heading channel is compromised.
+    CompassChannel,
+    /// The control algorithms themselves misbehave (tuning, bug, saturation).
+    ControlLoop,
+}
+
+impl CauseTag {
+    /// All candidate causes, in a stable order.
+    pub const ALL: [CauseTag; 5] = [
+        CauseTag::GnssChannel,
+        CauseTag::WheelSpeedChannel,
+        CauseTag::ImuYawChannel,
+        CauseTag::CompassChannel,
+        CauseTag::ControlLoop,
+    ];
+
+    /// Short lowercase name (stable; used in reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            CauseTag::GnssChannel => "gnss",
+            CauseTag::WheelSpeedChannel => "wheel_speed",
+            CauseTag::ImuYawChannel => "imu_yaw",
+            CauseTag::CompassChannel => "compass",
+            CauseTag::ControlLoop => "control_loop",
+        }
+    }
+}
+
+impl std::fmt::Display for CauseTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A ranked candidate cause.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CauseScore {
+    /// The candidate cause.
+    pub cause: CauseTag,
+    /// Normalised evidence score in `[0, 1]`; all scores sum to 1 when any
+    /// evidence exists.
+    pub score: f64,
+}
+
+/// A diagnosis: candidate causes ranked by evidence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnosis {
+    /// Candidates in descending score order (ties broken by
+    /// [`CauseTag::ALL`] order). Empty when no assertion fired.
+    pub ranking: Vec<CauseScore>,
+}
+
+impl Diagnosis {
+    /// The top-ranked cause, if any evidence exists.
+    pub fn top(&self) -> Option<CauseTag> {
+        self.ranking.first().map(|c| c.cause)
+    }
+
+    /// Whether `cause` appears within the first `n` ranked candidates.
+    pub fn contains_in_top(&self, cause: CauseTag, n: usize) -> bool {
+        self.ranking.iter().take(n).any(|c| c.cause == cause)
+    }
+}
+
+/// Per-assertion evidence weights: which causes can make this assertion
+/// fire, and how specifically.
+fn evidence(assertion: &str) -> &'static [(CauseTag, f64)] {
+    use CauseTag::*;
+    match assertion {
+        "A1" => &[
+            (GnssChannel, 0.30),
+            (CompassChannel, 0.25),
+            (ControlLoop, 0.20),
+            (WheelSpeedChannel, 0.15),
+            (ImuYawChannel, 0.10),
+        ],
+        "A2" => &[
+            (CompassChannel, 0.45),
+            (GnssChannel, 0.20),
+            (ControlLoop, 0.20),
+            (ImuYawChannel, 0.15),
+        ],
+        "A3" => &[
+            (WheelSpeedChannel, 0.45),
+            (ControlLoop, 0.30),
+            (GnssChannel, 0.15),
+            (ImuYawChannel, 0.10),
+        ],
+        "A4" => &[(ControlLoop, 0.80), (GnssChannel, 0.20)],
+        "A5" => &[
+            (GnssChannel, 0.45),
+            (ControlLoop, 0.35),
+            (CompassChannel, 0.20),
+        ],
+        "A6" => &[(GnssChannel, 0.50), (WheelSpeedChannel, 0.50)],
+        "A7" => &[(GnssChannel, 1.00)],
+        "A8" => &[(ImuYawChannel, 0.70), (WheelSpeedChannel, 0.30)],
+        // Progress regression is the GNSS stream fighting dead reckoning;
+        // either side of that fight can be the liar.
+        "A9" => &[
+            (GnssChannel, 0.60),
+            (WheelSpeedChannel, 0.25),
+            (ControlLoop, 0.15),
+        ],
+        "A10" => &[
+            (ImuYawChannel, 0.40),
+            (ControlLoop, 0.30),
+            (WheelSpeedChannel, 0.30),
+        ],
+        // Innovation is GNSS disagreeing with dead reckoning; dead
+        // reckoning is fed by wheel speed, IMU and compass, so all four are
+        // suspects (GNSS first — it is the usual liar).
+        "A11" => &[
+            (GnssChannel, 0.45),
+            (WheelSpeedChannel, 0.25),
+            (ImuYawChannel, 0.15),
+            (CompassChannel, 0.15),
+        ],
+        "A12" => &[
+            (ControlLoop, 0.50),
+            (WheelSpeedChannel, 0.30),
+            (GnssChannel, 0.20),
+        ],
+        "A13" => &[(GnssChannel, 1.00)],
+        "A14" => &[(CompassChannel, 0.70), (ImuYawChannel, 0.30)],
+        "A15" => &[(WheelSpeedChannel, 0.80), (ImuYawChannel, 0.20)],
+        "A16" => &[(WheelSpeedChannel, 0.90), (ControlLoop, 0.10)],
+        _ => &[],
+    }
+}
+
+/// GNSS attacks essentially always trip one of these channel-specific
+/// checks; their collective silence discounts the GNSS hypothesis.
+const GNSS_SIGNATURE: [&str; 4] = ["A7", "A11", "A13", "A9"];
+/// Wheel-channel signature checks.
+const WHEEL_SIGNATURE: [&str; 4] = ["A6", "A3", "A15", "A16"];
+/// IMU signature check.
+const IMU_SIGNATURE: [&str; 1] = ["A8"];
+/// Compass signature check.
+const COMPASS_SIGNATURE: [&str; 1] = ["A14"];
+
+/// Diagnoses from the set of violated assertion ids.
+pub fn diagnose_ids(violated: &BTreeSet<AssertionId>) -> Diagnosis {
+    let mut scores: Vec<(CauseTag, f64)> =
+        CauseTag::ALL.iter().map(|&c| (c, 0.0)).collect();
+    for id in violated {
+        for &(cause, w) in evidence(id.as_str()) {
+            let slot = scores
+                .iter_mut()
+                .find(|(c, _)| *c == cause)
+                .expect("all causes present");
+            slot.1 += w;
+        }
+    }
+
+    let fired = |sig: &[&str]| sig.iter().any(|s| violated.contains(*s));
+    let discount = |scores: &mut Vec<(CauseTag, f64)>, cause: CauseTag, factor: f64| {
+        if let Some(slot) = scores.iter_mut().find(|(c, _)| *c == cause) {
+            slot.1 *= factor;
+        }
+    };
+    if !fired(&GNSS_SIGNATURE) {
+        discount(&mut scores, CauseTag::GnssChannel, 0.25);
+    }
+    if !fired(&WHEEL_SIGNATURE) {
+        discount(&mut scores, CauseTag::WheelSpeedChannel, 0.5);
+    }
+    if !fired(&IMU_SIGNATURE) {
+        discount(&mut scores, CauseTag::ImuYawChannel, 0.5);
+    }
+    if !fired(&COMPASS_SIGNATURE) {
+        discount(&mut scores, CauseTag::CompassChannel, 0.6);
+    }
+
+    let total: f64 = scores.iter().map(|(_, s)| s).sum();
+    if total <= 0.0 {
+        return Diagnosis { ranking: vec![] };
+    }
+    let mut ranking: Vec<CauseScore> = scores
+        .into_iter()
+        .filter(|(_, s)| *s > 0.0)
+        .map(|(cause, score)| CauseScore {
+            cause,
+            score: score / total,
+        })
+        .collect();
+    ranking.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.cause.cmp(&b.cause)));
+    Diagnosis { ranking }
+}
+
+/// Diagnoses from a check report.
+///
+/// # Example
+///
+/// ```
+/// use adassure_core::diagnosis::{diagnose, CauseTag};
+/// use adassure_core::CheckReport;
+///
+/// let clean = CheckReport::new(vec![], 10.0, 14);
+/// assert_eq!(diagnose(&clean).top(), None);
+/// ```
+pub fn diagnose(report: &CheckReport) -> Diagnosis {
+    diagnose_ids(&report.violated_ids())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(list: &[&str]) -> BTreeSet<AssertionId> {
+        list.iter().map(|s| AssertionId::new(*s)).collect()
+    }
+
+    #[test]
+    fn gnss_signature_ranks_gnss_first() {
+        let d = diagnose_ids(&ids(&["A7", "A11"]));
+        assert_eq!(d.top(), Some(CauseTag::GnssChannel));
+        assert!(d.ranking[0].score > 0.6);
+    }
+
+    #[test]
+    fn wheel_attack_without_gnss_signature_ranks_wheel_first() {
+        // A6 alone is ambiguous Gnss/Wheel evidence, but with no
+        // GNSS-signature assertion fired, the GNSS hypothesis is discounted.
+        let d = diagnose_ids(&ids(&["A6"]));
+        assert_eq!(d.top(), Some(CauseTag::WheelSpeedChannel));
+    }
+
+    #[test]
+    fn imu_attack_signature() {
+        let d = diagnose_ids(&ids(&["A8"]));
+        assert_eq!(d.top(), Some(CauseTag::ImuYawChannel));
+    }
+
+    #[test]
+    fn compass_attack_signature() {
+        let d = diagnose_ids(&ids(&["A14", "A2"]));
+        assert_eq!(d.top(), Some(CauseTag::CompassChannel));
+    }
+
+    #[test]
+    fn behavioural_only_points_at_control_loop_or_spreads() {
+        let d = diagnose_ids(&ids(&["A4"]));
+        assert_eq!(d.top(), Some(CauseTag::ControlLoop));
+    }
+
+    #[test]
+    fn empty_set_gives_empty_diagnosis() {
+        let d = diagnose_ids(&BTreeSet::new());
+        assert!(d.ranking.is_empty());
+        assert_eq!(d.top(), None);
+        assert!(!d.contains_in_top(CauseTag::GnssChannel, 5));
+    }
+
+    #[test]
+    fn scores_are_normalised() {
+        let d = diagnose_ids(&ids(&["A6", "A7", "A11", "A13"]));
+        let total: f64 = d.ranking.iter().map(|c| c.score).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Descending order.
+        for pair in d.ranking.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn contains_in_top_respects_n() {
+        let d = diagnose_ids(&ids(&["A6"]));
+        assert!(d.contains_in_top(CauseTag::WheelSpeedChannel, 1));
+        assert!(d.contains_in_top(CauseTag::GnssChannel, 2));
+        assert!(!d.contains_in_top(CauseTag::CompassChannel, 1));
+    }
+
+    #[test]
+    fn unknown_assertion_ids_contribute_nothing() {
+        let d = diagnose_ids(&ids(&["Z9"]));
+        assert!(d.ranking.is_empty());
+    }
+}

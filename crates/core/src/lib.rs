@@ -1,0 +1,65 @@
+//! ADAssure: assertion-based debugging for autonomous-driving control
+//! algorithms.
+//!
+//! This crate is the reproduction of the paper's primary contribution. It
+//! turns "the car behaved strangely" into an actionable debugging verdict in
+//! four stages:
+//!
+//! 1. **Specify** — assertions over control-loop signals, built from the
+//!    [`expr::SignalExpr`] expression language, [`assertion::Condition`]
+//!    bounds and [`assertion::Temporal`] operators. The standard catalog of
+//!    sixteen assertions (A1–A16) lives in [`catalog`].
+//! 2. **Monitor** — [`online::OnlineChecker`] evaluates the catalog
+//!    incrementally, cycle by cycle, with bounded memory; [`checker`]
+//!    replays a recorded [`adassure_trace::Trace`] through the same monitor
+//!    for offline debugging (identical semantics by construction).
+//! 3. **Localise** — violations carry their onset and detection instants
+//!    ([`violation::Violation`]), giving detection latency against a known
+//!    attack window.
+//! 4. **Diagnose** — [`diagnosis`] matches the violation pattern against a
+//!    cause–effect matrix and returns a ranked list of candidate root
+//!    causes (which sensor channel or loop stage is compromised).
+//!
+//! Thresholds can be hand-set ([`catalog::Thresholds::default`]) or **mined**
+//! from attack-free golden runs ([`mining`]).
+//!
+//! # Example
+//!
+//! ```
+//! use adassure_core::catalog::{self, CatalogConfig};
+//! use adassure_core::checker;
+//! use adassure_trace::Trace;
+//!
+//! // A trace where the cross-track error blows up at t = 10 s (after the
+//! // catalog's start-up grace period).
+//! let mut trace = Trace::new();
+//! for i in 0..1500 {
+//!     let t = f64::from(i) * 0.01;
+//!     let xtrack = if t < 10.0 { 0.1 } else { 3.0 };
+//!     trace.record("xtrack_err", t, xtrack);
+//! }
+//! let cat = catalog::build(&CatalogConfig::default());
+//! let report = checker::check(&cat, &trace);
+//! let violation = report.violations.iter().find(|v| v.assertion.as_str() == "A1").unwrap();
+//! assert!(violation.onset >= 10.0 && violation.onset < 10.1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod assertion;
+pub mod catalog;
+pub mod checker;
+pub mod diagnosis;
+pub mod expr;
+pub mod mining;
+pub mod online;
+pub mod report;
+pub mod spec;
+pub mod violation;
+
+pub use assertion::{Assertion, AssertionId, Condition, Severity, Temporal};
+pub use expr::SignalExpr;
+pub use online::OnlineChecker;
+pub use report::CheckReport;
+pub use violation::Violation;

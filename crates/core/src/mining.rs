@@ -1,0 +1,333 @@
+//! Assertion mining: derive thresholds from attack-free golden runs.
+//!
+//! For each catalog assertion, the monitored expression is replayed over a
+//! set of golden traces (with exactly the online monitor's sample-and-hold
+//! semantics, via [`crate::checker::replay`]); the observed worst case,
+//! widened by a safety margin, becomes the mined threshold. Thresholds
+//! mined this way are guaranteed clean on the training runs and — as
+//! experiment F4 shows — detect attacks about as well as the hand-tuned
+//! defaults.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use adassure_trace::Trace;
+
+use crate::assertion::{Assertion, Condition};
+use crate::catalog::{self, CatalogConfig, Thresholds};
+use crate::checker;
+
+/// Mining parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MiningConfig {
+    /// Multiplicative widening applied to the observed worst case
+    /// (1.3 = 30 % headroom).
+    pub margin: f64,
+    /// Lower bound on any mined `AtMost`/`Fresh` threshold, protecting
+    /// against degenerate golden data (e.g. an expression that is constant
+    /// zero on the training runs).
+    pub floor: f64,
+}
+
+impl Default for MiningConfig {
+    fn default() -> Self {
+        MiningConfig {
+            margin: 1.3,
+            floor: 1e-3,
+        }
+    }
+}
+
+/// The observed worst case of one assertion over the golden runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MinedBound {
+    /// Worst observed value of the monitored expression.
+    pub observed: f64,
+    /// The threshold derived from it.
+    pub mined: f64,
+    /// Number of samples that informed the bound.
+    pub samples: usize,
+}
+
+/// Mines per-assertion bounds from golden traces.
+///
+/// Returns a map from assertion id (e.g. `"A6"`) to its mined bound.
+/// Assertions whose expressions never became evaluable on the golden data
+/// (missing signals) are absent from the map. [`crate::assertion::Temporal::Eventually`]
+/// assertions (A12) are not minable and are skipped.
+pub fn mine_bounds(
+    config: &CatalogConfig,
+    golden: &[&Trace],
+    mining: &MiningConfig,
+) -> HashMap<String, MinedBound> {
+    let catalog = catalog::build(config);
+    let mut acc: HashMap<String, (f64, usize)> = HashMap::new();
+
+    for trace in golden {
+        checker::replay(trace, |t, env| {
+            for assertion in &catalog {
+                if t < assertion.grace
+                    || assertion.temporal == crate::assertion::Temporal::Eventually
+                {
+                    continue;
+                }
+                let observed = match &assertion.condition {
+                    Condition::AtMost { expr, .. } => expr.eval(env),
+                    // For AtLeast the binding direction is "how low does it
+                    // go"; store the negated value so one max-accumulator
+                    // serves both directions.
+                    Condition::AtLeast { expr, .. } => expr.eval(env).map(|v| -v),
+                    Condition::Fresh { signal, .. } => env.age(signal),
+                };
+                if let Some(v) = observed {
+                    let slot = acc
+                        .entry(assertion.id.as_str().to_owned())
+                        .or_insert((f64::NEG_INFINITY, 0));
+                    slot.0 = slot.0.max(v);
+                    slot.1 += 1;
+                }
+            }
+        });
+    }
+
+    acc.into_iter()
+        .map(|(id, (worst, samples))| {
+            let assertion = catalog
+                .iter()
+                .find(|a| a.id.as_str() == id)
+                .expect("accumulated ids come from the catalog");
+            let mined = match &assertion.condition {
+                Condition::AtMost { .. } | Condition::Fresh { .. } => {
+                    (worst * mining.margin).max(mining.floor)
+                }
+                // Undo the negation: observed minimum is -worst; widen downward.
+                Condition::AtLeast { .. } => {
+                    let min = -worst;
+                    min - (mining.margin - 1.0) * min.abs() - mining.floor
+                }
+            };
+            let observed = match &assertion.condition {
+                Condition::AtLeast { .. } => -worst,
+                _ => worst,
+            };
+            (
+                id,
+                MinedBound {
+                    observed,
+                    mined,
+                    samples,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Mines a full [`Thresholds`] set: fields with mined evidence are replaced,
+/// the rest keep the values from `config.thresholds`.
+pub fn mine_thresholds(
+    config: &CatalogConfig,
+    golden: &[&Trace],
+    mining: &MiningConfig,
+) -> Thresholds {
+    let bounds = mine_bounds(config, golden, mining);
+    let mut t = config.thresholds;
+    let get = |id: &str| bounds.get(id).map(|b| b.mined);
+    if let Some(v) = get("A1") {
+        t.a1_max_xtrack = v;
+    }
+    if let Some(v) = get("A2") {
+        t.a2_max_heading_err = v;
+    }
+    if let Some(v) = get("A3") {
+        t.a3_max_speed_err = v;
+    }
+    if let Some(v) = get("A4") {
+        t.a4_max_steer_cmd = v;
+    }
+    if let Some(v) = get("A5") {
+        t.a5_max_steer_rate = v;
+    }
+    if let Some(v) = get("A6") {
+        t.a6_max_speed_gap = v;
+    }
+    if let Some(v) = get("A7") {
+        t.a7_max_gnss_jump = v;
+    }
+    if let Some(v) = get("A8") {
+        t.a8_max_yaw_residual = v;
+    }
+    if let Some(v) = get("A9") {
+        t.a9_min_progress_rate = v;
+    }
+    if let Some(v) = get("A10") {
+        t.a10_max_lat_accel = v;
+    }
+    if let Some(v) = get("A11") {
+        t.a11_max_innovation = v;
+    }
+    if let Some(v) = get("A13") {
+        t.a13_gnss_max_age = v;
+    }
+    if let Some(v) = get("A14") {
+        t.a14_max_compass_rate_gap = v;
+    }
+    if let Some(v) = get("A15") {
+        t.a15_max_accel_residual = v;
+    }
+    if let Some(v) = get("A16") {
+        t.a16_max_wheel_jitter = v;
+    }
+    t
+}
+
+/// Convenience: build a catalog whose thresholds were mined from `golden`.
+pub fn mined_catalog(
+    config: &CatalogConfig,
+    golden: &[&Trace],
+    mining: &MiningConfig,
+) -> Vec<Assertion> {
+    let thresholds = mine_thresholds(config, golden, mining);
+    catalog::build(&CatalogConfig {
+        thresholds,
+        ..*config
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adassure_trace::well_known as sig;
+
+    /// A synthetic golden trace with plausible clean-run magnitudes.
+    fn golden_trace(scale: f64) -> Trace {
+        let mut trace = Trace::new();
+        for i in 0..2000 {
+            let t = f64::from(i) * 0.01;
+            let wave = (t * 2.0).sin();
+            trace.record(sig::XTRACK_ERR, t, 0.2 * scale * wave);
+            trace.record(sig::HEADING_ERR, t, 0.05 * scale * wave);
+            trace.record(sig::EST_SPEED, t, 8.0 + 0.3 * wave);
+            trace.record(sig::TARGET_SPEED, t, 8.0);
+            trace.record(sig::STEER_CMD, t, 0.03 * wave);
+            trace.record(sig::WHEEL_SPEED, t, 8.0 + 0.2 * wave);
+            trace.record(sig::IMU_YAW_RATE, t, 0.01 * wave);
+            trace.record(sig::STEER_ACTUAL, t, 0.03 * wave);
+            trace.record(sig::COMPASS_HEADING, t, 0.01 * wave);
+            trace.record(sig::PROGRESS, t, 8.0 * t);
+            trace.record(sig::INNOVATION, t, 0.3 + 0.1 * wave);
+            if i % 10 == 0 {
+                trace.record(sig::GNSS_X, t, 8.0 * t);
+                trace.record(sig::GNSS_Y, t, 0.0);
+                if i > 0 {
+                    trace.record(sig::GNSS_JUMP, t, 0.8);
+                    trace.record(sig::GNSS_SPEED, t, 8.0 + 0.1 * wave);
+                }
+            }
+        }
+        trace
+    }
+
+    #[test]
+    fn mined_bounds_cover_observations_with_margin() {
+        let trace = golden_trace(1.0);
+        let bounds = mine_bounds(
+            &CatalogConfig::default(),
+            &[&trace],
+            &MiningConfig::default(),
+        );
+        let a1 = &bounds["A1"];
+        assert!(a1.observed <= 0.2 + 1e-9);
+        assert!((a1.mined - a1.observed * 1.3).abs() < 1e-9);
+        assert!(a1.samples > 1000);
+    }
+
+    #[test]
+    fn mined_catalog_is_clean_on_training_data() {
+        let trace = golden_trace(1.0);
+        let catalog = mined_catalog(
+            &CatalogConfig::default(),
+            &[&trace],
+            &MiningConfig::default(),
+        );
+        let report = checker::check(&catalog, &trace);
+        assert!(report.is_clean(), "{}", report.summary());
+    }
+
+    #[test]
+    fn mined_catalog_fires_on_larger_excursions() {
+        let train = golden_trace(1.0);
+        let test = golden_trace(12.0); // 12x the training envelope
+        let catalog = mined_catalog(
+            &CatalogConfig::default(),
+            &[&train],
+            &MiningConfig::default(),
+        );
+        let report = checker::check(&catalog, &test);
+        assert!(
+            report.violations_of("A1").count() > 0,
+            "{}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn multiple_golden_runs_take_the_envelope() {
+        let small = golden_trace(0.5);
+        let large = golden_trace(2.0);
+        let both = mine_bounds(
+            &CatalogConfig::default(),
+            &[&small, &large],
+            &MiningConfig::default(),
+        );
+        let only_small = mine_bounds(
+            &CatalogConfig::default(),
+            &[&small],
+            &MiningConfig::default(),
+        );
+        assert!(both["A1"].mined > only_small["A1"].mined);
+    }
+
+    #[test]
+    fn at_least_bounds_widen_downward() {
+        let trace = golden_trace(1.0);
+        let bounds = mine_bounds(
+            &CatalogConfig::default(),
+            &[&trace],
+            &MiningConfig::default(),
+        );
+        let a9 = &bounds["A9"];
+        // Progress rate is ~8 m/s on the golden run; the mined lower bound
+        // must sit below the observed minimum.
+        assert!(a9.mined < a9.observed);
+    }
+
+    #[test]
+    fn floor_protects_degenerate_data() {
+        let mut trace = Trace::new();
+        for i in 0..200 {
+            // Past the behavioural grace period so A1 accumulates samples.
+            let t = 10.0 + f64::from(i) * 0.01;
+            trace.record(sig::XTRACK_ERR, t, 0.0); // constant zero
+        }
+        let bounds = mine_bounds(
+            &CatalogConfig::default(),
+            &[&trace],
+            &MiningConfig::default(),
+        );
+        assert!(bounds["A1"].mined >= 1e-3);
+    }
+
+    #[test]
+    fn thresholds_keep_defaults_without_evidence() {
+        let mut trace = Trace::new();
+        trace.record(sig::XTRACK_ERR, 10.0, 0.1);
+        let t = mine_thresholds(
+            &CatalogConfig::default(),
+            &[&trace],
+            &MiningConfig::default(),
+        );
+        // A6 never became evaluable → default survives.
+        assert_eq!(t.a6_max_speed_gap, Thresholds::default().a6_max_speed_gap);
+    }
+}

@@ -1,0 +1,364 @@
+//! The incremental (online) assertion checker.
+//!
+//! [`OnlineChecker`] is designed to run *inside* a control loop: per cycle
+//! it takes the new signal samples, evaluates every assertion against the
+//! sample-and-hold environment, and advances each assertion's temporal
+//! state machine. Memory is bounded (one [`crate::expr::Env`] slot per
+//! signal, O(1) state per assertion) and no allocation happens on the
+//! steady-state path — the property benchmarked by experiment F3.
+//!
+//! The offline checker ([`crate::checker`]) replays recorded traces through
+//! this same type, so online and offline verdicts agree by construction.
+
+use adassure_trace::SignalId;
+
+use crate::assertion::{Assertion, Eval, Temporal};
+use crate::expr::Env;
+use crate::report::CheckReport;
+use crate::violation::Violation;
+
+#[derive(Debug)]
+struct MonitorState {
+    assertion: Assertion,
+    episode_start: Option<f64>,
+    alarmed_this_episode: bool,
+    ever_healthy: bool,
+    saw_first_sample: bool,
+    /// Index into the violation list of this episode's alarm, so recovery
+    /// can be stamped when the condition heals.
+    open_violation: Option<usize>,
+}
+
+/// The incremental checker.
+///
+/// # Example
+///
+/// ```
+/// use adassure_core::{Assertion, Condition, OnlineChecker, Severity, SignalExpr, Temporal};
+///
+/// let a = Assertion::new(
+///     "A1",
+///     "bounded cross-track error",
+///     Severity::Critical,
+///     Condition::AtMost { expr: SignalExpr::signal("xtrack_err").abs(), limit: 1.0 },
+/// );
+/// let mut checker = OnlineChecker::new([a]);
+/// checker.begin_cycle(0.0);
+/// checker.update("xtrack_err", 0.2);
+/// assert_eq!(checker.end_cycle(), 0);
+/// checker.begin_cycle(0.01);
+/// checker.update("xtrack_err", 2.0);
+/// assert_eq!(checker.end_cycle(), 1);
+/// ```
+#[derive(Debug)]
+pub struct OnlineChecker {
+    env: Env,
+    monitors: Vec<MonitorState>,
+    violations: Vec<Violation>,
+    cycle_open: bool,
+}
+
+impl OnlineChecker {
+    /// Creates a checker over an assertion catalog.
+    pub fn new(catalog: impl IntoIterator<Item = Assertion>) -> Self {
+        OnlineChecker {
+            env: Env::new(),
+            monitors: catalog
+                .into_iter()
+                .map(|assertion| MonitorState {
+                    assertion,
+                    episode_start: None,
+                    alarmed_this_episode: false,
+                    ever_healthy: false,
+                    saw_first_sample: false,
+                    open_violation: None,
+                })
+                .collect(),
+            violations: Vec::new(),
+            cycle_open: false,
+        }
+    }
+
+    /// Number of monitored assertions.
+    pub fn assertion_count(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// Opens a new control cycle at time `t`. Call before the cycle's
+    /// [`OnlineChecker::update`]s.
+    pub fn begin_cycle(&mut self, t: f64) {
+        self.env.set_time(t);
+        self.cycle_open = true;
+    }
+
+    /// Ingests one new signal sample for the open cycle.
+    pub fn update(&mut self, signal: impl Into<SignalId>, value: f64) {
+        debug_assert!(self.cycle_open, "update outside begin_cycle/end_cycle");
+        self.env.update(&signal.into(), value);
+    }
+
+    /// Closes the cycle: evaluates every assertion and advances temporal
+    /// state. Returns the number of *new* violations raised this cycle.
+    pub fn end_cycle(&mut self) -> usize {
+        let t = self.env.now();
+        let before = self.violations.len();
+        for monitor in &mut self.monitors {
+            if t < monitor.assertion.grace {
+                continue;
+            }
+            match monitor.assertion.condition.eval(&self.env) {
+                Eval::Unknown => {
+                    // Not enough data yet: treat as neutral, reset episodes.
+                    monitor.episode_start = None;
+                    monitor.alarmed_this_episode = false;
+                    monitor.open_violation = None;
+                }
+                Eval::Healthy => {
+                    if let Some(idx) = monitor.open_violation.take() {
+                        self.violations[idx].recovered = Some(t);
+                    }
+                    monitor.episode_start = None;
+                    monitor.alarmed_this_episode = false;
+                    monitor.ever_healthy = true;
+                    monitor.saw_first_sample = true;
+                }
+                Eval::Violated(value) => {
+                    monitor.saw_first_sample = true;
+                    let onset = *monitor.episode_start.get_or_insert(t);
+                    let should_alarm = match monitor.assertion.temporal {
+                        Temporal::Immediate => !monitor.alarmed_this_episode,
+                        Temporal::Sustained(d) => {
+                            !monitor.alarmed_this_episode && t - onset >= d
+                        }
+                        Temporal::Eventually => false, // judged at finish()
+                    };
+                    if should_alarm {
+                        monitor.alarmed_this_episode = true;
+                        monitor.open_violation = Some(self.violations.len());
+                        self.violations.push(Violation {
+                            assertion: monitor.assertion.id.clone(),
+                            severity: monitor.assertion.severity,
+                            onset,
+                            detected: t,
+                            value,
+                            recovered: None,
+                        });
+                    }
+                }
+            }
+        }
+        self.cycle_open = false;
+        self.violations.len() - before
+    }
+
+    /// Violations raised so far, in detection order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Finalises the run at `end_time`: judges [`Temporal::Eventually`]
+    /// assertions (those that never held raise a violation at `end_time`)
+    /// and produces the report.
+    pub fn finish(mut self, end_time: f64) -> CheckReport {
+        for monitor in &mut self.monitors {
+            if monitor.assertion.temporal == Temporal::Eventually
+                && monitor.saw_first_sample
+                && !monitor.ever_healthy
+            {
+                self.violations.push(Violation {
+                    assertion: monitor.assertion.id.clone(),
+                    severity: monitor.assertion.severity,
+                    onset: monitor.assertion.grace,
+                    detected: end_time,
+                    value: f64::NAN,
+                    recovered: None,
+                });
+            }
+        }
+        CheckReport::new(self.violations, end_time, self.monitors.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assertion::{Condition, Severity};
+    use crate::expr::SignalExpr;
+
+    fn bound_assertion(limit: f64) -> Assertion {
+        Assertion::new(
+            "A1",
+            "bounded x",
+            Severity::Critical,
+            Condition::AtMost {
+                expr: SignalExpr::signal("x").abs(),
+                limit,
+            },
+        )
+    }
+
+    fn drive(checker: &mut OnlineChecker, samples: &[(f64, f64)]) -> usize {
+        let mut total = 0;
+        for &(t, v) in samples {
+            checker.begin_cycle(t);
+            checker.update("x", v);
+            total += checker.end_cycle();
+        }
+        total
+    }
+
+    #[test]
+    fn immediate_fires_once_per_episode() {
+        let mut c = OnlineChecker::new([bound_assertion(1.0)]);
+        let n = drive(
+            &mut c,
+            &[(0.0, 0.5), (0.1, 2.0), (0.2, 2.5), (0.3, 0.1), (0.4, 3.0)],
+        );
+        assert_eq!(n, 2, "two episodes, one alarm each");
+        assert_eq!(c.violations()[0].onset, 0.1);
+        assert_eq!(c.violations()[1].onset, 0.4);
+    }
+
+    #[test]
+    fn sustained_debounces_glitches() {
+        let a = bound_assertion(1.0).with_temporal(Temporal::Sustained(0.25));
+        let mut c = OnlineChecker::new([a]);
+        // A 0.1 s glitch must not alarm.
+        let n = drive(&mut c, &[(0.0, 2.0), (0.1, 0.0), (0.2, 0.0)]);
+        assert_eq!(n, 0);
+        // A sustained excursion must.
+        let n = drive(
+            &mut c,
+            &[(0.3, 2.0), (0.4, 2.0), (0.5, 2.0), (0.6, 2.0)],
+        );
+        assert_eq!(n, 1);
+        let v = &c.violations()[0];
+        assert_eq!(v.onset, 0.3);
+        assert!((v.detected - 0.55).abs() < 0.06, "{}", v.detected);
+    }
+
+    #[test]
+    fn grace_period_masks_startup() {
+        let a = bound_assertion(1.0).with_grace(0.5);
+        let mut c = OnlineChecker::new([a]);
+        let n = drive(&mut c, &[(0.0, 9.0), (0.4, 9.0)]);
+        assert_eq!(n, 0, "violations inside grace are ignored");
+        let n = drive(&mut c, &[(0.6, 9.0)]);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn unknown_signals_do_not_fire() {
+        let mut c = OnlineChecker::new([bound_assertion(1.0)]);
+        c.begin_cycle(0.0);
+        c.update("unrelated", 99.0);
+        assert_eq!(c.end_cycle(), 0);
+    }
+
+    #[test]
+    fn eventually_judged_at_finish() {
+        let goal = Assertion::new(
+            "A12",
+            "goal reached",
+            Severity::Warning,
+            Condition::AtLeast {
+                expr: SignalExpr::signal("progress"),
+                limit: 100.0,
+            },
+        )
+        .with_temporal(Temporal::Eventually);
+
+        // Run that reaches the goal: clean.
+        let mut c = OnlineChecker::new([goal.clone()]);
+        drive_progress(&mut c, &[(0.0, 10.0), (1.0, 120.0)]);
+        let report = c.finish(2.0);
+        assert!(report.is_clean());
+
+        // Run that never reaches it: violation at end time.
+        let mut c = OnlineChecker::new([goal.clone()]);
+        drive_progress(&mut c, &[(0.0, 10.0), (1.0, 50.0)]);
+        let report = c.finish(2.0);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].detected, 2.0);
+
+        // Run where the signal never appears: neutral, no violation.
+        let c = OnlineChecker::new([goal]);
+        let report = c.finish(2.0);
+        assert!(report.is_clean(), "missing signal must stay neutral");
+    }
+
+    fn drive_progress(checker: &mut OnlineChecker, samples: &[(f64, f64)]) {
+        for &(t, v) in samples {
+            checker.begin_cycle(t);
+            checker.update("progress", v);
+            checker.end_cycle();
+        }
+    }
+
+    #[test]
+    fn fresh_condition_fires_on_staleness() {
+        let a = Assertion::new(
+            "A13",
+            "gnss fresh",
+            Severity::Critical,
+            Condition::Fresh {
+                signal: "gnss_x".into(),
+                max_age: 0.3,
+            },
+        );
+        let mut c = OnlineChecker::new([a]);
+        c.begin_cycle(0.0);
+        c.update("gnss_x", 1.0);
+        assert_eq!(c.end_cycle(), 0);
+        // Clock advances without updates; other signals keep cycles coming.
+        let mut fired = 0;
+        for i in 1..10 {
+            c.begin_cycle(f64::from(i) * 0.1);
+            c.update("other", 0.0);
+            fired += c.end_cycle();
+        }
+        assert_eq!(fired, 1, "stale fix alarms exactly once per episode");
+        assert!(c.violations()[0].detected > 0.3);
+    }
+
+    #[test]
+    fn multiple_assertions_are_independent() {
+        let a1 = bound_assertion(1.0);
+        let a2 = Assertion::new(
+            "A2",
+            "y bounded",
+            Severity::Warning,
+            Condition::AtMost {
+                expr: SignalExpr::signal("y").abs(),
+                limit: 5.0,
+            },
+        );
+        let mut c = OnlineChecker::new([a1, a2]);
+        c.begin_cycle(0.0);
+        c.update("x", 3.0);
+        c.update("y", 2.0);
+        assert_eq!(c.end_cycle(), 1, "only A1 fires");
+        assert_eq!(c.violations()[0].assertion.as_str(), "A1");
+    }
+
+    #[test]
+    fn recovery_is_stamped_when_the_condition_heals() {
+        let mut c = OnlineChecker::new([bound_assertion(1.0)]);
+        drive(&mut c, &[(0.0, 5.0), (0.1, 5.0), (0.2, 0.0), (0.3, 5.0)]);
+        let violations = c.violations();
+        assert_eq!(violations.len(), 2);
+        assert_eq!(violations[0].recovered, Some(0.2));
+        assert_eq!(violations[1].recovered, None, "second episode still open");
+        assert_eq!(violations[0].episode_duration(), Some(0.2));
+    }
+
+    #[test]
+    fn report_carries_counts() {
+        let mut c = OnlineChecker::new([bound_assertion(1.0)]);
+        drive(&mut c, &[(0.0, 5.0)]);
+        let report = c.finish(1.0);
+        assert_eq!(report.assertions_checked, 1);
+        assert_eq!(report.end_time, 1.0);
+        assert_eq!(report.violations.len(), 1);
+    }
+}

@@ -1,0 +1,154 @@
+//! Check reports: the consumable result of a monitoring run.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use crate::assertion::AssertionId;
+use crate::violation::Violation;
+
+/// The result of checking one run against a catalog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckReport {
+    /// All violation episodes, in detection order.
+    pub violations: Vec<Violation>,
+    /// Time at which the run ended (s).
+    pub end_time: f64,
+    /// Number of assertions that were monitored.
+    pub assertions_checked: usize,
+}
+
+impl CheckReport {
+    /// Creates a report.
+    pub fn new(violations: Vec<Violation>, end_time: f64, assertions_checked: usize) -> Self {
+        CheckReport {
+            violations,
+            end_time,
+            assertions_checked,
+        }
+    }
+
+    /// Whether no assertion fired.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// The distinct assertions that fired.
+    pub fn violated_ids(&self) -> BTreeSet<AssertionId> {
+        self.violations
+            .iter()
+            .map(|v| v.assertion.clone())
+            .collect()
+    }
+
+    /// The earliest-detected violation, if any.
+    pub fn first_violation(&self) -> Option<&Violation> {
+        self.violations
+            .iter()
+            .min_by(|a, b| a.detected.total_cmp(&b.detected))
+    }
+
+    /// The earliest violation detected at or after `t0` (used to measure
+    /// detection latency against an attack starting at `t0`).
+    pub fn first_detection_after(&self, t0: f64) -> Option<&Violation> {
+        self.violations
+            .iter()
+            .filter(|v| v.detected >= t0)
+            .min_by(|a, b| a.detected.total_cmp(&b.detected))
+    }
+
+    /// Detection latency against an attack starting at `attack_start`:
+    /// seconds from attack start to the first subsequent alarm. `None` when
+    /// the attack was never detected.
+    pub fn detection_latency(&self, attack_start: f64) -> Option<f64> {
+        self.first_detection_after(attack_start)
+            .map(|v| v.detected - attack_start)
+    }
+
+    /// Violations of a particular assertion.
+    pub fn violations_of<'a>(&'a self, id: &'a str) -> impl Iterator<Item = &'a Violation> + 'a {
+        self.violations
+            .iter()
+            .filter(move |v| v.assertion.as_str() == id)
+    }
+
+    /// A human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "checked {} assertions over {:.1} s: {} violation(s)",
+            self.assertions_checked,
+            self.end_time,
+            self.violations.len()
+        );
+        for v in &self.violations {
+            let _ = writeln!(out, "  {v}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assertion::Severity;
+
+    fn violation(id: &str, detected: f64) -> Violation {
+        Violation {
+            assertion: AssertionId::new(id),
+            severity: Severity::Warning,
+            onset: detected - 0.1,
+            detected,
+            value: 1.0,
+            recovered: None,
+        }
+    }
+
+    fn report() -> CheckReport {
+        CheckReport::new(
+            vec![violation("A2", 5.0), violation("A1", 3.0), violation("A2", 8.0)],
+            10.0,
+            14,
+        )
+    }
+
+    #[test]
+    fn clean_and_ids() {
+        assert!(CheckReport::new(vec![], 1.0, 14).is_clean());
+        let ids: Vec<String> = report()
+            .violated_ids()
+            .iter()
+            .map(|i| i.as_str().to_owned())
+            .collect();
+        assert_eq!(ids, ["A1", "A2"]);
+    }
+
+    #[test]
+    fn first_violation_is_earliest_detected() {
+        assert_eq!(report().first_violation().unwrap().detected, 3.0);
+    }
+
+    #[test]
+    fn detection_latency_after_attack() {
+        let r = report();
+        assert_eq!(r.detection_latency(4.0), Some(1.0));
+        assert_eq!(r.detection_latency(9.0), None);
+        assert_eq!(r.detection_latency(0.0), Some(3.0));
+    }
+
+    #[test]
+    fn violations_of_filters_by_id() {
+        assert_eq!(report().violations_of("A2").count(), 2);
+        assert_eq!(report().violations_of("A9").count(), 0);
+    }
+
+    #[test]
+    fn summary_mentions_everything() {
+        let text = report().summary();
+        assert!(text.contains("14 assertions"));
+        assert!(text.contains("3 violation(s)"));
+        assert!(text.contains("A1"));
+    }
+}

@@ -1,0 +1,582 @@
+//! A textual specification language for assertions.
+//!
+//! Lets a catalog live in a plain-text file next to the vehicle
+//! configuration instead of in Rust code:
+//!
+//! ```text
+//! # ADAssure catalog excerpt
+//! A1 critical: |xtrack_err| <= 1.5 sustained 0.3 grace 8 -- bounded cross-track error
+//! A6 critical: |gnss_speed - wheel_speed| <= 2.0 sustained 0.25 grace 5 -- speed consistency
+//! A9 critical: d(progress)/dt >= -30 grace 3 -- no progress regression
+//! A12 warning: progress >= 270 eventually -- goal eventually reached
+//! A13 critical: fresh(gnss_x) <= 0.5 grace 3 -- GNSS keeps fixing
+//! ```
+//!
+//! The expression grammar is exactly what [`SignalExpr`]'s `Display`
+//! produces, so `parse_expr(expr.to_string())` round-trips (a property the
+//! test suite checks):
+//!
+//! ```text
+//! expr    := term (('+' | '-') term)*
+//! term    := factor ('*' factor)*
+//! factor  := number | signal | '|' expr '|' | '(' expr ')' | '-' factor
+//!          | 'd(' signal ')/dt' | 'dang(' signal ')/dt'
+//!          | 'tan(' expr ')' | 'angdiff(' expr ',' expr ')'
+//! ```
+
+use std::fmt;
+
+use adassure_trace::SignalId;
+
+use crate::assertion::{Assertion, AssertionId, Condition, Severity, Temporal};
+use crate::expr::SignalExpr;
+
+/// Errors produced while parsing a specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseSpecError {
+    /// 1-based line of the offending text (0 for single-expression parses).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "spec parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseSpecError {}
+
+fn err(message: impl Into<String>) -> ParseSpecError {
+    ParseSpecError {
+        line: 0,
+        message: message.into(),
+    }
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Number(f64),
+    Ident(String),
+    Plus,
+    Minus,
+    Star,
+    Pipe,
+    LParen,
+    RParen,
+    Comma,
+    /// The `d(` opener of a derivative.
+    DOpen,
+    /// The `dang(` opener of an angular derivative.
+    DangOpen,
+    /// The `)/dt` closer of a derivative.
+    DtClose,
+}
+
+fn lex(input: &str) -> Result<Vec<Token>, ParseSpecError> {
+    let mut tokens = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' => i += 1,
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '|' => {
+                tokens.push(Token::Pipe);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                if input[i..].starts_with(")/dt") {
+                    tokens.push(Token::DtClose);
+                    i += 4;
+                } else {
+                    tokens.push(Token::RParen);
+                    i += 1;
+                }
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '0'..='9' | '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, '0'..='9' | '.' | 'e' | 'E')
+                {
+                    // Accept exponent signs only right after e/E.
+                    i += 1;
+                    if i < bytes.len()
+                        && matches!(bytes[i - 1] as char, 'e' | 'E')
+                        && matches!(bytes[i] as char, '+' | '-')
+                    {
+                        i += 1;
+                    }
+                }
+                let text = &input[start..i];
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| err(format!("invalid number `{text}`")))?;
+                tokens.push(Token::Number(value));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && matches!(bytes[i] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
+                {
+                    i += 1;
+                }
+                let word = &input[start..i];
+                // `d(` / `dang(` introduce derivatives.
+                if i < bytes.len() && bytes[i] as char == '(' && word == "d" {
+                    tokens.push(Token::DOpen);
+                    i += 1;
+                } else if i < bytes.len() && bytes[i] as char == '(' && word == "dang" {
+                    tokens.push(Token::DangOpen);
+                    i += 1;
+                } else {
+                    tokens.push(Token::Ident(word.to_owned()));
+                }
+            }
+            other => return Err(err(format!("unexpected character `{other}`"))),
+        }
+    }
+    Ok(tokens)
+}
+
+// --------------------------------------------------------------- parser --
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, token: &Token) -> Result<(), ParseSpecError> {
+        match self.next() {
+            Some(t) if t == *token => Ok(()),
+            other => Err(err(format!("expected {token:?}, found {other:?}"))),
+        }
+    }
+
+    fn expr(&mut self) -> Result<SignalExpr, ParseSpecError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek() {
+                Some(Token::Plus) => {
+                    self.pos += 1;
+                    lhs = lhs.add(self.term()?);
+                }
+                Some(Token::Minus) => {
+                    self.pos += 1;
+                    lhs = lhs.sub(self.term()?);
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<SignalExpr, ParseSpecError> {
+        let mut lhs = self.factor()?;
+        while self.peek() == Some(&Token::Star) {
+            self.pos += 1;
+            lhs = lhs.mul(self.factor()?);
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<SignalExpr, ParseSpecError> {
+        match self.next() {
+            Some(Token::Number(v)) => Ok(SignalExpr::constant(v)),
+            // `neg()` folds `-<number>` into a negative constant.
+            Some(Token::Minus) => Ok(self.factor()?.neg()),
+            Some(Token::Pipe) => {
+                let inner = self.expr()?;
+                self.expect(&Token::Pipe)?;
+                Ok(inner.abs())
+            }
+            Some(Token::LParen) => {
+                let inner = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::DOpen) => {
+                let signal = self.signal_name()?;
+                self.expect(&Token::DtClose)?;
+                Ok(SignalExpr::derivative(signal))
+            }
+            Some(Token::DangOpen) => {
+                let signal = self.signal_name()?;
+                self.expect(&Token::DtClose)?;
+                Ok(SignalExpr::angular_derivative(signal))
+            }
+            Some(Token::Ident(word)) => match word.as_str() {
+                "tan" => {
+                    self.expect(&Token::LParen)?;
+                    let inner = self.expr()?;
+                    self.expect(&Token::RParen)?;
+                    Ok(inner.tan())
+                }
+                "angdiff" => {
+                    self.expect(&Token::LParen)?;
+                    let a = self.expr()?;
+                    self.expect(&Token::Comma)?;
+                    let b = self.expr()?;
+                    self.expect(&Token::RParen)?;
+                    Ok(a.angle_diff(b))
+                }
+                _ => Ok(SignalExpr::signal(word)),
+            },
+            other => Err(err(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+
+    fn signal_name(&mut self) -> Result<SignalId, ParseSpecError> {
+        match self.next() {
+            Some(Token::Ident(word)) => Ok(SignalId::new(word)),
+            other => Err(err(format!("expected a signal name, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses a single expression.
+///
+/// # Errors
+///
+/// Returns [`ParseSpecError`] describing the first syntactic problem.
+///
+/// # Example
+///
+/// ```
+/// use adassure_core::spec::parse_expr;
+///
+/// let e = parse_expr("|gnss_speed - wheel_speed|")?;
+/// assert_eq!(e.to_string(), "|(gnss_speed - wheel_speed)|");
+/// # Ok::<(), adassure_core::spec::ParseSpecError>(())
+/// ```
+pub fn parse_expr(input: &str) -> Result<SignalExpr, ParseSpecError> {
+    let mut parser = Parser {
+        tokens: lex(input)?,
+        pos: 0,
+    };
+    let expr = parser.expr()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(err(format!(
+            "trailing tokens after expression: {:?}",
+            &parser.tokens[parser.pos..]
+        )));
+    }
+    Ok(expr)
+}
+
+/// Parses one assertion line:
+/// `<id> [info|warning|critical]: <condition> [sustained <s>] [eventually] [grace <s>] [-- <description>]`.
+///
+/// # Errors
+///
+/// Returns [`ParseSpecError`] describing the first problem.
+pub fn parse_assertion(input: &str) -> Result<Assertion, ParseSpecError> {
+    let (body, description) = match input.split_once("--") {
+        Some((b, d)) => (b.trim(), d.trim().to_owned()),
+        None => (input.trim(), String::new()),
+    };
+    let (head, rest) = body
+        .split_once(':')
+        .ok_or_else(|| err("missing `:` after assertion id"))?;
+
+    let mut head_parts = head.split_whitespace();
+    let id = head_parts
+        .next()
+        .ok_or_else(|| err("missing assertion id"))?;
+    let severity = match head_parts.next() {
+        None => Severity::Warning,
+        Some("info") => Severity::Info,
+        Some("warning") => Severity::Warning,
+        Some("critical") => Severity::Critical,
+        Some(other) => return Err(err(format!("unknown severity `{other}`"))),
+    };
+    if head_parts.next().is_some() {
+        return Err(err("unexpected tokens before `:`"));
+    }
+
+    // Split trailing clauses (sustained/eventually/grace) off the condition.
+    let mut condition_text = rest.trim().to_owned();
+    let mut temporal = Temporal::Immediate;
+    let mut grace = 0.0;
+    loop {
+        let words: Vec<&str> = condition_text.split_whitespace().collect();
+        if words.len() >= 2 && (words[words.len() - 2] == "sustained" || words[words.len() - 2] == "grace") {
+            let value: f64 = words[words.len() - 1]
+                .parse()
+                .map_err(|_| err(format!("invalid duration `{}`", words[words.len() - 1])))?;
+            if words[words.len() - 2] == "sustained" {
+                temporal = Temporal::Sustained(value);
+            } else {
+                grace = value;
+            }
+            condition_text = words[..words.len() - 2].join(" ");
+        } else if words.last() == Some(&"eventually") {
+            temporal = Temporal::Eventually;
+            condition_text = words[..words.len() - 1].join(" ");
+        } else {
+            break;
+        }
+    }
+
+    let condition = parse_condition(&condition_text)?;
+    Ok(Assertion {
+        id: AssertionId::new(id),
+        description,
+        severity,
+        condition,
+        temporal,
+        grace,
+    })
+}
+
+fn parse_condition(text: &str) -> Result<Condition, ParseSpecError> {
+    let (lhs, op, rhs) = if let Some((l, r)) = text.split_once("<=") {
+        (l, "<=", r)
+    } else if let Some((l, r)) = text.split_once(">=") {
+        (l, ">=", r)
+    } else {
+        return Err(err("condition must contain `<=` or `>=`"));
+    };
+    let limit: f64 = rhs
+        .trim()
+        .parse()
+        .map_err(|_| err(format!("threshold must be a number, got `{}`", rhs.trim())))?;
+    let lhs = lhs.trim();
+
+    // fresh(<signal>) is special syntax for the freshness condition.
+    if let Some(inner) = lhs
+        .strip_prefix("fresh(")
+        .and_then(|s| s.strip_suffix(')'))
+    {
+        if op != "<=" {
+            return Err(err("freshness conditions only support `<=`"));
+        }
+        return Ok(Condition::Fresh {
+            signal: SignalId::new(inner.trim()),
+            max_age: limit,
+        });
+    }
+
+    let expr = parse_expr(lhs)?;
+    Ok(match op {
+        "<=" => Condition::AtMost { expr, limit },
+        _ => Condition::AtLeast { expr, limit },
+    })
+}
+
+/// Parses a whole catalog: one assertion per line, `#` comments and blank
+/// lines ignored.
+///
+/// # Errors
+///
+/// Returns [`ParseSpecError`] with the 1-based line number of the first
+/// offending line.
+pub fn parse_catalog(input: &str) -> Result<Vec<Assertion>, ParseSpecError> {
+    let mut out = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let assertion = parse_assertion(line).map_err(|mut e| {
+            e.line = idx + 1;
+            e
+        })?;
+        out.push(assertion);
+    }
+    Ok(out)
+}
+
+/// Formats an assertion back into the specification syntax accepted by
+/// [`parse_assertion`] (round-trips).
+pub fn format_assertion(assertion: &Assertion) -> String {
+    let severity = match assertion.severity {
+        Severity::Info => "info",
+        Severity::Warning => "warning",
+        Severity::Critical => "critical",
+    };
+    let condition = match &assertion.condition {
+        Condition::AtMost { expr, limit } => format!("{expr} <= {limit}"),
+        Condition::AtLeast { expr, limit } => format!("{expr} >= {limit}"),
+        Condition::Fresh { signal, max_age } => format!("fresh({signal}) <= {max_age}"),
+    };
+    let temporal = match assertion.temporal {
+        Temporal::Immediate => String::new(),
+        Temporal::Sustained(d) => format!(" sustained {d}"),
+        Temporal::Eventually => " eventually".to_owned(),
+    };
+    let grace = if assertion.grace > 0.0 {
+        format!(" grace {}", assertion.grace)
+    } else {
+        String::new()
+    };
+    let description = if assertion.description.is_empty() {
+        String::new()
+    } else {
+        format!(" -- {}", assertion.description)
+    };
+    format!(
+        "{} {severity}: {condition}{temporal}{grace}{description}",
+        assertion.id
+    )
+}
+
+/// Formats a whole catalog, one assertion per line.
+pub fn format_catalog(catalog: &[Assertion]) -> String {
+    catalog
+        .iter()
+        .map(format_assertion)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{self, CatalogConfig};
+
+    #[test]
+    fn parses_simple_bounds() {
+        let a = parse_assertion("A1 critical: |xtrack_err| <= 1.5 sustained 0.3 grace 8 -- bounded error").unwrap();
+        assert_eq!(a.id.as_str(), "A1");
+        assert_eq!(a.severity, Severity::Critical);
+        assert_eq!(a.condition.threshold(), 1.5);
+        assert_eq!(a.temporal, Temporal::Sustained(0.3));
+        assert_eq!(a.grace, 8.0);
+        assert_eq!(a.description, "bounded error");
+    }
+
+    #[test]
+    fn parses_at_least_and_negative_thresholds() {
+        let a = parse_assertion("A9: d(progress)/dt >= -30 grace 3").unwrap();
+        assert_eq!(a.severity, Severity::Warning, "default severity");
+        assert!(matches!(a.condition, Condition::AtLeast { .. }));
+        assert_eq!(a.condition.threshold(), -30.0);
+    }
+
+    #[test]
+    fn parses_freshness() {
+        let a = parse_assertion("A13 critical: fresh(gnss_x) <= 0.5").unwrap();
+        match &a.condition {
+            Condition::Fresh { signal, max_age } => {
+                assert_eq!(signal.as_str(), "gnss_x");
+                assert_eq!(*max_age, 0.5);
+            }
+            other => panic!("unexpected condition {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_eventually() {
+        let a = parse_assertion("A12 warning: progress >= 270 eventually").unwrap();
+        assert_eq!(a.temporal, Temporal::Eventually);
+    }
+
+    #[test]
+    fn parses_derivatives_and_functions() {
+        let e = parse_expr("|dang(compass_heading)/dt - imu_yaw_rate|").unwrap();
+        assert_eq!(e.to_string(), "|(dang(compass_heading)/dt - imu_yaw_rate)|");
+        let e = parse_expr("wheel_speed * tan(steer_actual) * 0.37").unwrap();
+        assert!(e.to_string().contains("tan(steer_actual)"));
+        let e = parse_expr("angdiff(est_heading, true_heading)").unwrap();
+        assert!(matches!(e, SignalExpr::AngleDiff(_, _)));
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter() {
+        let e = parse_expr("a + b * c").unwrap();
+        assert_eq!(e.to_string(), "(a + (b * c))");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_assertion("no colon here").is_err());
+        assert!(parse_assertion("A1: xtrack_err < 1.5").is_err(), "unsupported operator");
+        assert!(parse_assertion("A1 loud: x <= 1").is_err(), "unknown severity");
+        assert!(parse_expr("x +").is_err());
+        assert!(parse_expr("(x").is_err());
+        assert!(parse_expr("|x").is_err());
+        assert!(parse_expr("x ?").is_err());
+        assert!(parse_assertion("A1: fresh(gnss_x) >= 0.5").is_err());
+    }
+
+    #[test]
+    fn catalog_parsing_skips_comments_and_reports_lines() {
+        let text = "\n# comment\nA1: |x| <= 1\n\nA2: y >= 0\n";
+        let cat = parse_catalog(text).unwrap();
+        assert_eq!(cat.len(), 2);
+
+        let bad = "# fine\nA1: |x| <=\n";
+        let e = parse_catalog(bad).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn builtin_catalog_round_trips_through_the_spec_language() {
+        let cat = catalog::build(&CatalogConfig::default().with_goal_distance(300.0));
+        let text = format_catalog(&cat);
+        let parsed = parse_catalog(&text).expect("formatted catalog must parse");
+        assert_eq!(parsed.len(), cat.len());
+        for (a, b) in cat.iter().zip(&parsed) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.severity, b.severity);
+            assert_eq!(a.temporal, b.temporal);
+            assert_eq!(a.grace, b.grace);
+            assert_eq!(a.condition, b.condition, "{}", a.id);
+        }
+    }
+
+    #[test]
+    fn parsed_catalog_checks_traces_identically() {
+        use adassure_trace::Trace;
+        let cat = catalog::build(&CatalogConfig::default());
+        let text = format_catalog(&cat);
+        let parsed = parse_catalog(&text).unwrap();
+
+        let mut trace = Trace::new();
+        for i in 0..3000 {
+            let t = f64::from(i) * 0.01;
+            trace.record("xtrack_err", t, if t > 20.0 { 5.0 } else { 0.1 });
+            trace.record("innovation", t, 0.2);
+        }
+        let a = crate::checker::check(&cat, &trace);
+        let b = crate::checker::check(&parsed, &trace);
+        assert_eq!(a, b);
+        assert!(!a.is_clean());
+    }
+}

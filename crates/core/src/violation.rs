@@ -1,0 +1,86 @@
+//! Violation records: what fired, when it started, when it was detected.
+
+use serde::{Deserialize, Serialize};
+
+use crate::assertion::{AssertionId, Severity};
+
+/// One assertion-violation episode.
+///
+/// `onset` is when the healthy-state condition first went bad in this
+/// episode; `detected` is when the temporal operator raised the alarm
+/// (after debouncing). `detected - onset` is the monitor-internal delay;
+/// detection latency against an attack is measured from the attack start to
+/// `detected`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Violation {
+    /// Which assertion fired.
+    pub assertion: AssertionId,
+    /// Severity copied from the assertion.
+    pub severity: Severity,
+    /// Start of the violating episode (s).
+    pub onset: f64,
+    /// Alarm instant (s).
+    pub detected: f64,
+    /// Value of the monitored expression at the alarm instant (for
+    /// freshness assertions: the observed staleness).
+    pub value: f64,
+    /// Instant the condition returned to healthy, ending the episode;
+    /// `None` while the episode is still open (or the run ended inside it).
+    pub recovered: Option<f64>,
+}
+
+impl Violation {
+    /// Monitor-internal delay between onset and alarm (s).
+    pub fn debounce_delay(&self) -> f64 {
+        self.detected - self.onset
+    }
+
+    /// Duration of the episode, when it recovered within the run (s).
+    pub fn episode_duration(&self) -> Option<f64> {
+        self.recovered.map(|r| r - self.onset)
+    }
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} violated at t={:.2}s (onset {:.2}s, value {:.3})",
+            self.assertion, self.detected, self.onset, self.value
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_and_display() {
+        let v = Violation {
+            assertion: AssertionId::new("A1"),
+            severity: Severity::Critical,
+            onset: 2.0,
+            detected: 2.3,
+            value: 1.8,
+            recovered: None,
+        };
+        assert!((v.debounce_delay() - 0.3).abs() < 1e-12);
+        let text = v.to_string();
+        assert!(text.contains("A1") && text.contains("2.30"));
+        assert_eq!(v.episode_duration(), None);
+    }
+
+    #[test]
+    fn episode_duration_uses_recovery() {
+        let v = Violation {
+            assertion: AssertionId::new("A6"),
+            severity: Severity::Warning,
+            onset: 5.0,
+            detected: 5.2,
+            value: 3.0,
+            recovered: Some(9.0),
+        };
+        assert_eq!(v.episode_duration(), Some(4.0));
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests of the assertion engine's invariants.
+
+use adassure_core::assertion::{Assertion, Condition, Severity, Temporal};
+use adassure_core::catalog::{CatalogConfig, Thresholds};
+use adassure_core::expr::Env;
+use adassure_core::mining::{mine_bounds, MiningConfig};
+use adassure_core::{checker, OnlineChecker, SignalExpr};
+use adassure_trace::{SignalId, Trace};
+use proptest::prelude::*;
+
+/// Random expression trees for the spec-language round-trip property.
+fn arb_expr() -> impl Strategy<Value = SignalExpr> {
+    let leaf = prop_oneof![
+        "[a-z][a-z0-9_]{0,8}".prop_map(SignalExpr::signal),
+        (-1e3f64..1e3).prop_map(SignalExpr::constant),
+        "[a-z][a-z0-9_]{0,8}".prop_map(SignalExpr::derivative),
+        "[a-z][a-z0-9_]{0,8}".prop_map(SignalExpr::angular_derivative),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(SignalExpr::abs),
+            inner.clone().prop_map(SignalExpr::neg),
+            inner.clone().prop_map(SignalExpr::tan),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.angle_diff(b)),
+        ]
+    })
+}
+
+fn bounded_assertion(limit: f64, temporal: Temporal) -> Assertion {
+    Assertion::new(
+        "P1",
+        "property assertion",
+        Severity::Warning,
+        Condition::AtMost {
+            expr: SignalExpr::signal("x").abs(),
+            limit,
+        },
+    )
+    .with_temporal(temporal)
+}
+
+proptest! {
+    #[test]
+    fn expressions_obey_algebraic_identities(
+        a in -1e6f64..1e6,
+        b in -1e6f64..1e6,
+    ) {
+        let mut env = Env::new();
+        env.set_time(0.0);
+        env.update(&SignalId::new("a"), a);
+        env.update(&SignalId::new("b"), b);
+
+        let abs = SignalExpr::signal("a").abs().eval(&env).unwrap();
+        prop_assert!(abs >= 0.0);
+        let self_diff = SignalExpr::signal("a")
+            .sub(SignalExpr::signal("a"))
+            .eval(&env)
+            .unwrap();
+        prop_assert_eq!(self_diff, 0.0);
+        let sum = SignalExpr::signal("a").add(SignalExpr::signal("b")).eval(&env).unwrap();
+        prop_assert_eq!(sum, a + b);
+        let neg = SignalExpr::signal("a").neg().eval(&env).unwrap();
+        prop_assert_eq!(neg, -a);
+        let angdiff = SignalExpr::signal("a")
+            .angle_diff(SignalExpr::signal("b"))
+            .eval(&env)
+            .unwrap();
+        prop_assert!(angdiff > -std::f64::consts::PI - 1e-9);
+        prop_assert!(angdiff <= std::f64::consts::PI + 1e-9);
+    }
+
+    #[test]
+    fn env_derivative_matches_last_step(
+        v0 in -1e3f64..1e3,
+        v1 in -1e3f64..1e3,
+        dt in 0.001f64..1.0,
+    ) {
+        let id = SignalId::new("x");
+        let mut env = Env::new();
+        env.set_time(0.0);
+        env.update(&id, v0);
+        env.set_time(dt);
+        env.update(&id, v1);
+        let d = env.derivative(&id).unwrap();
+        prop_assert!((d - (v1 - v0) / dt).abs() < 1e-9 * d.abs().max(1.0));
+    }
+
+    #[test]
+    fn violations_are_well_formed_for_random_signals(
+        values in proptest::collection::vec(-10.0f64..10.0, 1..200),
+        limit in 0.1f64..5.0,
+        sustain in 0.0f64..0.2,
+    ) {
+        let mut c = OnlineChecker::new([bounded_assertion(limit, Temporal::Sustained(sustain))]);
+        for (i, v) in values.iter().enumerate() {
+            c.begin_cycle(i as f64 * 0.01);
+            c.update("x", *v);
+            c.end_cycle();
+        }
+        for v in c.violations() {
+            prop_assert!(v.onset <= v.detected + 1e-12);
+            prop_assert!(v.detected - v.onset + 1e-9 >= sustain);
+            prop_assert!(v.value.abs() > limit);
+        }
+    }
+
+    #[test]
+    fn signals_below_threshold_never_fire(
+        values in proptest::collection::vec(-1.0f64..1.0, 1..100),
+    ) {
+        let mut c = OnlineChecker::new([bounded_assertion(1.5, Temporal::Immediate)]);
+        for (i, v) in values.iter().enumerate() {
+            c.begin_cycle(i as f64 * 0.01);
+            c.update("x", *v);
+            prop_assert_eq!(c.end_cycle(), 0);
+        }
+    }
+
+    #[test]
+    fn offline_equals_online_for_random_traces(
+        values in proptest::collection::vec(-5.0f64..5.0, 1..150),
+        limit in 0.5f64..3.0,
+    ) {
+        let assertion = bounded_assertion(limit, Temporal::Sustained(0.05));
+        let mut trace = Trace::new();
+        for (i, v) in values.iter().enumerate() {
+            trace.record("x", i as f64 * 0.01, *v);
+        }
+        let offline = checker::check(std::slice::from_ref(&assertion), &trace);
+
+        let mut online = OnlineChecker::new([assertion]);
+        for (i, v) in values.iter().enumerate() {
+            online.begin_cycle(i as f64 * 0.01);
+            online.update("x", *v);
+            online.end_cycle();
+        }
+        let online = online.finish(trace.span().unwrap().1);
+        prop_assert_eq!(offline, online);
+    }
+
+    #[test]
+    fn mined_thresholds_cover_their_training_data(
+        values in proptest::collection::vec(-3.0f64..3.0, 20..200),
+        margin in 1.05f64..2.0,
+    ) {
+        // Feed an xtrack-like signal past the behavioural grace period.
+        let mut trace = Trace::new();
+        for (i, v) in values.iter().enumerate() {
+            trace.record("xtrack_err", 10.0 + i as f64 * 0.01, *v);
+        }
+        let config = CatalogConfig {
+            thresholds: Thresholds::default(),
+            ..CatalogConfig::default()
+        };
+        let mining = MiningConfig { margin, floor: 1e-6 };
+        let bounds = mine_bounds(&config, &[&trace], &mining);
+        let a1 = &bounds["A1"];
+        let observed_max = values.iter().map(|v| v.abs()).fold(0.0f64, f64::max);
+        prop_assert!((a1.observed - observed_max).abs() < 1e-9);
+        prop_assert!(a1.mined + 1e-12 >= a1.observed, "mined below observation");
+    }
+
+    #[test]
+    fn spec_language_round_trips_arbitrary_expressions(expr in arb_expr()) {
+        use adassure_core::spec::parse_expr;
+        let text = expr.to_string();
+        let parsed = parse_expr(&text)
+            .unwrap_or_else(|e| panic!("failed to parse own Display `{text}`: {e}"));
+        // Structural equality, except constants go through decimal printing;
+        // compare via Display instead (stable fixed point).
+        prop_assert_eq!(parsed.to_string(), text);
+    }
+
+    #[test]
+    fn threshold_scaling_is_linear(
+        limit in 0.1f64..100.0,
+        factor in 0.1f64..10.0,
+    ) {
+        let a = bounded_assertion(limit, Temporal::Immediate);
+        let scaled = a.with_scaled_threshold(factor);
+        prop_assert!((scaled.condition.threshold() - limit * factor).abs() < 1e-9 * limit.max(1.0));
+    }
+}

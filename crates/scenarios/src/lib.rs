@@ -1,0 +1,29 @@
+//! Scenario library for ADAssure experiments.
+//!
+//! A [`Scenario`] bundles a reference track, a cruise speed and a time
+//! budget — the workloads every experiment table sweeps over. The [`run`]
+//! module wires a scenario, a controller stack and an optional attack tap
+//! into one call.
+//!
+//! # Example
+//!
+//! ```
+//! use adassure_scenarios::{Scenario, ScenarioKind, run};
+//! use adassure_control::ControllerKind;
+//!
+//! # fn main() -> Result<(), adassure_sim::SimError> {
+//! let scenario = Scenario::of_kind(ScenarioKind::Straight)?;
+//! let out = run::clean(&scenario, ControllerKind::PurePursuit, 42)?;
+//! assert!(out.reached_goal);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod library;
+pub mod run;
+mod scenario;
+
+pub use scenario::{Scenario, ScenarioKind};

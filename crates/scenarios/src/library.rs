@@ -1,0 +1,164 @@
+//! Track geometry of the standard scenarios.
+
+use adassure_sim::geometry::Vec2;
+use adassure_sim::track::Track;
+use adassure_sim::SimError;
+
+const SPACING: f64 = 1.0;
+
+/// 400 m straight road heading east.
+pub fn straight() -> Result<Track, SimError> {
+    Track::line([0.0, 0.0], [400.0, 0.0], SPACING)
+}
+
+/// S-curve: east, bend left, bend right, east again (~350 m).
+pub fn s_curve() -> Result<Track, SimError> {
+    let mut points: Vec<Vec2> = Vec::new();
+    // First straight.
+    for i in 0..=8 {
+        points.push(Vec2::new(f64::from(i) * 10.0, 0.0));
+    }
+    // Left arc (radius 40, quarter turn) centred at (80, 40).
+    let c1 = Vec2::new(80.0, 40.0);
+    for i in 1..=12 {
+        let a = -std::f64::consts::FRAC_PI_2 + std::f64::consts::FRAC_PI_2 * f64::from(i) / 12.0;
+        points.push(c1 + Vec2::from_angle(a) * 40.0);
+    }
+    // Right arc (radius 40, quarter turn) back to eastbound, centred at (160, 40).
+    let c2 = Vec2::new(160.0, 40.0);
+    for i in 1..=12 {
+        let a = std::f64::consts::PI - std::f64::consts::FRAC_PI_2 * f64::from(i) / 12.0;
+        points.push(c2 + Vec2::from_angle(a) * 40.0);
+    }
+    // Final straight.
+    for i in 1..=10 {
+        points.push(Vec2::new(160.0 + f64::from(i) * 10.0, 80.0));
+    }
+    Track::from_waypoints(points, SPACING, false)
+}
+
+/// Straight road with a 3.5 m lane-change offset between x = 150 and 180.
+pub fn lane_change() -> Result<Track, SimError> {
+    let mut points: Vec<Vec2> = Vec::new();
+    for i in 0..=15 {
+        points.push(Vec2::new(f64::from(i) * 10.0, 0.0));
+    }
+    // Smooth sigmoid transition over 30 m.
+    for i in 1..=6 {
+        let x = 150.0 + f64::from(i) * 5.0;
+        let s = f64::from(i) / 6.0;
+        let y = 3.5 * (3.0 * s * s - 2.0 * s * s * s); // smoothstep
+        points.push(Vec2::new(x, y));
+    }
+    for i in 1..=15 {
+        points.push(Vec2::new(180.0 + f64::from(i) * 10.0, 3.5));
+    }
+    Track::from_waypoints(points, SPACING, false)
+}
+
+/// Closed urban block: 120 × 80 m rectangle with 20 m rounded corners.
+pub fn urban_loop() -> Result<Track, SimError> {
+    let r = 20.0;
+    let (w, h) = (120.0, 80.0);
+    let mut points: Vec<Vec2> = Vec::new();
+    let corner = |centre: Vec2, start: f64, out: &mut Vec<Vec2>| {
+        for i in 0..=8 {
+            let a = start + std::f64::consts::FRAC_PI_2 * f64::from(i) / 8.0;
+            out.push(centre + Vec2::from_angle(a) * r);
+        }
+    };
+    // Bottom edge west→east.
+    for i in 0..=8 {
+        points.push(Vec2::new(r + f64::from(i) * (w - 2.0 * r) / 8.0, 0.0));
+    }
+    corner(Vec2::new(w - r, r), -std::f64::consts::FRAC_PI_2, &mut points);
+    // Right edge south→north.
+    for i in 1..=6 {
+        points.push(Vec2::new(w, r + f64::from(i) * (h - 2.0 * r) / 6.0));
+    }
+    corner(Vec2::new(w - r, h - r), 0.0, &mut points);
+    // Top edge east→west.
+    for i in 1..=8 {
+        points.push(Vec2::new(w - r - f64::from(i) * (w - 2.0 * r) / 8.0, h));
+    }
+    corner(Vec2::new(r, h - r), std::f64::consts::FRAC_PI_2, &mut points);
+    // Left edge north→south.
+    for i in 1..=6 {
+        points.push(Vec2::new(0.0, h - r - f64::from(i) * (h - 2.0 * r) / 6.0));
+    }
+    corner(Vec2::new(r, r), std::f64::consts::PI, &mut points);
+    Track::from_waypoints(points, SPACING, true)
+}
+
+/// Closed circle of 25 m radius.
+pub fn circle() -> Result<Track, SimError> {
+    Track::circle([0.0, 25.0], 25.0, SPACING)
+}
+
+/// Out-and-back hairpin: 120 m east, 180° turn of 25 m radius, 120 m west.
+pub fn hairpin() -> Result<Track, SimError> {
+    let mut points: Vec<Vec2> = Vec::new();
+    for i in 0..=12 {
+        points.push(Vec2::new(f64::from(i) * 10.0, 0.0));
+    }
+    let c = Vec2::new(120.0, 25.0);
+    for i in 1..=16 {
+        let a = -std::f64::consts::FRAC_PI_2 + std::f64::consts::PI * f64::from(i) / 16.0;
+        points.push(c + Vec2::from_angle(a) * 25.0);
+    }
+    for i in 1..=12 {
+        points.push(Vec2::new(120.0 - f64::from(i) * 10.0, 50.0));
+    }
+    Track::from_waypoints(points, SPACING, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tracks_build_with_expected_topology() {
+        assert!(!straight().unwrap().is_closed());
+        assert!(!s_curve().unwrap().is_closed());
+        assert!(!lane_change().unwrap().is_closed());
+        assert!(urban_loop().unwrap().is_closed());
+        assert!(circle().unwrap().is_closed());
+        assert!(!hairpin().unwrap().is_closed());
+    }
+
+    #[test]
+    fn lengths_are_plausible() {
+        assert!((straight().unwrap().length() - 400.0).abs() < 2.0);
+        let s = s_curve().unwrap().length();
+        assert!(s > 280.0 && s < 400.0, "{s}");
+        let u = urban_loop().unwrap().length();
+        // Perimeter ≈ 2(80+40) + 2(120-40) + 2πr ≈ 366.
+        assert!(u > 330.0 && u < 400.0, "{u}");
+        let h = hairpin().unwrap().length();
+        assert!(h > 300.0 && h < 350.0, "{h}");
+    }
+
+    #[test]
+    fn curvatures_are_bounded_for_the_vehicle() {
+        // Minimum turn radius of the car: L / tan(max_steer) ≈ 4.4 m. All
+        // scenario curvature must stay well under 1/4.4.
+        for track in [s_curve().unwrap(), urban_loop().unwrap(), hairpin().unwrap()] {
+            let mut worst = 0.0f64;
+            let mut s = 0.0;
+            while s < track.length() {
+                worst = worst.max(track.curvature_at(s).abs());
+                s += 1.0;
+            }
+            // Discretisation kinks at straight→arc joints spike the local
+            // estimate; anything well below the vehicle limit (~0.23) is fine.
+            assert!(worst < 0.12, "curvature {worst} too sharp");
+        }
+    }
+
+    #[test]
+    fn lane_change_offset_is_reached() {
+        let t = lane_change().unwrap();
+        let end = t.point_at(t.length());
+        assert!((end.y - 3.5).abs() < 0.1, "{end:?}");
+    }
+}

@@ -1,0 +1,103 @@
+//! One-call runners wiring scenarios, stacks and attack taps together.
+
+use adassure_control::pipeline::{AdStack, StackConfig};
+use adassure_control::ControllerKind;
+use adassure_sim::engine::{Engine, SensorTap, SimConfig, SimOutput};
+use adassure_sim::SimError;
+
+use crate::Scenario;
+
+/// The engine (simulator + track) for a scenario and seed.
+pub fn engine_for(scenario: &Scenario, seed: u64) -> Engine {
+    let config = SimConfig::new(scenario.duration).with_seed(seed);
+    Engine::new(config, scenario.track.clone())
+}
+
+/// The standard stack configuration for a scenario.
+pub fn stack_config(scenario: &Scenario, controller: ControllerKind) -> StackConfig {
+    StackConfig::new(controller).with_cruise_speed(scenario.cruise_speed)
+}
+
+/// Runs the scenario with no attack (a golden run).
+///
+/// # Errors
+///
+/// Propagates simulator errors ([`SimError`]); a standard scenario with a
+/// standard stack should never produce one.
+pub fn clean(
+    scenario: &Scenario,
+    controller: ControllerKind,
+    seed: u64,
+) -> Result<SimOutput, SimError> {
+    let mut stack = AdStack::new(stack_config(scenario, controller), scenario.track.clone());
+    engine_for(scenario, seed).run(&mut stack)
+}
+
+/// Runs the scenario with an attack tap between sensors and stack.
+///
+/// # Errors
+///
+/// Propagates simulator errors ([`SimError`]).
+pub fn with_tap(
+    scenario: &Scenario,
+    controller: ControllerKind,
+    seed: u64,
+    tap: &mut dyn SensorTap,
+) -> Result<SimOutput, SimError> {
+    let mut stack = AdStack::new(stack_config(scenario, controller), scenario.track.clone());
+    engine_for(scenario, seed).run_with_tap(&mut stack, tap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ScenarioKind;
+    use adassure_sim::sensor::SensorFrame;
+    use adassure_sim::vehicle::VehicleState;
+    use adassure_trace::well_known as sig;
+
+    #[test]
+    fn clean_run_reaches_goal_on_open_scenarios() {
+        for kind in [ScenarioKind::Straight, ScenarioKind::LaneChange] {
+            let scenario = Scenario::of_kind(kind).unwrap();
+            let out = clean(&scenario, ControllerKind::PurePursuit, 1).unwrap();
+            assert!(out.reached_goal, "{kind}");
+        }
+    }
+
+    #[test]
+    fn closed_scenarios_keep_lapping() {
+        let scenario = Scenario::of_kind(ScenarioKind::Circle).unwrap();
+        let out = clean(&scenario, ControllerKind::Stanley, 2).unwrap();
+        let progress = out.trace.require(sig::TRUE_PROGRESS).unwrap();
+        let total = progress.last().unwrap().value;
+        assert!(
+            total > scenario.route_length(),
+            "should complete more than one lap: {total}"
+        );
+    }
+
+    #[test]
+    fn taps_are_applied() {
+        struct KillGnss;
+        impl SensorTap for KillGnss {
+            fn tap(&mut self, frame: &mut SensorFrame, _truth: &VehicleState) {
+                frame.gnss = None;
+            }
+        }
+        let scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+        let out = with_tap(&scenario, ControllerKind::PurePursuit, 3, &mut KillGnss).unwrap();
+        assert!(
+            out.trace.series_by_name(sig::GNSS_X).is_none(),
+            "no fixes should have been recorded"
+        );
+    }
+
+    #[test]
+    fn seeds_differentiate_runs() {
+        let scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+        let a = clean(&scenario, ControllerKind::PurePursuit, 10).unwrap();
+        let b = clean(&scenario, ControllerKind::PurePursuit, 11).unwrap();
+        assert_ne!(a.trace, b.trace);
+    }
+}

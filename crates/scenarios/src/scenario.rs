@@ -1,0 +1,141 @@
+use serde::{Deserialize, Serialize};
+
+use adassure_sim::track::Track;
+use adassure_sim::SimError;
+
+use crate::library;
+
+/// The standard scenario set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScenarioKind {
+    /// 400 m straight road.
+    Straight,
+    /// ~350 m S-curve with two opposing bends.
+    SCurve,
+    /// Straight road with a lane-change offset halfway.
+    LaneChange,
+    /// Closed urban block: rectangle with rounded corners.
+    UrbanLoop,
+    /// Closed circle of 25 m radius.
+    Circle,
+    /// Out-and-back hairpin: straight, 180° turn, straight back.
+    Hairpin,
+}
+
+impl ScenarioKind {
+    /// All scenario kinds, in a stable order.
+    pub const ALL: [ScenarioKind; 6] = [
+        ScenarioKind::Straight,
+        ScenarioKind::SCurve,
+        ScenarioKind::LaneChange,
+        ScenarioKind::UrbanLoop,
+        ScenarioKind::Circle,
+        ScenarioKind::Hairpin,
+    ];
+
+    /// Short snake-case name (stable; used as row keys in reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::Straight => "straight",
+            ScenarioKind::SCurve => "s_curve",
+            ScenarioKind::LaneChange => "lane_change",
+            ScenarioKind::UrbanLoop => "urban_loop",
+            ScenarioKind::Circle => "circle",
+            ScenarioKind::Hairpin => "hairpin",
+        }
+    }
+}
+
+impl std::fmt::Display for ScenarioKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A complete experiment workload.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Which member of the standard set this is.
+    pub kind: ScenarioKind,
+    /// The reference track.
+    pub track: Track,
+    /// Cruise speed on straights (m/s).
+    pub cruise_speed: f64,
+    /// Simulated time budget (s).
+    pub duration: f64,
+    /// Canonical attack activation time used by the experiments (s).
+    pub attack_start: f64,
+}
+
+impl Scenario {
+    /// Builds a standard scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::InvalidTrack`] from track construction (which
+    /// would indicate a bug in the library definitions).
+    pub fn of_kind(kind: ScenarioKind) -> Result<Scenario, SimError> {
+        let (track, cruise_speed, duration) = match kind {
+            ScenarioKind::Straight => (library::straight()?, 8.0, 75.0),
+            ScenarioKind::SCurve => (library::s_curve()?, 8.0, 90.0),
+            ScenarioKind::LaneChange => (library::lane_change()?, 8.0, 70.0),
+            ScenarioKind::UrbanLoop => (library::urban_loop()?, 7.0, 90.0),
+            ScenarioKind::Circle => (library::circle()?, 7.0, 70.0),
+            ScenarioKind::Hairpin => (library::hairpin()?, 7.0, 95.0),
+        };
+        Ok(Scenario {
+            kind,
+            track,
+            cruise_speed,
+            duration,
+            attack_start: 12.0,
+        })
+    }
+
+    /// All standard scenarios.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a library track fails to build (a bug, covered by tests).
+    pub fn all() -> Vec<Scenario> {
+        ScenarioKind::ALL
+            .iter()
+            .map(|&k| Scenario::of_kind(k).expect("library scenarios are valid"))
+            .collect()
+    }
+
+    /// The scenario's route length (m).
+    pub fn route_length(&self) -> f64 {
+        self.track.length()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_build() {
+        let all = Scenario::all();
+        assert_eq!(all.len(), 6);
+        for s in &all {
+            assert!(s.route_length() > 50.0, "{} too short", s.kind);
+            assert!(s.duration > 0.0 && s.cruise_speed > 0.0);
+            assert!(s.attack_start < s.duration);
+        }
+    }
+
+    #[test]
+    fn closed_and_open_mix() {
+        let all = Scenario::all();
+        let closed = all.iter().filter(|s| s.track.is_closed()).count();
+        assert_eq!(closed, 2, "urban loop + circle are closed");
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            ScenarioKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 6);
+    }
+}

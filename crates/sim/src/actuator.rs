@@ -1,0 +1,198 @@
+//! Actuator models: first-order lag with rate and range saturation.
+//!
+//! Controllers command an ideal steering angle / acceleration; the physical
+//! actuator follows with lag and limited slew. The gap between command and
+//! actuation matters to ADAssure because assertion A5 (steering-rate bound)
+//! is stated over the *command*, while the vehicle responds to the *actual*
+//! value — an attack that saturates the actuator shows up as a growing gap.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a first-order actuator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActuatorParams {
+    /// First-order time constant (s). Zero means the actuator follows the
+    /// command instantly (subject to rate/range limits).
+    pub time_constant: f64,
+    /// Maximum slew rate (units/s).
+    pub rate_limit: f64,
+    /// Lower output bound.
+    pub min: f64,
+    /// Upper output bound.
+    pub max: f64,
+}
+
+impl ActuatorParams {
+    /// Typical steering actuator: 80 ms lag, 0.7 rad/s slew, ±0.55 rad.
+    pub fn steering() -> Self {
+        ActuatorParams {
+            time_constant: 0.08,
+            rate_limit: 0.7,
+            min: -0.55,
+            max: 0.55,
+        }
+    }
+
+    /// Typical drivetrain/brake actuator: 150 ms lag, 8 (m/s²)/s slew,
+    /// accelerations in [-6, 4] m/s².
+    pub fn drivetrain() -> Self {
+        ActuatorParams {
+            time_constant: 0.15,
+            rate_limit: 8.0,
+            min: -6.0,
+            max: 4.0,
+        }
+    }
+
+    /// An ideal actuator with the given range (no lag, unlimited slew).
+    pub fn ideal(min: f64, max: f64) -> Self {
+        ActuatorParams {
+            time_constant: 0.0,
+            rate_limit: f64::INFINITY,
+            min,
+            max,
+        }
+    }
+}
+
+/// A stateful first-order actuator.
+///
+/// # Example
+///
+/// ```
+/// use adassure_sim::actuator::{Actuator, ActuatorParams};
+///
+/// let mut act = Actuator::new(ActuatorParams::ideal(-1.0, 1.0));
+/// assert_eq!(act.step(0.5, 0.01), 0.5);   // ideal: follows immediately
+/// assert_eq!(act.step(9.0, 0.01), 1.0);   // range saturation
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Actuator {
+    params: ActuatorParams,
+    value: f64,
+}
+
+impl Actuator {
+    /// Creates an actuator at output zero (clamped into range).
+    pub fn new(params: ActuatorParams) -> Self {
+        Actuator {
+            params,
+            value: 0.0f64.clamp(params.min, params.max),
+        }
+    }
+
+    /// Current output value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// The actuator's configuration.
+    pub fn params(&self) -> &ActuatorParams {
+        &self.params
+    }
+
+    /// Advances the actuator by `dt` seconds toward `command`, returning the
+    /// new output.
+    ///
+    /// Non-finite commands are treated as "hold the previous command", so a
+    /// misbehaving controller cannot poison the physics.
+    pub fn step(&mut self, command: f64, dt: f64) -> f64 {
+        let target = if command.is_finite() {
+            command.clamp(self.params.min, self.params.max)
+        } else {
+            self.value
+        };
+        let desired = if self.params.time_constant > 0.0 {
+            // Exact discretisation of dv/dt = (target - v) / tau.
+            let alpha = 1.0 - (-dt / self.params.time_constant).exp();
+            self.value + alpha * (target - self.value)
+        } else {
+            target
+        };
+        let max_delta = self.params.rate_limit * dt;
+        let delta = (desired - self.value).clamp(-max_delta, max_delta);
+        self.value = (self.value + delta).clamp(self.params.min, self.params.max);
+        self.value
+    }
+
+    /// Resets the actuator output (clamped into range).
+    pub fn reset(&mut self, value: f64) {
+        self.value = value.clamp(self.params.min, self.params.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ideal_actuator_follows_and_saturates() {
+        let mut a = Actuator::new(ActuatorParams::ideal(-1.0, 1.0));
+        assert_eq!(a.step(0.3, 0.01), 0.3);
+        assert_eq!(a.step(-5.0, 0.01), -1.0);
+    }
+
+    #[test]
+    fn lag_approaches_target_exponentially() {
+        let params = ActuatorParams {
+            time_constant: 0.1,
+            rate_limit: f64::INFINITY,
+            min: -10.0,
+            max: 10.0,
+        };
+        let mut a = Actuator::new(params);
+        // After one time constant the output reaches ~63% of the step.
+        let mut t = 0.0;
+        while t < 0.1 - 1e-9 {
+            a.step(1.0, 0.001);
+            t += 0.001;
+        }
+        assert!((a.value() - 0.632).abs() < 0.01, "{}", a.value());
+    }
+
+    #[test]
+    fn rate_limit_bounds_slew() {
+        let params = ActuatorParams {
+            time_constant: 0.0,
+            rate_limit: 1.0,
+            min: -10.0,
+            max: 10.0,
+        };
+        let mut a = Actuator::new(params);
+        let out = a.step(5.0, 0.1);
+        assert!((out - 0.1).abs() < 1e-12);
+        // Slew is symmetric.
+        a.reset(0.0);
+        let out = a.step(-5.0, 0.1);
+        assert!((out + 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_command_holds_position() {
+        let mut a = Actuator::new(ActuatorParams::ideal(-1.0, 1.0));
+        a.step(0.5, 0.01);
+        assert_eq!(a.step(f64::NAN, 0.01), 0.5);
+        assert_eq!(a.step(f64::INFINITY, 0.01), 0.5);
+    }
+
+    #[test]
+    fn reset_clamps_into_range() {
+        let mut a = Actuator::new(ActuatorParams::ideal(-1.0, 1.0));
+        a.reset(7.0);
+        assert_eq!(a.value(), 1.0);
+    }
+
+    #[test]
+    fn new_starts_inside_range() {
+        let a = Actuator::new(ActuatorParams::ideal(2.0, 3.0));
+        assert_eq!(a.value(), 2.0);
+    }
+
+    #[test]
+    fn steering_defaults_are_sane() {
+        let p = ActuatorParams::steering();
+        assert!(p.min < 0.0 && p.max > 0.0 && p.rate_limit > 0.0);
+        let p = ActuatorParams::drivetrain();
+        assert!(p.min < 0.0 && p.max > 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+use std::fmt;
+
+use adassure_trace::TraceError;
+
+/// Errors produced by simulator construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A track was built from fewer than two distinct waypoints, or with a
+    /// non-positive resample spacing.
+    InvalidTrack(String),
+    /// A configuration value was out of range (non-positive `dt`, negative
+    /// duration, non-finite parameter, ...).
+    InvalidConfig(String),
+    /// The physics integrator produced a non-finite state, usually because a
+    /// driver returned non-finite controls.
+    NumericalDivergence {
+        /// Simulation time at which divergence was detected (s).
+        time: f64,
+    },
+    /// Trace recording failed.
+    Trace(TraceError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidTrack(msg) => write!(f, "invalid track: {msg}"),
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::NumericalDivergence { time } => {
+                write!(f, "simulation diverged to a non-finite state at t={time}")
+            }
+            SimError::Trace(err) => write!(f, "trace recording failed: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Trace(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for SimError {
+    fn from(err: TraceError) -> Self {
+        SimError::Trace(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SimError::InvalidTrack("too short".into())
+            .to_string()
+            .contains("too short"));
+        assert!(SimError::NumericalDivergence { time: 1.5 }
+            .to_string()
+            .contains("t=1.5"));
+    }
+
+    #[test]
+    fn trace_errors_convert() {
+        let err: SimError = TraceError::UnknownSignal("x".into()).into();
+        assert!(matches!(err, SimError::Trace(_)));
+        use std::error::Error;
+        assert!(err.source().is_some());
+    }
+}

@@ -1,0 +1,293 @@
+//! Planar geometry: vectors, poses and angle arithmetic.
+
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A 2-D vector / point in metres.
+///
+/// # Example
+///
+/// ```
+/// use adassure_sim::geometry::Vec2;
+///
+/// let a = Vec2::new(3.0, 4.0);
+/// assert_eq!(a.norm(), 5.0);
+/// assert_eq!(a + Vec2::new(1.0, -4.0), Vec2::new(4.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// East / x component (m).
+    pub x: f64,
+    /// North / y component (m).
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// The zero vector.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from components.
+    pub fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Unit vector at `angle` radians from the +x axis.
+    pub fn from_angle(angle: f64) -> Self {
+        Vec2::new(angle.cos(), angle.sin())
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Squared Euclidean norm (avoids the square root).
+    pub fn norm_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (z component of the 3-D cross product). Positive
+    /// when `other` lies counter-clockwise of `self`.
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Distance to another point.
+    pub fn distance(self, other: Vec2) -> f64 {
+        (self - other).norm()
+    }
+
+    /// Angle of the vector from the +x axis, in `(-pi, pi]`.
+    pub fn angle(self) -> f64 {
+        self.y.atan2(self.x)
+    }
+
+    /// The vector rotated counter-clockwise by `angle` radians.
+    pub fn rotated(self, angle: f64) -> Vec2 {
+        let (s, c) = angle.sin_cos();
+        Vec2::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+
+    /// The vector rotated 90° counter-clockwise.
+    pub fn perp(self) -> Vec2 {
+        Vec2::new(-self.y, self.x)
+    }
+
+    /// Unit vector in the same direction, or `None` for the zero vector.
+    pub fn normalized(self) -> Option<Vec2> {
+        let n = self.norm();
+        (n > 0.0).then(|| self * (1.0 / n))
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    pub fn lerp(self, other: Vec2, t: f64) -> Vec2 {
+        self + (other - self) * t
+    }
+
+    /// Whether both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    fn add_assign(&mut self, rhs: Vec2) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    fn sub_assign(&mut self, rhs: Vec2) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl From<[f64; 2]> for Vec2 {
+    fn from([x, y]: [f64; 2]) -> Self {
+        Vec2::new(x, y)
+    }
+}
+
+impl From<(f64, f64)> for Vec2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Vec2::new(x, y)
+    }
+}
+
+/// A planar pose: position plus heading.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Pose {
+    /// Position (m).
+    pub position: Vec2,
+    /// Heading (rad) in `(-pi, pi]`, measured counter-clockwise from +x.
+    pub heading: f64,
+}
+
+impl Pose {
+    /// Creates a pose.
+    pub fn new(position: impl Into<Vec2>, heading: f64) -> Self {
+        Pose {
+            position: position.into(),
+            heading: wrap_angle(heading),
+        }
+    }
+
+    /// Unit forward vector of the pose.
+    pub fn forward(self) -> Vec2 {
+        Vec2::from_angle(self.heading)
+    }
+}
+
+/// Wraps an angle to `(-pi, pi]`.
+///
+/// # Example
+///
+/// ```
+/// use adassure_sim::geometry::wrap_angle;
+/// use std::f64::consts::PI;
+///
+/// assert!((wrap_angle(3.0 * PI) - PI).abs() < 1e-12);
+/// assert!((wrap_angle(-3.5 * PI) - 0.5 * PI).abs() < 1e-12);
+/// ```
+pub fn wrap_angle(angle: f64) -> f64 {
+    use std::f64::consts::{PI, TAU};
+    let mut a = angle % TAU;
+    if a <= -PI {
+        a += TAU;
+    } else if a > PI {
+        a -= TAU;
+    }
+    a
+}
+
+/// Smallest signed difference `a - b` between two angles, in `(-pi, pi]`.
+pub fn angle_diff(a: f64, b: f64) -> f64 {
+    wrap_angle(a - b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Vec2::new(1.0, 2.0);
+        let b = Vec2::new(3.0, -1.0);
+        assert_eq!(a + b, Vec2::new(4.0, 1.0));
+        assert_eq!(a - b, Vec2::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Vec2::new(2.0, 4.0));
+        assert_eq!(-a, Vec2::new(-1.0, -2.0));
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn dot_cross_and_angles() {
+        let x = Vec2::new(1.0, 0.0);
+        let y = Vec2::new(0.0, 1.0);
+        assert_eq!(x.dot(y), 0.0);
+        assert_eq!(x.cross(y), 1.0);
+        assert_eq!(y.cross(x), -1.0);
+        assert!((y.angle() - FRAC_PI_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_and_perp() {
+        let x = Vec2::new(1.0, 0.0);
+        let r = x.rotated(FRAC_PI_2);
+        assert!((r.x).abs() < 1e-12);
+        assert!((r.y - 1.0).abs() < 1e-12);
+        assert_eq!(x.perp(), Vec2::new(0.0, 1.0));
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Vec2::new(3.0, 4.0).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+        assert_eq!(Vec2::ZERO.normalized(), None);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(2.0, 4.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 0.5), Vec2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn wrap_angle_stays_in_range() {
+        for k in -20..=20 {
+            let a = f64::from(k) * 0.7;
+            let w = wrap_angle(a);
+            assert!(w > -PI - 1e-12 && w <= PI + 1e-12, "{a} -> {w}");
+            // Wrapping must not change the direction.
+            assert!((wrap_angle(w - a)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn angle_diff_is_signed_shortest() {
+        assert!((angle_diff(0.1, -0.1) - 0.2).abs() < 1e-12);
+        assert!((angle_diff(-PI + 0.1, PI - 0.1) - 0.2).abs() < 1e-9);
+        assert!((angle_diff(PI - 0.1, -PI + 0.1) + 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pose_wraps_heading_and_exposes_forward() {
+        let p = Pose::new([1.0, 2.0], 3.0 * PI);
+        assert!((p.heading - PI).abs() < 1e-12);
+        let f = Pose::new([0.0, 0.0], FRAC_PI_2).forward();
+        assert!(f.x.abs() < 1e-12 && (f.y - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conversions_from_tuples_and_arrays() {
+        assert_eq!(Vec2::from([1.0, 2.0]), Vec2::new(1.0, 2.0));
+        assert_eq!(Vec2::from((1.0, 2.0)), Vec2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        assert!(Vec2::new(1.0, 2.0).is_finite());
+        assert!(!Vec2::new(f64::NAN, 0.0).is_finite());
+    }
+}

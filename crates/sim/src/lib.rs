@@ -1,0 +1,56 @@
+//! Deterministic 2-D driving-simulator substrate for the ADAssure
+//! reproduction.
+//!
+//! The original ADAssure evaluation ran on a real autonomous-driving
+//! platform; this crate substitutes it with a from-scratch simulator that
+//! produces the same *signal classes* with realistic closed-loop coupling:
+//!
+//! * [`geometry`] — planar vectors, poses and angle arithmetic;
+//! * [`vehicle`] — kinematic and dynamic bicycle models integrated with RK4;
+//! * [`actuator`] — first-order-lag actuators with rate and range limits;
+//! * [`sensor`] — GNSS / IMU / wheel-odometer / compass models with seeded
+//!   noise and per-sensor update rates;
+//! * [`track`] — arc-length-parameterised paths with projection and
+//!   curvature queries;
+//! * [`engine`] — the fixed-step closed-loop runner wiring sensors → (attack
+//!   taps) → a [`engine::Driver`] → actuators → physics, recording every
+//!   signal into an [`adassure_trace::Trace`].
+//!
+//! # Example
+//!
+//! ```
+//! use adassure_sim::engine::{Driver, DriveCtx, Engine, SimConfig};
+//! use adassure_sim::track::Track;
+//! use adassure_sim::vehicle::Controls;
+//! use adassure_trace::Trace;
+//!
+//! /// A driver that just holds the wheel straight at fixed throttle.
+//! struct Cruise;
+//! impl Driver for Cruise {
+//!     fn control(&mut self, _ctx: &DriveCtx<'_>, _trace: &mut Trace) -> Controls {
+//!         Controls { steer: 0.0, accel: 1.0 }
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), adassure_sim::SimError> {
+//! let track = Track::line([0.0, 0.0], [200.0, 0.0], 1.0)?;
+//! let config = SimConfig::new(10.0).with_seed(7);
+//! let out = Engine::new(config, track).run(&mut Cruise)?;
+//! assert!(out.final_state.speed > 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod actuator;
+pub mod engine;
+mod error;
+pub mod geometry;
+pub mod noise;
+pub mod sensor;
+pub mod track;
+pub mod vehicle;
+
+pub use error::SimError;

@@ -1,0 +1,120 @@
+//! Seeded noise generation for sensor models.
+//!
+//! The workspace avoids `rand_distr` (not on the approved dependency list);
+//! Gaussian samples are drawn with the Box–Muller transform on top of
+//! `rand`'s uniform source, which is plenty for sensor-noise purposes.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A Gaussian noise channel with constant bias.
+///
+/// `sample` returns `bias + N(0, std_dev²)` draws. A `std_dev` of zero turns
+/// the channel into a pure bias (useful in tests and golden runs).
+///
+/// # Example
+///
+/// ```
+/// use adassure_sim::noise::Gaussian;
+/// use rand::SeedableRng;
+///
+/// let noise = Gaussian::new(0.0, 1.0);
+/// let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+/// let x = noise.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gaussian {
+    /// Constant offset added to every sample.
+    pub bias: f64,
+    /// Standard deviation of the zero-mean component.
+    pub std_dev: f64,
+}
+
+impl Gaussian {
+    /// Creates a noise channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is non-finite.
+    pub fn new(bias: f64, std_dev: f64) -> Self {
+        assert!(
+            bias.is_finite() && std_dev.is_finite() && std_dev >= 0.0,
+            "gaussian parameters must be finite with non-negative std_dev"
+        );
+        Gaussian { bias, std_dev }
+    }
+
+    /// A noiseless channel (zero bias, zero deviation).
+    pub fn none() -> Self {
+        Gaussian::new(0.0, 0.0)
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.bias + self.std_dev * standard_normal(rng)
+    }
+}
+
+impl Default for Gaussian {
+    fn default() -> Self {
+        Gaussian::none()
+    }
+}
+
+/// Draws a standard-normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so the log is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.06, "var {var}");
+    }
+
+    #[test]
+    fn bias_shifts_samples() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = Gaussian::new(5.0, 0.0);
+        for _ in 0..10 {
+            assert_eq!(g.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let g = Gaussian::new(0.0, 2.0);
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(g.sample(&mut a), g.sample(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "gaussian parameters")]
+    fn negative_std_dev_panics() {
+        let _ = Gaussian::new(0.0, -1.0);
+    }
+
+    #[test]
+    fn default_is_noiseless() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert_eq!(Gaussian::default().sample(&mut rng), 0.0);
+    }
+}

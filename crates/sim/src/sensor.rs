@@ -1,0 +1,268 @@
+//! Sensor models: GNSS, wheel odometer, IMU and compass.
+//!
+//! Every control cycle the engine asks the [`SensorSuite`] for a
+//! [`SensorFrame`]; attack taps then mutate the frame *in place* before the
+//! driver sees it — exactly where a spoofing attack lands on a real
+//! platform. GNSS runs at its own (lower) update rate, so its field is an
+//! `Option` that is `Some` only on fix cycles.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::Vec2;
+use crate::noise::Gaussian;
+use crate::vehicle::VehicleState;
+
+/// One cycle's worth of sensor readings, *after* any attack taps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorFrame {
+    /// Timestamp (s).
+    pub time: f64,
+    /// GNSS position fix, present only on GNSS update cycles.
+    pub gnss: Option<Vec2>,
+    /// Wheel-odometry speed (m/s).
+    pub wheel_speed: f64,
+    /// IMU yaw rate (rad/s).
+    pub imu_yaw_rate: f64,
+    /// IMU longitudinal acceleration (m/s²).
+    pub imu_accel: f64,
+    /// Compass heading (rad).
+    pub compass: f64,
+}
+
+/// Noise and rate configuration of the sensor suite.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SensorConfig {
+    /// GNSS fix rate (Hz).
+    pub gnss_rate_hz: f64,
+    /// GNSS per-axis position noise.
+    pub gnss_noise: Gaussian,
+    /// Wheel-speed noise.
+    pub wheel_noise: Gaussian,
+    /// Wheel-speed quantisation step (m/s); zero disables quantisation.
+    pub wheel_quantum: f64,
+    /// IMU yaw-rate noise.
+    pub imu_yaw_noise: Gaussian,
+    /// IMU longitudinal-acceleration noise.
+    pub imu_accel_noise: Gaussian,
+    /// Compass heading noise.
+    pub compass_noise: Gaussian,
+}
+
+impl SensorConfig {
+    /// Realistic automotive-grade defaults (10 Hz GNSS at 0.3 m, 1σ).
+    pub fn automotive() -> Self {
+        SensorConfig {
+            gnss_rate_hz: 10.0,
+            gnss_noise: Gaussian::new(0.0, 0.3),
+            wheel_noise: Gaussian::new(0.0, 0.05),
+            wheel_quantum: 0.01,
+            imu_yaw_noise: Gaussian::new(0.0, 0.005),
+            imu_accel_noise: Gaussian::new(0.0, 0.05),
+            compass_noise: Gaussian::new(0.0, 0.01),
+        }
+    }
+
+    /// Noiseless sensors at the same rates — used for golden runs and tests
+    /// that need exact arithmetic.
+    pub fn ideal() -> Self {
+        SensorConfig {
+            gnss_rate_hz: 10.0,
+            gnss_noise: Gaussian::none(),
+            wheel_noise: Gaussian::none(),
+            wheel_quantum: 0.0,
+            imu_yaw_noise: Gaussian::none(),
+            imu_accel_noise: Gaussian::none(),
+            compass_noise: Gaussian::none(),
+        }
+    }
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        SensorConfig::automotive()
+    }
+}
+
+/// Stateful sensor suite producing one [`SensorFrame`] per control cycle.
+#[derive(Debug, Clone)]
+pub struct SensorSuite {
+    config: SensorConfig,
+    gnss_every: usize,
+    cycle: usize,
+}
+
+impl SensorSuite {
+    /// Creates a suite for a control loop running at fixed step `dt`.
+    ///
+    /// The GNSS decimation factor is derived from `dt` and
+    /// [`SensorConfig::gnss_rate_hz`], with a minimum of one fix per cycle.
+    pub fn new(config: SensorConfig, dt: f64) -> Self {
+        let gnss_every = if config.gnss_rate_hz > 0.0 {
+            ((1.0 / (config.gnss_rate_hz * dt)).round() as usize).max(1)
+        } else {
+            usize::MAX
+        };
+        SensorSuite {
+            config,
+            gnss_every,
+            cycle: 0,
+        }
+    }
+
+    /// The suite's configuration.
+    pub fn config(&self) -> &SensorConfig {
+        &self.config
+    }
+
+    /// Number of control cycles between GNSS fixes.
+    pub fn gnss_decimation(&self) -> usize {
+        self.gnss_every
+    }
+
+    /// Produces the sensor frame for the current cycle and advances the
+    /// cycle counter.
+    ///
+    /// `true_accel` is the longitudinal acceleration actually applied by the
+    /// drivetrain this cycle (the IMU measures physics, not the command).
+    pub fn sense<R: Rng + ?Sized>(
+        &mut self,
+        state: &VehicleState,
+        true_accel: f64,
+        time: f64,
+        rng: &mut R,
+    ) -> SensorFrame {
+        let gnss = if self.cycle % self.gnss_every == 0 {
+            Some(Vec2::new(
+                state.position.x + self.config.gnss_noise.sample(rng),
+                state.position.y + self.config.gnss_noise.sample(rng),
+            ))
+        } else {
+            None
+        };
+        let mut wheel = state.speed + self.config.wheel_noise.sample(rng);
+        if self.config.wheel_quantum > 0.0 {
+            wheel = (wheel / self.config.wheel_quantum).round() * self.config.wheel_quantum;
+        }
+        let frame = SensorFrame {
+            time,
+            gnss,
+            wheel_speed: wheel.max(0.0),
+            imu_yaw_rate: state.yaw_rate + self.config.imu_yaw_noise.sample(rng),
+            imu_accel: true_accel + self.config.imu_accel_noise.sample(rng),
+            compass: crate::geometry::wrap_angle(
+                state.heading + self.config.compass_noise.sample(rng),
+            ),
+        };
+        self.cycle += 1;
+        frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn moving_state() -> VehicleState {
+        let mut s = VehicleState::at([10.0, -5.0], 0.3);
+        s.speed = 7.0;
+        s.yaw_rate = 0.1;
+        s
+    }
+
+    #[test]
+    fn ideal_sensors_report_truth() {
+        let mut suite = SensorSuite::new(SensorConfig::ideal(), 0.01);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let f = suite.sense(&moving_state(), 1.5, 0.0, &mut rng);
+        let fix = f.gnss.unwrap();
+        assert_eq!(fix, Vec2::new(10.0, -5.0));
+        assert_eq!(f.wheel_speed, 7.0);
+        assert_eq!(f.imu_yaw_rate, 0.1);
+        assert_eq!(f.imu_accel, 1.5);
+        assert!((f.compass - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gnss_decimation_follows_rate() {
+        // 100 Hz loop, 10 Hz GNSS → fix every 10 cycles.
+        let mut suite = SensorSuite::new(SensorConfig::ideal(), 0.01);
+        assert_eq!(suite.gnss_decimation(), 10);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let state = moving_state();
+        let mut fixes = 0;
+        for i in 0..100 {
+            let f = suite.sense(&state, 0.0, i as f64 * 0.01, &mut rng);
+            if f.gnss.is_some() {
+                fixes += 1;
+            }
+        }
+        assert_eq!(fixes, 10);
+    }
+
+    #[test]
+    fn zero_gnss_rate_disables_fixes_after_first() {
+        let mut config = SensorConfig::ideal();
+        config.gnss_rate_hz = 0.0;
+        let mut suite = SensorSuite::new(config, 0.01);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let state = moving_state();
+        let first = suite.sense(&state, 0.0, 0.0, &mut rng);
+        assert!(first.gnss.is_some());
+        for i in 1..50 {
+            let f = suite.sense(&state, 0.0, i as f64 * 0.01, &mut rng);
+            assert!(f.gnss.is_none());
+        }
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let config = SensorConfig::automotive();
+        let state = moving_state();
+        let run = |seed| {
+            let mut suite = SensorSuite::new(config, 0.01);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..20)
+                .map(|i| suite.sense(&state, 0.0, i as f64 * 0.01, &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn wheel_speed_is_quantised_and_non_negative() {
+        let mut config = SensorConfig::ideal();
+        config.wheel_quantum = 0.5;
+        config.wheel_noise = Gaussian::new(-10.0, 0.0); // large negative bias
+        let mut suite = SensorSuite::new(config, 0.01);
+        let mut rng = SmallRng::seed_from_u64(0);
+        let f = suite.sense(&moving_state(), 0.0, 0.0, &mut rng);
+        assert_eq!(f.wheel_speed, 0.0, "clamped at zero");
+
+        let mut config = SensorConfig::ideal();
+        config.wheel_quantum = 0.5;
+        let mut suite = SensorSuite::new(config, 0.01);
+        let mut state = moving_state();
+        state.speed = 7.3;
+        let f = suite.sense(&state, 0.0, 0.0, &mut rng);
+        assert_eq!(f.wheel_speed, 7.5, "rounded to quantum");
+    }
+
+    #[test]
+    fn gaussian_noise_scatters_gnss() {
+        let mut suite = SensorSuite::new(SensorConfig::automotive(), 0.1);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let state = moving_state();
+        let mut max_err = 0.0f64;
+        for i in 0..100 {
+            let f = suite.sense(&state, 0.0, i as f64 * 0.1, &mut rng);
+            let fix = f.gnss.expect("0.1 s step at 10 Hz fixes every cycle");
+            max_err = max_err.max(fix.distance(state.position));
+        }
+        assert!(max_err > 0.1, "noise visible");
+        assert!(max_err < 3.0, "noise bounded (4 sigma-ish)");
+    }
+}

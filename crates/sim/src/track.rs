@@ -1,0 +1,514 @@
+//! Arc-length-parameterised reference paths.
+//!
+//! A [`Track`] is a polyline resampled at uniform spacing, supporting the
+//! three queries every AD controller and assertion needs:
+//!
+//! * `point_at(s)` / `heading_at(s)` / `curvature_at(s)` — geometry at an
+//!   arc-length station;
+//! * `project(point)` — nearest station, *signed* cross-track error
+//!   (positive when the point lies left of the path) and local tangent
+//!   heading;
+//! * `length()` / `is_closed()` — extent bookkeeping (closed tracks wrap).
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::{wrap_angle, Vec2};
+use crate::SimError;
+
+/// Result of projecting a point onto a track.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Projection {
+    /// Arc-length station of the closest point (m).
+    pub station: f64,
+    /// Signed lateral offset (m); positive = left of the path direction.
+    pub cross_track: f64,
+    /// Tangent heading of the path at the station (rad).
+    pub heading: f64,
+    /// Closest point on the path.
+    pub point: Vec2,
+}
+
+/// An arc-length-parameterised path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Track {
+    points: Vec<Vec2>,
+    stations: Vec<f64>,
+    headings: Vec<f64>,
+    curvatures: Vec<f64>,
+    closed: bool,
+}
+
+impl Track {
+    /// Builds a track by resampling a waypoint polyline at `spacing` metres.
+    ///
+    /// Pass `closed = true` when the last waypoint should connect back to
+    /// the first (loops, circles).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidTrack`] when fewer than two distinct
+    /// waypoints are supplied, any waypoint is non-finite, or `spacing` is
+    /// not positive.
+    pub fn from_waypoints(
+        waypoints: impl IntoIterator<Item = impl Into<Vec2>>,
+        spacing: f64,
+        closed: bool,
+    ) -> Result<Self, SimError> {
+        let raw: Vec<Vec2> = waypoints.into_iter().map(Into::into).collect();
+        if !(spacing.is_finite() && spacing > 0.0) {
+            return Err(SimError::InvalidTrack(format!(
+                "spacing must be positive, got {spacing}"
+            )));
+        }
+        if raw.iter().any(|p| !p.is_finite()) {
+            return Err(SimError::InvalidTrack("non-finite waypoint".to_owned()));
+        }
+        let mut polyline = raw.clone();
+        if closed {
+            if let (Some(&first), Some(&last)) = (raw.first(), raw.last()) {
+                if first.distance(last) > 1e-9 {
+                    polyline.push(first);
+                }
+            }
+        }
+        let total: f64 = polyline.windows(2).map(|w| w[0].distance(w[1])).sum();
+        if polyline.len() < 2 || total < spacing {
+            return Err(SimError::InvalidTrack(format!(
+                "need at least two distinct waypoints spanning >= spacing ({spacing} m)"
+            )));
+        }
+
+        // Resample at uniform arc-length spacing.
+        let n = (total / spacing).floor() as usize;
+        let mut points = Vec::with_capacity(n + 1);
+        let mut seg = 0usize;
+        let mut seg_start_s = 0.0;
+        for i in 0..=n {
+            let target = (i as f64 * spacing).min(total);
+            loop {
+                let seg_len = polyline[seg].distance(polyline[seg + 1]);
+                if target <= seg_start_s + seg_len || seg + 2 >= polyline.len() {
+                    let alpha = if seg_len > 0.0 {
+                        ((target - seg_start_s) / seg_len).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    };
+                    points.push(polyline[seg].lerp(polyline[seg + 1], alpha));
+                    break;
+                }
+                seg_start_s += seg_len;
+                seg += 1;
+            }
+        }
+        if !closed {
+            // Make sure the final waypoint is represented exactly.
+            let last = *polyline.last().expect("polyline has >= 2 points");
+            if points
+                .last()
+                .map_or(true, |p| p.distance(last) > spacing * 0.25)
+            {
+                points.push(last);
+            } else {
+                *points.last_mut().expect("points is non-empty") = last;
+            }
+        } else if points
+            .last()
+            .zip(points.first())
+            .map_or(false, |(l, f)| l.distance(*f) < spacing * 0.25)
+        {
+            // Avoid a duplicated closing point.
+            points.pop();
+        }
+        if points.len() < 2 {
+            return Err(SimError::InvalidTrack(
+                "resampling produced fewer than two points".to_owned(),
+            ));
+        }
+
+        Ok(Track::from_resampled(points, closed))
+    }
+
+    fn from_resampled(points: Vec<Vec2>, closed: bool) -> Self {
+        let n = points.len();
+        let mut stations = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        stations.push(0.0);
+        for w in points.windows(2) {
+            acc += w[0].distance(w[1]);
+            stations.push(acc);
+        }
+
+        let heading_of = |i: usize, j: usize| (points[j] - points[i]).angle();
+        let mut headings = Vec::with_capacity(n);
+        for i in 0..n {
+            let h = if closed {
+                let prev = (i + n - 1) % n;
+                let next = (i + 1) % n;
+                (points[next] - points[prev]).angle()
+            } else if i == 0 {
+                heading_of(0, 1)
+            } else if i == n - 1 {
+                heading_of(n - 2, n - 1)
+            } else {
+                (points[i + 1] - points[i - 1]).angle()
+            };
+            headings.push(h);
+        }
+
+        let mut curvatures = Vec::with_capacity(n);
+        for i in 0..n {
+            let (a, b, ds) = if closed {
+                let prev = (i + n - 1) % n;
+                let next = (i + 1) % n;
+                let ds = points[prev].distance(points[i]) + points[i].distance(points[next]);
+                (headings[prev], headings[next], ds)
+            } else if i == 0 {
+                (
+                    headings[0],
+                    headings[1],
+                    points[0].distance(points[1]).max(1e-9),
+                )
+            } else if i == n - 1 {
+                (
+                    headings[n - 2],
+                    headings[n - 1],
+                    points[n - 2].distance(points[n - 1]).max(1e-9),
+                )
+            } else {
+                let ds = points[i - 1].distance(points[i]) + points[i].distance(points[i + 1]);
+                (headings[i - 1], headings[i + 1], ds)
+            };
+            curvatures.push(wrap_angle(b - a) / ds.max(1e-9));
+        }
+
+        Track {
+            points,
+            stations,
+            headings,
+            curvatures,
+            closed,
+        }
+    }
+
+    /// Straight line from `a` to `b`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Track::from_waypoints`].
+    pub fn line(a: impl Into<Vec2>, b: impl Into<Vec2>, spacing: f64) -> Result<Self, SimError> {
+        Track::from_waypoints([a.into(), b.into()], spacing, false)
+    }
+
+    /// Closed circle of `radius` around `center`, traversed
+    /// counter-clockwise starting at angle 0.
+    ///
+    /// # Errors
+    ///
+    /// See [`Track::from_waypoints`].
+    pub fn circle(center: impl Into<Vec2>, radius: f64, spacing: f64) -> Result<Self, SimError> {
+        if !(radius.is_finite() && radius > 0.0) {
+            return Err(SimError::InvalidTrack(format!(
+                "radius must be positive, got {radius}"
+            )));
+        }
+        let center = center.into();
+        let steps = ((std::f64::consts::TAU * radius / spacing).ceil() as usize).max(12);
+        let pts = (0..steps).map(|i| {
+            let a = std::f64::consts::TAU * i as f64 / steps as f64;
+            center + Vec2::from_angle(a) * radius
+        });
+        Track::from_waypoints(pts, spacing, true)
+    }
+
+    /// Total arc length (m). For closed tracks this includes the closing
+    /// segment.
+    pub fn length(&self) -> f64 {
+        let open_len = *self.stations.last().expect("track has >= 2 points");
+        if self.closed {
+            open_len
+                + self
+                    .points
+                    .last()
+                    .expect("non-empty")
+                    .distance(self.points[0])
+        } else {
+            open_len
+        }
+    }
+
+    /// Whether the track loops back on itself.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// The resampled points of the track.
+    pub fn points(&self) -> &[Vec2] {
+        &self.points
+    }
+
+    fn wrap_station(&self, s: f64) -> f64 {
+        if self.closed {
+            s.rem_euclid(self.length())
+        } else {
+            s.clamp(0.0, self.length())
+        }
+    }
+
+    /// Point on the path at arc-length station `s` (clamped for open tracks,
+    /// wrapped for closed tracks).
+    pub fn point_at(&self, s: f64) -> Vec2 {
+        let s = self.wrap_station(s);
+        let open_len = *self.stations.last().expect("non-empty");
+        if self.closed && s >= open_len {
+            let last = *self.points.last().expect("non-empty");
+            let close_len = last.distance(self.points[0]).max(1e-12);
+            return last.lerp(self.points[0], (s - open_len) / close_len);
+        }
+        let idx = self.stations.partition_point(|&x| x <= s);
+        if idx >= self.points.len() {
+            return *self.points.last().expect("non-empty");
+        }
+        let i = idx - 1;
+        let seg = self.stations[idx] - self.stations[i];
+        let alpha = if seg > 0.0 {
+            (s - self.stations[i]) / seg
+        } else {
+            0.0
+        };
+        self.points[i].lerp(self.points[idx], alpha)
+    }
+
+    /// Tangent heading at station `s` (rad).
+    pub fn heading_at(&self, s: f64) -> f64 {
+        self.sample_scalar(s, &self.headings, true)
+    }
+
+    /// Signed curvature at station `s` (1/m); positive = turning left.
+    pub fn curvature_at(&self, s: f64) -> f64 {
+        self.sample_scalar(s, &self.curvatures, false)
+    }
+
+    fn sample_scalar(&self, s: f64, values: &[f64], angular: bool) -> f64 {
+        let s = self.wrap_station(s);
+        let open_len = *self.stations.last().expect("non-empty");
+        if self.closed && s >= open_len {
+            return values[0];
+        }
+        let idx = self.stations.partition_point(|&x| x <= s);
+        if idx >= values.len() {
+            return *values.last().expect("non-empty");
+        }
+        let i = idx - 1;
+        let seg = self.stations[idx] - self.stations[i];
+        let alpha = if seg > 0.0 {
+            (s - self.stations[i]) / seg
+        } else {
+            0.0
+        };
+        if angular {
+            wrap_angle(values[i] + alpha * wrap_angle(values[idx] - values[i]))
+        } else {
+            values[i] + alpha * (values[idx] - values[i])
+        }
+    }
+
+    /// Projects `point` onto the track: nearest station, signed cross-track
+    /// offset and local tangent heading.
+    pub fn project(&self, point: impl Into<Vec2>) -> Projection {
+        let point = point.into();
+        let n = self.points.len();
+        let seg_count = if self.closed { n } else { n - 1 };
+
+        let mut best_d2 = f64::INFINITY;
+        let mut best = Projection {
+            station: 0.0,
+            cross_track: 0.0,
+            heading: self.headings[0],
+            point: self.points[0],
+        };
+        for i in 0..seg_count {
+            let a = self.points[i];
+            let b = self.points[(i + 1) % n];
+            let ab = b - a;
+            let len_sq = ab.norm_sq();
+            let t = if len_sq > 0.0 {
+                ((point - a).dot(ab) / len_sq).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let proj = a.lerp(b, t);
+            let d2 = point.distance(proj).powi(2);
+            if d2 < best_d2 {
+                best_d2 = d2;
+                let seg_len = len_sq.sqrt();
+                let station = self.stations[i] + t * seg_len;
+                let tangent = if seg_len > 0.0 {
+                    ab * (1.0 / seg_len)
+                } else {
+                    Vec2::from_angle(self.headings[i])
+                };
+                best = Projection {
+                    station,
+                    cross_track: tangent.cross(point - proj),
+                    heading: tangent.angle(),
+                    point: proj,
+                };
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn line_length_and_sampling() {
+        let t = Track::line([0.0, 0.0], [100.0, 0.0], 1.0).unwrap();
+        assert!((t.length() - 100.0).abs() < 1e-9);
+        let p = t.point_at(50.0);
+        assert!((p.x - 50.0).abs() < 1e-9 && p.y.abs() < 1e-12);
+        assert!(t.heading_at(50.0).abs() < 1e-12);
+        assert!(t.curvature_at(50.0).abs() < 1e-12);
+        assert!(!t.is_closed());
+    }
+
+    #[test]
+    fn point_at_clamps_open_track() {
+        let t = Track::line([0.0, 0.0], [10.0, 0.0], 1.0).unwrap();
+        assert_eq!(t.point_at(-5.0), Vec2::new(0.0, 0.0));
+        let end = t.point_at(50.0);
+        assert!((end.x - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circle_geometry() {
+        let t = Track::circle([0.0, 0.0], 20.0, 1.0).unwrap();
+        assert!(t.is_closed());
+        let expected = std::f64::consts::TAU * 20.0;
+        assert!(
+            (t.length() - expected).abs() < 0.5,
+            "len {} vs {expected}",
+            t.length()
+        );
+        // Quarter way round the circle the heading is +90° from the start.
+        let h0 = t.heading_at(0.0);
+        let hq = t.heading_at(t.length() / 4.0);
+        assert!((wrap_angle(hq - h0) - FRAC_PI_2).abs() < 0.05);
+        // Curvature ≈ 1/r everywhere, positive (counter-clockwise). Local
+        // resampling seams cause up to ~20 % error, so check each sample
+        // loosely and the mean tightly.
+        let ks: Vec<f64> = (0..10)
+            .map(|i| t.curvature_at(t.length() * f64::from(i) / 10.0))
+            .collect();
+        for &k in &ks {
+            assert!((k - 0.05).abs() < 0.015, "curvature {k}");
+        }
+        let mean = ks.iter().sum::<f64>() / ks.len() as f64;
+        assert!((mean - 0.05).abs() < 0.005, "mean curvature {mean}");
+    }
+
+    #[test]
+    fn closed_track_wraps_station() {
+        let t = Track::circle([0.0, 0.0], 10.0, 0.5).unwrap();
+        let len = t.length();
+        let a = t.point_at(1.0);
+        let b = t.point_at(1.0 + len);
+        assert!(a.distance(b) < 1e-6);
+    }
+
+    #[test]
+    fn projection_on_straight_line() {
+        let t = Track::line([0.0, 0.0], [100.0, 0.0], 1.0).unwrap();
+        let p = t.project([30.0, 2.0]);
+        assert!((p.station - 30.0).abs() < 1e-9);
+        assert!((p.cross_track - 2.0).abs() < 1e-9, "left is positive");
+        let p = t.project([30.0, -2.0]);
+        assert!((p.cross_track + 2.0).abs() < 1e-9, "right is negative");
+        assert!(p.heading.abs() < 1e-12);
+    }
+
+    #[test]
+    fn projection_clamps_to_endpoints() {
+        let t = Track::line([0.0, 0.0], [10.0, 0.0], 1.0).unwrap();
+        let p = t.project([-5.0, 1.0]);
+        assert_eq!(p.station, 0.0);
+        let p = t.project([50.0, 0.0]);
+        assert!((p.station - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn projection_on_circle_points_inward_outward() {
+        let t = Track::circle([0.0, 0.0], 20.0, 0.5).unwrap();
+        // A point outside the counter-clockwise circle lies to the *right*
+        // of the travel direction → negative cross-track.
+        let p = t.project([25.0, 0.0]);
+        assert!(p.cross_track < -4.0, "{}", p.cross_track);
+        let p = t.project([15.0, 0.0]);
+        assert!(p.cross_track > 4.0, "{}", p.cross_track);
+    }
+
+    #[test]
+    fn invalid_tracks_are_rejected() {
+        assert!(matches!(
+            Track::line([0.0, 0.0], [0.0, 0.0], 1.0),
+            Err(SimError::InvalidTrack(_))
+        ));
+        assert!(matches!(
+            Track::line([0.0, 0.0], [10.0, 0.0], 0.0),
+            Err(SimError::InvalidTrack(_))
+        ));
+        assert!(matches!(
+            Track::line([f64::NAN, 0.0], [10.0, 0.0], 1.0),
+            Err(SimError::InvalidTrack(_))
+        ));
+        assert!(matches!(
+            Track::circle([0.0, 0.0], -1.0, 1.0),
+            Err(SimError::InvalidTrack(_))
+        ));
+        assert!(matches!(
+            Track::from_waypoints(Vec::<Vec2>::new(), 1.0, false),
+            Err(SimError::InvalidTrack(_))
+        ));
+    }
+
+    #[test]
+    fn multi_segment_polyline_headings() {
+        // L-shaped path: east then north.
+        let t = Track::from_waypoints([[0.0, 0.0], [10.0, 0.0], [10.0, 10.0]], 0.5, false)
+            .unwrap();
+        assert!(t.heading_at(2.0).abs() < 1e-6);
+        assert!((t.heading_at(18.0) - FRAC_PI_2).abs() < 1e-6);
+        assert!((t.length() - 20.0).abs() < 0.5);
+        // Curvature spikes positive (left turn) around the corner.
+        let k = t.curvature_at(10.0);
+        assert!(k > 0.1, "corner curvature {k}");
+    }
+
+    #[test]
+    fn stations_monotone_and_bounded() {
+        let t = Track::circle([5.0, -3.0], 15.0, 1.0).unwrap();
+        let mut prev = -1.0;
+        for i in 0..t.points().len() {
+            let s = t.stations[i];
+            assert!(s > prev);
+            prev = s;
+        }
+        assert!(prev <= t.length());
+    }
+
+    #[test]
+    fn heading_interpolation_handles_wraparound() {
+        // Path crossing the ±pi heading boundary: heading west, slightly
+        // turning. Build a nearly-straight westward line.
+        let t = Track::from_waypoints([[0.0, 0.0], [-50.0, 0.1], [-100.0, 0.0]], 1.0, false)
+            .unwrap();
+        let h = t.heading_at(t.length() / 2.0);
+        assert!(
+            (h.abs() - PI).abs() < 0.1,
+            "heading should be ~±pi, got {h}"
+        );
+    }
+}

@@ -1,0 +1,461 @@
+//! Vehicle dynamics: kinematic and dynamic bicycle models with RK4
+//! integration.
+//!
+//! Both models share the same six-dimensional state so that controllers and
+//! the engine are model-agnostic; the kinematic model simply keeps lateral
+//! velocity at zero and derives yaw rate from the steering geometry.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::{wrap_angle, Vec2};
+
+/// Physical parameters of the simulated vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VehicleParams {
+    /// Wheelbase (m).
+    pub wheelbase: f64,
+    /// Distance from the centre of gravity to the front axle (m).
+    pub cg_to_front: f64,
+    /// Vehicle mass (kg).
+    pub mass: f64,
+    /// Yaw moment of inertia (kg·m²).
+    pub yaw_inertia: f64,
+    /// Front cornering stiffness (N/rad).
+    pub cornering_front: f64,
+    /// Rear cornering stiffness (N/rad).
+    pub cornering_rear: f64,
+    /// Mechanical steering limit (rad).
+    pub max_steer: f64,
+    /// Maximum forward speed (m/s).
+    pub max_speed: f64,
+    /// Maximum commanded acceleration magnitude (m/s²).
+    pub max_accel: f64,
+}
+
+impl VehicleParams {
+    /// Parameters approximating a compact passenger car / shuttle.
+    pub fn passenger_car() -> Self {
+        VehicleParams {
+            wheelbase: 2.7,
+            cg_to_front: 1.25,
+            mass: 1500.0,
+            yaw_inertia: 2600.0,
+            cornering_front: 80_000.0,
+            cornering_rear: 95_000.0,
+            max_steer: 0.55,
+            max_speed: 25.0,
+            max_accel: 4.0,
+        }
+    }
+
+    /// Distance from the centre of gravity to the rear axle (m).
+    pub fn cg_to_rear(&self) -> f64 {
+        self.wheelbase - self.cg_to_front
+    }
+
+    /// Validates that all parameters are finite and physically meaningful.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first offending parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        let checks = [
+            (self.wheelbase > 0.0, "wheelbase must be positive"),
+            (
+                self.cg_to_front > 0.0 && self.cg_to_front < self.wheelbase,
+                "cg_to_front must lie within the wheelbase",
+            ),
+            (self.mass > 0.0, "mass must be positive"),
+            (self.yaw_inertia > 0.0, "yaw_inertia must be positive"),
+            (
+                self.cornering_front > 0.0 && self.cornering_rear > 0.0,
+                "cornering stiffnesses must be positive",
+            ),
+            (self.max_steer > 0.0, "max_steer must be positive"),
+            (self.max_speed > 0.0, "max_speed must be positive"),
+            (self.max_accel > 0.0, "max_accel must be positive"),
+        ];
+        for (ok, msg) in checks {
+            if !ok {
+                return Err(msg.to_owned());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for VehicleParams {
+    fn default() -> Self {
+        VehicleParams::passenger_car()
+    }
+}
+
+/// Full dynamic state of the vehicle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct VehicleState {
+    /// Position of the centre of gravity (m).
+    pub position: Vec2,
+    /// Heading / yaw (rad), wrapped to `(-pi, pi]`.
+    pub heading: f64,
+    /// Longitudinal (body-frame) speed (m/s), non-negative.
+    pub speed: f64,
+    /// Lateral (body-frame) speed (m/s); zero under the kinematic model.
+    pub lateral_speed: f64,
+    /// Yaw rate (rad/s).
+    pub yaw_rate: f64,
+}
+
+impl VehicleState {
+    /// A state at rest at `position` facing `heading`.
+    pub fn at(position: impl Into<Vec2>, heading: f64) -> Self {
+        VehicleState {
+            position: position.into(),
+            heading: wrap_angle(heading),
+            ..VehicleState::default()
+        }
+    }
+
+    /// Ground-frame velocity vector (m/s).
+    pub fn velocity(&self) -> Vec2 {
+        let body = Vec2::new(self.speed, self.lateral_speed);
+        body.rotated(self.heading)
+    }
+
+    /// Whether every component is finite.
+    pub fn is_finite(&self) -> bool {
+        self.position.is_finite()
+            && self.heading.is_finite()
+            && self.speed.is_finite()
+            && self.lateral_speed.is_finite()
+            && self.yaw_rate.is_finite()
+    }
+
+    fn to_array(self) -> [f64; 6] {
+        [
+            self.position.x,
+            self.position.y,
+            self.heading,
+            self.speed,
+            self.lateral_speed,
+            self.yaw_rate,
+        ]
+    }
+
+    fn from_array(a: [f64; 6]) -> Self {
+        VehicleState {
+            position: Vec2::new(a[0], a[1]),
+            heading: a[2],
+            speed: a[3],
+            lateral_speed: a[4],
+            yaw_rate: a[5],
+        }
+    }
+}
+
+/// Control inputs applied to the vehicle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Controls {
+    /// Front-wheel steering angle (rad), positive left.
+    pub steer: f64,
+    /// Longitudinal acceleration command (m/s²), negative = braking.
+    pub accel: f64,
+}
+
+impl Controls {
+    /// Creates a control input.
+    pub fn new(steer: f64, accel: f64) -> Self {
+        Controls { steer, accel }
+    }
+
+    /// Controls clamped to the vehicle's physical limits.
+    pub fn clamped(self, params: &VehicleParams) -> Controls {
+        Controls {
+            steer: self.steer.clamp(-params.max_steer, params.max_steer),
+            accel: self.accel.clamp(-params.max_accel, params.max_accel),
+        }
+    }
+}
+
+/// Which dynamics formulation the simulator integrates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Kinematic bicycle: exact geometry, no tire slip. Fast and well
+    /// behaved at all speeds.
+    #[default]
+    Kinematic,
+    /// Dynamic bicycle with linear tires: captures understeer and lateral
+    /// slip at speed; falls back to kinematic behaviour below walking pace
+    /// where the slip-angle formulation is singular.
+    Dynamic,
+}
+
+/// A vehicle model: parameters plus a dynamics formulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VehicleModel {
+    /// Physical parameters.
+    pub params: VehicleParams,
+    /// Dynamics formulation.
+    pub kind: ModelKind,
+}
+
+impl VehicleModel {
+    /// Creates a model.
+    pub fn new(params: VehicleParams, kind: ModelKind) -> Self {
+        VehicleModel { params, kind }
+    }
+
+    /// A kinematic passenger-car model (the workspace default).
+    pub fn kinematic() -> Self {
+        VehicleModel::new(VehicleParams::passenger_car(), ModelKind::Kinematic)
+    }
+
+    /// A dynamic passenger-car model.
+    pub fn dynamic() -> Self {
+        VehicleModel::new(VehicleParams::passenger_car(), ModelKind::Dynamic)
+    }
+
+    /// Time derivative of the state under `controls`.
+    pub fn derivatives(&self, state: &VehicleState, controls: Controls) -> [f64; 6] {
+        let c = controls.clamped(&self.params);
+        match self.kind {
+            ModelKind::Kinematic => self.kinematic_derivatives(state, c),
+            ModelKind::Dynamic => {
+                // The linear-tire formulation divides by vx; below walking
+                // pace use the kinematic geometry instead.
+                if state.speed < 0.5 {
+                    self.kinematic_derivatives(state, c)
+                } else {
+                    self.dynamic_derivatives(state, c)
+                }
+            }
+        }
+    }
+
+    fn kinematic_derivatives(&self, state: &VehicleState, c: Controls) -> [f64; 6] {
+        let v = state.speed;
+        let yaw_rate = v * c.steer.tan() / self.params.wheelbase;
+        let (sin_h, cos_h) = state.heading.sin_cos();
+        [
+            v * cos_h,
+            v * sin_h,
+            yaw_rate,
+            c.accel,
+            // Relax any residual lateral velocity / yaw-rate mismatch so a
+            // model switch (dynamic -> kinematic at low speed) stays smooth.
+            -10.0 * state.lateral_speed,
+            10.0 * (yaw_rate - state.yaw_rate),
+        ]
+    }
+
+    fn dynamic_derivatives(&self, state: &VehicleState, c: Controls) -> [f64; 6] {
+        let p = &self.params;
+        let vx = state.speed;
+        let vy = state.lateral_speed;
+        let r = state.yaw_rate;
+        let lf = p.cg_to_front;
+        let lr = p.cg_to_rear();
+
+        let alpha_f = c.steer - ((vy + lf * r) / vx).atan();
+        let alpha_r = -((vy - lr * r) / vx).atan();
+        let fy_f = p.cornering_front * alpha_f;
+        let fy_r = p.cornering_rear * alpha_r;
+
+        let (sin_h, cos_h) = state.heading.sin_cos();
+        [
+            vx * cos_h - vy * sin_h,
+            vx * sin_h + vy * cos_h,
+            r,
+            c.accel + vy * r,
+            (fy_f * c.steer.cos() + fy_r) / p.mass - vx * r,
+            (lf * fy_f * c.steer.cos() - lr * fy_r) / p.yaw_inertia,
+        ]
+    }
+
+    /// Integrates the state forward by `dt` seconds with classical RK4.
+    ///
+    /// The returned state has its heading wrapped and its speed clamped to
+    /// `[0, max_speed]` (the simulator does not model reverse gear).
+    pub fn step(&self, state: &VehicleState, controls: Controls, dt: f64) -> VehicleState {
+        let y0 = state.to_array();
+        let k1 = self.derivatives(state, controls);
+        let k2 = self.derivatives(&VehicleState::from_array(add(y0, k1, dt / 2.0)), controls);
+        let k3 = self.derivatives(&VehicleState::from_array(add(y0, k2, dt / 2.0)), controls);
+        let k4 = self.derivatives(&VehicleState::from_array(add(y0, k3, dt)), controls);
+
+        let mut y = y0;
+        for i in 0..6 {
+            y[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        let mut next = VehicleState::from_array(y);
+        next.heading = wrap_angle(next.heading);
+        next.speed = next.speed.clamp(0.0, self.params.max_speed);
+        if self.kind == ModelKind::Kinematic {
+            // The kinematic model has no yaw dynamics: its yaw rate *is*
+            // the steering geometry. Keeping it exact (rather than a
+            // relaxed pseudo-state) matters to the A8 consistency
+            // assertion, which checks exactly this relation on the sensor
+            // side.
+            let c = controls.clamped(&self.params);
+            next.yaw_rate = next.speed * c.steer.tan() / self.params.wheelbase;
+            next.lateral_speed = 0.0;
+        }
+        if next.speed == 0.0 {
+            // At rest there is no lateral motion either.
+            next.lateral_speed = 0.0;
+            next.yaw_rate = 0.0;
+        }
+        next
+    }
+}
+
+fn add(y: [f64; 6], k: [f64; 6], h: f64) -> [f64; 6] {
+    let mut out = y;
+    for i in 0..6 {
+        out[i] += h * k[i];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn params_validate() {
+        assert!(VehicleParams::passenger_car().validate().is_ok());
+        let mut p = VehicleParams::passenger_car();
+        p.wheelbase = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = VehicleParams::passenger_car();
+        p.cg_to_front = 5.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn straight_line_kinematics() {
+        let model = VehicleModel::kinematic();
+        let mut state = VehicleState::at([0.0, 0.0], 0.0);
+        state.speed = 10.0;
+        for _ in 0..100 {
+            state = model.step(&state, Controls::new(0.0, 0.0), 0.01);
+        }
+        assert!((state.position.x - 10.0).abs() < 1e-6);
+        assert!(state.position.y.abs() < 1e-9);
+        assert!((state.speed - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn acceleration_integrates_speed_and_distance() {
+        let model = VehicleModel::kinematic();
+        let mut state = VehicleState::at([0.0, 0.0], 0.0);
+        for _ in 0..100 {
+            state = model.step(&state, Controls::new(0.0, 2.0), 0.01);
+        }
+        // v = a t = 2, x = a t^2 / 2 = 1.
+        assert!((state.speed - 2.0).abs() < 1e-9);
+        assert!((state.position.x - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constant_steer_traces_circle() {
+        let model = VehicleModel::kinematic();
+        let mut state = VehicleState::at([0.0, 0.0], 0.0);
+        state.speed = 5.0;
+        let steer: f64 = 0.2;
+        let radius = model.params.wheelbase / steer.tan();
+        let period = std::f64::consts::TAU * radius / state.speed;
+        let dt = 0.001;
+        let steps = (period / dt).round() as usize;
+        for _ in 0..steps {
+            state = model.step(&state, Controls::new(steer, 0.0), dt);
+        }
+        // After one full period the vehicle returns to the origin.
+        assert!(
+            state.position.norm() < 0.1,
+            "drift {} m after one circle",
+            state.position.norm()
+        );
+    }
+
+    #[test]
+    fn speed_never_goes_negative() {
+        let model = VehicleModel::kinematic();
+        let mut state = VehicleState::at([0.0, 0.0], 0.0);
+        state.speed = 1.0;
+        for _ in 0..500 {
+            state = model.step(&state, Controls::new(0.0, -4.0), 0.01);
+        }
+        assert_eq!(state.speed, 0.0);
+        assert_eq!(state.yaw_rate, 0.0);
+    }
+
+    #[test]
+    fn speed_saturates_at_max() {
+        let model = VehicleModel::kinematic();
+        let mut state = VehicleState::at([0.0, 0.0], 0.0);
+        for _ in 0..2000 {
+            state = model.step(&state, Controls::new(0.0, 100.0), 0.01);
+        }
+        assert_eq!(state.speed, model.params.max_speed);
+    }
+
+    #[test]
+    fn controls_clamp_to_limits() {
+        let p = VehicleParams::passenger_car();
+        let c = Controls::new(10.0, -100.0).clamped(&p);
+        assert_eq!(c.steer, p.max_steer);
+        assert_eq!(c.accel, -p.max_accel);
+    }
+
+    #[test]
+    fn heading_stays_wrapped() {
+        let model = VehicleModel::kinematic();
+        let mut state = VehicleState::at([0.0, 0.0], 0.0);
+        state.speed = 10.0;
+        for _ in 0..5000 {
+            state = model.step(&state, Controls::new(0.3, 0.0), 0.01);
+            assert!(state.heading > -PI - 1e-9 && state.heading <= PI + 1e-9);
+        }
+    }
+
+    #[test]
+    fn dynamic_model_tracks_kinematic_at_moderate_speed() {
+        // With linear tires and gentle steering the two formulations should
+        // agree to first order over a short horizon.
+        let kin = VehicleModel::kinematic();
+        let dyn_ = VehicleModel::dynamic();
+        let mut a = VehicleState::at([0.0, 0.0], 0.0);
+        a.speed = 8.0;
+        let mut b = a;
+        for _ in 0..200 {
+            a = kin.step(&a, Controls::new(0.05, 0.0), 0.01);
+            b = dyn_.step(&b, Controls::new(0.05, 0.0), 0.01);
+        }
+        assert!(
+            a.position.distance(b.position) < 0.5,
+            "divergence {}",
+            a.position.distance(b.position)
+        );
+    }
+
+    #[test]
+    fn dynamic_model_is_stable_from_rest() {
+        let model = VehicleModel::dynamic();
+        let mut state = VehicleState::at([0.0, 0.0], 0.0);
+        for _ in 0..1000 {
+            state = model.step(&state, Controls::new(0.1, 2.0), 0.01);
+            assert!(state.is_finite(), "diverged: {state:?}");
+        }
+        assert!(state.speed > 5.0);
+    }
+
+    #[test]
+    fn velocity_vector_respects_heading() {
+        let mut state = VehicleState::at([0.0, 0.0], PI / 2.0);
+        state.speed = 3.0;
+        let v = state.velocity();
+        assert!(v.x.abs() < 1e-12);
+        assert!((v.y - 3.0).abs() < 1e-12);
+    }
+}

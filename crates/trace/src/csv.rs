@@ -1,0 +1,227 @@
+//! CSV export/import of aligned traces.
+//!
+//! The simulation engine records every signal on the same fixed time grid,
+//! so a trace maps naturally onto a flat table: one `time` column followed by
+//! one column per signal (sorted by name). The format is deliberately plain
+//! so traces can be plotted with any external tool.
+
+use std::fmt::Write as _;
+
+use crate::{Trace, TraceError};
+
+/// Serialises an aligned trace to CSV.
+///
+/// The first column is `time`; the remaining columns are the signals in
+/// sorted name order.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Misaligned`] when the trace's series do not share a
+/// single time grid (see [`Trace::is_aligned`]).
+///
+/// # Example
+///
+/// ```
+/// use adassure_trace::{Trace, csv};
+///
+/// # fn main() -> Result<(), adassure_trace::TraceError> {
+/// let mut t = Trace::new();
+/// t.record("a", 0.0, 1.0);
+/// t.record("b", 0.0, 2.0);
+/// let text = csv::to_csv(&t)?;
+/// assert!(text.starts_with("time,a,b\n"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_csv(trace: &Trace) -> Result<String, TraceError> {
+    if !trace.is_aligned() {
+        let mut names = trace.signals();
+        let left = names
+            .next()
+            .map(|s| s.as_str().to_owned())
+            .unwrap_or_default();
+        let right = names
+            .next()
+            .map(|s| s.as_str().to_owned())
+            .unwrap_or_default();
+        return Err(TraceError::Misaligned { left, right });
+    }
+
+    let mut out = String::new();
+    out.push_str("time");
+    for id in trace.signals() {
+        out.push(',');
+        out.push_str(id.as_str());
+    }
+    out.push('\n');
+
+    let Some(reference) = trace.iter().find(|s| !s.is_empty()) else {
+        return Ok(out);
+    };
+    let columns: Vec<_> = trace.iter().collect();
+    for (row, sample) in reference.samples().iter().enumerate() {
+        write!(out, "{}", sample.time).expect("write to String is infallible");
+        for col in &columns {
+            let value = col.samples().get(row).map_or(f64::NAN, |s| s.value);
+            write!(out, ",{value}").expect("write to String is infallible");
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Parses a CSV document previously produced by [`to_csv`].
+///
+/// # Errors
+///
+/// Returns [`TraceError::ParseCsv`] for structural problems (missing header,
+/// ragged rows, unparsable numbers) and propagates series invariant
+/// violations (non-monotonic time) from recording.
+pub fn from_csv(text: &str) -> Result<Trace, TraceError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(TraceError::ParseCsv {
+        line: 1,
+        message: "empty document".to_owned(),
+    })?;
+    let mut cols = header.split(',');
+    match cols.next() {
+        Some("time") => {}
+        other => {
+            return Err(TraceError::ParseCsv {
+                line: 1,
+                message: format!("first column must be `time`, got {other:?}"),
+            })
+        }
+    }
+    let names: Vec<&str> = cols.collect();
+
+    let mut trace = Trace::new();
+    for (idx, line) in lines {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let time: f64 = parse_field(fields.next(), line_no, "time")?;
+        let mut consumed = 0usize;
+        for (name, field) in names.iter().zip(&mut fields) {
+            consumed += 1;
+            let value: f64 = parse_field(Some(field), line_no, name)?;
+            if value.is_nan() {
+                continue; // NaN encodes "no sample in this column for this row".
+            }
+            trace.try_record(*name, time, value)?;
+        }
+        if consumed != names.len() || fields.next().is_some() {
+            return Err(TraceError::ParseCsv {
+                line: line_no,
+                message: format!("expected {} value columns", names.len()),
+            });
+        }
+    }
+    Ok(trace)
+}
+
+fn parse_field(field: Option<&str>, line: usize, column: &str) -> Result<f64, TraceError> {
+    let raw = field.ok_or_else(|| TraceError::ParseCsv {
+        line,
+        message: format!("missing column `{column}`"),
+    })?;
+    if raw == "NaN" {
+        return Ok(f64::NAN);
+    }
+    raw.trim().parse().map_err(|_| TraceError::ParseCsv {
+        line,
+        message: format!("invalid number `{raw}` in column `{column}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        for i in 0..3 {
+            let time = f64::from(i) * 0.5;
+            t.record("beta", time, f64::from(i));
+            t.record("alpha", time, -f64::from(i));
+        }
+        t
+    }
+
+    #[test]
+    fn round_trip_preserves_trace() {
+        let t = sample_trace();
+        let text = to_csv(&t).unwrap();
+        let back = from_csv(&text).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn header_sorts_signals() {
+        let text = to_csv(&sample_trace()).unwrap();
+        assert!(text.starts_with("time,alpha,beta\n"));
+    }
+
+    #[test]
+    fn misaligned_trace_is_rejected() {
+        let mut t = sample_trace();
+        t.record("gamma", 0.25, 1.0);
+        assert!(matches!(to_csv(&t), Err(TraceError::Misaligned { .. })));
+    }
+
+    #[test]
+    fn empty_trace_exports_header_only() {
+        let text = to_csv(&Trace::new()).unwrap();
+        assert_eq!(text, "time\n");
+        let back = from_csv(&text).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_bad_header() {
+        assert!(matches!(
+            from_csv("t,a\n0,1\n"),
+            Err(TraceError::ParseCsv { line: 1, .. })
+        ));
+        assert!(matches!(from_csv(""), Err(TraceError::ParseCsv { .. })));
+    }
+
+    #[test]
+    fn parse_rejects_ragged_rows() {
+        let doc = "time,a,b\n0.0,1.0\n";
+        assert!(matches!(
+            from_csv(doc),
+            Err(TraceError::ParseCsv { line: 2, .. })
+        ));
+        let doc = "time,a\n0.0,1.0,2.0\n";
+        assert!(matches!(
+            from_csv(doc),
+            Err(TraceError::ParseCsv { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_bad_numbers() {
+        let doc = "time,a\n0.0,xyz\n";
+        assert!(matches!(
+            from_csv(doc),
+            Err(TraceError::ParseCsv { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn nan_cells_are_skipped() {
+        let doc = "time,a\n0.0,NaN\n1.0,2.0\n";
+        let t = from_csv(doc).unwrap();
+        assert_eq!(t.series_by_name("a").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let doc = "time,a\n0.0,1.0\n\n1.0,2.0\n";
+        let t = from_csv(doc).unwrap();
+        assert_eq!(t.series_by_name("a").unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,231 @@
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// Identifier of a recorded signal.
+///
+/// Internally reference-counted so that cloning an id (which happens on every
+/// recorded sample routed through a [`crate::Trace`]) is a pointer copy, not
+/// a string allocation.
+///
+/// # Example
+///
+/// ```
+/// use adassure_trace::SignalId;
+///
+/// let a = SignalId::new("xtrack_err");
+/// let b = a.clone();
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "xtrack_err");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SignalId(Arc<str>);
+
+impl SignalId {
+    /// Creates a signal id from any string-like value.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        SignalId(Arc::from(name.as_ref()))
+    }
+
+    /// Returns the signal name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for SignalId {
+    fn from(name: &str) -> Self {
+        SignalId::new(name)
+    }
+}
+
+impl From<String> for SignalId {
+    fn from(name: String) -> Self {
+        SignalId::new(name)
+    }
+}
+
+impl AsRef<str> for SignalId {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Borrow<str> for SignalId {
+    fn borrow(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl Serialize for SignalId {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.as_str())
+    }
+}
+
+impl<'de> Deserialize<'de> for SignalId {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(SignalId::new(s))
+    }
+}
+
+/// Canonical signal names used across the ADAssure workspace.
+///
+/// The simulator, controllers and assertion catalog all agree on these names
+/// so that assertions written against the catalog bind to the signals the
+/// engine records without any per-experiment wiring.
+pub mod well_known {
+    /// Ground-truth x position of the vehicle (m).
+    pub const TRUE_X: &str = "true_x";
+    /// Ground-truth y position of the vehicle (m).
+    pub const TRUE_Y: &str = "true_y";
+    /// Ground-truth heading (rad, wrapped to (-pi, pi]).
+    pub const TRUE_HEADING: &str = "true_heading";
+    /// Ground-truth forward speed (m/s).
+    pub const TRUE_SPEED: &str = "true_speed";
+    /// Ground-truth yaw rate (rad/s).
+    pub const TRUE_YAW_RATE: &str = "true_yaw_rate";
+
+    /// GNSS-reported x position (m), after any attack.
+    pub const GNSS_X: &str = "gnss_x";
+    /// GNSS-reported y position (m), after any attack.
+    pub const GNSS_Y: &str = "gnss_y";
+    /// Speed derived from consecutive GNSS fixes (m/s).
+    pub const GNSS_SPEED: &str = "gnss_speed";
+    /// Magnitude of the per-cycle GNSS position increment (m).
+    pub const GNSS_JUMP: &str = "gnss_jump";
+    /// Wheel-odometry speed (m/s), after any attack.
+    pub const WHEEL_SPEED: &str = "wheel_speed";
+    /// Wheel-odometry acceleration derived over a ~0.5 s baseline (m/s²).
+    pub const WHEEL_ACCEL: &str = "wheel_accel";
+    /// Exponentially-weighted mean of the per-cycle wheel-speed change
+    /// magnitude (m/s) — a dispersion measure that catches zero-mean noise
+    /// injection, which debounced level assertions are blind to.
+    pub const WHEEL_JITTER: &str = "wheel_jitter";
+    /// IMU yaw rate (rad/s), after any attack.
+    pub const IMU_YAW_RATE: &str = "imu_yaw_rate";
+    /// IMU longitudinal acceleration (m/s^2), after any attack.
+    pub const IMU_ACCEL: &str = "imu_accel";
+    /// Compass / heading sensor reading (rad), after any attack.
+    pub const COMPASS_HEADING: &str = "compass_heading";
+
+    /// Estimated x position from the state estimator (m).
+    pub const EST_X: &str = "est_x";
+    /// Estimated y position from the state estimator (m).
+    pub const EST_Y: &str = "est_y";
+    /// Estimated heading (rad).
+    pub const EST_HEADING: &str = "est_heading";
+    /// Estimated speed (m/s).
+    pub const EST_SPEED: &str = "est_speed";
+    /// Estimator innovation: gap between GNSS fix and dead-reckoned pose (m).
+    pub const INNOVATION: &str = "innovation";
+
+    /// Signed cross-track error of the *estimated* pose to the path (m).
+    pub const XTRACK_ERR: &str = "xtrack_err";
+    /// Signed cross-track error of the *ground-truth* pose to the path (m).
+    pub const TRUE_XTRACK_ERR: &str = "true_xtrack_err";
+    /// Heading error to the path tangent (rad).
+    pub const HEADING_ERR: &str = "heading_err";
+    /// Target speed requested by the scenario profile (m/s).
+    pub const TARGET_SPEED: &str = "target_speed";
+    /// Arc-length progress along the path (m), from the estimated pose.
+    pub const PROGRESS: &str = "progress";
+    /// Arc-length progress along the path (m), from the ground-truth pose.
+    pub const TRUE_PROGRESS: &str = "true_progress";
+
+    /// Steering command issued by the lateral controller (rad).
+    pub const STEER_CMD: &str = "steer_cmd";
+    /// Longitudinal acceleration command (m/s^2, negative = braking).
+    pub const ACCEL_CMD: &str = "accel_cmd";
+    /// Actual (post-actuator) steering angle (rad).
+    pub const STEER_ACTUAL: &str = "steer_actual";
+    /// Lateral acceleration implied by the current motion (m/s^2).
+    pub const LAT_ACCEL: &str = "lat_accel";
+
+    /// All canonical names, in a stable order (useful for CSV headers).
+    pub const ALL: &[&str] = &[
+        TRUE_X,
+        TRUE_Y,
+        TRUE_HEADING,
+        TRUE_SPEED,
+        TRUE_YAW_RATE,
+        GNSS_X,
+        GNSS_Y,
+        GNSS_SPEED,
+        GNSS_JUMP,
+        WHEEL_SPEED,
+        WHEEL_ACCEL,
+        WHEEL_JITTER,
+        IMU_YAW_RATE,
+        IMU_ACCEL,
+        COMPASS_HEADING,
+        EST_X,
+        EST_Y,
+        EST_HEADING,
+        EST_SPEED,
+        INNOVATION,
+        XTRACK_ERR,
+        TRUE_XTRACK_ERR,
+        HEADING_ERR,
+        TARGET_SPEED,
+        PROGRESS,
+        TRUE_PROGRESS,
+        STEER_CMD,
+        ACCEL_CMD,
+        STEER_ACTUAL,
+        LAT_ACCEL,
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_compare_by_content() {
+        assert_eq!(SignalId::new("a"), SignalId::from("a"));
+        assert_ne!(SignalId::new("a"), SignalId::new("b"));
+    }
+
+    #[test]
+    fn id_orders_lexicographically() {
+        assert!(SignalId::new("a") < SignalId::new("b"));
+    }
+
+    #[test]
+    fn borrow_allows_str_lookup_in_sets() {
+        let mut set = HashSet::new();
+        set.insert(SignalId::new("speed"));
+        assert!(set.contains("speed"));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(SignalId::new("xtrack_err").to_string(), "xtrack_err");
+    }
+
+    #[test]
+    fn well_known_names_are_unique() {
+        let set: HashSet<_> = well_known::ALL.iter().collect();
+        assert_eq!(set.len(), well_known::ALL.len());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let id = SignalId::new("gnss_x");
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "\"gnss_x\"");
+        let back: SignalId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+}

@@ -1,0 +1,179 @@
+//! Summary statistics over signal values.
+//!
+//! Used by assertion mining (to derive thresholds from golden runs) and by
+//! the experiment harnesses (to summarise detection latencies and error
+//! magnitudes across seeds).
+
+use serde::{Deserialize, Serialize};
+
+use crate::Series;
+
+/// Summary statistics of a set of scalar values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Number of values summarised.
+    pub count: usize,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Root mean square.
+    pub rms: f64,
+    /// Mean absolute value.
+    pub mean_abs: f64,
+}
+
+impl SummaryStats {
+    /// Computes summary statistics over `values`.
+    ///
+    /// Returns `None` for an empty input or when any value is non-finite.
+    pub fn from_values(values: impl IntoIterator<Item = f64>) -> Option<SummaryStats> {
+        let mut count = 0usize;
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let mut sum_abs = 0.0;
+        for v in values {
+            if !v.is_finite() {
+                return None;
+            }
+            count += 1;
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+            sum_sq += v * v;
+            sum_abs += v.abs();
+        }
+        if count == 0 {
+            return None;
+        }
+        let n = count as f64;
+        let mean = sum / n;
+        let variance = (sum_sq / n - mean * mean).max(0.0);
+        Some(SummaryStats {
+            count,
+            min,
+            max,
+            mean,
+            std_dev: variance.sqrt(),
+            rms: (sum_sq / n).sqrt(),
+            mean_abs: sum_abs / n,
+        })
+    }
+
+    /// Computes summary statistics over the values of a series.
+    pub fn from_series(series: &Series) -> Option<SummaryStats> {
+        SummaryStats::from_values(series.values())
+    }
+}
+
+/// The `q`-quantile (`0.0..=1.0`) of `values` using linear interpolation
+/// between order statistics.
+///
+/// Returns `None` for empty input, a `q` outside `[0, 1]`, or non-finite
+/// values.
+///
+/// # Example
+///
+/// ```
+/// let p95 = adassure_trace::stats::percentile([1.0, 2.0, 3.0, 4.0], 0.5);
+/// assert_eq!(p95, Some(2.5));
+/// ```
+pub fn percentile(values: impl IntoIterator<Item = f64>, q: f64) -> Option<f64> {
+    if !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut v: Vec<f64> = values.into_iter().collect();
+    if v.is_empty() || v.iter().any(|x| !x.is_finite()) {
+        return None;
+    }
+    v.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(v[lo])
+    } else {
+        let alpha = pos - lo as f64;
+        Some(v[lo] + alpha * (v[hi] - v[lo]))
+    }
+}
+
+/// Largest absolute value in `values`, or `None` when empty/non-finite.
+pub fn max_abs(values: impl IntoIterator<Item = f64>) -> Option<f64> {
+    let mut out: Option<f64> = None;
+    for v in values {
+        if !v.is_finite() {
+            return None;
+        }
+        out = Some(out.map_or(v.abs(), |m| m.max(v.abs())));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_known_values() {
+        let s = SummaryStats::from_values([1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert!((s.rms - (7.5f64).sqrt()).abs() < 1e-12);
+        assert!((s.mean_abs - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_reject_empty_and_non_finite() {
+        assert_eq!(SummaryStats::from_values([]), None);
+        assert_eq!(SummaryStats::from_values([1.0, f64::NAN]), None);
+    }
+
+    #[test]
+    fn stats_handle_negative_values() {
+        let s = SummaryStats::from_values([-2.0, 2.0]).unwrap();
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.mean_abs, 2.0);
+        assert_eq!(s.rms, 2.0);
+    }
+
+    #[test]
+    fn percentile_boundaries() {
+        let v = [10.0, 20.0, 30.0];
+        assert_eq!(percentile(v, 0.0), Some(10.0));
+        assert_eq!(percentile(v, 1.0), Some(30.0));
+        assert_eq!(percentile(v, 0.5), Some(20.0));
+        assert_eq!(percentile(v, 1.5), None);
+        assert_eq!(percentile([], 0.5), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [0.0, 10.0];
+        assert!((percentile(v, 0.25).unwrap() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_abs_behaviour() {
+        assert_eq!(max_abs([-3.0, 2.0]), Some(3.0));
+        assert_eq!(max_abs([]), None);
+        assert_eq!(max_abs([f64::INFINITY]), None);
+    }
+
+    #[test]
+    fn from_series_matches_from_values() {
+        let series = Series::from_samples("s", [(0.0, 1.0), (0.1, 3.0)]).unwrap();
+        let a = SummaryStats::from_series(&series).unwrap();
+        let b = SummaryStats::from_values([1.0, 3.0]).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,165 @@
+//! Sliding-window iteration over series.
+//!
+//! Temporal assertion operators ("violated continuously for at least `d`
+//! seconds", "recovers within `d` seconds") are evaluated over time windows;
+//! this module supplies the window arithmetic.
+
+use crate::{Sample, Series};
+
+/// Iterator over fixed-duration sliding windows of a series.
+///
+/// Each item is the slice of samples with timestamps in
+/// `[t_start, t_start + duration]`, advanced one sample at a time. Produced
+/// by [`windows_of`].
+#[derive(Debug, Clone)]
+pub struct Windows<'a> {
+    samples: &'a [Sample],
+    duration: f64,
+    start: usize,
+}
+
+impl<'a> Iterator for Windows<'a> {
+    type Item = &'a [Sample];
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.start >= self.samples.len() {
+            return None;
+        }
+        let t0 = self.samples[self.start].time;
+        let end = self.samples[self.start..]
+            .partition_point(|s| s.time <= t0 + self.duration)
+            + self.start;
+        let window = &self.samples[self.start..end];
+        self.start += 1;
+        Some(window)
+    }
+}
+
+/// Sliding windows of `duration` seconds over `series`, one per sample.
+///
+/// # Example
+///
+/// ```
+/// use adassure_trace::{Series, window::windows_of};
+///
+/// # fn main() -> Result<(), adassure_trace::TraceError> {
+/// let s = Series::from_samples("x", (0..5).map(|i| (f64::from(i) * 0.1, 0.0)))?;
+/// let lengths: Vec<usize> = windows_of(&s, 0.2).map(<[_]>::len).collect();
+/// assert_eq!(lengths, [3, 3, 3, 2, 1]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn windows_of(series: &Series, duration: f64) -> Windows<'_> {
+    Windows {
+        samples: series.samples(),
+        duration,
+        start: 0,
+    }
+}
+
+/// Longest run (in seconds) for which `predicate` holds continuously over the
+/// series, measured between the first and last sample of each run.
+///
+/// A single isolated sample satisfying the predicate contributes a run of
+/// length zero.
+pub fn longest_true_run(series: &Series, mut predicate: impl FnMut(f64) -> bool) -> f64 {
+    let mut best = 0.0f64;
+    let mut run_start: Option<f64> = None;
+    for s in series.samples() {
+        if predicate(s.value) {
+            let start = *run_start.get_or_insert(s.time);
+            best = best.max(s.time - start);
+        } else {
+            run_start = None;
+        }
+    }
+    best
+}
+
+/// First time at which `predicate` has held continuously for at least
+/// `duration` seconds, or `None` if it never does.
+///
+/// This is the debounced-detection primitive: the returned instant is the
+/// *end* of the first qualifying run (when a monitor would raise the alarm).
+pub fn first_sustained(
+    series: &Series,
+    duration: f64,
+    mut predicate: impl FnMut(f64) -> bool,
+) -> Option<f64> {
+    let mut run_start: Option<f64> = None;
+    for s in series.samples() {
+        if predicate(s.value) {
+            let start = *run_start.get_or_insert(s.time);
+            if s.time - start >= duration {
+                return Some(s.time);
+            }
+        } else {
+            run_start = None;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_with(values: &[f64]) -> Series {
+        Series::from_samples(
+            "w",
+            values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (i as f64 * 0.1, v)),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn windows_cover_every_start() {
+        let s = series_with(&[0.0; 4]);
+        assert_eq!(windows_of(&s, 0.1).count(), 4);
+        let first = windows_of(&s, 0.1).next().unwrap();
+        assert_eq!(first.len(), 2);
+    }
+
+    #[test]
+    fn windows_of_empty_series() {
+        let s = Series::new("e");
+        assert_eq!(windows_of(&s, 1.0).count(), 0);
+    }
+
+    #[test]
+    fn longest_run_measures_duration() {
+        // true at t=0.1..0.3 (3 samples = 0.2 s) and t=0.5 (isolated).
+        let s = series_with(&[0.0, 1.0, 1.0, 1.0, 0.0, 1.0]);
+        let run = longest_true_run(&s, |v| v > 0.5);
+        assert!((run - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longest_run_zero_when_never_true() {
+        let s = series_with(&[0.0, 0.0]);
+        assert_eq!(longest_true_run(&s, |v| v > 0.5), 0.0);
+    }
+
+    #[test]
+    fn first_sustained_finds_debounced_instant() {
+        let s = series_with(&[0.0, 1.0, 1.0, 1.0, 1.0, 0.0]);
+        // Run starts at t=0.1; 0.25 s sustained first reached at t=0.4.
+        let t = first_sustained(&s, 0.25, |v| v > 0.5).unwrap();
+        assert!((t - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_sustained_requires_continuity() {
+        let s = series_with(&[1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+        assert_eq!(first_sustained(&s, 0.15, |v| v > 0.5), None);
+    }
+
+    #[test]
+    fn first_sustained_zero_duration_fires_immediately() {
+        let s = series_with(&[0.0, 1.0]);
+        assert_eq!(first_sustained(&s, 0.0, |v| v > 0.5), Some(0.1));
+    }
+}

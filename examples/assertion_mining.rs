@@ -1,0 +1,75 @@
+//! Assertion mining: learn catalog thresholds from golden runs instead of
+//! hand-tuning them, then show the mined catalog is clean on fresh golden
+//! runs and still detects attacks.
+//!
+//! Run with: `cargo run --release --example assertion_mining`
+
+use adassure::attacks::campaign::standard_attacks;
+use adassure::control::ControllerKind;
+use adassure::core::mining::{self, MiningConfig};
+use adassure::core::{catalog, checker};
+use adassure::scenarios::{run, Scenario, ScenarioKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::of_kind(ScenarioKind::SCurve)?;
+    let controller = ControllerKind::PurePursuit;
+    let base = catalog::CatalogConfig::default().with_goal_distance(scenario.route_length());
+
+    // --- Mine from three golden runs (training seeds). ------------------
+    let train_seeds = [100u64, 101, 102];
+    let mut golden = Vec::new();
+    for &seed in &train_seeds {
+        golden.push(run::clean(&scenario, controller, seed)?.trace);
+    }
+    let golden_refs: Vec<_> = golden.iter().collect();
+    let bounds = mining::mine_bounds(&base, &golden_refs, &MiningConfig::default());
+
+    println!("mined thresholds (observed worst case × 1.3 margin):\n");
+    println!(
+        "{:<5} {:>12} {:>12} {:>12}",
+        "id", "observed", "mined", "hand-tuned"
+    );
+    let defaults = catalog::build(&base);
+    let mut ids: Vec<_> = bounds.keys().collect();
+    ids.sort_by_key(|id| id[1..].parse::<u32>().unwrap_or(u32::MAX));
+    for id in ids {
+        let b = &bounds[id];
+        let hand = defaults
+            .iter()
+            .find(|a| a.id.as_str() == id.as_str())
+            .map(|a| format!("{:.3}", a.condition.threshold()))
+            .unwrap_or_default();
+        println!("{id:<5} {:>12.3} {:>12.3} {:>12}", b.observed, b.mined, hand);
+    }
+
+    // --- Validate: clean on held-out golden seeds... --------------------
+    let mined_cat = mining::mined_catalog(&base, &golden_refs, &MiningConfig::default());
+    let mut false_positives = 0usize;
+    let holdout = [200u64, 201, 202, 203, 204];
+    for &seed in &holdout {
+        let out = run::clean(&scenario, controller, seed)?;
+        let report = checker::check(&mined_cat, &out.trace);
+        false_positives += usize::from(!report.is_clean());
+    }
+    println!(
+        "\nheld-out golden runs: {false_positives}/{} flagged (false positives)",
+        holdout.len()
+    );
+
+    // --- ...and still detecting attacks. ---------------------------------
+    let mut detected = 0usize;
+    let attacks = standard_attacks(scenario.attack_start);
+    for attack in &attacks {
+        let mut injector = attack.injector(7);
+        let out = run::with_tap(&scenario, controller, 7, &mut injector)?;
+        let report = checker::check(&mined_cat, &out.trace);
+        if report.detection_latency(attack.window.start).is_some() {
+            detected += 1;
+        }
+    }
+    println!(
+        "attacked runs: {detected}/{} detected with the mined catalog",
+        attacks.len()
+    );
+    Ok(())
+}

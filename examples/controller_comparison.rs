@@ -1,0 +1,64 @@
+//! Compare the four lateral controllers under the same attack: tracking
+//! quality and how quickly the catalog flags the compromise for each.
+//!
+//! Run with: `cargo run --release --example controller_comparison`
+
+use adassure::attacks::{campaign::AttackSpec, AttackKind, Window};
+use adassure::control::ControllerKind;
+use adassure::core::{catalog, checker};
+use adassure::scenarios::{run, Scenario, ScenarioKind};
+use adassure::sim::geometry::Vec2;
+use adassure::trace::stats::SummaryStats;
+use adassure::trace::well_known as sig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::of_kind(ScenarioKind::SCurve)?;
+    let cfg = catalog::CatalogConfig::default().with_goal_distance(scenario.route_length());
+    let cat = catalog::build(&cfg);
+    let attack = AttackSpec::new(
+        AttackKind::GnssDrift {
+            rate: Vec2::new(0.4, 0.3),
+        },
+        Window::from_start(scenario.attack_start),
+    );
+    let seed = 7;
+
+    println!(
+        "scenario `{}`, attack `{}` from t = {:.0} s\n",
+        scenario.kind,
+        attack.name(),
+        attack.window.start
+    );
+    println!(
+        "{:<14} {:>10} {:>12} {:>12} {:>10}",
+        "controller", "goal", "rms xtrack", "max |xtrack|", "latency"
+    );
+    for controller in ControllerKind::ALL {
+        // Clean baseline for tracking quality.
+        let clean = run::clean(&scenario, controller, seed)?;
+        let xtrack = clean.trace.require(sig::TRUE_XTRACK_ERR)?;
+        let stats = SummaryStats::from_series(xtrack).expect("non-empty run");
+
+        // Attacked run for detection latency.
+        let mut injector = attack.injector(seed);
+        let attacked = run::with_tap(&scenario, controller, seed, &mut injector)?;
+        let report = checker::check(&cat, &attacked.trace);
+        let latency = report
+            .detection_latency(attack.window.start)
+            .map(|l| format!("{l:.2}s"))
+            .unwrap_or_else(|| "miss".to_owned());
+
+        println!(
+            "{:<14} {:>10} {:>11.3}m {:>11.3}m {:>10}",
+            controller.name(),
+            if clean.reached_goal { "reached" } else { "timeout" },
+            stats.rms,
+            stats.max.abs().max(stats.min.abs()),
+            latency
+        );
+    }
+    println!("\n(the drift attack is the stealthiest in the taxonomy: it is only");
+    println!(" caught once the spoofed route bends the estimated errors — latency");
+    println!(" is tens of seconds, and controllers with tighter tracking flag it sooner)");
+    Ok(())
+}

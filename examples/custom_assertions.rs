@@ -1,0 +1,57 @@
+//! Author project-specific assertions in the textual spec language instead
+//! of Rust, and debug a run against them.
+//!
+//! Run with: `cargo run --release --example custom_assertions`
+
+use adassure::attacks::{campaign::AttackSpec, AttackKind, Window};
+use adassure::control::ControllerKind;
+use adassure::core::{checker, spec};
+use adassure::scenarios::{run, Scenario, ScenarioKind};
+
+/// A user-authored catalog: the kind of file that would live next to the
+/// vehicle configuration. Severities, temporal operators and grace periods
+/// are all part of the one-line syntax.
+const CUSTOM_CATALOG: &str = "
+# --- fleet-specific safety envelope (tighter than the defaults) ----------
+SAFE1 critical: |xtrack_err| <= 1.0 sustained 0.5 grace 8 -- fleet lane-keeping envelope
+SAFE2 warning:  |est_speed - target_speed| <= 2.0 sustained 1.5 grace 8 -- speed discipline
+
+# --- the consistency core, spelled out by hand ---------------------------
+CONS1 critical: |gnss_speed - wheel_speed| <= 3.0 sustained 0.25 grace 5 -- speed cross-check
+CONS2 critical: fresh(gnss_x) <= 0.5 grace 3 -- GNSS must keep fixing
+CONS3 critical: |dang(compass_heading)/dt - imu_yaw_rate| <= 8 grace 3 -- heading-rate cross-check
+
+# --- mission clause -------------------------------------------------------
+GOAL1 warning:  progress >= 270 eventually -- reach the end of the route
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let catalog = spec::parse_catalog(CUSTOM_CATALOG)?;
+    println!("parsed {} user assertions:", catalog.len());
+    for line in spec::format_catalog(&catalog).lines() {
+        println!("  {line}");
+    }
+
+    let scenario = Scenario::of_kind(ScenarioKind::SCurve)?;
+
+    // Clean run: the custom envelope should hold.
+    let golden = run::clean(&scenario, ControllerKind::Lqr, 5)?;
+    let report = checker::check(&catalog, &golden.trace);
+    println!("\nclean run: {} violations", report.violations.len());
+
+    // A GNSS dropout trips the user's freshness clause.
+    let attack = AttackSpec::new(
+        AttackKind::GnssDropout,
+        Window::from_start(scenario.attack_start),
+    );
+    let mut injector = attack.injector(5);
+    let attacked = run::with_tap(&scenario, ControllerKind::Lqr, 5, &mut injector)?;
+    let report = checker::check(&catalog, &attacked.trace);
+    println!("\nunder {}:", attack.name());
+    print!("{}", report.summary());
+    assert!(
+        report.violations_of("CONS2").next().is_some(),
+        "the user-authored freshness clause must fire"
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Quickstart: debug one GNSS-spoofed run with ADAssure.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use adassure::attacks::{campaign::AttackSpec, AttackKind, Window};
+use adassure::control::ControllerKind;
+use adassure::core::{catalog, checker, diagnosis};
+use adassure::scenarios::{run, Scenario, ScenarioKind};
+use adassure::sim::geometry::Vec2;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A standard workload: the S-curve scenario with the Pure Pursuit stack.
+    let scenario = Scenario::of_kind(ScenarioKind::SCurve)?;
+    let controller = ControllerKind::PurePursuit;
+    let seed = 42;
+
+    // The ADAssure catalog, aware of the route length so A12 (goal
+    // eventually reached) is armed.
+    let cfg = catalog::CatalogConfig::default().with_goal_distance(scenario.route_length());
+    let cat = catalog::build(&cfg);
+    println!("catalog: {} assertions", cat.len());
+
+    // --- Golden run: no attack, the catalog stays silent. --------------
+    let golden = run::clean(&scenario, controller, seed)?;
+    let report = checker::check(&cat, &golden.trace);
+    println!(
+        "golden run:  reached_goal={} violations={}",
+        golden.reached_goal,
+        report.violations.len()
+    );
+    assert!(report.is_clean());
+
+    // --- Attacked run: GNSS position spoofed by 2.5 m from t = 12 s. ----
+    let attack = AttackSpec::new(
+        AttackKind::GnssBias {
+            offset: Vec2::new(2.5, -2.0),
+        },
+        Window::from_start(scenario.attack_start),
+    );
+    let mut injector = attack.injector(seed);
+    let attacked = run::with_tap(&scenario, controller, seed, &mut injector)?;
+    let report = checker::check(&cat, &attacked.trace);
+
+    println!("\nattacked run ({}):", attack.name());
+    print!("{}", report.summary());
+
+    if let Some(latency) = report.detection_latency(attack.window.start) {
+        println!("detected {latency:.2} s after attack onset");
+    }
+
+    // --- Diagnosis: which channel is the liar? --------------------------
+    let verdict = diagnosis::diagnose(&report);
+    println!("\nranked root causes:");
+    for c in &verdict.ranking {
+        println!("  {:<12} {:.0} %", c.cause.name(), c.score * 100.0);
+    }
+    assert_eq!(
+        verdict.top(),
+        Some(diagnosis::CauseTag::GnssChannel),
+        "the GNSS channel should top the ranking"
+    );
+    println!("\nverdict: debug the {} channel first", verdict.top().expect("non-empty").name());
+    Ok(())
+}

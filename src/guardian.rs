@@ -1,0 +1,279 @@
+//! Runtime guardian: the ADAssure monitor promoted from a debugging tool to
+//! a runtime-assurance guard.
+//!
+//! [`Guardian`] wraps the full control stack
+//! ([`adassure_control::pipeline::AdStack`]) together with an
+//! in-loop [`OnlineChecker`]. Every cycle it feeds the cycle's signals to
+//! the checker; when an assertion at or above the configured severity
+//! fires, the guardian overrides the stack with a **safe stop**: steering
+//! frozen at its last nominal value, maximum comfortable braking. This is
+//! the natural "from debugging to runtime assurance" extension of the
+//! methodology, evaluated by experiment F5.
+
+use adassure_control::pipeline::AdStack;
+use adassure_core::assertion::Severity;
+use adassure_core::{Assertion, OnlineChecker, Violation};
+use adassure_sim::engine::{DriveCtx, Driver};
+use adassure_sim::vehicle::Controls;
+use adassure_trace::{well_known as sig, Trace};
+
+/// Configuration of the guardian's intervention policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardianConfig {
+    /// Minimum severity of a violation that triggers the safe stop.
+    pub trigger_severity: Severity,
+    /// Braking deceleration commanded during the safe stop (m/s², positive).
+    pub stop_decel: f64,
+}
+
+impl Default for GuardianConfig {
+    fn default() -> Self {
+        GuardianConfig {
+            trigger_severity: Severity::Critical,
+            stop_decel: 4.0,
+        }
+    }
+}
+
+/// The guardian's operating state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GuardState {
+    /// Passing the stack's controls through unchanged.
+    Nominal,
+    /// Safe stop engaged.
+    SafeStop {
+        /// Time the stop was engaged (s).
+        since: f64,
+        /// Steering angle held during the stop (rad).
+        held_steer: f64,
+    },
+}
+
+/// A monitored control stack with safe-stop fallback.
+#[derive(Debug)]
+pub struct Guardian {
+    stack: AdStack,
+    checker: OnlineChecker,
+    config: GuardianConfig,
+    state: GuardState,
+    trigger: Option<Violation>,
+}
+
+/// Signals the guardian forwards from the trace into the in-loop checker.
+/// (Command signals are fed directly from the stack's output, because the
+/// engine records them only *after* the driver returns.)
+const FORWARDED: &[&str] = &[
+    sig::GNSS_X,
+    sig::GNSS_Y,
+    sig::GNSS_SPEED,
+    sig::GNSS_JUMP,
+    sig::WHEEL_SPEED,
+    sig::WHEEL_ACCEL,
+    sig::IMU_YAW_RATE,
+    sig::IMU_ACCEL,
+    sig::COMPASS_HEADING,
+    sig::EST_X,
+    sig::EST_Y,
+    sig::EST_HEADING,
+    sig::EST_SPEED,
+    sig::INNOVATION,
+    sig::XTRACK_ERR,
+    sig::HEADING_ERR,
+    sig::TARGET_SPEED,
+    sig::PROGRESS,
+    sig::STEER_ACTUAL,
+];
+
+impl Guardian {
+    /// Wraps `stack`, monitoring it with `catalog`.
+    ///
+    /// Note that [`Temporal::Eventually`](adassure_core::Temporal)
+    /// assertions (A12) never fire mid-run, so they are inert as triggers;
+    /// include them or not as you wish.
+    pub fn new(stack: AdStack, catalog: impl IntoIterator<Item = Assertion>, config: GuardianConfig) -> Self {
+        Guardian {
+            stack,
+            checker: OnlineChecker::new(catalog),
+            config,
+            state: GuardState::Nominal,
+            trigger: None,
+        }
+    }
+
+    /// Current operating state.
+    pub fn state(&self) -> GuardState {
+        self.state
+    }
+
+    /// The violation that triggered the safe stop, if engaged.
+    pub fn trigger(&self) -> Option<&Violation> {
+        self.trigger.as_ref()
+    }
+
+    /// All violations observed so far (triggering or not).
+    pub fn violations(&self) -> &[Violation] {
+        self.checker.violations()
+    }
+
+    /// Consumes the guardian, returning the wrapped stack and the
+    /// monitor's final report at `end_time`.
+    pub fn into_report(self, end_time: f64) -> adassure_core::CheckReport {
+        self.checker.finish(end_time)
+    }
+}
+
+impl Driver for Guardian {
+    fn control(&mut self, ctx: &DriveCtx<'_>, trace: &mut Trace) -> Controls {
+        let nominal = self.stack.control(ctx, trace);
+
+        // Feed this cycle's signals to the in-loop checker. Sensor and
+        // pipeline signals were recorded into the trace this cycle (by the
+        // engine and the stack respectively); command signals come from the
+        // controls we are about to return.
+        self.checker.begin_cycle(ctx.time);
+        for name in FORWARDED {
+            if let Some(sample) = trace.series_by_name(name).and_then(|s| s.last()) {
+                // Actuator feedback is recorded by the engine *after* the
+                // driver returns, so its newest sample is one cycle old —
+                // feed it anyway (sample-and-hold). Every other signal must
+                // carry this cycle's timestamp, so that e.g. the GNSS
+                // freshness assertion still sees fixes age.
+                let fresh_enough = if *name == sig::STEER_ACTUAL {
+                    sample.time >= ctx.time - ctx.dt * 1.5
+                } else {
+                    sample.time == ctx.time
+                };
+                if fresh_enough {
+                    self.checker.update(*name, sample.value);
+                }
+            }
+        }
+        self.checker.update(sig::STEER_CMD, nominal.steer);
+        self.checker.update(sig::ACCEL_CMD, nominal.accel);
+        let fresh = self.checker.end_cycle();
+
+        if fresh > 0 && self.state == GuardState::Nominal {
+            let triggering = self
+                .checker
+                .violations()
+                .iter()
+                .rev()
+                .take(fresh)
+                .find(|v| v.severity >= self.config.trigger_severity)
+                .cloned();
+            if let Some(violation) = triggering {
+                self.state = GuardState::SafeStop {
+                    since: ctx.time,
+                    held_steer: nominal.steer,
+                };
+                self.trigger = Some(violation);
+            }
+        }
+
+        match self.state {
+            GuardState::Nominal => nominal,
+            GuardState::SafeStop { held_steer, .. } => {
+                Controls::new(held_steer, -self.config.stop_decel)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adassure_attacks::{campaign::AttackSpec, AttackKind, Window};
+    use adassure_control::ControllerKind;
+    use adassure_core::catalog::{self, CatalogConfig};
+    use adassure_scenarios::{run, Scenario, ScenarioKind};
+    use adassure_sim::engine::Engine;
+    use adassure_sim::geometry::Vec2;
+
+    fn guardian_for(scenario: &Scenario) -> Guardian {
+        let stack = AdStack::new(
+            run::stack_config(scenario, ControllerKind::PurePursuit),
+            scenario.track.clone(),
+        );
+        let cat = catalog::build(&CatalogConfig::default());
+        Guardian::new(stack, cat, GuardianConfig::default())
+    }
+
+    #[test]
+    fn clean_run_stays_nominal() {
+        let scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+        let mut guardian = guardian_for(&scenario);
+        let out = run::engine_for(&scenario, 1).run(&mut guardian).unwrap();
+        assert!(out.reached_goal);
+        assert_eq!(guardian.state(), GuardState::Nominal);
+        assert!(guardian.trigger().is_none());
+    }
+
+    #[test]
+    fn jump_attack_engages_safe_stop_and_vehicle_halts() {
+        let scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+        let mut guardian = guardian_for(&scenario);
+        let attack = AttackSpec::new(
+            AttackKind::GnssJump {
+                offset: Vec2::new(12.0, 8.0),
+            },
+            Window::from_start(scenario.attack_start),
+        );
+        let mut injector = attack.injector(1);
+        let engine: Engine = run::engine_for(&scenario, 1);
+        let out = engine.run_with_tap(&mut guardian, &mut injector).unwrap();
+        match guardian.state() {
+            GuardState::SafeStop { since, .. } => {
+                assert!(since >= scenario.attack_start);
+                assert!(since < scenario.attack_start + 1.0, "engaged at {since}");
+            }
+            GuardState::Nominal => panic!("guardian must engage under a jump attack"),
+        }
+        assert!(guardian.trigger().is_some());
+        assert!(
+            out.final_state.speed < 0.1,
+            "vehicle should be stopped, speed {}",
+            out.final_state.speed
+        );
+        assert!(!out.reached_goal);
+    }
+
+    #[test]
+    fn severity_filter_ignores_low_severity_violations() {
+        use adassure_core::{Condition, SignalExpr};
+        let scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+        let stack = AdStack::new(
+            run::stack_config(&scenario, ControllerKind::PurePursuit),
+            scenario.track.clone(),
+        );
+        // A warning-severity assertion that always fires once moving.
+        let nag = Assertion::new(
+            "NAG",
+            "always fires",
+            Severity::Warning,
+            Condition::AtMost {
+                expr: SignalExpr::signal(sig::EST_SPEED),
+                limit: 0.5,
+            },
+        )
+        .with_grace(5.0);
+        let mut guardian = Guardian::new(stack, [nag], GuardianConfig::default());
+        let out = run::engine_for(&scenario, 1).run(&mut guardian).unwrap();
+        assert_eq!(guardian.state(), GuardState::Nominal, "warnings must not stop the car");
+        assert!(!guardian.violations().is_empty(), "but they are still logged");
+        assert!(out.reached_goal);
+    }
+
+    #[test]
+    fn report_is_available_after_the_run() {
+        let scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+        let mut guardian = guardian_for(&scenario);
+        let attack = AttackSpec::new(AttackKind::GnssDropout, Window::from_start(12.0));
+        let mut injector = attack.injector(2);
+        let out = run::engine_for(&scenario, 2)
+            .run_with_tap(&mut guardian, &mut injector)
+            .unwrap();
+        let end = out.trace.span().unwrap().1;
+        let report = guardian.into_report(end);
+        assert!(report.violations_of("A13").next().is_some());
+    }
+}

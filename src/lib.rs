@@ -1,0 +1,51 @@
+//! ADAssure — assertion-based debugging for autonomous-driving control
+//! algorithms (reproduction of the DATE 2024 ASD paper).
+//!
+//! This facade crate re-exports the whole workspace under one roof and
+//! hosts the runnable examples (`examples/`) and cross-crate integration
+//! tests (`tests/`):
+//!
+//! * [`core`] — the assertion engine: expression language, online/offline
+//!   checkers, the A1–A16 catalog, root-cause diagnosis, threshold mining;
+//! * [`sim`] — the driving-simulator substrate (bicycle dynamics, sensors,
+//!   actuators, tracks, closed-loop engine);
+//! * [`control`] — the AD control algorithms under debug (Pure Pursuit,
+//!   Stanley, LQR, MPC, PID, estimator, full pipeline);
+//! * [`attacks`] — sensor-channel attack injection;
+//! * [`scenarios`] — the standard workload library and one-call runners;
+//! * [`trace`] — the signal/trace recording substrate.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use adassure::control::ControllerKind;
+//! use adassure::core::{catalog, checker, diagnosis};
+//! use adassure::scenarios::{run, Scenario, ScenarioKind};
+//!
+//! # fn main() -> Result<(), adassure::sim::SimError> {
+//! // 1. Run a scenario with the stock Pure Pursuit stack.
+//! let scenario = Scenario::of_kind(ScenarioKind::Straight)?;
+//! let out = run::clean(&scenario, ControllerKind::PurePursuit, 42)?;
+//!
+//! // 2. Check the recorded trace against the ADAssure catalog.
+//! let cfg = catalog::CatalogConfig::default().with_goal_distance(scenario.route_length());
+//! let report = checker::check(&catalog::build(&cfg), &out.trace);
+//! assert!(report.is_clean(), "{}", report.summary());
+//!
+//! // 3. (On an attacked run the report would not be clean, and...)
+//! let verdict = diagnosis::diagnose(&report);
+//! assert!(verdict.top().is_none());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod guardian;
+
+pub use adassure_attacks as attacks;
+pub use adassure_control as control;
+pub use adassure_core as core;
+pub use adassure_scenarios as scenarios;
+pub use adassure_sim as sim;
+pub use adassure_trace as trace;

@@ -1,0 +1,239 @@
+//! Detection integration: every attack class in the standard catalog is
+//! detected on representative scenarios, with channel-appropriate
+//! assertions firing.
+
+use adassure::attacks::campaign::{standard_attacks, AttackSpec};
+use adassure::attacks::{AttackKind, Channel, Window};
+use adassure::control::ControllerKind;
+use adassure::core::{catalog, checker, CheckReport};
+use adassure::scenarios::{run, Scenario, ScenarioKind};
+use adassure::sim::geometry::Vec2;
+
+fn check_attacked(
+    scenario: &Scenario,
+    controller: ControllerKind,
+    attack: &AttackSpec,
+    seed: u64,
+) -> CheckReport {
+    let mut cfg = catalog::CatalogConfig::default();
+    if !scenario.track.is_closed() {
+        cfg = cfg.with_goal_distance(scenario.route_length());
+    }
+    let cat = catalog::build(&cfg);
+    let mut injector = attack.injector(seed);
+    let out = run::with_tap(scenario, controller, seed, &mut injector).expect("simulation");
+    checker::check(&cat, &out.trace)
+}
+
+#[test]
+fn every_standard_attack_is_detected_on_the_s_curve() {
+    let scenario = Scenario::of_kind(ScenarioKind::SCurve).unwrap();
+    for attack in standard_attacks(scenario.attack_start) {
+        let report = check_attacked(&scenario, ControllerKind::PurePursuit, &attack, 1);
+        assert!(
+            report.detection_latency(attack.window.start).is_some(),
+            "{} was not detected: {}",
+            attack.name(),
+            report.summary()
+        );
+    }
+}
+
+#[test]
+fn fast_attacks_are_detected_within_a_second() {
+    let scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+    for attack in standard_attacks(scenario.attack_start) {
+        // Drift and wheel-freeze are stealthy by design; everything else
+        // should be flagged almost immediately.
+        if matches!(
+            attack.kind,
+            AttackKind::GnssDrift { .. } | AttackKind::WheelSpeedFreeze
+        ) {
+            continue;
+        }
+        let report = check_attacked(&scenario, ControllerKind::Stanley, &attack, 2);
+        let latency = report
+            .detection_latency(attack.window.start)
+            .unwrap_or_else(|| panic!("{} undetected", attack.name()));
+        assert!(
+            latency < 1.0,
+            "{} latency {latency:.2}s too slow",
+            attack.name()
+        );
+    }
+}
+
+#[test]
+fn gnss_attacks_fire_gnss_signature_assertions() {
+    let scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+    for attack in standard_attacks(scenario.attack_start)
+        .into_iter()
+        .filter(|a| a.kind.channel() == Channel::Gnss)
+    {
+        // Slow drift is the documented exception: it evades the
+        // consistency checks and surfaces behaviourally.
+        if matches!(attack.kind, AttackKind::GnssDrift { .. }) {
+            continue;
+        }
+        let report = check_attacked(&scenario, ControllerKind::PurePursuit, &attack, 3);
+        let ids = report.violated_ids();
+        let signature_fired = ["A6", "A7", "A9", "A11", "A13"]
+            .iter()
+            .any(|s| ids.contains(*s));
+        assert!(
+            signature_fired,
+            "{}: no GNSS-signature assertion fired, only {ids:?}",
+            attack.name()
+        );
+    }
+}
+
+#[test]
+fn imu_bias_fires_the_kinematic_consistency_check() {
+    let scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+    let attack = AttackSpec::new(
+        AttackKind::ImuYawBias { bias: 0.08 },
+        Window::from_start(scenario.attack_start),
+    );
+    let report = check_attacked(&scenario, ControllerKind::Lqr, &attack, 4);
+    assert!(
+        report.violations_of("A8").next().is_some(),
+        "{}",
+        report.summary()
+    );
+}
+
+#[test]
+fn compass_step_fires_the_compass_rate_check() {
+    let scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+    let attack = AttackSpec::new(
+        AttackKind::CompassBias { bias: 0.25 },
+        Window::from_start(scenario.attack_start),
+    );
+    let report = check_attacked(&scenario, ControllerKind::PurePursuit, &attack, 5);
+    let a14 = report
+        .violations_of("A14")
+        .next()
+        .expect("A14 must catch the bias step");
+    // The step is caught at onset, within one GNSS-cycle of activation.
+    assert!(
+        (a14.detected - scenario.attack_start) < 0.2,
+        "A14 late: {:.2}",
+        a14.detected
+    );
+}
+
+#[test]
+fn dropout_fires_freshness_and_nothing_gnss_positional() {
+    let scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+    let attack = AttackSpec::new(
+        AttackKind::GnssDropout,
+        Window::from_start(scenario.attack_start),
+    );
+    let report = check_attacked(&scenario, ControllerKind::PurePursuit, &attack, 6);
+    assert!(report.violations_of("A13").next().is_some());
+    // With no fixes arriving, the jump check has nothing to fire on.
+    assert_eq!(
+        report
+            .violations_of("A7")
+            .filter(|v| v.detected >= scenario.attack_start)
+            .count(),
+        0
+    );
+}
+
+#[test]
+fn attack_magnitude_scales_detectability() {
+    use adassure::attacks::campaign::scale_attack;
+    let scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+    let base = AttackKind::GnssBias {
+        offset: Vec2::new(2.5, -2.0),
+    };
+    // A tiny bias hides inside sensor noise; the standard one is caught.
+    let tiny = AttackSpec::new(scale_attack(base, 0.1), Window::from_start(scenario.attack_start));
+    let tiny_report = check_attacked(&scenario, ControllerKind::PurePursuit, &tiny, 7);
+    let standard = AttackSpec::new(base, Window::from_start(scenario.attack_start));
+    let std_report = check_attacked(&scenario, ControllerKind::PurePursuit, &standard, 7);
+    assert!(std_report.detection_latency(scenario.attack_start).is_some());
+    let tiny_latency = tiny_report.detection_latency(scenario.attack_start);
+    let std_latency = std_report.detection_latency(scenario.attack_start);
+    if let (Some(t), Some(s)) = (tiny_latency, std_latency) {
+        assert!(t >= s, "weaker attack detected faster: {t} < {s}");
+    }
+}
+
+#[test]
+fn wheel_noise_is_caught_by_the_jitter_assertion() {
+    let scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+    let attack = AttackSpec::new(
+        AttackKind::WheelSpeedNoise { std_dev: 2.5 },
+        Window::from_start(scenario.attack_start),
+    );
+    let report = check_attacked(&scenario, ControllerKind::PurePursuit, &attack, 9);
+    // Zero-mean noise cannot sustain a level assertion; the dispersion
+    // check is the designed witness.
+    assert!(
+        report.violations_of("A16").next().is_some(),
+        "{}",
+        report.summary()
+    );
+}
+
+#[test]
+fn imu_gain_fault_is_invisible_until_turning() {
+    // On a straight road there is no yaw to scale: undetected.
+    let straight = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+    let attack = AttackSpec::new(
+        AttackKind::ImuYawScale { factor: 1.6 },
+        Window::from_start(straight.attack_start),
+    );
+    let report = check_attacked(&straight, ControllerKind::PurePursuit, &attack, 10);
+    assert!(
+        report.detection_latency(straight.attack_start).is_none(),
+        "gain fault should hide on a straight road: {}",
+        report.summary()
+    );
+    // In a curve the scaled yaw rate violates the kinematic consistency.
+    let curve = Scenario::of_kind(ScenarioKind::SCurve).unwrap();
+    let attack = AttackSpec::new(
+        AttackKind::ImuYawScale { factor: 1.6 },
+        Window::from_start(curve.attack_start),
+    );
+    let report = check_attacked(&curve, ControllerKind::PurePursuit, &attack, 10);
+    assert!(report.violations_of("A8").next().is_some());
+}
+
+#[test]
+fn extended_campaign_is_detected_on_curved_scenarios() {
+    use adassure::attacks::campaign::extended_attacks;
+    let scenario = Scenario::of_kind(ScenarioKind::SCurve).unwrap();
+    for attack in extended_attacks(scenario.attack_start) {
+        let report = check_attacked(&scenario, ControllerKind::PurePursuit, &attack, 11);
+        assert!(
+            report.detection_latency(attack.window.start).is_some(),
+            "{} was not detected: {}",
+            attack.name(),
+            report.summary()
+        );
+    }
+}
+
+#[test]
+fn windowed_attack_stops_firing_after_the_window() {
+    let scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+    let attack = AttackSpec::new(
+        AttackKind::GnssBias {
+            offset: Vec2::new(3.0, 0.0),
+        },
+        Window::new(12.0, 20.0),
+    );
+    let report = check_attacked(&scenario, ControllerKind::PurePursuit, &attack, 8);
+    assert!(report.detection_latency(12.0).is_some(), "attack detected");
+    // Well after the window closes (allowing recovery), no fresh episodes.
+    let late = report
+        .violations
+        .iter()
+        .filter(|v| v.onset > 28.0)
+        .count();
+    assert_eq!(late, 0, "assertions kept firing after recovery:\n{}", report.summary());
+}

@@ -1,0 +1,103 @@
+//! Determinism and robustness properties of the whole stack.
+
+use adassure::attacks::campaign::standard_attacks;
+use adassure::control::ControllerKind;
+use adassure::core::{catalog, checker};
+use adassure::scenarios::{run, Scenario, ScenarioKind};
+use proptest::prelude::*;
+
+#[test]
+fn full_campaign_is_bit_identical_under_one_seed() {
+    let scenario = Scenario::of_kind(ScenarioKind::LaneChange).unwrap();
+    let cat = catalog::build(
+        &catalog::CatalogConfig::default().with_goal_distance(scenario.route_length()),
+    );
+    let attacks = standard_attacks(scenario.attack_start);
+    let attack = attacks.iter().find(|a| a.name() == "gnss_noise").unwrap();
+    let run_once = || {
+        let mut injector = attack.injector(77);
+        let out = run::with_tap(&scenario, ControllerKind::Mpc, 77, &mut injector).unwrap();
+        let report = checker::check(&cat, &out.trace);
+        (out.trace, report)
+    };
+    let (trace_a, report_a) = run_once();
+    let (trace_b, report_b) = run_once();
+    assert_eq!(trace_a, trace_b);
+    assert_eq!(report_a, report_b);
+}
+
+#[test]
+fn different_seeds_differ_but_stay_clean() {
+    let scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+    let cat = catalog::build(
+        &catalog::CatalogConfig::default().with_goal_distance(scenario.route_length()),
+    );
+    let mut previous = None;
+    for seed in [100, 200, 300] {
+        let out = run::clean(&scenario, ControllerKind::PurePursuit, seed).unwrap();
+        let report = checker::check(&cat, &out.trace);
+        assert!(report.is_clean(), "seed {seed}: {}", report.summary());
+        if let Some(prev) = previous.replace(out.trace) {
+            assert_ne!(prev, *previous.as_ref().unwrap());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary (bounded) attack magnitudes never crash the simulator or
+    /// checker — the loop and monitor are total functions of their input.
+    #[test]
+    fn arbitrary_gnss_bias_never_panics(
+        dx in -50.0f64..50.0,
+        dy in -50.0f64..50.0,
+        start in 5.0f64..40.0,
+        seed in 0u64..1000,
+    ) {
+        use adassure::attacks::{campaign::AttackSpec, AttackKind, Window};
+        use adassure::sim::geometry::Vec2;
+
+        let mut scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+        scenario.duration = 45.0; // keep property runs quick
+        let cat = catalog::build(
+            &catalog::CatalogConfig::default().with_goal_distance(scenario.route_length()),
+        );
+        let attack = AttackSpec::new(
+            AttackKind::GnssBias { offset: Vec2::new(dx, dy) },
+            Window::from_start(start),
+        );
+        let mut injector = attack.injector(seed);
+        let out = run::with_tap(&scenario, ControllerKind::Stanley, seed, &mut injector)
+            .expect("simulation must stay finite");
+        prop_assert!(out.final_state.is_finite());
+        let report = checker::check(&cat, &out.trace);
+        // Reports are well-formed: onset precedes detection.
+        for v in &report.violations {
+            prop_assert!(v.onset <= v.detected + 1e-9);
+        }
+    }
+
+    /// Wheel-speed scaling across a wide factor range keeps the loop finite
+    /// and the report well-formed.
+    #[test]
+    fn arbitrary_wheel_scale_never_panics(
+        factor in 0.0f64..3.0,
+        seed in 0u64..1000,
+    ) {
+        use adassure::attacks::{campaign::AttackSpec, AttackKind, Window};
+
+        let mut scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+        scenario.duration = 40.0;
+        let cat = catalog::build(&catalog::CatalogConfig::default());
+        let attack = AttackSpec::new(
+            AttackKind::WheelSpeedScale { factor },
+            Window::from_start(10.0),
+        );
+        let mut injector = attack.injector(seed);
+        let out = run::with_tap(&scenario, ControllerKind::PurePursuit, seed, &mut injector)
+            .expect("simulation must stay finite");
+        prop_assert!(out.final_state.is_finite());
+        let _ = checker::check(&cat, &out.trace);
+    }
+}

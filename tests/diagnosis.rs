@@ -1,0 +1,113 @@
+//! Diagnosis integration: the cause–effect engine localises attacked
+//! channels from violation patterns alone.
+
+use adassure::attacks::campaign::standard_attacks;
+use adassure::attacks::{AttackKind, Channel};
+use adassure::control::ControllerKind;
+use adassure::core::diagnosis::{self, CauseTag};
+use adassure::core::{catalog, checker};
+use adassure::scenarios::{run, Scenario, ScenarioKind};
+
+fn cause_of(channel: Channel) -> CauseTag {
+    match channel {
+        Channel::Gnss => CauseTag::GnssChannel,
+        Channel::WheelSpeed => CauseTag::WheelSpeedChannel,
+        Channel::ImuYaw => CauseTag::ImuYawChannel,
+        Channel::Compass => CauseTag::CompassChannel,
+    }
+}
+
+#[test]
+fn top2_diagnosis_localises_most_attacks() {
+    let scenario = Scenario::of_kind(ScenarioKind::SCurve).unwrap();
+    let cat = catalog::build(
+        &catalog::CatalogConfig::default().with_goal_distance(scenario.route_length()),
+    );
+    let mut total = 0usize;
+    let mut top1 = 0usize;
+    let mut top2 = 0usize;
+    for attack in standard_attacks(scenario.attack_start) {
+        // Slow drift is the documented stealthy case: it may surface as a
+        // control-loop anomaly. Scored separately below.
+        if matches!(attack.kind, AttackKind::GnssDrift { .. }) {
+            continue;
+        }
+        let mut injector = attack.injector(1);
+        let out =
+            run::with_tap(&scenario, ControllerKind::PurePursuit, 1, &mut injector).unwrap();
+        let report = checker::check(&cat, &out.trace);
+        let verdict = diagnosis::diagnose(&report);
+        let truth = cause_of(attack.kind.channel());
+        total += 1;
+        top1 += usize::from(verdict.top() == Some(truth));
+        top2 += usize::from(verdict.contains_in_top(truth, 2));
+    }
+    assert!(
+        top1 * 10 >= total * 8,
+        "top-1 accuracy too low: {top1}/{total}"
+    );
+    assert_eq!(top2, total, "the true channel must always be in the top 2");
+}
+
+#[test]
+fn per_channel_signature_attacks_diagnose_correctly() {
+    let scenario = Scenario::of_kind(ScenarioKind::SCurve).unwrap();
+    let cat = catalog::build(
+        &catalog::CatalogConfig::default().with_goal_distance(scenario.route_length()),
+    );
+    let cases = [
+        ("gnss_jump", CauseTag::GnssChannel),
+        ("gnss_dropout", CauseTag::GnssChannel),
+        ("wheel_speed_scale", CauseTag::WheelSpeedChannel),
+        ("imu_yaw_bias", CauseTag::ImuYawChannel),
+        ("compass_bias", CauseTag::CompassChannel),
+    ];
+    let attacks = standard_attacks(scenario.attack_start);
+    for (name, expected) in cases {
+        let attack = attacks
+            .iter()
+            .find(|a| a.name() == name)
+            .expect("attack in catalog");
+        let mut injector = attack.injector(2);
+        let out =
+            run::with_tap(&scenario, ControllerKind::PurePursuit, 2, &mut injector).unwrap();
+        let report = checker::check(&cat, &out.trace);
+        let verdict = diagnosis::diagnose(&report);
+        assert_eq!(
+            verdict.top(),
+            Some(expected),
+            "{name}: ranking {:?} (violations {:?})",
+            verdict.ranking,
+            report.violated_ids()
+        );
+    }
+}
+
+#[test]
+fn clean_runs_produce_no_verdict() {
+    let scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+    let cat = catalog::build(
+        &catalog::CatalogConfig::default().with_goal_distance(scenario.route_length()),
+    );
+    let out = run::clean(&scenario, ControllerKind::Mpc, 3).unwrap();
+    let report = checker::check(&cat, &out.trace);
+    let verdict = diagnosis::diagnose(&report);
+    assert_eq!(verdict.top(), None);
+}
+
+#[test]
+fn diagnosis_scores_are_a_probability_distribution() {
+    let scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+    let cat = catalog::build(
+        &catalog::CatalogConfig::default().with_goal_distance(scenario.route_length()),
+    );
+    let attacks = standard_attacks(scenario.attack_start);
+    let attack = attacks.iter().find(|a| a.name() == "gnss_noise").unwrap();
+    let mut injector = attack.injector(4);
+    let out = run::with_tap(&scenario, ControllerKind::Stanley, 4, &mut injector).unwrap();
+    let report = checker::check(&cat, &out.trace);
+    let verdict = diagnosis::diagnose(&report);
+    let total: f64 = verdict.ranking.iter().map(|c| c.score).sum();
+    assert!((total - 1.0).abs() < 1e-9);
+    assert!(verdict.ranking.iter().all(|c| c.score >= 0.0));
+}
