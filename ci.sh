@@ -1,0 +1,14 @@
+#!/usr/bin/env sh
+# Local CI gate: formatting, lints, tests. Run from the repository root.
+set -eu
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (workspace, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test (workspace) =="
+cargo test --workspace -q
+
+echo "CI OK"

@@ -174,7 +174,10 @@ mod tests {
             other => panic!("unexpected kind {other:?}"),
         }
         // Magnitude-free attacks are unchanged.
-        assert_eq!(scale_attack(AttackKind::GnssFreeze, 5.0), AttackKind::GnssFreeze);
+        assert_eq!(
+            scale_attack(AttackKind::GnssFreeze, 5.0),
+            AttackKind::GnssFreeze
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@ impl AttackInjector {
         AttackInjector {
             kind,
             window,
-            rng: SmallRng::seed_from_u64(seed ^ 0xADA5_5u64),
+            rng: SmallRng::seed_from_u64(seed ^ 0xADA55_u64),
             frozen_fix: None,
             frozen_speed: None,
             delay_buffer: VecDeque::new(),
@@ -142,6 +142,15 @@ impl SensorTap for AttackInjector {
     }
 }
 
+// The campaign engine fans injectors out across worker threads, one per
+// run; all state is owned (rng, freeze/delay buffers), so this holds by
+// construction and must keep holding.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AttackInjector>();
+    assert_send_sync::<crate::campaign::AttackSpec>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,11 +242,8 @@ mod tests {
 
     #[test]
     fn delay_without_history_drops_fix() {
-        let mut inj = AttackInjector::new(
-            AttackKind::GnssDelay { delay: 10.0 },
-            Window::always(),
-            0,
-        );
+        let mut inj =
+            AttackInjector::new(AttackKind::GnssDelay { delay: 10.0 }, Window::always(), 0);
         let f = apply(&mut inj, frame(0.0, Some(Vec2::ZERO)));
         assert_eq!(f.gnss, None);
     }
@@ -296,7 +302,8 @@ mod tests {
 
     #[test]
     fn imu_and_compass_bias() {
-        let mut inj = AttackInjector::new(AttackKind::ImuYawBias { bias: 0.2 }, Window::always(), 0);
+        let mut inj =
+            AttackInjector::new(AttackKind::ImuYawBias { bias: 0.2 }, Window::always(), 0);
         assert!((apply(&mut inj, frame(0.0, None)).imu_yaw_rate - 0.3).abs() < 1e-12);
 
         let mut inj =
@@ -307,8 +314,11 @@ mod tests {
     #[test]
     fn noise_is_deterministic_per_seed() {
         let run = |seed| {
-            let mut inj =
-                AttackInjector::new(AttackKind::GnssNoise { std_dev: 2.0 }, Window::always(), seed);
+            let mut inj = AttackInjector::new(
+                AttackKind::GnssNoise { std_dev: 2.0 },
+                Window::always(),
+                seed,
+            );
             (0..10)
                 .map(|i| {
                     apply(&mut inj, frame(f64::from(i) * 0.1, Some(Vec2::ZERO)))

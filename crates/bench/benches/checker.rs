@@ -71,5 +71,10 @@ fn bench_expr_eval(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_online_cycle, bench_offline_check, bench_expr_eval);
+criterion_group!(
+    benches,
+    bench_online_cycle,
+    bench_offline_check,
+    bench_expr_eval
+);
 criterion_main!(benches);

@@ -12,19 +12,25 @@
 //! Regenerate with:
 //! `cargo run --release -p adassure-bench --bin ablation_estimator`
 
-use adassure_attacks::campaign::AttackSpec;
-use adassure_attacks::{Channel, Window};
-use adassure_bench::{attacks_for, catalog_for, fmt_mean_std};
-use adassure_control::pipeline::{AdStack, EstimatorKind, StackConfig};
+use adassure_attacks::Channel;
+use adassure_control::pipeline::EstimatorKind;
 use adassure_control::ControllerKind;
-use adassure_core::checker;
-use adassure_scenarios::{run, Scenario, ScenarioKind};
-use adassure_trace::well_known as sig;
+use adassure_exp::agg::fmt_mean_std;
+use adassure_exp::{AttackSet, Campaign, Grid};
+use adassure_scenarios::{Scenario, ScenarioKind};
 
 fn main() {
     let scenario = Scenario::of_kind(ScenarioKind::SCurve).expect("library scenario");
-    let cat = catalog_for(&scenario);
     let seeds = [1u64, 2, 3];
+    let grid = Grid::new()
+        .scenarios([scenario.kind])
+        .controllers([ControllerKind::PurePursuit])
+        .estimators(EstimatorKind::ALL)
+        .attacks(AttackSet::Channel(Channel::Gnss))
+        .seeds(seeds);
+    let report = Campaign::new("ab3_estimator", grid)
+        .run()
+        .expect("campaign");
 
     println!(
         "AB3: estimator ablation under GNSS attacks (scenario `{}`, pure_pursuit, seeds {seeds:?})",
@@ -37,41 +43,15 @@ fn main() {
     }
     println!();
 
-    for attack in attacks_for(&scenario)
-        .into_iter()
-        .filter(|a| a.kind.channel() == Channel::Gnss)
-    {
-        let spec = AttackSpec::new(attack.kind, Window::from_start(scenario.attack_start));
-        print!("{:<16}", spec.name());
+    for attack in AttackSet::Channel(Channel::Gnss).specs(0.0) {
+        print!("{:<16}", attack.name());
         for estimator in EstimatorKind::ALL {
-            let mut latencies = Vec::new();
-            let mut damages = Vec::new();
-            let mut detected = 0usize;
-            for &seed in &seeds {
-                let config = StackConfig::new(ControllerKind::PurePursuit)
-                    .with_cruise_speed(scenario.cruise_speed)
-                    .with_estimator(estimator);
-                let mut stack = AdStack::new(config, scenario.track.clone());
-                let mut injector = spec.injector(seed);
-                let out = run::engine_for(&scenario, seed)
-                    .run_with_tap(&mut stack, &mut injector)
-                    .expect("run");
-                let report = checker::check(&cat, &out.trace);
-                if let Some(latency) = report.detection_latency(spec.window.start) {
-                    detected += 1;
-                    latencies.push(latency);
-                }
-                let damage = out
-                    .trace
-                    .require(sig::TRUE_XTRACK_ERR)
-                    .expect("signal")
-                    .samples()
-                    .iter()
-                    .filter(|s| s.time >= spec.window.start)
-                    .map(|s| s.value.abs())
-                    .fold(0.0f64, f64::max);
-                damages.push(damage);
-            }
+            let runs = report.select(|r| {
+                r.attack.as_deref() == Some(attack.name()) && r.estimator == estimator.name()
+            });
+            let latencies: Vec<f64> = runs.iter().filter_map(|r| r.detection_latency).collect();
+            let damages: Vec<f64> = runs.iter().map(|r| r.worst_xtrack_err).collect();
+            let detected = latencies.len();
             let latency = if latencies.is_empty() {
                 format!("miss {}/{}", detected, seeds.len())
             } else {
@@ -84,4 +64,7 @@ fn main() {
     println!("\n(the gated EKF keeps the vehicle physically safer under spoofing —");
     println!(" the rejected fixes never steer the car — while the innovation");
     println!(" assertion still fires, so detection is not traded away.)");
+
+    let path = report.write_json("results").expect("write results json");
+    eprintln!("wrote {}", path.display());
 }

@@ -5,18 +5,16 @@
 //! Regenerate with:
 //! `cargo run --release -p adassure-bench --bin ablation_thresholds`
 
-use adassure_attacks::campaign::AttackSpec;
-use adassure_attacks::Window;
-use adassure_bench::{attacks_for, catalog_config_for, run_attacked, run_clean};
 use adassure_control::ControllerKind;
 use adassure_core::catalog;
+use adassure_exp::campaign::catalog_config_for;
+use adassure_exp::{AttackSet, Campaign, Grid};
 use adassure_scenarios::{Scenario, ScenarioKind};
 
 fn main() {
     let scenario = Scenario::of_kind(ScenarioKind::SCurve).expect("library scenario");
     let controller = ControllerKind::PurePursuit;
     let base = catalog_config_for(&scenario);
-    let attacks = attacks_for(&scenario);
     let seeds = [1u64, 2, 3];
 
     println!(
@@ -27,6 +25,15 @@ fn main() {
         "{:>8} {:>18} {:>18}",
         "scale", "clean FP runs", "attacks detected"
     );
+
+    // One grid serves every scale: the clean runs lead each block, the
+    // standard attacks follow, all over the same seeds.
+    let grid = Grid::new()
+        .scenarios([scenario.kind])
+        .controllers([controller])
+        .attacks(AttackSet::Standard)
+        .include_clean(true)
+        .seeds(seeds);
 
     for scale in [0.25, 0.5, 0.75, 1.0, 1.5, 2.0, 4.0] {
         let cat: Vec<_> = catalog::build(&base)
@@ -42,24 +49,14 @@ fn main() {
             })
             .collect();
 
-        let mut clean_fp = 0usize;
-        for &seed in &seeds {
-            let (_, report) = run_clean(&scenario, controller, seed, &cat).expect("clean");
-            clean_fp += usize::from(!report.is_clean());
-        }
-
-        let mut detected = 0usize;
-        let mut total = 0usize;
-        for attack in &attacks {
-            let spec = AttackSpec::new(attack.kind, Window::from_start(scenario.attack_start));
-            for &seed in &seeds {
-                total += 1;
-                let (_, report) =
-                    run_attacked(&scenario, controller, &spec, seed, &cat).expect("attacked");
-                detected +=
-                    usize::from(report.detection_latency(spec.window.start).is_some());
-            }
-        }
+        let report = Campaign::new("ab1_thresholds", grid.clone())
+            .with_catalog(|_| cat.clone())
+            .run()
+            .expect("campaign");
+        let clean_fp = report.select(|r| r.attack.is_none() && r.detected).len();
+        let attacked = report.select(|r| r.attack.is_some());
+        let total = attacked.len();
+        let detected = attacked.iter().filter(|r| r.detected).count();
         println!(
             "{:>7}x {:>15}/{:<2} {:>15}/{:<2}",
             scale,

@@ -2,18 +2,37 @@
 //! fired assertions, detection latency and diagnosis. Not one of the paper
 //! tables — use it to sanity-check catalog thresholds quickly.
 
-use adassure_bench::{catalog_for, run_attacked, run_clean};
 use adassure_control::ControllerKind;
 use adassure_core::diagnosis;
+use adassure_exp::campaign::{execute, standard_catalog};
+use adassure_exp::{par, AttackSet, Grid};
 use adassure_scenarios::{Scenario, ScenarioKind};
 
 fn main() {
     for sk in [ScenarioKind::Straight, ScenarioKind::SCurve] {
         let scenario = Scenario::of_kind(sk).expect("library scenario");
-        let cat = catalog_for(&scenario);
-        println!("=== scenario {} (len {:.0} m) ===", sk, scenario.route_length());
-        let (out, clean) = run_clean(&scenario, ControllerKind::PurePursuit, 1, &cat)
-            .expect("clean run");
+        let cat = standard_catalog(&scenario);
+        println!(
+            "=== scenario {} (len {:.0} m) ===",
+            sk,
+            scenario.route_length()
+        );
+
+        // One clean cell plus the full extended attack set, all through the
+        // campaign executor.
+        let cells = Grid::new()
+            .scenarios([sk])
+            .controllers([ControllerKind::PurePursuit])
+            .attacks(AttackSet::Extended)
+            .include_clean(true)
+            .seeds([1])
+            .cells();
+        let mut results = par::map(&cells, |spec| {
+            let (out, report) = execute(spec, &cat).expect("run");
+            (*spec, out, report)
+        });
+
+        let (_, out, clean) = results.remove(0);
         println!(
             "clean: {} violations {:?}",
             clean.violations.len(),
@@ -52,9 +71,8 @@ fn main() {
             })
             .unwrap_or(0.0);
         println!("clean envelope: max|d steer/dt|={max_rate:.2} rad/s, max|gnss-wheel speed|={max_gap:.2} m/s");
-        for attack in adassure_attacks::campaign::extended_attacks(scenario.attack_start) {
-            let (_, report) = run_attacked(&scenario, ControllerKind::PurePursuit, &attack, 1, &cat)
-                .expect("attacked run");
+        for (spec, _, report) in &results {
+            let attack = spec.attack.expect("attacked cell");
             let latency = report
                 .detection_latency(attack.window.start)
                 .map(|l| format!("{l:.2}s"))
@@ -64,7 +82,7 @@ fn main() {
                 .iter()
                 .map(|i| i.as_str().to_owned())
                 .collect();
-            let diag = diagnosis::diagnose(&report);
+            let diag = diagnosis::diagnose(report);
             let top = diag
                 .top()
                 .map(|c| c.name().to_owned())

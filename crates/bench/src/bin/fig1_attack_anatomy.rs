@@ -11,8 +11,10 @@ use std::fmt::Write as _;
 
 use adassure_attacks::campaign::AttackSpec;
 use adassure_attacks::{AttackKind, Window};
-use adassure_bench::{catalog_for, run_attacked, run_clean};
+use adassure_control::pipeline::EstimatorKind;
 use adassure_control::ControllerKind;
+use adassure_exp::campaign::{execute, standard_catalog};
+use adassure_exp::{par, RunSpec};
 use adassure_scenarios::{Scenario, ScenarioKind};
 use adassure_sim::geometry::Vec2;
 use adassure_trace::well_known as sig;
@@ -21,7 +23,7 @@ fn main() {
     let scenario = Scenario::of_kind(ScenarioKind::SCurve).expect("library scenario");
     let controller = ControllerKind::PurePursuit;
     let seed = 1;
-    let cat = catalog_for(&scenario);
+    let cat = standard_catalog(&scenario);
     let attack = AttackSpec::new(
         AttackKind::GnssDrift {
             rate: Vec2::new(0.4, 0.3),
@@ -29,9 +31,23 @@ fn main() {
         Window::from_start(scenario.attack_start),
     );
 
-    let (clean_out, _) = run_clean(&scenario, controller, seed, &cat).expect("clean run");
-    let (attacked_out, report) =
-        run_attacked(&scenario, controller, &attack, seed, &cat).expect("attacked run");
+    // Two cells — the clean reference and the attacked twin — run through
+    // the campaign executor.
+    let cells: Vec<RunSpec> = [None, Some(attack)]
+        .into_iter()
+        .enumerate()
+        .map(|(index, attack)| RunSpec {
+            index,
+            scenario: scenario.kind,
+            controller,
+            estimator: EstimatorKind::Complementary,
+            attack,
+            seed,
+        })
+        .collect();
+    let mut outputs = par::map(&cells, |spec| execute(spec, &cat).expect("run"));
+    let (attacked_out, report) = outputs.pop().expect("attacked cell");
+    let (clean_out, _) = outputs.pop().expect("clean cell");
 
     println!(
         "F1: gnss_drift anatomy on `{}` ({} stack), attack from t = {:.0} s",
@@ -42,7 +58,10 @@ fn main() {
         println!("  {v}");
     }
 
-    let clean_xt = clean_out.trace.require(sig::TRUE_XTRACK_ERR).expect("signal");
+    let clean_xt = clean_out
+        .trace
+        .require(sig::TRUE_XTRACK_ERR)
+        .expect("signal");
     let att_true_xt = attacked_out
         .trace
         .require(sig::TRUE_XTRACK_ERR)
@@ -50,8 +69,13 @@ fn main() {
     let att_est_xt = attacked_out.trace.require(sig::XTRACK_ERR).expect("signal");
     let att_innov = attacked_out.trace.require(sig::INNOVATION).expect("signal");
 
-    println!("\n{:>6} {:>14} {:>14} {:>14} {:>12}", "t(s)", "clean |xt| (m)", "attacked true |xt|", "attacked est |xt|", "innovation");
-    let mut csv = String::from("t,clean_true_xtrack,attacked_true_xtrack,attacked_est_xtrack,attacked_innovation\n");
+    println!(
+        "\n{:>6} {:>14} {:>14} {:>14} {:>12}",
+        "t(s)", "clean |xt| (m)", "attacked true |xt|", "attacked est |xt|", "innovation"
+    );
+    let mut csv = String::from(
+        "t,clean_true_xtrack,attacked_true_xtrack,attacked_est_xtrack,attacked_innovation\n",
+    );
     let end = attacked_out.trace.span().map_or(0.0, |(_, b)| b);
     let mut t = 0.0;
     while t <= end {
@@ -61,7 +85,13 @@ fn main() {
         let innov = att_innov.value_before(t).unwrap_or(f64::NAN);
         let _ = writeln!(csv, "{t},{c},{a_true},{a_est},{innov}");
         if (t * 10.0).round() as i64 % 40 == 0 {
-            println!("{t:>6.1} {:>14.3} {:>14.3} {:>14.3} {:>12.3}", c.abs(), a_true.abs(), a_est.abs(), innov);
+            println!(
+                "{t:>6.1} {:>14.3} {:>14.3} {:>14.3} {:>12.3}",
+                c.abs(),
+                a_true.abs(),
+                a_est.abs(),
+                innov
+            );
         }
         t += 0.1;
     }

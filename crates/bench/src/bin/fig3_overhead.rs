@@ -10,16 +10,27 @@
 
 use std::time::Instant;
 
-use adassure_bench::{catalog_for, run_clean};
+use adassure_control::pipeline::EstimatorKind;
 use adassure_control::ControllerKind;
 use adassure_core::{checker, OnlineChecker};
+use adassure_exp::campaign::{execute, standard_catalog};
+use adassure_exp::RunSpec;
 use adassure_scenarios::{Scenario, ScenarioKind};
 
 fn main() {
     let scenario = Scenario::of_kind(ScenarioKind::SCurve).expect("library scenario");
-    let full_catalog = catalog_for(&scenario);
-    let (out, _) = run_clean(&scenario, ControllerKind::PurePursuit, 1, &full_catalog)
-        .expect("clean run");
+    let full_catalog = standard_catalog(&scenario);
+    // The trace under replay comes from the campaign executor, like every
+    // other harness's runs.
+    let spec = RunSpec {
+        index: 0,
+        scenario: scenario.kind,
+        controller: ControllerKind::PurePursuit,
+        estimator: EstimatorKind::Complementary,
+        attack: None,
+        seed: 1,
+    };
+    let (out, _) = execute(&spec, &full_catalog).expect("clean run");
     let events = checker::events(&out.trace);
 
     // Pre-group events into cycles so the measured loop is only the checker.

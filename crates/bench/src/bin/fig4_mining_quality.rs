@@ -5,25 +5,38 @@
 //! Regenerate with:
 //! `cargo run --release -p adassure-bench --bin fig4_mining_quality`
 
-use adassure_attacks::campaign::AttackSpec;
-use adassure_attacks::Window;
-use adassure_bench::{attacks_for, catalog_config_for, fmt_mean_std, run_attacked, run_clean};
+use adassure_control::pipeline::EstimatorKind;
 use adassure_control::ControllerKind;
 use adassure_core::mining::{self, MiningConfig};
 use adassure_core::{catalog, Assertion};
-use adassure_scenarios::{run, Scenario, ScenarioKind};
+use adassure_exp::agg::{fmt_mean_std, latencies};
+use adassure_exp::campaign::{catalog_config_for, execute};
+use adassure_exp::{par, AttackSet, Campaign, Grid, RunSpec};
+use adassure_scenarios::{Scenario, ScenarioKind};
 
 fn main() {
     let scenario = Scenario::of_kind(ScenarioKind::SCurve).expect("library scenario");
     let controller = ControllerKind::PurePursuit;
     let base = catalog_config_for(&scenario);
 
-    // Golden training pool.
+    // Golden training pool: clean cells through the campaign executor, with
+    // an empty catalog (nothing to check — only the traces matter).
     let train_seeds: Vec<u64> = (100..105).collect();
-    let mut golden = Vec::new();
-    for &seed in &train_seeds {
-        golden.push(run::clean(&scenario, controller, seed).expect("golden run").trace);
-    }
+    let train_cells: Vec<RunSpec> = train_seeds
+        .iter()
+        .enumerate()
+        .map(|(index, &seed)| RunSpec {
+            index,
+            scenario: scenario.kind,
+            controller,
+            estimator: EstimatorKind::Complementary,
+            attack: None,
+            seed,
+        })
+        .collect();
+    let golden: Vec<_> = par::map(&train_cells, |spec| {
+        execute(spec, &[]).expect("golden run").0.trace
+    });
 
     let hand = catalog::build(&base);
     let variants: Vec<(String, Vec<Assertion>)> = {
@@ -39,7 +52,7 @@ fn main() {
     };
 
     let holdout_seeds: Vec<u64> = (200..210).collect();
-    let attacks = attacks_for(&scenario);
+    let attack_count = AttackSet::Standard.specs(0.0).len();
     println!(
         "F4: mined vs hand-tuned catalogs (scenario `{}`, {} stack)",
         scenario.kind, controller
@@ -47,7 +60,7 @@ fn main() {
     println!(
         "false positives over {} held-out golden runs; detection over the {} standard attacks x 3 seeds\n",
         holdout_seeds.len(),
-        attacks.len()
+        attack_count
     );
     println!(
         "{:<16} {:>14} {:>12} {:>16}",
@@ -55,26 +68,32 @@ fn main() {
     );
 
     for (name, cat) in &variants {
-        let mut false_positives = 0usize;
-        for &seed in &holdout_seeds {
-            let (_, report) = run_clean(&scenario, controller, seed, cat).expect("clean");
-            false_positives += usize::from(!report.is_clean());
-        }
-        let mut detected = 0usize;
-        let mut total = 0usize;
-        let mut latencies = Vec::new();
-        for attack in &attacks {
-            let spec = AttackSpec::new(attack.kind, Window::from_start(scenario.attack_start));
-            for seed in [1u64, 2, 3] {
-                total += 1;
-                let (_, report) =
-                    run_attacked(&scenario, controller, &spec, seed, cat).expect("attacked");
-                if let Some(latency) = report.detection_latency(spec.window.start) {
-                    detected += 1;
-                    latencies.push(latency);
-                }
-            }
-        }
+        // Held-out clean runs: any alarm at all is a false positive.
+        let holdout_grid = Grid::new()
+            .scenarios([scenario.kind])
+            .controllers([controller])
+            .attacks(AttackSet::None)
+            .include_clean(true)
+            .seeds(holdout_seeds.iter().copied());
+        let holdout = Campaign::new("f4_holdout", holdout_grid)
+            .with_catalog(|_| cat.clone())
+            .run()
+            .expect("clean");
+        let false_positives = holdout.select(|r| r.detected).len();
+
+        // The standard attack sweep under the same catalog.
+        let attack_grid = Grid::new()
+            .scenarios([scenario.kind])
+            .controllers([controller])
+            .attacks(AttackSet::Standard)
+            .seeds([1, 2, 3]);
+        let attacked = Campaign::new("f4_attacks", attack_grid)
+            .with_catalog(|_| cat.clone())
+            .run()
+            .expect("attacked");
+        let total = attacked.runs.len();
+        let detected = attacked.select(|r| r.detected).len();
+        let lat = latencies(attacked.runs.iter());
         println!(
             "{:<16} {:>11}/{:<2} {:>9}/{:<2} {:>16}",
             name,
@@ -82,9 +101,10 @@ fn main() {
             holdout_seeds.len(),
             detected,
             total,
-            fmt_mean_std(&latencies)
+            fmt_mean_std(&lat)
         );
     }
-    println!("\n(mining from >=3 golden runs matches hand-tuned detection with zero");
-    println!(" false positives — the thresholds a user gets without any tuning.)");
+    println!("\n(mining from >=3 golden runs matches hand-tuned detection while the");
+    println!(" false-positive rate shrinks toward the hand-tuned catalog's as the");
+    println!(" training pool grows — thresholds a user gets without any tuning.)");
 }

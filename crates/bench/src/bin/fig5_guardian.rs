@@ -7,20 +7,64 @@
 //! `cargo run --release -p adassure-bench --bin fig5_guardian`
 
 use adassure::guardian::{GuardState, Guardian, GuardianConfig};
-use adassure_attacks::campaign::AttackSpec;
-use adassure_attacks::Window;
-use adassure_bench::{attacks_for, catalog_config_for, fmt_mean_std};
 use adassure_control::pipeline::AdStack;
 use adassure_control::ControllerKind;
-use adassure_core::catalog;
+use adassure_exp::agg::fmt_mean_std;
+use adassure_exp::campaign::{execute, standard_catalog};
+use adassure_exp::grid::AttackSet;
+use adassure_exp::{par, Grid, RunRecord};
 use adassure_scenarios::{run, Scenario, ScenarioKind};
-use adassure_trace::well_known as sig;
+
+/// What one grid cell yields: the plain run's record plus the guarded
+/// twin's damage and safe-stop delay.
+struct GuardedCell {
+    plain: RunRecord,
+    guarded_worst: f64,
+    engage_delay: Option<f64>,
+}
 
 fn main() {
     let scenario = Scenario::of_kind(ScenarioKind::SCurve).expect("library scenario");
     let controller = ControllerKind::PurePursuit;
     let seeds = [1u64, 2, 3];
-    let cat = catalog::build(&catalog_config_for(&scenario));
+    let cat = standard_catalog(&scenario);
+    let grid = Grid::new()
+        .scenarios([scenario.kind])
+        .controllers([controller])
+        .attacks(AttackSet::Standard)
+        .seeds(seeds);
+
+    let cells = grid.cells();
+    let results = par::map(&cells, |spec| {
+        // Plain stack, through the campaign executor.
+        let (out, report) = execute(spec, &cat).expect("run");
+        let plain = RunRecord::from_run(spec, &out, &report);
+
+        // Guarded twin: the same cell with the stack wrapped in the
+        // Guardian (a driver the campaign executor cannot express).
+        let attack = spec.attack.expect("attacked grid");
+        let stack = AdStack::new(
+            run::stack_config(&scenario, controller),
+            scenario.track.clone(),
+        );
+        let mut guardian = Guardian::new(stack, cat.iter().cloned(), GuardianConfig::default());
+        let mut injector = attack.injector(spec.seed);
+        let out = run::engine_for(&scenario, spec.seed)
+            .run_with_tap(&mut guardian, &mut injector)
+            .expect("guarded run");
+        let engage_delay = match guardian.state() {
+            GuardState::SafeStop { since, .. } => Some(since - attack.window.start),
+            _ => None,
+        };
+        GuardedCell {
+            plain,
+            guarded_worst: adassure_exp::record::worst_xtrack_after(
+                &out.trace,
+                attack.window.start,
+            ),
+            engage_delay,
+        }
+    });
 
     println!(
         "F5: guardian mitigation (scenario `{}`, {} stack, seeds {seeds:?})",
@@ -32,58 +76,32 @@ fn main() {
         "attack", "plain stack", "guarded stack", "stop engaged"
     );
 
-    for attack in attacks_for(&scenario) {
-        let spec = AttackSpec::new(attack.kind, Window::from_start(scenario.attack_start));
-        let mut plain = Vec::new();
-        let mut guarded = Vec::new();
-        let mut engage_delays = Vec::new();
-        for &seed in &seeds {
-            // Plain stack.
-            let mut injector = spec.injector(seed);
-            let out = run::with_tap(&scenario, controller, seed, &mut injector).expect("run");
-            plain.push(worst_xtrack_after(&out.trace, spec.window.start));
-
-            // Guarded stack.
-            let stack = AdStack::new(
-                run::stack_config(&scenario, controller),
-                scenario.track.clone(),
-            );
-            let mut guardian = Guardian::new(stack, cat.iter().cloned(), GuardianConfig::default());
-            let mut injector = spec.injector(seed);
-            let out = run::engine_for(&scenario, seed)
-                .run_with_tap(&mut guardian, &mut injector)
-                .expect("guarded run");
-            guarded.push(worst_xtrack_after(&out.trace, spec.window.start));
-            if let GuardState::SafeStop { since, .. } = guardian.state() {
-                engage_delays.push(since - spec.window.start);
-            }
-        }
+    for attack in AttackSet::Standard.specs(0.0) {
+        let rows: Vec<&GuardedCell> = results
+            .iter()
+            .filter(|c| c.plain.attack.as_deref() == Some(attack.name()))
+            .collect();
+        let plain: Vec<f64> = rows.iter().map(|c| c.plain.worst_xtrack_err).collect();
+        let guarded: Vec<f64> = rows.iter().map(|c| c.guarded_worst).collect();
+        let engage_delays: Vec<f64> = rows.iter().filter_map(|c| c.engage_delay).collect();
         println!(
             "{:<20} {:>16} {:>16} {:>14}",
-            spec.name(),
+            attack.name(),
             fmt_mean_std(&plain),
             fmt_mean_std(&guarded),
             if engage_delays.is_empty() {
                 format!("0/{}", seeds.len())
             } else {
-                format!("{}/{} @{}s", engage_delays.len(), seeds.len(), fmt_mean_std(&engage_delays))
+                format!(
+                    "{}/{} @{}s",
+                    engage_delays.len(),
+                    seeds.len(),
+                    fmt_mean_std(&engage_delays)
+                )
             }
         );
     }
     println!("\n(safe-stopping on the first critical violation bounds the physical");
     println!(" damage of every fast-detected attack; the stealthy drift class keeps");
     println!(" leaking error in proportion to its detection latency.)");
-}
-
-fn worst_xtrack_after(trace: &adassure_trace::Trace, t0: f64) -> f64 {
-    trace
-        .series_by_name(sig::TRUE_XTRACK_ERR)
-        .map(|s| {
-            s.samples()
-                .iter()
-                .filter(|x| x.time >= t0)
-                .map(|x| x.value.abs())
-                .fold(0.0f64, f64::max)
-        })
-        .unwrap_or(0.0)
 }

@@ -9,21 +9,26 @@
 
 use std::collections::BTreeSet;
 
-use adassure_bench::{attacks_for, catalog_for, run_attacked, run_clean};
 use adassure_control::ControllerKind;
-use adassure_scenarios::{Scenario, ScenarioKind};
+use adassure_exp::{AttackSet, Campaign, Grid};
+use adassure_scenarios::ScenarioKind;
 
 fn main() {
-    let scenarios: Vec<Scenario> = [
-        ScenarioKind::Straight,
-        ScenarioKind::SCurve,
-        ScenarioKind::UrbanLoop,
-    ]
-    .iter()
-    .map(|&k| Scenario::of_kind(k).expect("library scenario"))
-    .collect();
     let controller = ControllerKind::PurePursuit;
-    let seed = 1;
+    let seed = 1u64;
+    let grid = Grid::new()
+        .scenarios([
+            ScenarioKind::Straight,
+            ScenarioKind::SCurve,
+            ScenarioKind::UrbanLoop,
+        ])
+        .controllers([controller])
+        .attacks(AttackSet::Standard)
+        .include_clean(true)
+        .seeds([seed]);
+    let report = Campaign::new("t1_detection_matrix", grid)
+        .run()
+        .expect("campaign");
 
     let assertion_ids: Vec<String> = (1..=16).map(|i| format!("A{i}")).collect();
 
@@ -36,47 +41,47 @@ fn main() {
     println!();
 
     // Clean baseline row: must be empty.
-    let mut clean_fired: BTreeSet<String> = BTreeSet::new();
-    for scenario in &scenarios {
-        let cat = catalog_for(scenario);
-        let (_, report) = run_clean(scenario, controller, seed, &cat).expect("clean run");
-        clean_fired.extend(report.violated_ids().iter().map(|i| i.as_str().to_owned()));
-    }
+    let clean_fired: BTreeSet<&str> = report
+        .select(|r| r.attack.is_none())
+        .iter()
+        .flat_map(|r| r.violated.iter().map(String::as_str))
+        .collect();
     print!("{:<20}", "(clean)");
     for id in &assertion_ids {
-        print!("{:>5}", if clean_fired.contains(id) { "x" } else { "." });
+        print!(
+            "{:>5}",
+            if clean_fired.contains(id.as_str()) {
+                "x"
+            } else {
+                "."
+            }
+        );
     }
     println!();
 
-    for attack in attacks_for(&scenarios[0]) {
-        let mut fired: BTreeSet<String> = BTreeSet::new();
-        for scenario in &scenarios {
-            let cat = catalog_for(scenario);
-            let spec = adassure_attacks::campaign::AttackSpec::new(
-                attack.kind,
-                adassure_attacks::Window::from_start(scenario.attack_start),
-            );
-            let (_, report) =
-                run_attacked(scenario, controller, &spec, seed, &cat).expect("attacked run");
-            fired.extend(
-                report
-                    .violated_ids()
-                    .iter()
-                    // Only count violations detected after attack onset.
-                    .filter(|id| {
-                        report
-                            .violations_of(id.as_str())
-                            .any(|v| v.detected >= scenario.attack_start)
-                    })
-                    .map(|i| i.as_str().to_owned()),
-            );
-        }
+    for attack in AttackSet::Standard.specs(0.0) {
+        // Only count violations detected after attack onset.
+        let fired: BTreeSet<&str> = report
+            .select(|r| r.attack.as_deref() == Some(attack.name()))
+            .iter()
+            .flat_map(|r| r.violated_after_start.iter().map(String::as_str))
+            .collect();
         print!("{:<20}", attack.name());
         for id in &assertion_ids {
-            print!("{:>5}", if fired.contains(id) { "x" } else { "." });
+            print!(
+                "{:>5}",
+                if fired.contains(id.as_str()) {
+                    "x"
+                } else {
+                    "."
+                }
+            );
         }
         println!();
     }
     println!("\n(A12 'goal eventually reached' only exists on open routes; the urban");
     println!(" loop is closed, so its column reflects the two open scenarios.)");
+
+    let path = report.write_json("results").expect("write results json");
+    eprintln!("wrote {}", path.display());
 }

@@ -7,19 +7,22 @@
 //! Regenerate with:
 //! `cargo run --release -p adassure-bench --bin table2_detection_latency`
 
-use adassure_attacks::campaign::AttackSpec;
-use adassure_attacks::Window;
-use adassure_bench::{attacks_for, catalog_for, fmt_mean_std, run_attacked};
 use adassure_control::ControllerKind;
-use adassure_scenarios::{Scenario, ScenarioKind};
+use adassure_exp::agg::fmt_mean_std;
+use adassure_exp::{AttackSet, Campaign, Grid};
+use adassure_scenarios::ScenarioKind;
 
 fn main() {
-    let scenarios: Vec<Scenario> = [ScenarioKind::Straight, ScenarioKind::SCurve]
-        .iter()
-        .map(|&k| Scenario::of_kind(k).expect("library scenario"))
-        .collect();
     let seeds = [1u64, 2, 3];
-    let runs_per_cell = scenarios.len() * seeds.len();
+    let grid = Grid::new()
+        .scenarios([ScenarioKind::Straight, ScenarioKind::SCurve])
+        .controllers(ControllerKind::ALL)
+        .attacks(AttackSet::Standard)
+        .seeds(seeds);
+    let runs_per_cell = 2 * seeds.len();
+    let report = Campaign::new("t2_detection_latency", grid)
+        .run()
+        .expect("campaign");
 
     println!(
         "T2: detection rate (of {runs_per_cell} runs) and latency (s, mean±std) per attack x controller"
@@ -31,24 +34,14 @@ fn main() {
     }
     println!();
 
-    for attack in attacks_for(&scenarios[0]) {
+    for attack in AttackSet::Standard.specs(0.0) {
         print!("{:<20}", attack.name());
         for controller in ControllerKind::ALL {
-            let mut latencies = Vec::new();
-            let mut detected = 0usize;
-            for scenario in &scenarios {
-                let cat = catalog_for(scenario);
-                let spec =
-                    AttackSpec::new(attack.kind, Window::from_start(scenario.attack_start));
-                for &seed in &seeds {
-                    let (_, report) = run_attacked(scenario, controller, &spec, seed, &cat)
-                        .expect("attacked run");
-                    if let Some(latency) = report.detection_latency(spec.window.start) {
-                        detected += 1;
-                        latencies.push(latency);
-                    }
-                }
-            }
+            let runs = report.select(|r| {
+                r.attack.as_deref() == Some(attack.name()) && r.controller == controller.name()
+            });
+            let detected = runs.iter().filter(|r| r.detected).count();
+            let latencies: Vec<f64> = runs.iter().filter_map(|r| r.detection_latency).collect();
             print!(
                 "{:>24}",
                 format!("{detected}/{runs_per_cell} {}", fmt_mean_std(&latencies))
@@ -59,4 +52,7 @@ fn main() {
     println!("\n(gnss_drift and wheel_speed_freeze are the stealthy tail: they evade");
     println!(" the cross-consistency checks and surface only behaviourally, tens of");
     println!(" seconds later — the expected shape for slow-drag attacks.)");
+
+    let path = report.write_json("results").expect("write results json");
+    eprintln!("wrote {}", path.display());
 }

@@ -7,30 +7,23 @@
 //! Regenerate with:
 //! `cargo run --release -p adassure-bench --bin table3_diagnosis_accuracy`
 
-use adassure_attacks::campaign::AttackSpec;
-use adassure_attacks::{Channel, Window};
-use adassure_bench::{attacks_for, catalog_for, run_attacked};
 use adassure_control::ControllerKind;
-use adassure_core::diagnosis::{self, CauseTag};
-use adassure_scenarios::{Scenario, ScenarioKind};
-
-fn cause_of(channel: Channel) -> CauseTag {
-    match channel {
-        Channel::Gnss => CauseTag::GnssChannel,
-        Channel::WheelSpeed => CauseTag::WheelSpeedChannel,
-        Channel::ImuYaw => CauseTag::ImuYawChannel,
-        Channel::Compass => CauseTag::CompassChannel,
-    }
-}
+use adassure_exp::agg::{percent, top_k_hits};
+use adassure_exp::record::cause_of;
+use adassure_exp::{AttackSet, Campaign, Grid, RunRecord};
+use adassure_scenarios::ScenarioKind;
 
 fn main() {
-    let scenarios: Vec<Scenario> = [ScenarioKind::Straight, ScenarioKind::SCurve]
-        .iter()
-        .map(|&k| Scenario::of_kind(k).expect("library scenario"))
-        .collect();
-    let controllers = [ControllerKind::PurePursuit, ControllerKind::Stanley];
     let seeds = [1u64, 2, 3];
-    let per_cell = scenarios.len() * controllers.len() * seeds.len();
+    let grid = Grid::new()
+        .scenarios([ScenarioKind::Straight, ScenarioKind::SCurve])
+        .controllers([ControllerKind::PurePursuit, ControllerKind::Stanley])
+        .attacks(AttackSet::Standard)
+        .seeds(seeds);
+    let per_cell = 2 * 2 * seeds.len();
+    let report = Campaign::new("t3_diagnosis_accuracy", grid)
+        .run()
+        .expect("campaign");
 
     println!("T3: diagnosis accuracy per attack (over {per_cell} runs each)");
     println!("scenarios: straight + s_curve; controllers: pure_pursuit + stanley\n");
@@ -40,55 +33,35 @@ fn main() {
     );
 
     let mut grand = (0usize, 0usize, 0usize, 0usize);
-    for attack in attacks_for(&scenarios[0]) {
+    for attack in AttackSet::Standard.specs(0.0) {
         let truth = cause_of(attack.kind.channel());
-        let mut detected = 0usize;
-        let mut top1 = 0usize;
-        let mut top2 = 0usize;
-        for scenario in &scenarios {
-            let cat = catalog_for(scenario);
-            let spec = AttackSpec::new(attack.kind, Window::from_start(scenario.attack_start));
-            for controller in controllers {
-                for &seed in &seeds {
-                    let (_, report) = run_attacked(scenario, controller, &spec, seed, &cat)
-                        .expect("attacked run");
-                    if report.detection_latency(spec.window.start).is_none() {
-                        continue;
-                    }
-                    detected += 1;
-                    let verdict = diagnosis::diagnose(&report);
-                    top1 += usize::from(verdict.top() == Some(truth));
-                    top2 += usize::from(verdict.contains_in_top(truth, 2));
-                }
-            }
-        }
+        // Diagnosis accuracy is scored over the *detected* runs only.
+        let detected: Vec<&RunRecord> =
+            report.select(|r| r.attack.as_deref() == Some(attack.name()) && r.detected);
+        let (top1, _) = top_k_hits(detected.iter().copied(), 1);
+        let (top2, _) = top_k_hits(detected.iter().copied(), 2);
         println!(
             "{:<20} {:<12} {:>7}/{:<2} {:>9} {:>10}",
             attack.name(),
             truth.name(),
-            detected,
+            detected.len(),
             per_cell,
-            format!("{}%", percent(top1, detected)),
-            format!("{}%", percent(top2, detected)),
+            percent(top1, detected.len()),
+            percent(top2, detected.len()),
         );
-        grand.0 += detected;
+        grand.0 += detected.len();
         grand.1 += top1;
         grand.2 += top2;
         grand.3 += per_cell;
     }
     println!(
-        "\noverall: detected {}/{} runs; top-1 {}%, top-2 {}% of detected runs",
+        "\noverall: detected {}/{} runs; top-1 {}, top-2 {} of detected runs",
         grand.0,
         grand.3,
         percent(grand.1, grand.0),
         percent(grand.2, grand.0)
     );
-}
 
-fn percent(num: usize, den: usize) -> u32 {
-    if den == 0 {
-        0
-    } else {
-        ((num as f64 / den as f64) * 100.0).round() as u32
-    }
+    let path = report.write_json("results").expect("write results json");
+    eprintln!("wrote {}", path.display());
 }

@@ -1,34 +1,46 @@
 //! Shared experiment plumbing for the ADAssure benchmark harnesses.
 //!
-//! Every table/figure binary in `src/bin/` is a thin loop over
-//! [`run_attacked`] / [`run_clean`] plus formatting; the mechanics of wiring
-//! scenario + controller + attack + catalog live here so all experiments
-//! agree on them.
+//! The sweep mechanics — grid enumeration, parallel execution, records and
+//! aggregation — live in [`adassure_exp`]; every table/figure binary in
+//! `src/bin/` is a thin declarative definition on top of it. This crate
+//! re-exports the helpers the harnesses and benches share, plus single-run
+//! wrappers for callers that want one `(output, report)` pair rather than a
+//! whole campaign.
 
 #![warn(missing_docs)]
 
 use adassure_attacks::campaign::AttackSpec;
+use adassure_control::pipeline::EstimatorKind;
 use adassure_control::ControllerKind;
-use adassure_core::catalog::{self, CatalogConfig};
-use adassure_core::{checker, Assertion, CheckReport};
-use adassure_scenarios::{run, Scenario};
+use adassure_core::{Assertion, CheckReport};
+use adassure_exp::grid::RunSpec;
+use adassure_scenarios::Scenario;
 use adassure_sim::engine::SimOutput;
 use adassure_sim::SimError;
 
-/// The catalog configuration matched to a scenario: goal-distance for open
-/// routes (enabling A12), defaults otherwise.
-pub fn catalog_config_for(scenario: &Scenario) -> CatalogConfig {
-    let config = CatalogConfig::default();
-    if scenario.track.is_closed() {
-        config
-    } else {
-        config.with_goal_distance(scenario.route_length())
-    }
+pub use adassure_exp::agg::{fmt_mean_std, row};
+pub use adassure_exp::campaign::{catalog_config_for, standard_catalog as catalog_for};
+
+/// The standard attack set activating at the scenario's canonical attack
+/// start.
+pub fn attacks_for(scenario: &Scenario) -> Vec<AttackSpec> {
+    adassure_attacks::campaign::standard_attacks(scenario.attack_start)
 }
 
-/// The standard catalog for a scenario.
-pub fn catalog_for(scenario: &Scenario) -> Vec<Assertion> {
-    catalog::build(&catalog_config_for(scenario))
+fn single_cell(
+    scenario: &Scenario,
+    controller: ControllerKind,
+    attack: Option<AttackSpec>,
+    seed: u64,
+) -> RunSpec {
+    RunSpec {
+        index: 0,
+        scenario: scenario.kind,
+        controller,
+        estimator: EstimatorKind::Complementary,
+        attack,
+        seed,
+    }
 }
 
 /// Runs a clean (golden) pass and checks it against `cat`.
@@ -42,9 +54,7 @@ pub fn run_clean(
     seed: u64,
     cat: &[Assertion],
 ) -> Result<(SimOutput, CheckReport), SimError> {
-    let out = run::clean(scenario, controller, seed)?;
-    let report = checker::check(cat, &out.trace);
-    Ok((out, report))
+    adassure_exp::campaign::execute(&single_cell(scenario, controller, None, seed), cat)
 }
 
 /// Runs an attacked pass and checks it against `cat`.
@@ -59,36 +69,7 @@ pub fn run_attacked(
     seed: u64,
     cat: &[Assertion],
 ) -> Result<(SimOutput, CheckReport), SimError> {
-    let mut injector = attack.injector(seed);
-    let out = run::with_tap(scenario, controller, seed, &mut injector)?;
-    let report = checker::check(cat, &out.trace);
-    Ok((out, report))
-}
-
-/// The standard attack set activating at the scenario's canonical attack
-/// start.
-pub fn attacks_for(scenario: &Scenario) -> Vec<AttackSpec> {
-    adassure_attacks::campaign::standard_attacks(scenario.attack_start)
-}
-
-/// Formats a row of a fixed-width text table.
-pub fn row(cells: &[String], widths: &[usize]) -> String {
-    let mut out = String::new();
-    for (cell, w) in cells.iter().zip(widths) {
-        out.push_str(&format!("{cell:<w$} "));
-    }
-    out.trim_end().to_owned()
-}
-
-/// Formats mean ± std for a sample of values; `-` when empty.
-pub fn fmt_mean_std(values: &[f64]) -> String {
-    if values.is_empty() {
-        return "-".to_owned();
-    }
-    let n = values.len() as f64;
-    let mean = values.iter().sum::<f64>() / n;
-    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
-    format!("{mean:.2}±{:.2}", var.sqrt())
+    adassure_exp::campaign::execute(&single_cell(scenario, controller, Some(*attack), seed), cat)
 }
 
 #[cfg(test)]
@@ -106,10 +87,7 @@ mod tests {
 
     #[test]
     fn formatting_helpers() {
-        assert_eq!(
-            row(&["a".into(), "bb".into()], &[3, 3]),
-            "a   bb"
-        );
+        assert_eq!(row(&["a".into(), "bb".into()], &[3, 3]), "a   bb");
         assert_eq!(fmt_mean_std(&[]), "-");
         assert_eq!(fmt_mean_std(&[2.0, 2.0]), "2.00±0.00");
     }

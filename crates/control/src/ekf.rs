@@ -117,7 +117,9 @@ impl Ekf {
     /// Marginal standard deviation of the position estimate (m), a measure
     /// of filter confidence.
     pub fn position_sigma(&self) -> f64 {
-        (self.covariance[0][0] + self.covariance[1][1]).max(0.0).sqrt()
+        (self.covariance[0][0] + self.covariance[1][1])
+            .max(0.0)
+            .sqrt()
     }
 
     /// Ingests one sensor frame and returns the updated estimate.
@@ -166,6 +168,7 @@ impl Ekf {
     }
 
     /// Scalar measurement update of state component `idx` (`z = x[idx]`).
+    #[allow(clippy::needless_range_loop)] // index loops mirror the K/P matrix notation
     fn update_scalar(&mut self, idx: usize, z: f64, r: f64, angular: bool) {
         let innovation = if angular {
             angle_diff(z, self.state[idx])
@@ -194,6 +197,7 @@ impl Ekf {
         }
     }
 
+    #[allow(clippy::needless_range_loop)] // index loops mirror the K/P matrix notation
     fn update_gnss(&mut self, fix: Vec2) {
         let innovation = [fix.x - self.state[0], fix.y - self.state[1]];
         self.last_innovation = (innovation[0].powi(2) + innovation[1].powi(2)).sqrt();
@@ -355,7 +359,10 @@ mod tests {
         let mut ekf = Ekf::new(EkfConfig::gated());
         ekf.update(&frame(0.0, Some(Vec2::ZERO), 0.0, 0.0, 0.0), 0.01);
         for i in 1..=20 {
-            ekf.update(&frame(f64::from(i) * 0.01, Some(Vec2::ZERO), 0.0, 0.0, 0.0), 0.01);
+            ekf.update(
+                &frame(f64::from(i) * 0.01, Some(Vec2::ZERO), 0.0, 0.0, 0.0),
+                0.01,
+            );
         }
         let before = ekf.rejected_fixes();
         // A 12 m teleport: must be rejected, but the innovation recorded.
@@ -387,7 +394,10 @@ mod tests {
         // Compass readings on the other side of the seam must pull the
         // heading the short way round.
         for i in 1..=200 {
-            ekf.update(&frame(f64::from(i) * 0.01, None, 0.0, 0.0, -PI + 0.05), 0.01);
+            ekf.update(
+                &frame(f64::from(i) * 0.01, None, 0.0, 0.0, -PI + 0.05),
+                0.01,
+            );
         }
         let e = ekf.update(&frame(2.01, None, 0.0, 0.0, -PI + 0.05), 0.01);
         assert!(

@@ -229,7 +229,11 @@ mod tests {
         let mut est = Estimator::new(EstimatorConfig::standard());
         est.update(&frame(0.0, Some(Vec2::ZERO), 0.0, 0.0, 0.0), 0.01);
         let e = est.update(&frame(0.01, None, 10.0, 0.0, 0.0), 0.01);
-        assert!(e.speed > 0.0 && e.speed < 10.0, "filtered step: {}", e.speed);
+        assert!(
+            e.speed > 0.0 && e.speed < 10.0,
+            "filtered step: {}",
+            e.speed
+        );
     }
 
     #[test]

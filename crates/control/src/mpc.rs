@@ -257,10 +257,10 @@ mod tests {
     fn cost_decreases_with_optimisation() {
         let mpc = Mpc::default();
         let e = estimate(5.0, 2.0, 0.0, 8.0);
-        let zero_cost = mpc.cost(&vec![0.0; 8], &e, &straight());
+        let zero_cost = mpc.cost(&[0.0; 8], &e, &straight());
         let mut opt = Mpc::default();
         opt.steer(&e, &straight(), 0.01);
-        let opt_cost = opt.cost(&opt.plan().to_vec(), &e, &straight());
+        let opt_cost = opt.cost(opt.plan(), &e, &straight());
         assert!(
             opt_cost < zero_cost,
             "optimised {opt_cost} vs passive {zero_cost}"
@@ -280,7 +280,13 @@ mod tests {
         // Approaching a left curve, the optimised plan should steer left
         // in later steps even while the current error is zero.
         let track = Track::from_waypoints(
-            [[0.0, 0.0], [20.0, 0.0], [26.0, 2.0], [30.0, 6.0], [32.0, 12.0]],
+            [
+                [0.0, 0.0],
+                [20.0, 0.0],
+                [26.0, 2.0],
+                [30.0, 6.0],
+                [32.0, 12.0],
+            ],
             1.0,
             false,
         )
@@ -288,6 +294,10 @@ mod tests {
         let mut mpc = Mpc::default();
         mpc.steer(&estimate(15.0, 0.0, 0.0, 8.0), &track, 0.01);
         let max_late = mpc.plan()[3..].iter().copied().fold(f64::MIN, f64::max);
-        assert!(max_late > 0.02, "plan should anticipate the left turn: {:?}", mpc.plan());
+        assert!(
+            max_late > 0.02,
+            "plan should anticipate the left turn: {:?}",
+            mpc.plan()
+        );
     }
 }

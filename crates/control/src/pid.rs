@@ -79,9 +79,8 @@ impl Pid {
             _ => 0.0,
         };
         self.last_error = Some(error);
-        let raw = self.config.kp * error
-            + self.config.ki * self.integral
-            + self.config.kd * derivative;
+        let raw =
+            self.config.kp * error + self.config.ki * self.integral + self.config.kd * derivative;
         raw.clamp(self.config.min_output, self.config.max_output)
     }
 

@@ -311,7 +311,12 @@ mod tests {
     use adassure_sim::sensor::SensorConfig;
     use adassure_trace::stats::SummaryStats;
 
-    fn run_stack(kind: ControllerKind, track: Track, duration: f64, seed: u64) -> adassure_sim::engine::SimOutput {
+    fn run_stack(
+        kind: ControllerKind,
+        track: Track,
+        duration: f64,
+        seed: u64,
+    ) -> adassure_sim::engine::SimOutput {
         let mut stack = AdStack::new(StackConfig::new(kind), track.clone());
         let engine = Engine::new(SimConfig::new(duration).with_seed(seed), track);
         engine.run(&mut stack).expect("simulation must not diverge")
@@ -327,7 +332,10 @@ mod tests {
             let stats = SummaryStats::from_series(xtrack).unwrap();
             // Launch transients may excurse briefly (MPC especially); the
             // sustained tracking quality is what matters.
-            assert!(stats.rms < 0.5, "{kind} cross-track rms too large: {stats:?}");
+            assert!(
+                stats.rms < 0.5,
+                "{kind} cross-track rms too large: {stats:?}"
+            );
             assert!(
                 stats.max.abs().max(stats.min.abs()) < 2.0,
                 "{kind} cross-track excursion too large: {stats:?}"
@@ -399,7 +407,11 @@ mod tests {
         let speed = out.trace.require(sig::TRUE_SPEED).unwrap();
         let target = out.trace.require(sig::TARGET_SPEED).unwrap();
         let mut worst = 0.0f64;
-        for s in speed.samples().iter().filter(|s| s.time > 10.0 && s.time < 30.0) {
+        for s in speed
+            .samples()
+            .iter()
+            .filter(|s| s.time > 10.0 && s.time < 30.0)
+        {
             if let Some(t) = target.value_at(s.time) {
                 worst = worst.max((s.value - t).abs());
             }

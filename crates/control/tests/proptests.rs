@@ -10,18 +10,14 @@ use adassure_sim::track::Track;
 use proptest::prelude::*;
 
 fn arbitrary_estimate() -> impl Strategy<Value = Estimate> {
-    (
-        -50.0f64..350.0,
-        -30.0f64..30.0,
-        -3.2f64..3.2,
-        0.0f64..25.0,
-    )
-        .prop_map(|(x, y, heading, speed)| Estimate {
+    (-50.0f64..350.0, -30.0f64..30.0, -3.2f64..3.2, 0.0f64..25.0).prop_map(
+        |(x, y, heading, speed)| Estimate {
             position: Vec2::new(x, y),
             heading,
             speed,
             yaw_rate: 0.0,
-        })
+        },
+    )
 }
 
 proptest! {

@@ -218,7 +218,9 @@ impl Assertion {
     /// (used by the threshold-sensitivity ablation).
     pub fn with_scaled_threshold(&self, factor: f64) -> Assertion {
         let mut out = self.clone();
-        out.condition = self.condition.with_threshold(self.condition.threshold() * factor);
+        out.condition = self
+            .condition
+            .with_threshold(self.condition.threshold() * factor);
         out
     }
 }

@@ -228,9 +228,8 @@ pub fn build(config: &CatalogConfig) -> Vec<Assertion> {
             "per-fix GNSS displacement stays plausible for the GNSS-reported speed",
             Severity::Critical,
             Condition::AtMost {
-                expr: SignalExpr::signal(sig::GNSS_JUMP).sub(
-                    SignalExpr::signal(sig::GNSS_SPEED).mul(SignalExpr::constant(0.15)),
-                ),
+                expr: SignalExpr::signal(sig::GNSS_JUMP)
+                    .sub(SignalExpr::signal(sig::GNSS_SPEED).mul(SignalExpr::constant(0.15))),
                 limit: t.a7_max_gnss_jump,
             },
         )
@@ -393,8 +392,10 @@ mod tests {
 
     #[test]
     fn thresholds_flow_into_conditions() {
-        let mut t = Thresholds::default();
-        t.a1_max_xtrack = 9.9;
+        let t = Thresholds {
+            a1_max_xtrack: 9.9,
+            ..Thresholds::default()
+        };
         let cfg = CatalogConfig::default().with_thresholds(t);
         let cat = build(&cfg);
         let a1 = cat.iter().find(|a| a.id.as_str() == "A1").unwrap();

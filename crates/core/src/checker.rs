@@ -158,7 +158,10 @@ mod tests {
         replay(&trace, |t, env| {
             seen.push((t, env.value(&"x".into()), env.value(&"y".into())));
         });
-        assert_eq!(seen, vec![(0.0, Some(1.0), None), (0.1, Some(2.0), Some(5.0))]);
+        assert_eq!(
+            seen,
+            vec![(0.0, Some(1.0), None), (0.1, Some(2.0), Some(5.0))]
+        );
     }
 
     #[test]

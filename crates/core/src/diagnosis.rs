@@ -166,8 +166,7 @@ const COMPASS_SIGNATURE: [&str; 1] = ["A14"];
 
 /// Diagnoses from the set of violated assertion ids.
 pub fn diagnose_ids(violated: &BTreeSet<AssertionId>) -> Diagnosis {
-    let mut scores: Vec<(CauseTag, f64)> =
-        CauseTag::ALL.iter().map(|&c| (c, 0.0)).collect();
+    let mut scores: Vec<(CauseTag, f64)> = CauseTag::ALL.iter().map(|&c| (c, 0.0)).collect();
     for id in violated {
         for &(cause, w) in evidence(id.as_str()) {
             let slot = scores

@@ -174,6 +174,7 @@ impl SignalExpr {
         SignalExpr::Abs(Box::new(self))
     }
 
+    #[allow(clippy::should_implement_trait)] // DSL builder, not std::ops
     /// `-self`. Negating a constant folds into a negative constant, so the
     /// textual form (`-3.5`) and the built form agree.
     pub fn neg(self) -> Self {
@@ -183,16 +184,19 @@ impl SignalExpr {
         }
     }
 
+    #[allow(clippy::should_implement_trait)] // DSL builder, not std::ops
     /// `self + rhs`.
     pub fn add(self, rhs: SignalExpr) -> Self {
         SignalExpr::Add(Box::new(self), Box::new(rhs))
     }
 
+    #[allow(clippy::should_implement_trait)] // DSL builder, not std::ops
     /// `self - rhs`.
     pub fn sub(self, rhs: SignalExpr) -> Self {
         SignalExpr::Sub(Box::new(self), Box::new(rhs))
     }
 
+    #[allow(clippy::should_implement_trait)] // DSL builder, not std::ops
     /// `self * rhs`.
     pub fn mul(self, rhs: SignalExpr) -> Self {
         SignalExpr::Mul(Box::new(self), Box::new(rhs))
@@ -242,9 +246,7 @@ impl SignalExpr {
             | SignalExpr::Derivative(id)
             | SignalExpr::AngularDerivative(id) => out.push(id.clone()),
             SignalExpr::Const(_) => {}
-            SignalExpr::Abs(e) | SignalExpr::Neg(e) | SignalExpr::Tan(e) => {
-                e.collect_signals(out)
-            }
+            SignalExpr::Abs(e) | SignalExpr::Neg(e) | SignalExpr::Tan(e) => e.collect_signals(out),
             SignalExpr::Add(a, b)
             | SignalExpr::Sub(a, b)
             | SignalExpr::Mul(a, b)

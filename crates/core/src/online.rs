@@ -127,9 +127,7 @@ impl OnlineChecker {
                     let onset = *monitor.episode_start.get_or_insert(t);
                     let should_alarm = match monitor.assertion.temporal {
                         Temporal::Immediate => !monitor.alarmed_this_episode,
-                        Temporal::Sustained(d) => {
-                            !monitor.alarmed_this_episode && t - onset >= d
-                        }
+                        Temporal::Sustained(d) => !monitor.alarmed_this_episode && t - onset >= d,
                         Temporal::Eventually => false, // judged at finish()
                     };
                     if should_alarm {
@@ -227,10 +225,7 @@ mod tests {
         let n = drive(&mut c, &[(0.0, 2.0), (0.1, 0.0), (0.2, 0.0)]);
         assert_eq!(n, 0);
         // A sustained excursion must.
-        let n = drive(
-            &mut c,
-            &[(0.3, 2.0), (0.4, 2.0), (0.5, 2.0), (0.6, 2.0)],
-        );
+        let n = drive(&mut c, &[(0.3, 2.0), (0.4, 2.0), (0.5, 2.0), (0.6, 2.0)]);
         assert_eq!(n, 1);
         let v = &c.violations()[0];
         assert_eq!(v.onset, 0.3);

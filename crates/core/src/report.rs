@@ -108,7 +108,11 @@ mod tests {
 
     fn report() -> CheckReport {
         CheckReport::new(
-            vec![violation("A2", 5.0), violation("A1", 3.0), violation("A2", 8.0)],
+            vec![
+                violation("A2", 5.0),
+                violation("A1", 3.0),
+                violation("A2", 8.0),
+            ],
             10.0,
             14,
         )

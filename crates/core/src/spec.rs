@@ -42,7 +42,11 @@ pub struct ParseSpecError {
 
 impl fmt::Display for ParseSpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "spec parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "spec parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -119,9 +123,7 @@ fn lex(input: &str) -> Result<Vec<Token>, ParseSpecError> {
             }
             '0'..='9' | '.' => {
                 let start = i;
-                while i < bytes.len()
-                    && matches!(bytes[i] as char, '0'..='9' | '.' | 'e' | 'E')
-                {
+                while i < bytes.len() && matches!(bytes[i] as char, '0'..='9' | '.' | 'e' | 'E') {
                     // Accept exponent signs only right after e/E.
                     i += 1;
                     if i < bytes.len()
@@ -335,7 +337,9 @@ pub fn parse_assertion(input: &str) -> Result<Assertion, ParseSpecError> {
     let mut grace = 0.0;
     loop {
         let words: Vec<&str> = condition_text.split_whitespace().collect();
-        if words.len() >= 2 && (words[words.len() - 2] == "sustained" || words[words.len() - 2] == "grace") {
+        if words.len() >= 2
+            && (words[words.len() - 2] == "sustained" || words[words.len() - 2] == "grace")
+        {
             let value: f64 = words[words.len() - 1]
                 .parse()
                 .map_err(|_| err(format!("invalid duration `{}`", words[words.len() - 1])))?;
@@ -379,10 +383,7 @@ fn parse_condition(text: &str) -> Result<Condition, ParseSpecError> {
     let lhs = lhs.trim();
 
     // fresh(<signal>) is special syntax for the freshness condition.
-    if let Some(inner) = lhs
-        .strip_prefix("fresh(")
-        .and_then(|s| s.strip_suffix(')'))
-    {
+    if let Some(inner) = lhs.strip_prefix("fresh(").and_then(|s| s.strip_suffix(')')) {
         if op != "<=" {
             return Err(err("freshness conditions only support `<=`"));
         }
@@ -472,7 +473,10 @@ mod tests {
 
     #[test]
     fn parses_simple_bounds() {
-        let a = parse_assertion("A1 critical: |xtrack_err| <= 1.5 sustained 0.3 grace 8 -- bounded error").unwrap();
+        let a = parse_assertion(
+            "A1 critical: |xtrack_err| <= 1.5 sustained 0.3 grace 8 -- bounded error",
+        )
+        .unwrap();
         assert_eq!(a.id.as_str(), "A1");
         assert_eq!(a.severity, Severity::Critical);
         assert_eq!(a.condition.threshold(), 1.5);
@@ -526,8 +530,14 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         assert!(parse_assertion("no colon here").is_err());
-        assert!(parse_assertion("A1: xtrack_err < 1.5").is_err(), "unsupported operator");
-        assert!(parse_assertion("A1 loud: x <= 1").is_err(), "unknown severity");
+        assert!(
+            parse_assertion("A1: xtrack_err < 1.5").is_err(),
+            "unsupported operator"
+        );
+        assert!(
+            parse_assertion("A1 loud: x <= 1").is_err(),
+            "unknown severity"
+        );
         assert!(parse_expr("x +").is_err());
         assert!(parse_expr("(x").is_err());
         assert!(parse_expr("|x").is_err());

@@ -1,0 +1,158 @@
+//! Aggregation helpers shared by every experiment harness.
+//!
+//! All statistics here are over *samples* of runs, so spread is the sample
+//! standard deviation (the `n - 1` denominator); a single observation has
+//! zero spread by convention.
+
+use crate::record::RunRecord;
+
+/// The arithmetic mean; `None` for an empty sample.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// The sample standard deviation (`n - 1` denominator); `None` for an empty
+/// sample and `0.0` for a single observation.
+pub fn sample_std(values: &[f64]) -> Option<f64> {
+    let mean = mean(values)?;
+    if values.len() < 2 {
+        return Some(0.0);
+    }
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+/// Formats `mean ± std` for a sample of values; `-` when empty.
+pub fn fmt_mean_std(values: &[f64]) -> String {
+    match (mean(values), sample_std(values)) {
+        (Some(mean), Some(std)) => format!("{mean:.2}±{std:.2}"),
+        _ => "-".to_owned(),
+    }
+}
+
+/// The `p`-th percentile (nearest-rank on the sorted sample, `p` in
+/// `[0, 100]`); `None` for an empty sample.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
+}
+
+/// The 95th-percentile of a sample (`None` when empty).
+pub fn p95(values: &[f64]) -> Option<f64> {
+    percentile(values, 95.0)
+}
+
+/// Counts `(detected, total)` over a set of run records.
+pub fn detections<'a>(runs: impl IntoIterator<Item = &'a RunRecord>) -> (usize, usize) {
+    let mut detected = 0;
+    let mut total = 0;
+    for run in runs {
+        total += 1;
+        detected += usize::from(run.detected);
+    }
+    (detected, total)
+}
+
+/// The fraction of runs detected (`0.0` for an empty set).
+pub fn detection_rate<'a>(runs: impl IntoIterator<Item = &'a RunRecord>) -> f64 {
+    let (detected, total) = detections(runs);
+    if total == 0 {
+        0.0
+    } else {
+        detected as f64 / total as f64
+    }
+}
+
+/// The detection latencies of the detected runs, in iteration order.
+pub fn latencies<'a>(runs: impl IntoIterator<Item = &'a RunRecord>) -> Vec<f64> {
+    runs.into_iter()
+        .filter_map(|run| run.detection_latency)
+        .collect()
+}
+
+/// Counts `(hits, total)` of runs whose top-`k` diagnosis candidates
+/// contain the attacked channel's true cause.
+pub fn top_k_hits<'a>(runs: impl IntoIterator<Item = &'a RunRecord>, k: usize) -> (usize, usize) {
+    let mut hits = 0;
+    let mut total = 0;
+    for run in runs {
+        total += 1;
+        hits += usize::from(run.diagnosis_in_top(k));
+    }
+    (hits, total)
+}
+
+/// Formats `hits/total` as a whole-number percentage (`-` when `total` is
+/// zero).
+pub fn percent(hits: usize, total: usize) -> String {
+    if total == 0 {
+        "-".to_owned()
+    } else {
+        format!("{}%", (100.0 * hits as f64 / total as f64).round() as u32)
+    }
+}
+
+/// Formats a row of a fixed-width text table.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    let mut out = String::new();
+    for (cell, w) in cells.iter().zip(widths) {
+        out.push_str(&format!("{cell:<w$} "));
+    }
+    out.trim_end().to_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_sample_std() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(mean(&[3.0]), Some(3.0));
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(sample_std(&[]), None);
+        // A single observation has no spread by convention.
+        assert_eq!(sample_std(&[4.2]), Some(0.0));
+        // Sample (not population) variance: [1, 3] → var 2, std √2.
+        let std = sample_std(&[1.0, 3.0]).unwrap();
+        assert!((std - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fmt_mean_std_formats() {
+        assert_eq!(fmt_mean_std(&[]), "-");
+        assert_eq!(fmt_mean_std(&[2.0, 2.0]), "2.00±0.00");
+        assert_eq!(fmt_mean_std(&[1.0, 3.0]), "2.00±1.41");
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        assert_eq!(p95(&[]), None);
+        assert_eq!(p95(&[7.0]), Some(7.0));
+        let values: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(p95(&values), Some(95.0));
+        assert_eq!(percentile(&values, 50.0), Some(50.0));
+        assert_eq!(percentile(&values, 0.0), Some(1.0));
+        assert_eq!(percentile(&values, 100.0), Some(100.0));
+    }
+
+    #[test]
+    fn percent_formats() {
+        assert_eq!(percent(0, 0), "-");
+        assert_eq!(percent(2, 3), "67%");
+        assert_eq!(percent(3, 3), "100%");
+    }
+
+    #[test]
+    fn row_pads_fixed_width() {
+        assert_eq!(row(&["a".into(), "bb".into()], &[3, 3]), "a   bb");
+    }
+}

@@ -1,0 +1,193 @@
+//! Campaign execution: the single entry point from a grid cell to a
+//! structured record.
+//!
+//! Every harness — tables, figures and ablations alike — reaches the
+//! simulator through [`execute`] (or through [`Campaign::run`], which maps
+//! it over a whole grid in parallel), so scenario wiring, catalog choice,
+//! checking and record construction are decided in exactly one place.
+
+use adassure_control::pipeline::AdStack;
+use adassure_core::catalog::{self, CatalogConfig};
+use adassure_core::{checker, Assertion, CheckReport};
+use adassure_scenarios::{run, Scenario};
+use adassure_sim::engine::SimOutput;
+use adassure_sim::SimError;
+
+use crate::grid::{Grid, RunSpec};
+use crate::par;
+use crate::record::{CampaignReport, RunRecord};
+
+/// Picks an assertion catalog for a scenario. Campaigns default to
+/// [`standard_catalog`]; the mining and ablation studies substitute their
+/// own (mined, reduced or rescaled) catalogs through
+/// [`Campaign::with_catalog`].
+pub type CatalogSource<'a> = dyn Fn(&Scenario) -> Vec<Assertion> + Send + Sync + 'a;
+
+/// The catalog configuration matched to a scenario: goal-distance for open
+/// routes (enabling A12), defaults otherwise.
+pub fn catalog_config_for(scenario: &Scenario) -> CatalogConfig {
+    let config = CatalogConfig::default();
+    if scenario.track.is_closed() {
+        config
+    } else {
+        config.with_goal_distance(scenario.route_length())
+    }
+}
+
+/// The standard catalog for a scenario.
+pub fn standard_catalog(scenario: &Scenario) -> Vec<Assertion> {
+    catalog::build(&catalog_config_for(scenario))
+}
+
+/// Executes one grid cell against a catalog: builds the scenario and stack,
+/// runs the engine (injecting the cell's attack, if any) and checks the
+/// trace.
+///
+/// # Errors
+///
+/// Propagates simulator errors ([`SimError`]); standard scenarios with
+/// standard stacks never produce one.
+pub fn execute(spec: &RunSpec, cat: &[Assertion]) -> Result<(SimOutput, CheckReport), SimError> {
+    let scenario = Scenario::of_kind(spec.scenario)?;
+    let config = run::stack_config(&scenario, spec.controller).with_estimator(spec.estimator);
+    let mut stack = AdStack::new(config, scenario.track.clone());
+    let engine = run::engine_for(&scenario, spec.seed);
+    let output = match spec.attack {
+        Some(attack) => {
+            let mut injector = attack.injector(spec.seed);
+            engine.run_with_tap(&mut stack, &mut injector)?
+        }
+        None => engine.run(&mut stack)?,
+    };
+    let report = checker::check(cat, &output.trace);
+    Ok((output, report))
+}
+
+/// A named grid plus a catalog source: one experiment campaign.
+pub struct Campaign<'a> {
+    name: String,
+    grid: Grid,
+    catalog: Box<CatalogSource<'a>>,
+}
+
+impl std::fmt::Debug for Campaign<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Campaign")
+            .field("name", &self.name)
+            .field("grid", &self.grid)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Campaign<'a> {
+    /// A campaign over `grid` using the standard per-scenario catalog.
+    pub fn new(name: impl Into<String>, grid: Grid) -> Self {
+        Campaign {
+            name: name.into(),
+            grid,
+            catalog: Box::new(standard_catalog),
+        }
+    }
+
+    /// Replaces the catalog source (mined, reduced or rescaled catalogs).
+    pub fn with_catalog(
+        mut self,
+        source: impl Fn(&Scenario) -> Vec<Assertion> + Send + Sync + 'a,
+    ) -> Self {
+        self.catalog = Box::new(source);
+        self
+    }
+
+    /// The campaign's grid.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+
+    /// Executes every cell of the grid — in parallel, deterministically —
+    /// and collects the records in cell order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulator error in cell order.
+    pub fn run(&self) -> Result<CampaignReport, SimError> {
+        let cells = self.grid.cells();
+        // Catalogs depend only on the scenario; resolve each kind once up
+        // front instead of per cell.
+        let mut catalogs: Vec<(adassure_scenarios::ScenarioKind, Vec<Assertion>)> = Vec::new();
+        for cell in &cells {
+            if !catalogs.iter().any(|(kind, _)| *kind == cell.scenario) {
+                let scenario = Scenario::of_kind(cell.scenario)?;
+                catalogs.push((cell.scenario, (self.catalog)(&scenario)));
+            }
+        }
+        let runs = par::map(&cells, |spec| {
+            let cat = &catalogs
+                .iter()
+                .find(|(kind, _)| *kind == spec.scenario)
+                .expect("catalog resolved for every scenario in the grid")
+                .1;
+            execute(spec, cat).map(|(output, report)| RunRecord::from_run(spec, &output, &report))
+        });
+        Ok(CampaignReport {
+            name: self.name.clone(),
+            runs: runs.into_iter().collect::<Result<_, _>>()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::AttackSet;
+    use adassure_control::ControllerKind;
+    use adassure_scenarios::ScenarioKind;
+
+    #[test]
+    fn execute_detects_a_standard_attack() {
+        let grid = Grid::new()
+            .attacks(AttackSet::Standard)
+            .include_clean(true)
+            .seeds([1]);
+        let cells = grid.cells();
+        let scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+        let cat = standard_catalog(&scenario);
+
+        let (clean_out, clean_report) = execute(&cells[0], &cat).unwrap();
+        assert!(clean_out.reached_goal);
+        assert!(clean_report.is_clean(), "clean run raised {clean_report:?}");
+
+        // Cell 1 is the gnss_bias attack; the catalog must catch it.
+        let (_, attacked) = execute(&cells[1], &cat).unwrap();
+        assert!(attacked.detection_latency(cells[1].alarm_start()).is_some());
+    }
+
+    #[test]
+    fn campaign_produces_records_in_cell_order() {
+        let grid = Grid::new()
+            .scenarios([ScenarioKind::Straight])
+            .controllers([ControllerKind::PurePursuit])
+            .attacks(AttackSet::None)
+            .include_clean(true)
+            .seeds([1, 2]);
+        let report = Campaign::new("unit_clean", grid).run().unwrap();
+        assert_eq!(report.name, "unit_clean");
+        assert_eq!(report.runs.len(), 2);
+        for (i, run) in report.runs.iter().enumerate() {
+            assert_eq!(run.cell, i);
+            assert!(run.attack.is_none());
+            assert!(!run.detected, "clean false positive: {run:?}");
+        }
+        assert_eq!(report.runs[0].seed, 1);
+        assert_eq!(report.runs[1].seed, 2);
+    }
+
+    #[test]
+    fn custom_catalogs_are_honoured() {
+        let grid = Grid::new().attacks(AttackSet::None).include_clean(true);
+        let report = Campaign::new("unit_empty_catalog", grid)
+            .with_catalog(|_| Vec::new())
+            .run()
+            .unwrap();
+        assert!(report.runs[0].violated.is_empty());
+    }
+}

@@ -1,0 +1,253 @@
+//! Declarative run grids: the cross product of scenarios, controllers,
+//! estimators, attacks and seeds, enumerated into indexed cells.
+
+use adassure_attacks::campaign::{extended_attacks, standard_attacks, AttackSpec};
+use adassure_attacks::Channel;
+use adassure_control::pipeline::EstimatorKind;
+use adassure_control::ControllerKind;
+use adassure_scenarios::{Scenario, ScenarioKind};
+
+/// Which attack catalog a grid sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackSet {
+    /// No attacks (clean-only grids).
+    None,
+    /// The standard eleven-attack catalog.
+    Standard,
+    /// The extended catalog (standard eleven plus three variants).
+    Extended,
+    /// Only the three extension attacks beyond the standard catalog.
+    ExtensionOnly,
+    /// The standard attacks targeting one sensor channel.
+    Channel(Channel),
+}
+
+impl AttackSet {
+    /// Resolves the set into concrete specs for a scenario's canonical
+    /// attack start.
+    pub fn specs(self, attack_start: f64) -> Vec<AttackSpec> {
+        match self {
+            AttackSet::None => Vec::new(),
+            AttackSet::Standard => standard_attacks(attack_start),
+            AttackSet::Extended => extended_attacks(attack_start),
+            AttackSet::ExtensionOnly => {
+                let standard = standard_attacks(attack_start).len();
+                extended_attacks(attack_start).split_off(standard)
+            }
+            AttackSet::Channel(channel) => standard_attacks(attack_start)
+                .into_iter()
+                .filter(|spec| spec.kind.channel() == channel)
+                .collect(),
+        }
+    }
+}
+
+/// One fully-resolved cell of a [`Grid`]: everything needed to execute and
+/// identify a single simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSpec {
+    /// Position in the grid's enumeration order (results are keyed by it).
+    pub index: usize,
+    /// The scenario to drive.
+    pub scenario: ScenarioKind,
+    /// The lateral controller under test.
+    pub controller: ControllerKind,
+    /// The state estimator under test.
+    pub estimator: EstimatorKind,
+    /// The attack to inject, or `None` for a clean (golden) run.
+    pub attack: Option<AttackSpec>,
+    /// The simulation seed.
+    pub seed: u64,
+}
+
+impl RunSpec {
+    /// The time alarms are measured against: the attack's activation time,
+    /// or `0.0` for a clean run (the whole run counts).
+    pub fn alarm_start(&self) -> f64 {
+        self.attack.map_or(0.0, |a| a.window.start)
+    }
+}
+
+/// A declarative sweep over the experiment axes.
+///
+/// Cells enumerate in a fixed nested order — scenario, controller,
+/// estimator, attack (clean first when included), seed — so a grid's cell
+/// indices, and therefore its result ordering, are stable.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    scenarios: Vec<ScenarioKind>,
+    controllers: Vec<ControllerKind>,
+    estimators: Vec<EstimatorKind>,
+    attacks: AttackSet,
+    include_clean: bool,
+    seeds: Vec<u64>,
+}
+
+impl Default for Grid {
+    fn default() -> Self {
+        Grid::new()
+    }
+}
+
+impl Grid {
+    /// A single-cell baseline grid: straight scenario, pure pursuit, the
+    /// complementary estimator, the standard attacks, seed 1.
+    pub fn new() -> Self {
+        Grid {
+            scenarios: vec![ScenarioKind::Straight],
+            controllers: vec![ControllerKind::PurePursuit],
+            estimators: vec![EstimatorKind::Complementary],
+            attacks: AttackSet::Standard,
+            include_clean: false,
+            seeds: vec![1],
+        }
+    }
+
+    /// Replaces the scenario axis.
+    pub fn scenarios(mut self, kinds: impl IntoIterator<Item = ScenarioKind>) -> Self {
+        self.scenarios = kinds.into_iter().collect();
+        self
+    }
+
+    /// Replaces the controller axis.
+    pub fn controllers(mut self, kinds: impl IntoIterator<Item = ControllerKind>) -> Self {
+        self.controllers = kinds.into_iter().collect();
+        self
+    }
+
+    /// Replaces the estimator axis.
+    pub fn estimators(mut self, kinds: impl IntoIterator<Item = EstimatorKind>) -> Self {
+        self.estimators = kinds.into_iter().collect();
+        self
+    }
+
+    /// Replaces the attack set.
+    pub fn attacks(mut self, set: AttackSet) -> Self {
+        self.attacks = set;
+        self
+    }
+
+    /// Whether a clean (no-attack) run precedes the attacked runs in each
+    /// scenario × controller × estimator block.
+    pub fn include_clean(mut self, include: bool) -> Self {
+        self.include_clean = include;
+        self
+    }
+
+    /// Replaces the seed axis.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Enumerates every cell, resolving attack windows against each
+    /// scenario's canonical `attack_start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a library scenario fails to build (a bug, covered by the
+    /// scenario crate's tests).
+    pub fn cells(&self) -> Vec<RunSpec> {
+        let mut cells = Vec::new();
+        for &scenario in &self.scenarios {
+            let attack_start = Scenario::of_kind(scenario)
+                .expect("library scenarios are valid")
+                .attack_start;
+            let specs = self.attacks.specs(attack_start);
+            for &controller in &self.controllers {
+                for &estimator in &self.estimators {
+                    let clean = self.include_clean.then_some(None);
+                    for attack in clean.into_iter().chain(specs.iter().copied().map(Some)) {
+                        for &seed in &self.seeds {
+                            cells.push(RunSpec {
+                                index: cells.len(),
+                                scenario,
+                                controller,
+                                estimator,
+                                attack,
+                                seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// The number of cells the grid enumerates.
+    pub fn len(&self) -> usize {
+        let attacks_per_block = self.attacks.specs(0.0).len() + usize::from(self.include_clean);
+        self.scenarios.len()
+            * self.controllers.len()
+            * self.estimators.len()
+            * attacks_per_block
+            * self.seeds.len()
+    }
+
+    /// Whether the grid enumerates no cells at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_enumerate_in_stable_nested_order() {
+        let grid = Grid::new()
+            .scenarios([ScenarioKind::Straight, ScenarioKind::SCurve])
+            .controllers([ControllerKind::PurePursuit, ControllerKind::Stanley])
+            .attacks(AttackSet::Standard)
+            .seeds([1, 2, 3]);
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 2 * 2 * 11 * 3);
+        assert_eq!(cells.len(), grid.len());
+        for (i, cell) in cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+        }
+        // Seeds vary fastest; scenarios slowest.
+        assert_eq!(cells[0].seed, 1);
+        assert_eq!(cells[1].seed, 2);
+        assert_eq!(cells[0].scenario, ScenarioKind::Straight);
+        assert_eq!(cells.last().unwrap().scenario, ScenarioKind::SCurve);
+    }
+
+    #[test]
+    fn clean_run_leads_each_block() {
+        let cells = Grid::new()
+            .attacks(AttackSet::Standard)
+            .include_clean(true)
+            .seeds([7])
+            .cells();
+        assert_eq!(cells.len(), 12);
+        assert!(cells[0].attack.is_none());
+        assert!(cells[1..].iter().all(|c| c.attack.is_some()));
+        assert_eq!(cells[0].alarm_start(), 0.0);
+        assert!(cells[1].alarm_start() > 0.0);
+    }
+
+    #[test]
+    fn attack_sets_resolve_expected_catalogs() {
+        assert!(AttackSet::None.specs(5.0).is_empty());
+        assert_eq!(AttackSet::Standard.specs(5.0).len(), 11);
+        assert_eq!(AttackSet::Extended.specs(5.0).len(), 14);
+        let extension = AttackSet::ExtensionOnly.specs(5.0);
+        assert_eq!(
+            extension.iter().map(AttackSpec::name).collect::<Vec<_>>(),
+            ["wheel_speed_noise", "imu_yaw_scale", "compass_drift"]
+        );
+        let gnss = AttackSet::Channel(Channel::Gnss).specs(5.0);
+        assert_eq!(gnss.len(), 7);
+        assert!(gnss.iter().all(|s| s.kind.channel() == Channel::Gnss));
+    }
+
+    #[test]
+    fn empty_axes_mean_empty_grids() {
+        let grid = Grid::new().seeds([]);
+        assert!(grid.is_empty());
+        assert!(grid.cells().is_empty());
+    }
+}

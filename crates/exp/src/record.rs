@@ -1,0 +1,244 @@
+//! Structured per-run and per-campaign results.
+//!
+//! A [`RunRecord`] is everything the text tables aggregate from one run:
+//! detection, latency, the fired assertions, the diagnosis ranking and the
+//! physical damage. A [`CampaignReport`] bundles the records of one grid
+//! and serializes to `results/<name>.json` next to the text tables, so the
+//! numbers behind every table row are machine-readable.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use adassure_attacks::Channel;
+use adassure_core::diagnosis::{self, CauseTag, Diagnosis};
+use adassure_core::CheckReport;
+use adassure_sim::engine::SimOutput;
+use adassure_trace::well_known as sig;
+
+use crate::grid::RunSpec;
+
+/// The ground-truth cause for an attack on `channel` (what the diagnosis
+/// engine should recover from violations alone).
+pub fn cause_of(channel: Channel) -> CauseTag {
+    match channel {
+        Channel::Gnss => CauseTag::GnssChannel,
+        Channel::WheelSpeed => CauseTag::WheelSpeedChannel,
+        Channel::ImuYaw => CauseTag::ImuYawChannel,
+        Channel::Compass => CauseTag::CompassChannel,
+    }
+}
+
+/// Worst `|true cross-track error|` recorded at or after `t0` (m); `0.0`
+/// when the trace has no ground-truth signal.
+pub fn worst_xtrack_after(trace: &adassure_trace::Trace, t0: f64) -> f64 {
+    trace
+        .series_by_name(sig::TRUE_XTRACK_ERR)
+        .map(|series| {
+            series
+                .samples()
+                .iter()
+                .filter(|s| s.time >= t0)
+                .map(|s| s.value.abs())
+                .fold(0.0_f64, f64::max)
+        })
+        .unwrap_or(0.0)
+}
+
+/// The structured result of one grid cell.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// The cell index within the campaign's grid.
+    pub cell: usize,
+    /// Scenario name.
+    pub scenario: String,
+    /// Controller name.
+    pub controller: String,
+    /// Estimator name.
+    pub estimator: String,
+    /// Attack name, or `None` for a clean run.
+    pub attack: Option<String>,
+    /// The attacked sensor channel, or `None` for a clean run.
+    pub channel: Option<String>,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Whether an open-track run reached its goal.
+    pub reached_goal: bool,
+    /// Whether any assertion fired at or after [`RunSpec::alarm_start`].
+    /// For attacked runs this is detection; for clean runs, a false
+    /// positive.
+    pub detected: bool,
+    /// Seconds from attack start to the first subsequent alarm.
+    pub detection_latency: Option<f64>,
+    /// The assertion raising that first alarm.
+    pub first_assertion: Option<String>,
+    /// Every assertion that fired during the run, in id order.
+    pub violated: Vec<String>,
+    /// The assertions with a violation detected at or after
+    /// [`RunSpec::alarm_start`] (what the detection matrix marks).
+    pub violated_after_start: Vec<String>,
+    /// The diagnosis ranking computed from the fired assertions.
+    pub diagnosis: Diagnosis,
+    /// Worst `|true cross-track error|` at or after the alarm-start time
+    /// (m) — the physical damage of an attacked run.
+    pub worst_xtrack_err: f64,
+}
+
+impl RunRecord {
+    /// Builds the record for one executed cell.
+    pub fn from_run(spec: &RunSpec, output: &SimOutput, report: &CheckReport) -> Self {
+        let start = spec.alarm_start();
+        let first = report.first_detection_after(start);
+        let violated_after_start: Vec<String> = report
+            .violated_ids()
+            .iter()
+            .filter(|id| {
+                report
+                    .violations_of(id.as_str())
+                    .any(|v| v.detected >= start)
+            })
+            .map(|id| id.as_str().to_owned())
+            .collect();
+        let worst_xtrack_err = worst_xtrack_after(&output.trace, start);
+        RunRecord {
+            cell: spec.index,
+            scenario: spec.scenario.name().to_owned(),
+            controller: spec.controller.name().to_owned(),
+            estimator: spec.estimator.name().to_owned(),
+            attack: spec.attack.map(|a| a.name().to_owned()),
+            channel: spec.attack.map(|a| a.kind.channel().name().to_owned()),
+            seed: spec.seed,
+            reached_goal: output.reached_goal,
+            detected: first.is_some(),
+            detection_latency: first.map(|v| v.detected - start),
+            first_assertion: first.map(|v| v.assertion.as_str().to_owned()),
+            violated: report
+                .violated_ids()
+                .iter()
+                .map(|id| id.as_str().to_owned())
+                .collect(),
+            violated_after_start,
+            diagnosis: diagnosis::diagnose(report),
+            worst_xtrack_err,
+        }
+    }
+
+    /// Whether the top-`k` diagnosis candidates contain the attacked
+    /// channel's true cause. `false` for clean runs.
+    pub fn diagnosis_in_top(&self, k: usize) -> bool {
+        self.true_cause()
+            .is_some_and(|truth| self.diagnosis.contains_in_top(truth, k))
+    }
+
+    /// The ground-truth cause of this run's attack, if any.
+    pub fn true_cause(&self) -> Option<CauseTag> {
+        let channel = self.channel.as_deref()?;
+        CauseTag::ALL
+            .into_iter()
+            .find(|cause| cause.name() == channel)
+    }
+}
+
+/// The structured results of one campaign: a named grid plus the record of
+/// every cell, in cell order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// The campaign name (also the `results/<name>.json` stem).
+    pub name: String,
+    /// Per-cell records, in grid enumeration order.
+    pub runs: Vec<RunRecord>,
+}
+
+impl CampaignReport {
+    /// Pretty-printed JSON of the whole report (trailing newline included).
+    pub fn to_json(&self) -> String {
+        let mut text = serde_json::to_string_pretty(self).expect("report serializes");
+        text.push('\n');
+        text
+    }
+
+    /// Writes the report to `<dir>/<name>.json`, creating `dir` as needed,
+    /// and returns the path written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from directory creation or the write.
+    pub fn write_json(&self, dir: impl AsRef<Path>) -> io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// The records satisfying a predicate (aggregation convenience).
+    pub fn select<'a>(&'a self, pred: impl Fn(&RunRecord) -> bool + 'a) -> Vec<&'a RunRecord> {
+        self.runs.iter().filter(|r| pred(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(attack: Option<&str>, channel: Option<&str>) -> RunRecord {
+        RunRecord {
+            cell: 0,
+            scenario: "straight".into(),
+            controller: "pure_pursuit".into(),
+            estimator: "complementary".into(),
+            attack: attack.map(str::to_owned),
+            channel: channel.map(str::to_owned),
+            seed: 1,
+            reached_goal: true,
+            detected: attack.is_some(),
+            detection_latency: attack.map(|_| 0.5),
+            first_assertion: attack.map(|_| "A7".to_owned()),
+            violated: vec!["A7".into()],
+            violated_after_start: vec!["A7".into()],
+            diagnosis: diagnosis::diagnose_ids(&["A7"].map(adassure_core::AssertionId::new).into()),
+            worst_xtrack_err: 1.25,
+        }
+    }
+
+    #[test]
+    fn cause_mapping_is_total() {
+        assert_eq!(cause_of(Channel::Gnss), CauseTag::GnssChannel);
+        assert_eq!(cause_of(Channel::WheelSpeed), CauseTag::WheelSpeedChannel);
+        assert_eq!(cause_of(Channel::ImuYaw), CauseTag::ImuYawChannel);
+        assert_eq!(cause_of(Channel::Compass), CauseTag::CompassChannel);
+    }
+
+    #[test]
+    fn top_k_checks_against_the_attacked_channel() {
+        let rec = record(Some("gnss_bias"), Some("gnss"));
+        assert_eq!(rec.true_cause(), Some(CauseTag::GnssChannel));
+        assert!(rec.diagnosis_in_top(1));
+        let clean = record(None, None);
+        assert_eq!(clean.true_cause(), None);
+        assert!(!clean.diagnosis_in_top(5));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = CampaignReport {
+            name: "unit".into(),
+            runs: vec![record(Some("gnss_bias"), Some("gnss")), record(None, None)],
+        };
+        let json = report.to_json();
+        assert!(json.ends_with('\n'));
+        let back: CampaignReport = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn select_filters_records() {
+        let report = CampaignReport {
+            name: "unit".into(),
+            runs: vec![record(Some("gnss_bias"), Some("gnss")), record(None, None)],
+        };
+        assert_eq!(report.select(|r| r.attack.is_none()).len(), 1);
+        assert_eq!(report.select(|r| r.detected).len(), 1);
+    }
+}

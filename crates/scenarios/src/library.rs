@@ -71,7 +71,11 @@ pub fn urban_loop() -> Result<Track, SimError> {
     for i in 0..=8 {
         points.push(Vec2::new(r + f64::from(i) * (w - 2.0 * r) / 8.0, 0.0));
     }
-    corner(Vec2::new(w - r, r), -std::f64::consts::FRAC_PI_2, &mut points);
+    corner(
+        Vec2::new(w - r, r),
+        -std::f64::consts::FRAC_PI_2,
+        &mut points,
+    );
     // Right edge south→north.
     for i in 1..=6 {
         points.push(Vec2::new(w, r + f64::from(i) * (h - 2.0 * r) / 6.0));
@@ -81,7 +85,11 @@ pub fn urban_loop() -> Result<Track, SimError> {
     for i in 1..=8 {
         points.push(Vec2::new(w - r - f64::from(i) * (w - 2.0 * r) / 8.0, h));
     }
-    corner(Vec2::new(r, h - r), std::f64::consts::FRAC_PI_2, &mut points);
+    corner(
+        Vec2::new(r, h - r),
+        std::f64::consts::FRAC_PI_2,
+        &mut points,
+    );
     // Left edge north→south.
     for i in 1..=6 {
         points.push(Vec2::new(0.0, h - r - f64::from(i) * (h - 2.0 * r) / 6.0));
@@ -142,7 +150,11 @@ mod tests {
     fn curvatures_are_bounded_for_the_vehicle() {
         // Minimum turn radius of the car: L / tan(max_steer) ≈ 4.4 m. All
         // scenario curvature must stay well under 1/4.4.
-        for track in [s_curve().unwrap(), urban_loop().unwrap(), hairpin().unwrap()] {
+        for track in [
+            s_curve().unwrap(),
+            urban_loop().unwrap(),
+            hairpin().unwrap(),
+        ] {
             let mut worst = 0.0f64;
             let mut s = 0.0;
             while s < track.length() {

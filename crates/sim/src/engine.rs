@@ -456,7 +456,11 @@ mod tests {
         // GNSS speed is a backward difference over a ~1 s baseline, so it
         // approximates the true speed half a baseline ago.
         let truth = true_speed.value_at(last.time - 0.5).unwrap();
-        assert!((last.value - truth).abs() < 0.3, "{} vs {truth}", last.value);
+        assert!(
+            (last.value - truth).abs() < 0.3,
+            "{} vs {truth}",
+            last.value
+        );
     }
 
     #[test]
@@ -491,10 +495,7 @@ mod tests {
                 frame.wheel_speed = 99.0;
             }
         }
-        let engine = Engine::new(
-            SimConfig::new(0.2).with_seed(0),
-            line_track(),
-        );
+        let engine = Engine::new(SimConfig::new(0.2).with_seed(0), line_track());
         let mut seen = Vec::new();
         let mut driver = |ctx: &DriveCtx<'_>, _trace: &mut Trace| {
             seen.push(ctx.frame.wheel_speed);
@@ -531,7 +532,8 @@ mod tests {
         // NaN controls are sanitised by the actuators, so divergence should
         // NOT occur; this guards the sanitisation path.
         let engine = Engine::new(SimConfig::new(0.5).with_seed(0), line_track());
-        let mut driver = |_ctx: &DriveCtx<'_>, _trace: &mut Trace| Controls::new(f64::NAN, f64::NAN);
+        let mut driver =
+            |_ctx: &DriveCtx<'_>, _trace: &mut Trace| Controls::new(f64::NAN, f64::NAN);
         let out = engine.run(&mut driver).unwrap();
         assert!(out.final_state.is_finite());
     }

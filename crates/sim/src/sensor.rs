@@ -132,7 +132,7 @@ impl SensorSuite {
         time: f64,
         rng: &mut R,
     ) -> SensorFrame {
-        let gnss = if self.cycle % self.gnss_every == 0 {
+        let gnss = if self.cycle.is_multiple_of(self.gnss_every) {
             Some(Vec2::new(
                 state.position.x + self.config.gnss_noise.sample(rng),
                 state.position.y + self.config.gnss_noise.sample(rng),

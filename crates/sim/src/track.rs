@@ -105,7 +105,7 @@ impl Track {
             let last = *polyline.last().expect("polyline has >= 2 points");
             if points
                 .last()
-                .map_or(true, |p| p.distance(last) > spacing * 0.25)
+                .is_none_or(|p| p.distance(last) > spacing * 0.25)
             {
                 points.push(last);
             } else {
@@ -114,7 +114,7 @@ impl Track {
         } else if points
             .last()
             .zip(points.first())
-            .map_or(false, |(l, f)| l.distance(*f) < spacing * 0.25)
+            .is_some_and(|(l, f)| l.distance(*f) < spacing * 0.25)
         {
             // Avoid a duplicated closing point.
             points.pop();
@@ -477,8 +477,7 @@ mod tests {
     #[test]
     fn multi_segment_polyline_headings() {
         // L-shaped path: east then north.
-        let t = Track::from_waypoints([[0.0, 0.0], [10.0, 0.0], [10.0, 10.0]], 0.5, false)
-            .unwrap();
+        let t = Track::from_waypoints([[0.0, 0.0], [10.0, 0.0], [10.0, 10.0]], 0.5, false).unwrap();
         assert!(t.heading_at(2.0).abs() < 1e-6);
         assert!((t.heading_at(18.0) - FRAC_PI_2).abs() < 1e-6);
         assert!((t.length() - 20.0).abs() < 0.5);
@@ -503,8 +502,8 @@ mod tests {
     fn heading_interpolation_handles_wraparound() {
         // Path crossing the ±pi heading boundary: heading west, slightly
         // turning. Build a nearly-straight westward line.
-        let t = Track::from_waypoints([[0.0, 0.0], [-50.0, 0.1], [-100.0, 0.0]], 1.0, false)
-            .unwrap();
+        let t =
+            Track::from_waypoints([[0.0, 0.0], [-50.0, 0.1], [-100.0, 0.0]], 1.0, false).unwrap();
         let h = t.heading_at(t.length() / 2.0);
         assert!(
             (h.abs() - PI).abs() < 0.1,

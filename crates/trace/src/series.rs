@@ -146,9 +146,7 @@ impl Series {
         if time < start || time > end {
             return None;
         }
-        let idx = self
-            .samples
-            .partition_point(|s| s.time < time);
+        let idx = self.samples.partition_point(|s| s.time < time);
         if idx < self.samples.len() && self.samples[idx].time == time {
             return Some(self.samples[idx].value);
         }

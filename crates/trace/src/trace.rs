@@ -142,10 +142,7 @@ impl Trace {
             return true;
         };
         grids.all(|g| {
-            g.len() == reference.len()
-                && g.iter()
-                    .zip(reference)
-                    .all(|(a, b)| a.time == b.time)
+            g.len() == reference.len() && g.iter().zip(reference).all(|(a, b)| a.time == b.time)
         })
     }
 

@@ -26,8 +26,7 @@ impl<'a> Iterator for Windows<'a> {
             return None;
         }
         let t0 = self.samples[self.start].time;
-        let end = self.samples[self.start..]
-            .partition_point(|s| s.time <= t0 + self.duration)
+        let end = self.samples[self.start..].partition_point(|s| s.time <= t0 + self.duration)
             + self.start;
         let window = &self.samples[self.start..end];
         self.start += 1;
@@ -107,10 +106,7 @@ mod tests {
     fn series_with(values: &[f64]) -> Series {
         Series::from_samples(
             "w",
-            values
-                .iter()
-                .enumerate()
-                .map(|(i, &v)| (i as f64 * 0.1, v)),
+            values.iter().enumerate().map(|(i, &v)| (i as f64 * 0.1, v)),
         )
         .unwrap()
     }

@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .find(|a| a.id.as_str() == id.as_str())
             .map(|a| format!("{:.3}", a.condition.threshold()))
             .unwrap_or_default();
-        println!("{id:<5} {:>12.3} {:>12.3} {:>12}", b.observed, b.mined, hand);
+        println!(
+            "{id:<5} {:>12.3} {:>12.3} {:>12}",
+            b.observed, b.mined, hand
+        );
     }
 
     // --- Validate: clean on held-out golden seeds... --------------------

@@ -51,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:<14} {:>10} {:>11.3}m {:>11.3}m {:>10}",
             controller.name(),
-            if clean.reached_goal { "reached" } else { "timeout" },
+            if clean.reached_goal {
+                "reached"
+            } else {
+                "timeout"
+            },
             stats.rms,
             stats.max.abs().max(stats.min.abs()),
             latency

@@ -17,11 +17,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!(
         "GNSS campaign on `{}` with the {} stack ({} seeds)\n",
-        scenario.kind, controller, seeds.len()
+        scenario.kind,
+        controller,
+        seeds.len()
     );
     println!(
-        "{:<14} {:>9} {:>9} {:<12} {}",
-        "attack", "detected", "latency", "top-cause", "assertions fired"
+        "{:<14} {:>9} {:>9} {:<12} assertions fired",
+        "attack", "detected", "latency", "top-cause"
     );
 
     for attack in standard_attacks(scenario.attack_start)
@@ -40,12 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 detected += 1;
                 latencies.push(latency);
             }
-            fired.extend(
-                report
-                    .violated_ids()
-                    .iter()
-                    .map(|i| i.as_str().to_owned()),
-            );
+            fired.extend(report.violated_ids().iter().map(|i| i.as_str().to_owned()));
             if let Some(top) = diagnosis::diagnose(&report).top() {
                 top_causes.push(top);
             }

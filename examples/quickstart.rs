@@ -59,6 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some(diagnosis::CauseTag::GnssChannel),
         "the GNSS channel should top the ranking"
     );
-    println!("\nverdict: debug the {} channel first", verdict.top().expect("non-empty").name());
+    println!(
+        "\nverdict: debug the {} channel first",
+        verdict.top().expect("non-empty").name()
+    );
     Ok(())
 }

@@ -90,7 +90,11 @@ impl Guardian {
     /// Note that [`Temporal::Eventually`](adassure_core::Temporal)
     /// assertions (A12) never fire mid-run, so they are inert as triggers;
     /// include them or not as you wish.
-    pub fn new(stack: AdStack, catalog: impl IntoIterator<Item = Assertion>, config: GuardianConfig) -> Self {
+    pub fn new(
+        stack: AdStack,
+        catalog: impl IntoIterator<Item = Assertion>,
+        config: GuardianConfig,
+    ) -> Self {
         Guardian {
             stack,
             checker: OnlineChecker::new(catalog),
@@ -258,8 +262,15 @@ mod tests {
         .with_grace(5.0);
         let mut guardian = Guardian::new(stack, [nag], GuardianConfig::default());
         let out = run::engine_for(&scenario, 1).run(&mut guardian).unwrap();
-        assert_eq!(guardian.state(), GuardState::Nominal, "warnings must not stop the car");
-        assert!(!guardian.violations().is_empty(), "but they are still logged");
+        assert_eq!(
+            guardian.state(),
+            GuardState::Nominal,
+            "warnings must not stop the car"
+        );
+        assert!(
+            !guardian.violations().is_empty(),
+            "but they are still logged"
+        );
         assert!(out.reached_goal);
     }
 

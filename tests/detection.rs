@@ -150,11 +150,16 @@ fn attack_magnitude_scales_detectability() {
         offset: Vec2::new(2.5, -2.0),
     };
     // A tiny bias hides inside sensor noise; the standard one is caught.
-    let tiny = AttackSpec::new(scale_attack(base, 0.1), Window::from_start(scenario.attack_start));
+    let tiny = AttackSpec::new(
+        scale_attack(base, 0.1),
+        Window::from_start(scenario.attack_start),
+    );
     let tiny_report = check_attacked(&scenario, ControllerKind::PurePursuit, &tiny, 7);
     let standard = AttackSpec::new(base, Window::from_start(scenario.attack_start));
     let std_report = check_attacked(&scenario, ControllerKind::PurePursuit, &standard, 7);
-    assert!(std_report.detection_latency(scenario.attack_start).is_some());
+    assert!(std_report
+        .detection_latency(scenario.attack_start)
+        .is_some());
     let tiny_latency = tiny_report.detection_latency(scenario.attack_start);
     let std_latency = std_report.detection_latency(scenario.attack_start);
     if let (Some(t), Some(s)) = (tiny_latency, std_latency) {
@@ -230,10 +235,11 @@ fn windowed_attack_stops_firing_after_the_window() {
     let report = check_attacked(&scenario, ControllerKind::PurePursuit, &attack, 8);
     assert!(report.detection_latency(12.0).is_some(), "attack detected");
     // Well after the window closes (allowing recovery), no fresh episodes.
-    let late = report
-        .violations
-        .iter()
-        .filter(|v| v.onset > 28.0)
-        .count();
-    assert_eq!(late, 0, "assertions kept firing after recovery:\n{}", report.summary());
+    let late = report.violations.iter().filter(|v| v.onset > 28.0).count();
+    assert_eq!(
+        late,
+        0,
+        "assertions kept firing after recovery:\n{}",
+        report.summary()
+    );
 }

@@ -33,8 +33,7 @@ fn top2_diagnosis_localises_most_attacks() {
             continue;
         }
         let mut injector = attack.injector(1);
-        let out =
-            run::with_tap(&scenario, ControllerKind::PurePursuit, 1, &mut injector).unwrap();
+        let out = run::with_tap(&scenario, ControllerKind::PurePursuit, 1, &mut injector).unwrap();
         let report = checker::check(&cat, &out.trace);
         let verdict = diagnosis::diagnose(&report);
         let truth = cause_of(attack.kind.channel());
@@ -69,8 +68,7 @@ fn per_channel_signature_attacks_diagnose_correctly() {
             .find(|a| a.name() == name)
             .expect("attack in catalog");
         let mut injector = attack.injector(2);
-        let out =
-            run::with_tap(&scenario, ControllerKind::PurePursuit, 2, &mut injector).unwrap();
+        let out = run::with_tap(&scenario, ControllerKind::PurePursuit, 2, &mut injector).unwrap();
         let report = checker::check(&cat, &out.trace);
         let verdict = diagnosis::diagnose(&report);
         assert_eq!(

@@ -86,7 +86,9 @@ fn traces_carry_the_full_signal_set() {
         sig::LAT_ACCEL,
     ] {
         assert!(
-            out.trace.series_by_name(name).is_some_and(|s| !s.is_empty()),
+            out.trace
+                .series_by_name(name)
+                .is_some_and(|s| !s.is_empty()),
             "missing or empty signal {name}"
         );
     }

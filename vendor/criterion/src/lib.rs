@@ -1,0 +1,147 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the benchmarking API subset this workspace uses
+//! ([`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`criterion_group!`] / [`criterion_main!`])
+//! with a deliberately simple measurement loop: one calibration pass sizes
+//! the sample so each benchmark takes on the order of tens of milliseconds,
+//! then the mean per-iteration time is printed. No statistics, plots, or
+//! baseline comparison.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock budget for one benchmark's measurement pass.
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+
+/// Re-export matching `criterion::black_box` (std's hint).
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped between setup calls (accepted for API
+/// compatibility; the measurement loop treats all sizes alike).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup for every single iteration.
+    PerIteration,
+}
+
+/// Benchmark driver handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints its mean iteration time.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        if bencher.iters > 0 {
+            let per_iter = bencher.total.as_nanos() / u128::from(bencher.iters);
+            println!("{id}: {per_iter} ns/iter ({} iters)", bencher.iters);
+        } else {
+            println!("{id}: no iterations recorded");
+        }
+        self
+    }
+}
+
+/// Times a closure over a calibrated number of iterations.
+#[derive(Debug)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` directly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Calibration pass: size the sample from one timed call.
+        let start = Instant::now();
+        black_box(routine());
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / one.as_nanos()).clamp(10, 100_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Measures `routine` over inputs produced by `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let start = Instant::now();
+        black_box(routine(input));
+        let one = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / one.as_nanos()).clamp(10, 10_000) as u64;
+
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.total = total;
+        self.iters = iters;
+    }
+}
+
+/// Declares a benchmark group function running each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_iterations() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 8],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}

@@ -1,0 +1,77 @@
+//! The [`Arbitrary`] trait and [`any`], for types with a canonical strategy.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<bool>()` etc.).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Uniform `bool` strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty => $name:ident),* $(,)?) => {
+        $(
+            /// Full-range integer strategy.
+            #[derive(Debug, Clone, Copy)]
+            pub struct $name;
+
+            impl Strategy for $name {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+
+            impl Arbitrary for $ty {
+                type Strategy = $name;
+
+                fn arbitrary() -> $name {
+                    $name
+                }
+            }
+        )*
+    };
+}
+
+impl_arbitrary_int! {
+    u8 => AnyU8,
+    u16 => AnyU16,
+    u32 => AnyU32,
+    u64 => AnyU64,
+    usize => AnyUsize,
+    i8 => AnyI8,
+    i16 => AnyI16,
+    i32 => AnyI32,
+    i64 => AnyI64,
+    isize => AnyIsize,
+}

@@ -1,0 +1,144 @@
+//! Tiny regex-like string generation: character classes (`[a-z0-9_]`),
+//! literals, and repetition (`{m}`, `{m,n}`, `?`, `*`, `+`), which covers
+//! the patterns this workspace uses as string strategies.
+
+use crate::test_runner::TestRng;
+
+struct Atom {
+    /// Inclusive character ranges to choose among.
+    choices: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for atom in &atoms {
+        let reps = rng.u64_in(atom.min as u64, atom.max as u64 + 1) as usize;
+        for _ in 0..reps {
+            let total: u32 = atom
+                .choices
+                .iter()
+                .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                .sum();
+            let mut pick = rng.u64_in(0, u64::from(total)) as u32;
+            for &(lo, hi) in &atom.choices {
+                let span = hi as u32 - lo as u32 + 1;
+                if pick < span {
+                    out.push(char::from_u32(lo as u32 + pick).expect("valid char range"));
+                    break;
+                }
+                pick -= span;
+            }
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                i += 1;
+                let mut choices = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        choices.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        choices.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(
+                    i < chars.len(),
+                    "unterminated character class in `{pattern}`"
+                );
+                i += 1; // ']'
+                choices
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "dangling escape in `{pattern}`");
+                let c = chars[i];
+                i += 1;
+                vec![(c, c)]
+            }
+            c => {
+                i += 1;
+                vec![(c, c)]
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated repetition")
+                    + i;
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repetition lower bound"),
+                        hi.trim().parse().expect("bad repetition upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn identifier_pattern_generates_matching_strings() {
+        let mut rng = TestRng::deterministic("pattern");
+        for _ in 0..500 {
+            let s = generate("[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase(), "{s}");
+            assert!(
+                cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn literals_and_counts() {
+        let mut rng = TestRng::deterministic("lit");
+        assert_eq!(generate("abc", &mut rng), "abc");
+        let s = generate("x{3}", &mut rng);
+        assert_eq!(s, "xxx");
+    }
+}

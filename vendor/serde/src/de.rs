@@ -1,0 +1,262 @@
+//! Deserialization half.
+//!
+//! Simplified relative to real serde: a [`Deserializer`] produces a parsed
+//! [`Content`] tree and [`Deserialize`] impls pattern-match on it. Manual
+//! impls written against the real serde signatures
+//! (`fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error>`)
+//! compile unchanged.
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+
+/// Error raised by a deserializer.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A self-describing parsed value (the JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Seq(Vec<Content>),
+    /// An object (insertion-ordered).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// A short description of the content's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::String(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+/// A data-format backend: hands over the parsed content tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Consumes the deserializer, yielding its parsed [`Content`].
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from `deserializer`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Values deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// A [`Deserializer`] over an already-parsed [`Content`] tree; used by
+/// derive-generated code to recurse into fields and elements.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    marker: PhantomData<fn() -> E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wraps a content tree.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: Error> Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+
+    fn deserialize_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+/// Deserializes a `T` from a content subtree (derive helper).
+pub fn from_content<'de, T: Deserialize<'de>, E: Error>(content: Content) -> Result<T, E> {
+    T::deserialize(ContentDeserializer::<E>::new(content))
+}
+
+/// Removes and returns a named field from an object's entry list, or
+/// [`Content::Null`] when absent (derive helper; `Option` fields treat the
+/// `Null` as `None`).
+pub fn take_field(entries: &mut Vec<(String, Content)>, name: &str) -> Content {
+    entries
+        .iter()
+        .position(|(k, _)| k == name)
+        .map(|i| entries.remove(i).1)
+        .unwrap_or(Content::Null)
+}
+
+fn unexpected<T, E: Error>(expected: &str, got: &Content) -> Result<T, E> {
+    Err(E::custom(format_args!(
+        "expected {expected}, found {}",
+        got.kind()
+    )))
+}
+
+macro_rules! impl_deserialize_int {
+    ($($ty:ty),* $(,)?) => {
+        $(impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let c = deserializer.deserialize_content()?;
+                let out = match &c {
+                    Content::I64(v) => <$ty>::try_from(*v).ok(),
+                    Content::U64(v) => <$ty>::try_from(*v).ok(),
+                    _ => return unexpected(stringify!($ty), &c),
+                };
+                out.ok_or_else(|| Error::custom(concat!("integer out of range for ", stringify!($ty))))
+            }
+        })*
+    };
+}
+
+impl_deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Bool(v) => Ok(v),
+            other => unexpected("bool", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::F64(v) => Ok(v),
+            Content::I64(v) => Ok(v as f64),
+            Content::U64(v) => Ok(v as f64),
+            other => unexpected("number", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::String(s) => Ok(s),
+            other => unexpected("string", &other),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(()),
+            other => unexpected("null", &other),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Null => Ok(None),
+            other => from_content(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Seq(items) => items.into_iter().map(from_content).collect(),
+            other => unexpected("array", &other),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for std::collections::BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.deserialize_content()? {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((from_content(Content::String(k))?, from_content(v)?)))
+                .collect(),
+            other => unexpected("object", &other),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($($name:ident),+))*) => {
+        $(impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<De: Deserializer<'de>>(deserializer: De) -> Result<Self, De::Error> {
+                match deserializer.deserialize_content()? {
+                    Content::Seq(items) => {
+                        let expected = impl_deserialize_tuple!(@count $($name)+);
+                        if items.len() != expected {
+                            return Err(Error::custom(format_args!(
+                                "expected array of {expected}, found {}",
+                                items.len()
+                            )));
+                        }
+                        let mut iter = items.into_iter();
+                        Ok(($(from_content::<$name, De::Error>(
+                            iter.next().expect("length checked"),
+                        )?,)+))
+                    }
+                    other => unexpected("array", &other),
+                }
+            }
+        })*
+    };
+    (@count $($name:ident)+) => { [$(impl_deserialize_tuple!(@one $name)),+].len() };
+    (@one $name:ident) => { () };
+}
+
+impl_deserialize_tuple! {
+    (T0)
+    (T0, T1)
+    (T0, T1, T2)
+    (T0, T1, T2, T3)
+}

@@ -1,0 +1,24 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The workspace builds hermetically (no crates.io access), so this crate
+//! reimplements the serde API subset the workspace uses: the [`Serialize`] /
+//! [`Deserialize`] traits with serde-shaped [`Serializer`] /
+//! [`Deserializer`] bounds (manual impls written against real serde compile
+//! unchanged), plus the `derive` feature re-exporting the companion
+//! `serde_derive` proc-macros.
+//!
+//! The deserialization side is deliberately simplified: instead of serde's
+//! visitor machinery, a [`Deserializer`] yields a parsed
+//! [`de::Content`] tree and `Deserialize` impls pattern-match on it. The
+//! derive macros generate code against exactly this model.
+
+#![warn(missing_docs)]
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,469 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the type
+//! shapes this workspace actually uses — non-generic structs with named
+//! fields, newtype (single-field tuple) structs, unit structs, and enums
+//! whose variants are unit, tuple, or struct-like — without depending on
+//! `syn`/`quote`: the input is parsed directly from the `proc_macro` token
+//! stream and the generated impls are emitted as source strings.
+//!
+//! Serialized representations match real serde defaults: structs as maps,
+//! newtype structs transparently, enums externally tagged (`"Variant"`,
+//! `{"Variant": value}`, `{"Variant": [..]}`, `{"Variant": {..}}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::ser::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::de::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+enum Body {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S { a: A, b: B }`
+    Struct(Vec<String>),
+    /// `struct S(A, B);` — field count only.
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    /// Tuple variant — field count only.
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing (no syn available)
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let keyword = expect_ident(&tokens, &mut pos);
+    let name = expect_ident(&tokens, &mut pos);
+
+    if matches!(&tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types (deriving on `{name}`)");
+    }
+
+    let body = match keyword.as_str() {
+        "struct" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::UnitStruct,
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("derive supports only structs and enums, found `{other}`"),
+    };
+
+    Item { name, body }
+}
+
+/// Skips any `#[...]` attributes (incl. doc comments) and a leading
+/// visibility modifier (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 2; // '#' + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *pos += 1; // pub(crate) / pub(super)
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], pos: &mut usize) -> String {
+    match tokens.get(*pos) {
+        Some(TokenTree::Ident(id)) => {
+            *pos += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `a: A, b: B<C, D>, ...` into the field names, tracking `<>` depth
+/// so commas inside generic arguments don't split fields.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        fields.push(expect_ident(&tokens, &mut pos));
+        // ':'
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("expected ':' after field name, found {other:?}"),
+        }
+        // Skip the type up to a top-level ','.
+        let mut angle_depth = 0usize;
+        while let Some(tok) = tokens.get(pos) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            pos += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a tuple struct/variant body `(A, B<C, D>, ...)`.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle_depth = 0usize;
+    let mut fields = 1;
+    for (i, tok) in tokens.iter().enumerate() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p)
+                if p.as_char() == ',' && angle_depth == 0 && i + 1 < tokens.len() =>
+            {
+                fields += 1; // not a trailing comma
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut pos);
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                VariantFields::Struct(parse_named_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing ','.
+        while let Some(tok) = tokens.get(pos) {
+            pos += 1;
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => {
+            format!("__serializer.serialize_unit_struct(\"{name}\")")
+        }
+        Body::TupleStruct(1) => {
+            format!("__serializer.serialize_newtype_struct(\"{name}\", &self.0)")
+        }
+        Body::TupleStruct(n) => {
+            let mut s = format!(
+                "let mut __state = __serializer.serialize_tuple_struct(\"{name}\", {n})?;\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "::serde::ser::SerializeTuple::serialize_element(&mut __state, &self.{i})?;\n"
+                ));
+            }
+            s.push_str("::serde::ser::SerializeTuple::end(__state)");
+            s
+        }
+        Body::Struct(fields) => {
+            let mut s = format!(
+                "let mut __state = __serializer.serialize_struct(\"{name}\", {})?;\n",
+                fields.len()
+            );
+            for f in fields {
+                s.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            s.push_str("::serde::ser::SerializeStruct::end(__state)");
+            s
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => __serializer.serialize_unit_variant(\"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    VariantFields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => __serializer.serialize_newtype_variant(\"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\nlet mut __state = __serializer.serialize_tuple_variant(\"{name}\", {idx}u32, \"{vname}\", {n})?;\n",
+                            binds.join(", ")
+                        );
+                        for b in &binds {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeTuple::serialize_element(&mut __state, {b})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeTuple::end(__state)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantFields::Struct(fields) => {
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\nlet mut __state = __serializer.serialize_struct_variant(\"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                            fields.join(", "),
+                            fields.len()
+                        );
+                        for f in fields {
+                            arm.push_str(&format!(
+                                "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{f}\", {f})?;\n"
+                            ));
+                        }
+                        arm.push_str("::serde::ser::SerializeStruct::end(__state)\n}\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            if variants.is_empty() {
+                "match *self {}".to_string()
+            } else {
+                format!("match self {{\n{arms}}}")
+            }
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::ser::Serializer>(\n\
+                 &self,\n\
+                 __serializer: __S,\n\
+             ) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let err = "<__D::Error as ::serde::de::Error>::custom";
+    let body = match &item.body {
+        Body::UnitStruct => format!(
+            "match __deserializer.deserialize_content()? {{\n\
+                 ::serde::de::Content::Null => ::core::result::Result::Ok({name}),\n\
+                 __other => ::core::result::Result::Err({err}(::std::format!(\n\
+                     \"expected null for unit struct {name}, found {{}}\", __other.kind()))),\n\
+             }}"
+        ),
+        Body::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::de::from_content(\n\
+                 __deserializer.deserialize_content()?)?))"
+        ),
+        Body::TupleStruct(n) => format!(
+            "match __deserializer.deserialize_content()? {{\n\
+                 ::serde::de::Content::Seq(__items) if __items.len() == {n} => {{\n\
+                     let mut __iter = __items.into_iter();\n\
+                     ::core::result::Result::Ok({name}({fields}))\n\
+                 }}\n\
+                 __other => ::core::result::Result::Err({err}(::std::format!(\n\
+                     \"expected array of {n} for tuple struct {name}, found {{}}\", __other.kind()))),\n\
+             }}",
+            fields = (0..*n)
+                .map(|_| {
+                    "::serde::de::from_content(__iter.next().expect(\"length checked\"))?"
+                        .to_string()
+                })
+                .collect::<Vec<_>>()
+                .join(", "),
+        ),
+        Body::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::de::from_content(::serde::de::take_field(&mut __entries, \"{f}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "match __deserializer.deserialize_content()? {{\n\
+                     ::serde::de::Content::Map(mut __entries) => {{\n\
+                         let _ = &mut __entries;\n\
+                         ::core::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                     __other => ::core::result::Result::Err({err}(::std::format!(\n\
+                         \"expected object for struct {name}, found {{}}\", __other.kind()))),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Body::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantFields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}(\n\
+                             ::serde::de::from_content(__value)?)),\n"
+                    )),
+                    VariantFields::Tuple(n) => data_arms.push_str(&format!(
+                        "\"{vname}\" => match __value {{\n\
+                             ::serde::de::Content::Seq(__items) if __items.len() == {n} => {{\n\
+                                 let mut __iter = __items.into_iter();\n\
+                                 ::core::result::Result::Ok({name}::{vname}({fields}))\n\
+                             }}\n\
+                             __other => ::core::result::Result::Err({err}(::std::format!(\n\
+                                 \"expected array of {n} for variant {name}::{vname}, found {{}}\", __other.kind()))),\n\
+                         }},\n",
+                        fields = (0..*n)
+                            .map(|_| {
+                                "::serde::de::from_content(__iter.next().expect(\"length checked\"))?"
+                                    .to_string()
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                    )),
+                    VariantFields::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::de::from_content(::serde::de::take_field(&mut __fields, \"{f}\"))?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vname}\" => match __value {{\n\
+                                 ::serde::de::Content::Map(mut __fields) => {{\n\
+                                     let _ = &mut __fields;\n\
+                                     ::core::result::Result::Ok({name}::{vname} {{ {} }})\n\
+                                 }}\n\
+                                 __other => ::core::result::Result::Err({err}(::std::format!(\n\
+                                     \"expected object for variant {name}::{vname}, found {{}}\", __other.kind()))),\n\
+                             }},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __deserializer.deserialize_content()? {{\n\
+                     ::serde::de::Content::String(__tag) => match __tag.as_str() {{\n\
+                         {unit_arms}\
+                         __other => ::core::result::Result::Err({err}(::std::format!(\n\
+                             \"unknown unit variant `{{__other}}` for enum {name}\"))),\n\
+                     }},\n\
+                     ::serde::de::Content::Map(mut __entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __value) = __entries.remove(0);\n\
+                         let _ = &__value;\n\
+                         match __tag.as_str() {{\n\
+                             {data_arms}\
+                             __other => ::core::result::Result::Err({err}(::std::format!(\n\
+                                 \"unknown variant `{{__other}}` for enum {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::core::result::Result::Err({err}(::std::format!(\n\
+                         \"expected string or single-entry object for enum {name}, found {{}}\",\n\
+                         __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::de::Deserializer<'de>>(\n\
+                 __deserializer: __D,\n\
+             ) -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}

@@ -1,0 +1,170 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Provides the API subset the workspace uses — [`to_string`],
+//! [`to_string_pretty`] and [`from_str`] — against the vendored `serde`
+//! stub. Output follows serde_json conventions: compact form has no
+//! whitespace, pretty form indents with two spaces; structs are objects,
+//! enums are externally tagged.
+
+#![warn(missing_docs)]
+
+use serde::de::{Content, ContentDeserializer, DeserializeOwned};
+use serde::ser::{self, Serialize};
+use std::fmt;
+
+mod read;
+mod write;
+
+/// Serialization or parse error.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: ?Sized + Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize(write::JsonSerializer::compact(&mut out))?;
+    Ok(out)
+}
+
+/// Serializes `value` as a two-space-indented JSON string.
+pub fn to_string_pretty<T: ?Sized + Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.serialize(write::JsonSerializer::pretty(&mut out))?;
+    Ok(out)
+}
+
+/// Serializes `value` as compact JSON bytes.
+pub fn to_vec<T: ?Sized + Serialize>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a `T` from a JSON string.
+pub fn from_str<T: DeserializeOwned>(input: &str) -> Result<T> {
+    let content = read::parse(input)?;
+    T::deserialize(ContentDeserializer::<Error>::new(content))
+}
+
+/// Deserializes a `T` from JSON bytes.
+pub fn from_slice<T: DeserializeOwned>(input: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(input)
+        .map_err(|e| Error(format!("invalid UTF-8 in JSON input: {e}")))?;
+    from_str(s)
+}
+
+/// Parses a JSON string into the generic [`Content`] tree.
+pub fn parse_content(input: &str) -> Result<Content> {
+    read::parse(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::de::Content;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(to_string(&true).unwrap(), "true");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string(&-7i64).unwrap(), "-7");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string("hi").unwrap(), "\"hi\"");
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<u64>(" 42 ").unwrap(), 42);
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<f64>("3").unwrap(), 3.0);
+        assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "a\"b\\c\nd\te\u{1}";
+        let json = to_string(&s.to_string()).unwrap();
+        assert_eq!(json, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![1u64, 2, 3];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,2,3]");
+        assert_eq!(from_str::<Vec<u64>>(&json).unwrap(), v);
+
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("a".to_string(), 1.5f64);
+        m.insert("b".to_string(), 2.0);
+        let json = to_string(&m).unwrap();
+        assert_eq!(json, "{\"a\":1.5,\"b\":2}");
+        let back: std::collections::BTreeMap<String, f64> = from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn options_and_null() {
+        assert_eq!(to_string(&Option::<u64>::None).unwrap(), "null");
+        assert_eq!(to_string(&Some(3u64)).unwrap(), "3");
+        assert_eq!(from_str::<Option<u64>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u64>>("3").unwrap(), Some(3));
+    }
+
+    #[test]
+    fn pretty_formatting() {
+        let v = vec![vec![1u64], vec![]];
+        assert_eq!(
+            to_string_pretty(&v).unwrap(),
+            "[\n  [\n    1\n  ],\n  []\n]"
+        );
+    }
+
+    #[test]
+    fn nonfinite_floats_serialize_as_null() {
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        assert!(from_str::<u64>("1 2").is_err());
+        assert!(from_str::<u64>("").is_err());
+        assert!(from_str::<Vec<u64>>("[1,]").is_err());
+    }
+
+    #[test]
+    fn parses_nested_content() {
+        let c = parse_content("{\"a\":[1,-2,3.5],\"b\":{\"c\":null}}").unwrap();
+        match c {
+            Content::Map(entries) => {
+                assert_eq!(entries.len(), 2);
+                assert_eq!(entries[0].0, "a");
+                assert_eq!(
+                    entries[0].1,
+                    Content::Seq(vec![Content::U64(1), Content::I64(-2), Content::F64(3.5)])
+                );
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! JSON emission: a [`serde::Serializer`] writing into a `String`, with
+//! compact and two-space-indented pretty modes.
+
+use crate::Error;
+use serde::ser::{
+    Serialize, SerializeMap, SerializeSeq, SerializeStruct, SerializeTuple, Serializer,
+};
+
+/// Writes one JSON value into the borrowed output buffer.
+pub struct JsonSerializer<'a> {
+    out: &'a mut String,
+    pretty: bool,
+    /// Indentation level of the value being written (prefix already emitted).
+    indent: usize,
+}
+
+impl<'a> JsonSerializer<'a> {
+    pub fn compact(out: &'a mut String) -> Self {
+        JsonSerializer {
+            out,
+            pretty: false,
+            indent: 0,
+        }
+    }
+
+    pub fn pretty(out: &'a mut String) -> Self {
+        JsonSerializer {
+            out,
+            pretty: true,
+            indent: 0,
+        }
+    }
+
+    fn newline(out: &mut String, indent: usize) {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    }
+
+    fn push_escaped(out: &mut String, s: &str) {
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                '\u{8}' => out.push_str("\\b"),
+                '\u{c}' => out.push_str("\\f"),
+                c if (c as u32) < 0x20 => {
+                    out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+
+    fn push_f64(out: &mut String, v: f64) {
+        if v.is_finite() {
+            out.push_str(&v.to_string());
+        } else {
+            // JSON has no NaN/Infinity literal; mirror a lossy but
+            // deterministic fallback.
+            out.push_str("null");
+        }
+    }
+
+    /// Opens an externally-tagged variant wrapper `{"Variant": ` and returns
+    /// the indentation level for the wrapped value.
+    fn open_variant(&mut self, variant: &str) -> usize {
+        self.out.push('{');
+        if self.pretty {
+            Self::newline(self.out, self.indent + 1);
+        }
+        Self::push_escaped(self.out, variant);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        self.indent + 1
+    }
+
+    fn close_variant(out: &mut String, pretty: bool, indent: usize) {
+        if pretty {
+            Self::newline(out, indent);
+        }
+        out.push('}');
+    }
+}
+
+/// In-progress JSON container ( `[...]` or `{...}` ).
+pub struct Compound<'a> {
+    out: &'a mut String,
+    pretty: bool,
+    /// Indentation level of the container's elements.
+    indent: usize,
+    first: bool,
+    close: char,
+    /// When the container is wrapped in an enum-variant object, the wrapper's
+    /// indentation level (the closing `}` is emitted at this level).
+    wrap_indent: Option<usize>,
+}
+
+impl<'a> Compound<'a> {
+    fn separate(&mut self) {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.push(',');
+        }
+        if self.pretty {
+            JsonSerializer::newline(self.out, self.indent);
+        }
+    }
+
+    fn value_serializer(&mut self) -> JsonSerializer<'_> {
+        JsonSerializer {
+            out: self.out,
+            pretty: self.pretty,
+            indent: self.indent,
+        }
+    }
+
+    fn finish(self) -> Result<(), Error> {
+        if self.pretty && !self.first {
+            JsonSerializer::newline(self.out, self.indent - 1);
+        }
+        self.out.push(self.close);
+        if let Some(indent) = self.wrap_indent {
+            JsonSerializer::close_variant(self.out, self.pretty, indent);
+        }
+        Ok(())
+    }
+
+    fn push_key(&mut self, key: &str) {
+        JsonSerializer::push_escaped(self.out, key);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+    }
+}
+
+impl<'a> Serializer for JsonSerializer<'a> {
+    type Ok = ();
+    type Error = Error;
+    type SerializeSeq = Compound<'a>;
+    type SerializeTuple = Compound<'a>;
+    type SerializeMap = Compound<'a>;
+    type SerializeStruct = Compound<'a>;
+    type SerializeStructVariant = Compound<'a>;
+    type SerializeTupleVariant = Compound<'a>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), Error> {
+        self.out.push_str(if v { "true" } else { "false" });
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), Error> {
+        self.out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), Error> {
+        Self::push_f64(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), Error> {
+        Self::push_escaped(self.out, v);
+        Ok(())
+    }
+
+    fn serialize_unit(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), Error> {
+        self.out.push_str("null");
+        Ok(())
+    }
+
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> Result<(), Error> {
+        value.serialize(self)
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+    ) -> Result<(), Error> {
+        Self::push_escaped(self.out, variant);
+        Ok(())
+    }
+
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        let pretty = self.pretty;
+        let outer = self.indent;
+        let mut this = self;
+        let inner = this.open_variant(variant);
+        value.serialize(JsonSerializer {
+            out: this.out,
+            pretty,
+            indent: inner,
+        })?;
+        Self::close_variant(this.out, pretty, outer);
+        Ok(())
+    }
+
+    fn serialize_seq(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        self.out.push('[');
+        Ok(Compound {
+            indent: self.indent + 1,
+            out: self.out,
+            pretty: self.pretty,
+            first: true,
+            close: ']',
+            wrap_indent: None,
+        })
+    }
+
+    fn serialize_tuple(self, len: usize) -> Result<Compound<'a>, Error> {
+        let _ = len;
+        self.serialize_seq(None)
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        let outer = self.indent;
+        let pretty = self.pretty;
+        let mut this = self;
+        let inner = this.open_variant(variant);
+        this.out.push('[');
+        Ok(Compound {
+            indent: inner + 1,
+            out: this.out,
+            pretty,
+            first: true,
+            close: ']',
+            wrap_indent: Some(outer),
+        })
+    }
+
+    fn serialize_map(self, _len: Option<usize>) -> Result<Compound<'a>, Error> {
+        self.out.push('{');
+        Ok(Compound {
+            indent: self.indent + 1,
+            out: self.out,
+            pretty: self.pretty,
+            first: true,
+            close: '}',
+            wrap_indent: None,
+        })
+    }
+
+    fn serialize_struct(self, _name: &'static str, _len: usize) -> Result<Compound<'a>, Error> {
+        self.serialize_map(None)
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        _variant_index: u32,
+        variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a>, Error> {
+        let outer = self.indent;
+        let pretty = self.pretty;
+        let mut this = self;
+        let inner = this.open_variant(variant);
+        this.out.push('{');
+        Ok(Compound {
+            indent: inner + 1,
+            out: this.out,
+            pretty,
+            first: true,
+            close: '}',
+            wrap_indent: Some(outer),
+        })
+    }
+}
+
+impl SerializeSeq for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        self.separate();
+        value.serialize(self.value_serializer())
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeTuple for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_element<T: ?Sized + Serialize>(&mut self, value: &T) -> Result<(), Error> {
+        SerializeSeq::serialize_element(self, value)
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeMap for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_entry<K: ?Sized + Serialize, V: ?Sized + Serialize>(
+        &mut self,
+        key: &K,
+        value: &V,
+    ) -> Result<(), Error> {
+        self.separate();
+        // JSON object keys must be strings: serialize the key standalone and
+        // quote non-string results (numeric keys) the way serde_json does.
+        let mut raw = String::new();
+        key.serialize(JsonSerializer::compact(&mut raw))?;
+        if raw.starts_with('"') {
+            self.out.push_str(&raw);
+        } else {
+            JsonSerializer::push_escaped(self.out, &raw);
+        }
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        value.serialize(self.value_serializer())
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
+
+impl SerializeStruct for Compound<'_> {
+    type Ok = ();
+    type Error = Error;
+
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        key: &'static str,
+        value: &T,
+    ) -> Result<(), Error> {
+        self.separate();
+        self.push_key(key);
+        value.serialize(self.value_serializer())
+    }
+
+    fn end(self) -> Result<(), Error> {
+        self.finish()
+    }
+}
