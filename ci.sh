@@ -11,4 +11,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test (workspace) =="
 cargo test --workspace -q
 
+echo "== cargo bench --no-run (benchmarks stay compilable) =="
+cargo bench --workspace --no-run
+
 echo "CI OK"

@@ -1,0 +1,189 @@
+//! Machine-readable checker throughput numbers for the compiled
+//! evaluation plan, written to `BENCH_checker.json` at the repo root.
+//!
+//! Two measurements, matching the criterion micro-benchmarks in
+//! `benches/checker.rs` so the numbers are directly comparable:
+//!
+//! * **online** — the `online_checker/100_cycles_16_assertions` workload:
+//!   99 steady-state cycles updating all 30 well-known signals against the
+//!   standard catalog;
+//! * **offline** — `checker::check` of a clean 75 s Straight-scenario
+//!   trace against the standard catalog, plus the parallel many-trace
+//!   batch throughput of [`adassure_exp::check_traces`].
+//!
+//! Baselines are the same workloads measured at the pre-compilation
+//! checker (commit `1cc72db`, tree-walking `HashMap` environment).
+//!
+//! Regenerate with:
+//! `cargo run --release -p adassure-bench --bin bench_throughput`
+
+use std::time::Instant;
+
+use adassure_bench::{catalog_for, run_clean};
+use adassure_control::ControllerKind;
+use adassure_core::catalog::{self, CatalogConfig};
+use adassure_core::{checker, OnlineChecker};
+use adassure_exp::{check_traces, par};
+use adassure_scenarios::{Scenario, ScenarioKind};
+use adassure_trace::{SignalId, Trace};
+use serde::Serialize;
+
+/// `online_checker/100_cycles_16_assertions` on the pre-compilation
+/// checker (commit 1cc72db), measured on this configuration.
+const BASELINE_ONLINE_NS: f64 = 99_027.0;
+/// `offline_check/75s_trace_16_assertions` at the same baseline.
+const BASELINE_OFFLINE_NS: f64 = 19_271_433.0;
+
+#[derive(Serialize)]
+struct Report {
+    benchmark: &'static str,
+    baseline: &'static str,
+    regenerate: &'static str,
+    online: Comparison,
+    offline: Comparison,
+    offline_batch: Batch,
+}
+
+#[derive(Serialize)]
+struct Comparison {
+    id: &'static str,
+    baseline_ns: f64,
+    current_ns: f64,
+    speedup: f64,
+}
+
+#[derive(Serialize)]
+struct Batch {
+    traces: usize,
+    workers: usize,
+    wall_ms: f64,
+    traces_per_sec: f64,
+}
+
+fn main() {
+    let online_ns = measure_online();
+    let (offline_ns, batch) = measure_offline();
+
+    let report = Report {
+        benchmark: "checker_throughput",
+        baseline: "pre-compilation checker (commit 1cc72db)",
+        regenerate: "cargo run --release -p adassure-bench --bin bench_throughput",
+        online: Comparison {
+            id: "online_checker/100_cycles_16_assertions",
+            baseline_ns: BASELINE_ONLINE_NS,
+            current_ns: online_ns,
+            speedup: BASELINE_ONLINE_NS / online_ns,
+        },
+        offline: Comparison {
+            id: "offline_check/75s_trace_16_assertions",
+            baseline_ns: BASELINE_OFFLINE_NS,
+            current_ns: offline_ns,
+            speedup: BASELINE_OFFLINE_NS / offline_ns,
+        },
+        offline_batch: batch,
+    };
+
+    println!(
+        "online : {:>12.0} ns/iter  ({:.1}x over baseline {:.0} ns)",
+        report.online.current_ns, report.online.speedup, BASELINE_ONLINE_NS
+    );
+    println!(
+        "offline: {:>12.0} ns/check ({:.1}x over baseline {:.0} ns)",
+        report.offline.current_ns, report.offline.speedup, BASELINE_OFFLINE_NS
+    );
+    println!(
+        "batch  : {} traces on {} workers in {:.1} ms ({:.0} traces/sec)",
+        report.offline_batch.traces,
+        report.offline_batch.workers,
+        report.offline_batch.wall_ms,
+        report.offline_batch.traces_per_sec
+    );
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_checker.json", json + "\n").expect("write BENCH_checker.json");
+    println!("wrote BENCH_checker.json");
+}
+
+/// The criterion online workload: warmed checker, then 99 cycles updating
+/// all 30 well-known signals. Returns best mean ns per 99-cycle iteration.
+fn measure_online() -> f64 {
+    let cat = catalog::build(&CatalogConfig::default().with_goal_distance(300.0));
+    let signals: Vec<SignalId> = adassure_trace::well_known::ALL
+        .iter()
+        .map(SignalId::new)
+        .collect();
+
+    let run_iter = |checker: &mut OnlineChecker| {
+        for i in 1..100u32 {
+            let t = f64::from(i) * 0.01;
+            checker.begin_cycle(t);
+            for s in &signals {
+                checker.update(s.clone(), 0.1 + f64::from(i) * 1e-4);
+            }
+            checker.end_cycle();
+        }
+    };
+
+    let mut best = f64::INFINITY;
+    for _ in 0..7 {
+        let iters = 200u32;
+        let mut total = 0.0;
+        for _ in 0..iters {
+            let mut checker = OnlineChecker::new(cat.iter().cloned());
+            checker.begin_cycle(0.0);
+            for s in &signals {
+                checker.update(s.clone(), 0.1);
+            }
+            checker.end_cycle();
+            let start = Instant::now();
+            run_iter(&mut checker);
+            total += start.elapsed().as_secs_f64();
+            std::hint::black_box(checker.violations().len());
+        }
+        best = best.min(total * 1e9 / f64::from(iters));
+    }
+    best
+}
+
+/// The criterion offline workload (single-trace `checker::check`) plus the
+/// parallel batch throughput over campaign-generated traces.
+fn measure_offline() -> (f64, Batch) {
+    let scenario = Scenario::of_kind(ScenarioKind::Straight).expect("scenario");
+    let cat = catalog_for(&scenario);
+
+    // Campaign-generated traces, one per seed, produced in parallel like
+    // any other harness sweep.
+    let seeds: Vec<u64> = (1..=16).collect();
+    let traces: Vec<Trace> = par::map(&seeds, |&seed| {
+        let (out, _) = run_clean(&scenario, ControllerKind::PurePursuit, seed, &cat).expect("run");
+        out.trace
+    });
+
+    // Single-trace serial check: comparable to the criterion bench.
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        let report = checker::check(&cat, &traces[0]);
+        let elapsed = start.elapsed().as_secs_f64();
+        std::hint::black_box(report.violations.len());
+        best = best.min(elapsed * 1e9);
+    }
+
+    // Parallel batch: all traces across the campaign thread pool.
+    let mut batch_best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        let reports = check_traces(&cat, &traces);
+        let elapsed = start.elapsed().as_secs_f64();
+        std::hint::black_box(reports.len());
+        batch_best = batch_best.min(elapsed);
+    }
+
+    let batch = Batch {
+        traces: traces.len(),
+        workers: par::thread_count(),
+        wall_ms: batch_best * 1e3,
+        traces_per_sec: traces.len() as f64 / batch_best,
+    };
+    (best, batch)
+}

@@ -34,13 +34,9 @@ fn main() {
     let events = checker::events(&out.trace);
 
     // Pre-group events into cycles so the measured loop is only the checker.
-    let mut cycles: Vec<(f64, Vec<(adassure_trace::SignalId, f64)>)> = Vec::new();
-    for &(t, id, v) in &events {
-        match cycles.last_mut() {
-            Some((t0, updates)) if *t0 == t => updates.push((id.clone(), v)),
-            _ => cycles.push((t, vec![(id.clone(), v)])),
-        }
-    }
+    let cycles: Vec<(f64, Vec<(adassure_trace::SignalId, f64)>)> = checker::Cycles::new(&events)
+        .map(|(t, cycle)| (t, cycle.iter().map(|&(_, id, v)| (id.clone(), v)).collect()))
+        .collect();
 
     println!(
         "F3: online checker cost per 100 Hz control cycle ({} cycles replayed)\n",

@@ -214,6 +214,12 @@ impl Assertion {
         self
     }
 
+    /// Signals the assertion's condition reads — the inputs the compiled
+    /// evaluation plan interns and tracks for dirty-skipping.
+    pub fn signals(&self) -> Vec<SignalId> {
+        self.condition.signals()
+    }
+
     /// Returns a copy with the condition threshold scaled by `factor`
     /// (used by the threshold-sensitivity ablation).
     pub fn with_scaled_threshold(&self, factor: f64) -> Assertion {

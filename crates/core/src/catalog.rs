@@ -20,6 +20,7 @@
 use serde::{Deserialize, Serialize};
 
 use adassure_trace::well_known as sig;
+use adassure_trace::SignalId;
 
 use crate::assertion::{Assertion, Condition, Severity, Temporal};
 use crate::expr::SignalExpr;
@@ -356,6 +357,15 @@ pub fn build(config: &CatalogConfig) -> Vec<Assertion> {
     catalog
 }
 
+/// All signals read by a catalog, deduplicated and sorted by name — the
+/// input set the compiled evaluation plan interns up front.
+pub fn signals(catalog: &[Assertion]) -> Vec<SignalId> {
+    let mut out: Vec<SignalId> = catalog.iter().flat_map(Assertion::signals).collect();
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,6 +398,20 @@ mod tests {
         assert_eq!(ids[1], "A2");
         assert_eq!(ids[9], "A10");
         assert_eq!(ids[15], "A16");
+    }
+
+    #[test]
+    fn catalog_signals_are_unique_sorted_and_well_known() {
+        let cfg = CatalogConfig::default().with_goal_distance(100.0);
+        let sigs = signals(&build(&cfg));
+        assert!(!sigs.is_empty());
+        assert!(sigs.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        for s in &sigs {
+            assert!(
+                s.well_known_index().is_some(),
+                "{s} should be a canonical name"
+            );
+        }
     }
 
     #[test]

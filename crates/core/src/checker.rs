@@ -4,6 +4,14 @@
 //! contains no evaluation logic of its own — it only reconstructs the
 //! per-cycle sample stream from a [`Trace`] and feeds it to
 //! [`OnlineChecker`].
+//!
+//! Two replay paths exist, with identical cycle boundaries:
+//!
+//! * [`for_each_cycle`] sweeps the trace's per-series cursors directly —
+//!   no flattening, no sort — and backs [`check`] and [`replay`];
+//! * [`events`] + [`Cycles`] materialise a time-sorted event stream for
+//!   callers that need one (overhead harnesses, or [`check_events`] to
+//!   check one stream against many catalogs without re-sorting).
 
 use adassure_trace::{SignalId, Trace};
 
@@ -11,18 +19,98 @@ use crate::assertion::Assertion;
 use crate::online::OnlineChecker;
 use crate::report::CheckReport;
 
-/// The trace's samples flattened into `(time, signal, value)` events,
-/// sorted by time (ties resolved by signal name, so replay is
-/// deterministic).
-pub fn events(trace: &Trace) -> Vec<(f64, &SignalId, f64)> {
-    let mut out: Vec<(f64, &SignalId, f64)> = Vec::with_capacity(trace.sample_count());
+/// One flattened trace sample: `(time, signal, value)`.
+pub type Event<'t> = (f64, &'t SignalId, f64);
+
+/// The trace's samples flattened into [`Event`]s, sorted by time (ties
+/// resolved by signal name, so replay is deterministic).
+///
+/// No two events share a `(time, signal)` pair — a [`Trace`] rejects
+/// duplicate timestamps per signal — so the unstable sort is deterministic.
+pub fn events(trace: &Trace) -> Vec<Event<'_>> {
+    let mut out: Vec<Event<'_>> = Vec::with_capacity(trace.sample_count());
     for series in trace.iter() {
         for sample in series.samples() {
             out.push((sample.time, series.id(), sample.value));
         }
     }
-    out.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(b.1)));
+    out.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(b.1)));
     out
+}
+
+/// Iterator over the control cycles of a time-sorted event stream: yields
+/// `(time, samples)` for each distinct timestamp, in order.
+///
+/// This is the single place the per-cycle grouping of a replay is decided;
+/// [`check`], [`replay`] and the overhead harnesses all consume it, so
+/// their cycle boundaries agree by construction.
+#[derive(Debug, Clone)]
+pub struct Cycles<'e, 't> {
+    rest: &'e [Event<'t>],
+}
+
+impl<'e, 't> Cycles<'e, 't> {
+    /// Wraps a time-sorted event stream (as produced by [`events`]).
+    pub fn new(events: &'e [Event<'t>]) -> Self {
+        Cycles { rest: events }
+    }
+}
+
+impl<'e, 't> Iterator for Cycles<'e, 't> {
+    type Item = (f64, &'e [Event<'t>]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let first = self.rest.first()?;
+        let t = first.0;
+        let n = self.rest.iter().take_while(|e| e.0 == t).count();
+        let (cycle, rest) = self.rest.split_at(n);
+        self.rest = rest;
+        Some((t, cycle))
+    }
+}
+
+/// Drives `f` over every cycle of `trace`, merging the per-series sample
+/// streams directly: each series is already time-sorted, so the cycles
+/// come out of a cursor sweep with no flattening, no sort and no
+/// allocation beyond one reusable per-cycle buffer.
+///
+/// Within a cycle the samples arrive in signal-name order (the series
+/// iterate name-sorted), matching the tie order of [`events`] exactly —
+/// replays through this sweep and through a sorted event stream are
+/// byte-identical.
+///
+/// Both [`check`] and [`replay`] are thin wrappers over this sweep, so
+/// their cycle boundaries agree by construction.
+pub fn for_each_cycle(trace: &Trace, mut f: impl FnMut(f64, &[(&SignalId, f64)])) {
+    let mut cursors: Vec<(&SignalId, &[adassure_trace::Sample])> =
+        trace.iter().map(|s| (s.id(), s.samples())).collect();
+    cursors.retain(|(_, samples)| !samples.is_empty());
+    let mut cycle: Vec<(&SignalId, f64)> = Vec::with_capacity(cursors.len());
+    loop {
+        let mut t = f64::INFINITY;
+        let mut any = false;
+        for (_, samples) in &cursors {
+            if let Some(s) = samples.first() {
+                any = true;
+                if s.time < t {
+                    t = s.time;
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+        cycle.clear();
+        for (id, samples) in &mut cursors {
+            if let Some(s) = samples.first() {
+                if s.time == t {
+                    cycle.push((*id, s.value));
+                    *samples = &samples[1..];
+                }
+            }
+        }
+        f(t, &cycle);
+    }
 }
 
 /// Replays `trace` through a fresh [`OnlineChecker`] over `catalog` and
@@ -40,20 +128,32 @@ pub fn events(trace: &Trace) -> Vec<(f64, &SignalId, f64)> {
 /// ```
 pub fn check(catalog: &[Assertion], trace: &Trace) -> CheckReport {
     let mut checker = OnlineChecker::new(catalog.iter().cloned());
-    let stream = events(trace);
-    let mut i = 0;
-    while i < stream.len() {
-        let t = stream[i].0;
+    for_each_cycle(trace, |t, cycle| {
         checker.begin_cycle(t);
-        while i < stream.len() && stream[i].0 == t {
-            let (_, id, value) = stream[i];
+        for &(id, value) in cycle {
             checker.update(id.clone(), value);
-            i += 1;
+        }
+        checker.end_cycle();
+    });
+    let end = trace.span().map_or(0.0, |(_, b)| b);
+    checker.finish(end)
+}
+
+/// Checks an already-flattened event stream (from [`events`]) against
+/// `catalog`, finalising at `end_time`.
+///
+/// Splitting this from [`check`] lets callers that check one trace against
+/// several catalogs — the ablation studies do — pay the sort once.
+pub fn check_events(catalog: &[Assertion], events: &[Event<'_>], end_time: f64) -> CheckReport {
+    let mut checker = OnlineChecker::new(catalog.iter().cloned());
+    for (t, cycle) in Cycles::new(events) {
+        checker.begin_cycle(t);
+        for &(_, id, value) in cycle {
+            checker.update(id.clone(), value);
         }
         checker.end_cycle();
     }
-    let end = trace.span().map_or(0.0, |(_, b)| b);
-    checker.finish(end)
+    checker.finish(end_time)
 }
 
 /// Replays `trace` cycle by cycle, invoking `f(t, env)` after each cycle's
@@ -61,18 +161,13 @@ pub fn check(catalog: &[Assertion], trace: &Trace) -> CheckReport {
 /// runs with the exact semantics of the online monitor.
 pub fn replay(trace: &Trace, mut f: impl FnMut(f64, &crate::expr::Env)) {
     let mut env = crate::expr::Env::new();
-    let stream = events(trace);
-    let mut i = 0;
-    while i < stream.len() {
-        let t = stream[i].0;
+    for_each_cycle(trace, |t, cycle| {
         env.set_time(t);
-        while i < stream.len() && stream[i].0 == t {
-            let (_, id, value) = stream[i];
+        for &(id, value) in cycle {
             env.update(id, value);
-            i += 1;
         }
         f(t, &env);
-    }
+    });
 }
 
 #[cfg(test)]
@@ -161,6 +256,75 @@ mod tests {
         assert_eq!(
             seen,
             vec![(0.0, Some(1.0), None), (0.1, Some(2.0), Some(5.0))]
+        );
+    }
+
+    #[test]
+    fn cycles_group_by_distinct_timestamp() {
+        let mut trace = Trace::new();
+        trace.record("b", 0.0, 1.0);
+        trace.record("a", 0.0, 2.0);
+        trace.record("a", 0.1, 3.0);
+        let ev = events(&trace);
+        let cycles: Vec<_> = Cycles::new(&ev).collect();
+        assert_eq!(cycles.len(), 2);
+        assert_eq!(cycles[0].0, 0.0);
+        assert_eq!(cycles[0].1.len(), 2);
+        assert_eq!(cycles[1].0, 0.1);
+        assert_eq!(cycles[1].1.len(), 1);
+        assert_eq!(Cycles::new(&[]).count(), 0);
+    }
+
+    #[test]
+    fn cycle_sweep_matches_sorted_event_grouping() {
+        // Mixed-rate signals: "fast" every cycle, "slow" every third.
+        let mut trace = Trace::new();
+        for i in 0..30 {
+            let t = f64::from(i) * 0.01;
+            trace.record("fast", t, f64::from(i));
+            if i % 3 == 0 {
+                trace.record("slow", t, -f64::from(i));
+            }
+        }
+        trace.record("zz_late", 0.005, 7.0); // off-grid timestamp
+        let mut swept = Vec::new();
+        for_each_cycle(&trace, |t, cycle| {
+            swept.push((
+                t,
+                cycle
+                    .iter()
+                    .map(|(id, v)| (id.as_str().to_owned(), *v))
+                    .collect::<Vec<_>>(),
+            ));
+        });
+        let ev = events(&trace);
+        let grouped: Vec<_> = Cycles::new(&ev)
+            .map(|(t, cycle)| {
+                (
+                    t,
+                    cycle
+                        .iter()
+                        .map(|(_, id, v)| (id.as_str().to_owned(), *v))
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        assert_eq!(swept, grouped);
+    }
+
+    #[test]
+    fn check_events_matches_check() {
+        let mut trace = Trace::new();
+        for i in 0..100 {
+            let t = f64::from(i) * 0.01;
+            trace.record("x", t, if t < 0.5 { 0.0 } else { 5.0 });
+        }
+        let catalog = [bound(1.0)];
+        let stream = events(&trace);
+        let end = trace.span().unwrap().1;
+        assert_eq!(
+            check_events(&catalog, &stream, end),
+            check(&catalog, &trace)
         );
     }
 

@@ -7,26 +7,46 @@
 //! start-up.
 
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 use adassure_trace::SignalId;
 
+use crate::compile::SignalTable;
+
 /// Sample-and-hold evaluation environment: per signal, the newest value,
 /// its timestamp, and the finite-difference derivative of the last two
 /// updates.
+///
+/// Signals are interned into dense slots on first sight (see
+/// [`SignalTable`]), so the state lives in a flat `Vec` and the steady-state
+/// update path performs no hashing and no allocation. The by-name accessors
+/// remain the convenient interface; the `*_at` slot accessors are the hot
+/// path used by compiled assertion plans.
 #[derive(Debug, Clone, Default)]
 pub struct Env {
     now: f64,
-    values: HashMap<SignalId, SignalState>,
+    table: SignalTable,
+    states: Vec<SignalState>,
 }
 
 #[derive(Debug, Clone, Copy)]
 struct SignalState {
+    seen: bool,
     time: f64,
     value: f64,
     /// `(delta, dt)` of the last two distinct-time updates.
     last_step: Option<(f64, f64)>,
+}
+
+impl Default for SignalState {
+    fn default() -> Self {
+        SignalState {
+            seen: false,
+            time: 0.0,
+            value: 0.0,
+            last_step: None,
+        }
+    }
 }
 
 impl Env {
@@ -46,61 +66,104 @@ impl Env {
         self.now
     }
 
+    /// Interns `signal`, returning its dense slot. Registers the signal
+    /// (unseen, with no value) on first sight; interning is stable, so the
+    /// returned slot identifies the signal for the environment's lifetime.
+    #[inline]
+    pub fn resolve(&mut self, signal: &SignalId) -> u32 {
+        let slot = self.table.intern(signal);
+        if slot as usize >= self.states.len() {
+            self.states.resize_with(slot as usize + 1, Default::default);
+        }
+        slot
+    }
+
+    /// The slot of `signal`, if it has been interned.
+    pub fn slot(&self, signal: &SignalId) -> Option<u32> {
+        self.table.slot(signal)
+    }
+
+    /// The signal table backing this environment.
+    pub fn table(&self) -> &SignalTable {
+        &self.table
+    }
+
     /// Ingests a new sample of `signal` at the current clock.
     pub fn update(&mut self, signal: &SignalId, value: f64) {
+        let slot = self.resolve(signal);
+        self.update_slot(slot, value);
+    }
+
+    /// Ingests a new sample for an interned slot at the current clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` was not returned by [`Env::resolve`] on this
+    /// environment.
+    #[inline]
+    pub fn update_slot(&mut self, slot: u32, value: f64) {
         let t = self.now;
-        match self.values.get_mut(signal) {
-            Some(state) => {
-                let last_step = if t > state.time {
-                    Some((value - state.value, t - state.time))
-                } else {
-                    state.last_step
-                };
-                *state = SignalState {
-                    time: t,
-                    value,
-                    last_step,
-                };
+        let state = &mut self.states[slot as usize];
+        if state.seen {
+            if t > state.time {
+                state.last_step = Some((value - state.value, t - state.time));
             }
-            None => {
-                self.values.insert(
-                    signal.clone(),
-                    SignalState {
-                        time: t,
-                        value,
-                        last_step: None,
-                    },
-                );
-            }
+        } else {
+            state.seen = true;
         }
+        state.time = t;
+        state.value = value;
     }
 
     /// Newest value of `signal`, if seen.
     pub fn value(&self, signal: &SignalId) -> Option<f64> {
-        self.values.get(signal).map(|s| s.value)
+        self.slot(signal).and_then(|slot| self.value_at(slot))
+    }
+
+    /// Newest value of the signal in `slot`, if seen.
+    #[inline]
+    pub fn value_at(&self, slot: u32) -> Option<f64> {
+        let state = self.states.get(slot as usize)?;
+        state.seen.then_some(state.value)
     }
 
     /// Finite-difference derivative of `signal` over its last two updates.
     pub fn derivative(&self, signal: &SignalId) -> Option<f64> {
-        self.values
-            .get(signal)
-            .and_then(|s| s.last_step)
-            .map(|(delta, dt)| delta / dt)
+        self.slot(signal).and_then(|slot| self.derivative_at(slot))
+    }
+
+    /// Finite-difference derivative of the signal in `slot`.
+    #[inline]
+    pub fn derivative_at(&self, slot: u32) -> Option<f64> {
+        let (delta, dt) = self.states.get(slot as usize)?.last_step?;
+        Some(delta / dt)
     }
 
     /// Angle-aware derivative: the per-update delta is wrapped to
     /// `(-pi, pi]` before dividing, so a heading crossing the ±π seam does
     /// not register as a ±2π/dt spike.
     pub fn angular_derivative(&self, signal: &SignalId) -> Option<f64> {
-        self.values
-            .get(signal)
-            .and_then(|s| s.last_step)
-            .map(|(delta, dt)| wrap_angle(delta) / dt)
+        self.slot(signal)
+            .and_then(|slot| self.angular_derivative_at(slot))
+    }
+
+    /// Angle-aware derivative of the signal in `slot`.
+    #[inline]
+    pub fn angular_derivative_at(&self, slot: u32) -> Option<f64> {
+        let (delta, dt) = self.states.get(slot as usize)?.last_step?;
+        Some(wrap_angle(delta) / dt)
     }
 
     /// Seconds since `signal` last updated, if it has ever been seen.
     pub fn age(&self, signal: &SignalId) -> Option<f64> {
-        self.values.get(signal).map(|s| self.now - s.time)
+        self.slot(signal).and_then(|slot| self.age_at(slot))
+    }
+
+    /// Seconds since the signal in `slot` last updated, if ever seen.
+    #[inline]
+    pub fn age_at(&self, slot: u32) -> Option<f64> {
+        let state = self.states.get(slot as usize)?;
+        state.seen.then_some(self.now - state.time)
     }
 }
 
@@ -276,7 +339,7 @@ impl fmt::Display for SignalExpr {
     }
 }
 
-fn wrap_angle(angle: f64) -> f64 {
+pub(crate) fn wrap_angle(angle: f64) -> f64 {
     use std::f64::consts::{PI, TAU};
     let mut a = angle % TAU;
     if a <= -PI {

@@ -50,6 +50,7 @@
 pub mod assertion;
 pub mod catalog;
 pub mod checker;
+pub mod compile;
 pub mod diagnosis;
 pub mod expr;
 pub mod mining;

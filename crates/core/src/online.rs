@@ -5,7 +5,17 @@
 //! sample-and-hold environment, and advances each assertion's temporal
 //! state machine. Memory is bounded (one [`crate::expr::Env`] slot per
 //! signal, O(1) state per assertion) and no allocation happens on the
-//! steady-state path — the property benchmarked by experiment F3.
+//! steady-state path — the property benchmarked by experiment F3 and
+//! enforced by the counting-allocator test in `tests/alloc_steady_state.rs`.
+//!
+//! On construction the catalog is lowered through [`crate::compile`]: each
+//! condition becomes a postfix [`CompiledCondition`] over interned signal
+//! slots, with an input [`SlotMask`]. Per cycle the checker tracks which
+//! slots were updated; `end_cycle` re-evaluates an assertion only when one
+//! of its inputs changed (or its verdict depends on the clock, as
+//! [`crate::Condition::Fresh`] does), replaying the cached verdict
+//! otherwise. All other conditions are pure functions of stored signal
+//! state, so the cache preserves verdicts bit-for-bit.
 //!
 //! The offline checker ([`crate::checker`]) replays recorded traces through
 //! this same type, so online and offline verdicts agree by construction.
@@ -13,6 +23,7 @@
 use adassure_trace::SignalId;
 
 use crate::assertion::{Assertion, Eval, Temporal};
+use crate::compile::{CompiledCondition, SlotMask};
 use crate::expr::Env;
 use crate::report::CheckReport;
 use crate::violation::Violation;
@@ -20,6 +31,12 @@ use crate::violation::Violation;
 #[derive(Debug)]
 struct MonitorState {
     assertion: Assertion,
+    /// The condition lowered to postfix ops over interned slots.
+    condition: CompiledCondition,
+    /// Slots the condition reads; intersected with the cycle's dirty mask.
+    inputs: SlotMask,
+    /// Verdict of the last evaluation, replayed while no input changes.
+    cached: Option<Eval>,
     episode_start: Option<f64>,
     alarmed_this_episode: bool,
     ever_healthy: bool,
@@ -54,26 +71,52 @@ struct MonitorState {
 pub struct OnlineChecker {
     env: Env,
     monitors: Vec<MonitorState>,
+    /// Slots updated since the last `end_cycle`.
+    dirty: SlotMask,
+    /// Shared scratch stack for compiled-expression evaluation, sized to
+    /// the deepest expression in the catalog so evaluation never allocates.
+    stack: Vec<f64>,
     violations: Vec<Violation>,
     cycle_open: bool,
 }
 
 impl OnlineChecker {
-    /// Creates a checker over an assertion catalog.
+    /// Creates a checker over an assertion catalog, compiling it into the
+    /// interned evaluation plan.
     pub fn new(catalog: impl IntoIterator<Item = Assertion>) -> Self {
-        OnlineChecker {
-            env: Env::new(),
-            monitors: catalog
-                .into_iter()
-                .map(|assertion| MonitorState {
+        let mut env = Env::new();
+        let mut monitors: Vec<MonitorState> = catalog
+            .into_iter()
+            .map(|assertion| {
+                let condition = CompiledCondition::compile(&assertion.condition, &mut env);
+                MonitorState {
                     assertion,
+                    condition,
+                    inputs: SlotMask::with_capacity(0),
+                    cached: None,
                     episode_start: None,
                     alarmed_this_episode: false,
                     ever_healthy: false,
                     saw_first_sample: false,
                     open_violation: None,
-                })
-                .collect(),
+                }
+            })
+            .collect();
+        // Input masks need the final table width (compiling a later
+        // assertion can intern more slots), so size them in a second pass.
+        let width = env.table().len();
+        let mut max_stack = 0;
+        for monitor in &mut monitors {
+            let mut mask = SlotMask::with_capacity(width);
+            monitor.condition.mark_inputs(&mut mask);
+            monitor.inputs = mask;
+            max_stack = max_stack.max(monitor.condition.max_stack());
+        }
+        OnlineChecker {
+            env,
+            monitors,
+            dirty: SlotMask::with_capacity(width),
+            stack: Vec::with_capacity(max_stack),
             violations: Vec::new(),
             cycle_open: false,
         }
@@ -92,9 +135,15 @@ impl OnlineChecker {
     }
 
     /// Ingests one new signal sample for the open cycle.
+    #[inline]
     pub fn update(&mut self, signal: impl Into<SignalId>, value: f64) {
         debug_assert!(self.cycle_open, "update outside begin_cycle/end_cycle");
-        self.env.update(&signal.into(), value);
+        let signal = signal.into();
+        let slot = self.env.resolve(&signal);
+        self.env.update_slot(slot, value);
+        // Slots beyond the mask were first seen after compilation, so no
+        // assertion can read them; `set` ignores them.
+        self.dirty.set(slot);
     }
 
     /// Closes the cycle: evaluates every assertion and advances temporal
@@ -106,7 +155,19 @@ impl OnlineChecker {
             if t < monitor.assertion.grace {
                 continue;
             }
-            match monitor.assertion.condition.eval(&self.env) {
+            let eval = if monitor.condition.time_dependent()
+                || monitor.cached.is_none()
+                || monitor.inputs.intersects(&self.dirty)
+            {
+                let eval = monitor.condition.eval(&self.env, &mut self.stack);
+                monitor.cached = Some(eval);
+                eval
+            } else {
+                // No input changed and the condition ignores the clock:
+                // the verdict is unchanged by construction.
+                monitor.cached.unwrap_or(Eval::Unknown)
+            };
+            match eval {
                 Eval::Unknown => {
                     // Not enough data yet: treat as neutral, reset episodes.
                     monitor.episode_start = None;
@@ -145,6 +206,7 @@ impl OnlineChecker {
                 }
             }
         }
+        self.dirty.clear();
         self.cycle_open = false;
         self.violations.len() - before
     }

@@ -1,0 +1,91 @@
+//! Pins the compiled evaluation plan's zero-allocation guarantee: once
+//! every catalog signal has been seen (all slots interned), the
+//! steady-state `begin_cycle` / `update` / `end_cycle` path must not
+//! touch the allocator at all.
+//!
+//! Lives in its own integration-test binary because it installs a
+//! process-wide counting `#[global_allocator]` and the counter is only
+//! meaningful while a single test runs.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use adassure_core::catalog::{self, CatalogConfig};
+use adassure_core::OnlineChecker;
+use adassure_trace::SignalId;
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn steady_state_cycles_do_not_allocate() {
+    let config = CatalogConfig::default();
+    let cat = catalog::build(&config);
+    let signals: Vec<SignalId> = catalog::signals(&cat);
+    assert!(!signals.is_empty());
+
+    let mut checker = OnlineChecker::new(cat.iter().cloned());
+
+    // Warm-up past the behavioural grace period so every assertion is
+    // actually evaluated, with every catalog signal updated each cycle so
+    // all slots are interned. Value 0.0 keeps the whole catalog healthy
+    // (a non-zero hold value would trip residual-style assertions and the
+    // resulting violation push would — legitimately — allocate).
+    for i in 0..50u32 {
+        let t = 12.0 + f64::from(i) * 0.01;
+        checker.begin_cycle(t);
+        for id in &signals {
+            checker.update(id.clone(), 0.0);
+        }
+        checker.end_cycle();
+    }
+    assert_eq!(
+        checker.violations().len(),
+        0,
+        "warm-up must stay violation-free or the steady state is not representative"
+    );
+
+    // Steady state: same traffic, counted.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 50..1050u32 {
+        let t = 12.0 + f64::from(i) * 0.01;
+        checker.begin_cycle(t);
+        for id in &signals {
+            checker.update(id.clone(), 0.0);
+        }
+        checker.end_cycle();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state begin_cycle/update/end_cycle allocated"
+    );
+    assert!(checker.violations().is_empty());
+}

@@ -1,12 +1,206 @@
 //! Property-based tests of the assertion engine's invariants.
 
-use adassure_core::assertion::{Assertion, Condition, Severity, Temporal};
+use adassure_core::assertion::{Assertion, Condition, Eval, Severity, Temporal};
 use adassure_core::catalog::{CatalogConfig, Thresholds};
 use adassure_core::expr::Env;
 use adassure_core::mining::{mine_bounds, MiningConfig};
+use adassure_core::violation::Violation;
 use adassure_core::{checker, OnlineChecker, SignalExpr};
 use adassure_trace::{SignalId, Trace};
 use proptest::prelude::*;
+
+/// The tree-walking temporal monitor the online checker implemented before
+/// catalog compilation, kept verbatim as the differential oracle: it
+/// evaluates [`Condition::eval`] against the by-name [`Env`] every cycle,
+/// with no interning, no bytecode and no dirty-skipping.
+struct ReferenceChecker {
+    env: Env,
+    monitors: Vec<ReferenceMonitor>,
+    violations: Vec<Violation>,
+}
+
+struct ReferenceMonitor {
+    assertion: Assertion,
+    episode_start: Option<f64>,
+    alarmed_this_episode: bool,
+    ever_healthy: bool,
+    saw_first_sample: bool,
+    open_violation: Option<usize>,
+}
+
+impl ReferenceChecker {
+    fn new(catalog: impl IntoIterator<Item = Assertion>) -> Self {
+        ReferenceChecker {
+            env: Env::new(),
+            monitors: catalog
+                .into_iter()
+                .map(|assertion| ReferenceMonitor {
+                    assertion,
+                    episode_start: None,
+                    alarmed_this_episode: false,
+                    ever_healthy: false,
+                    saw_first_sample: false,
+                    open_violation: None,
+                })
+                .collect(),
+            violations: Vec::new(),
+        }
+    }
+
+    fn begin_cycle(&mut self, t: f64) {
+        self.env.set_time(t);
+    }
+
+    fn update(&mut self, signal: &SignalId, value: f64) {
+        self.env.update(signal, value);
+    }
+
+    fn end_cycle(&mut self) -> usize {
+        let t = self.env.now();
+        let before = self.violations.len();
+        for monitor in &mut self.monitors {
+            if t < monitor.assertion.grace {
+                continue;
+            }
+            match monitor.assertion.condition.eval(&self.env) {
+                Eval::Unknown => {
+                    monitor.episode_start = None;
+                    monitor.alarmed_this_episode = false;
+                    monitor.open_violation = None;
+                }
+                Eval::Healthy => {
+                    if let Some(idx) = monitor.open_violation.take() {
+                        self.violations[idx].recovered = Some(t);
+                    }
+                    monitor.episode_start = None;
+                    monitor.alarmed_this_episode = false;
+                    monitor.ever_healthy = true;
+                    monitor.saw_first_sample = true;
+                }
+                Eval::Violated(value) => {
+                    monitor.saw_first_sample = true;
+                    let onset = *monitor.episode_start.get_or_insert(t);
+                    let should_alarm = match monitor.assertion.temporal {
+                        Temporal::Immediate => !monitor.alarmed_this_episode,
+                        Temporal::Sustained(d) => !monitor.alarmed_this_episode && t - onset >= d,
+                        Temporal::Eventually => false,
+                    };
+                    if should_alarm {
+                        monitor.alarmed_this_episode = true;
+                        monitor.open_violation = Some(self.violations.len());
+                        self.violations.push(Violation {
+                            assertion: monitor.assertion.id.clone(),
+                            severity: monitor.assertion.severity,
+                            onset,
+                            detected: t,
+                            value,
+                            recovered: None,
+                        });
+                    }
+                }
+            }
+        }
+        self.violations.len() - before
+    }
+
+    fn finish(mut self, end_time: f64) -> Vec<Violation> {
+        for monitor in &mut self.monitors {
+            if monitor.assertion.temporal == Temporal::Eventually
+                && monitor.saw_first_sample
+                && !monitor.ever_healthy
+            {
+                self.violations.push(Violation {
+                    assertion: monitor.assertion.id.clone(),
+                    severity: monitor.assertion.severity,
+                    onset: monitor.assertion.grace,
+                    detected: end_time,
+                    value: f64::NAN,
+                    recovered: None,
+                });
+            }
+        }
+        self.violations
+    }
+}
+
+/// Bitwise comparison of violation lists: both evaluators run the same
+/// floating-point operations in the same order, so even NaN payloads (the
+/// `Eventually` finish marker) must match bit for bit.
+fn assert_same_violations(compiled: &[Violation], reference: &[Violation]) {
+    assert_eq!(compiled.len(), reference.len(), "violation counts differ");
+    for (c, r) in compiled.iter().zip(reference) {
+        assert_eq!(c.assertion, r.assertion);
+        assert_eq!(c.severity, r.severity);
+        assert_eq!(c.onset.to_bits(), r.onset.to_bits(), "onset differs");
+        assert_eq!(
+            c.detected.to_bits(),
+            r.detected.to_bits(),
+            "detected differs"
+        );
+        assert_eq!(c.value.to_bits(), r.value.to_bits(), "value differs");
+        assert_eq!(
+            c.recovered.map(f64::to_bits),
+            r.recovered.map(f64::to_bits),
+            "recovery differs"
+        );
+    }
+}
+
+/// Signal alphabet for the differential property: a mix of canonical
+/// (interned through the well-known fast path) and dynamic names.
+const DIFF_SIGNALS: &[&str] = &["gnss_x", "wheel_speed", "custom_a", "custom_b"];
+
+/// Expression trees over [`DIFF_SIGNALS`] with small constants, so values
+/// stay in a range where both evaluators exercise all verdicts.
+fn arb_diff_expr() -> impl Strategy<Value = SignalExpr> {
+    let signal = 0..DIFF_SIGNALS.len();
+    let leaf = prop_oneof![
+        signal
+            .clone()
+            .prop_map(|i| SignalExpr::signal(DIFF_SIGNALS[i])),
+        (-10.0f64..10.0).prop_map(SignalExpr::constant),
+        signal
+            .clone()
+            .prop_map(|i| SignalExpr::derivative(DIFF_SIGNALS[i])),
+        signal.prop_map(|i| SignalExpr::angular_derivative(DIFF_SIGNALS[i])),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(SignalExpr::abs),
+            inner.clone().prop_map(SignalExpr::neg),
+            inner.clone().prop_map(SignalExpr::tan),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
+            (inner.clone(), inner).prop_map(|(a, b)| a.angle_diff(b)),
+        ]
+    })
+}
+
+fn arb_diff_condition() -> impl Strategy<Value = Condition> {
+    prop_oneof![
+        (arb_diff_expr(), -5.0f64..5.0).prop_map(|(expr, limit)| Condition::AtMost { expr, limit }),
+        (arb_diff_expr(), -5.0f64..5.0)
+            .prop_map(|(expr, limit)| Condition::AtLeast { expr, limit }),
+        (0..DIFF_SIGNALS.len(), 0.0f64..0.3).prop_map(|(i, max_age)| Condition::Fresh {
+            signal: SignalId::new(DIFF_SIGNALS[i]),
+            max_age,
+        }),
+    ]
+}
+
+fn arb_diff_assertion() -> impl Strategy<Value = Assertion> {
+    let temporal = prop_oneof![
+        Just(Temporal::Immediate),
+        (0.0f64..0.1).prop_map(Temporal::Sustained),
+        Just(Temporal::Eventually),
+    ];
+    (arb_diff_condition(), temporal, 0.0f64..0.15).prop_map(|(condition, temporal, grace)| {
+        Assertion::new("P1", "differential property", Severity::Warning, condition)
+            .with_temporal(temporal)
+            .with_grace(grace)
+    })
+}
 
 /// Random expression trees for the spec-language round-trip property.
 fn arb_expr() -> impl Strategy<Value = SignalExpr> {
@@ -182,5 +376,38 @@ proptest! {
         let a = bounded_assertion(limit, Temporal::Immediate);
         let scaled = a.with_scaled_threshold(factor);
         prop_assert!((scaled.condition.threshold() - limit * factor).abs() < 1e-9 * limit.max(1.0));
+    }
+
+    /// The tentpole differential property: for random catalogs, random
+    /// cycle streams and random per-cycle update subsets/orders, the
+    /// compiled plan (interned slots, postfix bytecode, dirty-mask
+    /// caching) produces bit-identical verdicts and violation timestamps
+    /// to the tree-walking reference evaluator.
+    #[test]
+    fn compiled_plan_matches_tree_walking_reference(
+        catalog in proptest::collection::vec(arb_diff_assertion(), 1..5),
+        cycles in proptest::collection::vec(
+            proptest::collection::vec((0..DIFF_SIGNALS.len(), -3.0f64..3.0), 0..5),
+            1..40,
+        ),
+    ) {
+        let mut compiled = OnlineChecker::new(catalog.iter().cloned());
+        let mut reference = ReferenceChecker::new(catalog.iter().cloned());
+        for (i, cycle) in cycles.iter().enumerate() {
+            // An irregular step keeps grace/sustain boundaries off-grid.
+            let t = i as f64 * 0.013;
+            compiled.begin_cycle(t);
+            reference.begin_cycle(t);
+            for &(signal, value) in cycle {
+                let id = SignalId::new(DIFF_SIGNALS[signal]);
+                compiled.update(id.clone(), value);
+                reference.update(&id, value);
+            }
+            prop_assert_eq!(compiled.end_cycle(), reference.end_cycle());
+        }
+        let end_time = cycles.len() as f64 * 0.013;
+        let report = compiled.finish(end_time);
+        let expected = reference.finish(end_time);
+        assert_same_violations(&report.violations, &expected);
     }
 }

@@ -41,10 +41,12 @@
 
 pub mod agg;
 pub mod campaign;
+pub mod check;
 pub mod grid;
 pub mod par;
 pub mod record;
 
 pub use campaign::Campaign;
+pub use check::check_traces;
 pub use grid::{AttackSet, Grid, RunSpec};
 pub use record::{CampaignReport, RunRecord};

@@ -1,14 +1,45 @@
 use std::borrow::Borrow;
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use serde::{Deserialize, Deserializer, Serialize, Serializer};
 
+/// Internal representation of a [`SignalId`].
+///
+/// Canonical names (everything in [`well_known::ALL`]) are stored as an
+/// index into that table, so cloning them is a plain copy — no atomic
+/// reference count traffic on the checker's per-sample hot path. Everything
+/// else falls back to a reference-counted string.
+enum Repr {
+    /// Index into [`well_known::ALL`].
+    WellKnown(u8),
+    /// Any other (dynamically named) signal.
+    Owned(Arc<str>),
+}
+
+// Manual impl so the hot-path copy of a well-known id inlines across
+// crates (derived impls carry no `#[inline]` hint).
+impl Clone for Repr {
+    #[inline]
+    fn clone(&self) -> Self {
+        match self {
+            Repr::WellKnown(i) => Repr::WellKnown(*i),
+            Repr::Owned(s) => Repr::Owned(Arc::clone(s)),
+        }
+    }
+}
+
 /// Identifier of a recorded signal.
 ///
-/// Internally reference-counted so that cloning an id (which happens on every
-/// recorded sample routed through a [`crate::Trace`]) is a pointer copy, not
-/// a string allocation.
+/// Cloning is cheap in every case (a copy for [`well_known`] names, a
+/// pointer copy otherwise), which matters because an id is cloned for every
+/// sample routed through a [`crate::Trace`] or an online checker.
+///
+/// Equality, ordering and hashing are all by name, so a `SignalId` behaves
+/// exactly like its string content in maps and sets regardless of how it
+/// was constructed.
 ///
 /// # Example
 ///
@@ -20,24 +51,96 @@ use serde::{Deserialize, Deserializer, Serialize, Serializer};
 /// assert_eq!(a, b);
 /// assert_eq!(a.as_str(), "xtrack_err");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct SignalId(Arc<str>);
+pub struct SignalId(Repr);
+
+impl Clone for SignalId {
+    #[inline]
+    fn clone(&self) -> Self {
+        SignalId(self.0.clone())
+    }
+}
 
 impl SignalId {
-    /// Creates a signal id from any string-like value.
+    /// Creates a signal id from any string-like value. Canonical names are
+    /// normalised to their [`well_known`] index.
     pub fn new(name: impl AsRef<str>) -> Self {
-        SignalId(Arc::from(name.as_ref()))
+        let name = name.as_ref();
+        match well_known::index_of(name) {
+            #[allow(clippy::cast_possible_truncation)] // table is far below 256 entries
+            Some(i) => SignalId(Repr::WellKnown(i as u8)),
+            None => SignalId(Repr::Owned(Arc::from(name))),
+        }
     }
 
     /// Returns the signal name as a string slice.
+    #[inline]
     pub fn as_str(&self) -> &str {
-        &self.0
+        match &self.0 {
+            Repr::WellKnown(i) => well_known::ALL[usize::from(*i)],
+            Repr::Owned(s) => s,
+        }
+    }
+
+    /// Index into [`well_known::ALL`] when this id is a canonical name.
+    ///
+    /// The evaluation-plan compiler uses this to resolve catalog signals to
+    /// dense slots with a single array load instead of a string hash.
+    #[inline]
+    pub fn well_known_index(&self) -> Option<usize> {
+        match &self.0 {
+            Repr::WellKnown(i) => Some(usize::from(*i)),
+            Repr::Owned(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("SignalId").field(&self.as_str()).finish()
+    }
+}
+
+impl PartialEq for SignalId {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.0, &other.0) {
+            (Repr::WellKnown(a), Repr::WellKnown(b)) => a == b,
+            (Repr::Owned(a), Repr::Owned(b)) if Arc::ptr_eq(a, b) => true,
+            _ => self.as_str() == other.as_str(),
+        }
+    }
+}
+
+impl Eq for SignalId {}
+
+// Hash by string content so `Borrow<str>` lookups stay consistent with the
+// derived `Hash` on `str`.
+impl Hash for SignalId {
+    #[inline]
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_str().hash(state);
+    }
+}
+
+impl PartialOrd for SignalId {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SignalId {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (&self.0, &other.0) {
+            (Repr::WellKnown(a), Repr::WellKnown(b)) if a == b => Ordering::Equal,
+            _ => self.as_str().cmp(other.as_str()),
+        }
     }
 }
 
 impl fmt::Display for SignalId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.as_str())
     }
 }
 
@@ -184,6 +287,50 @@ pub mod well_known {
         STEER_ACTUAL,
         LAT_ACCEL,
     ];
+
+    /// Position of `name` in [`ALL`], if canonical.
+    ///
+    /// A literal `match` (rather than a linear scan over [`ALL`]) so the
+    /// compiler lowers it to length-bucketed comparisons — this sits on the
+    /// constructor path of every [`super::SignalId`]. The
+    /// `index_of_agrees_with_all` test pins it to [`ALL`]'s order.
+    #[inline]
+    pub fn index_of(name: &str) -> Option<usize> {
+        let idx = match name {
+            "true_x" => 0,
+            "true_y" => 1,
+            "true_heading" => 2,
+            "true_speed" => 3,
+            "true_yaw_rate" => 4,
+            "gnss_x" => 5,
+            "gnss_y" => 6,
+            "gnss_speed" => 7,
+            "gnss_jump" => 8,
+            "wheel_speed" => 9,
+            "wheel_accel" => 10,
+            "wheel_jitter" => 11,
+            "imu_yaw_rate" => 12,
+            "imu_accel" => 13,
+            "compass_heading" => 14,
+            "est_x" => 15,
+            "est_y" => 16,
+            "est_heading" => 17,
+            "est_speed" => 18,
+            "innovation" => 19,
+            "xtrack_err" => 20,
+            "true_xtrack_err" => 21,
+            "heading_err" => 22,
+            "target_speed" => 23,
+            "progress" => 24,
+            "true_progress" => 25,
+            "steer_cmd" => 26,
+            "accel_cmd" => 27,
+            "steer_actual" => 28,
+            "lat_accel" => 29,
+            _ => return None,
+        };
+        Some(idx)
+    }
 }
 
 #[cfg(test)]
@@ -195,23 +342,34 @@ mod tests {
     fn ids_compare_by_content() {
         assert_eq!(SignalId::new("a"), SignalId::from("a"));
         assert_ne!(SignalId::new("a"), SignalId::new("b"));
+        // Mixed representations still compare by name.
+        assert_eq!(SignalId::new("gnss_x"), SignalId::new("gnss_x"));
+        assert_ne!(SignalId::new("gnss_x"), SignalId::new("gnss_y"));
+        assert_ne!(SignalId::new("gnss_x"), SignalId::new("custom"));
     }
 
     #[test]
     fn id_orders_lexicographically() {
         assert!(SignalId::new("a") < SignalId::new("b"));
+        // Well-known ordering is by name, not table index: gnss_x (index 5)
+        // sorts after est_x (index 15).
+        assert!(SignalId::new("est_x") < SignalId::new("gnss_x"));
+        assert!(SignalId::new("aaa") < SignalId::new("gnss_x"));
     }
 
     #[test]
     fn borrow_allows_str_lookup_in_sets() {
         let mut set = HashSet::new();
         set.insert(SignalId::new("speed"));
+        set.insert(SignalId::new("gnss_speed"));
         assert!(set.contains("speed"));
+        assert!(set.contains("gnss_speed"), "well-known hash by content");
     }
 
     #[test]
     fn display_matches_name() {
         assert_eq!(SignalId::new("xtrack_err").to_string(), "xtrack_err");
+        assert_eq!(SignalId::new("my_signal").to_string(), "my_signal");
     }
 
     #[test]
@@ -221,11 +379,30 @@ mod tests {
     }
 
     #[test]
+    fn index_of_agrees_with_all() {
+        for (i, name) in well_known::ALL.iter().enumerate() {
+            assert_eq!(well_known::index_of(name), Some(i), "{name}");
+        }
+        assert_eq!(well_known::index_of("not_a_signal"), None);
+        assert_eq!(well_known::index_of(""), None);
+    }
+
+    #[test]
+    fn well_known_index_is_exposed() {
+        assert_eq!(SignalId::new("true_x").well_known_index(), Some(0));
+        assert_eq!(SignalId::new("lat_accel").well_known_index(), Some(29));
+        assert_eq!(SignalId::new("custom").well_known_index(), None);
+    }
+
+    #[test]
     fn serde_round_trip() {
         let id = SignalId::new("gnss_x");
         let json = serde_json::to_string(&id).unwrap();
         assert_eq!(json, "\"gnss_x\"");
         let back: SignalId = serde_json::from_str(&json).unwrap();
         assert_eq!(back, id);
+        assert_eq!(back.well_known_index(), Some(5), "normalised on the way in");
+        let dynamic: SignalId = serde_json::from_str("\"mystery\"").unwrap();
+        assert_eq!(dynamic.as_str(), "mystery");
     }
 }
