@@ -11,6 +11,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test (workspace) =="
 cargo test --workspace -q
 
+echo "== table5_robustness smoke slice (seconds-scale, seeded) =="
+cargo run --release -q -p adassure-bench --bin table5_robustness -- --smoke
+
 echo "== cargo bench --no-run (benchmarks stay compilable) =="
 cargo bench --workspace --no-run
 

@@ -12,6 +12,9 @@
 //! * [`Window`] — when the attack is active;
 //! * [`AttackInjector`] — a stateful [`adassure_sim::engine::SensorTap`]
 //!   applying one attack;
+//! * [`ChannelFaultInjector`] — telemetry-link faults (dropout, stale
+//!   repeat, jitter, NaN bursts, duplicates) on the *monitor's* input
+//!   stream, independent of any vehicle attack;
 //! * [`campaign`] — the standard attack catalog and spec types used by the
 //!   experiment harnesses.
 //!
@@ -30,10 +33,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod campaign;
+mod fault;
 mod injector;
 mod kind;
 mod schedule;
 
+pub use fault::{ChannelFaultInjector, Delivery, FaultKind, FaultSpec};
 pub use injector::AttackInjector;
 pub use kind::{AttackKind, Channel};
 pub use schedule::Window;

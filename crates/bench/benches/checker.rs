@@ -23,7 +23,7 @@ fn bench_online_cycle(c: &mut Criterion) {
             || {
                 let mut checker = OnlineChecker::new(catalog.iter().cloned());
                 // Warm the environment so every assertion is evaluable.
-                checker.begin_cycle(0.0);
+                checker.begin_cycle(0.0).unwrap();
                 for s in &signals {
                     checker.update(s.clone(), 0.1);
                 }
@@ -33,7 +33,7 @@ fn bench_online_cycle(c: &mut Criterion) {
             |mut checker| {
                 for i in 1..100u32 {
                     let t = f64::from(i) * 0.01;
-                    checker.begin_cycle(t);
+                    checker.begin_cycle(t).unwrap();
                     for s in &signals {
                         checker.update(s.clone(), 0.1 + f64::from(i) * 1e-4);
                     }

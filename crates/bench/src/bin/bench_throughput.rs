@@ -116,7 +116,7 @@ fn measure_online() -> f64 {
     let run_iter = |checker: &mut OnlineChecker| {
         for i in 1..100u32 {
             let t = f64::from(i) * 0.01;
-            checker.begin_cycle(t);
+            checker.begin_cycle(t).unwrap();
             for s in &signals {
                 checker.update(s.clone(), 0.1 + f64::from(i) * 1e-4);
             }
@@ -130,7 +130,7 @@ fn measure_online() -> f64 {
         let mut total = 0.0;
         for _ in 0..iters {
             let mut checker = OnlineChecker::new(cat.iter().cloned());
-            checker.begin_cycle(0.0);
+            checker.begin_cycle(0.0).unwrap();
             for s in &signals {
                 checker.update(s.clone(), 0.1);
             }

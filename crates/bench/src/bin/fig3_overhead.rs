@@ -79,7 +79,7 @@ fn run_once(
     let mut checker = OnlineChecker::new(catalog.iter().cloned());
     let start = Instant::now();
     for (t, updates) in cycles {
-        checker.begin_cycle(*t);
+        checker.begin_cycle(*t).unwrap();
         for (id, v) in updates {
             checker.update(id.clone(), *v);
         }

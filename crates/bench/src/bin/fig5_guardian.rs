@@ -24,7 +24,16 @@ struct GuardedCell {
 }
 
 fn main() {
-    let scenario = Scenario::of_kind(ScenarioKind::SCurve).expect("library scenario");
+    for kind in ScenarioKind::GUARDIAN_SET {
+        run_scenario(kind);
+    }
+    println!("\n(safe-stopping on the first critical violation bounds the physical");
+    println!(" damage of every fast-detected attack; the stealthy drift class keeps");
+    println!(" leaking error in proportion to its detection latency.)");
+}
+
+fn run_scenario(kind: ScenarioKind) {
+    let scenario = Scenario::of_kind(kind).expect("library scenario");
     let controller = ControllerKind::PurePursuit;
     let seeds = [1u64, 2, 3];
     let cat = standard_catalog(&scenario);
@@ -67,7 +76,7 @@ fn main() {
     });
 
     println!(
-        "F5: guardian mitigation (scenario `{}`, {} stack, seeds {seeds:?})",
+        "\nF5: guardian mitigation (scenario `{}`, {} stack, seeds {seeds:?})",
         scenario.kind, controller
     );
     println!("cells: worst |true cross-track error| after attack onset, mean±std (m)\n");
@@ -101,7 +110,4 @@ fn main() {
             }
         );
     }
-    println!("\n(safe-stopping on the first critical violation bounds the physical");
-    println!(" damage of every fast-detected attack; the stealthy drift class keeps");
-    println!(" leaking error in proportion to its detection latency.)");
 }

@@ -89,6 +89,12 @@ pub enum Eval {
     Violated(f64),
     /// Not all referenced signals have been seen yet.
     Unknown,
+    /// The monitor's telemetry is degraded — inputs poisoned by non-finite
+    /// samples or stale beyond the health horizon — so neither a healthy
+    /// nor a violated verdict can be trusted. [`Condition::eval`] never
+    /// produces this; it is raised by the checker's health layer
+    /// (see [`crate::online::HealthState`]).
+    Inconclusive,
 }
 
 impl Condition {

@@ -129,7 +129,11 @@ pub fn for_each_cycle(trace: &Trace, mut f: impl FnMut(f64, &[(&SignalId, f64)])
 pub fn check(catalog: &[Assertion], trace: &Trace) -> CheckReport {
     let mut checker = OnlineChecker::new(catalog.iter().cloned());
     for_each_cycle(trace, |t, cycle| {
-        checker.begin_cycle(t);
+        // A Trace rejects non-monotone and non-finite times per series, and
+        // the sweep merges them in ascending order.
+        checker
+            .begin_cycle(t)
+            .expect("trace cycles are strictly time-ordered");
         for &(id, value) in cycle {
             checker.update(id.clone(), value);
         }
@@ -147,7 +151,9 @@ pub fn check(catalog: &[Assertion], trace: &Trace) -> CheckReport {
 pub fn check_events(catalog: &[Assertion], events: &[Event<'_>], end_time: f64) -> CheckReport {
     let mut checker = OnlineChecker::new(catalog.iter().cloned());
     for (t, cycle) in Cycles::new(events) {
-        checker.begin_cycle(t);
+        checker
+            .begin_cycle(t)
+            .expect("event stream cycles are strictly time-ordered");
         for &(_, id, value) in cycle {
             checker.update(id.clone(), value);
         }
@@ -233,7 +239,7 @@ mod tests {
 
         let mut online = OnlineChecker::new([assertion]);
         for &(t, v) in &samples {
-            online.begin_cycle(t);
+            online.begin_cycle(t).unwrap();
             online.update("x", v);
             online.end_cycle();
         }

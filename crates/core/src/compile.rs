@@ -203,6 +203,15 @@ impl SlotMask {
     pub fn is_clear(&self) -> bool {
         self.words.iter().all(|w| *w == 0)
     }
+
+    /// Iterates the set slot indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &word)| {
+            (0..64u32)
+                .filter(move |bit| word & (1u64 << bit) != 0)
+                .map(move |bit| u32::try_from(i * 64).expect("slot fits u32") + bit)
+        })
+    }
 }
 
 /// One postfix instruction of a [`CompiledExpr`].
@@ -545,6 +554,16 @@ mod tests {
         // Out-of-capacity sets are ignored, not panics.
         dirty.set(100_000);
         assert!(dirty.is_clear());
+    }
+
+    #[test]
+    fn slot_mask_iter_yields_set_slots_in_order() {
+        let mut mask = SlotMask::with_capacity(130);
+        for slot in [5, 0, 64, 129] {
+            mask.set(slot);
+        }
+        assert_eq!(mask.iter().collect::<Vec<_>>(), vec![0, 5, 64, 129]);
+        assert_eq!(SlotMask::with_capacity(10).iter().count(), 0);
     }
 
     #[test]

@@ -61,6 +61,6 @@ pub mod violation;
 
 pub use assertion::{Assertion, AssertionId, Condition, Severity, Temporal};
 pub use expr::SignalExpr;
-pub use online::OnlineChecker;
+pub use online::{CycleError, HealthConfig, HealthState, OnlineChecker};
 pub use report::CheckReport;
 pub use violation::Violation;

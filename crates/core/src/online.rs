@@ -19,14 +19,104 @@
 //!
 //! The offline checker ([`crate::checker`]) replays recorded traces through
 //! this same type, so online and offline verdicts agree by construction.
+//!
+//! # Telemetry health
+//!
+//! Real telemetry links drop samples, freeze, and deliver NaN bursts. Each
+//! monitor therefore carries a [`HealthState`]: while any input slot is
+//! *poisoned* (last sample was non-finite) or *stale* (no update within
+//! [`HealthConfig::stale_after`]), the monitor reports
+//! [`Eval::Inconclusive`] instead of a stale or garbage verdict, and its
+//! temporal episode resets. Sustained degradation quarantines the monitor
+//! ([`HealthState::Suspended`]); recovery back to [`HealthState::Active`]
+//! is hysteretic — it takes [`HealthConfig::recover_after`] consecutive
+//! clean cycles. [`crate::Condition::Fresh`] monitors are exempt from the
+//! staleness rule (staleness *is* their subject) but still degrade on
+//! poisoned inputs. The default [`HealthConfig`] disables the staleness
+//! horizon, so plain [`OnlineChecker::new`] behaviour is unchanged for
+//! finite-valued streams.
+
+use std::fmt;
 
 use adassure_trace::SignalId;
 
-use crate::assertion::{Assertion, Eval, Temporal};
+use crate::assertion::{Assertion, Eval, Severity, Temporal};
 use crate::compile::{CompiledCondition, SlotMask};
 use crate::expr::Env;
 use crate::report::CheckReport;
 use crate::violation::Violation;
+
+/// Error returned by [`OnlineChecker::begin_cycle`] for an invalid cycle
+/// timestamp. The cycle is not opened and the checker state is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum CycleError {
+    /// The timestamp was not strictly greater than the previous cycle's.
+    NonMonotonic {
+        /// Timestamp of the last successfully opened cycle.
+        last: f64,
+        /// The rejected timestamp.
+        attempted: f64,
+    },
+    /// The timestamp was NaN or infinite.
+    NonFinite {
+        /// The rejected timestamp.
+        attempted: f64,
+    },
+}
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CycleError::NonMonotonic { last, attempted } => write!(
+                f,
+                "non-monotone cycle timestamp: {attempted} does not advance past {last}"
+            ),
+            CycleError::NonFinite { attempted } => {
+                write!(f, "non-finite cycle timestamp: {attempted}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// Telemetry health of one monitor (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// All inputs live and finite; verdicts are trusted.
+    Active,
+    /// Some inputs dark; carries how many. Verdicts are
+    /// [`Eval::Inconclusive`].
+    Degraded(u32),
+    /// Degraded for at least [`HealthConfig::quarantine_after`] consecutive
+    /// cycles; stays suspended until the hysteretic recovery completes.
+    Suspended,
+}
+
+/// Parameters of the telemetry-health layer.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct HealthConfig {
+    /// An input is considered dark once no update arrived for this long
+    /// (s). The default is infinite: staleness degradation off, matching
+    /// the pre-health checker on sparse but well-formed streams.
+    pub stale_after: f64,
+    /// Consecutive degraded cycles before a monitor is quarantined.
+    pub quarantine_after: u32,
+    /// Consecutive clean cycles before a degraded or suspended monitor
+    /// returns to [`HealthState::Active`].
+    pub recover_after: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            stale_after: f64::INFINITY,
+            quarantine_after: 100,
+            recover_after: 25,
+        }
+    }
+}
 
 #[derive(Debug)]
 struct MonitorState {
@@ -35,6 +125,14 @@ struct MonitorState {
     condition: CompiledCondition,
     /// Slots the condition reads; intersected with the cycle's dirty mask.
     inputs: SlotMask,
+    /// The same input slots as a dense list, for the per-cycle health scan.
+    input_slots: Box<[u32]>,
+    /// `Fresh` conditions monitor staleness themselves; the health layer's
+    /// staleness rule would shadow them, so they are exempt from it.
+    staleness_exempt: bool,
+    health: HealthState,
+    degraded_streak: u32,
+    clean_streak: u32,
     /// Verdict of the last evaluation, replayed while no input changes.
     cached: Option<Eval>,
     episode_start: Option<f64>,
@@ -60,10 +158,10 @@ struct MonitorState {
 ///     Condition::AtMost { expr: SignalExpr::signal("xtrack_err").abs(), limit: 1.0 },
 /// );
 /// let mut checker = OnlineChecker::new([a]);
-/// checker.begin_cycle(0.0);
+/// checker.begin_cycle(0.0).unwrap();
 /// checker.update("xtrack_err", 0.2);
 /// assert_eq!(checker.end_cycle(), 0);
-/// checker.begin_cycle(0.01);
+/// checker.begin_cycle(0.01).unwrap();
 /// checker.update("xtrack_err", 2.0);
 /// assert_eq!(checker.end_cycle(), 1);
 /// ```
@@ -73,6 +171,16 @@ pub struct OnlineChecker {
     monitors: Vec<MonitorState>,
     /// Slots updated since the last `end_cycle`.
     dirty: SlotMask,
+    /// Per-slot poison flag: true while the slot's latest sample was
+    /// non-finite (the sample-and-hold value in `env` stays the last good
+    /// one).
+    poisoned: Box<[bool]>,
+    health_config: HealthConfig,
+    /// Monitor-cycles that produced [`Eval::Inconclusive`].
+    inconclusive_cycles: u64,
+    /// Timestamp of the last successfully opened cycle, enforcing
+    /// monotonicity.
+    last_cycle: Option<f64>,
     /// Shared scratch stack for compiled-expression evaluation, sized to
     /// the deepest expression in the catalog so evaluation never allocates.
     stack: Vec<f64>,
@@ -82,17 +190,34 @@ pub struct OnlineChecker {
 
 impl OnlineChecker {
     /// Creates a checker over an assertion catalog, compiling it into the
-    /// interned evaluation plan.
+    /// interned evaluation plan. Uses the default [`HealthConfig`] (no
+    /// staleness horizon).
     pub fn new(catalog: impl IntoIterator<Item = Assertion>) -> Self {
+        OnlineChecker::with_health(catalog, HealthConfig::default())
+    }
+
+    /// Creates a checker with an explicit telemetry-health configuration.
+    pub fn with_health(
+        catalog: impl IntoIterator<Item = Assertion>,
+        health_config: HealthConfig,
+    ) -> Self {
         let mut env = Env::new();
         let mut monitors: Vec<MonitorState> = catalog
             .into_iter()
             .map(|assertion| {
                 let condition = CompiledCondition::compile(&assertion.condition, &mut env);
+                // `time_dependent` is true exactly for `Fresh` conditions —
+                // the ones whose subject is staleness itself.
+                let staleness_exempt = condition.time_dependent();
                 MonitorState {
                     assertion,
                     condition,
                     inputs: SlotMask::with_capacity(0),
+                    input_slots: Box::new([]),
+                    staleness_exempt,
+                    health: HealthState::Active,
+                    degraded_streak: 0,
+                    clean_streak: 0,
                     cached: None,
                     episode_start: None,
                     alarmed_this_episode: false,
@@ -109,6 +234,7 @@ impl OnlineChecker {
         for monitor in &mut monitors {
             let mut mask = SlotMask::with_capacity(width);
             monitor.condition.mark_inputs(&mut mask);
+            monitor.input_slots = mask.iter().collect();
             monitor.inputs = mask;
             max_stack = max_stack.max(monitor.condition.max_stack());
         }
@@ -116,6 +242,10 @@ impl OnlineChecker {
             env,
             monitors,
             dirty: SlotMask::with_capacity(width),
+            poisoned: vec![false; width].into_boxed_slice(),
+            health_config,
+            inconclusive_cycles: 0,
+            last_cycle: None,
             stack: Vec::with_capacity(max_stack),
             violations: Vec::new(),
             cycle_open: false,
@@ -129,18 +259,46 @@ impl OnlineChecker {
 
     /// Opens a new control cycle at time `t`. Call before the cycle's
     /// [`OnlineChecker::update`]s.
-    pub fn begin_cycle(&mut self, t: f64) {
+    ///
+    /// # Errors
+    ///
+    /// Rejects a timestamp that is NaN/infinite or does not strictly
+    /// advance past the previous cycle's; the cycle is not opened.
+    pub fn begin_cycle(&mut self, t: f64) -> Result<(), CycleError> {
+        if !t.is_finite() {
+            return Err(CycleError::NonFinite { attempted: t });
+        }
+        if let Some(last) = self.last_cycle {
+            if t <= last {
+                return Err(CycleError::NonMonotonic { last, attempted: t });
+            }
+        }
+        self.last_cycle = Some(t);
         self.env.set_time(t);
         self.cycle_open = true;
+        Ok(())
     }
 
     /// Ingests one new signal sample for the open cycle.
+    ///
+    /// A non-finite value never enters the sample-and-hold state: the slot
+    /// keeps its last good value and is *poisoned* — every monitor reading
+    /// it reports [`Eval::Inconclusive`] — until a finite sample arrives.
     #[inline]
     pub fn update(&mut self, signal: impl Into<SignalId>, value: f64) {
         debug_assert!(self.cycle_open, "update outside begin_cycle/end_cycle");
         let signal = signal.into();
         let slot = self.env.resolve(&signal);
-        self.env.update_slot(slot, value);
+        if value.is_finite() {
+            self.env.update_slot(slot, value);
+            if let Some(p) = self.poisoned.get_mut(slot as usize) {
+                *p = false;
+            }
+        } else if let Some(p) = self.poisoned.get_mut(slot as usize) {
+            // Slots beyond the poison table were first seen after
+            // compilation; no assertion reads them, same as the mask rule.
+            *p = true;
+        }
         // Slots beyond the mask were first seen after compilation, so no
         // assertion can read them; `set` ignores them.
         self.dirty.set(slot);
@@ -155,21 +313,73 @@ impl OnlineChecker {
             if t < monitor.assertion.grace {
                 continue;
             }
-            let eval = if monitor.condition.time_dependent()
-                || monitor.cached.is_none()
-                || monitor.inputs.intersects(&self.dirty)
-            {
-                let eval = monitor.condition.eval(&self.env, &mut self.stack);
-                monitor.cached = Some(eval);
-                eval
+            // Health pass: count inputs that are poisoned or (unless the
+            // condition monitors staleness itself) dark past the horizon.
+            // Slots never seen stay neutral — that is the existing Unknown
+            // start-up semantics, not a telemetry fault.
+            let mut missing = 0u32;
+            for &slot in monitor.input_slots.iter() {
+                let poisoned = self.poisoned.get(slot as usize).copied().unwrap_or(false);
+                let stale = !monitor.staleness_exempt
+                    && self
+                        .env
+                        .age_at(slot)
+                        .is_some_and(|age| age > self.health_config.stale_after);
+                if poisoned || stale {
+                    missing += 1;
+                }
+            }
+            let eval = if missing > 0 {
+                monitor.clean_streak = 0;
+                monitor.degraded_streak = monitor.degraded_streak.saturating_add(1);
+                monitor.health = if monitor.degraded_streak >= self.health_config.quarantine_after {
+                    HealthState::Suspended
+                } else {
+                    HealthState::Degraded(missing)
+                };
+                // The held verdict was computed from data now known bad.
+                monitor.cached = None;
+                Eval::Inconclusive
             } else {
-                // No input changed and the condition ignores the clock:
-                // the verdict is unchanged by construction.
-                monitor.cached.unwrap_or(Eval::Unknown)
+                monitor.degraded_streak = 0;
+                if monitor.health != HealthState::Active {
+                    monitor.clean_streak = monitor.clean_streak.saturating_add(1);
+                    if monitor.clean_streak >= self.health_config.recover_after {
+                        monitor.health = HealthState::Active;
+                        monitor.clean_streak = 0;
+                    }
+                }
+                if monitor.health == HealthState::Active {
+                    if monitor.condition.time_dependent()
+                        || monitor.cached.is_none()
+                        || monitor.inputs.intersects(&self.dirty)
+                    {
+                        let eval = monitor.condition.eval(&self.env, &mut self.stack);
+                        monitor.cached = Some(eval);
+                        eval
+                    } else {
+                        // No input changed and the condition ignores the
+                        // clock: the verdict is unchanged by construction.
+                        monitor.cached.unwrap_or(Eval::Unknown)
+                    }
+                } else {
+                    // Inputs are clean again but the hysteresis window has
+                    // not elapsed: keep quarantining.
+                    Eval::Inconclusive
+                }
             };
             match eval {
                 Eval::Unknown => {
                     // Not enough data yet: treat as neutral, reset episodes.
+                    monitor.episode_start = None;
+                    monitor.alarmed_this_episode = false;
+                    monitor.open_violation = None;
+                }
+                Eval::Inconclusive => {
+                    // Telemetry went dark: the verdict cannot be trusted
+                    // either way. Neutral like Unknown — reset the episode,
+                    // never stamp a recovery on data we cannot see.
+                    self.inconclusive_cycles += 1;
                     monitor.episode_start = None;
                     monitor.alarmed_this_episode = false;
                     monitor.open_violation = None;
@@ -216,6 +426,34 @@ impl OnlineChecker {
         &self.violations
     }
 
+    /// Health of the monitor at `index` (catalog order), if it exists.
+    pub fn health(&self, index: usize) -> Option<HealthState> {
+        self.monitors.get(index).map(|m| m.health)
+    }
+
+    /// Whether every monitor is [`HealthState::Active`].
+    pub fn all_active(&self) -> bool {
+        self.monitors
+            .iter()
+            .all(|m| m.health == HealthState::Active)
+    }
+
+    /// Monitor-cycles that produced [`Eval::Inconclusive`] so far.
+    pub fn inconclusive_cycles(&self) -> u64 {
+        self.inconclusive_cycles
+    }
+
+    /// Earliest onset among currently *standing* alarms — episodes whose
+    /// temporal operator has fired and whose condition has not healed —
+    /// at or above `min` severity. `None` when no such alarm stands.
+    pub fn open_episode_onset(&self, min: Severity) -> Option<f64> {
+        self.monitors
+            .iter()
+            .filter(|m| m.assertion.severity >= min && m.alarmed_this_episode)
+            .filter_map(|m| m.episode_start)
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
     /// Finalises the run at `end_time`: judges [`Temporal::Eventually`]
     /// assertions (those that never held raise a violation at `end_time`)
     /// and produces the report.
@@ -235,7 +473,9 @@ impl OnlineChecker {
                 });
             }
         }
-        CheckReport::new(self.violations, end_time, self.monitors.len())
+        let mut report = CheckReport::new(self.violations, end_time, self.monitors.len());
+        report.inconclusive_cycles = self.inconclusive_cycles;
+        report
     }
 }
 
@@ -260,7 +500,7 @@ mod tests {
     fn drive(checker: &mut OnlineChecker, samples: &[(f64, f64)]) -> usize {
         let mut total = 0;
         for &(t, v) in samples {
-            checker.begin_cycle(t);
+            checker.begin_cycle(t).unwrap();
             checker.update("x", v);
             total += checker.end_cycle();
         }
@@ -307,7 +547,7 @@ mod tests {
     #[test]
     fn unknown_signals_do_not_fire() {
         let mut c = OnlineChecker::new([bound_assertion(1.0)]);
-        c.begin_cycle(0.0);
+        c.begin_cycle(0.0).unwrap();
         c.update("unrelated", 99.0);
         assert_eq!(c.end_cycle(), 0);
     }
@@ -346,7 +586,7 @@ mod tests {
 
     fn drive_progress(checker: &mut OnlineChecker, samples: &[(f64, f64)]) {
         for &(t, v) in samples {
-            checker.begin_cycle(t);
+            checker.begin_cycle(t).unwrap();
             checker.update("progress", v);
             checker.end_cycle();
         }
@@ -364,13 +604,13 @@ mod tests {
             },
         );
         let mut c = OnlineChecker::new([a]);
-        c.begin_cycle(0.0);
+        c.begin_cycle(0.0).unwrap();
         c.update("gnss_x", 1.0);
         assert_eq!(c.end_cycle(), 0);
         // Clock advances without updates; other signals keep cycles coming.
         let mut fired = 0;
         for i in 1..10 {
-            c.begin_cycle(f64::from(i) * 0.1);
+            c.begin_cycle(f64::from(i) * 0.1).unwrap();
             c.update("other", 0.0);
             fired += c.end_cycle();
         }
@@ -391,7 +631,7 @@ mod tests {
             },
         );
         let mut c = OnlineChecker::new([a1, a2]);
-        c.begin_cycle(0.0);
+        c.begin_cycle(0.0).unwrap();
         c.update("x", 3.0);
         c.update("y", 2.0);
         assert_eq!(c.end_cycle(), 1, "only A1 fires");
@@ -417,5 +657,166 @@ mod tests {
         assert_eq!(report.assertions_checked, 1);
         assert_eq!(report.end_time, 1.0);
         assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.inconclusive_cycles, 0);
+    }
+
+    #[test]
+    fn begin_cycle_rejects_bad_timestamps() {
+        let mut c = OnlineChecker::new([bound_assertion(1.0)]);
+        c.begin_cycle(0.5).unwrap();
+        c.update("x", 0.0);
+        c.end_cycle();
+        // Regression: these used to be accepted silently, corrupting ages
+        // and derivatives downstream.
+        assert_eq!(
+            c.begin_cycle(0.5),
+            Err(CycleError::NonMonotonic {
+                last: 0.5,
+                attempted: 0.5
+            })
+        );
+        assert_eq!(
+            c.begin_cycle(0.2),
+            Err(CycleError::NonMonotonic {
+                last: 0.5,
+                attempted: 0.2
+            })
+        );
+        assert!(matches!(
+            c.begin_cycle(f64::NAN),
+            Err(CycleError::NonFinite { .. })
+        ));
+        assert!(matches!(
+            c.begin_cycle(f64::INFINITY),
+            Err(CycleError::NonFinite { .. })
+        ));
+        // A rejected timestamp leaves the checker usable.
+        c.begin_cycle(0.6).unwrap();
+        c.update("x", 5.0);
+        assert_eq!(c.end_cycle(), 1);
+    }
+
+    #[test]
+    fn nan_sample_poisons_and_goes_inconclusive() {
+        let cfg = HealthConfig {
+            recover_after: 2,
+            ..HealthConfig::default()
+        };
+        let mut c = OnlineChecker::with_health([bound_assertion(1.0)], cfg);
+        c.begin_cycle(0.0).unwrap();
+        c.update("x", 5.0);
+        assert_eq!(c.end_cycle(), 1, "finite excursion alarms");
+        // A NaN burst must not produce garbage verdicts or heal the episode.
+        for i in 1..=3 {
+            c.begin_cycle(f64::from(i) * 0.1).unwrap();
+            c.update("x", f64::NAN);
+            assert_eq!(c.end_cycle(), 0);
+        }
+        assert_eq!(c.health(0), Some(HealthState::Degraded(1)));
+        assert_eq!(c.inconclusive_cycles(), 3);
+        assert_eq!(c.violations()[0].recovered, None, "no recovery on NaN");
+        // Finite samples again: hysteresis holds for `recover_after` cycles,
+        // then verdicts resume.
+        c.begin_cycle(0.4).unwrap();
+        c.update("x", 5.0);
+        assert_eq!(c.end_cycle(), 0, "first clean cycle still inconclusive");
+        c.begin_cycle(0.5).unwrap();
+        c.update("x", 5.0);
+        assert_eq!(c.end_cycle(), 1, "recovered monitor alarms afresh");
+        assert_eq!(c.health(0), Some(HealthState::Active));
+        let report = c.finish(1.0);
+        assert_eq!(report.inconclusive_cycles, 4);
+    }
+
+    #[test]
+    fn stale_input_degrades_then_suspends() {
+        let cfg = HealthConfig {
+            stale_after: 0.25,
+            quarantine_after: 3,
+            recover_after: 2,
+        };
+        let mut c = OnlineChecker::with_health([bound_assertion(1.0)], cfg);
+        c.begin_cycle(0.0).unwrap();
+        c.update("x", 0.0);
+        c.end_cycle();
+        assert!(c.all_active());
+        // The signal goes dark while cycles keep coming.
+        let mut fired = 0;
+        for i in 1..10 {
+            c.begin_cycle(f64::from(i) * 0.1).unwrap();
+            c.update("other", 0.0);
+            fired += c.end_cycle();
+        }
+        assert_eq!(fired, 0, "dark input never yields a verdict");
+        assert_eq!(c.health(0), Some(HealthState::Suspended));
+        assert!(!c.all_active());
+        // The signal returns: two clean cycles complete the recovery.
+        for i in 10..12 {
+            c.begin_cycle(f64::from(i) * 0.1).unwrap();
+            c.update("x", 0.0);
+            c.end_cycle();
+        }
+        assert_eq!(c.health(0), Some(HealthState::Active));
+    }
+
+    #[test]
+    fn fresh_conditions_are_exempt_from_staleness() {
+        // A Fresh monitor's subject *is* staleness: a health horizon tighter
+        // than its max_age must not mask the alarm behind Inconclusive.
+        let a = Assertion::new(
+            "A13",
+            "gnss fresh",
+            Severity::Critical,
+            Condition::Fresh {
+                signal: "gnss_x".into(),
+                max_age: 0.3,
+            },
+        );
+        let cfg = HealthConfig {
+            stale_after: 0.2,
+            ..HealthConfig::default()
+        };
+        let mut c = OnlineChecker::with_health([a], cfg);
+        c.begin_cycle(0.0).unwrap();
+        c.update("gnss_x", 1.0);
+        c.end_cycle();
+        let mut fired = 0;
+        for i in 1..8 {
+            c.begin_cycle(f64::from(i) * 0.1).unwrap();
+            c.update("other", 0.0);
+            fired += c.end_cycle();
+        }
+        assert_eq!(fired, 1, "staleness alarm fires despite the horizon");
+        assert_eq!(c.health(0), Some(HealthState::Active));
+    }
+
+    #[test]
+    fn open_episode_onset_tracks_standing_alarms() {
+        let a1 = bound_assertion(1.0); // Critical
+        let a2 = Assertion::new(
+            "A2",
+            "y bounded",
+            Severity::Warning,
+            Condition::AtMost {
+                expr: SignalExpr::signal("y").abs(),
+                limit: 1.0,
+            },
+        );
+        let mut c = OnlineChecker::new([a1, a2]);
+        c.begin_cycle(0.0).unwrap();
+        c.update("x", 0.0);
+        c.update("y", 5.0);
+        c.end_cycle();
+        assert_eq!(c.open_episode_onset(Severity::Critical), None);
+        assert_eq!(c.open_episode_onset(Severity::Warning), Some(0.0));
+        c.begin_cycle(0.1).unwrap();
+        c.update("x", 5.0);
+        c.update("y", 0.0);
+        c.end_cycle();
+        assert_eq!(c.open_episode_onset(Severity::Critical), Some(0.1));
+        c.begin_cycle(0.2).unwrap();
+        c.update("x", 0.0);
+        c.end_cycle();
+        assert_eq!(c.open_episode_onset(Severity::Info), None, "all healed");
     }
 }

@@ -17,15 +17,21 @@ pub struct CheckReport {
     pub end_time: f64,
     /// Number of assertions that were monitored.
     pub assertions_checked: usize,
+    /// Monitor-cycles where telemetry health forced an
+    /// [`crate::assertion::Eval::Inconclusive`] verdict (0 on healthy
+    /// streams).
+    pub inconclusive_cycles: u64,
 }
 
 impl CheckReport {
-    /// Creates a report.
+    /// Creates a report (with no inconclusive cycles; the online checker
+    /// stamps its count after construction).
     pub fn new(violations: Vec<Violation>, end_time: f64, assertions_checked: usize) -> Self {
         CheckReport {
             violations,
             end_time,
             assertions_checked,
+            inconclusive_cycles: 0,
         }
     }
 

@@ -58,7 +58,7 @@ fn steady_state_cycles_do_not_allocate() {
     // resulting violation push would — legitimately — allocate).
     for i in 0..50u32 {
         let t = 12.0 + f64::from(i) * 0.01;
-        checker.begin_cycle(t);
+        checker.begin_cycle(t).unwrap();
         for id in &signals {
             checker.update(id.clone(), 0.0);
         }
@@ -74,7 +74,7 @@ fn steady_state_cycles_do_not_allocate() {
     let before = ALLOCATIONS.load(Ordering::Relaxed);
     for i in 50..1050u32 {
         let t = 12.0 + f64::from(i) * 0.01;
-        checker.begin_cycle(t);
+        checker.begin_cycle(t).unwrap();
         for id in &signals {
             checker.update(id.clone(), 0.0);
         }
@@ -88,4 +88,62 @@ fn steady_state_cycles_do_not_allocate() {
         "steady-state begin_cycle/update/end_cycle allocated"
     );
     assert!(checker.violations().is_empty());
+}
+
+#[test]
+fn fault_path_does_not_allocate() {
+    // The telemetry-health layer (poison flags, staleness scan, streak
+    // counters, Inconclusive verdicts) must preserve the zero-allocation
+    // guarantee: degraded cycles are exactly when the monitor must not
+    // misbehave.
+    let config = CatalogConfig::default();
+    let cat = catalog::build(&config);
+    let signals: Vec<SignalId> = catalog::signals(&cat);
+
+    let health = adassure_core::HealthConfig {
+        stale_after: 0.05,
+        quarantine_after: 10,
+        recover_after: 5,
+    };
+    let mut checker = OnlineChecker::with_health(cat.iter().cloned(), health);
+
+    for i in 0..50u32 {
+        let t = 12.0 + f64::from(i) * 0.01;
+        checker.begin_cycle(t).unwrap();
+        for id in &signals {
+            checker.update(id.clone(), 0.0);
+        }
+        checker.end_cycle();
+    }
+    assert_eq!(checker.violations().len(), 0);
+
+    // Counted phase: ten-cycle full dropouts (0.1 s ≫ the 0.05 s horizon,
+    // exercising staleness degradation and the hysteretic recovery in the
+    // twenty live cycles that follow) interleaved with NaN poisoning of
+    // half the catalog every third live cycle.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 50..1050u32 {
+        let t = 12.0 + f64::from(i) * 0.01;
+        checker.begin_cycle(t).unwrap();
+        if (i / 10) % 3 != 2 {
+            for (k, id) in signals.iter().enumerate() {
+                let value = if i % 3 == 0 && k % 2 == 0 {
+                    f64::NAN
+                } else {
+                    0.0
+                };
+                checker.update(id.clone(), value);
+            }
+        }
+        checker.end_cycle();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(after - before, 0, "fault-path cycles allocated");
+    assert_eq!(
+        checker.violations().len(),
+        0,
+        "faults must yield Inconclusive verdicts, not violations"
+    );
+    assert!(checker.inconclusive_cycles() > 0, "faults were exercised");
 }

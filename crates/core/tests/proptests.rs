@@ -1,26 +1,38 @@
 //! Property-based tests of the assertion engine's invariants.
 
+use std::collections::BTreeSet;
+
 use adassure_core::assertion::{Assertion, Condition, Eval, Severity, Temporal};
 use adassure_core::catalog::{CatalogConfig, Thresholds};
 use adassure_core::expr::Env;
 use adassure_core::mining::{mine_bounds, MiningConfig};
 use adassure_core::violation::Violation;
-use adassure_core::{checker, OnlineChecker, SignalExpr};
+use adassure_core::{checker, HealthConfig, OnlineChecker, SignalExpr};
 use adassure_trace::{SignalId, Trace};
 use proptest::prelude::*;
 
 /// The tree-walking temporal monitor the online checker implemented before
-/// catalog compilation, kept verbatim as the differential oracle: it
-/// evaluates [`Condition::eval`] against the by-name [`Env`] every cycle,
-/// with no interning, no bytecode and no dirty-skipping.
+/// catalog compilation, kept as the differential oracle: it evaluates
+/// [`Condition::eval`] against the by-name [`Env`] every cycle, with no
+/// interning, no bytecode and no dirty-skipping. Extended with the same
+/// telemetry-health semantics as the compiled checker (poisoned inputs,
+/// staleness horizon, quarantine and hysteretic recovery), expressed over
+/// signal names instead of slots.
 struct ReferenceChecker {
     env: Env,
+    health_config: HealthConfig,
+    poisoned: BTreeSet<SignalId>,
     monitors: Vec<ReferenceMonitor>,
     violations: Vec<Violation>,
 }
 
 struct ReferenceMonitor {
     assertion: Assertion,
+    inputs: BTreeSet<SignalId>,
+    staleness_exempt: bool,
+    health_active: bool,
+    degraded_streak: u32,
+    clean_streak: u32,
     episode_start: Option<f64>,
     alarmed_this_episode: bool,
     ever_healthy: bool,
@@ -30,11 +42,25 @@ struct ReferenceMonitor {
 
 impl ReferenceChecker {
     fn new(catalog: impl IntoIterator<Item = Assertion>) -> Self {
+        ReferenceChecker::with_health(catalog, HealthConfig::default())
+    }
+
+    fn with_health(
+        catalog: impl IntoIterator<Item = Assertion>,
+        health_config: HealthConfig,
+    ) -> Self {
         ReferenceChecker {
             env: Env::new(),
+            health_config,
+            poisoned: BTreeSet::new(),
             monitors: catalog
                 .into_iter()
                 .map(|assertion| ReferenceMonitor {
+                    inputs: assertion.signals().into_iter().collect(),
+                    staleness_exempt: matches!(assertion.condition, Condition::Fresh { .. }),
+                    health_active: true,
+                    degraded_streak: 0,
+                    clean_streak: 0,
                     assertion,
                     episode_start: None,
                     alarmed_this_episode: false,
@@ -52,7 +78,12 @@ impl ReferenceChecker {
     }
 
     fn update(&mut self, signal: &SignalId, value: f64) {
-        self.env.update(signal, value);
+        if value.is_finite() {
+            self.env.update(signal, value);
+            self.poisoned.remove(signal);
+        } else {
+            self.poisoned.insert(signal.clone());
+        }
     }
 
     fn end_cycle(&mut self) -> usize {
@@ -62,8 +93,40 @@ impl ReferenceChecker {
             if t < monitor.assertion.grace {
                 continue;
             }
-            match monitor.assertion.condition.eval(&self.env) {
-                Eval::Unknown => {
+            let missing = monitor
+                .inputs
+                .iter()
+                .filter(|sig| {
+                    self.poisoned.contains(*sig)
+                        || (!monitor.staleness_exempt
+                            && self
+                                .env
+                                .age(sig)
+                                .is_some_and(|age| age > self.health_config.stale_after))
+                })
+                .count();
+            let eval = if missing > 0 {
+                monitor.clean_streak = 0;
+                monitor.degraded_streak = monitor.degraded_streak.saturating_add(1);
+                monitor.health_active = false;
+                Eval::Inconclusive
+            } else {
+                monitor.degraded_streak = 0;
+                if !monitor.health_active {
+                    monitor.clean_streak = monitor.clean_streak.saturating_add(1);
+                    if monitor.clean_streak >= self.health_config.recover_after {
+                        monitor.health_active = true;
+                        monitor.clean_streak = 0;
+                    }
+                }
+                if monitor.health_active {
+                    monitor.assertion.condition.eval(&self.env)
+                } else {
+                    Eval::Inconclusive
+                }
+            };
+            match eval {
+                Eval::Unknown | Eval::Inconclusive => {
                     monitor.episode_start = None;
                     monitor.alarmed_this_episode = false;
                     monitor.open_violation = None;
@@ -290,7 +353,7 @@ proptest! {
     ) {
         let mut c = OnlineChecker::new([bounded_assertion(limit, Temporal::Sustained(sustain))]);
         for (i, v) in values.iter().enumerate() {
-            c.begin_cycle(i as f64 * 0.01);
+            c.begin_cycle(i as f64 * 0.01).unwrap();
             c.update("x", *v);
             c.end_cycle();
         }
@@ -307,7 +370,7 @@ proptest! {
     ) {
         let mut c = OnlineChecker::new([bounded_assertion(1.5, Temporal::Immediate)]);
         for (i, v) in values.iter().enumerate() {
-            c.begin_cycle(i as f64 * 0.01);
+            c.begin_cycle(i as f64 * 0.01).unwrap();
             c.update("x", *v);
             prop_assert_eq!(c.end_cycle(), 0);
         }
@@ -327,7 +390,7 @@ proptest! {
 
         let mut online = OnlineChecker::new([assertion]);
         for (i, v) in values.iter().enumerate() {
-            online.begin_cycle(i as f64 * 0.01);
+            online.begin_cycle(i as f64 * 0.01).unwrap();
             online.update("x", *v);
             online.end_cycle();
         }
@@ -396,7 +459,60 @@ proptest! {
         for (i, cycle) in cycles.iter().enumerate() {
             // An irregular step keeps grace/sustain boundaries off-grid.
             let t = i as f64 * 0.013;
-            compiled.begin_cycle(t);
+            compiled.begin_cycle(t).unwrap();
+            reference.begin_cycle(t);
+            for &(signal, value) in cycle {
+                let id = SignalId::new(DIFF_SIGNALS[signal]);
+                compiled.update(id.clone(), value);
+                reference.update(&id, value);
+            }
+            prop_assert_eq!(compiled.end_cycle(), reference.end_cycle());
+        }
+        let end_time = cycles.len() as f64 * 0.013;
+        let report = compiled.finish(end_time);
+        let expected = reference.finish(end_time);
+        assert_same_violations(&report.violations, &expected);
+    }
+
+    /// Degraded-telemetry differential property: random catalogs driven by
+    /// fault-injected streams — dropouts (signals absent for stretches),
+    /// NaN/Inf bursts, frozen repeats, duplicate same-cycle samples — never
+    /// panic and produce verdicts bit-identical to the tree-walking
+    /// reference extended with the same health semantics. Small health
+    /// windows make sure quarantine and hysteretic recovery transitions are
+    /// actually crossed.
+    #[test]
+    fn fault_injected_streams_match_reference_health_semantics(
+        catalog in proptest::collection::vec(arb_diff_assertion(), 1..5),
+        cycles in proptest::collection::vec(
+            proptest::collection::vec(
+                // The selector turns ~1 in 4 samples non-finite (NaN/±Inf).
+                (0..DIFF_SIGNALS.len(), -3.0f64..3.0, 0u8..12).prop_map(|(s, v, sel)| {
+                    let v = match sel {
+                        0 => f64::NAN,
+                        1 => f64::INFINITY,
+                        2 => f64::NEG_INFINITY,
+                        _ => v,
+                    };
+                    (s, v)
+                }),
+                0..5,
+            ),
+            1..60,
+        ),
+        stale_after in prop_oneof![
+            Just(f64::INFINITY),
+            0.02f64..0.2,
+        ],
+        quarantine_after in 1u32..5,
+        recover_after in 1u32..5,
+    ) {
+        let health = HealthConfig { stale_after, quarantine_after, recover_after };
+        let mut compiled = OnlineChecker::with_health(catalog.iter().cloned(), health);
+        let mut reference = ReferenceChecker::with_health(catalog.iter().cloned(), health);
+        for (i, cycle) in cycles.iter().enumerate() {
+            let t = i as f64 * 0.013;
+            compiled.begin_cycle(t).unwrap();
             reference.begin_cycle(t);
             for &(signal, value) in cycle {
                 let id = SignalId::new(DIFF_SIGNALS[signal]);

@@ -131,6 +131,7 @@ impl<'a> Campaign<'a> {
         Ok(CampaignReport {
             name: self.name.clone(),
             runs: runs.into_iter().collect::<Result<_, _>>()?,
+            summaries: Vec::new(),
         })
     }
 }

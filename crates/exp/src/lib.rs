@@ -49,4 +49,4 @@ pub mod record;
 pub use campaign::Campaign;
 pub use check::check_traces;
 pub use grid::{AttackSet, Grid, RunSpec};
-pub use record::{CampaignReport, RunRecord};
+pub use record::{CampaignReport, GroupSummary, RunRecord};

@@ -83,6 +83,14 @@ pub struct RunRecord {
     /// Worst `|true cross-track error|` at or after the alarm-start time
     /// (m) — the physical damage of an attacked run.
     pub worst_xtrack_err: f64,
+    /// Telemetry-link fault kind injected on the monitor's input stream,
+    /// or `None` for a clean link.
+    pub fault: Option<String>,
+    /// Per-sample probability of the telemetry fault, when one is active.
+    pub fault_rate: Option<f64>,
+    /// Final guardian state of a guarded run (`"nominal"`, `"degraded"`,
+    /// `"safe_stop"`), or `None` when no guardian was in the loop.
+    pub guard_state: Option<String>,
 }
 
 impl RunRecord {
@@ -121,6 +129,9 @@ impl RunRecord {
             violated_after_start,
             diagnosis: diagnosis::diagnose(report),
             worst_xtrack_err,
+            fault: None,
+            fault_rate: None,
+            guard_state: None,
         }
     }
 
@@ -140,6 +151,25 @@ impl RunRecord {
     }
 }
 
+/// Aggregate detection/false-alarm statistics of one group of runs (e.g.
+/// one fault kind × rate configuration), with deltas against the
+/// campaign's clean-link baseline group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroupSummary {
+    /// The group key (e.g. `"baseline"` or `"dropout@0.20"`).
+    pub group: String,
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// Fraction of *attacked* runs in the group that were detected.
+    pub detection_rate: f64,
+    /// Fraction of *clean* runs in the group that raised an alarm.
+    pub false_alarm_rate: f64,
+    /// `detection_rate` minus the baseline group's.
+    pub detection_delta: f64,
+    /// `false_alarm_rate` minus the baseline group's.
+    pub false_alarm_delta: f64,
+}
+
 /// The structured results of one campaign: a named grid plus the record of
 /// every cell, in cell order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -148,6 +178,9 @@ pub struct CampaignReport {
     pub name: String,
     /// Per-cell records, in grid enumeration order.
     pub runs: Vec<RunRecord>,
+    /// Per-group aggregates, when the campaign computes them (robustness
+    /// sweeps); empty otherwise.
+    pub summaries: Vec<GroupSummary>,
 }
 
 impl CampaignReport {
@@ -199,6 +232,9 @@ mod tests {
             violated_after_start: vec!["A7".into()],
             diagnosis: diagnosis::diagnose_ids(&["A7"].map(adassure_core::AssertionId::new).into()),
             worst_xtrack_err: 1.25,
+            fault: None,
+            fault_rate: None,
+            guard_state: None,
         }
     }
 
@@ -225,6 +261,14 @@ mod tests {
         let report = CampaignReport {
             name: "unit".into(),
             runs: vec![record(Some("gnss_bias"), Some("gnss")), record(None, None)],
+            summaries: vec![GroupSummary {
+                group: "baseline".into(),
+                runs: 2,
+                detection_rate: 1.0,
+                false_alarm_rate: 0.0,
+                detection_delta: 0.0,
+                false_alarm_delta: 0.0,
+            }],
         };
         let json = report.to_json();
         assert!(json.ends_with('\n'));
@@ -237,6 +281,7 @@ mod tests {
         let report = CampaignReport {
             name: "unit".into(),
             runs: vec![record(Some("gnss_bias"), Some("gnss")), record(None, None)],
+            summaries: Vec::new(),
         };
         assert_eq!(report.select(|r| r.attack.is_none()).len(), 1);
         assert_eq!(report.select(|r| r.detected).len(), 1);

@@ -33,6 +33,11 @@ impl ScenarioKind {
         ScenarioKind::Hairpin,
     ];
 
+    /// The scenarios exercised by the guardian experiments: F5 (mitigation)
+    /// and the T5 robustness sweep share this set so their numbers are
+    /// comparable — one straight workload and one with sustained curvature.
+    pub const GUARDIAN_SET: [ScenarioKind; 2] = [ScenarioKind::Straight, ScenarioKind::SCurve];
+
     /// Short snake-case name (stable; used as row keys in reports).
     pub fn name(self) -> &'static str {
         match self {

@@ -75,8 +75,10 @@ pub fn to_csv(trace: &Trace) -> Result<String, TraceError> {
 /// # Errors
 ///
 /// Returns [`TraceError::ParseCsv`] for structural problems (missing header,
-/// ragged rows, unparsable numbers) and propagates series invariant
-/// violations (non-monotonic time) from recording.
+/// ragged rows, unparsable numbers) and [`TraceError::Malformed`] — with the
+/// offending line number — when a row parses but violates a series
+/// invariant (non-monotonic time, infinite value), instead of silently
+/// producing a partial trace.
 pub fn from_csv(text: &str) -> Result<Trace, TraceError> {
     let mut lines = text.lines().enumerate();
     let (_, header) = lines.next().ok_or(TraceError::ParseCsv {
@@ -110,7 +112,12 @@ pub fn from_csv(text: &str) -> Result<Trace, TraceError> {
             if value.is_nan() {
                 continue; // NaN encodes "no sample in this column for this row".
             }
-            trace.try_record(*name, time, value)?;
+            trace
+                .try_record(*name, time, value)
+                .map_err(|err| TraceError::Malformed {
+                    line: line_no,
+                    message: err.to_string(),
+                })?;
         }
         if consumed != names.len() || fields.next().is_some() {
             return Err(TraceError::ParseCsv {
@@ -209,6 +216,29 @@ mod tests {
             from_csv(doc),
             Err(TraceError::ParseCsv { line: 2, .. })
         ));
+    }
+
+    #[test]
+    fn rows_violating_series_invariants_carry_line_context() {
+        // Backwards timestamp on line 3: previously surfaced without the
+        // line number (or, worse, risked a silently partial trace).
+        let doc = "time,a\n1.0,1.0\n0.5,2.0\n";
+        match from_csv(doc) {
+            Err(TraceError::Malformed { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("non-monotonic"), "{message}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // Infinite value on line 2.
+        let doc = "time,a\n0.0,inf\n";
+        match from_csv(doc) {
+            Err(TraceError::Malformed { line, message }) => {
+                assert_eq!(line, 2);
+                assert!(message.contains("non-finite"), "{message}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
     }
 
     #[test]

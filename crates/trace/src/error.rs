@@ -47,6 +47,15 @@ pub enum TraceError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// A CSV row parsed structurally but its content violated a series
+    /// invariant (backwards timestamp, infinite value), so the document
+    /// cannot be ingested as a trace.
+    Malformed {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// The underlying invariant violation, rendered.
+        message: String,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -77,6 +86,9 @@ impl fmt::Display for TraceError {
             }
             TraceError::ParseCsv { line, message } => {
                 write!(f, "csv parse error at line {line}: {message}")
+            }
+            TraceError::Malformed { line, message } => {
+                write!(f, "malformed csv row at line {line}: {message}")
             }
         }
     }

@@ -2,17 +2,36 @@
 //! a runtime-assurance guard.
 //!
 //! [`Guardian`] wraps the full control stack
-//! ([`adassure_control::pipeline::AdStack`]) together with an
-//! in-loop [`OnlineChecker`]. Every cycle it feeds the cycle's signals to
-//! the checker; when an assertion at or above the configured severity
-//! fires, the guardian overrides the stack with a **safe stop**: steering
-//! frozen at its last nominal value, maximum comfortable braking. This is
-//! the natural "from debugging to runtime assurance" extension of the
-//! methodology, evaluated by experiment F5.
+//! ([`adassure_control::pipeline::AdStack`]) together with two in-loop
+//! [`OnlineChecker`]s fed the same (possibly degraded) telemetry:
+//!
+//! * the **primary** checker runs the catalog at its nominal thresholds and
+//!   is the guardian's reporting source;
+//! * the **widened** checker runs the same catalog with every threshold
+//!   scaled by [`GuardianConfig::degraded_threshold_scale`] and acts as the
+//!   confirmation stage for the safe stop.
+//!
+//! The guardian is a three-state machine. In `Nominal` it passes the
+//! stack's controls through unchanged. Any triggering violation — or any
+//! monitor losing telemetry health — moves it to `Degraded`, a limp-home
+//! mode that keeps the nominal steering but governs acceleration so the
+//! vehicle coasts down to [`GuardianConfig::degraded_speed_cap`]. Only when
+//! the *widened* checker holds an open triggering episode for a full
+//! [`GuardianConfig::confirm_window`] does the guardian escalate to
+//! `SafeStop` (steering frozen, maximum comfortable braking). If instead
+//! the telemetry heals and no triggering episode stays open for
+//! [`GuardianConfig::recovery_cycles`] consecutive cycles, the guardian
+//! returns to `Nominal`. This keeps transient link faults (dropouts, NaN
+//! bursts, jitter) from escalating a healthy vehicle into a spurious stop —
+//! the axis experiment T5 sweeps — while a genuine attack still stops the
+//! car within a fraction of a second. This is the natural "from debugging
+//! to runtime assurance" extension of the methodology, evaluated by
+//! experiment F5.
 
+use adassure_attacks::ChannelFaultInjector;
 use adassure_control::pipeline::AdStack;
 use adassure_core::assertion::Severity;
-use adassure_core::{Assertion, OnlineChecker, Violation};
+use adassure_core::{Assertion, HealthConfig, OnlineChecker, Violation};
 use adassure_sim::engine::{DriveCtx, Driver};
 use adassure_sim::vehicle::Controls;
 use adassure_trace::{well_known as sig, Trace};
@@ -20,10 +39,25 @@ use adassure_trace::{well_known as sig, Trace};
 /// Configuration of the guardian's intervention policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GuardianConfig {
-    /// Minimum severity of a violation that triggers the safe stop.
+    /// Minimum severity of a violation that triggers an intervention.
     pub trigger_severity: Severity,
     /// Braking deceleration commanded during the safe stop (m/s², positive).
     pub stop_decel: f64,
+    /// Speed the limp-home governor decays towards while `Degraded` (m/s).
+    pub degraded_speed_cap: f64,
+    /// How long a triggering episode must stay open on the *widened*
+    /// checker before `Degraded` escalates to `SafeStop` (s).
+    pub confirm_window: f64,
+    /// Consecutive clean cycles in `Degraded` before returning to
+    /// `Nominal`.
+    pub recovery_cycles: u32,
+    /// Threshold scale factor of the widened confirmation catalog. Factors
+    /// above 1 *loosen* every condition: `AtMost` limits and `Fresh`
+    /// horizons grow, and the catalog's `AtLeast` floors are negative, so
+    /// they sink further.
+    pub degraded_threshold_scale: f64,
+    /// Telemetry-health policy of both in-loop checkers.
+    pub health: HealthConfig,
 }
 
 impl Default for GuardianConfig {
@@ -31,6 +65,15 @@ impl Default for GuardianConfig {
         GuardianConfig {
             trigger_severity: Severity::Critical,
             stop_decel: 4.0,
+            degraded_speed_cap: 4.0,
+            confirm_window: 0.45,
+            recovery_cycles: 50,
+            degraded_threshold_scale: 1.5,
+            health: HealthConfig {
+                stale_after: 1.0,
+                quarantine_after: 200,
+                recover_after: 25,
+            },
         }
     }
 }
@@ -40,7 +83,14 @@ impl Default for GuardianConfig {
 pub enum GuardState {
     /// Passing the stack's controls through unchanged.
     Nominal,
-    /// Safe stop engaged.
+    /// Limp-home mode: nominal steering, speed governed down to the
+    /// configured cap, waiting for the widened checker to either confirm
+    /// the fault or for the telemetry to heal.
+    Degraded {
+        /// Time the degraded mode was entered (s).
+        since: f64,
+    },
+    /// Safe stop engaged (terminal).
     SafeStop {
         /// Time the stop was engaged (s).
         since: f64,
@@ -49,17 +99,23 @@ pub enum GuardState {
     },
 }
 
-/// A monitored control stack with safe-stop fallback.
+/// A monitored control stack with limp-home and safe-stop fallbacks.
 #[derive(Debug)]
 pub struct Guardian {
     stack: AdStack,
-    checker: OnlineChecker,
+    /// Nominal-threshold checker; the guardian's reporting source.
+    primary: OnlineChecker,
+    /// Loosened-threshold checker confirming escalation to the safe stop.
+    widened: OnlineChecker,
     config: GuardianConfig,
     state: GuardState,
     trigger: Option<Violation>,
+    clean_streak: u32,
+    degraded_cycles: u64,
+    fault: Option<ChannelFaultInjector>,
 }
 
-/// Signals the guardian forwards from the trace into the in-loop checker.
+/// Signals the guardian forwards from the trace into the in-loop checkers.
 /// (Command signals are fed directly from the stack's output, because the
 /// engine records them only *after* the driver returns.)
 const FORWARDED: &[&str] = &[
@@ -95,13 +151,30 @@ impl Guardian {
         catalog: impl IntoIterator<Item = Assertion>,
         config: GuardianConfig,
     ) -> Self {
+        let catalog: Vec<Assertion> = catalog.into_iter().collect();
+        let widened: Vec<Assertion> = catalog
+            .iter()
+            .map(|a| a.with_scaled_threshold(config.degraded_threshold_scale))
+            .collect();
         Guardian {
             stack,
-            checker: OnlineChecker::new(catalog),
+            primary: OnlineChecker::with_health(catalog, config.health),
+            widened: OnlineChecker::with_health(widened, config.health),
             config,
             state: GuardState::Nominal,
             trigger: None,
+            clean_streak: 0,
+            degraded_cycles: 0,
+            fault: None,
         }
+    }
+
+    /// Routes every forwarded telemetry sample through `injector` before it
+    /// reaches the in-loop checkers, modelling a faulty monitor link. The
+    /// vehicle and its control stack are unaffected.
+    pub fn with_telemetry_fault(mut self, injector: ChannelFaultInjector) -> Self {
+        self.fault = Some(injector);
+        self
     }
 
     /// Current operating state.
@@ -109,20 +182,38 @@ impl Guardian {
         self.state
     }
 
-    /// The violation that triggered the safe stop, if engaged.
+    /// The widened-checker violation that confirmed the safe stop, if
+    /// engaged.
     pub fn trigger(&self) -> Option<&Violation> {
         self.trigger.as_ref()
     }
 
-    /// All violations observed so far (triggering or not).
+    /// All violations observed by the primary checker so far (triggering or
+    /// not).
     pub fn violations(&self) -> &[Violation] {
-        self.checker.violations()
+        self.primary.violations()
     }
 
-    /// Consumes the guardian, returning the wrapped stack and the
-    /// monitor's final report at `end_time`.
+    /// Cycles spent in [`GuardState::Degraded`] so far.
+    pub fn degraded_cycles(&self) -> u64 {
+        self.degraded_cycles
+    }
+
+    /// The telemetry-fault injector, when one was installed.
+    pub fn telemetry_fault(&self) -> Option<&ChannelFaultInjector> {
+        self.fault.as_ref()
+    }
+
+    /// Consumes the guardian, returning the primary monitor's final report
+    /// at `end_time`.
     pub fn into_report(self, end_time: f64) -> adassure_core::CheckReport {
-        self.checker.finish(end_time)
+        self.primary.finish(end_time)
+    }
+
+    /// Feeds one delivered telemetry value to both checkers.
+    fn feed(&mut self, name: &str, value: f64) {
+        self.primary.update(name, value);
+        self.widened.update(name, value);
     }
 }
 
@@ -130,11 +221,16 @@ impl Driver for Guardian {
     fn control(&mut self, ctx: &DriveCtx<'_>, trace: &mut Trace) -> Controls {
         let nominal = self.stack.control(ctx, trace);
 
-        // Feed this cycle's signals to the in-loop checker. Sensor and
+        // Feed this cycle's signals to the in-loop checkers. Sensor and
         // pipeline signals were recorded into the trace this cycle (by the
         // engine and the stack respectively); command signals come from the
         // controls we are about to return.
-        self.checker.begin_cycle(ctx.time);
+        self.primary
+            .begin_cycle(ctx.time)
+            .expect("engine cycles are strictly time-ordered");
+        self.widened
+            .begin_cycle(ctx.time)
+            .expect("engine cycles are strictly time-ordered");
         for name in FORWARDED {
             if let Some(sample) = trace.series_by_name(name).and_then(|s| s.last()) {
                 // Actuator feedback is recorded by the engine *after* the
@@ -147,35 +243,98 @@ impl Driver for Guardian {
                 } else {
                     sample.time == ctx.time
                 };
-                if fresh_enough {
-                    self.checker.update(*name, sample.value);
+                if !fresh_enough {
+                    continue;
+                }
+                match &mut self.fault {
+                    Some(injector) => {
+                        let delivered = injector.apply(name, ctx.time, sample.value);
+                        for value in delivered.as_slice() {
+                            self.primary.update(*name, *value);
+                            self.widened.update(*name, *value);
+                        }
+                    }
+                    None => self.feed(name, sample.value),
                 }
             }
         }
-        self.checker.update(sig::STEER_CMD, nominal.steer);
-        self.checker.update(sig::ACCEL_CMD, nominal.accel);
-        let fresh = self.checker.end_cycle();
+        // The guardian observes its own output directly; the telemetry link
+        // sits between the stack and the monitor, not here.
+        self.feed(sig::STEER_CMD, nominal.steer);
+        self.feed(sig::ACCEL_CMD, nominal.accel);
+        let fresh = self.primary.end_cycle();
+        self.widened.end_cycle();
 
-        if fresh > 0 && self.state == GuardState::Nominal {
-            let triggering = self
-                .checker
+        let trigger_severity = self.config.trigger_severity;
+        let fresh_trigger = fresh > 0
+            && self
+                .primary
                 .violations()
                 .iter()
                 .rev()
                 .take(fresh)
-                .find(|v| v.severity >= self.config.trigger_severity)
-                .cloned();
-            if let Some(violation) = triggering {
-                self.state = GuardState::SafeStop {
-                    since: ctx.time,
-                    held_steer: nominal.steer,
-                };
-                self.trigger = Some(violation);
+                .any(|v| v.severity >= trigger_severity);
+
+        match self.state {
+            GuardState::Nominal => {
+                if fresh_trigger || !self.primary.all_active() {
+                    self.state = GuardState::Degraded { since: ctx.time };
+                    self.clean_streak = 0;
+                }
             }
+            GuardState::Degraded { .. } => {
+                let confirmed = self
+                    .widened
+                    .open_episode_onset(trigger_severity)
+                    .is_some_and(|onset| ctx.time - onset >= self.config.confirm_window);
+                if confirmed {
+                    self.trigger = self
+                        .widened
+                        .violations()
+                        .iter()
+                        .rev()
+                        .find(|v| v.severity >= trigger_severity && v.recovered.is_none())
+                        .cloned();
+                    self.state = GuardState::SafeStop {
+                        since: ctx.time,
+                        held_steer: nominal.steer,
+                    };
+                } else {
+                    let clean = !fresh_trigger
+                        && self.primary.all_active()
+                        && self.primary.open_episode_onset(trigger_severity).is_none()
+                        && self.widened.open_episode_onset(trigger_severity).is_none();
+                    if clean {
+                        self.clean_streak += 1;
+                        if self.clean_streak >= self.config.recovery_cycles {
+                            self.state = GuardState::Nominal;
+                            self.clean_streak = 0;
+                        }
+                    } else {
+                        self.clean_streak = 0;
+                    }
+                }
+            }
+            GuardState::SafeStop { .. } => {}
         }
 
         match self.state {
             GuardState::Nominal => nominal,
+            GuardState::Degraded { .. } => {
+                self.degraded_cycles += 1;
+                // Govern towards the cap using the stack's own speed
+                // estimate from the trace — the telemetry link faults only
+                // the monitor's copy, not the stack's record.
+                let speed = trace
+                    .series_by_name(sig::EST_SPEED)
+                    .and_then(|s| s.last())
+                    .map_or(0.0, |s| s.value);
+                let governed = nominal
+                    .accel
+                    .min(self.config.degraded_speed_cap - speed)
+                    .max(-self.config.stop_decel);
+                Controls::new(nominal.steer, governed)
+            }
             GuardState::SafeStop { held_steer, .. } => {
                 Controls::new(held_steer, -self.config.stop_decel)
             }
@@ -186,7 +345,7 @@ impl Driver for Guardian {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adassure_attacks::{campaign::AttackSpec, AttackKind, Window};
+    use adassure_attacks::{campaign::AttackSpec, AttackKind, FaultKind, FaultSpec, Window};
     use adassure_control::ControllerKind;
     use adassure_core::catalog::{self, CatalogConfig};
     use adassure_scenarios::{run, Scenario, ScenarioKind};
@@ -210,6 +369,7 @@ mod tests {
         assert!(out.reached_goal);
         assert_eq!(guardian.state(), GuardState::Nominal);
         assert!(guardian.trigger().is_none());
+        assert_eq!(guardian.degraded_cycles(), 0);
     }
 
     #[test]
@@ -230,9 +390,13 @@ mod tests {
                 assert!(since >= scenario.attack_start);
                 assert!(since < scenario.attack_start + 1.0, "engaged at {since}");
             }
-            GuardState::Nominal => panic!("guardian must engage under a jump attack"),
+            other => panic!("guardian must stop under a jump attack, got {other:?}"),
         }
         assert!(guardian.trigger().is_some());
+        assert!(
+            guardian.degraded_cycles() > 0,
+            "the stop is reached through the degraded mode"
+        );
         assert!(
             out.final_state.speed < 0.1,
             "vehicle should be stopped, speed {}",
@@ -286,5 +450,72 @@ mod tests {
         let end = out.trace.span().unwrap().1;
         let report = guardian.into_report(end);
         assert!(report.violations_of("A13").next().is_some());
+    }
+
+    #[test]
+    fn monitor_link_dropout_does_not_false_stop() {
+        // A clean vehicle whose *telemetry link* loses 20% of its samples,
+        // across the whole F5 scenario set: the guardian may degrade
+        // transiently but must never stop the car, and must be back to
+        // nominal once the fault clears.
+        for kind in ScenarioKind::GUARDIAN_SET {
+            let scenario = Scenario::of_kind(kind).unwrap();
+            let fault = FaultSpec::new(
+                FaultKind::Dropout,
+                0.2,
+                Window::new(scenario.attack_start, scenario.attack_start + 30.0),
+            );
+            let mut guardian = guardian_for(&scenario).with_telemetry_fault(fault.injector(5));
+            let out = run::engine_for(&scenario, 5).run(&mut guardian).unwrap();
+            assert!(
+                out.reached_goal,
+                "{kind}: a governed run still reaches the goal"
+            );
+            assert_eq!(
+                guardian.state(),
+                GuardState::Nominal,
+                "{kind}: dropout alone must not strand the guardian"
+            );
+            assert!(
+                guardian.trigger().is_none(),
+                "{kind}: and must not stop the car"
+            );
+            let inj = guardian.telemetry_fault().unwrap();
+            assert!(inj.dropped() > 0, "{kind}: the fault must actually fire");
+            for v in guardian.violations() {
+                assert!(v.value.is_finite(), "{kind}: values stay finite: {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_burst_degrades_then_recovers() {
+        // NaN storms on the link poison monitor inputs: the checkers go
+        // inconclusive instead of raising Critical alarms, the guardian
+        // limps home, and once the storm passes it returns to nominal.
+        let scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+        let fault = FaultSpec::new(
+            FaultKind::NanBurst,
+            0.3,
+            Window::new(scenario.attack_start, scenario.attack_start + 8.0),
+        );
+        let mut guardian = guardian_for(&scenario).with_telemetry_fault(fault.injector(9));
+        let out = run::engine_for(&scenario, 9).run(&mut guardian).unwrap();
+        assert_eq!(
+            guardian.state(),
+            GuardState::Nominal,
+            "guardian must recover once the storm passes"
+        );
+        assert!(guardian.trigger().is_none(), "no safe stop");
+        assert!(
+            guardian.degraded_cycles() > 0,
+            "poisoned telemetry must have degraded the guardian"
+        );
+        let end = out.trace.span().unwrap().1;
+        let report = guardian.into_report(end);
+        assert!(
+            report.inconclusive_cycles > 0,
+            "poisoned cycles surface as inconclusive, not as violations"
+        );
     }
 }

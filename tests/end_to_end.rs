@@ -140,7 +140,7 @@ fn offline_report_matches_online_monitoring() {
     let mut i = 0;
     while i < events.len() {
         let t = events[i].0;
-        online.begin_cycle(t);
+        online.begin_cycle(t).unwrap();
         while i < events.len() && events[i].0 == t {
             online.update(events[i].1.clone(), events[i].2);
             i += 1;
