@@ -14,6 +14,15 @@ cargo test --workspace -q
 echo "== table5_robustness smoke slice (seconds-scale, seeded) =="
 cargo run --release -q -p adassure-bench --bin table5_robustness -- --smoke
 
+echo "== observability differential (JSONL vs NullSink, bit-identical reports) =="
+cargo test -q -p adassure-exp --test obs_differential
+
+echo "== observability smoke: obs_dump event log + jsonl_check validation =="
+ADASSURE_OBS=1 ADASSURE_OBS_PATH=target/ci_events.jsonl \
+    cargo run --release -q -p adassure-bench --bin obs_dump -- --smoke \
+    > target/ci_obs_prometheus.txt
+cargo run --release -q -p adassure-bench --bin jsonl_check -- target/ci_events.jsonl
+
 echo "== cargo bench --no-run (benchmarks stay compilable) =="
 cargo bench --workspace --no-run
 

@@ -22,8 +22,9 @@ use std::time::Instant;
 use adassure_bench::{catalog_for, run_clean};
 use adassure_control::ControllerKind;
 use adassure_core::catalog::{self, CatalogConfig};
-use adassure_core::{checker, OnlineChecker};
+use adassure_core::{checker, HealthConfig, OnlineChecker};
 use adassure_exp::{check_traces, par};
+use adassure_obs::{JsonlWriter, ObsConfig};
 use adassure_scenarios::{Scenario, ScenarioKind};
 use adassure_trace::{SignalId, Trace};
 use serde::Serialize;
@@ -42,6 +43,15 @@ struct Report {
     online: Comparison,
     offline: Comparison,
     offline_batch: Batch,
+    obs_overhead: ObsOverhead,
+}
+
+#[derive(Serialize)]
+struct ObsOverhead {
+    id: &'static str,
+    plain_ns: f64,
+    observed_ns: f64,
+    overhead_pct: f64,
 }
 
 #[derive(Serialize)]
@@ -62,7 +72,14 @@ struct Batch {
 
 fn main() {
     let online_ns = measure_online();
+    let observed_ns = measure_online_observed();
     let (offline_ns, batch) = measure_offline();
+    let obs_overhead = ObsOverhead {
+        id: "online_checker/100_cycles_16_assertions+jsonl",
+        plain_ns: online_ns,
+        observed_ns,
+        overhead_pct: 100.0 * (observed_ns - online_ns) / online_ns,
+    };
 
     let report = Report {
         benchmark: "checker_throughput",
@@ -81,6 +98,7 @@ fn main() {
             speedup: BASELINE_OFFLINE_NS / offline_ns,
         },
         offline_batch: batch,
+        obs_overhead,
     };
 
     println!(
@@ -98,6 +116,10 @@ fn main() {
         report.offline_batch.wall_ms,
         report.offline_batch.traces_per_sec
     );
+    println!(
+        "obs    : {:>12.0} ns/iter with metrics+JSONL ({:+.1}% over plain)",
+        report.obs_overhead.observed_ns, report.obs_overhead.overhead_pct
+    );
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write("BENCH_checker.json", json + "\n").expect("write BENCH_checker.json");
@@ -107,6 +129,25 @@ fn main() {
 /// The criterion online workload: warmed checker, then 99 cycles updating
 /// all 30 well-known signals. Returns best mean ns per 99-cycle iteration.
 fn measure_online() -> f64 {
+    measure_online_with(|cat| OnlineChecker::new(cat.iter().cloned()))
+}
+
+/// The same workload with the full observability layer attached: verdict
+/// counters, transition grids, the default 1-in-64 timing sample and a
+/// JSONL event sink (into `io::sink`, so the cost measured is
+/// serialization, not disk).
+fn measure_online_observed() -> f64 {
+    measure_online_with(|cat| {
+        OnlineChecker::with_observability(
+            cat.iter().cloned(),
+            HealthConfig::default(),
+            &ObsConfig::enabled(),
+            Box::new(JsonlWriter::new(std::io::sink())),
+        )
+    })
+}
+
+fn measure_online_with(make: impl Fn(&[adassure_core::Assertion]) -> OnlineChecker) -> f64 {
     let cat = catalog::build(&CatalogConfig::default().with_goal_distance(300.0));
     let signals: Vec<SignalId> = adassure_trace::well_known::ALL
         .iter()
@@ -129,7 +170,7 @@ fn measure_online() -> f64 {
         let iters = 200u32;
         let mut total = 0.0;
         for _ in 0..iters {
-            let mut checker = OnlineChecker::new(cat.iter().cloned());
+            let mut checker = make(&cat);
             checker.begin_cycle(0.0).unwrap();
             for s in &signals {
                 checker.update(s.clone(), 0.1);

@@ -1,0 +1,115 @@
+//! Validates a structured observability event log (`.jsonl`):
+//!
+//! * every line parses as exactly one JSON **object**;
+//! * every object carries a `"kind"` string and a numeric `"run"`;
+//! * within each run, the `"t"` timestamps are monotone non-decreasing
+//!   (events are emitted in cycle order, so a regression here means the
+//!   log was reordered or interleaved incorrectly).
+//!
+//! Usage: `jsonl_check <events.jsonl>`; exits non-zero on the first
+//! malformed file, printing every violation found.
+
+use std::process::ExitCode;
+
+use serde::de::Content;
+
+fn field<'a>(object: &'a [(String, Content)], name: &str) -> Option<&'a Content> {
+    object.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+fn as_u64(content: &Content) -> Option<u64> {
+    match *content {
+        Content::U64(v) => Some(v),
+        Content::I64(v) => u64::try_from(v).ok(),
+        _ => None,
+    }
+}
+
+fn as_f64(content: &Content) -> Option<f64> {
+    match *content {
+        Content::F64(v) => Some(v),
+        Content::U64(v) => Some(v as f64),
+        Content::I64(v) => Some(v as f64),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: jsonl_check <events.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("jsonl_check: cannot read {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut errors = 0usize;
+    let mut lines = 0usize;
+    // Last timestamp seen per run id, in first-seen order (run count is
+    // small: one per campaign cell).
+    let mut last_t: Vec<(u64, f64)> = Vec::new();
+    let complain = |line: usize, message: String| {
+        eprintln!("{path}:{line}: {message}");
+    };
+
+    for (i, line) in text.lines().enumerate() {
+        let lineno = i + 1;
+        lines += 1;
+        let object = match serde_json::parse_content(line) {
+            Ok(Content::Map(fields)) => fields,
+            Ok(other) => {
+                complain(lineno, format!("not a JSON object: {}", other.kind()));
+                errors += 1;
+                continue;
+            }
+            Err(err) => {
+                complain(lineno, format!("does not parse as JSON: {err}"));
+                errors += 1;
+                continue;
+            }
+        };
+        if !matches!(field(&object, "kind"), Some(Content::String(_))) {
+            complain(lineno, "missing string field \"kind\"".to_owned());
+            errors += 1;
+        }
+        let Some(run) = field(&object, "run").and_then(as_u64) else {
+            complain(lineno, "missing numeric field \"run\"".to_owned());
+            errors += 1;
+            continue;
+        };
+        // A null `t` encodes a non-finite timestamp; it is legal but
+        // excluded from the monotonicity check.
+        let Some(t) = field(&object, "t").and_then(as_f64) else {
+            continue;
+        };
+        match last_t.iter_mut().find(|(r, _)| *r == run) {
+            Some((_, last)) => {
+                if t < *last {
+                    complain(
+                        lineno,
+                        format!("run {run}: timestamp {t} regresses below {last}"),
+                    );
+                    errors += 1;
+                } else {
+                    *last = t;
+                }
+            }
+            None => last_t.push((run, t)),
+        }
+    }
+
+    if errors == 0 {
+        println!(
+            "jsonl_check: {path}: {lines} events across {} runs, all valid",
+            last_t.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("jsonl_check: {path}: {errors} violation(s) in {lines} lines");
+        ExitCode::FAILURE
+    }
+}

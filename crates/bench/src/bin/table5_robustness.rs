@@ -23,6 +23,7 @@ use adassure_control::ControllerKind;
 use adassure_exp::campaign::standard_catalog;
 use adassure_exp::grid::AttackSet;
 use adassure_exp::{par, CampaignReport, Grid, GroupSummary, RunRecord, RunSpec};
+use adassure_obs::MetricsSnapshot;
 use adassure_scenarios::{run, Scenario, ScenarioKind};
 
 /// One telemetry-link configuration of the sweep: `None` is the clean
@@ -37,8 +38,9 @@ fn config_label(config: FaultConfig) -> String {
 }
 
 /// Executes one grid cell with the guarded stack and an optionally faulty
-/// telemetry link.
-fn run_guarded(config: FaultConfig, spec: &RunSpec) -> RunRecord {
+/// telemetry link, returning the record plus the guardian's final metrics
+/// (checker counters + mode-transition grid).
+fn run_guarded(config: FaultConfig, spec: &RunSpec) -> (RunRecord, MetricsSnapshot) {
     let scenario = Scenario::of_kind(spec.scenario).expect("library scenario");
     let stack_config = run::stack_config(&scenario, spec.controller).with_estimator(spec.estimator);
     let stack = AdStack::new(stack_config, scenario.track.clone());
@@ -67,12 +69,12 @@ fn run_guarded(config: FaultConfig, spec: &RunSpec) -> RunRecord {
         GuardState::SafeStop { .. } => "safe_stop",
     };
     let end = out.trace.span().map_or(scenario.duration, |(_, end)| end);
-    let report = guardian.into_report(end);
+    let (report, metrics) = guardian.into_report_observed(end);
     let mut record = RunRecord::from_run(spec, &out, &report);
     record.fault = config.map(|(kind, _)| kind.name().to_owned());
     record.fault_rate = config.map(|(_, rate)| rate);
     record.guard_state = Some(guard_state.to_owned());
-    record
+    (record, metrics)
 }
 
 /// Detection rate over attacked runs and false-alarm rate over clean runs.
@@ -138,7 +140,19 @@ fn main() {
         .iter()
         .flat_map(|config| cells.iter().map(|cell| (*config, *cell)))
         .collect();
-    let runs = par::map(&jobs, |(config, spec)| run_guarded(*config, spec));
+    let outcomes = par::map(&jobs, |(config, spec)| run_guarded(*config, spec));
+    // Deterministic roll-up: merge per-run metrics in job order (the same
+    // order whatever ADASSURE_THREADS says) and record each detection
+    // latency.
+    let mut merged = MetricsSnapshot::empty();
+    let mut runs: Vec<RunRecord> = Vec::with_capacity(outcomes.len());
+    for (record, metrics) in outcomes {
+        merged.merge(&metrics);
+        if let Some(latency) = record.detection_latency {
+            merged.detection_latency_s.record(latency);
+        }
+        runs.push(record);
+    }
 
     // Per-configuration aggregates, with deltas against the clean link.
     let records_of = |config: FaultConfig| -> Vec<&RunRecord> {
@@ -211,6 +225,7 @@ fn main() {
         name: name.to_owned(),
         runs,
         summaries,
+        obs: merged.summary(),
     };
     let path = report.write_json("results").expect("write results json");
     println!("\nwrote {}", path.display());

@@ -13,10 +13,11 @@
 //!   callers that need one (overhead harnesses, or [`check_events`] to
 //!   check one stream against many catalogs without re-sorting).
 
+use adassure_obs::{EventSink, MetricsSnapshot, NullSink, ObsConfig};
 use adassure_trace::{SignalId, Trace};
 
 use crate::assertion::Assertion;
-use crate::online::OnlineChecker;
+use crate::online::{HealthConfig, OnlineChecker};
 use crate::report::CheckReport;
 
 /// One flattened trace sample: `(time, signal, value)`.
@@ -127,7 +128,37 @@ pub fn for_each_cycle(trace: &Trace, mut f: impl FnMut(f64, &[(&SignalId, f64)])
 /// assert!(report.is_clean());
 /// ```
 pub fn check(catalog: &[Assertion], trace: &Trace) -> CheckReport {
-    let mut checker = OnlineChecker::new(catalog.iter().cloned());
+    check_observed(
+        catalog,
+        trace,
+        0,
+        &ObsConfig::disabled(),
+        Box::new(NullSink),
+    )
+    .0
+}
+
+/// [`check`] with observability: replays `trace` through a checker whose
+/// events (stamped with run id `run`, filtered per `obs`) go to `sink`,
+/// and returns the report together with the final metrics and the sink.
+///
+/// The replayed verdicts are identical to [`check`]'s by construction —
+/// observability only *reads* monitor state — which the campaign
+/// differential test asserts end to end.
+pub fn check_observed(
+    catalog: &[Assertion],
+    trace: &Trace,
+    run: u64,
+    obs: &ObsConfig,
+    sink: Box<dyn EventSink>,
+) -> (CheckReport, MetricsSnapshot, Option<Box<dyn EventSink>>) {
+    let mut checker = OnlineChecker::with_observability(
+        catalog.iter().cloned(),
+        HealthConfig::default(),
+        obs,
+        sink,
+    );
+    checker.set_run_id(run);
     for_each_cycle(trace, |t, cycle| {
         // A Trace rejects non-monotone and non-finite times per series, and
         // the sweep merges them in ascending order.
@@ -140,7 +171,7 @@ pub fn check(catalog: &[Assertion], trace: &Trace) -> CheckReport {
         checker.end_cycle();
     });
     let end = trace.span().map_or(0.0, |(_, b)| b);
-    checker.finish(end)
+    checker.finish_observed(end)
 }
 
 /// Checks an already-flattened event stream (from [`events`]) against
@@ -332,6 +363,40 @@ mod tests {
             check_events(&catalog, &stream, end),
             check(&catalog, &trace)
         );
+    }
+
+    #[test]
+    fn check_observed_matches_check_and_counts() {
+        use adassure_obs::{Event as ObsEvent, VecSink};
+
+        let mut trace = Trace::new();
+        for i in 0..100 {
+            let t = f64::from(i) * 0.01;
+            trace.record("x", t, if t < 0.5 { 0.0 } else { 5.0 });
+        }
+        let catalog = [bound(1.0)];
+        let baseline = check(&catalog, &trace);
+        let (report, metrics, sink) = check_observed(
+            &catalog,
+            &trace,
+            7,
+            &ObsConfig::enabled(),
+            Box::new(VecSink::default()),
+        );
+        assert_eq!(report, baseline, "observability must not perturb verdicts");
+        assert_eq!(metrics.cycles, 100);
+        let a = &metrics.assertions[0];
+        assert_eq!(a.id, "A1");
+        assert_eq!(a.verdicts.total(), 100);
+        assert_eq!(a.verdicts.pass, 50);
+        assert_eq!(a.verdicts.violated, 50);
+        assert_eq!(a.episodes, 1);
+        assert_eq!(a.flips, 2, "unknown→pass, pass→violated");
+        let events = sink.expect("sink returned").take_events();
+        assert_eq!(metrics.events_emitted, events.len() as u64);
+        assert!(events.iter().all(|e| e.run() == 7));
+        assert!(matches!(events.first(), Some(ObsEvent::RunStart { .. })));
+        assert!(matches!(events.last(), Some(ObsEvent::RunEnd { .. })));
     }
 
     #[test]

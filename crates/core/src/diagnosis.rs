@@ -164,16 +164,31 @@ const IMU_SIGNATURE: [&str; 1] = ["A8"];
 /// Compass signature check.
 const COMPASS_SIGNATURE: [&str; 1] = ["A14"];
 
-/// Diagnoses from the set of violated assertion ids.
+/// Diagnoses from the set of violated assertion ids, considering every
+/// cause in [`CauseTag::ALL`].
 pub fn diagnose_ids(violated: &BTreeSet<AssertionId>) -> Diagnosis {
-    let mut scores: Vec<(CauseTag, f64)> = CauseTag::ALL.iter().map(|&c| (c, 0.0)).collect();
+    diagnose_ids_with_candidates(violated, &CauseTag::ALL)
+}
+
+/// Diagnoses from the set of violated assertion ids against a restricted
+/// candidate hypothesis space (ablations and targeted triage narrow the
+/// cause set). Evidence weight pointing at a cause outside `candidates`
+/// is discarded — the remaining weights are renormalised over the
+/// candidates, and the ranking never contains a non-candidate cause.
+pub fn diagnose_ids_with_candidates(
+    violated: &BTreeSet<AssertionId>,
+    candidates: &[CauseTag],
+) -> Diagnosis {
+    let mut scores: Vec<(CauseTag, f64)> = candidates.iter().map(|&c| (c, 0.0)).collect();
     for id in violated {
         for &(cause, w) in evidence(id.as_str()) {
-            let slot = scores
-                .iter_mut()
-                .find(|(c, _)| *c == cause)
-                .expect("all causes present");
-            slot.1 += w;
+            // Evidence for a cause outside the candidate set has no slot to
+            // land in; skip it. (This used to be an
+            // `.expect("all causes present")`, which panicked on the first
+            // evidence row mentioning a non-candidate cause.)
+            if let Some(slot) = scores.iter_mut().find(|(c, _)| *c == cause) {
+                slot.1 += w;
+            }
         }
     }
 
@@ -299,5 +314,46 @@ mod tests {
     fn unknown_assertion_ids_contribute_nothing() {
         let d = diagnose_ids(&ids(&["Z9"]));
         assert!(d.ranking.is_empty());
+    }
+
+    #[test]
+    fn restricted_candidates_skip_foreign_evidence() {
+        // Regression: A1's evidence row spreads weight over all five
+        // causes, so with a single-candidate hypothesis space the old
+        // accumulation hit `.expect("all causes present")` and panicked on
+        // the first foreign cause. Foreign weight must be skipped and the
+        // remainder renormalised over the candidates.
+        let d = diagnose_ids_with_candidates(&ids(&["A1"]), &[CauseTag::GnssChannel]);
+        assert_eq!(d.ranking.len(), 1);
+        assert_eq!(d.top(), Some(CauseTag::GnssChannel));
+        assert!((d.ranking[0].score - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn restricted_candidates_never_rank_foreign_causes() {
+        let d = diagnose_ids_with_candidates(
+            &ids(&["A6", "A7", "A11"]),
+            &[CauseTag::WheelSpeedChannel, CauseTag::ControlLoop],
+        );
+        assert!(d
+            .ranking
+            .iter()
+            .all(|c| matches!(c.cause, CauseTag::WheelSpeedChannel | CauseTag::ControlLoop)));
+        assert_eq!(d.top(), Some(CauseTag::WheelSpeedChannel));
+    }
+
+    #[test]
+    fn empty_candidate_set_gives_empty_diagnosis() {
+        let d = diagnose_ids_with_candidates(&ids(&["A7"]), &[]);
+        assert!(d.ranking.is_empty());
+    }
+
+    #[test]
+    fn full_candidate_set_matches_diagnose_ids() {
+        let violated = ids(&["A6", "A7", "A11", "A13"]);
+        assert_eq!(
+            diagnose_ids_with_candidates(&violated, &CauseTag::ALL),
+            diagnose_ids(&violated)
+        );
     }
 }

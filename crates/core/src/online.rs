@@ -37,7 +37,12 @@
 //! finite-valued streams.
 
 use std::fmt;
+use std::time::Instant;
 
+use adassure_obs::{
+    AssertionStats, Event as ObsEvent, EventFilter, EventSink, Health as ObsHealth, Histogram,
+    Label, MetricsSnapshot, ObsConfig, TransitionGrid, Verdict as ObsVerdict,
+};
 use adassure_trace::SignalId;
 
 use crate::assertion::{Assertion, Eval, Severity, Temporal};
@@ -142,6 +147,10 @@ struct MonitorState {
     /// Index into the violation list of this episode's alarm, so recovery
     /// can be stamped when the condition heals.
     open_violation: Option<usize>,
+    /// Assertion id as an inline label, so events carry no heap strings.
+    label: Label,
+    /// Verdict of the previous cycle, for flip counting/events.
+    last_verdict: ObsVerdict,
 }
 
 /// The incremental checker.
@@ -186,6 +195,28 @@ pub struct OnlineChecker {
     stack: Vec<f64>,
     violations: Vec<Violation>,
     cycle_open: bool,
+    /// Per-assertion observability counters, parallel to `monitors`.
+    /// Allocated once at construction; bumped in place afterwards.
+    stats: Box<[AssertionStats]>,
+    /// Health-state transitions across all monitors.
+    health_grid: TransitionGrid,
+    /// Wall-clock `end_cycle` latency, sampled every `timing_mask + 1`
+    /// cycles. Excluded from deterministic summaries.
+    eval_ns: Histogram,
+    /// Cycles closed so far.
+    cycles: u64,
+    /// `cycle & timing_mask == 0` → take a wall-clock timing sample.
+    timing_mask: u64,
+    /// Event destination; `None` keeps observability down to counters.
+    sink: Option<Box<dyn EventSink>>,
+    /// Severity/sampling filter applied before the sink.
+    filter: EventFilter,
+    /// Events that passed the filter.
+    events_emitted: u64,
+    /// Run id stamped on emitted events.
+    run_id: u64,
+    /// Whether the RunStart event has been emitted.
+    started: bool,
 }
 
 impl OnlineChecker {
@@ -209,6 +240,7 @@ impl OnlineChecker {
                 // `time_dependent` is true exactly for `Fresh` conditions —
                 // the ones whose subject is staleness itself.
                 let staleness_exempt = condition.time_dependent();
+                let label = Label::new(assertion.id.as_str());
                 MonitorState {
                     assertion,
                     condition,
@@ -224,6 +256,8 @@ impl OnlineChecker {
                     ever_healthy: false,
                     saw_first_sample: false,
                     open_violation: None,
+                    label,
+                    last_verdict: ObsVerdict::Unknown,
                 }
             })
             .collect();
@@ -238,6 +272,11 @@ impl OnlineChecker {
             monitor.inputs = mask;
             max_stack = max_stack.max(monitor.condition.max_stack());
         }
+        let stats = monitors
+            .iter()
+            .map(|m| AssertionStats::new(m.assertion.id.as_str()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         OnlineChecker {
             env,
             monitors,
@@ -249,7 +288,47 @@ impl OnlineChecker {
             stack: Vec::with_capacity(max_stack),
             violations: Vec::new(),
             cycle_open: false,
+            stats,
+            health_grid: TransitionGrid::new(),
+            eval_ns: Histogram::nanos(),
+            cycles: 0,
+            timing_mask: ObsConfig::disabled().timing_mask(),
+            sink: None,
+            filter: EventFilter::none(),
+            events_emitted: 0,
+            run_id: 0,
+            started: false,
         }
+    }
+
+    /// Creates a checker with health *and* observability configuration:
+    /// events that pass `obs.filter` go to `sink` (dropped entirely when
+    /// `obs.events` is off), and wall-clock timing follows
+    /// `obs.timing_stride`.
+    pub fn with_observability(
+        catalog: impl IntoIterator<Item = Assertion>,
+        health_config: HealthConfig,
+        obs: &ObsConfig,
+        sink: Box<dyn EventSink>,
+    ) -> Self {
+        let mut checker = OnlineChecker::with_health(catalog, health_config);
+        checker.set_event_sink(obs, sink);
+        checker
+    }
+
+    /// Attaches (or, with `obs.events` off, detaches) the event sink and
+    /// adopts `obs`'s filter and timing stride. Call before the first
+    /// cycle so the `run_start` event is not lost.
+    pub fn set_event_sink(&mut self, obs: &ObsConfig, sink: Box<dyn EventSink>) {
+        self.timing_mask = obs.timing_mask();
+        self.filter = obs.filter.clone();
+        self.sink = obs.events.then_some(sink);
+    }
+
+    /// Stamps `run` on every subsequently emitted event (campaign cells
+    /// use their cell index).
+    pub fn set_run_id(&mut self, run: u64) {
+        self.run_id = run;
     }
 
     /// Number of monitored assertions.
@@ -276,6 +355,19 @@ impl OnlineChecker {
         self.last_cycle = Some(t);
         self.env.set_time(t);
         self.cycle_open = true;
+        if !self.started {
+            self.started = true;
+            let ev = ObsEvent::RunStart {
+                run: self.run_id,
+                t,
+            };
+            emit_to(
+                &mut self.sink,
+                &mut self.filter,
+                &mut self.events_emitted,
+                ev,
+            );
+        }
         Ok(())
     }
 
@@ -307,32 +399,52 @@ impl OnlineChecker {
     /// Closes the cycle: evaluates every assertion and advances temporal
     /// state. Returns the number of *new* violations raised this cycle.
     pub fn end_cycle(&mut self) -> usize {
-        let t = self.env.now();
-        let before = self.violations.len();
-        for monitor in &mut self.monitors {
+        let t0 = (self.cycles & self.timing_mask == 0).then(Instant::now);
+        // Destructure for disjoint field borrows: the monitor loop mutates
+        // `monitors`/`stats` while emitting through `sink`.
+        let OnlineChecker {
+            env,
+            monitors,
+            dirty,
+            poisoned,
+            health_config,
+            inconclusive_cycles,
+            stack,
+            violations,
+            stats,
+            health_grid,
+            sink,
+            filter,
+            events_emitted,
+            run_id,
+            ..
+        } = self;
+        let t = env.now();
+        let before = violations.len();
+        for (monitor, stat) in monitors.iter_mut().zip(stats.iter_mut()) {
             if t < monitor.assertion.grace {
                 continue;
             }
+            let prev_health = obs_health(monitor.health);
             // Health pass: count inputs that are poisoned or (unless the
             // condition monitors staleness itself) dark past the horizon.
             // Slots never seen stay neutral — that is the existing Unknown
             // start-up semantics, not a telemetry fault.
             let mut missing = 0u32;
             for &slot in monitor.input_slots.iter() {
-                let poisoned = self.poisoned.get(slot as usize).copied().unwrap_or(false);
+                let is_poisoned = poisoned.get(slot as usize).copied().unwrap_or(false);
                 let stale = !monitor.staleness_exempt
-                    && self
-                        .env
+                    && env
                         .age_at(slot)
-                        .is_some_and(|age| age > self.health_config.stale_after);
-                if poisoned || stale {
+                        .is_some_and(|age| age > health_config.stale_after);
+                if is_poisoned || stale {
                     missing += 1;
                 }
             }
             let eval = if missing > 0 {
                 monitor.clean_streak = 0;
                 monitor.degraded_streak = monitor.degraded_streak.saturating_add(1);
-                monitor.health = if monitor.degraded_streak >= self.health_config.quarantine_after {
+                monitor.health = if monitor.degraded_streak >= health_config.quarantine_after {
                     HealthState::Suspended
                 } else {
                     HealthState::Degraded(missing)
@@ -344,7 +456,7 @@ impl OnlineChecker {
                 monitor.degraded_streak = 0;
                 if monitor.health != HealthState::Active {
                     monitor.clean_streak = monitor.clean_streak.saturating_add(1);
-                    if monitor.clean_streak >= self.health_config.recover_after {
+                    if monitor.clean_streak >= health_config.recover_after {
                         monitor.health = HealthState::Active;
                         monitor.clean_streak = 0;
                     }
@@ -352,9 +464,9 @@ impl OnlineChecker {
                 if monitor.health == HealthState::Active {
                     if monitor.condition.time_dependent()
                         || monitor.cached.is_none()
-                        || monitor.inputs.intersects(&self.dirty)
+                        || monitor.inputs.intersects(dirty)
                     {
-                        let eval = monitor.condition.eval(&self.env, &mut self.stack);
+                        let eval = monitor.condition.eval(env, stack);
                         monitor.cached = Some(eval);
                         eval
                     } else {
@@ -368,6 +480,32 @@ impl OnlineChecker {
                     Eval::Inconclusive
                 }
             };
+            let new_health = obs_health(monitor.health);
+            if new_health != prev_health {
+                health_grid.record(prev_health.index(), new_health.index());
+                let ev = ObsEvent::HealthTransition {
+                    run: *run_id,
+                    t,
+                    assertion: monitor.label,
+                    from: prev_health,
+                    to: new_health,
+                };
+                emit_to(sink, filter, events_emitted, ev);
+            }
+            let verdict = obs_verdict(eval);
+            stat.verdicts.record(verdict);
+            if verdict != monitor.last_verdict {
+                stat.flips += 1;
+                let ev = ObsEvent::VerdictFlip {
+                    run: *run_id,
+                    t,
+                    assertion: monitor.label,
+                    from: monitor.last_verdict,
+                    to: verdict,
+                };
+                emit_to(sink, filter, events_emitted, ev);
+                monitor.last_verdict = verdict;
+            }
             match eval {
                 Eval::Unknown => {
                     // Not enough data yet: treat as neutral, reset episodes.
@@ -379,14 +517,14 @@ impl OnlineChecker {
                     // Telemetry went dark: the verdict cannot be trusted
                     // either way. Neutral like Unknown — reset the episode,
                     // never stamp a recovery on data we cannot see.
-                    self.inconclusive_cycles += 1;
+                    *inconclusive_cycles += 1;
                     monitor.episode_start = None;
                     monitor.alarmed_this_episode = false;
                     monitor.open_violation = None;
                 }
                 Eval::Healthy => {
                     if let Some(idx) = monitor.open_violation.take() {
-                        self.violations[idx].recovered = Some(t);
+                        violations[idx].recovered = Some(t);
                     }
                     monitor.episode_start = None;
                     monitor.alarmed_this_episode = false;
@@ -403,8 +541,9 @@ impl OnlineChecker {
                     };
                     if should_alarm {
                         monitor.alarmed_this_episode = true;
-                        monitor.open_violation = Some(self.violations.len());
-                        self.violations.push(Violation {
+                        monitor.open_violation = Some(violations.len());
+                        stat.episodes += 1;
+                        violations.push(Violation {
                             assertion: monitor.assertion.id.clone(),
                             severity: monitor.assertion.severity,
                             onset,
@@ -416,8 +555,12 @@ impl OnlineChecker {
                 }
             }
         }
-        self.dirty.clear();
+        dirty.clear();
         self.cycle_open = false;
+        self.cycles += 1;
+        if let Some(t0) = t0 {
+            self.eval_ns.record(t0.elapsed().as_nanos() as f64);
+        }
         self.violations.len() - before
     }
 
@@ -454,15 +597,51 @@ impl OnlineChecker {
             .min_by(|a, b| a.total_cmp(b))
     }
 
+    /// Events that passed the filter and reached the sink so far.
+    pub fn events_emitted(&self) -> u64 {
+        self.events_emitted
+    }
+
+    /// The current metrics as a serializable snapshot. Cheap enough to
+    /// call between cycles (clones the counters, not the monitors).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            cycles: self.cycles,
+            assertions: self.stats.to_vec(),
+            health_transitions: self.health_grid.sparse([
+                ObsHealth::Active.name(),
+                ObsHealth::Degraded.name(),
+                ObsHealth::Suspended.name(),
+            ]),
+            guard_transitions: Vec::new(),
+            events_emitted: self.events_emitted,
+            eval_cycle_ns: self.eval_ns.clone(),
+            detection_latency_s: Histogram::seconds(),
+        }
+    }
+
     /// Finalises the run at `end_time`: judges [`Temporal::Eventually`]
     /// assertions (those that never held raise a violation at `end_time`)
     /// and produces the report.
-    pub fn finish(mut self, end_time: f64) -> CheckReport {
-        for monitor in &mut self.monitors {
+    pub fn finish(self, end_time: f64) -> CheckReport {
+        self.finish_observed(end_time).0
+    }
+
+    /// [`OnlineChecker::finish`] plus the observability outputs: emits the
+    /// `run_end` event, flushes the sink, and returns the report together
+    /// with the final [`MetricsSnapshot`] and the sink (so callers can
+    /// drain a `VecSink` or recover a writer).
+    pub fn finish_observed(
+        mut self,
+        end_time: f64,
+    ) -> (CheckReport, MetricsSnapshot, Option<Box<dyn EventSink>>) {
+        for i in 0..self.monitors.len() {
+            let monitor = &self.monitors[i];
             if monitor.assertion.temporal == Temporal::Eventually
                 && monitor.saw_first_sample
                 && !monitor.ever_healthy
             {
+                self.stats[i].episodes += 1;
                 self.violations.push(Violation {
                     assertion: monitor.assertion.id.clone(),
                     severity: monitor.assertion.severity,
@@ -473,9 +652,67 @@ impl OnlineChecker {
                 });
             }
         }
+        if self.started {
+            let ev = ObsEvent::RunEnd {
+                run: self.run_id,
+                t: end_time,
+                cycles: self.cycles,
+                violations: self.violations.len() as u64,
+            };
+            emit_to(
+                &mut self.sink,
+                &mut self.filter,
+                &mut self.events_emitted,
+                ev,
+            );
+        }
+        let mut sink = self.sink.take();
+        if let Some(s) = sink.as_mut() {
+            let _ = s.flush();
+        }
+        let snapshot = self.metrics();
         let mut report = CheckReport::new(self.violations, end_time, self.monitors.len());
         report.inconclusive_cycles = self.inconclusive_cycles;
-        report
+        (report, snapshot, sink)
+    }
+}
+
+/// Forwards `ev` to the sink if one is attached and the filter accepts it.
+/// A free function so the monitor loop can call it while holding disjoint
+/// borrows of the checker's fields.
+#[inline]
+fn emit_to(
+    sink: &mut Option<Box<dyn EventSink>>,
+    filter: &mut EventFilter,
+    events_emitted: &mut u64,
+    ev: ObsEvent,
+) {
+    if let Some(sink) = sink {
+        if filter.accepts(&ev) {
+            sink.emit(ev);
+            *events_emitted += 1;
+        }
+    }
+}
+
+/// Projects the counted [`HealthState`] onto the 3-state observability
+/// enum (degraded levels collapse, so `Degraded(1) → Degraded(2)` is not a
+/// transition).
+fn obs_health(h: HealthState) -> ObsHealth {
+    match h {
+        HealthState::Active => ObsHealth::Active,
+        HealthState::Degraded(_) => ObsHealth::Degraded,
+        HealthState::Suspended => ObsHealth::Suspended,
+    }
+}
+
+/// Projects an [`Eval`] onto the observability verdict enum.
+fn obs_verdict(eval: Eval) -> ObsVerdict {
+    match eval {
+        Eval::Unknown => ObsVerdict::Unknown,
+        Eval::Healthy => ObsVerdict::Pass,
+        Eval::Inconclusive => ObsVerdict::Inconclusive,
+        Eval::Violated(_) => ObsVerdict::Violated,
     }
 }
 
@@ -788,6 +1025,55 @@ mod tests {
         }
         assert_eq!(fired, 1, "staleness alarm fires despite the horizon");
         assert_eq!(c.health(0), Some(HealthState::Active));
+    }
+
+    #[test]
+    fn health_transitions_are_counted_and_emitted() {
+        use adassure_obs::VecSink;
+
+        let cfg = HealthConfig {
+            recover_after: 2,
+            ..HealthConfig::default()
+        };
+        let mut c = OnlineChecker::with_observability(
+            [bound_assertion(1.0)],
+            cfg,
+            &ObsConfig::enabled(),
+            Box::new(VecSink::default()),
+        );
+        drive(&mut c, &[(0.0, 0.5)]);
+        drive(&mut c, &[(0.1, f64::NAN), (0.2, f64::NAN)]);
+        drive(&mut c, &[(0.3, 0.5), (0.4, 0.5), (0.5, 0.5)]);
+        let (_, metrics, sink) = c.finish_observed(1.0);
+        // active→degraded once, degraded→active once; the Degraded(1)→
+        // Degraded(1) cycle is not a transition.
+        assert_eq!(metrics.health_transitions.len(), 2);
+        assert!(
+            metrics.health_transitions.iter().all(|tr| tr.count == 1),
+            "{:?}",
+            metrics.health_transitions
+        );
+        let events = sink.unwrap().take_events();
+        let health_events: Vec<_> = events
+            .iter()
+            .filter(|e| matches!(e, ObsEvent::HealthTransition { .. }))
+            .collect();
+        assert_eq!(health_events.len(), 2);
+        assert_eq!(
+            metrics.assertions[0].verdicts.inconclusive, 3,
+            "two NaN cycles plus one hysteresis cycle"
+        );
+    }
+
+    #[test]
+    fn disabled_observability_still_counts() {
+        let mut c = OnlineChecker::new([bound_assertion(1.0)]);
+        drive(&mut c, &[(0.0, 0.5), (0.1, 5.0)]);
+        let metrics = c.metrics();
+        assert_eq!(metrics.cycles, 2);
+        assert_eq!(metrics.assertions[0].verdicts.pass, 1);
+        assert_eq!(metrics.assertions[0].verdicts.violated, 1);
+        assert_eq!(metrics.events_emitted, 0, "no sink, no events");
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use adassure_core::catalog::{self, CatalogConfig};
 use adassure_core::OnlineChecker;
+use adassure_obs::{JsonlWriter, ObsConfig};
 use adassure_trace::SignalId;
 
 struct CountingAlloc;
@@ -146,4 +147,78 @@ fn fault_path_does_not_allocate() {
         "faults must yield Inconclusive verdicts, not violations"
     );
     assert!(checker.inconclusive_cycles() > 0, "faults were exercised");
+}
+
+#[test]
+fn observed_cycles_do_not_allocate() {
+    // The observability layer — verdict counters, transition grids, the
+    // per-cycle timing sample, event construction, filtering, and JSONL
+    // serialization into the writer's reusable buffer — must preserve the
+    // zero-allocation steady state even at timing stride 1 with every
+    // event kind enabled. Faults are injected so flips and health
+    // transitions (the allocation-prone paths) actually fire while
+    // counting.
+    let config = CatalogConfig::default();
+    let cat = catalog::build(&config);
+    let signals: Vec<SignalId> = catalog::signals(&cat);
+
+    let health = adassure_core::HealthConfig {
+        stale_after: 0.05,
+        quarantine_after: 10,
+        recover_after: 5,
+    };
+    let mut obs = ObsConfig::enabled();
+    obs.timing_stride = 1;
+    let mut checker = OnlineChecker::with_observability(
+        cat.iter().cloned(),
+        health,
+        &obs,
+        Box::new(JsonlWriter::new(std::io::sink())),
+    );
+
+    for i in 0..50u32 {
+        let t = 12.0 + f64::from(i) * 0.01;
+        checker.begin_cycle(t).unwrap();
+        for id in &signals {
+            checker.update(id.clone(), 0.0);
+        }
+        checker.end_cycle();
+    }
+    assert_eq!(checker.violations().len(), 0);
+
+    // Counted phase: the same fault schedule as `fault_path_does_not_
+    // allocate`, so verdict flips and health transitions stream through
+    // the sink while the allocator is watched.
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for i in 50..1050u32 {
+        let t = 12.0 + f64::from(i) * 0.01;
+        checker.begin_cycle(t).unwrap();
+        if (i / 10) % 3 != 2 {
+            for (k, id) in signals.iter().enumerate() {
+                let value = if i % 3 == 0 && k % 2 == 0 {
+                    f64::NAN
+                } else {
+                    0.0
+                };
+                checker.update(id.clone(), value);
+            }
+        }
+        checker.end_cycle();
+    }
+    let after = ALLOCATIONS.load(Ordering::Relaxed);
+
+    assert_eq!(after - before, 0, "observed cycles allocated");
+    assert!(
+        checker.events_emitted() > 0,
+        "the emission path was not exercised"
+    );
+    let metrics = checker.metrics();
+    assert!(
+        metrics.eval_cycle_ns.count >= 1000,
+        "stride-1 timing sampled"
+    );
+    assert!(
+        !metrics.health_transitions.is_empty(),
+        "health transitions were exercised"
+    );
 }

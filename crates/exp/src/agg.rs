@@ -2,27 +2,33 @@
 //!
 //! All statistics here are over *samples* of runs, so spread is the sample
 //! standard deviation (the `n - 1` denominator); a single observation has
-//! zero spread by convention.
+//! zero spread by convention. Non-finite observations (NaN, ±inf) are
+//! excluded before aggregating — a single poisoned sample must not wipe
+//! out a whole table cell — so every statistic is over the finite
+//! subsample and `None` means *no finite observation*.
 
 use crate::record::RunRecord;
 
-/// The arithmetic mean; `None` for an empty sample.
-pub fn mean(values: &[f64]) -> Option<f64> {
-    if values.is_empty() {
-        return None;
-    }
-    Some(values.iter().sum::<f64>() / values.len() as f64)
+/// The finite subsample every aggregate is computed over.
+fn finite(values: &[f64]) -> impl Iterator<Item = f64> + '_ {
+    values.iter().copied().filter(|v| v.is_finite())
 }
 
-/// The sample standard deviation (`n - 1` denominator); `None` for an empty
-/// sample and `0.0` for a single observation.
+/// The arithmetic mean of the finite subsample; `None` when it is empty.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    let (sum, n) = finite(values).fold((0.0, 0usize), |(s, n), v| (s + v, n + 1));
+    (n > 0).then(|| sum / n as f64)
+}
+
+/// The sample standard deviation (`n - 1` denominator) of the finite
+/// subsample; `None` when it is empty and `0.0` for a single observation.
 pub fn sample_std(values: &[f64]) -> Option<f64> {
     let mean = mean(values)?;
-    if values.len() < 2 {
+    let (sq, n) = finite(values).fold((0.0, 0usize), |(s, n), v| (s + (v - mean).powi(2), n + 1));
+    if n < 2 {
         return Some(0.0);
     }
-    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
-    Some(var.sqrt())
+    Some((sq / (n - 1) as f64).sqrt())
 }
 
 /// Formats `mean ± std` for a sample of values; `-` when empty.
@@ -33,13 +39,27 @@ pub fn fmt_mean_std(values: &[f64]) -> String {
     }
 }
 
-/// The `p`-th percentile (nearest-rank on the sorted sample, `p` in
-/// `[0, 100]`); `None` for an empty sample.
+/// The `p`-th percentile (nearest-rank on the sorted finite subsample,
+/// `p` in `[0, 100]`); `None` when no finite observation exists.
+///
+/// A `p` outside `[0, 100]` is a caller bug: it trips a debug assertion,
+/// and in release builds is clamped into range. NaN samples previously
+/// sorted *after* every finite value under `total_cmp`, so a single
+/// poisoned latency silently became the reported `p95`; non-finite values
+/// are now excluded before ranking.
 pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
-    if values.is_empty() {
+    debug_assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile rank out of range: {p}"
+    );
+    if !p.is_finite() {
         return None;
     }
-    let mut sorted = values.to_vec();
+    let p = p.clamp(0.0, 100.0);
+    let mut sorted: Vec<f64> = finite(values).collect();
+    if sorted.is_empty() {
+        return None;
+    }
     sorted.sort_by(f64::total_cmp);
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     Some(sorted[rank.clamp(1, sorted.len()) - 1])
@@ -142,6 +162,45 @@ mod tests {
         assert_eq!(percentile(&values, 50.0), Some(50.0));
         assert_eq!(percentile(&values, 0.0), Some(1.0));
         assert_eq!(percentile(&values, 100.0), Some(100.0));
+    }
+
+    #[test]
+    fn percentiles_ignore_non_finite_samples() {
+        // Regression: NaN sorts after every finite value under
+        // `total_cmp`, so one poisoned sample used to *become* the p95.
+        let mut values: Vec<f64> = (1..=100).map(f64::from).collect();
+        values.push(f64::NAN);
+        values.push(f64::INFINITY);
+        values.push(f64::NEG_INFINITY);
+        assert_eq!(p95(&values), Some(95.0));
+        assert_eq!(percentile(&values, 100.0), Some(100.0));
+        assert_eq!(percentile(&values, 0.0), Some(1.0));
+        // A sample with no finite observation has no percentile.
+        assert_eq!(p95(&[f64::NAN, f64::INFINITY]), None);
+    }
+
+    #[test]
+    fn non_finite_samples_do_not_skew_mean_or_std() {
+        assert_eq!(mean(&[1.0, f64::NAN, 3.0]), Some(2.0));
+        let std = sample_std(&[1.0, f64::INFINITY, 3.0]).unwrap();
+        assert!((std - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[f64::NAN]), None);
+        assert_eq!(sample_std(&[f64::NAN]), None);
+        assert_eq!(fmt_mean_std(&[f64::NAN]), "-");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "percentile rank out of range")]
+    fn out_of_range_percentile_is_a_debug_panic() {
+        let _ = percentile(&[1.0, 2.0], 150.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "percentile rank out of range")]
+    fn nan_percentile_rank_is_a_debug_panic() {
+        let _ = percentile(&[1.0, 2.0], f64::NAN);
     }
 
     #[test]

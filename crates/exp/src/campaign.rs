@@ -9,6 +9,9 @@
 use adassure_control::pipeline::AdStack;
 use adassure_core::catalog::{self, CatalogConfig};
 use adassure_core::{checker, Assertion, CheckReport};
+use adassure_obs::{
+    Event as ObsEvent, EventSink, JsonlWriter, MetricsSnapshot, NullSink, ObsConfig, VecSink,
+};
 use adassure_scenarios::{run, Scenario};
 use adassure_sim::engine::SimOutput;
 use adassure_sim::SimError;
@@ -48,6 +51,37 @@ pub fn standard_catalog(scenario: &Scenario) -> Vec<Assertion> {
 /// Propagates simulator errors ([`SimError`]); standard scenarios with
 /// standard stacks never produce one.
 pub fn execute(spec: &RunSpec, cat: &[Assertion]) -> Result<(SimOutput, CheckReport), SimError> {
+    execute_observed(spec, cat, &ObsConfig::disabled(), Box::new(NullSink))
+        .map(|(output, report, _, _)| (output, report))
+}
+
+/// One observed cell: simulation output, check report, the checker's
+/// metrics, and the sink handed back (carrying any retained events).
+pub type ObservedRun = (
+    SimOutput,
+    CheckReport,
+    MetricsSnapshot,
+    Option<Box<dyn EventSink>>,
+);
+
+/// [`execute`] with the observability layer attached: the cell is checked
+/// through [`checker::check_observed`] with the cell index as the run id,
+/// and the checker's metrics plus the (possibly event-laden) sink are
+/// returned alongside the simulation output and report.
+///
+/// Observability never perturbs the verdicts: the `CheckReport` is
+/// bit-identical to the one [`execute`] produces for the same cell.
+///
+/// # Errors
+///
+/// Propagates simulator errors ([`SimError`]); standard scenarios with
+/// standard stacks never produce one.
+pub fn execute_observed(
+    spec: &RunSpec,
+    cat: &[Assertion],
+    obs: &ObsConfig,
+    sink: Box<dyn EventSink>,
+) -> Result<ObservedRun, SimError> {
     let scenario = Scenario::of_kind(spec.scenario)?;
     let config = run::stack_config(&scenario, spec.controller).with_estimator(spec.estimator);
     let mut stack = AdStack::new(config, scenario.track.clone());
@@ -59,8 +93,9 @@ pub fn execute(spec: &RunSpec, cat: &[Assertion]) -> Result<(SimOutput, CheckRep
         }
         None => engine.run(&mut stack)?,
     };
-    let report = checker::check(cat, &output.trace);
-    Ok((output, report))
+    let (report, metrics, sink) =
+        checker::check_observed(cat, &output.trace, spec.index as u64, obs, sink);
+    Ok((output, report, metrics, sink))
 }
 
 /// A named grid plus a catalog source: one experiment campaign.
@@ -106,10 +141,36 @@ impl<'a> Campaign<'a> {
     /// Executes every cell of the grid — in parallel, deterministically —
     /// and collects the records in cell order.
     ///
+    /// Observability is configured from the environment
+    /// ([`ObsConfig::from_env`], the `ADASSURE_OBS` / `ADASSURE_OBS_PATH`
+    /// variables), mirroring how `ADASSURE_THREADS` steers the worker
+    /// pool. With observability off this is exactly the pre-observability
+    /// campaign path; either way the report is byte-identical because the
+    /// embedded [`adassure_obs::ObsSummary`] never includes wall-clock
+    /// measurements.
+    ///
     /// # Errors
     ///
     /// Propagates the first simulator error in cell order.
     pub fn run(&self) -> Result<CampaignReport, SimError> {
+        self.run_observed(&ObsConfig::from_env())
+    }
+
+    /// [`run`](Campaign::run) with an explicit observability configuration.
+    ///
+    /// Per-cell metrics are merged into one campaign-level
+    /// [`MetricsSnapshot`] *in cell order*, so the roll-up is independent
+    /// of worker count and scheduling. The campaign also records every
+    /// cell's detection latency into the snapshot's
+    /// `detection_latency_s` histogram. When `obs` carries a JSONL path,
+    /// all per-cell events (run id = cell index) are written there in
+    /// cell order; JSONL I/O failures are reported on stderr but never
+    /// fail the campaign.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first simulator error in cell order.
+    pub fn run_observed(&self, obs: &ObsConfig) -> Result<CampaignReport, SimError> {
         let cells = self.grid.cells();
         // Catalogs depend only on the scenario; resolve each kind once up
         // front instead of per cell.
@@ -120,20 +181,71 @@ impl<'a> Campaign<'a> {
                 catalogs.push((cell.scenario, (self.catalog)(&scenario)));
             }
         }
-        let runs = par::map(&cells, |spec| {
+        // Events are only retained when they have somewhere to go; with no
+        // JSONL path a NullSink keeps the filter/counter semantics (and
+        // therefore the report bytes) identical while dropping the payload.
+        let collect_events = obs.events && obs.jsonl_path.is_some();
+        let outcomes = par::map(&cells, |spec| {
             let cat = &catalogs
                 .iter()
                 .find(|(kind, _)| *kind == spec.scenario)
                 .expect("catalog resolved for every scenario in the grid")
                 .1;
-            execute(spec, cat).map(|(output, report)| RunRecord::from_run(spec, &output, &report))
+            let sink: Box<dyn EventSink> = if collect_events {
+                Box::new(VecSink::default())
+            } else {
+                Box::new(NullSink)
+            };
+            execute_observed(spec, cat, obs, sink).map(|(output, report, metrics, sink)| {
+                let record = RunRecord::from_run(spec, &output, &report);
+                let events = sink.map(|mut s| s.take_events()).unwrap_or_default();
+                (record, metrics, events)
+            })
         });
+        let mut merged = MetricsSnapshot::empty();
+        let mut events: Vec<ObsEvent> = Vec::new();
+        let mut runs: Vec<RunRecord> = Vec::with_capacity(cells.len());
+        for outcome in outcomes {
+            let (record, metrics, cell_events) = outcome?;
+            merged.merge(&metrics);
+            if let Some(latency) = record.detection_latency {
+                merged.detection_latency_s.record(latency);
+            }
+            events.extend(cell_events);
+            runs.push(record);
+        }
+        if let Some(path) = &obs.jsonl_path {
+            if let Err(err) = write_jsonl(path, &events) {
+                eprintln!(
+                    "warning: campaign {}: failed to write event log {}: {err}",
+                    self.name,
+                    path.display()
+                );
+            }
+        }
         Ok(CampaignReport {
             name: self.name.clone(),
-            runs: runs.into_iter().collect::<Result<_, _>>()?,
+            runs,
             summaries: Vec::new(),
+            obs: merged.summary(),
         })
     }
+}
+
+/// Writes `events` (already in cell order) to a JSONL file at `path`,
+/// creating parent directories as needed.
+fn write_jsonl(path: &std::path::Path, events: &[ObsEvent]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let file = std::fs::File::create(path)?;
+    let mut writer = JsonlWriter::new(std::io::BufWriter::new(file));
+    for ev in events {
+        writer.emit(*ev);
+    }
+    writer.flush()
 }
 
 #[cfg(test)]
@@ -180,6 +292,36 @@ mod tests {
         }
         assert_eq!(report.runs[0].seed, 1);
         assert_eq!(report.runs[1].seed, 2);
+    }
+
+    #[test]
+    fn observed_campaign_rolls_up_metrics_in_cell_order() {
+        let grid = Grid::new()
+            .scenarios([ScenarioKind::Straight])
+            .controllers([ControllerKind::PurePursuit])
+            .attacks(AttackSet::Standard)
+            .include_clean(true)
+            .seeds([1]);
+        let campaign = Campaign::new("unit_obs", grid);
+
+        let baseline = campaign.run_observed(&ObsConfig::disabled()).unwrap();
+        let observed = campaign.run_observed(&ObsConfig::enabled()).unwrap();
+
+        // Observability must not perturb a single verdict or record.
+        assert_eq!(baseline.runs, observed.runs);
+
+        // The roll-up actually aggregated: every cycle of every cell is
+        // counted, per-assertion verdicts are present, and each detected
+        // run contributed one detection-latency sample.
+        assert!(observed.obs.cycles > 0);
+        assert!(!observed.obs.assertions.is_empty());
+        let detected = observed.runs.iter().filter(|r| r.detected).count() as u64;
+        assert!(detected > 0, "standard attacks must be detected");
+        assert_eq!(observed.obs.detection_latency_s.count, detected);
+        assert!(observed.obs.events_emitted > 0);
+        // The disabled path counts the same cycles but emits nothing.
+        assert_eq!(baseline.obs.cycles, observed.obs.cycles);
+        assert_eq!(baseline.obs.events_emitted, 0);
     }
 
     #[test]

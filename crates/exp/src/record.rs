@@ -181,6 +181,12 @@ pub struct CampaignReport {
     /// Per-group aggregates, when the campaign computes them (robustness
     /// sweeps); empty otherwise.
     pub summaries: Vec<GroupSummary>,
+    /// Deterministic observability roll-up of the whole campaign: verdict
+    /// counters, transition grids and the detection-latency histogram,
+    /// merged over the cells in cell order. Wall-clock timing histograms
+    /// are deliberately excluded so the report stays byte-reproducible
+    /// (export them separately via [`adassure_obs::MetricsSnapshot`]).
+    pub obs: adassure_obs::ObsSummary,
 }
 
 impl CampaignReport {
@@ -269,6 +275,7 @@ mod tests {
                 detection_delta: 0.0,
                 false_alarm_delta: 0.0,
             }],
+            obs: adassure_obs::ObsSummary::empty(),
         };
         let json = report.to_json();
         assert!(json.ends_with('\n'));
@@ -282,6 +289,7 @@ mod tests {
             name: "unit".into(),
             runs: vec![record(Some("gnss_bias"), Some("gnss")), record(None, None)],
             summaries: Vec::new(),
+            obs: adassure_obs::ObsSummary::empty(),
         };
         assert_eq!(report.select(|r| r.attack.is_none()).len(), 1);
         assert_eq!(report.select(|r| r.detected).len(), 1);

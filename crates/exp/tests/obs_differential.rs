@@ -1,0 +1,94 @@
+//! Differential guarantee of the observability layer: attaching metrics,
+//! event emission and the JSONL log to a campaign must never perturb a
+//! single byte of the campaign report.
+//!
+//! Three configurations of the same seeded campaign slice are compared:
+//! observability disabled, events enabled into a `NullSink`, and events
+//! enabled with a JSONL file attached. The NullSink and JSONL reports must
+//! be bit-identical (`to_json()` string equality); the disabled report
+//! must agree on everything except the event counter.
+
+use adassure_control::ControllerKind;
+use adassure_exp::campaign::Campaign;
+use adassure_exp::grid::{AttackSet, Grid};
+use adassure_obs::ObsConfig;
+use adassure_scenarios::ScenarioKind;
+
+fn slice() -> Campaign<'static> {
+    let grid = Grid::new()
+        .scenarios([ScenarioKind::Straight])
+        .controllers([ControllerKind::PurePursuit])
+        .attacks(AttackSet::Standard)
+        .include_clean(true)
+        .seeds([1]);
+    Campaign::new("obs_differential", grid)
+}
+
+#[test]
+fn jsonl_sink_and_null_sink_reports_are_bit_identical() {
+    let dir = std::env::temp_dir().join("adassure_obs_differential");
+    let path = dir.join("events.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    // NullSink leg: events flow through the filter and counters but are
+    // dropped on emission.
+    let null_report = slice().run_observed(&ObsConfig::enabled()).unwrap();
+
+    // JSONL leg: the same events are retained per cell and written to disk
+    // in cell order after the campaign.
+    let jsonl_report = slice()
+        .run_observed(&ObsConfig::enabled().with_jsonl_path(&path))
+        .unwrap();
+
+    assert_eq!(
+        null_report.to_json(),
+        jsonl_report.to_json(),
+        "the JSONL log perturbed the campaign report"
+    );
+    assert!(
+        null_report.obs.events_emitted > 0,
+        "no events were exercised"
+    );
+
+    // The log itself must exist and hold one line per emitted event.
+    let log = std::fs::read_to_string(&path).expect("JSONL log written");
+    let lines = log.lines().count();
+    assert_eq!(
+        lines as u64, jsonl_report.obs.events_emitted,
+        "JSONL line count disagrees with the emission counter"
+    );
+}
+
+#[test]
+fn disabled_observability_matches_on_everything_but_the_obs_block() {
+    let disabled = slice().run_observed(&ObsConfig::disabled()).unwrap();
+    let enabled = slice().run_observed(&ObsConfig::enabled()).unwrap();
+
+    // Verdicts, latencies, diagnoses: identical.
+    assert_eq!(disabled.runs, enabled.runs);
+    assert_eq!(disabled.summaries, enabled.summaries);
+    // The deterministic roll-up agrees on every counter that does not
+    // depend on emission.
+    assert_eq!(disabled.obs.cycles, enabled.obs.cycles);
+    assert_eq!(disabled.obs.assertions, enabled.obs.assertions);
+    assert_eq!(
+        disabled.obs.health_transitions,
+        enabled.obs.health_transitions
+    );
+    assert_eq!(
+        disabled.obs.detection_latency_s,
+        enabled.obs.detection_latency_s
+    );
+    assert_eq!(disabled.obs.events_emitted, 0);
+}
+
+#[test]
+fn observed_campaigns_are_reproducible() {
+    let a = slice().run_observed(&ObsConfig::enabled()).unwrap();
+    let b = slice().run_observed(&ObsConfig::enabled()).unwrap();
+    assert_eq!(
+        a.to_json(),
+        b.to_json(),
+        "campaign report is not deterministic"
+    );
+}

@@ -1,0 +1,510 @@
+//! Typed observability events and the severity/sampling filter.
+//!
+//! Events are `Copy` and carry inline [`Label`]s, so constructing and
+//! filtering one on the checker's hot path never allocates. Serialization
+//! to JSONL is hand-written into a caller-supplied `String` buffer
+//! ([`Event::write_jsonl`]) instead of going through serde, which keeps the
+//! emit path allocation-free once the buffer has warmed up.
+
+use crate::label::Label;
+use std::fmt::Write as _;
+
+/// The verdict an assertion produced for a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Not yet evaluated (no samples seen).
+    Unknown,
+    /// Evaluated and satisfied.
+    Pass,
+    /// Inputs too unhealthy to trust an evaluation.
+    Inconclusive,
+    /// Evaluated and violated.
+    Violated,
+}
+
+impl Verdict {
+    /// Stable wire/export name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Unknown => "unknown",
+            Verdict::Pass => "pass",
+            Verdict::Inconclusive => "inconclusive",
+            Verdict::Violated => "violated",
+        }
+    }
+
+    /// Dense index for counter arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// All verdicts, in `index()` order.
+    pub const ALL: [Verdict; 4] = [
+        Verdict::Unknown,
+        Verdict::Pass,
+        Verdict::Inconclusive,
+        Verdict::Violated,
+    ];
+}
+
+/// Telemetry-health state of a monitored assertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Inputs fresh and finite; verdicts are trustworthy.
+    Active,
+    /// Some inputs poisoned or stale; verdicts may be Inconclusive.
+    Degraded,
+    /// Quarantined after a sustained degraded streak.
+    Suspended,
+}
+
+impl Health {
+    /// Stable wire/export name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Health::Active => "active",
+            Health::Degraded => "degraded",
+            Health::Suspended => "suspended",
+        }
+    }
+
+    /// Dense index for transition grids.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// All health states, in `index()` order.
+    pub const ALL: [Health; 3] = [Health::Active, Health::Degraded, Health::Suspended];
+}
+
+/// Guardian supervision mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Guard {
+    /// Normal operation.
+    Nominal,
+    /// Alarm under confirmation; widened thresholds active.
+    Degraded,
+    /// Confirmed violation; vehicle commanded to a safe stop.
+    SafeStop,
+}
+
+impl Guard {
+    /// Stable wire/export name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Guard::Nominal => "nominal",
+            Guard::Degraded => "degraded",
+            Guard::SafeStop => "safe_stop",
+        }
+    }
+
+    /// Dense index for transition grids.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// All guardian modes, in `index()` order.
+    pub const ALL: [Guard; 3] = [Guard::Nominal, Guard::Degraded, Guard::SafeStop];
+}
+
+/// Event severity, ordered from least to most urgent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Sev {
+    /// Routine state change (e.g. a flip back to pass).
+    Info,
+    /// Degraded trust (flip to inconclusive, health drop).
+    Warn,
+    /// Violation or safety action.
+    Alarm,
+}
+
+impl Sev {
+    /// Stable wire/export name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Sev::Info => "info",
+            Sev::Warn => "warn",
+            Sev::Alarm => "alarm",
+        }
+    }
+}
+
+/// Discriminant of an [`Event`], used for filter bitmasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// An assertion's verdict changed between cycles.
+    VerdictFlip,
+    /// An assertion's telemetry-health state changed.
+    HealthTransition,
+    /// The guardian changed supervision mode.
+    GuardTransition,
+    /// A run (trace replay / campaign cell) started.
+    RunStart,
+    /// A run finished.
+    RunEnd,
+}
+
+impl EventKind {
+    /// Stable wire/export name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::VerdictFlip => "verdict_flip",
+            EventKind::HealthTransition => "health_transition",
+            EventKind::GuardTransition => "guard_transition",
+            EventKind::RunStart => "run_start",
+            EventKind::RunEnd => "run_end",
+        }
+    }
+
+    /// Bit for this kind in an [`EventFilter`] mask.
+    pub fn bit(self) -> u8 {
+        1 << (self as u8)
+    }
+}
+
+/// A single observability event. `Copy`, allocation-free, timestamped in
+/// simulation seconds (`t`), tagged with the originating run id.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// An assertion's verdict changed between consecutive cycles.
+    VerdictFlip {
+        /// Run the event belongs to.
+        run: u64,
+        /// Simulation time of the cycle, seconds.
+        t: f64,
+        /// Assertion id (e.g. "A7").
+        assertion: Label,
+        /// Verdict on the previous cycle.
+        from: Verdict,
+        /// Verdict on this cycle.
+        to: Verdict,
+    },
+    /// An assertion's telemetry-health state changed.
+    HealthTransition {
+        /// Run the event belongs to.
+        run: u64,
+        /// Simulation time of the cycle, seconds.
+        t: f64,
+        /// Assertion id.
+        assertion: Label,
+        /// Previous health state.
+        from: Health,
+        /// New health state.
+        to: Health,
+    },
+    /// The guardian changed supervision mode.
+    GuardTransition {
+        /// Run the event belongs to.
+        run: u64,
+        /// Simulation time of the cycle, seconds.
+        t: f64,
+        /// Previous mode.
+        from: Guard,
+        /// New mode.
+        to: Guard,
+    },
+    /// A run started.
+    RunStart {
+        /// Run id.
+        run: u64,
+        /// Simulation time of the first cycle, seconds.
+        t: f64,
+    },
+    /// A run finished.
+    RunEnd {
+        /// Run id.
+        run: u64,
+        /// Simulation time of the last cycle, seconds.
+        t: f64,
+        /// Cycles evaluated.
+        cycles: u64,
+        /// Violation episodes recorded.
+        violations: u64,
+    },
+}
+
+impl Event {
+    /// This event's kind discriminant.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            Event::VerdictFlip { .. } => EventKind::VerdictFlip,
+            Event::HealthTransition { .. } => EventKind::HealthTransition,
+            Event::GuardTransition { .. } => EventKind::GuardTransition,
+            Event::RunStart { .. } => EventKind::RunStart,
+            Event::RunEnd { .. } => EventKind::RunEnd,
+        }
+    }
+
+    /// Severity: flips into `Violated` and guardian escalations alarm,
+    /// degradations warn, everything else is informational.
+    pub fn severity(&self) -> Sev {
+        match self {
+            Event::VerdictFlip { to, .. } => match to {
+                Verdict::Violated => Sev::Alarm,
+                Verdict::Inconclusive => Sev::Warn,
+                Verdict::Pass | Verdict::Unknown => Sev::Info,
+            },
+            Event::HealthTransition { to, .. } => match to {
+                Health::Active => Sev::Info,
+                Health::Degraded | Health::Suspended => Sev::Warn,
+            },
+            Event::GuardTransition { to, .. } => match to {
+                Guard::Nominal => Sev::Info,
+                Guard::Degraded => Sev::Warn,
+                Guard::SafeStop => Sev::Alarm,
+            },
+            Event::RunStart { .. } | Event::RunEnd { .. } => Sev::Info,
+        }
+    }
+
+    /// Simulation timestamp of the event, seconds.
+    pub fn time(&self) -> f64 {
+        match *self {
+            Event::VerdictFlip { t, .. }
+            | Event::HealthTransition { t, .. }
+            | Event::GuardTransition { t, .. }
+            | Event::RunStart { t, .. }
+            | Event::RunEnd { t, .. } => t,
+        }
+    }
+
+    /// Run id the event belongs to.
+    pub fn run(&self) -> u64 {
+        match *self {
+            Event::VerdictFlip { run, .. }
+            | Event::HealthTransition { run, .. }
+            | Event::GuardTransition { run, .. }
+            | Event::RunStart { run, .. }
+            | Event::RunEnd { run, .. } => run,
+        }
+    }
+
+    /// Appends this event as one JSON object plus a trailing newline to
+    /// `out`. Allocation-free once `out` has enough capacity. Non-finite
+    /// timestamps are written as `null` (JSON has no NaN/Inf).
+    pub fn write_jsonl(&self, out: &mut String) {
+        fn num(out: &mut String, v: f64) {
+            if v.is_finite() {
+                let _ = write!(out, "{v}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        out.push_str("{\"kind\":\"");
+        out.push_str(self.kind().name());
+        out.push_str("\",\"run\":");
+        let _ = write!(out, "{}", self.run());
+        out.push_str(",\"t\":");
+        num(out, self.time());
+        match self {
+            Event::VerdictFlip {
+                assertion,
+                from,
+                to,
+                ..
+            } => {
+                out.push_str(",\"assertion\":\"");
+                out.push_str(assertion.as_str());
+                out.push_str("\",\"from\":\"");
+                out.push_str(from.name());
+                out.push_str("\",\"to\":\"");
+                out.push_str(to.name());
+                out.push_str("\",\"sev\":\"");
+                out.push_str(self.severity().name());
+                out.push('"');
+            }
+            Event::HealthTransition {
+                assertion,
+                from,
+                to,
+                ..
+            } => {
+                out.push_str(",\"assertion\":\"");
+                out.push_str(assertion.as_str());
+                out.push_str("\",\"from\":\"");
+                out.push_str(from.name());
+                out.push_str("\",\"to\":\"");
+                out.push_str(to.name());
+                out.push('"');
+            }
+            Event::GuardTransition { from, to, .. } => {
+                out.push_str(",\"from\":\"");
+                out.push_str(from.name());
+                out.push_str("\",\"to\":\"");
+                out.push_str(to.name());
+                out.push('"');
+            }
+            Event::RunStart { .. } => {}
+            Event::RunEnd {
+                cycles, violations, ..
+            } => {
+                out.push_str(",\"cycles\":");
+                let _ = write!(out, "{cycles}");
+                out.push_str(",\"violations\":");
+                let _ = write!(out, "{violations}");
+            }
+        }
+        out.push_str("}\n");
+    }
+}
+
+/// Severity/sampling filter applied before an event reaches a sink.
+///
+/// The kind mask and minimum flip severity make the disabled configuration
+/// a couple of predictable branches; `flip_stride` additionally samples
+/// below-threshold verdict flips (1-in-N) so a chattering assertion cannot
+/// flood the log while flips that cross `min_flip_sev` are always kept.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventFilter {
+    /// Bitmask of accepted [`EventKind`]s (see [`EventKind::bit`]).
+    pub kinds: u8,
+    /// Verdict flips at or above this severity always pass.
+    pub min_flip_sev: Sev,
+    /// Keep 1-in-N verdict flips *below* `min_flip_sev`; `0` drops them.
+    pub flip_stride: u32,
+    seen_flips: u32,
+}
+
+impl EventFilter {
+    /// Accept every event.
+    pub fn all() -> Self {
+        EventFilter {
+            kinds: 0xff,
+            min_flip_sev: Sev::Info,
+            flip_stride: 1,
+            seen_flips: 0,
+        }
+    }
+
+    /// Accept nothing.
+    pub fn none() -> Self {
+        EventFilter {
+            kinds: 0,
+            min_flip_sev: Sev::Alarm,
+            flip_stride: 0,
+            seen_flips: 0,
+        }
+    }
+
+    /// Default production filter: everything except informational verdict
+    /// flips, which are sampled 1-in-32.
+    pub fn default_sampled() -> Self {
+        EventFilter {
+            kinds: 0xff,
+            min_flip_sev: Sev::Warn,
+            flip_stride: 32,
+            seen_flips: 0,
+        }
+    }
+
+    /// Whether `ev` should be forwarded to the sink. Mutates the sampling
+    /// counter for below-threshold flips; never allocates.
+    #[inline]
+    pub fn accepts(&mut self, ev: &Event) -> bool {
+        if self.kinds & ev.kind().bit() == 0 {
+            return false;
+        }
+        if let Event::VerdictFlip { .. } = ev {
+            if ev.severity() < self.min_flip_sev {
+                if self.flip_stride == 0 {
+                    return false;
+                }
+                self.seen_flips = self.seen_flips.wrapping_add(1);
+                return self.seen_flips.is_multiple_of(self.flip_stride);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flip(to: Verdict) -> Event {
+        Event::VerdictFlip {
+            run: 0,
+            t: 1.5,
+            assertion: Label::new("A3"),
+            from: Verdict::Pass,
+            to,
+        }
+    }
+
+    #[test]
+    fn severity_classification() {
+        assert_eq!(flip(Verdict::Violated).severity(), Sev::Alarm);
+        assert_eq!(flip(Verdict::Inconclusive).severity(), Sev::Warn);
+        assert_eq!(flip(Verdict::Pass).severity(), Sev::Info);
+        let g = Event::GuardTransition {
+            run: 0,
+            t: 0.0,
+            from: Guard::Degraded,
+            to: Guard::SafeStop,
+        };
+        assert_eq!(g.severity(), Sev::Alarm);
+    }
+
+    #[test]
+    fn jsonl_shape() {
+        let mut out = String::new();
+        flip(Verdict::Violated).write_jsonl(&mut out);
+        assert_eq!(
+            out,
+            "{\"kind\":\"verdict_flip\",\"run\":0,\"t\":1.5,\"assertion\":\"A3\",\
+             \"from\":\"pass\",\"to\":\"violated\",\"sev\":\"alarm\"}\n"
+        );
+        out.clear();
+        Event::RunEnd {
+            run: 7,
+            t: 9.0,
+            cycles: 100,
+            violations: 2,
+        }
+        .write_jsonl(&mut out);
+        assert_eq!(
+            out,
+            "{\"kind\":\"run_end\",\"run\":7,\"t\":9,\"cycles\":100,\"violations\":2}\n"
+        );
+    }
+
+    #[test]
+    fn jsonl_non_finite_time_is_null() {
+        let mut out = String::new();
+        Event::RunStart {
+            run: 0,
+            t: f64::NAN,
+        }
+        .write_jsonl(&mut out);
+        assert!(out.contains("\"t\":null"));
+    }
+
+    #[test]
+    fn filter_kind_mask() {
+        let mut f = EventFilter::all();
+        f.kinds = EventKind::GuardTransition.bit();
+        assert!(!f.accepts(&flip(Verdict::Violated)));
+        assert!(f.accepts(&Event::GuardTransition {
+            run: 0,
+            t: 0.0,
+            from: Guard::Nominal,
+            to: Guard::Degraded,
+        }));
+    }
+
+    #[test]
+    fn filter_samples_info_flips() {
+        let mut f = EventFilter::default_sampled();
+        // Alarm flips always pass.
+        assert!(f.accepts(&flip(Verdict::Violated)));
+        // Info flips pass 1-in-32.
+        let kept = (0..64).filter(|_| f.accepts(&flip(Verdict::Pass))).count();
+        assert_eq!(kept, 2);
+        // Stride 0 drops them entirely.
+        let mut none = EventFilter::all();
+        none.min_flip_sev = Sev::Warn;
+        none.flip_stride = 0;
+        assert!(!none.accepts(&flip(Verdict::Pass)));
+        assert!(none.accepts(&flip(Verdict::Inconclusive)));
+    }
+}

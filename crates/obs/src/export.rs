@@ -1,0 +1,220 @@
+//! Exporters: Prometheus text exposition format and a pretty-JSON snapshot.
+//!
+//! These run off the hot path (end of run / scrape time), so they are free
+//! to allocate. The Prometheus output follows the text exposition format:
+//! `# HELP`/`# TYPE` headers, cumulative `_bucket{le=...}` counters ending
+//! in `+Inf`, and `_sum`/`_count` for each histogram.
+
+use crate::hist::Histogram;
+use crate::metrics::{MetricsSnapshot, Transition};
+use std::fmt::Write as _;
+
+/// Renders `snap` in Prometheus text exposition format.
+pub fn prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+
+    counter_header(
+        &mut out,
+        "adassure_cycles_total",
+        "Monitor cycles evaluated",
+    );
+    let _ = writeln!(out, "adassure_cycles_total {}", snap.cycles);
+
+    counter_header(
+        &mut out,
+        "adassure_assertion_verdicts_total",
+        "Cycles per assertion and verdict",
+    );
+    for a in &snap.assertions {
+        for (verdict, count) in [
+            ("unknown", a.verdicts.unknown),
+            ("pass", a.verdicts.pass),
+            ("inconclusive", a.verdicts.inconclusive),
+            ("violated", a.verdicts.violated),
+        ] {
+            if count > 0 {
+                let _ = writeln!(
+                    out,
+                    "adassure_assertion_verdicts_total{{assertion=\"{}\",verdict=\"{verdict}\"}} {count}",
+                    a.id
+                );
+            }
+        }
+    }
+
+    counter_header(
+        &mut out,
+        "adassure_assertion_flips_total",
+        "Verdict changes between consecutive cycles",
+    );
+    for a in &snap.assertions {
+        if a.flips > 0 {
+            let _ = writeln!(
+                out,
+                "adassure_assertion_flips_total{{assertion=\"{}\"}} {}",
+                a.id, a.flips
+            );
+        }
+    }
+
+    counter_header(
+        &mut out,
+        "adassure_assertion_episodes_total",
+        "Distinct violation episodes per assertion",
+    );
+    for a in &snap.assertions {
+        if a.episodes > 0 {
+            let _ = writeln!(
+                out,
+                "adassure_assertion_episodes_total{{assertion=\"{}\"}} {}",
+                a.id, a.episodes
+            );
+        }
+    }
+
+    transition_block(
+        &mut out,
+        "adassure_health_transitions_total",
+        "Telemetry-health state transitions",
+        &snap.health_transitions,
+    );
+    transition_block(
+        &mut out,
+        "adassure_guard_transitions_total",
+        "Guardian mode transitions",
+        &snap.guard_transitions,
+    );
+
+    counter_header(
+        &mut out,
+        "adassure_events_emitted_total",
+        "Events that passed the filter",
+    );
+    let _ = writeln!(out, "adassure_events_emitted_total {}", snap.events_emitted);
+
+    histogram_block(
+        &mut out,
+        "adassure_eval_cycle_ns",
+        "Wall-clock cycle evaluation time, nanoseconds (sampled)",
+        &snap.eval_cycle_ns,
+    );
+    histogram_block(
+        &mut out,
+        "adassure_detection_latency_seconds",
+        "Detection latency in simulation seconds",
+        &snap.detection_latency_s,
+    );
+
+    out
+}
+
+/// Renders `snap` as pretty-printed JSON (the `obs_dump --json` format).
+pub fn json(snap: &MetricsSnapshot) -> String {
+    serde_json::to_string_pretty(snap).expect("metrics snapshot serializes")
+}
+
+fn counter_header(out: &mut String, name: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+}
+
+fn transition_block(out: &mut String, name: &str, help: &str, transitions: &[Transition]) {
+    counter_header(out, name, help);
+    for t in transitions {
+        let _ = writeln!(
+            out,
+            "{name}{{from=\"{}\",to=\"{}\"}} {}",
+            t.from, t.to, t.count
+        );
+    }
+}
+
+fn histogram_block(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    // Prometheus buckets are cumulative; underflow folds into the first
+    // bucket (every bound is an upper bound), overflow into +Inf.
+    let mut cumulative = h.underflow;
+    for (i, &count) in h.buckets.iter().enumerate() {
+        cumulative += count;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            h.upper_bound(i)
+        );
+    }
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    if h.sum.is_finite() {
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+    } else {
+        let _ = writeln!(out, "{name}_sum 0");
+    }
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::AssertionStats;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::empty();
+        snap.cycles = 100;
+        let mut a = AssertionStats::new("A1");
+        a.verdicts.pass = 90;
+        a.verdicts.violated = 10;
+        a.flips = 2;
+        a.episodes = 1;
+        snap.assertions.push(a);
+        snap.guard_transitions.push(Transition {
+            from: "nominal".into(),
+            to: "degraded".into(),
+            count: 1,
+        });
+        snap.eval_cycle_ns.record(120.0);
+        snap.eval_cycle_ns.record(140.0);
+        snap.detection_latency_s.record(0.3);
+        snap
+    }
+
+    #[test]
+    fn prometheus_renders_counters_and_labels() {
+        let text = prometheus(&sample_snapshot());
+        assert!(text.contains("adassure_cycles_total 100"));
+        assert!(text
+            .contains("adassure_assertion_verdicts_total{assertion=\"A1\",verdict=\"pass\"} 90"));
+        assert!(text.contains("adassure_assertion_flips_total{assertion=\"A1\"} 2"));
+        assert!(
+            text.contains("adassure_guard_transitions_total{from=\"nominal\",to=\"degraded\"} 1")
+        );
+        // Zero-valued per-assertion series are suppressed.
+        assert!(!text.contains("verdict=\"unknown\""));
+    }
+
+    #[test]
+    fn prometheus_histogram_is_cumulative_and_ends_at_inf() {
+        let text = prometheus(&sample_snapshot());
+        assert!(text.contains("# TYPE adassure_eval_cycle_ns histogram"));
+        assert!(text.contains("adassure_eval_cycle_ns_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("adassure_eval_cycle_ns_count 2"));
+        assert!(text.contains("adassure_eval_cycle_ns_sum 260"));
+        // Cumulative counts never decrease.
+        let mut last = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("adassure_eval_cycle_ns_bucket"))
+        {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "non-monotone bucket line: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn json_snapshot_parses_back() {
+        let snap = sample_snapshot();
+        let text = json(&snap);
+        let back: MetricsSnapshot = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,94 @@
+//! An inline, allocation-free string label.
+//!
+//! Events are emitted from the checker's hot path, so they cannot carry
+//! heap-allocated `String`s. Assertion ids in this workspace are short
+//! ("A1"–"A16", mined ids like "M3"), so a fixed 23-byte inline buffer
+//! holds them losslessly; anything longer is truncated at a UTF-8 boundary
+//! (labels are identifiers, not payloads).
+
+use std::fmt;
+
+/// A short, `Copy`, inline string (at most [`Label::CAPACITY`] bytes).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label {
+    len: u8,
+    bytes: [u8; Label::CAPACITY],
+}
+
+impl Label {
+    /// Maximum length in bytes; longer inputs are truncated.
+    pub const CAPACITY: usize = 23;
+
+    /// Builds a label from `s`, truncating to [`Label::CAPACITY`] bytes at
+    /// a character boundary. Never allocates.
+    pub fn new(s: &str) -> Self {
+        let mut end = s.len().min(Self::CAPACITY);
+        while end > 0 && !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        let mut bytes = [0u8; Self::CAPACITY];
+        bytes[..end].copy_from_slice(&s.as_bytes()[..end]);
+        Label {
+            len: end as u8,
+            bytes,
+        }
+    }
+
+    /// The label text.
+    pub fn as_str(&self) -> &str {
+        // The buffer is only ever filled from a `&str` prefix cut at a
+        // character boundary, so it stays valid UTF-8.
+        std::str::from_utf8(&self.bytes[..usize::from(self.len)]).expect("label is UTF-8")
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Label::new(s)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_short_strings() {
+        assert_eq!(Label::new("A13").as_str(), "A13");
+        assert_eq!(Label::new("").as_str(), "");
+        assert_eq!(Label::from("xtrack_err").to_string(), "xtrack_err");
+    }
+
+    #[test]
+    fn truncates_at_capacity() {
+        let long = "a".repeat(40);
+        assert_eq!(Label::new(&long).as_str().len(), Label::CAPACITY);
+    }
+
+    #[test]
+    fn truncates_on_char_boundary() {
+        // 23 bytes would split the 2-byte 'é' at position 22..24.
+        let s = "0123456789012345678901éx";
+        let label = Label::new(s);
+        assert_eq!(label.as_str(), "0123456789012345678901");
+    }
+
+    #[test]
+    fn equality_and_ordering() {
+        assert_eq!(Label::new("A1"), Label::new("A1"));
+        assert_ne!(Label::new("A1"), Label::new("A2"));
+        assert!(Label::new("A1") < Label::new("A2"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Event sinks: where filtered [`Event`]s go.
+//!
+//! The checker holds a `Box<dyn EventSink>`, so sinks are object-safe and
+//! `Send` (campaign workers each own one). The hot-path contract is that
+//! [`EventSink::emit`] must not allocate in steady state — [`JsonlWriter`]
+//! serializes into a reusable buffer that warms up after the first few
+//! events, and [`VecSink`] pre-reserves.
+
+use crate::event::Event;
+use std::fmt;
+use std::io::{self, Write};
+
+/// Destination for filtered observability events.
+pub trait EventSink: fmt::Debug + Send {
+    /// Consumes one event. Must not allocate in steady state.
+    fn emit(&mut self, ev: Event);
+
+    /// Flushes any buffered output (no-op for in-memory sinks).
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    /// Drains and returns collected events, if this sink retains them
+    /// (only [`VecSink`] does).
+    fn take_events(&mut self) -> Vec<Event> {
+        Vec::new()
+    }
+}
+
+/// Discards every event. The "observability structurally off" sink used by
+/// the differential test as the baseline side.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn emit(&mut self, _ev: Event) {}
+}
+
+/// Collects events in memory; campaign workers use one per cell so events
+/// can be merged deterministically in cell order afterwards.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    events: Vec<Event>,
+}
+
+impl VecSink {
+    /// An empty sink with room for `cap` events before reallocating.
+    pub fn with_capacity(cap: usize) -> Self {
+        VecSink {
+            events: Vec::with_capacity(cap),
+        }
+    }
+
+    /// The events collected so far.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+}
+
+impl EventSink for VecSink {
+    fn emit(&mut self, ev: Event) {
+        self.events.push(ev);
+    }
+
+    fn take_events(&mut self) -> Vec<Event> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// Serializes events as JSON Lines into any `io::Write`.
+///
+/// Each event is formatted into an owned `String` buffer (cleared, not
+/// shrunk, between events) and written as one line, so steady-state
+/// emission performs no allocation and exactly one `write_all` per event.
+pub struct JsonlWriter<W: Write + Send> {
+    out: W,
+    buf: String,
+    lines: u64,
+}
+
+impl<W: Write + Send> JsonlWriter<W> {
+    /// Wraps `out`, pre-allocating the line buffer.
+    pub fn new(out: W) -> Self {
+        JsonlWriter {
+            out,
+            buf: String::with_capacity(256),
+            lines: 0,
+        }
+    }
+
+    /// Lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+impl<W: Write + Send> fmt::Debug for JsonlWriter<W> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlWriter")
+            .field("lines", &self.lines)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlWriter<W> {
+    fn emit(&mut self, ev: Event) {
+        self.buf.clear();
+        ev.write_jsonl(&mut self.buf);
+        // Observability must never take the monitor down with it: an
+        // unwritable log drops events rather than panicking mid-cycle.
+        let _ = self.out.write_all(self.buf.as_bytes());
+        self.lines += 1;
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Verdict;
+    use crate::label::Label;
+
+    fn sample(run: u64) -> Event {
+        Event::VerdictFlip {
+            run,
+            t: 0.5,
+            assertion: Label::new("A1"),
+            from: Verdict::Pass,
+            to: Verdict::Violated,
+        }
+    }
+
+    #[test]
+    fn vec_sink_collects_and_drains() {
+        let mut sink = VecSink::with_capacity(4);
+        sink.emit(sample(1));
+        sink.emit(sample(2));
+        assert_eq!(sink.events().len(), 2);
+        let drained = sink.take_events();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[1].run(), 2);
+        assert!(sink.events().is_empty());
+    }
+
+    #[test]
+    fn jsonl_writer_emits_one_line_per_event() {
+        let mut w = JsonlWriter::new(Vec::new());
+        w.emit(sample(0));
+        w.emit(sample(0));
+        assert_eq!(w.lines(), 2);
+        let bytes = w.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn null_sink_retains_nothing() {
+        let mut sink = NullSink;
+        sink.emit(sample(0));
+        assert!(sink.take_events().is_empty());
+    }
+
+    #[test]
+    fn sinks_are_object_safe() {
+        let mut boxed: Box<dyn EventSink> = Box::new(VecSink::default());
+        boxed.emit(sample(3));
+        assert_eq!(boxed.take_events().len(), 1);
+    }
+}

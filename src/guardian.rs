@@ -32,6 +32,10 @@ use adassure_attacks::ChannelFaultInjector;
 use adassure_control::pipeline::AdStack;
 use adassure_core::assertion::Severity;
 use adassure_core::{Assertion, HealthConfig, OnlineChecker, Violation};
+use adassure_obs::{
+    Event as ObsEvent, EventFilter, EventSink, Guard as ObsGuard, MetricsSnapshot, ObsConfig,
+    TransitionGrid,
+};
 use adassure_sim::engine::{DriveCtx, Driver};
 use adassure_sim::vehicle::Controls;
 use adassure_trace::{well_known as sig, Trace};
@@ -113,6 +117,14 @@ pub struct Guardian {
     clean_streak: u32,
     degraded_cycles: u64,
     fault: Option<ChannelFaultInjector>,
+    /// Mode transitions (nominal/degraded/safe_stop) for observability.
+    guard_grid: TransitionGrid,
+    /// Guardian-level event destination (mode transitions only; checker
+    /// events flow through the checkers' own sinks).
+    sink: Option<Box<dyn EventSink>>,
+    filter: EventFilter,
+    events_emitted: u64,
+    run_id: u64,
 }
 
 /// Signals the guardian forwards from the trace into the in-loop checkers.
@@ -166,7 +178,26 @@ impl Guardian {
             clean_streak: 0,
             degraded_cycles: 0,
             fault: None,
+            guard_grid: TransitionGrid::new(),
+            sink: None,
+            filter: EventFilter::none(),
+            events_emitted: 0,
+            run_id: 0,
         }
+    }
+
+    /// Sends guardian mode-transition events (filtered per `obs`) to
+    /// `sink`. With `obs.events` off the sink is dropped and only the
+    /// transition counters run.
+    pub fn with_event_sink(mut self, obs: &ObsConfig, sink: Box<dyn EventSink>) -> Self {
+        self.filter = obs.filter.clone();
+        self.sink = obs.events.then_some(sink);
+        self
+    }
+
+    /// Stamps `run` on emitted events (campaign cells use their index).
+    pub fn set_run_id(&mut self, run: u64) {
+        self.run_id = run;
     }
 
     /// Routes every forwarded telemetry sample through `injector` before it
@@ -207,13 +238,56 @@ impl Guardian {
     /// Consumes the guardian, returning the primary monitor's final report
     /// at `end_time`.
     pub fn into_report(self, end_time: f64) -> adassure_core::CheckReport {
-        self.primary.finish(end_time)
+        self.into_report_observed(end_time).0
+    }
+
+    /// [`into_report`](Guardian::into_report) plus the final metrics
+    /// snapshot — unlike [`metrics`](Guardian::metrics), this includes the
+    /// post-finish episode accounting (still-open `Eventually` violations
+    /// raised at `end_time`) and flushes any attached event sink.
+    pub fn into_report_observed(
+        self,
+        end_time: f64,
+    ) -> (adassure_core::CheckReport, MetricsSnapshot) {
+        let guard_transitions = self.guard_grid.sparse([
+            ObsGuard::Nominal.name(),
+            ObsGuard::Degraded.name(),
+            ObsGuard::SafeStop.name(),
+        ]);
+        let guardian_events = self.events_emitted;
+        let (report, mut snap, _sink) = self.primary.finish_observed(end_time);
+        snap.guard_transitions = guard_transitions;
+        snap.events_emitted += guardian_events;
+        (report, snap)
+    }
+
+    /// The primary checker's metrics with the guardian's mode-transition
+    /// counters and event tally folded in.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = self.primary.metrics();
+        snap.guard_transitions = self.guard_grid.sparse([
+            ObsGuard::Nominal.name(),
+            ObsGuard::Degraded.name(),
+            ObsGuard::SafeStop.name(),
+        ]);
+        snap.events_emitted += self.events_emitted;
+        snap
     }
 
     /// Feeds one delivered telemetry value to both checkers.
     fn feed(&mut self, name: &str, value: f64) {
         self.primary.update(name, value);
         self.widened.update(name, value);
+    }
+}
+
+/// Projects the payload-carrying [`GuardState`] onto the 3-state
+/// observability enum.
+fn obs_guard(state: GuardState) -> ObsGuard {
+    match state {
+        GuardState::Nominal => ObsGuard::Nominal,
+        GuardState::Degraded { .. } => ObsGuard::Degraded,
+        GuardState::SafeStop { .. } => ObsGuard::SafeStop,
     }
 }
 
@@ -275,6 +349,7 @@ impl Driver for Guardian {
                 .take(fresh)
                 .any(|v| v.severity >= trigger_severity);
 
+        let prev_mode = obs_guard(self.state);
         match self.state {
             GuardState::Nominal => {
                 if fresh_trigger || !self.primary.all_active() {
@@ -300,22 +375,44 @@ impl Driver for Guardian {
                         held_steer: nominal.steer,
                     };
                 } else {
-                    let clean = !fresh_trigger
-                        && self.primary.all_active()
-                        && self.primary.open_episode_onset(trigger_severity).is_none()
-                        && self.widened.open_episode_onset(trigger_severity).is_none();
-                    if clean {
+                    let alarm = fresh_trigger
+                        || self.primary.open_episode_onset(trigger_severity).is_some()
+                        || self.widened.open_episode_onset(trigger_severity).is_some();
+                    if alarm {
+                        // A standing violation is positive evidence against
+                        // recovery: start the count over.
+                        self.clean_streak = 0;
+                    } else if self.primary.all_active() {
                         self.clean_streak += 1;
                         if self.clean_streak >= self.config.recovery_cycles {
                             self.state = GuardState::Nominal;
                             self.clean_streak = 0;
                         }
-                    } else {
-                        self.clean_streak = 0;
                     }
+                    // Otherwise the telemetry is inconclusive: evidence for
+                    // neither recovery nor fault, so the streak *freezes*.
+                    // Resetting here would let a flaky-but-healthy link —
+                    // one NaN every few hundred cycles — pin the guardian
+                    // in Degraded forever (see DESIGN.md §8).
                 }
             }
             GuardState::SafeStop { .. } => {}
+        }
+        let new_mode = obs_guard(self.state);
+        if new_mode != prev_mode {
+            self.guard_grid.record(prev_mode.index(), new_mode.index());
+            let ev = ObsEvent::GuardTransition {
+                run: self.run_id,
+                t: ctx.time,
+                from: prev_mode,
+                to: new_mode,
+            };
+            if let Some(sink) = &mut self.sink {
+                if self.filter.accepts(&ev) {
+                    sink.emit(ev);
+                    self.events_emitted += 1;
+                }
+            }
         }
 
         match self.state {
@@ -516,6 +613,65 @@ mod tests {
         assert!(
             report.inconclusive_cycles > 0,
             "poisoned cycles surface as inconclusive, not as violations"
+        );
+    }
+
+    #[test]
+    fn flaky_link_freezes_streak_and_still_recovers() {
+        // Regression for the recovery-streak reset: a *persistent* flaky
+        // link (one NaN every few hundred samples, until the end of the
+        // run) keeps interrupting the guardian's clean streak with
+        // Inconclusive cycles. Those cycles are evidence of nothing, so
+        // they must freeze the streak, not reset it — with a reset, the
+        // streak can never span `recovery_cycles` consecutive cycles and
+        // the guardian stays Degraded forever on a healthy vehicle.
+        use adassure_obs::VecSink;
+
+        let scenario = Scenario::of_kind(ScenarioKind::Straight).unwrap();
+        let fault = FaultSpec::new(
+            FaultKind::NanBurst,
+            0.001,
+            Window::from_start(scenario.attack_start),
+        );
+        // A recovery window much longer than the typical gap between NaN
+        // hits: cumulative clean cycles reach it easily, consecutive ones
+        // never would.
+        let config = GuardianConfig {
+            recovery_cycles: 400,
+            ..GuardianConfig::default()
+        };
+        let stack = AdStack::new(
+            run::stack_config(&scenario, ControllerKind::PurePursuit),
+            scenario.track.clone(),
+        );
+        let cat = catalog::build(&CatalogConfig::default());
+        let mut guardian = Guardian::new(stack, cat, config)
+            .with_telemetry_fault(fault.injector(11))
+            .with_event_sink(&ObsConfig::enabled(), Box::new(VecSink::default()));
+        run::engine_for(&scenario, 11).run(&mut guardian).unwrap();
+
+        assert!(guardian.trigger().is_none(), "no safe stop on a flaky link");
+        let metrics = guardian.metrics();
+        let recoveries = metrics
+            .guard_transitions
+            .iter()
+            .find(|t| t.from == "degraded" && t.to == "nominal")
+            .map_or(0, |t| t.count);
+        assert!(
+            recoveries >= 1,
+            "frozen streak must let the guardian recover; transitions: {:?}",
+            metrics.guard_transitions
+        );
+        assert!(
+            !metrics
+                .guard_transitions
+                .iter()
+                .any(|t| t.to == "safe_stop"),
+            "flakiness alone must never escalate"
+        );
+        assert!(
+            metrics.events_emitted >= 2,
+            "transitions were emitted as events"
         );
     }
 }
