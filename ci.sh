@@ -17,6 +17,17 @@ cargo run --release -q -p adassure-bench --bin table5_robustness -- --smoke
 echo "== observability differential (JSONL vs NullSink, bit-identical reports) =="
 cargo test -q -p adassure-exp --test obs_differential
 
+echo "== lane engine differential (scalar vs lane-batched, bit-identical) =="
+cargo test -q -p adassure-core --test proptests lane_batched
+
+echo "== columnar pipeline differential (CSV -> .adt -> lane check) =="
+cargo test -q -p adassure-exp --test columnar_differential
+
+echo "== trace-import smoke (CSV corpus -> .adt, verified round trip) =="
+rm -rf target/ci_adt && mkdir -p target/ci_adt
+cargo run --release -q -p adassure-trace --bin trace-import -- \
+    --verify --out target/ci_adt crates/trace/testdata/smoke.csv
+
 echo "== observability smoke: obs_dump event log + jsonl_check validation =="
 ADASSURE_OBS=1 ADASSURE_OBS_PATH=target/ci_events.jsonl \
     cargo run --release -q -p adassure-bench --bin obs_dump -- --smoke \

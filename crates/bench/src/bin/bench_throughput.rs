@@ -9,7 +9,9 @@
 //!   standard catalog;
 //! * **offline** — `checker::check` of a clean 75 s Straight-scenario
 //!   trace against the standard catalog, plus the parallel many-trace
-//!   batch throughput of [`adassure_exp::check_traces`].
+//!   batch throughput of [`adassure_exp::check_traces`] and the columnar
+//!   lane-batched path ([`adassure_exp::check_columnar_traces`] over
+//!   pre-converted `.adt`-shaped traces).
 //!
 //! Baselines are the same workloads measured at the pre-compilation
 //! checker (commit `1cc72db`, tree-walking `HashMap` environment).
@@ -23,10 +25,10 @@ use adassure_bench::{catalog_for, run_clean};
 use adassure_control::ControllerKind;
 use adassure_core::catalog::{self, CatalogConfig};
 use adassure_core::{checker, HealthConfig, OnlineChecker};
-use adassure_exp::{check_traces, par};
+use adassure_exp::{check_columnar_traces, check_traces, par};
 use adassure_obs::{JsonlWriter, ObsConfig};
 use adassure_scenarios::{Scenario, ScenarioKind};
-use adassure_trace::{SignalId, Trace};
+use adassure_trace::{ColumnarTrace, SignalId, Trace};
 use serde::Serialize;
 
 /// `online_checker/100_cycles_16_assertions` on the pre-compilation
@@ -43,6 +45,7 @@ struct Report {
     online: Comparison,
     offline: Comparison,
     offline_batch: Batch,
+    offline_columnar: ColumnarBatch,
     obs_overhead: ObsOverhead,
 }
 
@@ -70,10 +73,21 @@ struct Batch {
     traces_per_sec: f64,
 }
 
+#[derive(Serialize)]
+struct ColumnarBatch {
+    traces: usize,
+    lanes: usize,
+    workers: usize,
+    wall_ms: f64,
+    traces_per_sec: f64,
+    baseline_traces_per_sec: f64,
+    speedup: f64,
+}
+
 fn main() {
     let online_ns = measure_online();
     let observed_ns = measure_online_observed();
-    let (offline_ns, batch) = measure_offline();
+    let (offline_ns, batch, columnar) = measure_offline();
     let obs_overhead = ObsOverhead {
         id: "online_checker/100_cycles_16_assertions+jsonl",
         plain_ns: online_ns,
@@ -98,6 +112,7 @@ fn main() {
             speedup: BASELINE_OFFLINE_NS / offline_ns,
         },
         offline_batch: batch,
+        offline_columnar: columnar,
         obs_overhead,
     };
 
@@ -115,6 +130,16 @@ fn main() {
         report.offline_batch.workers,
         report.offline_batch.wall_ms,
         report.offline_batch.traces_per_sec
+    );
+    println!(
+        "columnar: {} traces in {}-wide lanes on {} workers in {:.1} ms ({:.0} traces/sec, {:.1}x over {:.0}/sec)",
+        report.offline_columnar.traces,
+        report.offline_columnar.lanes,
+        report.offline_columnar.workers,
+        report.offline_columnar.wall_ms,
+        report.offline_columnar.traces_per_sec,
+        report.offline_columnar.speedup,
+        report.offline_columnar.baseline_traces_per_sec
     );
     println!(
         "obs    : {:>12.0} ns/iter with metrics+JSONL ({:+.1}% over plain)",
@@ -186,9 +211,16 @@ fn measure_online_with(make: impl Fn(&[adassure_core::Assertion]) -> OnlineCheck
     best
 }
 
+/// `offline_batch` (16 traces of one 75 s Straight run each) measured at
+/// the scalar per-trace batch path, before lane batching landed. The
+/// columnar entry reports its speedup against this.
+const BASELINE_BATCH_TRACES_PER_SEC: f64 = 222.39;
+
 /// The criterion offline workload (single-trace `checker::check`) plus the
-/// parallel batch throughput over campaign-generated traces.
-fn measure_offline() -> (f64, Batch) {
+/// parallel batch throughput over campaign-generated traces — once through
+/// the `Trace`-input path and once over pre-converted columnar documents
+/// (the `.adt` corpus shape, conversion outside the timed region).
+fn measure_offline() -> (f64, Batch, ColumnarBatch) {
     let scenario = Scenario::of_kind(ScenarioKind::Straight).expect("scenario");
     let cat = catalog_for(&scenario);
 
@@ -210,7 +242,10 @@ fn measure_offline() -> (f64, Batch) {
         best = best.min(elapsed * 1e9);
     }
 
-    // Parallel batch: all traces across the campaign thread pool.
+    // Parallel batch: all traces across the campaign thread pool. The
+    // work items are lane groups, so the effective worker count is capped
+    // by the group count, not the trace count.
+    let groups = traces.len().div_ceil(adassure_core::lane::LANES);
     let mut batch_best = f64::INFINITY;
     for _ in 0..5 {
         let start = Instant::now();
@@ -219,12 +254,34 @@ fn measure_offline() -> (f64, Batch) {
         std::hint::black_box(reports.len());
         batch_best = batch_best.min(elapsed);
     }
-
     let batch = Batch {
         traces: traces.len(),
-        workers: par::thread_count(),
+        workers: par::thread_count().min(groups.max(1)),
         wall_ms: batch_best * 1e3,
         traces_per_sec: traces.len() as f64 / batch_best,
     };
-    (best, batch)
+
+    // Columnar batch: the `.adt` corpus fast path — documents already in
+    // columnar form, so the timed region is pure lane evaluation.
+    let columnar_traces: Vec<ColumnarTrace> =
+        traces.iter().map(ColumnarTrace::from_trace).collect();
+    let mut columnar_best = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        let reports = check_columnar_traces(&cat, &columnar_traces);
+        let elapsed = start.elapsed().as_secs_f64();
+        std::hint::black_box(reports.len());
+        columnar_best = columnar_best.min(elapsed);
+    }
+    let columnar_tps = traces.len() as f64 / columnar_best;
+    let columnar = ColumnarBatch {
+        traces: traces.len(),
+        lanes: adassure_core::lane::LANES,
+        workers: par::thread_count().min(groups.max(1)),
+        wall_ms: columnar_best * 1e3,
+        traces_per_sec: columnar_tps,
+        baseline_traces_per_sec: BASELINE_BATCH_TRACES_PER_SEC,
+        speedup: columnar_tps / BASELINE_BATCH_TRACES_PER_SEC,
+    };
+    (best, batch, columnar)
 }

@@ -138,6 +138,26 @@ pub fn check(catalog: &[Assertion], trace: &Trace) -> CheckReport {
     .0
 }
 
+/// [`check`] with an explicit telemetry-health configuration, for callers
+/// (and differential tests) that exercise staleness degradation offline.
+pub fn check_with_health(
+    catalog: &[Assertion],
+    health: HealthConfig,
+    trace: &Trace,
+) -> CheckReport {
+    let mut checker = OnlineChecker::with_health(catalog.iter().cloned(), health);
+    for_each_cycle(trace, |t, cycle| {
+        checker
+            .begin_cycle(t)
+            .expect("trace cycles are strictly time-ordered");
+        for &(id, value) in cycle {
+            checker.update(id.clone(), value);
+        }
+        checker.end_cycle();
+    });
+    checker.finish(trace.span().map_or(0.0, |(_, b)| b))
+}
+
 /// [`check`] with observability: replays `trace` through a checker whose
 /// events (stamped with run id `run`, filtered per `obs`) go to `sink`,
 /// and returns the report together with the final metrics and the sink.

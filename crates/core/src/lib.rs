@@ -53,6 +53,7 @@ pub mod checker;
 pub mod compile;
 pub mod diagnosis;
 pub mod expr;
+pub mod lane;
 pub mod mining;
 pub mod online;
 pub mod report;
@@ -61,6 +62,7 @@ pub mod violation;
 
 pub use assertion::{Assertion, AssertionId, Condition, Severity, Temporal};
 pub use expr::SignalExpr;
+pub use lane::{check_columnar, LANES};
 pub use online::{CycleError, HealthConfig, HealthState, OnlineChecker};
 pub use report::CheckReport;
 pub use violation::Violation;

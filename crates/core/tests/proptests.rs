@@ -7,8 +7,8 @@ use adassure_core::catalog::{CatalogConfig, Thresholds};
 use adassure_core::expr::Env;
 use adassure_core::mining::{mine_bounds, MiningConfig};
 use adassure_core::violation::Violation;
-use adassure_core::{checker, HealthConfig, OnlineChecker, SignalExpr};
-use adassure_trace::{SignalId, Trace};
+use adassure_core::{checker, lane, HealthConfig, OnlineChecker, SignalExpr};
+use adassure_trace::{ColumnarTrace, SignalId, Trace};
 use proptest::prelude::*;
 
 /// The tree-walking temporal monitor the online checker implemented before
@@ -525,5 +525,64 @@ proptest! {
         let report = compiled.finish(end_time);
         let expected = reference.finish(end_time);
         assert_same_violations(&report.violations, &expected);
+    }
+
+    /// Lane-batched differential property: for random catalogs and random
+    /// *batches* of sparse traces — each trace its own cycle grid, signals
+    /// present or absent per cycle, so every lane sits in a different
+    /// unknown/derivative/staleness state — the struct-of-arrays columnar
+    /// evaluator produces reports bit-identical to the scalar compiled
+    /// replay of each trace, including Inconclusive accounting and
+    /// quarantine/recovery health transitions under a finite staleness
+    /// horizon.
+    #[test]
+    fn lane_batched_columnar_matches_scalar_replay(
+        catalog in proptest::collection::vec(arb_diff_assertion(), 1..5),
+        // A batch wider than one lane group (> 8 traces) so chunking is
+        // exercised; per trace, per cycle, each signal is independently
+        // present (Some) or absent (None).
+        traces in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::vec(
+                    prop_oneof![Just(None), (-3.0f64..3.0).prop_map(Some)],
+                    DIFF_SIGNALS.len(),
+                ),
+                0..30,
+            ),
+            1..12,
+        ),
+        stale_after in prop_oneof![
+            Just(f64::INFINITY),
+            0.02f64..0.2,
+        ],
+        quarantine_after in 1u32..5,
+        recover_after in 1u32..5,
+    ) {
+        let health = HealthConfig { stale_after, quarantine_after, recover_after };
+        let traces: Vec<Trace> = traces
+            .iter()
+            .map(|cycles| {
+                let mut trace = Trace::new();
+                for (i, cycle) in cycles.iter().enumerate() {
+                    let t = i as f64 * 0.013;
+                    for (signal, value) in cycle.iter().enumerate() {
+                        if let Some(v) = value {
+                            trace.record(DIFF_SIGNALS[signal], t, *v);
+                        }
+                    }
+                }
+                trace
+            })
+            .collect();
+        let columnar: Vec<ColumnarTrace> = traces.iter().map(ColumnarTrace::from_trace).collect();
+        let lane_reports = lane::check_columnar_with_health(&catalog, health, &columnar);
+        prop_assert_eq!(lane_reports.len(), traces.len());
+        for (trace, lane_report) in traces.iter().zip(&lane_reports) {
+            let scalar = checker::check_with_health(&catalog, health, trace);
+            assert_same_violations(&lane_report.violations, &scalar.violations);
+            prop_assert_eq!(lane_report.end_time.to_bits(), scalar.end_time.to_bits());
+            prop_assert_eq!(lane_report.assertions_checked, scalar.assertions_checked);
+            prop_assert_eq!(lane_report.inconclusive_cycles, scalar.inconclusive_cycles);
+        }
     }
 }

@@ -8,13 +8,14 @@
 
 use adassure_control::pipeline::AdStack;
 use adassure_core::catalog::{self, CatalogConfig};
-use adassure_core::{checker, Assertion, CheckReport};
+use adassure_core::{checker, lane, Assertion, CheckReport, HealthConfig};
 use adassure_obs::{
     Event as ObsEvent, EventSink, JsonlWriter, MetricsSnapshot, NullSink, ObsConfig, VecSink,
 };
 use adassure_scenarios::{run, Scenario};
 use adassure_sim::engine::SimOutput;
 use adassure_sim::SimError;
+use adassure_trace::ColumnarTrace;
 
 use crate::grid::{Grid, RunSpec};
 use crate::par;
@@ -82,20 +83,32 @@ pub fn execute_observed(
     obs: &ObsConfig,
     sink: Box<dyn EventSink>,
 ) -> Result<ObservedRun, SimError> {
+    let output = simulate(spec)?;
+    let (report, metrics, sink) =
+        checker::check_observed(cat, &output.trace, spec.index as u64, obs, sink);
+    Ok((output, report, metrics, sink))
+}
+
+/// Runs one grid cell's simulation (scenario, stack, engine, injected
+/// attack) without checking the trace. [`execute_observed`] couples it to
+/// the scalar checker; the campaign's lane-grouped batch path simulates
+/// all cells first and then checks them in lane groups.
+///
+/// # Errors
+///
+/// Propagates simulator errors ([`SimError`]).
+pub fn simulate(spec: &RunSpec) -> Result<SimOutput, SimError> {
     let scenario = Scenario::of_kind(spec.scenario)?;
     let config = run::stack_config(&scenario, spec.controller).with_estimator(spec.estimator);
     let mut stack = AdStack::new(config, scenario.track.clone());
     let engine = run::engine_for(&scenario, spec.seed);
-    let output = match spec.attack {
+    match spec.attack {
         Some(attack) => {
             let mut injector = attack.injector(spec.seed);
-            engine.run_with_tap(&mut stack, &mut injector)?
+            engine.run_with_tap(&mut stack, &mut injector)
         }
-        None => engine.run(&mut stack)?,
-    };
-    let (report, metrics, sink) =
-        checker::check_observed(cat, &output.trace, spec.index as u64, obs, sink);
-    Ok((output, report, metrics, sink))
+        None => engine.run(&mut stack),
+    }
 }
 
 /// A named grid plus a catalog source: one experiment campaign.
@@ -181,6 +194,15 @@ impl<'a> Campaign<'a> {
                 catalogs.push((cell.scenario, (self.catalog)(&scenario)));
             }
         }
+        // With no event stream requested, checking is a pure function of
+        // the trace: simulate all cells in parallel, then check them in
+        // lane groups on the columnar engine. Verdicts and metrics are
+        // bit-identical to the per-cell scalar path (the embedded summary
+        // never includes wall-clock timing), so only event emission forces
+        // the scalar route.
+        if !obs.events {
+            return self.run_lane_grouped(&cells, &catalogs);
+        }
         // Events are only retained when they have somewhere to go; with no
         // JSONL path a NullSink keeps the filter/counter semantics (and
         // therefore the report bytes) identical while dropping the payload.
@@ -222,6 +244,75 @@ impl<'a> Campaign<'a> {
                     path.display()
                 );
             }
+        }
+        Ok(CampaignReport {
+            name: self.name.clone(),
+            runs,
+            summaries: Vec::new(),
+            obs: merged.summary(),
+        })
+    }
+
+    /// The event-free batch path: simulate every cell in parallel, group
+    /// the resulting traces into lanes *per catalog* (cells of the same
+    /// scenario kind share one compiled plan), check the groups on the
+    /// columnar engine across the same worker pool, and merge the
+    /// per-cell metrics strictly in cell order.
+    fn run_lane_grouped(
+        &self,
+        cells: &[RunSpec],
+        catalogs: &[(adassure_scenarios::ScenarioKind, Vec<Assertion>)],
+    ) -> Result<CampaignReport, SimError> {
+        let outputs = par::map(cells, simulate);
+        let mut sim_outputs: Vec<SimOutput> = Vec::with_capacity(cells.len());
+        for output in outputs {
+            sim_outputs.push(output?);
+        }
+
+        // Lane groups: for each catalog (in first-appearance order), the
+        // cells using it in ascending cell order, chunked by lane width.
+        // Results are scattered back by cell index, so grouping order
+        // never leaks into the report.
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (cat_idx, (kind, _)) in catalogs.iter().enumerate() {
+            let indices: Vec<usize> = (0..cells.len())
+                .filter(|&i| cells[i].scenario == *kind)
+                .collect();
+            for chunk in indices.chunks(lane::LANES) {
+                groups.push((cat_idx, chunk.to_vec()));
+            }
+        }
+        let checked: Vec<Vec<(CheckReport, MetricsSnapshot)>> =
+            par::map(&groups, |(cat_idx, indices)| {
+                let columnar: Vec<ColumnarTrace> = indices
+                    .iter()
+                    .map(|&i| ColumnarTrace::from_trace(&sim_outputs[i].trace))
+                    .collect();
+                lane::check_columnar_observed(
+                    &catalogs[*cat_idx].1,
+                    HealthConfig::default(),
+                    &columnar,
+                )
+            });
+
+        let mut per_cell: Vec<Option<(CheckReport, MetricsSnapshot)>> =
+            std::iter::repeat_with(|| None).take(cells.len()).collect();
+        for ((_, indices), results) in groups.iter().zip(checked) {
+            for (&cell, result) in indices.iter().zip(results) {
+                per_cell[cell] = Some(result);
+            }
+        }
+
+        let mut merged = MetricsSnapshot::empty();
+        let mut runs: Vec<RunRecord> = Vec::with_capacity(cells.len());
+        for ((spec, output), slot) in cells.iter().zip(&sim_outputs).zip(per_cell) {
+            let (report, metrics) = slot.expect("every cell checked in exactly one lane group");
+            merged.merge(&metrics);
+            let record = RunRecord::from_run(spec, output, &report);
+            if let Some(latency) = record.detection_latency {
+                merged.detection_latency_s.record(latency);
+            }
+            runs.push(record);
         }
         Ok(CampaignReport {
             name: self.name.clone(),

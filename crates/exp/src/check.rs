@@ -2,18 +2,47 @@
 //! deterministic campaign executor.
 //!
 //! Scenario-replay pipelines check thousands of traces against the same
-//! catalog; each check is independent, so the batch parallelises perfectly
-//! on [`par::map`]. Reports come back in input order and are bit-identical
-//! to a serial loop for any worker count.
+//! catalog. The batch path lane-groups the traces first — up to
+//! [`lane::LANES`] traces per group, converted to [`ColumnarTrace`] and
+//! evaluated together by the struct-of-arrays engine — and distributes the
+//! *groups* across [`par::map`] workers. Reports come back in input order
+//! and are bit-identical to the serial scalar loop for any worker count
+//! (the lane engine's differential property test pins this).
 
-use adassure_core::{checker, Assertion, CheckReport};
-use adassure_trace::Trace;
+use adassure_core::{checker, lane, Assertion, CheckReport};
+use adassure_trace::{ColumnarTrace, Trace};
 
 use crate::par;
 
-/// Checks every trace against `catalog` on the campaign thread pool.
+/// Checks every trace against `catalog`: traces are grouped into lanes and
+/// the groups fan out across the campaign thread pool.
 pub fn check_traces(catalog: &[Assertion], traces: &[Trace]) -> Vec<CheckReport> {
+    let groups: Vec<&[Trace]> = traces.chunks(lane::LANES).collect();
+    par::map(&groups, |group| {
+        let columnar: Vec<ColumnarTrace> = group.iter().map(ColumnarTrace::from_trace).collect();
+        lane::check_columnar(catalog, &columnar)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Checks every trace against `catalog` with the scalar per-trace replay,
+/// one trace per work item. Kept as the differential baseline for
+/// [`check_traces`] (and for callers that already hold scalar traces they
+/// are about to mutate).
+pub fn check_traces_scalar(catalog: &[Assertion], traces: &[Trace]) -> Vec<CheckReport> {
     par::map(traces, |trace| checker::check(catalog, trace))
+}
+
+/// Checks a batch already in columnar form — the `.adt` corpus fast path:
+/// no conversion, lane groups fan straight out across the pool.
+pub fn check_columnar_traces(catalog: &[Assertion], traces: &[ColumnarTrace]) -> Vec<CheckReport> {
+    let groups: Vec<&[ColumnarTrace]> = traces.chunks(lane::LANES).collect();
+    par::map(&groups, |group| lane::check_columnar(catalog, group))
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 #[cfg(test)]
@@ -46,16 +75,32 @@ mod tests {
     #[test]
     fn parallel_batch_matches_serial_checks() {
         let catalog = [bound(1.0)];
-        let traces: Vec<Trace> = (0..8).map(|i| trace_with_peak(f64::from(i))).collect();
+        // 19 traces: two full lane groups plus a ragged tail.
+        let traces: Vec<Trace> = (0..19)
+            .map(|i| trace_with_peak(f64::from(i) * 0.4))
+            .collect();
         let parallel = check_traces(&catalog, &traces);
         let serial: Vec<CheckReport> = traces.iter().map(|t| checker::check(&catalog, t)).collect();
         assert_eq!(parallel, serial);
-        // Peaks 2..8 violate the |x| <= 1 bound; 0 and 1 do not.
-        assert_eq!(parallel.iter().filter(|r| !r.is_clean()).count(), 6);
+        assert_eq!(check_traces_scalar(&catalog, &traces), serial);
+        // Peaks above 1.0 violate the bound: i * 0.4 > 1.0 for i >= 3.
+        assert_eq!(parallel.iter().filter(|r| !r.is_clean()).count(), 16);
+    }
+
+    #[test]
+    fn columnar_batch_matches_trace_batch() {
+        let catalog = [bound(1.0)];
+        let traces: Vec<Trace> = (0..10).map(|i| trace_with_peak(f64::from(i))).collect();
+        let columnar: Vec<ColumnarTrace> = traces.iter().map(ColumnarTrace::from_trace).collect();
+        assert_eq!(
+            check_columnar_traces(&catalog, &columnar),
+            check_traces(&catalog, &traces)
+        );
     }
 
     #[test]
     fn empty_batch_yields_no_reports() {
         assert!(check_traces(&[bound(1.0)], &[]).is_empty());
+        assert!(check_columnar_traces(&[bound(1.0)], &[]).is_empty());
     }
 }

@@ -47,6 +47,6 @@ pub mod par;
 pub mod record;
 
 pub use campaign::Campaign;
-pub use check::check_traces;
+pub use check::{check_columnar_traces, check_traces, check_traces_scalar};
 pub use grid::{AttackSet, Grid, RunSpec};
 pub use record::{CampaignReport, GroupSummary, RunRecord};

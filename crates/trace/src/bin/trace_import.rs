@@ -1,0 +1,98 @@
+//! `trace-import` — convert CSV trace corpora to the `.adt` columnar store.
+//!
+//! CSV is the import frontend for externally recorded runs; the batch
+//! checker consumes `.adt`. This tool bridges the two:
+//!
+//! ```text
+//! trace-import [--verify] [--out DIR] FILE.csv [FILE.csv ...]
+//! ```
+//!
+//! Each `FILE.csv` becomes `FILE.adt` next to it (or under `--out DIR`).
+//! `--verify` re-decodes every written document and checks it reproduces
+//! the CSV-parsed trace bit-for-bit before reporting success.
+//!
+//! Exit status is non-zero if any input fails; remaining inputs are still
+//! processed so one corrupt file doesn't abort a corpus conversion.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use adassure_trace::{csv, ColumnarTrace};
+
+fn main() -> ExitCode {
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    let mut out_dir: Option<PathBuf> = None;
+    let mut verify = false;
+
+    let mut argv = std::env::args_os().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.to_str() {
+            Some("--help" | "-h") => {
+                println!("usage: trace-import [--verify] [--out DIR] FILE.csv [FILE.csv ...]");
+                println!();
+                println!("Converts CSV traces to the .adt columnar binary store.");
+                println!("  --out DIR   write .adt files into DIR instead of alongside inputs");
+                println!("  --verify    re-decode each output and compare against the CSV parse");
+                return ExitCode::SUCCESS;
+            }
+            Some("--verify") => verify = true,
+            Some("--out") => match argv.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("trace-import: --out requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Some(flag) if flag.starts_with('-') => {
+                eprintln!("trace-import: unknown flag `{flag}` (see --help)");
+                return ExitCode::FAILURE;
+            }
+            _ => inputs.push(PathBuf::from(arg)),
+        }
+    }
+    if inputs.is_empty() {
+        eprintln!("trace-import: no input files (see --help)");
+        return ExitCode::FAILURE;
+    }
+
+    let mut failures = 0usize;
+    for input in &inputs {
+        match convert(input, out_dir.as_deref(), verify) {
+            Ok(output) => println!("{} -> {}", input.display(), output.display()),
+            Err(message) => {
+                eprintln!("trace-import: {}: {message}", input.display());
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("trace-import: {failures} of {} inputs failed", inputs.len());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Converts one CSV file, returning the `.adt` path it wrote.
+fn convert(input: &Path, out_dir: Option<&Path>, verify: bool) -> Result<PathBuf, String> {
+    let text = std::fs::read_to_string(input).map_err(|e| format!("read failed: {e}"))?;
+    let trace = csv::from_csv(&text).map_err(|e| e.to_string())?;
+    let columnar = ColumnarTrace::from_trace(&trace);
+
+    let mut output = match out_dir {
+        Some(dir) => dir.join(input.file_name().ok_or("input has no file name")?),
+        None => input.to_path_buf(),
+    };
+    output.set_extension("adt");
+    columnar.save(&output).map_err(|e| e.to_string())?;
+
+    if verify {
+        let decoded = ColumnarTrace::load(&output).map_err(|e| e.to_string())?;
+        if decoded != columnar || decoded.to_trace() != trace {
+            return Err(format!(
+                "verification failed: {} does not round-trip the CSV parse",
+                output.display()
+            ));
+        }
+    }
+    Ok(output)
+}

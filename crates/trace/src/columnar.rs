@@ -1,0 +1,649 @@
+//! Columnar trace storage and the `.adt` binary format.
+//!
+//! A [`crate::Trace`] is row-oriented: per signal, a vector of
+//! `(time, value)` samples. That shape is right for recording but wrong for
+//! batch checking, where the evaluator wants each signal's values as one
+//! contiguous `f64` run and a shared *cycle index* mapping every sample to
+//! its replay cycle. [`ColumnarTrace`] is that shape, and `.adt` is its
+//! on-disk serialisation — a flat, little-endian, 8-byte-aligned layout a
+//! reader could `mmap` and index directly.
+//!
+//! # `.adt` layout (version 1)
+//!
+//! All integers and floats are little-endian; every numeric section starts
+//! on an 8-byte boundary (the variable-length sections are zero-padded up
+//! to a multiple of 8).
+//!
+//! | offset | field |
+//! |--------|-------|
+//! | 0      | magic `b"ADTRAC"` (6 bytes) |
+//! | 6      | format version byte (`1`) |
+//! | 7      | endianness byte (`1` = little-endian) |
+//! | 8      | `u32` signal count |
+//! | 12     | `u32` reserved (must be 0) |
+//! | 16     | `u64` cycle count |
+//! | 24     | `u64` total sample count |
+//! | 32     | `u64` name-table byte length (before padding) |
+//! | 40     | name table: signal names joined by `\n`, zero-padded to ×8 |
+//! | …      | per-signal sample counts: `u64` × signal count |
+//! | …      | cycle times: `f64` × cycle count (strictly increasing) |
+//! | …      | per signal, in name order: times `f64`×nᵢ, then values `f64`×nᵢ |
+//! | …      | cycle indices: `u32` × total samples, zero-padded to ×8 |
+//!
+//! The *cycle times* array is the merged grid of every distinct timestamp
+//! across all signals — exactly the cycle boundaries the offline checker
+//! replays — and each sample's cycle index points at the grid entry whose
+//! time equals the sample's own. Decoding validates every invariant
+//! (monotone finite times, index/time agreement, exact section lengths) and
+//! returns a typed [`TraceError`] rather than panicking on corrupt input.
+
+use std::path::Path;
+
+use crate::{SignalId, Trace, TraceError};
+
+/// `.adt` magic bytes.
+const MAGIC: &[u8; 6] = b"ADTRAC";
+/// Current format version.
+const VERSION: u8 = 1;
+/// Endianness marker: 1 = little-endian (the only defined value).
+const LITTLE_ENDIAN: u8 = 1;
+/// Fixed-size header length in bytes (through `name_table_len`).
+const HEADER_LEN: usize = 40;
+
+/// A trace transposed into columnar form: per-signal contiguous sample
+/// arrays plus a shared cycle grid.
+///
+/// Conversion from and back to [`Trace`] is lossless
+/// ([`ColumnarTrace::from_trace`] / [`ColumnarTrace::to_trace`]), and the
+/// binary round-trip ([`ColumnarTrace::encode`] /
+/// [`ColumnarTrace::decode`]) preserves every `f64` bit-for-bit.
+///
+/// # Example
+///
+/// ```
+/// use adassure_trace::{ColumnarTrace, Trace};
+///
+/// let mut t = Trace::new();
+/// t.record("speed", 0.0, 4.0);
+/// t.record("speed", 0.1, 4.5);
+/// let col = ColumnarTrace::from_trace(&t);
+/// let bytes = col.encode();
+/// let back = ColumnarTrace::decode(&bytes).unwrap();
+/// assert_eq!(back.to_trace(), t);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarTrace {
+    /// Signal ids, sorted by name (the [`Trace`] iteration order).
+    signals: Vec<SignalId>,
+    /// Per-signal `(start, len)` range into the sample arrays.
+    ranges: Vec<(usize, usize)>,
+    /// All sample timestamps, signal-major (signal 0's samples, then 1's…).
+    times: Vec<f64>,
+    /// All sample values, parallel to `times`.
+    values: Vec<f64>,
+    /// Per sample: index into `cycle_times` of the replay cycle it lands on.
+    cycle_idx: Vec<u32>,
+    /// The merged, strictly increasing grid of distinct timestamps.
+    cycle_times: Vec<f64>,
+}
+
+impl ColumnarTrace {
+    /// Transposes a [`Trace`] into columnar form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace holds more than `u32::MAX` distinct timestamps
+    /// (far beyond any recorded run).
+    pub fn from_trace(trace: &Trace) -> Self {
+        // Each series is already strictly time-ordered (and finite, a
+        // `Trace` invariant), so the grid is an incremental sorted merge —
+        // no O(n log n) sort over the full sample count. Series sharing a
+        // grid (the common fixed-rate case) reduce to an equality scan.
+        let mut cycle_times: Vec<f64> = Vec::new();
+        for series in trace.iter() {
+            let samples = series.samples();
+            if samples.len() <= cycle_times.len()
+                && samples.iter().zip(&cycle_times).all(|(s, &t)| s.time == t)
+            {
+                continue;
+            }
+            let mut merged = Vec::with_capacity(cycle_times.len() + samples.len());
+            let (mut i, mut j) = (0, 0);
+            while i < cycle_times.len() && j < samples.len() {
+                let (a, b) = (cycle_times[i], samples[j].time);
+                merged.push(a.min(b));
+                i += usize::from(a <= b);
+                j += usize::from(b <= a);
+            }
+            merged.extend_from_slice(&cycle_times[i..]);
+            merged.extend(samples[j..].iter().map(|s| s.time));
+            cycle_times = merged;
+        }
+        assert!(
+            u32::try_from(cycle_times.len()).is_ok(),
+            "more than u32::MAX distinct timestamps"
+        );
+
+        let total = trace.sample_count();
+        let mut signals = Vec::with_capacity(trace.signal_count());
+        let mut ranges = Vec::with_capacity(trace.signal_count());
+        let mut times = Vec::with_capacity(total);
+        let mut values = Vec::with_capacity(total);
+        let mut cycle_idx = Vec::with_capacity(total);
+        for series in trace.iter() {
+            let start = times.len();
+            let samples = series.samples();
+            if samples.len() == cycle_times.len() {
+                // Dense series: an equal-length strictly-increasing subset
+                // of the grid is the grid itself, so cycle indices are the
+                // identity — no per-sample grid walk.
+                times.extend(samples.iter().map(|s| s.time));
+                values.extend(samples.iter().map(|s| s.value));
+                #[allow(clippy::cast_possible_truncation)] // bounded by the assert above
+                cycle_idx.extend(0..samples.len() as u32);
+            } else {
+                // Series timestamps ascend, so one forward cursor over the
+                // grid resolves every sample's cycle without a binary search.
+                let mut grid = 0usize;
+                for sample in samples {
+                    while cycle_times[grid] < sample.time {
+                        grid += 1;
+                    }
+                    debug_assert_eq!(cycle_times[grid], sample.time);
+                    times.push(sample.time);
+                    values.push(sample.value);
+                    #[allow(clippy::cast_possible_truncation)] // bounded by the assert above
+                    cycle_idx.push(grid as u32);
+                }
+            }
+            signals.push(series.id().clone());
+            ranges.push((start, times.len() - start));
+        }
+        ColumnarTrace {
+            signals,
+            ranges,
+            times,
+            values,
+            cycle_idx,
+            cycle_times,
+        }
+    }
+
+    /// Reconstructs the row-oriented [`Trace`]. Lossless: every sample's
+    /// time and value come back bit-identical.
+    pub fn to_trace(&self) -> Trace {
+        let mut trace = Trace::new();
+        for (i, id) in self.signals.iter().enumerate() {
+            let (times, values, _) = self.series(i);
+            let series = crate::Series::from_samples(
+                id.clone(),
+                times.iter().copied().zip(values.iter().copied()),
+            )
+            .expect("columnar invariants guarantee valid series");
+            trace.insert_series(series);
+        }
+        trace
+    }
+
+    /// Number of signals.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Number of replay cycles (distinct timestamps).
+    pub fn cycle_count(&self) -> usize {
+        self.cycle_times.len()
+    }
+
+    /// Total number of samples across all signals.
+    pub fn sample_count(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Signal ids in storage (name-sorted) order.
+    pub fn signals(&self) -> &[SignalId] {
+        &self.signals
+    }
+
+    /// The merged cycle grid, strictly increasing.
+    pub fn cycle_times(&self) -> &[f64] {
+        &self.cycle_times
+    }
+
+    /// Timestamp of the final cycle; `0.0` for an empty trace (matching
+    /// [`Trace::span`]'s end as the offline checker uses it).
+    pub fn end_time(&self) -> f64 {
+        self.cycle_times.last().copied().unwrap_or(0.0)
+    }
+
+    /// The sample columns of signal `i` (storage order):
+    /// `(times, values, cycle indices)`, all the same length.
+    pub fn series(&self, i: usize) -> (&[f64], &[f64], &[u32]) {
+        let (start, len) = self.ranges[i];
+        (
+            &self.times[start..start + len],
+            &self.values[start..start + len],
+            &self.cycle_idx[start..start + len],
+        )
+    }
+
+    /// Serialises to `.adt` bytes (see the module docs for the layout).
+    pub fn encode(&self) -> Vec<u8> {
+        let name_table: Vec<u8> = self
+            .signals
+            .iter()
+            .map(SignalId::as_str)
+            .collect::<Vec<_>>()
+            .join("\n")
+            .into_bytes();
+
+        let mut out = Vec::with_capacity(
+            HEADER_LEN
+                + pad8(name_table.len())
+                + 8 * self.signals.len()
+                + 8 * self.cycle_times.len()
+                + 16 * self.times.len()
+                + pad8(4 * self.cycle_idx.len()),
+        );
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        out.push(LITTLE_ENDIAN);
+        #[allow(clippy::cast_possible_truncation)] // signal count bounded by u32 slots
+        out.extend_from_slice(&(self.signals.len() as u32).to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes()); // reserved
+        out.extend_from_slice(&(self.cycle_times.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(self.times.len() as u64).to_le_bytes());
+        out.extend_from_slice(&(name_table.len() as u64).to_le_bytes());
+        debug_assert_eq!(out.len(), HEADER_LEN);
+
+        out.extend_from_slice(&name_table);
+        out.resize(pad8(out.len()), 0);
+        for &(_, len) in &self.ranges {
+            out.extend_from_slice(&(len as u64).to_le_bytes());
+        }
+        for &t in &self.cycle_times {
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        for (i, _) in self.signals.iter().enumerate() {
+            let (times, values, _) = self.series(i);
+            for &t in times {
+                out.extend_from_slice(&t.to_le_bytes());
+            }
+            for &v in values {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        for &c in &self.cycle_idx {
+            out.extend_from_slice(&c.to_le_bytes());
+        }
+        out.resize(pad8(out.len()), 0);
+        out
+    }
+
+    /// Decodes `.adt` bytes, validating the full set of format invariants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::BadBinary`] — never panics — on any corrupt,
+    /// truncated or invariant-violating input: wrong magic/version, short
+    /// sections, trailing garbage, unsorted names, non-monotone or
+    /// non-finite times, or cycle indices that disagree with the grid.
+    pub fn decode(bytes: &[u8]) -> Result<Self, TraceError> {
+        let mut r = Reader::new(bytes);
+        let magic = r.take(6, "magic")?;
+        if magic != MAGIC {
+            return Err(r.bad(0, "not an .adt file (bad magic)"));
+        }
+        let version = r.take(1, "version byte")?[0];
+        if version != VERSION {
+            return Err(r.bad(6, format!("unsupported format version {version}")));
+        }
+        let endian = r.take(1, "endianness byte")?[0];
+        if endian != LITTLE_ENDIAN {
+            return Err(r.bad(7, format!("unsupported endianness marker {endian}")));
+        }
+        let signal_count = r.u32("signal count")? as usize;
+        let reserved = r.u32("reserved field")?;
+        if reserved != 0 {
+            return Err(r.bad(12, "reserved field must be zero"));
+        }
+        let cycle_count = r.usize64("cycle count")?;
+        let total_samples = r.usize64("total sample count")?;
+        let name_table_len = r.usize64("name table length")?;
+
+        let name_bytes = r.take(name_table_len, "name table")?.to_vec();
+        r.align8("name table padding")?;
+        let names = parse_names(&name_bytes, signal_count, &r)?;
+
+        let mut counts = Vec::with_capacity(signal_count);
+        for i in 0..signal_count {
+            counts.push(r.usize64(&format!("sample count of signal {i}"))?);
+        }
+        let declared: usize = counts.iter().try_fold(0usize, |acc, &n| {
+            acc.checked_add(n)
+                .filter(|&s| s <= total_samples)
+                .ok_or_else(|| r.bad(24, "per-signal sample counts overflow the total"))
+        })?;
+        if declared != total_samples {
+            return Err(r.bad(
+                24,
+                format!("per-signal counts sum to {declared}, header says {total_samples}"),
+            ));
+        }
+
+        let cycle_times = r.f64s(cycle_count, "cycle times")?;
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(b > a)` also rejects NaN
+        for w in cycle_times.windows(2) {
+            if !(w[1] > w[0]) {
+                return Err(r.bad(r.pos, "cycle times are not strictly increasing"));
+            }
+        }
+        if cycle_times.iter().any(|t| !t.is_finite()) {
+            return Err(r.bad(r.pos, "non-finite cycle time"));
+        }
+
+        let mut times = Vec::with_capacity(total_samples);
+        let mut values = Vec::with_capacity(total_samples);
+        let mut ranges = Vec::with_capacity(signal_count);
+        for (i, &n) in counts.iter().enumerate() {
+            let start = times.len();
+            let t = r.f64s(n, &format!("times of signal {i}"))?;
+            let v = r.f64s(n, &format!("values of signal {i}"))?;
+            #[allow(clippy::neg_cmp_op_on_partial_ord)] // `!(b > a)` also rejects NaN
+            for w in t.windows(2) {
+                if !(w[1] > w[0]) {
+                    return Err(r.bad(
+                        r.pos,
+                        format!(
+                            "timestamps of signal `{}` are not strictly increasing",
+                            names[i]
+                        ),
+                    ));
+                }
+            }
+            if t.iter().any(|x| !x.is_finite()) || v.iter().any(|x| !x.is_finite()) {
+                return Err(r.bad(r.pos, format!("non-finite sample on signal `{}`", names[i])));
+            }
+            times.extend_from_slice(&t);
+            values.extend_from_slice(&v);
+            ranges.push((start, n));
+        }
+
+        let mut cycle_idx = Vec::with_capacity(total_samples);
+        for i in 0..total_samples {
+            cycle_idx.push(r.u32(&format!("cycle index of sample {i}"))?);
+        }
+        r.align8("cycle index padding")?;
+        if r.pos != bytes.len() {
+            return Err(r.bad(r.pos, "trailing bytes after the cycle index section"));
+        }
+        for (j, &c) in cycle_idx.iter().enumerate() {
+            let Some(&grid_time) = cycle_times.get(c as usize) else {
+                return Err(r.bad(r.pos, format!("cycle index {c} out of range (sample {j})")));
+            };
+            if grid_time.to_bits() != times[j].to_bits() {
+                return Err(r.bad(
+                    r.pos,
+                    format!("cycle index of sample {j} points at a different timestamp"),
+                ));
+            }
+        }
+
+        Ok(ColumnarTrace {
+            signals: names.into_iter().map(SignalId::new).collect(),
+            ranges,
+            times,
+            values,
+            cycle_idx,
+            cycle_times,
+        })
+    }
+
+    /// Writes the encoded `.adt` document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on filesystem failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), TraceError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.encode())
+            .map_err(|e| TraceError::Io(format!("write {}: {e}", path.display())))
+    }
+
+    /// Reads and decodes an `.adt` document from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] on filesystem failure and
+    /// [`TraceError::BadBinary`] on a corrupt document.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path)
+            .map_err(|e| TraceError::Io(format!("read {}: {e}", path.display())))?;
+        ColumnarTrace::decode(&bytes)
+    }
+}
+
+/// Rounds `n` up to the next multiple of 8.
+fn pad8(n: usize) -> usize {
+    n.div_ceil(8) * 8
+}
+
+/// Splits and validates the decoded name table: exactly `signal_count`
+/// non-empty names, strictly ascending (the sorted-by-name invariant).
+fn parse_names(
+    bytes: &[u8],
+    signal_count: usize,
+    r: &Reader<'_>,
+) -> Result<Vec<String>, TraceError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|_| r.bad(HEADER_LEN, "name table is not valid UTF-8"))?;
+    let names: Vec<&str> = if text.is_empty() {
+        Vec::new()
+    } else {
+        text.split('\n').collect()
+    };
+    if names.len() != signal_count {
+        return Err(r.bad(
+            HEADER_LEN,
+            format!(
+                "name table holds {} names, header says {signal_count}",
+                names.len()
+            ),
+        ));
+    }
+    if names.iter().any(|n| n.is_empty()) {
+        return Err(r.bad(HEADER_LEN, "empty signal name in name table"));
+    }
+    for w in names.windows(2) {
+        if w[1] <= w[0] {
+            return Err(r.bad(HEADER_LEN, "signal names are not sorted and unique"));
+        }
+    }
+    Ok(names.into_iter().map(str::to_owned).collect())
+}
+
+/// Bounds-checked little-endian cursor over the input bytes.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    fn bad(&self, offset: usize, message: impl Into<String>) -> TraceError {
+        TraceError::BadBinary {
+            offset,
+            message: message.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], TraceError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| self.bad(self.pos, format!("truncated: {what} needs {n} bytes")))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, TraceError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn usize64(&mut self, what: &str) -> Result<usize, TraceError> {
+        let b = self.take(8, what)?;
+        let v = u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]);
+        usize::try_from(v).map_err(|_| self.bad(self.pos - 8, format!("{what} {v} exceeds usize")))
+    }
+
+    fn f64s(&mut self, n: usize, what: &str) -> Result<Vec<f64>, TraceError> {
+        let needed = n
+            .checked_mul(8)
+            .ok_or_else(|| self.bad(self.pos, format!("{what} length overflows")))?;
+        let b = self.take(needed, what)?;
+        Ok(b.chunks_exact(8)
+            .map(|c| f64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]))
+            .collect())
+    }
+
+    /// Skips padding up to the next 8-byte boundary, requiring zero bytes.
+    fn align8(&mut self, what: &str) -> Result<(), TraceError> {
+        let target = pad8(self.pos);
+        let pad = self.take(target - self.pos, what)?;
+        if pad.iter().any(|&b| b != 0) {
+            return Err(self.bad(self.pos - pad.len(), format!("non-zero {what}")));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_rate_trace() -> Trace {
+        let mut t = Trace::new();
+        for i in 0..20 {
+            let time = f64::from(i) * 0.05;
+            t.record("fast", time, f64::from(i) * 0.5 - 3.0);
+            if i % 3 == 0 {
+                t.record("slow", time, -f64::from(i));
+            }
+        }
+        t.record("offgrid", 0.013, 7.5); // timestamp no other signal shares
+        t
+    }
+
+    #[test]
+    fn trace_round_trips_losslessly() {
+        let t = mixed_rate_trace();
+        let col = ColumnarTrace::from_trace(&t);
+        assert_eq!(col.to_trace(), t);
+        assert_eq!(col.sample_count(), t.sample_count());
+        // 20 shared cycles plus the off-grid one.
+        assert_eq!(col.cycle_count(), 21);
+        assert_eq!(col.end_time(), t.span().unwrap().1);
+    }
+
+    #[test]
+    fn binary_round_trips_bit_identically() {
+        let t = mixed_rate_trace();
+        let col = ColumnarTrace::from_trace(&t);
+        let bytes = col.encode();
+        let back = ColumnarTrace::decode(&bytes).unwrap();
+        assert_eq!(back, col);
+        assert_eq!(back.to_trace(), t);
+        // Re-encoding is deterministic down to the byte.
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let col = ColumnarTrace::from_trace(&Trace::new());
+        assert_eq!(col.cycle_count(), 0);
+        assert_eq!(col.end_time(), 0.0);
+        let back = ColumnarTrace::decode(&col.encode()).unwrap();
+        assert!(back.to_trace().is_empty());
+    }
+
+    #[test]
+    fn cycle_index_points_at_shared_grid() {
+        let t = mixed_rate_trace();
+        let col = ColumnarTrace::from_trace(&t);
+        for i in 0..col.signal_count() {
+            let (times, _, cycles) = col.series(i);
+            for (&time, &c) in times.iter().zip(cycles) {
+                assert_eq!(col.cycle_times()[c as usize].to_bits(), time.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn sections_are_8_byte_aligned() {
+        let bytes = ColumnarTrace::from_trace(&mixed_rate_trace()).encode();
+        assert_eq!(bytes.len() % 8, 0);
+        assert_eq!(&bytes[..6], MAGIC);
+        assert_eq!(bytes[6], VERSION);
+        assert_eq!(bytes[7], LITTLE_ENDIAN);
+    }
+
+    #[test]
+    fn corrupt_header_yields_typed_error() {
+        let mut bytes = ColumnarTrace::from_trace(&mixed_rate_trace()).encode();
+        bytes[0] = b'X';
+        assert!(matches!(
+            ColumnarTrace::decode(&bytes),
+            Err(TraceError::BadBinary { .. })
+        ));
+        let mut bytes = ColumnarTrace::from_trace(&mixed_rate_trace()).encode();
+        bytes[6] = 99; // unknown version
+        assert!(matches!(
+            ColumnarTrace::decode(&bytes),
+            Err(TraceError::BadBinary { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_file_yields_typed_error_never_panic() {
+        let bytes = ColumnarTrace::from_trace(&mixed_rate_trace()).encode();
+        for len in 0..bytes.len() {
+            match ColumnarTrace::decode(&bytes[..len]) {
+                Err(TraceError::BadBinary { .. }) => {}
+                other => panic!("truncation at {len} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = ColumnarTrace::from_trace(&mixed_rate_trace()).encode();
+        bytes.extend_from_slice(&[0u8; 8]);
+        assert!(matches!(
+            ColumnarTrace::decode(&bytes),
+            Err(TraceError::BadBinary { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_sample_invariants_are_rejected() {
+        let t = mixed_rate_trace();
+        let base = ColumnarTrace::from_trace(&t).encode();
+        // Flip one byte at a time across the numeric sections; decode must
+        // either succeed (byte was insignificant) or fail typed, not panic.
+        for pos in (HEADER_LEN..base.len()).step_by(7) {
+            let mut bytes = base.clone();
+            bytes[pos] ^= 0xFF;
+            match ColumnarTrace::decode(&bytes) {
+                Ok(_) | Err(TraceError::BadBinary { .. }) => {}
+                other => panic!("byte flip at {pos} gave {other:?}"),
+            }
+        }
+    }
+}

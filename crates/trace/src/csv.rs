@@ -1,9 +1,16 @@
-//! CSV export/import of aligned traces.
+//! CSV import frontend (and export) for aligned traces.
 //!
 //! The simulation engine records every signal on the same fixed time grid,
 //! so a trace maps naturally onto a flat table: one `time` column followed by
 //! one column per signal (sorted by name). The format is deliberately plain
 //! so traces can be plotted with any external tool.
+//!
+//! CSV is the *import* format: externally authored corpora enter through
+//! [`from_csv`] (or the `trace-import` binary, which converts them to the
+//! [`crate::columnar`] `.adt` store the batch checker consumes). The parser
+//! tolerates Windows-authored files — CRLF line endings, lone `\r`
+//! terminators and trailing whitespace — while still reporting genuinely
+//! malformed rows with their line number.
 
 use std::fmt::Write as _;
 
@@ -80,13 +87,13 @@ pub fn to_csv(trace: &Trace) -> Result<String, TraceError> {
 /// invariant (non-monotonic time, infinite value), instead of silently
 /// producing a partial trace.
 pub fn from_csv(text: &str) -> Result<Trace, TraceError> {
-    let mut lines = text.lines().enumerate();
+    let mut lines = logical_lines(text);
     let (_, header) = lines.next().ok_or(TraceError::ParseCsv {
         line: 1,
         message: "empty document".to_owned(),
     })?;
     let mut cols = header.split(',');
-    match cols.next() {
+    match cols.next().map(str::trim) {
         Some("time") => {}
         other => {
             return Err(TraceError::ParseCsv {
@@ -95,11 +102,11 @@ pub fn from_csv(text: &str) -> Result<Trace, TraceError> {
             })
         }
     }
-    let names: Vec<&str> = cols.collect();
+    let names: Vec<&str> = cols.map(str::trim).collect();
 
     let mut trace = Trace::new();
-    for (idx, line) in lines {
-        let line_no = idx + 1;
+    for (line_no, line) in lines {
+        let line = line.trim_end();
         if line.trim().is_empty() {
             continue;
         }
@@ -134,12 +141,42 @@ fn parse_field(field: Option<&str>, line: usize, column: &str) -> Result<f64, Tr
         line,
         message: format!("missing column `{column}`"),
     })?;
-    if raw == "NaN" {
+    // Trim before the NaN sentinel check so `NaN ` / ` NaN` cells (padded
+    // by spreadsheet exports) still encode "no sample".
+    let trimmed = raw.trim();
+    if trimmed == "NaN" {
         return Ok(f64::NAN);
     }
-    raw.trim().parse().map_err(|_| TraceError::ParseCsv {
+    trimmed.parse().map_err(|_| TraceError::ParseCsv {
         line,
         message: format!("invalid number `{raw}` in column `{column}`"),
+    })
+}
+
+/// Splits `text` into `(1-based line number, content)` pairs, accepting
+/// `\n`, `\r\n` and lone `\r` terminators so Windows- and classic-Mac-
+/// authored documents keep accurate line numbers in errors.
+fn logical_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    let mut rest = text;
+    let mut no = 0usize;
+    std::iter::from_fn(move || {
+        if rest.is_empty() {
+            return None;
+        }
+        no += 1;
+        let bytes = rest.as_bytes();
+        let end = bytes
+            .iter()
+            .position(|&b| b == b'\n' || b == b'\r')
+            .unwrap_or(bytes.len());
+        let line = &rest[..end];
+        let skip = match bytes.get(end) {
+            Some(b'\r') if bytes.get(end + 1) == Some(&b'\n') => end + 2,
+            Some(_) => end + 1,
+            None => end,
+        };
+        rest = &rest[skip..];
+        Some((no, line))
     })
 }
 
@@ -253,5 +290,43 @@ mod tests {
         let doc = "time,a\n0.0,1.0\n\n1.0,2.0\n";
         let t = from_csv(doc).unwrap();
         assert_eq!(t.series_by_name("a").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn crlf_documents_parse_like_unix_ones() {
+        let unix = "time,alpha,beta\n0,0,0\n0.5,-1,1\n1,-2,2\n";
+        let windows = unix.replace('\n', "\r\n");
+        let classic_mac = unix.replace('\n', "\r");
+        let expected = from_csv(unix).unwrap();
+        assert_eq!(from_csv(&windows).unwrap(), expected);
+        assert_eq!(from_csv(&classic_mac).unwrap(), expected);
+    }
+
+    #[test]
+    fn trailing_whitespace_and_padded_headers_are_tolerated() {
+        let doc = "time, a , b\t\r\n0.0,1.0,2.0  \r\n1.0, NaN ,4.0\t\r\n";
+        let t = from_csv(doc).unwrap();
+        assert_eq!(t.series_by_name("a").unwrap().len(), 1);
+        assert_eq!(t.series_by_name("b").unwrap().len(), 2);
+        assert_eq!(t.series_by_name("b").unwrap().last().unwrap().value, 4.0);
+    }
+
+    #[test]
+    fn crlf_errors_keep_accurate_line_numbers() {
+        // Backwards timestamp on (1-based) line 3 of a CRLF document.
+        let doc = "time,a\r\n1.0,1.0\r\n0.5,2.0\r\n";
+        match from_csv(doc) {
+            Err(TraceError::Malformed { line, message }) => {
+                assert_eq!(line, 3);
+                assert!(message.contains("non-monotonic"), "{message}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // Ragged row on line 2 still errors despite the CRLF ending.
+        let doc = "time,a,b\r\n0.0,1.0\r\n";
+        assert!(matches!(
+            from_csv(doc),
+            Err(TraceError::ParseCsv { line: 2, .. })
+        ));
     }
 }

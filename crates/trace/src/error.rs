@@ -56,6 +56,16 @@ pub enum TraceError {
         /// The underlying invariant violation, rendered.
         message: String,
     },
+    /// An `.adt` binary document was corrupt, truncated or violated a
+    /// format invariant. Decoding never panics on bad input.
+    BadBinary {
+        /// Byte offset where the problem was detected.
+        offset: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A filesystem operation on a trace file failed.
+    Io(String),
 }
 
 impl fmt::Display for TraceError {
@@ -90,6 +100,10 @@ impl fmt::Display for TraceError {
             TraceError::Malformed { line, message } => {
                 write!(f, "malformed csv row at line {line}: {message}")
             }
+            TraceError::BadBinary { offset, message } => {
+                write!(f, "bad .adt binary at byte {offset}: {message}")
+            }
+            TraceError::Io(message) => write!(f, "trace io error: {message}"),
         }
     }
 }

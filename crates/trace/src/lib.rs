@@ -15,8 +15,10 @@
 //!   offline assertion checker consumes;
 //! * [`stats`] — summary statistics used by assertion mining;
 //! * [`window`] — sliding-window iteration used by temporal operators;
-//! * [`csv`] — flat-file export/import so traces can be inspected outside
-//!   Rust.
+//! * [`csv`] — flat-file import frontend so externally authored traces can
+//!   be ingested (and traces inspected outside Rust);
+//! * [`columnar`] — the `.adt` binary trace store ([`ColumnarTrace`]), the
+//!   shape the batch checker consumes.
 //!
 //! # Example
 //!
@@ -37,6 +39,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod columnar;
 pub mod csv;
 mod error;
 mod series;
@@ -45,6 +48,7 @@ pub mod stats;
 mod trace;
 pub mod window;
 
+pub use columnar::ColumnarTrace;
 pub use error::TraceError;
 pub use series::{Sample, Series};
 pub use signal::{well_known, SignalId};
