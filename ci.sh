@@ -34,6 +34,13 @@ ADASSURE_OBS=1 ADASSURE_OBS_PATH=target/ci_events.jsonl \
     > target/ci_obs_prometheus.txt
 cargo run --release -q -p adassure-bench --bin jsonl_check -- target/ci_events.jsonl
 
+echo "== fleet differential (sharded vs serial, bit-identical for any layout) =="
+cargo test -q -p adassure-fleet --test differential
+
+echo "== fleet soak smoke (10k+ concurrent streams on the sharded checker) =="
+cargo run --release -q -p adassure-bench --bin fleet_soak -- \
+    --smoke --out target/ci_fleet_soak.json
+
 echo "== cargo bench --no-run (benchmarks stay compilable) =="
 cargo bench --workspace --no-run
 

@@ -25,7 +25,7 @@ use adassure_bench::{catalog_for, run_clean};
 use adassure_control::ControllerKind;
 use adassure_core::catalog::{self, CatalogConfig};
 use adassure_core::{checker, HealthConfig, OnlineChecker};
-use adassure_exp::{check_columnar_traces, check_traces, par};
+use adassure_exp::{check_columnar_traces, check_traces, par, Runtime};
 use adassure_obs::{JsonlWriter, ObsConfig};
 use adassure_scenarios::{Scenario, ScenarioKind};
 use adassure_trace::{ColumnarTrace, SignalId, Trace};
@@ -256,7 +256,7 @@ fn measure_offline() -> (f64, Batch, ColumnarBatch) {
     }
     let batch = Batch {
         traces: traces.len(),
-        workers: par::thread_count().min(groups.max(1)),
+        workers: Runtime::global().effective_workers(groups),
         wall_ms: batch_best * 1e3,
         traces_per_sec: traces.len() as f64 / batch_best,
     };
@@ -277,7 +277,7 @@ fn measure_offline() -> (f64, Batch, ColumnarBatch) {
     let columnar = ColumnarBatch {
         traces: traces.len(),
         lanes: adassure_core::lane::LANES,
-        workers: par::thread_count().min(groups.max(1)),
+        workers: Runtime::global().effective_workers(groups),
         wall_ms: columnar_best * 1e3,
         traces_per_sec: columnar_tps,
         baseline_traces_per_sec: BASELINE_BATCH_TRACES_PER_SEC,

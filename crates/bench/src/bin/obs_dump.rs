@@ -107,4 +107,11 @@ fn main() {
     } else {
         print!("{}", export::prometheus(&merged));
     }
+
+    if let (Some(p50), Some(p99)) = (merged.eval_cycle_ns.p50(), merged.eval_cycle_ns.p99()) {
+        eprintln!(
+            "eval cycle latency: p50 <= {p50:.0} ns, p99 <= {p99:.0} ns over {} cycles",
+            merged.eval_cycle_ns.count
+        );
+    }
 }

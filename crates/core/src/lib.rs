@@ -63,6 +63,6 @@ pub mod violation;
 pub use assertion::{Assertion, AssertionId, Condition, Severity, Temporal};
 pub use expr::SignalExpr;
 pub use lane::{check_columnar, LANES};
-pub use online::{CycleError, HealthConfig, HealthState, OnlineChecker};
+pub use online::{CheckerPlan, CycleError, HealthConfig, HealthState, MonitorPlan, OnlineChecker};
 pub use report::CheckReport;
 pub use violation::Violation;

@@ -37,6 +37,7 @@
 //! finite-valued streams.
 
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
 use adassure_obs::{
@@ -123,8 +124,12 @@ impl Default for HealthConfig {
     }
 }
 
+/// One assertion's compiled, immutable evaluation plan: the condition
+/// lowered to postfix ops over interned slots, its input mask, and the
+/// derived flags the monitor loop consults every cycle. Owned by a
+/// [`CheckerPlan`] and shared read-only by every checker built from it.
 #[derive(Debug)]
-struct MonitorState {
+pub struct MonitorPlan {
     assertion: Assertion,
     /// The condition lowered to postfix ops over interned slots.
     condition: CompiledCondition,
@@ -135,6 +140,98 @@ struct MonitorState {
     /// `Fresh` conditions monitor staleness themselves; the health layer's
     /// staleness rule would shadow them, so they are exempt from it.
     staleness_exempt: bool,
+    /// Assertion id as an inline label, so events carry no heap strings.
+    label: Label,
+}
+
+impl MonitorPlan {
+    /// The assertion this plan was compiled from.
+    pub fn assertion(&self) -> &Assertion {
+        &self.assertion
+    }
+}
+
+/// The compiled, shareable half of an [`OnlineChecker`]: the interned
+/// signal table (as a prototype [`Env`]) plus every assertion's
+/// [`MonitorPlan`].
+///
+/// Compiling a catalog is the expensive part of checker construction —
+/// lowering conditions to postfix programs and interning signal names.
+/// A fleet monitoring thousands of streams against one catalog compiles
+/// the plan **once**, wraps it in an [`Arc`], and stamps out per-stream
+/// checkers with [`OnlineChecker::from_plan`]; each checker then carries
+/// only its own mutable state (sample-and-hold `Env`, health machines,
+/// verdict caches). The plan is `Send + Sync` and never mutated after
+/// compilation, so sharing is free of synchronisation.
+#[derive(Debug)]
+pub struct CheckerPlan {
+    /// Prototype environment: the interned table with empty signal state.
+    /// Each checker clones it, so slot indices agree across all streams.
+    env_proto: Env,
+    monitors: Vec<MonitorPlan>,
+    /// Deepest evaluation stack in the catalog, so checkers pre-size their
+    /// scratch stack and never allocate on the steady-state path.
+    max_stack: usize,
+    /// Width of the interned table, for dirty masks and poison tables.
+    width: usize,
+}
+
+impl CheckerPlan {
+    /// Compiles an assertion catalog into a shareable plan.
+    pub fn compile(catalog: impl IntoIterator<Item = Assertion>) -> Self {
+        let mut env = Env::new();
+        let mut monitors: Vec<MonitorPlan> = catalog
+            .into_iter()
+            .map(|assertion| {
+                let condition = CompiledCondition::compile(&assertion.condition, &mut env);
+                // `time_dependent` is true exactly for `Fresh` conditions —
+                // the ones whose subject is staleness itself.
+                let staleness_exempt = condition.time_dependent();
+                let label = Label::new(assertion.id.as_str());
+                MonitorPlan {
+                    assertion,
+                    condition,
+                    inputs: SlotMask::with_capacity(0),
+                    input_slots: Box::new([]),
+                    staleness_exempt,
+                    label,
+                }
+            })
+            .collect();
+        // Input masks need the final table width (compiling a later
+        // assertion can intern more slots), so size them in a second pass.
+        let width = env.table().len();
+        let mut max_stack = 0;
+        for monitor in &mut monitors {
+            let mut mask = SlotMask::with_capacity(width);
+            monitor.condition.mark_inputs(&mut mask);
+            monitor.input_slots = mask.iter().collect();
+            monitor.inputs = mask;
+            max_stack = max_stack.max(monitor.condition.max_stack());
+        }
+        CheckerPlan {
+            env_proto: env,
+            monitors,
+            max_stack,
+            width,
+        }
+    }
+
+    /// Number of assertions in the plan.
+    pub fn assertion_count(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// The per-assertion plans, in catalog order.
+    pub fn monitors(&self) -> &[MonitorPlan] {
+        &self.monitors
+    }
+}
+
+/// Per-stream mutable state of one monitor — everything that changes as
+/// cycles close, parallel to the plan's [`MonitorPlan`] list.
+#[derive(Debug, Clone)]
+struct MonitorRt {
     health: HealthState,
     degraded_streak: u32,
     clean_streak: u32,
@@ -147,10 +244,25 @@ struct MonitorState {
     /// Index into the violation list of this episode's alarm, so recovery
     /// can be stamped when the condition heals.
     open_violation: Option<usize>,
-    /// Assertion id as an inline label, so events carry no heap strings.
-    label: Label,
     /// Verdict of the previous cycle, for flip counting/events.
     last_verdict: ObsVerdict,
+}
+
+impl MonitorRt {
+    fn new() -> Self {
+        MonitorRt {
+            health: HealthState::Active,
+            degraded_streak: 0,
+            clean_streak: 0,
+            cached: None,
+            episode_start: None,
+            alarmed_this_episode: false,
+            ever_healthy: false,
+            saw_first_sample: false,
+            open_violation: None,
+            last_verdict: ObsVerdict::Unknown,
+        }
+    }
 }
 
 /// The incremental checker.
@@ -176,8 +288,11 @@ struct MonitorState {
 /// ```
 #[derive(Debug)]
 pub struct OnlineChecker {
+    /// The shared compiled plan (catalog, conditions, interned table).
+    plan: Arc<CheckerPlan>,
     env: Env,
-    monitors: Vec<MonitorState>,
+    /// Per-monitor mutable state, parallel to `plan.monitors`.
+    monitors: Vec<MonitorRt>,
     /// Slots updated since the last `end_cycle`.
     dirty: SlotMask,
     /// Per-slot poison flag: true while the slot's latest sample was
@@ -232,52 +347,29 @@ impl OnlineChecker {
         catalog: impl IntoIterator<Item = Assertion>,
         health_config: HealthConfig,
     ) -> Self {
-        let mut env = Env::new();
-        let mut monitors: Vec<MonitorState> = catalog
-            .into_iter()
-            .map(|assertion| {
-                let condition = CompiledCondition::compile(&assertion.condition, &mut env);
-                // `time_dependent` is true exactly for `Fresh` conditions —
-                // the ones whose subject is staleness itself.
-                let staleness_exempt = condition.time_dependent();
-                let label = Label::new(assertion.id.as_str());
-                MonitorState {
-                    assertion,
-                    condition,
-                    inputs: SlotMask::with_capacity(0),
-                    input_slots: Box::new([]),
-                    staleness_exempt,
-                    health: HealthState::Active,
-                    degraded_streak: 0,
-                    clean_streak: 0,
-                    cached: None,
-                    episode_start: None,
-                    alarmed_this_episode: false,
-                    ever_healthy: false,
-                    saw_first_sample: false,
-                    open_violation: None,
-                    label,
-                    last_verdict: ObsVerdict::Unknown,
-                }
-            })
-            .collect();
-        // Input masks need the final table width (compiling a later
-        // assertion can intern more slots), so size them in a second pass.
-        let width = env.table().len();
-        let mut max_stack = 0;
-        for monitor in &mut monitors {
-            let mut mask = SlotMask::with_capacity(width);
-            monitor.condition.mark_inputs(&mut mask);
-            monitor.input_slots = mask.iter().collect();
-            monitor.inputs = mask;
-            max_stack = max_stack.max(monitor.condition.max_stack());
-        }
-        let stats = monitors
+        OnlineChecker::from_plan(Arc::new(CheckerPlan::compile(catalog)), health_config)
+    }
+
+    /// Creates a checker over an already-compiled shared plan.
+    ///
+    /// This is the fleet path: compile the catalog once with
+    /// [`CheckerPlan::compile`], then stamp out one checker per stream.
+    /// Construction clones the plan's prototype environment (empty signal
+    /// state, shared interned table) and allocates only the per-stream
+    /// state; no compilation or interning happens here.
+    pub fn from_plan(plan: Arc<CheckerPlan>, health_config: HealthConfig) -> Self {
+        let env = plan.env_proto.clone();
+        let monitors = vec![MonitorRt::new(); plan.monitors.len()];
+        let stats = plan
+            .monitors
             .iter()
             .map(|m| AssertionStats::new(m.assertion.id.as_str()))
             .collect::<Vec<_>>()
             .into_boxed_slice();
+        let width = plan.width;
+        let max_stack = plan.max_stack;
         OnlineChecker {
+            plan,
             env,
             monitors,
             dirty: SlotMask::with_capacity(width),
@@ -334,6 +426,12 @@ impl OnlineChecker {
     /// Number of monitored assertions.
     pub fn assertion_count(&self) -> usize {
         self.monitors.len()
+    }
+
+    /// The shared compiled plan this checker runs on. Clone the `Arc` to
+    /// stamp out further checkers over the same catalog.
+    pub fn plan(&self) -> &Arc<CheckerPlan> {
+        &self.plan
     }
 
     /// Opens a new control cycle at time `t`. Call before the cycle's
@@ -403,6 +501,7 @@ impl OnlineChecker {
         // Destructure for disjoint field borrows: the monitor loop mutates
         // `monitors`/`stats` while emitting through `sink`.
         let OnlineChecker {
+            plan,
             env,
             monitors,
             dirty,
@@ -419,10 +518,16 @@ impl OnlineChecker {
             run_id,
             ..
         } = self;
+        let plan = &**plan;
         let t = env.now();
         let before = violations.len();
-        for (monitor, stat) in monitors.iter_mut().zip(stats.iter_mut()) {
-            if t < monitor.assertion.grace {
+        for ((mp, monitor), stat) in plan
+            .monitors
+            .iter()
+            .zip(monitors.iter_mut())
+            .zip(stats.iter_mut())
+        {
+            if t < mp.assertion.grace {
                 continue;
             }
             let prev_health = obs_health(monitor.health);
@@ -431,9 +536,9 @@ impl OnlineChecker {
             // Slots never seen stay neutral — that is the existing Unknown
             // start-up semantics, not a telemetry fault.
             let mut missing = 0u32;
-            for &slot in monitor.input_slots.iter() {
+            for &slot in mp.input_slots.iter() {
                 let is_poisoned = poisoned.get(slot as usize).copied().unwrap_or(false);
-                let stale = !monitor.staleness_exempt
+                let stale = !mp.staleness_exempt
                     && env
                         .age_at(slot)
                         .is_some_and(|age| age > health_config.stale_after);
@@ -462,11 +567,11 @@ impl OnlineChecker {
                     }
                 }
                 if monitor.health == HealthState::Active {
-                    if monitor.condition.time_dependent()
+                    if mp.condition.time_dependent()
                         || monitor.cached.is_none()
-                        || monitor.inputs.intersects(dirty)
+                        || mp.inputs.intersects(dirty)
                     {
-                        let eval = monitor.condition.eval(env, stack);
+                        let eval = mp.condition.eval(env, stack);
                         monitor.cached = Some(eval);
                         eval
                     } else {
@@ -486,7 +591,7 @@ impl OnlineChecker {
                 let ev = ObsEvent::HealthTransition {
                     run: *run_id,
                     t,
-                    assertion: monitor.label,
+                    assertion: mp.label,
                     from: prev_health,
                     to: new_health,
                 };
@@ -499,7 +604,7 @@ impl OnlineChecker {
                 let ev = ObsEvent::VerdictFlip {
                     run: *run_id,
                     t,
-                    assertion: monitor.label,
+                    assertion: mp.label,
                     from: monitor.last_verdict,
                     to: verdict,
                 };
@@ -534,7 +639,7 @@ impl OnlineChecker {
                 Eval::Violated(value) => {
                     monitor.saw_first_sample = true;
                     let onset = *monitor.episode_start.get_or_insert(t);
-                    let should_alarm = match monitor.assertion.temporal {
+                    let should_alarm = match mp.assertion.temporal {
                         Temporal::Immediate => !monitor.alarmed_this_episode,
                         Temporal::Sustained(d) => !monitor.alarmed_this_episode && t - onset >= d,
                         Temporal::Eventually => false, // judged at finish()
@@ -544,8 +649,8 @@ impl OnlineChecker {
                         monitor.open_violation = Some(violations.len());
                         stat.episodes += 1;
                         violations.push(Violation {
-                            assertion: monitor.assertion.id.clone(),
-                            severity: monitor.assertion.severity,
+                            assertion: mp.assertion.id.clone(),
+                            severity: mp.assertion.severity,
                             onset,
                             detected: t,
                             value,
@@ -590,10 +695,12 @@ impl OnlineChecker {
     /// temporal operator has fired and whose condition has not healed —
     /// at or above `min` severity. `None` when no such alarm stands.
     pub fn open_episode_onset(&self, min: Severity) -> Option<f64> {
-        self.monitors
+        self.plan
+            .monitors
             .iter()
-            .filter(|m| m.assertion.severity >= min && m.alarmed_this_episode)
-            .filter_map(|m| m.episode_start)
+            .zip(&self.monitors)
+            .filter(|(mp, m)| mp.assertion.severity >= min && m.alarmed_this_episode)
+            .filter_map(|(_, m)| m.episode_start)
             .min_by(|a, b| a.total_cmp(b))
     }
 
@@ -636,16 +743,17 @@ impl OnlineChecker {
         end_time: f64,
     ) -> (CheckReport, MetricsSnapshot, Option<Box<dyn EventSink>>) {
         for i in 0..self.monitors.len() {
+            let mp = &self.plan.monitors[i];
             let monitor = &self.monitors[i];
-            if monitor.assertion.temporal == Temporal::Eventually
+            if mp.assertion.temporal == Temporal::Eventually
                 && monitor.saw_first_sample
                 && !monitor.ever_healthy
             {
                 self.stats[i].episodes += 1;
                 self.violations.push(Violation {
-                    assertion: monitor.assertion.id.clone(),
-                    severity: monitor.assertion.severity,
-                    onset: monitor.assertion.grace,
+                    assertion: mp.assertion.id.clone(),
+                    severity: mp.assertion.severity,
+                    onset: mp.assertion.grace,
                     detected: end_time,
                     value: f64::NAN,
                     recovered: None,

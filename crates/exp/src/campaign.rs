@@ -18,8 +18,8 @@ use adassure_sim::SimError;
 use adassure_trace::ColumnarTrace;
 
 use crate::grid::{Grid, RunSpec};
-use crate::par;
 use crate::record::{CampaignReport, RunRecord};
+use crate::runtime::Runtime;
 
 /// Picks an assertion catalog for a scenario. Campaigns default to
 /// [`standard_catalog`]; the mining and ablation studies substitute their
@@ -116,6 +116,7 @@ pub struct Campaign<'a> {
     name: String,
     grid: Grid,
     catalog: Box<CatalogSource<'a>>,
+    runtime: Runtime,
 }
 
 impl std::fmt::Debug for Campaign<'_> {
@@ -134,6 +135,7 @@ impl<'a> Campaign<'a> {
             name: name.into(),
             grid,
             catalog: Box::new(standard_catalog),
+            runtime: Runtime::global(),
         }
     }
 
@@ -143,6 +145,15 @@ impl<'a> Campaign<'a> {
         source: impl Fn(&Scenario) -> Vec<Assertion> + Send + Sync + 'a,
     ) -> Self {
         self.catalog = Box::new(source);
+        self
+    }
+
+    /// Replaces the worker runtime (default: [`Runtime::global`], the
+    /// `ADASSURE_THREADS`-steered process pool). The determinism tests use
+    /// this to compare serial and parallel executions without mutating the
+    /// process environment.
+    pub fn with_runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
         self
     }
 
@@ -207,7 +218,7 @@ impl<'a> Campaign<'a> {
         // JSONL path a NullSink keeps the filter/counter semantics (and
         // therefore the report bytes) identical while dropping the payload.
         let collect_events = obs.events && obs.jsonl_path.is_some();
-        let outcomes = par::map(&cells, |spec| {
+        let outcomes = self.runtime.map(&cells, |spec| {
             let cat = &catalogs
                 .iter()
                 .find(|(kind, _)| *kind == spec.scenario)
@@ -263,7 +274,7 @@ impl<'a> Campaign<'a> {
         cells: &[RunSpec],
         catalogs: &[(adassure_scenarios::ScenarioKind, Vec<Assertion>)],
     ) -> Result<CampaignReport, SimError> {
-        let outputs = par::map(cells, simulate);
+        let outputs = self.runtime.map(cells, simulate);
         let mut sim_outputs: Vec<SimOutput> = Vec::with_capacity(cells.len());
         for output in outputs {
             sim_outputs.push(output?);
@@ -283,7 +294,7 @@ impl<'a> Campaign<'a> {
             }
         }
         let checked: Vec<Vec<(CheckReport, MetricsSnapshot)>> =
-            par::map(&groups, |(cat_idx, indices)| {
+            self.runtime.map(&groups, |(cat_idx, indices)| {
                 let columnar: Vec<ColumnarTrace> = indices
                     .iter()
                     .map(|&i| ColumnarTrace::from_trace(&sim_outputs[i].trace))

@@ -7,9 +7,12 @@
 //!
 //! - [`grid`] declares the sweep as a [`Grid`](grid::Grid) and enumerates it
 //!   into indexed [`RunSpec`](grid::RunSpec) cells;
-//! - [`par`] executes cells on a scoped thread pool with results keyed by
-//!   cell index, so output is bit-identical to a serial run regardless of
-//!   thread count (`ADASSURE_THREADS` overrides the worker count);
+//! - [`runtime`] owns the shared worker pool ([`runtime::Runtime`]) used by
+//!   campaigns *and* the fleet monitor server; [`par`] is its campaign-facing
+//!   surface, executing cells with results keyed by cell index so output is
+//!   bit-identical to a serial run regardless of thread count
+//!   (`ADASSURE_THREADS` overrides the worker count, parsed once per
+//!   process);
 //! - [`campaign`] is the single entry point wiring a cell through
 //!   `adassure_scenarios::run` and the checker into a record;
 //! - [`record`] holds the structured per-run and per-campaign result types
@@ -45,8 +48,10 @@ pub mod check;
 pub mod grid;
 pub mod par;
 pub mod record;
+pub mod runtime;
 
 pub use campaign::Campaign;
 pub use check::{check_columnar_traces, check_traces, check_traces_scalar};
 pub use grid::{AttackSet, Grid, RunSpec};
 pub use record::{CampaignReport, GroupSummary, RunRecord};
+pub use runtime::Runtime;

@@ -1,47 +1,64 @@
 //! Deterministic parallel execution over grid cells.
 //!
-//! Work is distributed by an atomic cursor over the cell list and every
-//! result is keyed by its cell index, so the merged output is bit-identical
-//! to a serial run regardless of worker count or scheduling. The worker
-//! count defaults to the machine's available parallelism and can be
-//! overridden with the `ADASSURE_THREADS` environment variable.
+//! This module is the campaign-facing surface of the shared worker pool;
+//! the pool itself lives in [`crate::runtime`] so the fleet monitor server
+//! can drive shards on the same machinery. Work is distributed by an
+//! atomic cursor over the item list and every result is keyed by its item
+//! index, so the merged output is bit-identical to a serial run regardless
+//! of worker count or scheduling.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::runtime::Runtime;
+use std::sync::OnceLock;
 
 /// Environment variable overriding the worker count (values `>= 1`;
 /// anything else falls back to the default).
 pub const THREADS_ENV: &str = "ADASSURE_THREADS";
 
-/// The number of workers a campaign will use: `ADASSURE_THREADS` when set
-/// to a positive integer, otherwise the machine's available parallelism.
+/// The number of workers the global [`Runtime`] uses.
+///
+/// Precedence, resolved **once per process** on the first call (the
+/// result is cached in a `OnceLock`, so later changes to the environment
+/// are ignored):
+///
+/// 1. `ADASSURE_THREADS`, when set to a positive integer (anything else —
+///    empty, `0`, non-numeric — is ignored);
+/// 2. the machine's available parallelism
+///    ([`std::thread::available_parallelism`]);
+/// 3. `1`, when the parallelism query itself fails.
+///
+/// Callers that need a *different* worker count in the same process (the
+/// determinism tests, explicit fleet configs) construct a
+/// [`Runtime::with_workers`] instead of mutating the environment.
 pub fn thread_count() -> usize {
-    if let Ok(value) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = value.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var(THREADS_ENV)
+            .ok()
+            .as_deref()
+            .and_then(parse_thread_override)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
 }
 
-/// Maps `f` over `items` on `thread_count()` scoped workers, returning
-/// results in item order.
-///
-/// `f` must be a pure function of its item (plus shared read-only state) for
-/// the determinism guarantee to mean anything; every experiment run is
-/// seeded per cell, so this holds throughout the workspace.
-///
-/// # Panics
-///
-/// Propagates a panic from `f` (the first panicking worker's payload).
+/// Parses an `ADASSURE_THREADS` value: `Some(n)` for a positive integer
+/// (surrounding whitespace tolerated), `None` for anything else.
+pub fn parse_thread_override(value: &str) -> Option<usize> {
+    match value.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        _ => None,
+    }
+}
+
+/// Maps `f` over `items` on the global [`Runtime`]'s workers, returning
+/// results in item order. See [`Runtime::map`] for the purity contract and
+/// panic behaviour.
 pub fn map<I, T, F>(items: &[I], f: F) -> Vec<T>
 where
     I: Sync,
     T: Send,
     F: Fn(&I) -> T + Sync,
 {
-    map_with_threads(items, thread_count(), f)
+    Runtime::global().map(items, f)
 }
 
 /// [`map`] with an explicit worker count (used by the determinism tests).
@@ -51,44 +68,7 @@ where
     T: Send,
     F: Fn(&I) -> T + Sync,
 {
-    let threads = threads.clamp(1, items.len().max(1));
-    if threads <= 1 {
-        return items.iter().map(f).collect();
-    }
-
-    let cursor = AtomicUsize::new(0);
-    let mut slots: Vec<Option<T>> = std::iter::repeat_with(|| None).take(items.len()).collect();
-    std::thread::scope(|scope| {
-        let workers: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut produced = Vec::new();
-                    loop {
-                        let index = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(item) = items.get(index) else {
-                            break;
-                        };
-                        produced.push((index, f(item)));
-                    }
-                    produced
-                })
-            })
-            .collect();
-        for worker in workers {
-            match worker.join() {
-                Ok(produced) => {
-                    for (index, value) in produced {
-                        slots[index] = Some(value);
-                    }
-                }
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("cursor visits every cell exactly once"))
-        .collect()
+    Runtime::with_workers(threads).map(items, f)
 }
 
 #[cfg(test)]
@@ -96,37 +76,29 @@ mod tests {
     use super::*;
 
     #[test]
-    fn results_come_back_in_item_order() {
-        let items: Vec<u64> = (0..100).collect();
-        for threads in [1, 2, 4, 7] {
-            let out = map_with_threads(&items, threads, |&x| x * x);
-            assert_eq!(out, items.iter().map(|&x| x * x).collect::<Vec<_>>());
-        }
+    fn map_matches_serial_iteration() {
+        let items: Vec<u64> = (0..50).collect();
+        let out = map_with_threads(&items, 4, |&x| x + 1);
+        assert_eq!(out, items.iter().map(|&x| x + 1).collect::<Vec<_>>());
     }
 
     #[test]
-    fn empty_and_singleton_inputs() {
-        let empty: Vec<u32> = Vec::new();
-        assert!(map_with_threads(&empty, 8, |&x| x).is_empty());
-        assert_eq!(map_with_threads(&[5u32], 8, |&x| x + 1), vec![6]);
+    fn override_parsing_accepts_positive_integers_only() {
+        assert_eq!(parse_thread_override("4"), Some(4));
+        assert_eq!(parse_thread_override("  2 "), Some(2));
+        assert_eq!(parse_thread_override("1"), Some(1));
+        assert_eq!(parse_thread_override("0"), None);
+        assert_eq!(parse_thread_override(""), None);
+        assert_eq!(parse_thread_override("not-a-number"), None);
+        assert_eq!(parse_thread_override("-3"), None);
     }
 
     #[test]
-    fn oversubscription_matches_serial() {
-        let items: Vec<u64> = (0..13).collect();
-        let serial = map_with_threads(&items, 1, |&x| x.wrapping_mul(0x9E37_79B9));
-        let wide = map_with_threads(&items, 64, |&x| x.wrapping_mul(0x9E37_79B9));
-        assert_eq!(serial, wide);
-    }
-
-    #[test]
-    fn worker_panics_propagate() {
-        let result = std::panic::catch_unwind(|| {
-            map_with_threads(&[1u32, 2, 3], 2, |&x| {
-                assert_ne!(x, 2, "boom");
-                x
-            })
-        });
-        assert!(result.is_err());
+    fn thread_count_is_stable_within_a_process() {
+        // The cached value never changes once resolved — the determinism
+        // campaigns rely on construction-time worker counts instead.
+        let first = thread_count();
+        assert!(first >= 1);
+        assert_eq!(thread_count(), first);
     }
 }

@@ -4,7 +4,7 @@
 
 use adassure_control::ControllerKind;
 use adassure_exp::grid::{AttackSet, Grid};
-use adassure_exp::{par, Campaign};
+use adassure_exp::{Campaign, Runtime};
 use adassure_scenarios::ScenarioKind;
 
 fn small_grid() -> Grid {
@@ -16,38 +16,29 @@ fn small_grid() -> Grid {
         .seeds([1, 2])
 }
 
-/// One test body owns the `ADASSURE_THREADS` variable for the whole file —
-/// per-case `#[test]` functions would race on the process environment.
+/// `thread_count()` is resolved once per process, so the comparison pins
+/// explicit [`Runtime`]s on each campaign instead of mutating the
+/// environment mid-run.
 #[test]
-fn campaign_json_is_identical_across_thread_counts() {
-    std::env::set_var(par::THREADS_ENV, "1");
-    assert_eq!(par::thread_count(), 1);
+fn campaign_json_is_identical_across_worker_counts() {
     let serial = Campaign::new("determinism", small_grid())
+        .with_runtime(Runtime::with_workers(1))
         .run()
         .expect("serial campaign");
 
-    std::env::set_var(par::THREADS_ENV, "4");
-    assert_eq!(par::thread_count(), 4);
     let parallel = Campaign::new("determinism", small_grid())
+        .with_runtime(Runtime::with_workers(4))
         .run()
         .expect("parallel campaign");
-    std::env::remove_var(par::THREADS_ENV);
 
     assert_eq!(
         serial.to_json(),
         parallel.to_json(),
-        "4-thread campaign JSON must be byte-identical to the serial run"
+        "4-worker campaign JSON must be byte-identical to the serial run"
     );
 
     // The guarantee is not vacuous: the grid really ran and detected.
     // (clean + the standard catalog's one IMU attack) × 2 seeds.
     assert_eq!(serial.runs.len(), 4);
     assert!(serial.runs.iter().any(|r| r.detected));
-
-    // Unset and invalid overrides fall back to the machine default.
-    std::env::set_var(par::THREADS_ENV, "0");
-    assert!(par::thread_count() >= 1);
-    std::env::set_var(par::THREADS_ENV, "not-a-number");
-    assert!(par::thread_count() >= 1);
-    std::env::remove_var(par::THREADS_ENV);
 }

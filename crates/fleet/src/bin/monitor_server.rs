@@ -1,0 +1,257 @@
+//! `monitor-server` — a demo fleet monitor service.
+//!
+//! Drives a synthetic vehicle fleet through the sharded checker and
+//! serves the merged metrics over HTTP (`GET /metrics`, Prometheus text
+//! format; `GET /metrics.json` for the JSON exporter), plus fleet-level
+//! gauges (open streams, rejected batches, stale drops). Plain
+//! `std::net` — no async runtime, one thread per connection, which is
+//! plenty for a scrape endpoint.
+//!
+//! ```text
+//! monitor-server [--streams N] [--shards N] [--port P] [--ticks N] [--once]
+//! ```
+//!
+//! `--once` runs `--ticks` ingestion ticks and prints the Prometheus
+//! export to stdout instead of serving — the CI smoke mode.
+
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+
+use adassure_core::{Assertion, Condition, Severity, SignalExpr};
+use adassure_fleet::{Fleet, FleetConfig, SampleBatch, StreamId, SubmitError};
+use adassure_obs::export;
+
+struct Args {
+    streams: usize,
+    shards: usize,
+    port: u16,
+    ticks: u64,
+    once: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        streams: 256,
+        shards: 8,
+        port: 9464,
+        ticks: 200,
+        once: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut grab = |name: &str| {
+            it.next()
+                .and_then(|v| v.parse::<u64>().ok())
+                .unwrap_or_else(|| panic!("{name} needs a numeric value"))
+        };
+        match flag.as_str() {
+            "--streams" => args.streams = grab("--streams") as usize,
+            "--shards" => args.shards = grab("--shards") as usize,
+            "--port" => args.port = grab("--port") as u16,
+            "--ticks" => args.ticks = grab("--ticks"),
+            "--once" => args.once = true,
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn catalog() -> Vec<Assertion> {
+    vec![
+        Assertion::new(
+            "S1",
+            "bounded cross-track error",
+            Severity::Critical,
+            Condition::AtMost {
+                expr: SignalExpr::signal("xtrack").abs(),
+                limit: 1.0,
+            },
+        ),
+        Assertion::new(
+            "S2",
+            "speed stays non-negative",
+            Severity::Warning,
+            Condition::AtLeast {
+                expr: SignalExpr::signal("speed"),
+                limit: 0.0,
+            },
+        ),
+        Assertion::new(
+            "S3",
+            "gnss fix is fresh",
+            Severity::Critical,
+            Condition::Fresh {
+                signal: "gnss_x".into(),
+                max_age: 0.5,
+            },
+        ),
+    ]
+}
+
+/// Deterministic per-stream telemetry synthesizer (split-mix style LCG).
+struct Synth {
+    state: u64,
+    t: f64,
+}
+
+impl Synth {
+    fn new(seed: u64) -> Self {
+        Synth {
+            state: seed.wrapping_mul(2654435761).wrapping_add(12345),
+            t: 0.0,
+        }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self
+            .state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.state >> 11
+    }
+
+    fn uniform(&mut self) -> f64 {
+        (self.next() % 1_000_000) as f64 / 1_000_000.0
+    }
+
+    /// One cycle of samples at the stream's next timestamp.
+    fn cycle(&mut self, id: StreamId) -> SampleBatch {
+        self.t += 0.05;
+        let mut batch = SampleBatch::new(id);
+        let roll = self.uniform();
+        let xtrack = if roll < 0.02 {
+            1.0 + self.uniform() * 2.0
+        } else {
+            self.uniform() * 0.9
+        };
+        batch.push(self.t, "xtrack", xtrack);
+        batch.push(self.t, "speed", 4.0 + self.uniform());
+        if self.uniform() > 0.2 {
+            batch.push(self.t, "gnss_x", self.uniform() * 50.0);
+        }
+        batch
+    }
+}
+
+/// One ingestion tick: a cycle for every stream, retrying on saturation.
+fn tick(fleet: &mut Fleet, ids: &[StreamId], synths: &mut [Synth]) {
+    for (id, synth) in ids.iter().zip(synths.iter_mut()) {
+        let mut batch = synth.cycle(*id);
+        loop {
+            match fleet.submit(batch) {
+                Ok(()) => break,
+                Err(SubmitError::Saturated { batch: b, .. }) => {
+                    fleet.poll();
+                    batch = b;
+                }
+                Err(other) => panic!("submit failed: {other}"),
+            }
+        }
+    }
+    fleet.poll();
+}
+
+/// The Prometheus page: checker metrics plus fleet-level counters.
+fn metrics_page(fleet: &Fleet) -> String {
+    let mut page = export::prometheus(&fleet.metrics());
+    let stats = fleet.stats();
+    let latency = fleet.cycle_latency();
+    page.push_str(&format!(
+        "# TYPE adassure_fleet_open_streams gauge\n\
+         adassure_fleet_open_streams {}\n\
+         # TYPE adassure_fleet_rejected_batches counter\n\
+         adassure_fleet_rejected_batches {}\n\
+         # TYPE adassure_fleet_stale_batches counter\n\
+         adassure_fleet_stale_batches {}\n\
+         # TYPE adassure_fleet_bad_cycles counter\n\
+         adassure_fleet_bad_cycles {}\n\
+         # TYPE adassure_fleet_samples counter\n\
+         adassure_fleet_samples {}\n",
+        stats.open_streams,
+        stats.rejected_batches,
+        stats.stale_batches,
+        stats.bad_cycles,
+        stats.samples,
+    ));
+    if let (Some(p50), Some(p99)) = (latency.p50(), latency.p99()) {
+        page.push_str(&format!(
+            "# TYPE adassure_fleet_cycle_latency_ns summary\n\
+             adassure_fleet_cycle_latency_ns{{quantile=\"0.5\"}} {p50}\n\
+             adassure_fleet_cycle_latency_ns{{quantile=\"0.99\"}} {p99}\n",
+        ));
+    }
+    page
+}
+
+fn main() {
+    let args = parse_args();
+    let mut fleet = Fleet::new(
+        catalog(),
+        FleetConfig {
+            shards: args.shards,
+            ..FleetConfig::default()
+        },
+    );
+    let ids: Vec<StreamId> = (0..args.streams).map(|_| fleet.open_stream()).collect();
+    let mut synths: Vec<Synth> = (0..args.streams).map(|i| Synth::new(i as u64)).collect();
+
+    if args.once {
+        for _ in 0..args.ticks {
+            tick(&mut fleet, &ids, &mut synths);
+        }
+        print!("{}", metrics_page(&fleet));
+        let stats = fleet.stats();
+        eprintln!(
+            "monitor-server: {} streams, {} cycles, {} violations, {} rejected batches",
+            args.streams, stats.cycles, stats.violations, stats.rejected_batches
+        );
+        return;
+    }
+
+    let fleet = Arc::new(Mutex::new(fleet));
+    {
+        let fleet = Arc::clone(&fleet);
+        std::thread::spawn(move || loop {
+            {
+                let mut fleet = fleet.lock().expect("fleet lock");
+                tick(&mut fleet, &ids, &mut synths);
+            }
+            std::thread::sleep(std::time::Duration::from_millis(50));
+        });
+    }
+
+    let listener = TcpListener::bind(("127.0.0.1", args.port)).expect("bind metrics port");
+    eprintln!(
+        "monitor-server: serving /metrics on 127.0.0.1:{} ({} streams, {} shards)",
+        args.port, args.streams, args.shards
+    );
+    for stream in listener.incoming() {
+        let Ok(mut conn) = stream else { continue };
+        let fleet = Arc::clone(&fleet);
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 1024];
+            let n = conn.read(&mut buf).unwrap_or(0);
+            let request = String::from_utf8_lossy(&buf[..n]);
+            let path = request.split_whitespace().nth(1).unwrap_or("/");
+            let (status, body, content_type) = {
+                let fleet = fleet.lock().expect("fleet lock");
+                match path {
+                    "/metrics" => ("200 OK", metrics_page(&fleet), "text/plain; version=0.0.4"),
+                    "/metrics.json" => {
+                        ("200 OK", export::json(&fleet.metrics()), "application/json")
+                    }
+                    _ => ("404 Not Found", String::from("not found\n"), "text/plain"),
+                }
+            };
+            let _ = write!(
+                conn,
+                "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                body.len()
+            );
+        });
+    }
+}

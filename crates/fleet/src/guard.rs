@@ -1,0 +1,142 @@
+//! A lightweight per-stream guardian.
+//!
+//! The full [`adassure` guardian](https://example.invalid/adassure) wraps a
+//! control stack and drives the vehicle to a stop; a fleet monitor has no
+//! actuation path, so [`StreamGuard`] keeps only the decision layer: a
+//! three-mode state machine (nominal → degraded → safe-stop) fed one
+//! boolean per cycle — whether a critical alarm is standing — with a
+//! confirmation window before safe-stop and hysteretic recovery. It is a
+//! pure function of the per-stream cycle sequence, so guarded fleet output
+//! stays bit-identical to serial checking.
+
+use adassure_obs::{Guard, Transition, TransitionGrid};
+
+/// Parameters of the per-stream guardian.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardConfig {
+    /// Consecutive alarmed cycles in degraded mode before safe-stop.
+    pub confirm_cycles: u32,
+    /// Consecutive clean cycles before degraded/safe-stop returns to
+    /// nominal.
+    pub recover_cycles: u32,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            confirm_cycles: 3,
+            recover_cycles: 10,
+        }
+    }
+}
+
+/// The per-stream guardian state machine. See the module docs.
+#[derive(Debug, Clone)]
+pub struct StreamGuard {
+    config: GuardConfig,
+    state: Guard,
+    alarm_streak: u32,
+    clean_streak: u32,
+    grid: TransitionGrid,
+}
+
+impl StreamGuard {
+    /// A guardian in nominal mode.
+    pub fn new(config: GuardConfig) -> Self {
+        StreamGuard {
+            config,
+            state: Guard::Nominal,
+            alarm_streak: 0,
+            clean_streak: 0,
+            grid: TransitionGrid::new(),
+        }
+    }
+
+    /// Feeds one closed cycle's alarm status and returns the (possibly
+    /// new) mode. `alarmed` is whether a critical alarm is standing —
+    /// [`adassure_core::OnlineChecker::open_episode_onset`] at
+    /// [`adassure_core::Severity::Critical`].
+    pub fn observe(&mut self, alarmed: bool) -> Guard {
+        let next = if alarmed {
+            self.clean_streak = 0;
+            self.alarm_streak = self.alarm_streak.saturating_add(1);
+            match self.state {
+                Guard::Nominal => Guard::Degraded,
+                Guard::Degraded if self.alarm_streak >= self.config.confirm_cycles => {
+                    Guard::SafeStop
+                }
+                other => other,
+            }
+        } else {
+            self.alarm_streak = 0;
+            if self.state == Guard::Nominal {
+                Guard::Nominal
+            } else {
+                self.clean_streak = self.clean_streak.saturating_add(1);
+                if self.clean_streak >= self.config.recover_cycles {
+                    self.clean_streak = 0;
+                    Guard::Nominal
+                } else {
+                    self.state
+                }
+            }
+        };
+        if next != self.state {
+            self.grid.record(self.state.index(), next.index());
+            self.state = next;
+        }
+        self.state
+    }
+
+    /// The current mode.
+    pub fn state(&self) -> Guard {
+        self.state
+    }
+
+    /// Mode transitions so far, as named sparse counts.
+    pub fn transitions(&self) -> Vec<Transition> {
+        self.grid.sparse([
+            Guard::Nominal.name(),
+            Guard::Degraded.name(),
+            Guard::SafeStop.name(),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confirmation_window_gates_safe_stop() {
+        let mut g = StreamGuard::new(GuardConfig {
+            confirm_cycles: 3,
+            recover_cycles: 2,
+        });
+        assert_eq!(g.observe(true), Guard::Degraded, "first alarm degrades");
+        assert_eq!(g.observe(true), Guard::Degraded);
+        assert_eq!(g.observe(true), Guard::SafeStop, "third consecutive");
+        assert_eq!(g.observe(false), Guard::SafeStop, "recovery is hysteretic");
+        assert_eq!(g.observe(false), Guard::Nominal);
+        assert_eq!(g.transitions().len(), 3);
+    }
+
+    #[test]
+    fn glitch_does_not_reach_safe_stop() {
+        let mut g = StreamGuard::new(GuardConfig::default());
+        g.observe(true);
+        g.observe(false);
+        g.observe(true);
+        g.observe(false);
+        assert_eq!(g.state(), Guard::Degraded, "alarm streak resets on clean");
+    }
+
+    #[test]
+    fn nominal_stays_quiet() {
+        let mut g = StreamGuard::new(GuardConfig::default());
+        for _ in 0..50 {
+            assert_eq!(g.observe(false), Guard::Nominal);
+        }
+        assert!(g.transitions().is_empty());
+    }
+}

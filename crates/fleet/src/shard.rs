@@ -1,0 +1,295 @@
+//! One shard: a generational slab of stream states plus the drain loop
+//! that turns queued sample batches into checker cycles.
+//!
+//! A shard owns its streams exclusively — the fleet wraps each shard in a
+//! `Mutex` and drains shards in parallel on the shared worker pool, so no
+//! two workers ever touch the same stream. Everything a drain computes is
+//! a pure function of the per-stream batch sequence, which is what makes
+//! sharded output bit-identical to serial checking (see DESIGN.md §11).
+
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+use std::time::Instant;
+
+use adassure_attacks::ChannelFaultInjector;
+use adassure_core::{CheckReport, CheckerPlan, HealthConfig, OnlineChecker, Severity};
+use adassure_obs::{Histogram, MetricsSnapshot};
+
+use crate::guard::StreamGuard;
+use crate::stream::{SampleBatch, StreamId};
+
+/// Sample the per-cycle wall-clock latency every `TIMING_MASK + 1` cycles
+/// — dense enough for soak p50/p99, cheap enough for the hot path.
+const TIMING_MASK: u64 = 7;
+
+/// Per-stream ingestion options (fault injection, guardian).
+#[derive(Debug, Default)]
+pub struct StreamConfig {
+    /// A deterministic telemetry-fault injector applied to every sample
+    /// before it reaches the checker (`None` = clean link).
+    pub injector: Option<ChannelFaultInjector>,
+    /// A per-stream guardian fed each cycle's critical-alarm status
+    /// (`None` = no guardian, no guard transitions in the metrics).
+    pub guard: Option<StreamGuard>,
+}
+
+/// What one stream carries at runtime.
+#[derive(Debug)]
+struct StreamSlot {
+    /// Global open-order sequence number; fleet metrics merge in `seq`
+    /// order so the merged snapshot is independent of shard count.
+    seq: u64,
+    checker: OnlineChecker,
+    injector: Option<ChannelFaultInjector>,
+    guard: Option<StreamGuard>,
+    /// Timestamp of the last closed cycle, the stream's end time at close.
+    last_t: f64,
+}
+
+#[derive(Debug)]
+struct SlabSlot {
+    /// Bumped on close; a mismatching [`StreamId::gen`] marks a stale
+    /// batch.
+    gen: u32,
+    state: Option<StreamSlot>,
+}
+
+/// Counters a single [`Shard::drain`] call accumulated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainStats {
+    /// Batches consumed from the queue.
+    pub batches: u64,
+    /// Samples offered to checkers (before fault injection).
+    pub samples: u64,
+    /// Cycles closed.
+    pub cycles: u64,
+    /// New violations raised.
+    pub violations: u64,
+    /// Cycle groups rejected by `begin_cycle` (non-monotone or non-finite
+    /// timestamps); their samples are skipped, and counted here.
+    pub bad_cycles: u64,
+    /// Batches addressed to a closed generation, dropped.
+    pub stale_batches: u64,
+}
+
+impl DrainStats {
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &DrainStats) {
+        self.batches += other.batches;
+        self.samples += other.samples;
+        self.cycles += other.cycles;
+        self.violations += other.violations;
+        self.bad_cycles += other.bad_cycles;
+        self.stale_batches += other.stale_batches;
+    }
+}
+
+/// Errors from operations addressed to a specific stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// The id's generation does not match the slot (stream already
+    /// closed).
+    StaleGeneration,
+    /// The id's slot does not exist on this shard.
+    UnknownSlot,
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::StaleGeneration => write!(f, "stream already closed (stale generation)"),
+            StreamError::UnknownSlot => write!(f, "no such stream slot on this shard"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+#[derive(Debug)]
+pub(crate) struct Shard {
+    index: u32,
+    rx: Receiver<SampleBatch>,
+    slots: Vec<SlabSlot>,
+    free: Vec<u32>,
+    live: usize,
+    /// Cumulative drain counters since construction.
+    totals: DrainStats,
+    /// Sampled wall-clock per-cycle latency (see [`TIMING_MASK`]).
+    cycle_ns: Histogram,
+    /// Cycles closed on this shard, for the timing stride.
+    cycle_counter: u64,
+}
+
+impl Shard {
+    pub(crate) fn new(index: u32, rx: Receiver<SampleBatch>) -> Self {
+        Shard {
+            index,
+            rx,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            totals: DrainStats::default(),
+            cycle_ns: Histogram::nanos(),
+            cycle_counter: 0,
+        }
+    }
+
+    pub(crate) fn live(&self) -> usize {
+        self.live
+    }
+
+    pub(crate) fn totals(&self) -> DrainStats {
+        self.totals
+    }
+
+    pub(crate) fn cycle_ns(&self) -> &Histogram {
+        &self.cycle_ns
+    }
+
+    /// Allocates a slot for a new stream and returns its id.
+    pub(crate) fn open(
+        &mut self,
+        seq: u64,
+        plan: &Arc<CheckerPlan>,
+        health: HealthConfig,
+        config: StreamConfig,
+    ) -> StreamId {
+        let state = StreamSlot {
+            seq,
+            checker: OnlineChecker::from_plan(Arc::clone(plan), health),
+            injector: config.injector,
+            guard: config.guard,
+            last_t: 0.0,
+        };
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize].state = Some(state);
+                slot
+            }
+            None => {
+                self.slots.push(SlabSlot {
+                    gen: 0,
+                    state: Some(state),
+                });
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.live += 1;
+        StreamId {
+            shard: self.index,
+            slot,
+            gen: self.slots[slot as usize].gen,
+        }
+    }
+
+    /// Closes a stream: finalises its checker at the last closed cycle's
+    /// timestamp and frees the slot (generation bumped). The caller must
+    /// drain the shard first so queued batches are not silently lost.
+    pub(crate) fn close(
+        &mut self,
+        id: StreamId,
+    ) -> Result<(CheckReport, MetricsSnapshot), StreamError> {
+        let slab = self
+            .slots
+            .get_mut(id.slot as usize)
+            .ok_or(StreamError::UnknownSlot)?;
+        if slab.gen != id.gen || slab.state.is_none() {
+            return Err(StreamError::StaleGeneration);
+        }
+        let state = slab.state.take().expect("checked above");
+        slab.gen = slab.gen.wrapping_add(1);
+        self.free.push(id.slot);
+        self.live -= 1;
+        let end = state.last_t;
+        let (report, mut snapshot, _) = state.checker.finish_observed(end);
+        if let Some(guard) = &state.guard {
+            snapshot.guard_transitions = guard.transitions();
+        }
+        Ok((report, snapshot))
+    }
+
+    /// Consumes every queued batch and advances the addressed checkers.
+    /// Returns this call's counters (also accumulated into the totals).
+    pub(crate) fn drain(&mut self) -> DrainStats {
+        let mut stats = DrainStats::default();
+        while let Ok(batch) = self.rx.try_recv() {
+            stats.batches += 1;
+            self.process(batch, &mut stats);
+        }
+        self.totals.merge(&stats);
+        stats
+    }
+
+    fn process(&mut self, batch: SampleBatch, stats: &mut DrainStats) {
+        let Some(slab) = self.slots.get_mut(batch.stream.slot as usize) else {
+            stats.stale_batches += 1;
+            return;
+        };
+        if slab.gen != batch.stream.gen {
+            stats.stale_batches += 1;
+            return;
+        }
+        let Some(stream) = slab.state.as_mut() else {
+            stats.stale_batches += 1;
+            return;
+        };
+        let samples = &batch.samples;
+        stats.samples += samples.len() as u64;
+        let mut i = 0;
+        while i < samples.len() {
+            let t = samples[i].t;
+            // One cycle = the run of equal timestamps starting here.
+            let mut end = i;
+            while end < samples.len() && samples[end].t == t {
+                end += 1;
+            }
+            if stream.checker.begin_cycle(t).is_err() {
+                stats.bad_cycles += 1;
+                i = end;
+                continue;
+            }
+            let timed = (self.cycle_counter & TIMING_MASK == 0).then(Instant::now);
+            for sample in &samples[i..end] {
+                match &mut stream.injector {
+                    Some(injector) => {
+                        let delivery = injector.apply(sample.channel.as_str(), t, sample.value);
+                        for &value in delivery.as_slice() {
+                            stream.checker.update(sample.channel.clone(), value);
+                        }
+                    }
+                    None => stream.checker.update(sample.channel.clone(), sample.value),
+                }
+            }
+            let new_violations = stream.checker.end_cycle();
+            stats.cycles += 1;
+            stats.violations += new_violations as u64;
+            stream.last_t = t;
+            if let Some(guard) = &mut stream.guard {
+                let alarmed = stream
+                    .checker
+                    .open_episode_onset(Severity::Critical)
+                    .is_some();
+                guard.observe(alarmed);
+            }
+            if let Some(t0) = timed {
+                self.cycle_ns.record(t0.elapsed().as_nanos() as f64);
+            }
+            self.cycle_counter += 1;
+            i = end;
+        }
+    }
+
+    /// Appends `(seq, snapshot)` for every live stream, guard transitions
+    /// stitched in. The fleet sorts by `seq` before merging.
+    pub(crate) fn snapshots(&self, out: &mut Vec<(u64, MetricsSnapshot)>) {
+        for slab in &self.slots {
+            if let Some(stream) = &slab.state {
+                let mut snap = stream.checker.metrics();
+                if let Some(guard) = &stream.guard {
+                    snap.guard_transitions = guard.transitions();
+                }
+                out.push((stream.seq, snap));
+            }
+        }
+    }
+}

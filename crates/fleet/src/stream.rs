@@ -1,0 +1,70 @@
+//! Stream identity and the sample-batch wire format.
+
+use adassure_trace::SignalId;
+
+/// Generational handle for one vehicle stream.
+///
+/// `shard`/`slot` locate the stream's state in the fleet's slabs; `gen`
+/// guards against use-after-close: closing a stream bumps the slot's
+/// generation, so batches addressed to a retired id are counted as stale
+/// and dropped instead of corrupting whatever stream reuses the slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId {
+    pub(crate) shard: u32,
+    pub(crate) slot: u32,
+    pub(crate) gen: u32,
+}
+
+impl StreamId {
+    /// The shard this stream lives on.
+    pub fn shard(&self) -> usize {
+        self.shard as usize
+    }
+}
+
+/// One timestamped signal sample.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Cycle timestamp (s). Samples sharing a timestamp form one cycle.
+    pub t: f64,
+    /// Signal name.
+    pub channel: SignalId,
+    /// Sampled value (non-finite values poison the slot, as in
+    /// [`adassure_core::OnlineChecker::update`]).
+    pub value: f64,
+}
+
+/// A batch of samples for one stream, the unit of ingestion.
+///
+/// Samples must be in non-decreasing timestamp order, and a cycle (a run
+/// of equal timestamps) must not span batches: the shard closes the last
+/// cycle at the end of the batch, and a later batch reusing that
+/// timestamp is rejected as a bad cycle (monotonicity, as in
+/// [`adassure_core::OnlineChecker::begin_cycle`]). Producers replaying a
+/// trace get this for free by cutting batches at cycle boundaries.
+#[derive(Debug, Clone)]
+pub struct SampleBatch {
+    /// Target stream.
+    pub stream: StreamId,
+    /// The samples, grouped into cycles by equal timestamps.
+    pub samples: Vec<Sample>,
+}
+
+impl SampleBatch {
+    /// A batch addressed to `stream` with no samples yet.
+    pub fn new(stream: StreamId) -> Self {
+        SampleBatch {
+            stream,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Appends one sample.
+    pub fn push(&mut self, t: f64, channel: impl Into<SignalId>, value: f64) {
+        self.samples.push(Sample {
+            t,
+            channel: channel.into(),
+            value,
+        });
+    }
+}

@@ -121,6 +121,26 @@ impl Histogram {
         Some(self.max)
     }
 
+    /// Median estimate — [`Histogram::quantile`] at `q = 0.5`.
+    ///
+    /// # Error bounds
+    ///
+    /// Log₂ buckets bound the *relative* error at one octave: the true
+    /// quantile lies in `[p/2, p]` where `p` is the returned bucket upper
+    /// edge (a value can be at most 2× smaller than its bucket's upper
+    /// bound). Two degenerate ranks are exact-ish instead: a rank in the
+    /// underflow region returns `lo` (true value is below it), and a rank
+    /// in the overflow region returns the recorded `max` (exact).
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// 99th-percentile estimate — [`Histogram::quantile`] at `q = 0.99`.
+    /// Same one-octave relative error bound as [`Histogram::p50`].
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
     /// Adds `other`'s counts into `self`. Both sides must share a layout
     /// (same `lo`, same bucket count).
     pub fn merge(&mut self, other: &Histogram) {
@@ -192,6 +212,28 @@ mod tests {
         assert_eq!(h.quantile(0.5), Some(2.0));
         assert_eq!(h.quantile(0.99), Some(128.0));
         assert_eq!(Histogram::new(1.0, 2).quantile(0.5), None);
+    }
+
+    #[test]
+    fn p50_p99_within_one_octave_of_truth() {
+        let mut h = Histogram::nanos();
+        let mut values: Vec<f64> = (1..=1000).map(|i| 40.0 * i as f64).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_by(f64::total_cmp);
+        let true_p50 = values[499];
+        let true_p99 = values[989];
+        let (p50, p99) = (h.p50().unwrap(), h.p99().unwrap());
+        assert!(
+            p50 >= true_p50 && p50 <= true_p50 * 2.0,
+            "{p50} vs {true_p50}"
+        );
+        assert!(
+            p99 >= true_p99 && p99 <= true_p99 * 2.0,
+            "{p99} vs {true_p99}"
+        );
+        assert_eq!(Histogram::nanos().p50(), None);
     }
 
     #[test]

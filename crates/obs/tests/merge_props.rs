@@ -1,0 +1,218 @@
+//! Properties of [`MetricsSnapshot::merge`]: per-shard merge order must
+//! not be able to change exported metrics.
+//!
+//! The fleet server merges shard snapshots in shard order and campaign
+//! cells merge in cell order, but neither order is fundamental — what
+//! makes the exports deterministic is that merge is **associative** and
+//! **order-insensitive up to list ordering**: every counter, grid cell
+//! and histogram bucket ends up identical however the operands are
+//! grouped or permuted, and only the *encounter order* of first-seen ids
+//! depends on the merge order. The tests below check exactly that split:
+//! associativity on the raw snapshots, permutation-insensitivity after
+//! canonicalising list order.
+//!
+//! Histogram `sum` is an `f64`, so associativity of `+` only holds
+//! exactly for integer-valued samples (< 2⁵³); the generators therefore
+//! record integer values, which is also what the nanosecond timing path
+//! records in practice.
+
+use adassure_obs::{AssertionStats, Histogram, MetricsSnapshot, Transition, Verdict};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::strategy::Strategy;
+
+const IDS: [&str; 4] = ["A1", "A2", "A7", "A12"];
+const STATES: [&str; 3] = ["active", "degraded", "suspended"];
+
+fn arb_hist(layout: fn() -> Histogram) -> impl Strategy<Value = Histogram> {
+    vec(0u32..2_000_000, 0..16).prop_map(move |values| {
+        let mut h = layout();
+        for v in values {
+            h.record(f64::from(v));
+        }
+        h
+    })
+}
+
+/// Per-assertion stats over the shared id universe: unique ids per
+/// snapshot (a single checker never repeats one), in a generator-chosen
+/// order so permutation tests see differing encounter orders.
+fn arb_assertions() -> impl Strategy<Value = Vec<AssertionStats>> {
+    vec(
+        (
+            0usize..IDS.len(),
+            (0u64..50, 0u64..50, 0u64..50, 0u64..50),
+            0u64..10,
+            0u64..5,
+        ),
+        0..6,
+    )
+    .prop_map(|entries| {
+        let mut out: Vec<AssertionStats> = Vec::new();
+        for (idx, (unknown, pass, inconclusive, violated), flips, episodes) in entries {
+            if out.iter().any(|s| s.id == IDS[idx]) {
+                continue;
+            }
+            let mut s = AssertionStats::new(IDS[idx]);
+            for _ in 0..unknown {
+                s.verdicts.record(Verdict::Unknown);
+            }
+            for _ in 0..pass {
+                s.verdicts.record(Verdict::Pass);
+            }
+            for _ in 0..inconclusive {
+                s.verdicts.record(Verdict::Inconclusive);
+            }
+            for _ in 0..violated {
+                s.verdicts.record(Verdict::Violated);
+            }
+            s.flips = flips;
+            s.episodes = episodes;
+            out.push(s);
+        }
+        out
+    })
+}
+
+fn arb_transitions() -> impl Strategy<Value = Vec<Transition>> {
+    // Unique (from, to) pairs per snapshot — one sparse grid never
+    // repeats a pair.
+    vec((0usize..3, 0usize..3, 1u64..20), 0..5).prop_map(|cells| {
+        let mut out: Vec<Transition> = Vec::new();
+        for (from, to, count) in cells {
+            if !out
+                .iter()
+                .any(|t| t.from == STATES[from] && t.to == STATES[to])
+            {
+                out.push(Transition {
+                    from: STATES[from].into(),
+                    to: STATES[to].into(),
+                    count,
+                });
+            }
+        }
+        out
+    })
+}
+
+fn arb_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
+    (
+        0u64..1000,
+        arb_assertions(),
+        arb_transitions(),
+        arb_transitions(),
+        0u64..100,
+        arb_hist(Histogram::nanos),
+        arb_hist(Histogram::seconds),
+    )
+        .prop_map(
+            |(cycles, assertions, health, guard, events, eval_ns, latency)| {
+                let mut snap = MetricsSnapshot::empty();
+                snap.cycles = cycles;
+                snap.assertions = assertions;
+                snap.health_transitions = health;
+                snap.guard_transitions = guard;
+                snap.events_emitted = events;
+                snap.eval_cycle_ns = eval_ns;
+                snap.detection_latency_s = latency;
+                snap
+            },
+        )
+}
+
+fn merged(a: &MetricsSnapshot, b: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+/// Sorts the id-keyed lists so snapshots that differ only in encounter
+/// order compare equal.
+fn canonical(mut snap: MetricsSnapshot) -> MetricsSnapshot {
+    snap.assertions.sort_by(|a, b| a.id.cmp(&b.id));
+    let key = |t: &Transition| (t.from.clone(), t.to.clone());
+    snap.health_transitions.sort_by_key(key);
+    snap.guard_transitions.sort_by_key(key);
+    snap
+}
+
+proptest! {
+    #[test]
+    fn merge_is_associative(
+        a in arb_snapshot(),
+        b in arb_snapshot(),
+        c in arb_snapshot(),
+    ) {
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_is_order_insensitive_up_to_list_order(
+        snaps in vec(arb_snapshot(), 1..5),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut forward = MetricsSnapshot::empty();
+        for s in &snaps {
+            forward.merge(s);
+        }
+        // A seeded Fisher–Yates permutation of the same operands.
+        let mut order: Vec<usize> = (0..snaps.len()).collect();
+        let mut state = seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let mut permuted = MetricsSnapshot::empty();
+        for &i in &order {
+            permuted.merge(&snaps[i]);
+        }
+        prop_assert_eq!(canonical(forward), canonical(permuted));
+    }
+
+    #[test]
+    fn empty_is_the_merge_identity(a in arb_snapshot()) {
+        prop_assert_eq!(merged(&MetricsSnapshot::empty(), &a), a.clone());
+        prop_assert_eq!(merged(&a, &MetricsSnapshot::empty()), a);
+    }
+
+    #[test]
+    fn merged_quantiles_match_pooled_recording(
+        xs in vec(0u32..2_000_000, 1..40),
+        ys in vec(0u32..2_000_000, 1..40),
+    ) {
+        let mut pooled = Histogram::nanos();
+        let mut left = Histogram::nanos();
+        let mut right = Histogram::nanos();
+        for &x in &xs {
+            pooled.record(f64::from(x));
+            left.record(f64::from(x));
+        }
+        for &y in &ys {
+            pooled.record(f64::from(y));
+            right.record(f64::from(y));
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.p50(), pooled.p50());
+        prop_assert_eq!(left.p99(), pooled.p99());
+    }
+}
+
+#[test]
+fn merge_counts_are_exact_across_three_shards() {
+    let shard = |pass: u64, violated: u64| {
+        let mut s = MetricsSnapshot::empty();
+        s.cycles = pass + violated;
+        let mut st = AssertionStats::new("A1");
+        st.verdicts.pass = pass;
+        st.verdicts.violated = violated;
+        s.assertions.push(st);
+        s
+    };
+    let (a, b, c) = (shard(10, 1), shard(20, 2), shard(30, 3));
+    let total = merged(&merged(&a, &b), &c);
+    assert_eq!(total.cycles, 66);
+    assert_eq!(total.assertions[0].verdicts.pass, 60);
+    assert_eq!(total.assertions[0].verdicts.violated, 6);
+}
