@@ -41,6 +41,16 @@ echo "== fleet soak smoke (10k+ concurrent streams on the sharded checker) =="
 cargo run --release -q -p adassure-bench --bin fleet_soak -- \
     --smoke --out target/ci_fleet_soak.json
 
+echo "== ingest differential (loopback wire vs in-process, bit-identical) =="
+cargo test -q -p adassure-fleet --test ingest_differential
+
+echo "== wire robustness (truncation/corruption/disconnect: typed, counted, no panics) =="
+cargo test -q -p adassure-fleet --test wire_robustness
+
+echo "== network ingest soak smoke (loopback TCP, zero lost samples) =="
+cargo run --release -q -p adassure-bench --bin net_soak -- \
+    --smoke --out target/ci_net_soak.json
+
 echo "== cargo bench --no-run (benchmarks stay compilable) =="
 cargo bench --workspace --no-run
 

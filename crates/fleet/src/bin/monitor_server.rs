@@ -3,14 +3,19 @@
 //! Drives a synthetic vehicle fleet through the sharded checker and
 //! serves the merged metrics over HTTP (`GET /metrics`, Prometheus text
 //! format; `GET /metrics.json` for the JSON exporter), plus fleet-level
-//! gauges (open streams, rejected batches, stale drops). Plain
+//! gauges (open streams, rejected batches, stale drops). With
+//! `--ingest PORT` it also opens the binary wire-protocol listener
+//! ([`adassure_fleet::IngestServer`]) on the same fleet, so external
+//! producers can push batches while Prometheus scrapes. Plain
 //! `std::net` — no async runtime, one thread per connection, which is
 //! plenty for a scrape endpoint.
 //!
 //! ```text
-//! monitor-server [--streams N] [--shards N] [--port P] [--ticks N] [--once]
+//! monitor-server [--streams N] [--shards N] [--bind ADDR] [--port P]
+//!                [--ingest PORT] [--ticks N] [--once]
 //! ```
 //!
+//! `--streams 0` disables the synthetic driver (ingest-only service).
 //! `--once` runs `--ticks` ingestion ticks and prints the Prometheus
 //! export to stdout instead of serving — the CI smoke mode.
 
@@ -19,22 +24,51 @@ use std::net::TcpListener;
 use std::sync::{Arc, Mutex};
 
 use adassure_core::{Assertion, Condition, Severity, SignalExpr};
-use adassure_fleet::{Fleet, FleetConfig, SampleBatch, StreamId, SubmitError};
+use adassure_fleet::{
+    Fleet, FleetConfig, IngestConfig, IngestListener, IngestServer, IngestStatsSnapshot,
+    SampleBatch, StreamId, SubmitError,
+};
 use adassure_obs::export;
 
 struct Args {
     streams: usize,
     shards: usize,
+    bind: String,
     port: u16,
+    ingest: Option<u16>,
     ticks: u64,
     once: bool,
+}
+
+/// Startup failures that should reach the operator as a message and a
+/// nonzero exit, not a panic backtrace.
+#[derive(Debug)]
+enum ServerError {
+    /// A listener could not be bound.
+    Bind {
+        what: &'static str,
+        addr: String,
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Bind { what, addr, source } => {
+                write!(f, "cannot bind {what} listener on {addr}: {source}")
+            }
+        }
+    }
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         streams: 256,
         shards: 8,
+        bind: String::from("127.0.0.1"),
         port: 9464,
+        ingest: None,
         ticks: 200,
         once: false,
     };
@@ -48,7 +82,14 @@ fn parse_args() -> Args {
         match flag.as_str() {
             "--streams" => args.streams = grab("--streams") as usize,
             "--shards" => args.shards = grab("--shards") as usize,
+            "--bind" => {
+                args.bind = it.next().unwrap_or_else(|| {
+                    eprintln!("--bind needs an address");
+                    std::process::exit(2);
+                })
+            }
             "--port" => args.port = grab("--port") as u16,
+            "--ingest" => args.ingest = Some(grab("--ingest") as u16),
             "--ticks" => args.ticks = grab("--ticks"),
             "--once" => args.once = true,
             other => {
@@ -155,40 +196,128 @@ fn tick(fleet: &mut Fleet, ids: &[StreamId], synths: &mut [Synth]) {
     fleet.poll();
 }
 
-/// The Prometheus page: checker metrics plus fleet-level counters.
-fn metrics_page(fleet: &Fleet) -> String {
+/// The Prometheus page: checker metrics, fleet-level counters, and —
+/// when the wire listener is up — the ingest counters.
+fn metrics_page(fleet: &Fleet, ingest: Option<&IngestStatsSnapshot>) -> String {
     let mut page = export::prometheus(&fleet.metrics());
     let stats = fleet.stats();
-    let latency = fleet.cycle_latency();
-    page.push_str(&format!(
-        "# TYPE adassure_fleet_open_streams gauge\n\
-         adassure_fleet_open_streams {}\n\
-         # TYPE adassure_fleet_rejected_batches counter\n\
-         adassure_fleet_rejected_batches {}\n\
-         # TYPE adassure_fleet_stale_batches counter\n\
-         adassure_fleet_stale_batches {}\n\
-         # TYPE adassure_fleet_bad_cycles counter\n\
-         adassure_fleet_bad_cycles {}\n\
-         # TYPE adassure_fleet_samples counter\n\
-         adassure_fleet_samples {}\n",
-        stats.open_streams,
+    export::push_gauge(
+        &mut page,
+        "adassure_fleet_open_streams",
+        "Streams currently open",
+        stats.open_streams as f64,
+    );
+    export::push_counter(
+        &mut page,
+        "adassure_fleet_rejected_batches",
+        "Batches refused by saturated shard queues",
         stats.rejected_batches,
+    );
+    export::push_counter(
+        &mut page,
+        "adassure_fleet_stale_batches",
+        "Batches dropped for a stale stream generation",
         stats.stale_batches,
+    );
+    export::push_counter(
+        &mut page,
+        "adassure_fleet_bad_cycles",
+        "Cycles rejected for non-monotone timestamps",
         stats.bad_cycles,
+    );
+    export::push_counter(
+        &mut page,
+        "adassure_fleet_samples",
+        "Samples checked",
         stats.samples,
-    ));
-    if let (Some(p50), Some(p99)) = (latency.p50(), latency.p99()) {
-        page.push_str(&format!(
-            "# TYPE adassure_fleet_cycle_latency_ns summary\n\
-             adassure_fleet_cycle_latency_ns{{quantile=\"0.5\"}} {p50}\n\
-             adassure_fleet_cycle_latency_ns{{quantile=\"0.99\"}} {p99}\n",
-        ));
+    );
+    export::push_quantiles(
+        &mut page,
+        "adassure_fleet_cycle_latency_ns",
+        "Sampled per-cycle shard drain latency, nanoseconds",
+        &fleet.cycle_latency(),
+    );
+    if let Some(ingest) = ingest {
+        for (name, help, value) in [
+            (
+                "adassure_ingest_connections_total",
+                "Producer connections accepted",
+                ingest.connections,
+            ),
+            (
+                "adassure_ingest_frames_total",
+                "Wire frames decoded",
+                ingest.frames,
+            ),
+            (
+                "adassure_ingest_batches_total",
+                "Sample batches applied from the wire",
+                ingest.batches,
+            ),
+            (
+                "adassure_ingest_samples_total",
+                "Samples applied from the wire",
+                ingest.samples,
+            ),
+            (
+                "adassure_ingest_streams_opened_total",
+                "Streams opened over the wire",
+                ingest.opens,
+            ),
+            (
+                "adassure_ingest_streams_closed_total",
+                "Streams closed over the wire",
+                ingest.closes,
+            ),
+            (
+                "adassure_ingest_saturated_nacks_total",
+                "Batches nacked Saturated (retried by producers)",
+                ingest.saturated_nacks,
+            ),
+            (
+                "adassure_ingest_superseded_nacks_total",
+                "Frames nacked Superseded during go-back-N rewinds",
+                ingest.superseded_nacks,
+            ),
+            (
+                "adassure_ingest_rejected_unknown_shard_total",
+                "Batches addressed to a shard the fleet does not have",
+                ingest.rejected_unknown_shard,
+            ),
+            (
+                "adassure_ingest_rejected_stale_total",
+                "Close requests for stale or unknown streams",
+                ingest.rejected_stale,
+            ),
+            (
+                "adassure_ingest_malformed_total",
+                "Protocol-level rejections (malformed, bad magic, bad version)",
+                ingest.malformed,
+            ),
+            (
+                "adassure_ingest_truncated_total",
+                "Connections that disconnected mid-frame",
+                ingest.truncated,
+            ),
+            (
+                "adassure_ingest_bytes_total",
+                "Raw bytes received on the wire",
+                ingest.bytes_rx,
+            ),
+        ] {
+            export::push_counter(&mut page, name, help, value);
+        }
+        export::push_quantiles(
+            &mut page,
+            "adassure_ingest_decode_ns",
+            "Sampled wire-frame decode latency, nanoseconds",
+            &ingest.decode_ns,
+        );
     }
     page
 }
 
-fn main() {
-    let args = parse_args();
+fn run(args: Args) -> Result<(), ServerError> {
     let mut fleet = Fleet::new(
         catalog(),
         FleetConfig {
@@ -203,17 +332,45 @@ fn main() {
         for _ in 0..args.ticks {
             tick(&mut fleet, &ids, &mut synths);
         }
-        print!("{}", metrics_page(&fleet));
+        print!("{}", metrics_page(&fleet, None));
         let stats = fleet.stats();
         eprintln!(
             "monitor-server: {} streams, {} cycles, {} violations, {} rejected batches",
             args.streams, stats.cycles, stats.violations, stats.rejected_batches
         );
-        return;
+        return Ok(());
     }
 
     let fleet = Arc::new(Mutex::new(fleet));
-    {
+
+    // The wire-protocol ingest listener, if requested. Its drain thread
+    // polls the fleet, so the synthetic driver below stays optional.
+    let ingest = match args.ingest {
+        Some(port) => {
+            let addr = format!("{}:{port}", args.bind);
+            let listener =
+                TcpListener::bind(addr.as_str()).map_err(|source| ServerError::Bind {
+                    what: "ingest",
+                    addr: addr.clone(),
+                    source,
+                })?;
+            let server = IngestServer::spawn(
+                Arc::clone(&fleet),
+                IngestListener::Tcp(listener),
+                IngestConfig::default(),
+            )
+            .map_err(|source| ServerError::Bind {
+                what: "ingest",
+                addr,
+                source,
+            })?;
+            eprintln!("monitor-server: wire ingest on {}:{port}", args.bind);
+            Some(server)
+        }
+        None => None,
+    };
+
+    if !ids.is_empty() {
         let fleet = Arc::clone(&fleet);
         std::thread::spawn(move || loop {
             {
@@ -224,23 +381,35 @@ fn main() {
         });
     }
 
-    let listener = TcpListener::bind(("127.0.0.1", args.port)).expect("bind metrics port");
+    let addr = format!("{}:{}", args.bind, args.port);
+    let listener = TcpListener::bind(addr.as_str()).map_err(|source| ServerError::Bind {
+        what: "metrics",
+        addr: addr.clone(),
+        source,
+    })?;
     eprintln!(
-        "monitor-server: serving /metrics on 127.0.0.1:{} ({} streams, {} shards)",
-        args.port, args.streams, args.shards
+        "monitor-server: serving /metrics on {addr} ({} streams, {} shards)",
+        args.streams, args.shards
     );
+    let ingest = ingest.map(Arc::new);
     for stream in listener.incoming() {
         let Ok(mut conn) = stream else { continue };
         let fleet = Arc::clone(&fleet);
+        let ingest = ingest.clone();
         std::thread::spawn(move || {
             let mut buf = [0u8; 1024];
             let n = conn.read(&mut buf).unwrap_or(0);
             let request = String::from_utf8_lossy(&buf[..n]);
             let path = request.split_whitespace().nth(1).unwrap_or("/");
             let (status, body, content_type) = {
+                let ingest_stats = ingest.as_ref().map(|s| s.stats());
                 let fleet = fleet.lock().expect("fleet lock");
                 match path {
-                    "/metrics" => ("200 OK", metrics_page(&fleet), "text/plain; version=0.0.4"),
+                    "/metrics" => (
+                        "200 OK",
+                        metrics_page(&fleet, ingest_stats.as_ref()),
+                        "text/plain; version=0.0.4",
+                    ),
                     "/metrics.json" => {
                         ("200 OK", export::json(&fleet.metrics()), "application/json")
                     }
@@ -253,5 +422,13 @@ fn main() {
                 body.len()
             );
         });
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run(parse_args()) {
+        eprintln!("monitor-server: {e}");
+        std::process::exit(1);
     }
 }

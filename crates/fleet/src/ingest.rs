@@ -1,0 +1,1025 @@
+//! Network ingestion: the connection-per-producer server loop feeding the
+//! sharded fleet, and the reusable client-side producer.
+//!
+//! The server accepts TCP or Unix-domain connections, runs the
+//! [`crate::wire`] protocol on each (one thread per producer — plain
+//! `std::net`, no async runtime), decodes frames into the fleet's
+//! bounded shard queues through a lock-free [`crate::FleetHandle`], and
+//! drains the shards on a dedicated thread. Backpressure is end-to-end
+//! and typed: a saturated shard queue surfaces to the producer as a
+//! [`NackReason::Saturated`] with a retry-after hint — nothing is
+//! silently dropped, and every rejection is counted in [`IngestStats`].
+//!
+//! # Ordering under backpressure (go-back-N)
+//!
+//! Per-stream batch order is what the checker's determinism rests on, so
+//! the connection enforces a sequence discipline: every post-handshake
+//! frame carries a `u64` sequence number and the server only applies the
+//! next expected one. When a batch is refused as `Saturated`, the
+//! expected sequence *stays put*; frames already in flight behind it are
+//! answered `Superseded` (counted, never applied) and the producer
+//! rewinds — re-sending its unacknowledged window from the refused
+//! sequence on. The result is exactly-once, in-order application of
+//! every batch, which is what makes wire-path output bit-identical to
+//! in-process submission (pinned by `tests/ingest_differential.rs`).
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use adassure_obs::Histogram;
+
+use crate::fleet::{Fleet, FleetHandle, SubmitError};
+use crate::shard::StreamError;
+use crate::stream::{SampleBatch, StreamId};
+use crate::wire::{
+    encode_ack, encode_close_stream, encode_get_metrics, encode_hello, encode_nack,
+    encode_open_stream, encode_sample_batch, AckBody, Frame, FrameDecoder, NackReason, WireError,
+    DEFAULT_MAX_FRAME_LEN, VERSION,
+};
+
+/// Sample the per-frame decode latency every `DECODE_TIMING_MASK + 1`
+/// frames — the same stride philosophy as the shard's cycle timing.
+const DECODE_TIMING_MASK: u64 = 7;
+
+/// Ingest server tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct IngestConfig {
+    /// Cap on a frame body; a declared length beyond it closes the
+    /// connection with a typed error before any buffering.
+    pub max_frame_len: usize,
+    /// Retry hint (µs) carried by `Saturated` nacks.
+    pub retry_after_us: u32,
+    /// Drain-thread cadence: 0 polls eagerly (parking briefly when
+    /// idle); a positive value sleeps that many µs between polls —
+    /// useful in tests to force queue saturation.
+    pub poll_interval_us: u64,
+}
+
+impl Default for IngestConfig {
+    fn default() -> Self {
+        IngestConfig {
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            retry_after_us: 100,
+            poll_interval_us: 0,
+        }
+    }
+}
+
+/// The transport the server listens on.
+#[derive(Debug)]
+pub enum IngestListener {
+    /// Loopback/LAN TCP.
+    Tcp(TcpListener),
+    /// Unix-domain socket (same protocol, no TCP stack).
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+/// Live ingestion counters, shared across connection threads.
+#[derive(Debug)]
+pub struct IngestStats {
+    /// Connections accepted.
+    pub connections: AtomicU64,
+    /// Frames decoded (all types).
+    pub frames: AtomicU64,
+    /// Sample batches applied to shard queues.
+    pub batches: AtomicU64,
+    /// Samples inside applied batches.
+    pub samples: AtomicU64,
+    /// Streams opened over the wire.
+    pub opens: AtomicU64,
+    /// Streams closed over the wire.
+    pub closes: AtomicU64,
+    /// Batches refused with `Saturated` (each later re-sent by its
+    /// producer).
+    pub saturated_nacks: AtomicU64,
+    /// Frames refused as `Superseded` during a rewind.
+    pub superseded_nacks: AtomicU64,
+    /// Batches addressed to a shard the fleet does not have.
+    pub rejected_unknown_shard: AtomicU64,
+    /// Close requests for stale or unknown streams.
+    pub rejected_stale: AtomicU64,
+    /// Protocol-level rejections: malformed or oversized frames, bad
+    /// magic, unsupported versions, pre-handshake traffic.
+    pub malformed: AtomicU64,
+    /// Connections that disconnected mid-frame.
+    pub truncated: AtomicU64,
+    /// Raw bytes received.
+    pub bytes_rx: AtomicU64,
+    /// Sampled wall-clock frame decode latency (1-in-8 frames).
+    pub decode_ns: Mutex<Histogram>,
+}
+
+impl Default for IngestStats {
+    fn default() -> Self {
+        IngestStats {
+            connections: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+            opens: AtomicU64::new(0),
+            closes: AtomicU64::new(0),
+            saturated_nacks: AtomicU64::new(0),
+            superseded_nacks: AtomicU64::new(0),
+            rejected_unknown_shard: AtomicU64::new(0),
+            rejected_stale: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            truncated: AtomicU64::new(0),
+            bytes_rx: AtomicU64::new(0),
+            decode_ns: Mutex::new(Histogram::nanos()),
+        }
+    }
+}
+
+/// A point-in-time copy of [`IngestStats`].
+#[derive(Debug, Clone)]
+pub struct IngestStatsSnapshot {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Frames decoded.
+    pub frames: u64,
+    /// Batches applied.
+    pub batches: u64,
+    /// Samples applied.
+    pub samples: u64,
+    /// Streams opened over the wire.
+    pub opens: u64,
+    /// Streams closed over the wire.
+    pub closes: u64,
+    /// `Saturated` nacks sent.
+    pub saturated_nacks: u64,
+    /// `Superseded` nacks sent.
+    pub superseded_nacks: u64,
+    /// Unknown-shard rejections.
+    pub rejected_unknown_shard: u64,
+    /// Stale/unknown-stream rejections.
+    pub rejected_stale: u64,
+    /// Protocol-level rejections (malformed frames, bad magic,
+    /// unsupported version, pre-handshake traffic).
+    pub malformed: u64,
+    /// Mid-frame disconnects.
+    pub truncated: u64,
+    /// Raw bytes received.
+    pub bytes_rx: u64,
+    /// Sampled frame decode latency.
+    pub decode_ns: Histogram,
+}
+
+impl IngestStats {
+    /// Copies every counter (and the decode histogram) at once.
+    pub fn snapshot(&self) -> IngestStatsSnapshot {
+        IngestStatsSnapshot {
+            connections: self.connections.load(Ordering::Relaxed),
+            frames: self.frames.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            samples: self.samples.load(Ordering::Relaxed),
+            opens: self.opens.load(Ordering::Relaxed),
+            closes: self.closes.load(Ordering::Relaxed),
+            saturated_nacks: self.saturated_nacks.load(Ordering::Relaxed),
+            superseded_nacks: self.superseded_nacks.load(Ordering::Relaxed),
+            rejected_unknown_shard: self.rejected_unknown_shard.load(Ordering::Relaxed),
+            rejected_stale: self.rejected_stale.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            truncated: self.truncated.load(Ordering::Relaxed),
+            bytes_rx: self.bytes_rx.load(Ordering::Relaxed),
+            decode_ns: self.decode_ns.lock().expect("decode hist lock").clone(),
+        }
+    }
+}
+
+/// The ingest server: accept loop, one protocol thread per producer
+/// connection, and a drain thread turning queued batches into checker
+/// cycles.
+///
+/// The fleet is shared (`Arc<Mutex<Fleet>>`) so a metrics endpoint — or
+/// the embedding `monitor-server` — can serve exporter snapshots from
+/// the same instance the wire path feeds. Batches themselves bypass the
+/// mutex entirely via [`FleetHandle`]; the lock is only taken for
+/// opens, closes, metrics reads and shard drains.
+#[derive(Debug)]
+pub struct IngestServer {
+    fleet: Arc<Mutex<Fleet>>,
+    stats: Arc<IngestStats>,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    local_addr: Option<SocketAddr>,
+}
+
+impl IngestServer {
+    /// Starts serving `listener` against `fleet`. Returns immediately;
+    /// accept/drain threads run until [`IngestServer::shutdown`].
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the listener cannot be switched to
+    /// non-blocking accept mode.
+    pub fn spawn(
+        fleet: Arc<Mutex<Fleet>>,
+        listener: IngestListener,
+        config: IngestConfig,
+    ) -> std::io::Result<Self> {
+        let stats = Arc::new(IngestStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let local_addr = match &listener {
+            IngestListener::Tcp(l) => Some(l.local_addr()?),
+            #[cfg(unix)]
+            IngestListener::Unix(_) => None,
+        };
+
+        let mut threads = Vec::new();
+        {
+            let fleet = Arc::clone(&fleet);
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            let conn_threads = Arc::clone(&conn_threads);
+            match listener {
+                IngestListener::Tcp(l) => {
+                    l.set_nonblocking(true)?;
+                    threads.push(std::thread::spawn(move || {
+                        accept_tcp(&l, &fleet, &stats, &stop, &conn_threads, config);
+                    }));
+                }
+                #[cfg(unix)]
+                IngestListener::Unix(l) => {
+                    l.set_nonblocking(true)?;
+                    threads.push(std::thread::spawn(move || {
+                        accept_unix(&l, &fleet, &stats, &stop, &conn_threads, config);
+                    }));
+                }
+            }
+        }
+        {
+            let fleet = Arc::clone(&fleet);
+            let stop = Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || {
+                drain_loop(&fleet, &stop, config)
+            }));
+        }
+
+        Ok(IngestServer {
+            fleet,
+            stats,
+            stop,
+            threads,
+            conn_threads,
+            local_addr,
+        })
+    }
+
+    /// The bound TCP address (`None` for Unix-domain listeners). Useful
+    /// after binding port 0.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+
+    /// The shared fleet this server feeds.
+    pub fn fleet(&self) -> &Arc<Mutex<Fleet>> {
+        &self.fleet
+    }
+
+    /// A point-in-time copy of the ingestion counters.
+    pub fn stats(&self) -> IngestStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Stops accepting, waits for every connection and drain thread, and
+    /// returns the final counters. Queued batches are drained before the
+    /// drain thread exits.
+    pub fn shutdown(mut self) -> IngestStatsSnapshot {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        let conns: Vec<_> = self
+            .conn_threads
+            .lock()
+            .expect("conn thread list lock")
+            .drain(..)
+            .collect();
+        for t in conns {
+            let _ = t.join();
+        }
+        // One final drain so nothing submitted in the last instants of a
+        // connection is left queued.
+        self.fleet.lock().expect("fleet lock").poll();
+        self.stats.snapshot()
+    }
+}
+
+fn accept_tcp(
+    listener: &TcpListener,
+    fleet: &Arc<Mutex<Fleet>>,
+    stats: &Arc<IngestStats>,
+    stop: &Arc<AtomicBool>,
+    conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    config: IngestConfig,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((conn, _)) => {
+                let _ = conn.set_nodelay(true);
+                let _ = conn.set_read_timeout(Some(Duration::from_millis(20)));
+                spawn_conn(conn, fleet, stats, stop, conn_threads, config);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+#[cfg(unix)]
+fn accept_unix(
+    listener: &UnixListener,
+    fleet: &Arc<Mutex<Fleet>>,
+    stats: &Arc<IngestStats>,
+    stop: &Arc<AtomicBool>,
+    conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    config: IngestConfig,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((conn, _)) => {
+                let _ = conn.set_read_timeout(Some(Duration::from_millis(20)));
+                spawn_conn(conn, fleet, stats, stop, conn_threads, config);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn spawn_conn<C: Read + Write + Send + 'static>(
+    conn: C,
+    fleet: &Arc<Mutex<Fleet>>,
+    stats: &Arc<IngestStats>,
+    stop: &Arc<AtomicBool>,
+    conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+    config: IngestConfig,
+) {
+    stats.connections.fetch_add(1, Ordering::Relaxed);
+    let fleet = Arc::clone(fleet);
+    let stats = Arc::clone(stats);
+    let stop = Arc::clone(stop);
+    let handle = std::thread::spawn(move || serve_conn(conn, &fleet, &stats, &stop, config));
+    conn_threads
+        .lock()
+        .expect("conn thread list lock")
+        .push(handle);
+}
+
+fn drain_loop(fleet: &Arc<Mutex<Fleet>>, stop: &Arc<AtomicBool>, config: IngestConfig) {
+    loop {
+        let polled = fleet.lock().expect("fleet lock").poll();
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if config.poll_interval_us > 0 {
+            std::thread::sleep(Duration::from_micros(config.poll_interval_us));
+        } else if polled.batches == 0 {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+    // Final sweep after stop so late submissions still get checked.
+    fleet.lock().expect("fleet lock").poll();
+}
+
+/// Per-connection protocol state.
+struct Conn {
+    handshaken: bool,
+    expected_seq: u64,
+    frame_counter: u64,
+}
+
+enum Step {
+    Continue,
+    Close,
+}
+
+fn serve_conn<C: Read + Write>(
+    mut conn: C,
+    fleet: &Arc<Mutex<Fleet>>,
+    stats: &Arc<IngestStats>,
+    stop: &Arc<AtomicBool>,
+    config: IngestConfig,
+) {
+    let handle = fleet.lock().expect("fleet lock").handle();
+    let mut decoder = FrameDecoder::new(config.max_frame_len);
+    let mut state = Conn {
+        handshaken: false,
+        // Sequence numbers start at 1; 0 is reserved for the handshake
+        // ack so it can never collide with a windowed frame.
+        expected_seq: 1,
+        frame_counter: 0,
+    };
+    let mut rbuf = vec![0u8; 64 * 1024];
+    let mut out: Vec<u8> = Vec::with_capacity(4096);
+
+    'conn: loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let n = match conn.read(&mut rbuf) {
+            Ok(0) => {
+                if decoder.pending() > 0 {
+                    stats.truncated.fetch_add(1, Ordering::Relaxed);
+                }
+                break;
+            }
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                continue;
+            }
+            Err(_) => {
+                // Reset mid-frame is the same loss as a clean EOF mid-frame.
+                if decoder.pending() > 0 {
+                    stats.truncated.fetch_add(1, Ordering::Relaxed);
+                }
+                break;
+            }
+        };
+        stats.bytes_rx.fetch_add(n as u64, Ordering::Relaxed);
+        decoder.feed(&rbuf[..n]);
+        loop {
+            let timed = (state.frame_counter & DECODE_TIMING_MASK == 0).then(Instant::now);
+            match decoder.next_frame() {
+                Ok(None) => break,
+                Ok(Some(frame)) => {
+                    if let Some(t0) = timed {
+                        stats
+                            .decode_ns
+                            .lock()
+                            .expect("decode hist lock")
+                            .record(t0.elapsed().as_nanos() as f64);
+                    }
+                    state.frame_counter += 1;
+                    stats.frames.fetch_add(1, Ordering::Relaxed);
+                    match handle_frame(frame, &mut state, fleet, &handle, stats, config, &mut out) {
+                        Step::Continue => {}
+                        Step::Close => {
+                            let _ = conn.write_all(&out);
+                            let _ = conn.flush();
+                            break 'conn;
+                        }
+                    }
+                }
+                Err(_) => {
+                    stats.malformed.fetch_add(1, Ordering::Relaxed);
+                    encode_nack(&mut out, state.expected_seq, NackReason::Malformed, 0);
+                    let _ = conn.write_all(&out);
+                    let _ = conn.flush();
+                    break 'conn;
+                }
+            }
+        }
+        if !out.is_empty() {
+            if conn.write_all(&out).is_err() {
+                if decoder.pending() > 0 {
+                    stats.truncated.fetch_add(1, Ordering::Relaxed);
+                }
+                break;
+            }
+            let _ = conn.flush();
+            out.clear();
+        }
+    }
+}
+
+fn handle_frame(
+    frame: Frame,
+    state: &mut Conn,
+    fleet: &Arc<Mutex<Fleet>>,
+    handle: &FleetHandle,
+    stats: &Arc<IngestStats>,
+    config: IngestConfig,
+    out: &mut Vec<u8>,
+) -> Step {
+    match frame {
+        Frame::Hello { version } => {
+            if state.handshaken || version != VERSION {
+                stats.malformed.fetch_add(1, Ordering::Relaxed);
+                encode_nack(out, 0, NackReason::Unsupported, 0);
+                return Step::Close;
+            }
+            state.handshaken = true;
+            encode_ack(out, 0, &AckBody::Hello { version: VERSION });
+            Step::Continue
+        }
+        _ if !state.handshaken => {
+            stats.malformed.fetch_add(1, Ordering::Relaxed);
+            encode_nack(out, 0, NackReason::Malformed, 0);
+            Step::Close
+        }
+        Frame::OpenStream { seq, flags } => {
+            if seq != state.expected_seq {
+                stats.superseded_nacks.fetch_add(1, Ordering::Relaxed);
+                encode_nack(out, seq, NackReason::Superseded, 0);
+                return Step::Continue;
+            }
+            if flags != 0 {
+                stats.malformed.fetch_add(1, Ordering::Relaxed);
+                encode_nack(out, seq, NackReason::Unsupported, 0);
+                return Step::Close;
+            }
+            state.expected_seq += 1;
+            let stream = fleet.lock().expect("fleet lock").open_stream();
+            stats.opens.fetch_add(1, Ordering::Relaxed);
+            encode_ack(out, seq, &AckBody::StreamOpened { stream });
+            Step::Continue
+        }
+        Frame::SampleBatch { seq, batch } => {
+            if seq != state.expected_seq {
+                stats.superseded_nacks.fetch_add(1, Ordering::Relaxed);
+                encode_nack(out, seq, NackReason::Superseded, 0);
+                return Step::Continue;
+            }
+            let samples = batch.samples.len() as u64;
+            match handle.submit(batch) {
+                Ok(()) => {
+                    state.expected_seq += 1;
+                    stats.batches.fetch_add(1, Ordering::Relaxed);
+                    stats.samples.fetch_add(samples, Ordering::Relaxed);
+                    encode_ack(out, seq, &AckBody::BatchApplied);
+                    Step::Continue
+                }
+                Err(SubmitError::Saturated { .. }) => {
+                    // Expected sequence stays put: the producer rewinds to
+                    // this batch, so order is preserved end to end.
+                    stats.saturated_nacks.fetch_add(1, Ordering::Relaxed);
+                    encode_nack(out, seq, NackReason::Saturated, config.retry_after_us);
+                    Step::Continue
+                }
+                Err(SubmitError::UnknownShard { .. }) => {
+                    state.expected_seq += 1;
+                    stats.rejected_unknown_shard.fetch_add(1, Ordering::Relaxed);
+                    encode_nack(out, seq, NackReason::UnknownShard, 0);
+                    Step::Continue
+                }
+                Err(SubmitError::Disconnected { .. }) => {
+                    encode_nack(out, seq, NackReason::ShuttingDown, 0);
+                    Step::Close
+                }
+            }
+        }
+        Frame::CloseStream { seq, stream } => {
+            if seq != state.expected_seq {
+                stats.superseded_nacks.fetch_add(1, Ordering::Relaxed);
+                encode_nack(out, seq, NackReason::Superseded, 0);
+                return Step::Continue;
+            }
+            state.expected_seq += 1;
+            let closed = fleet.lock().expect("fleet lock").close_stream(stream);
+            match closed {
+                Ok((report, _snapshot)) => {
+                    let report_json = serde_json::to_vec(&report).expect("report serializes");
+                    stats.closes.fetch_add(1, Ordering::Relaxed);
+                    encode_ack(out, seq, &AckBody::StreamClosed { report_json });
+                }
+                Err(StreamError::StaleGeneration) => {
+                    stats.rejected_stale.fetch_add(1, Ordering::Relaxed);
+                    encode_nack(out, seq, NackReason::StaleGeneration, 0);
+                }
+                Err(StreamError::UnknownSlot) => {
+                    stats.rejected_stale.fetch_add(1, Ordering::Relaxed);
+                    encode_nack(out, seq, NackReason::UnknownSlot, 0);
+                }
+            }
+            Step::Continue
+        }
+        Frame::GetMetrics { seq } => {
+            if seq != state.expected_seq {
+                stats.superseded_nacks.fetch_add(1, Ordering::Relaxed);
+                encode_nack(out, seq, NackReason::Superseded, 0);
+                return Step::Continue;
+            }
+            state.expected_seq += 1;
+            let summary = fleet.lock().expect("fleet lock").metrics().summary();
+            let summary_json = serde_json::to_vec(&summary).expect("summary serializes");
+            encode_ack(out, seq, &AckBody::Metrics { summary_json });
+            Step::Continue
+        }
+        Frame::Ack { .. } | Frame::Nack { .. } => {
+            // Server-to-client frames arriving at the server are a
+            // protocol violation.
+            stats.malformed.fetch_add(1, Ordering::Relaxed);
+            encode_nack(out, state.expected_seq, NackReason::Malformed, 0);
+            Step::Close
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Producer
+// ---------------------------------------------------------------------------
+
+/// Producer-side failures.
+#[derive(Debug)]
+pub enum ProducerError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server sent bytes that do not decode.
+    Wire(WireError),
+    /// The server refused a frame for a non-retryable reason.
+    Rejected {
+        /// The refused frame's sequence number.
+        seq: u64,
+        /// The server's typed reason.
+        reason: NackReason,
+    },
+    /// The server violated the protocol (wrong ack kind, unexpected
+    /// frame).
+    Protocol(String),
+    /// The connection closed while responses were still outstanding.
+    Disconnected,
+}
+
+impl std::fmt::Display for ProducerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProducerError::Io(e) => write!(f, "transport error: {e}"),
+            ProducerError::Wire(e) => write!(f, "undecodable server bytes: {e}"),
+            ProducerError::Rejected { seq, reason } => {
+                write!(f, "frame {seq} rejected: {reason}")
+            }
+            ProducerError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ProducerError::Disconnected => write!(f, "server disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ProducerError {}
+
+impl From<std::io::Error> for ProducerError {
+    fn from(e: std::io::Error) -> Self {
+        ProducerError::Io(e)
+    }
+}
+
+impl From<WireError> for ProducerError {
+    fn from(e: WireError) -> Self {
+        ProducerError::Wire(e)
+    }
+}
+
+/// Producer tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ProducerConfig {
+    /// Maximum unacknowledged frames in flight before
+    /// [`IngestProducer::submit`] blocks on acks. Also bounds rewind
+    /// memory: the producer retains every unacked frame for re-send.
+    pub window: usize,
+    /// Decoder cap for server responses.
+    pub max_frame_len: usize,
+}
+
+impl Default for ProducerConfig {
+    fn default() -> Self {
+        ProducerConfig {
+            window: 64,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// Lifetime counters for one producer connection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProducerStats {
+    /// Batches acknowledged as applied.
+    pub acked_batches: u64,
+    /// `Saturated` nacks received (each triggered a rewind).
+    pub saturated_nacks: u64,
+    /// `Superseded` nacks received (in-flight frames the rewind already
+    /// covered).
+    pub superseded_nacks: u64,
+    /// Frames re-sent during rewinds.
+    pub resent_frames: u64,
+}
+
+/// One in-flight (sent, unacknowledged) frame, retained for rewinds.
+#[derive(Debug)]
+struct InFlight {
+    seq: u64,
+    bytes: Vec<u8>,
+}
+
+/// The client side of the ingest protocol: frame encoding with buffer
+/// reuse, a bounded in-flight window, and transparent retry on
+/// saturation.
+///
+/// Works over any `Read + Write` transport — `TcpStream`, `UnixStream`,
+/// or an in-memory pipe in tests. The transport must be in blocking
+/// mode.
+#[derive(Debug)]
+pub struct IngestProducer<C: Read + Write> {
+    conn: C,
+    decoder: FrameDecoder,
+    config: ProducerConfig,
+    /// Encoded-but-unacknowledged frames, oldest first.
+    window: VecDeque<InFlight>,
+    /// Recycled frame buffers ([`ProducerConfig::window`]-bounded).
+    spare: Vec<Vec<u8>>,
+    /// Outbound coalescing buffer, flushed before every read.
+    obuf: Vec<u8>,
+    rbuf: Vec<u8>,
+    next_seq: u64,
+    stats: ProducerStats,
+    /// The ack body captured for the sequence number a waiter asked for.
+    captured: Option<(u64, AckBody)>,
+}
+
+impl<C: Read + Write> IngestProducer<C> {
+    /// Performs the handshake on `conn` and returns the ready producer.
+    ///
+    /// # Errors
+    ///
+    /// [`ProducerError`] when the transport fails or the server refuses
+    /// the protocol version.
+    pub fn connect(conn: C, config: ProducerConfig) -> Result<Self, ProducerError> {
+        let mut producer = IngestProducer {
+            conn,
+            decoder: FrameDecoder::new(config.max_frame_len),
+            config,
+            window: VecDeque::new(),
+            spare: Vec::new(),
+            obuf: Vec::with_capacity(256 * 1024),
+            rbuf: vec![0u8; 64 * 1024],
+            next_seq: 1,
+            stats: ProducerStats::default(),
+            captured: None,
+        };
+        let mut hello = Vec::new();
+        encode_hello(&mut hello);
+        producer.obuf.extend_from_slice(&hello);
+        match producer.wait_ack(0)? {
+            AckBody::Hello { .. } => Ok(producer),
+            other => Err(ProducerError::Protocol(format!(
+                "expected hello ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ProducerStats {
+        self.stats
+    }
+
+    /// Opens a stream on the server and returns its wire id.
+    ///
+    /// # Errors
+    ///
+    /// [`ProducerError`] on transport failure or server rejection.
+    pub fn open_stream(&mut self) -> Result<StreamId, ProducerError> {
+        let seq = self.send_frame(|out, seq| {
+            encode_open_stream(out, seq);
+            Ok(())
+        })?;
+        match self.wait_ack(seq)? {
+            AckBody::StreamOpened { stream } => Ok(stream),
+            other => Err(ProducerError::Protocol(format!(
+                "expected stream-opened ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Queues `batch` for transmission. Blocks only when the in-flight
+    /// window is full (reading acks until space frees up); saturation
+    /// rewinds happen transparently inside that wait.
+    ///
+    /// # Errors
+    ///
+    /// [`ProducerError`] on transport failure or a non-retryable
+    /// rejection.
+    pub fn submit(&mut self, batch: &SampleBatch) -> Result<(), ProducerError> {
+        self.send_frame(|out, seq| encode_sample_batch(out, seq, batch).map_err(Into::into))?;
+        Ok(())
+    }
+
+    /// Closes `stream` and returns its final
+    /// [`adassure_core::CheckReport`] as JSON bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ProducerError::Rejected`] with [`NackReason::StaleGeneration`] /
+    /// [`NackReason::UnknownSlot`] for an already-closed or foreign id.
+    pub fn close_stream(&mut self, stream: StreamId) -> Result<Vec<u8>, ProducerError> {
+        let seq = self.send_frame(|out, seq| {
+            encode_close_stream(out, seq, stream);
+            Ok(())
+        })?;
+        match self.wait_ack(seq)? {
+            AckBody::StreamClosed { report_json } => Ok(report_json),
+            other => Err(ProducerError::Protocol(format!(
+                "expected stream-closed ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the fleet-wide deterministic metrics summary as JSON
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`ProducerError`] on transport failure or rejection.
+    pub fn fetch_metrics(&mut self) -> Result<Vec<u8>, ProducerError> {
+        let seq = self.send_frame(|out, seq| {
+            encode_get_metrics(out, seq);
+            Ok(())
+        })?;
+        match self.wait_ack(seq)? {
+            AckBody::Metrics { summary_json } => Ok(summary_json),
+            other => Err(ProducerError::Protocol(format!(
+                "expected metrics ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Blocks until every in-flight frame is acknowledged.
+    ///
+    /// # Errors
+    ///
+    /// [`ProducerError`] on transport failure or rejection.
+    pub fn flush(&mut self) -> Result<(), ProducerError> {
+        while !self.window.is_empty() {
+            self.pump()?;
+        }
+        self.flush_obuf()?;
+        Ok(())
+    }
+
+    /// Returns the transport and final stats, consuming the producer.
+    pub fn into_parts(self) -> (C, ProducerStats) {
+        (self.conn, self.stats)
+    }
+
+    /// Encodes one frame (via `encode`), windows it and queues its bytes.
+    fn send_frame(
+        &mut self,
+        encode: impl FnOnce(&mut Vec<u8>, u64) -> Result<(), ProducerError>,
+    ) -> Result<u64, ProducerError> {
+        while self.window.len() >= self.config.window {
+            self.pump()?;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut bytes = self.spare.pop().unwrap_or_default();
+        bytes.clear();
+        encode(&mut bytes, seq)?;
+        self.obuf.extend_from_slice(&bytes);
+        self.window.push_back(InFlight { seq, bytes });
+        if self.obuf.len() >= 128 * 1024 {
+            self.flush_obuf()?;
+        }
+        Ok(seq)
+    }
+
+    /// Blocks until the response for `seq` arrives and returns its body.
+    fn wait_ack(&mut self, seq: u64) -> Result<AckBody, ProducerError> {
+        loop {
+            if self.captured.as_ref().is_some_and(|(got, _)| *got == seq) {
+                let (_, body) = self.captured.take().expect("matched above");
+                return Ok(body);
+            }
+            if seq > 0 && !self.window.iter().any(|f| f.seq == seq) && self.next_seq > seq {
+                // Already acknowledged without capture — protocol bug on
+                // our side rather than the server's.
+                return Err(ProducerError::Protocol(format!(
+                    "response for frame {seq} was consumed without a waiter"
+                )));
+            }
+            self.pump()?;
+        }
+    }
+
+    fn flush_obuf(&mut self) -> Result<(), ProducerError> {
+        if !self.obuf.is_empty() {
+            self.conn.write_all(&self.obuf)?;
+            self.conn.flush()?;
+            self.obuf.clear();
+        }
+        Ok(())
+    }
+
+    /// Flushes outbound bytes, reads one chunk of responses and applies
+    /// them to the window.
+    fn pump(&mut self) -> Result<(), ProducerError> {
+        self.flush_obuf()?;
+        while let Some(frame) = self.decoder.next_frame()? {
+            self.apply_response(frame)?;
+        }
+        let n = self.conn.read(&mut self.rbuf)?;
+        if n == 0 {
+            return Err(ProducerError::Disconnected);
+        }
+        self.decoder.feed(&self.rbuf[..n]);
+        while let Some(frame) = self.decoder.next_frame()? {
+            self.apply_response(frame)?;
+        }
+        Ok(())
+    }
+
+    fn apply_response(&mut self, frame: Frame) -> Result<(), ProducerError> {
+        match frame {
+            Frame::Ack { seq, body } => {
+                let was_batch = matches!(body, AckBody::BatchApplied);
+                self.settle(seq);
+                if was_batch {
+                    self.stats.acked_batches += 1;
+                } else {
+                    self.captured = Some((seq, body));
+                }
+                Ok(())
+            }
+            Frame::Nack {
+                seq,
+                reason: NackReason::Saturated,
+                retry_after_us,
+            } => {
+                self.stats.saturated_nacks += 1;
+                if retry_after_us > 0 {
+                    std::thread::sleep(Duration::from_micros(u64::from(retry_after_us)));
+                }
+                // Go-back-N rewind: re-send every unacknowledged frame
+                // from the refused one on, in order. Frames before `seq`
+                // were already acknowledged, so the window starts at it.
+                for inflight in &self.window {
+                    debug_assert!(inflight.seq >= seq);
+                    self.obuf.extend_from_slice(&inflight.bytes);
+                    self.stats.resent_frames += 1;
+                }
+                self.flush_obuf()?;
+                Ok(())
+            }
+            Frame::Nack {
+                reason: NackReason::Superseded,
+                ..
+            } => {
+                // In-flight across a rewind; already re-sent. Count and
+                // move on.
+                self.stats.superseded_nacks += 1;
+                Ok(())
+            }
+            Frame::Nack { seq, reason, .. } => {
+                self.settle(seq);
+                Err(ProducerError::Rejected { seq, reason })
+            }
+            other => Err(ProducerError::Protocol(format!(
+                "unexpected server frame {other:?}"
+            ))),
+        }
+    }
+
+    /// Retires `seq` (and anything older) from the window, recycling
+    /// buffers.
+    fn settle(&mut self, seq: u64) {
+        while let Some(front) = self.window.front() {
+            if front.seq > seq {
+                break;
+            }
+            let retired = self.window.pop_front().expect("front checked");
+            if self.spare.len() < self.config.window {
+                self.spare.push(retired.bytes);
+            }
+        }
+    }
+}
+
+/// Convenience: connects a TCP producer with [`ProducerConfig`] defaults
+/// and `TCP_NODELAY` set.
+///
+/// # Errors
+///
+/// [`ProducerError`] on connect or handshake failure.
+pub fn connect_tcp(
+    addr: SocketAddr,
+    config: ProducerConfig,
+) -> Result<IngestProducer<TcpStream>, ProducerError> {
+    let conn = TcpStream::connect(addr)?;
+    conn.set_nodelay(true)?;
+    IngestProducer::connect(conn, config)
+}
+
+/// Convenience: connects a Unix-domain producer.
+///
+/// # Errors
+///
+/// [`ProducerError`] on connect or handshake failure.
+#[cfg(unix)]
+pub fn connect_unix(
+    path: &std::path::Path,
+    config: ProducerConfig,
+) -> Result<IngestProducer<UnixStream>, ProducerError> {
+    let conn = UnixStream::connect(path)?;
+    IngestProducer::connect(conn, config)
+}

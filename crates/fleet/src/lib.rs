@@ -16,7 +16,12 @@
 //!   the worker pool shared with the campaign engine
 //!   ([`adassure_exp::Runtime`]);
 //! - [`guard`] is the lightweight per-stream guardian (nominal → degraded
-//!   → safe-stop with confirmation and hysteresis).
+//!   → safe-stop with confirmation and hysteresis);
+//! - [`wire`] is the versioned, little-endian, length-prefixed binary
+//!   ingest protocol (validating streaming decoder, typed nack reasons);
+//! - [`ingest`] runs that protocol: a connection-per-producer TCP/UDS
+//!   server feeding the shard queues, and the windowed client-side
+//!   [`IngestProducer`] with go-back-N retry on saturation.
 //!
 //! # Determinism
 //!
@@ -34,13 +39,20 @@
 
 pub mod fleet;
 pub mod guard;
+pub mod ingest;
 pub mod shard;
 pub mod stream;
+pub mod wire;
 
 pub use fleet::{Fleet, FleetConfig, FleetHandle, FleetStats, PollStats, SubmitError};
 pub use guard::{GuardConfig, StreamGuard};
+pub use ingest::{
+    IngestConfig, IngestListener, IngestProducer, IngestServer, IngestStats, IngestStatsSnapshot,
+    ProducerConfig, ProducerError, ProducerStats,
+};
 pub use shard::{DrainStats, StreamConfig, StreamError};
 pub use stream::{Sample, SampleBatch, StreamId};
+pub use wire::{FrameDecoder, NackReason, WireError};
 
 #[cfg(test)]
 mod tests {

@@ -20,10 +20,24 @@ impl StreamId {
     pub fn shard(&self) -> usize {
         self.shard as usize
     }
+
+    /// Rebuilds an id from its raw `(shard, slot, generation)` triple —
+    /// the wire representation. A forged or stale triple is safe: the
+    /// fleet rejects it as an unknown shard, unknown slot or stale
+    /// generation, counted and typed, never applied.
+    pub fn from_raw(shard: u32, slot: u32, gen: u32) -> Self {
+        StreamId { shard, slot, gen }
+    }
+
+    /// The raw `(shard, slot, generation)` triple, as serialised on the
+    /// wire.
+    pub fn into_raw(self) -> (u32, u32, u32) {
+        (self.shard, self.slot, self.gen)
+    }
 }
 
 /// One timestamped signal sample.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
     /// Cycle timestamp (s). Samples sharing a timestamp form one cycle.
     pub t: f64,
@@ -42,7 +56,7 @@ pub struct Sample {
 /// timestamp is rejected as a bad cycle (monotonicity, as in
 /// [`adassure_core::OnlineChecker::begin_cycle`]). Producers replaying a
 /// trace get this for free by cutting batches at cycle boundaries.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SampleBatch {
     /// Target stream.
     pub stream: StreamId,

@@ -1,0 +1,875 @@
+//! The binary ingest wire protocol: versioned, little-endian,
+//! length-prefixed frames carrying sample batches from producers to the
+//! fleet monitor.
+//!
+//! The format reuses the `.adt` encoding conventions from
+//! `adassure-trace` — explicit magic/version/endianness markers, all
+//! integers and floats little-endian, and a validating decoder that
+//! returns typed [`WireError`]s instead of panicking on corrupt,
+//! truncated or oversized input (see DESIGN.md §12 for the normative
+//! spec).
+//!
+//! # Frame grammar
+//!
+//! ```text
+//! frame := u32 body_len, body          body_len = 1 + payload length
+//! body  := u8 frame_type, payload      body_len <= max_frame_len
+//! ```
+//!
+//! Client → server frames (every one after [`Frame::Hello`] carries a
+//! `u64` sequence number; the server requires the next expected sequence
+//! and answers each with one [`Frame::Ack`] or [`Frame::Nack`]):
+//!
+//! | type | frame | payload |
+//! |------|-------|---------|
+//! | 0x01 | `Hello` | magic `b"ADWIRE"`, version `u8`, endianness `u8` (1 = LE) |
+//! | 0x02 | `OpenStream` | seq `u64`, flags `u32` (must be 0) |
+//! | 0x03 | `SampleBatch` | seq `u64`, stream id (`u32`×3), channel count `u32`, sample count `u32`, name-table length `u32`, name table (names joined `\n`), channel indices `u32`×n, times `f64`×n, values `f64`×n |
+//! | 0x04 | `CloseStream` | seq `u64`, stream id (`u32`×3) |
+//! | 0x07 | `GetMetrics` | seq `u64` |
+//!
+//! Server → client:
+//!
+//! | type | frame | payload |
+//! |------|-------|---------|
+//! | 0x05 | `Ack` | seq `u64`, kind `u8`, kind-specific body |
+//! | 0x06 | `Nack` | seq `u64`, reason `u8`, retry-after `u32` (µs) |
+//!
+//! Sample batches are columnar inside the frame (index run, then time
+//! run, then value run) so the decoder reads each section with one
+//! `chunks_exact` pass. Times and values are *not* semantically
+//! validated here: the shard applies the same monotonicity and
+//! finiteness rules to wire batches as to in-process ones, so the two
+//! paths stay bit-identical.
+
+use adassure_trace::SignalId;
+
+use crate::stream::{Sample, SampleBatch, StreamId};
+
+/// Magic bytes opening every [`Frame::Hello`].
+pub const MAGIC: &[u8; 6] = b"ADWIRE";
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+/// Endianness marker: 1 = little-endian (the only defined value).
+pub const LITTLE_ENDIAN: u8 = 1;
+/// Default cap on a frame body. A declared length above the decoder's
+/// cap is rejected before any buffering, so a corrupt length prefix
+/// cannot make the server allocate gigabytes.
+pub const DEFAULT_MAX_FRAME_LEN: usize = 1 << 20;
+
+const TYPE_HELLO: u8 = 0x01;
+const TYPE_OPEN_STREAM: u8 = 0x02;
+const TYPE_SAMPLE_BATCH: u8 = 0x03;
+const TYPE_CLOSE_STREAM: u8 = 0x04;
+const TYPE_ACK: u8 = 0x05;
+const TYPE_NACK: u8 = 0x06;
+const TYPE_GET_METRICS: u8 = 0x07;
+
+const ACK_HELLO: u8 = 0;
+const ACK_STREAM_OPENED: u8 = 1;
+const ACK_BATCH_APPLIED: u8 = 2;
+const ACK_STREAM_CLOSED: u8 = 3;
+const ACK_METRICS: u8 = 4;
+
+/// Typed decode/encode failures. Never a panic: every malformed input
+/// maps to one of these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// A frame declared a body longer than the decoder's cap.
+    FrameTooLong {
+        /// Declared body length.
+        len: usize,
+        /// The decoder's cap.
+        max: usize,
+    },
+    /// Structurally invalid frame content (bad type, short payload,
+    /// section-length mismatch, invalid name table, …).
+    Malformed {
+        /// Human-readable description of the violation.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::FrameTooLong { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds the {max}-byte cap")
+            }
+            WireError::Malformed { message } => write!(f, "malformed frame: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Why the server refused a frame. Submission reasons mirror
+/// [`crate::SubmitError`]; stream reasons mirror [`crate::StreamError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NackReason {
+    /// The target shard's queue is full ([`crate::SubmitError::Saturated`]).
+    /// The batch was not applied; re-send it after the frame's
+    /// retry-after hint.
+    Saturated,
+    /// The stream id names a shard the fleet does not have
+    /// ([`crate::SubmitError::UnknownShard`]). The frame is dropped and
+    /// counted; the sequence advances.
+    UnknownShard,
+    /// The stream was already closed ([`crate::StreamError::StaleGeneration`]).
+    StaleGeneration,
+    /// The stream slot does not exist ([`crate::StreamError::UnknownSlot`]).
+    UnknownSlot,
+    /// The frame's sequence number is not the next expected one — it was
+    /// in flight across a [`NackReason::Saturated`] rewind and will be
+    /// re-sent by the producer. Informational; not applied, not fatal.
+    Superseded,
+    /// The frame (or the byte stream) is structurally invalid. The server
+    /// closes the connection after sending this.
+    Malformed,
+    /// Valid frame, unsupported content (unknown protocol version,
+    /// non-zero reserved flags). The connection closes.
+    Unsupported,
+    /// The fleet is shutting down; the connection closes.
+    ShuttingDown,
+}
+
+impl NackReason {
+    fn to_byte(self) -> u8 {
+        match self {
+            NackReason::Saturated => 0,
+            NackReason::UnknownShard => 1,
+            NackReason::StaleGeneration => 2,
+            NackReason::UnknownSlot => 3,
+            NackReason::Superseded => 4,
+            NackReason::Malformed => 5,
+            NackReason::Unsupported => 6,
+            NackReason::ShuttingDown => 7,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, WireError> {
+        Ok(match b {
+            0 => NackReason::Saturated,
+            1 => NackReason::UnknownShard,
+            2 => NackReason::StaleGeneration,
+            3 => NackReason::UnknownSlot,
+            4 => NackReason::Superseded,
+            5 => NackReason::Malformed,
+            6 => NackReason::Unsupported,
+            7 => NackReason::ShuttingDown,
+            other => {
+                return Err(WireError::Malformed {
+                    message: format!("unknown nack reason {other}"),
+                })
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for NackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            NackReason::Saturated => "saturated",
+            NackReason::UnknownShard => "unknown-shard",
+            NackReason::StaleGeneration => "stale-generation",
+            NackReason::UnknownSlot => "unknown-slot",
+            NackReason::Superseded => "superseded",
+            NackReason::Malformed => "malformed",
+            NackReason::Unsupported => "unsupported",
+            NackReason::ShuttingDown => "shutting-down",
+        };
+        f.write_str(name)
+    }
+}
+
+/// The body of a positive server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AckBody {
+    /// Handshake accepted; the server speaks `version`.
+    Hello {
+        /// Server protocol version.
+        version: u8,
+    },
+    /// A stream was opened for this connection.
+    StreamOpened {
+        /// The new stream's id, to address subsequent batches.
+        stream: StreamId,
+    },
+    /// The batch was queued on its shard.
+    BatchApplied,
+    /// The stream was drained and closed.
+    StreamClosed {
+        /// The final [`adassure_core::CheckReport`], JSON-encoded.
+        report_json: Vec<u8>,
+    },
+    /// Fleet-wide metrics, as the deterministic
+    /// [`adassure_obs::ObsSummary`] JSON.
+    Metrics {
+        /// The summary JSON bytes.
+        summary_json: Vec<u8>,
+    },
+}
+
+/// One decoded protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Connection handshake; must be the first frame a producer sends.
+    Hello {
+        /// Producer protocol version.
+        version: u8,
+    },
+    /// Request a new stream with default per-stream options.
+    OpenStream {
+        /// Sequence number.
+        seq: u64,
+        /// Reserved; must be zero.
+        flags: u32,
+    },
+    /// A batch of samples for one open stream.
+    SampleBatch {
+        /// Sequence number.
+        seq: u64,
+        /// The decoded batch, ready for [`crate::Fleet::submit`].
+        batch: SampleBatch,
+    },
+    /// Close a stream and return its report.
+    CloseStream {
+        /// Sequence number.
+        seq: u64,
+        /// The stream to close.
+        stream: StreamId,
+    },
+    /// Request the fleet-wide deterministic metrics summary.
+    GetMetrics {
+        /// Sequence number.
+        seq: u64,
+    },
+    /// Positive response to the frame with the same sequence number.
+    Ack {
+        /// Sequence number being answered (0 for the handshake).
+        seq: u64,
+        /// Response body.
+        body: AckBody,
+    },
+    /// Negative response; see [`NackReason`] for retry semantics.
+    Nack {
+        /// Sequence number being refused.
+        seq: u64,
+        /// Typed reason.
+        reason: NackReason,
+        /// Suggested retry delay in microseconds (meaningful for
+        /// [`NackReason::Saturated`], zero otherwise).
+        retry_after_us: u32,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Reserves the length prefix, runs `fill`, then patches the prefix.
+fn with_frame(out: &mut Vec<u8>, fill: impl FnOnce(&mut Vec<u8>)) {
+    let at = out.len();
+    out.extend_from_slice(&[0u8; 4]);
+    fill(out);
+    let body_len = out.len() - at - 4;
+    #[allow(clippy::cast_possible_truncation)] // bodies are bounded by the frame cap
+    out[at..at + 4].copy_from_slice(&(body_len as u32).to_le_bytes());
+}
+
+fn put_stream(out: &mut Vec<u8>, stream: StreamId) {
+    let (shard, slot, gen) = stream.into_raw();
+    out.extend_from_slice(&shard.to_le_bytes());
+    out.extend_from_slice(&slot.to_le_bytes());
+    out.extend_from_slice(&gen.to_le_bytes());
+}
+
+/// Appends an encoded [`Frame::Hello`] to `out`.
+pub fn encode_hello(out: &mut Vec<u8>) {
+    with_frame(out, |out| {
+        out.push(TYPE_HELLO);
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        out.push(LITTLE_ENDIAN);
+    });
+}
+
+/// Appends an encoded [`Frame::OpenStream`] to `out`.
+pub fn encode_open_stream(out: &mut Vec<u8>, seq: u64) {
+    with_frame(out, |out| {
+        out.push(TYPE_OPEN_STREAM);
+        out.extend_from_slice(&seq.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+    });
+}
+
+/// Appends an encoded [`Frame::SampleBatch`] to `out`. The per-frame
+/// channel table is built from the batch's channels in first-appearance
+/// order.
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] when a channel name is empty or contains the
+/// `\n` table separator (such names cannot round-trip).
+pub fn encode_sample_batch(
+    out: &mut Vec<u8>,
+    seq: u64,
+    batch: &SampleBatch,
+) -> Result<(), WireError> {
+    let mut channels: Vec<&SignalId> = Vec::new();
+    let mut indices: Vec<u32> = Vec::with_capacity(batch.samples.len());
+    for sample in &batch.samples {
+        let name = sample.channel.as_str();
+        if name.is_empty() || name.contains('\n') {
+            return Err(WireError::Malformed {
+                message: format!("channel name {name:?} cannot be encoded"),
+            });
+        }
+        let idx = match channels.iter().position(|c| **c == sample.channel) {
+            Some(i) => i,
+            None => {
+                channels.push(&sample.channel);
+                channels.len() - 1
+            }
+        };
+        #[allow(clippy::cast_possible_truncation)] // bounded by sample count < u32::MAX
+        indices.push(idx as u32);
+    }
+    with_frame(out, |out| {
+        out.push(TYPE_SAMPLE_BATCH);
+        out.extend_from_slice(&seq.to_le_bytes());
+        put_stream(out, batch.stream);
+        #[allow(clippy::cast_possible_truncation)]
+        out.extend_from_slice(&(channels.len() as u32).to_le_bytes());
+        #[allow(clippy::cast_possible_truncation)]
+        out.extend_from_slice(&(batch.samples.len() as u32).to_le_bytes());
+        let table_start = out.len();
+        out.extend_from_slice(&0u32.to_le_bytes());
+        for (i, channel) in channels.iter().enumerate() {
+            if i > 0 {
+                out.push(b'\n');
+            }
+            out.extend_from_slice(channel.as_str().as_bytes());
+        }
+        let table_len = out.len() - table_start - 4;
+        #[allow(clippy::cast_possible_truncation)]
+        out[table_start..table_start + 4].copy_from_slice(&(table_len as u32).to_le_bytes());
+        for &idx in &indices {
+            out.extend_from_slice(&idx.to_le_bytes());
+        }
+        for sample in &batch.samples {
+            out.extend_from_slice(&sample.t.to_le_bytes());
+        }
+        for sample in &batch.samples {
+            out.extend_from_slice(&sample.value.to_le_bytes());
+        }
+    });
+    Ok(())
+}
+
+/// Appends an encoded [`Frame::CloseStream`] to `out`.
+pub fn encode_close_stream(out: &mut Vec<u8>, seq: u64, stream: StreamId) {
+    with_frame(out, |out| {
+        out.push(TYPE_CLOSE_STREAM);
+        out.extend_from_slice(&seq.to_le_bytes());
+        put_stream(out, stream);
+    });
+}
+
+/// Appends an encoded [`Frame::GetMetrics`] to `out`.
+pub fn encode_get_metrics(out: &mut Vec<u8>, seq: u64) {
+    with_frame(out, |out| {
+        out.push(TYPE_GET_METRICS);
+        out.extend_from_slice(&seq.to_le_bytes());
+    });
+}
+
+/// Appends an encoded [`Frame::Ack`] to `out`.
+pub fn encode_ack(out: &mut Vec<u8>, seq: u64, body: &AckBody) {
+    with_frame(out, |out| {
+        out.push(TYPE_ACK);
+        out.extend_from_slice(&seq.to_le_bytes());
+        match body {
+            AckBody::Hello { version } => {
+                out.push(ACK_HELLO);
+                out.push(*version);
+            }
+            AckBody::StreamOpened { stream } => {
+                out.push(ACK_STREAM_OPENED);
+                put_stream(out, *stream);
+            }
+            AckBody::BatchApplied => out.push(ACK_BATCH_APPLIED),
+            AckBody::StreamClosed { report_json } => {
+                out.push(ACK_STREAM_CLOSED);
+                #[allow(clippy::cast_possible_truncation)]
+                out.extend_from_slice(&(report_json.len() as u32).to_le_bytes());
+                out.extend_from_slice(report_json);
+            }
+            AckBody::Metrics { summary_json } => {
+                out.push(ACK_METRICS);
+                #[allow(clippy::cast_possible_truncation)]
+                out.extend_from_slice(&(summary_json.len() as u32).to_le_bytes());
+                out.extend_from_slice(summary_json);
+            }
+        }
+    });
+}
+
+/// Appends an encoded [`Frame::Nack`] to `out`.
+pub fn encode_nack(out: &mut Vec<u8>, seq: u64, reason: NackReason, retry_after_us: u32) {
+    with_frame(out, |out| {
+        out.push(TYPE_NACK);
+        out.extend_from_slice(&seq.to_le_bytes());
+        out.push(reason.to_byte());
+        out.extend_from_slice(&retry_after_us.to_le_bytes());
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian cursor over one frame body.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn bad(message: impl Into<String>) -> WireError {
+        WireError::Malformed {
+            message: message.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| Cursor::bad(format!("truncated payload: {what} needs {n} bytes")))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, WireError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, WireError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn stream(&mut self) -> Result<StreamId, WireError> {
+        let shard = self.u32("stream shard")?;
+        let slot = self.u32("stream slot")?;
+        let gen = self.u32("stream generation")?;
+        Ok(StreamId::from_raw(shard, slot, gen))
+    }
+
+    fn done(&self, what: &str) -> Result<(), WireError> {
+        if self.pos != self.bytes.len() {
+            return Err(Cursor::bad(format!(
+                "{} trailing bytes after {what}",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Parses one complete frame body (type byte + payload).
+fn parse_body(body: &[u8]) -> Result<Frame, WireError> {
+    let mut c = Cursor::new(body);
+    let frame_type = c.u8("frame type")?;
+    match frame_type {
+        TYPE_HELLO => {
+            let magic = c.take(6, "hello magic")?;
+            if magic != MAGIC {
+                return Err(Cursor::bad("bad hello magic (not an ADWIRE stream)"));
+            }
+            let version = c.u8("hello version")?;
+            let endian = c.u8("hello endianness")?;
+            if endian != LITTLE_ENDIAN {
+                return Err(Cursor::bad(format!(
+                    "unsupported endianness marker {endian}"
+                )));
+            }
+            c.done("hello")?;
+            Ok(Frame::Hello { version })
+        }
+        TYPE_OPEN_STREAM => {
+            let seq = c.u64("open seq")?;
+            let flags = c.u32("open flags")?;
+            c.done("open-stream")?;
+            Ok(Frame::OpenStream { seq, flags })
+        }
+        TYPE_SAMPLE_BATCH => {
+            let seq = c.u64("batch seq")?;
+            let stream = c.stream()?;
+            let channel_count = c.u32("channel count")? as usize;
+            let sample_count = c.u32("sample count")? as usize;
+            let table_len = c.u32("name table length")? as usize;
+            let table = c.take(table_len, "name table")?;
+            let text = std::str::from_utf8(table)
+                .map_err(|_| Cursor::bad("name table is not valid UTF-8"))?;
+            let names: Vec<&str> = if text.is_empty() {
+                Vec::new()
+            } else {
+                text.split('\n').collect()
+            };
+            if names.len() != channel_count {
+                return Err(Cursor::bad(format!(
+                    "name table holds {} names, header says {channel_count}",
+                    names.len()
+                )));
+            }
+            if names.iter().any(|n| n.is_empty()) {
+                return Err(Cursor::bad("empty channel name in name table"));
+            }
+            let channels: Vec<SignalId> = names.into_iter().map(SignalId::new).collect();
+            let idx_bytes = c.take(4 * sample_count, "channel indices")?;
+            let time_bytes = c.take(8 * sample_count, "sample times")?;
+            let value_bytes = c.take(8 * sample_count, "sample values")?;
+            c.done("sample batch")?;
+            let mut samples = Vec::with_capacity(sample_count);
+            for ((ib, tb), vb) in idx_bytes
+                .chunks_exact(4)
+                .zip(time_bytes.chunks_exact(8))
+                .zip(value_bytes.chunks_exact(8))
+            {
+                let idx = u32::from_le_bytes([ib[0], ib[1], ib[2], ib[3]]) as usize;
+                let channel = channels.get(idx).ok_or_else(|| {
+                    Cursor::bad(format!(
+                        "channel index {idx} out of range ({channel_count})"
+                    ))
+                })?;
+                samples.push(Sample {
+                    t: f64::from_le_bytes([tb[0], tb[1], tb[2], tb[3], tb[4], tb[5], tb[6], tb[7]]),
+                    channel: channel.clone(),
+                    value: f64::from_le_bytes([
+                        vb[0], vb[1], vb[2], vb[3], vb[4], vb[5], vb[6], vb[7],
+                    ]),
+                });
+            }
+            Ok(Frame::SampleBatch {
+                seq,
+                batch: SampleBatch { stream, samples },
+            })
+        }
+        TYPE_CLOSE_STREAM => {
+            let seq = c.u64("close seq")?;
+            let stream = c.stream()?;
+            c.done("close-stream")?;
+            Ok(Frame::CloseStream { seq, stream })
+        }
+        TYPE_GET_METRICS => {
+            let seq = c.u64("metrics seq")?;
+            c.done("get-metrics")?;
+            Ok(Frame::GetMetrics { seq })
+        }
+        TYPE_ACK => {
+            let seq = c.u64("ack seq")?;
+            let kind = c.u8("ack kind")?;
+            let body = match kind {
+                ACK_HELLO => AckBody::Hello {
+                    version: c.u8("server version")?,
+                },
+                ACK_STREAM_OPENED => AckBody::StreamOpened {
+                    stream: c.stream()?,
+                },
+                ACK_BATCH_APPLIED => AckBody::BatchApplied,
+                ACK_STREAM_CLOSED => {
+                    let len = c.u32("report length")? as usize;
+                    AckBody::StreamClosed {
+                        report_json: c.take(len, "report JSON")?.to_vec(),
+                    }
+                }
+                ACK_METRICS => {
+                    let len = c.u32("summary length")? as usize;
+                    AckBody::Metrics {
+                        summary_json: c.take(len, "summary JSON")?.to_vec(),
+                    }
+                }
+                other => return Err(Cursor::bad(format!("unknown ack kind {other}"))),
+            };
+            c.done("ack")?;
+            Ok(Frame::Ack { seq, body })
+        }
+        TYPE_NACK => {
+            let seq = c.u64("nack seq")?;
+            let reason = NackReason::from_byte(c.u8("nack reason")?)?;
+            let retry_after_us = c.u32("nack retry-after")?;
+            c.done("nack")?;
+            Ok(Frame::Nack {
+                seq,
+                reason,
+                retry_after_us,
+            })
+        }
+        other => Err(Cursor::bad(format!("unknown frame type {other:#04x}"))),
+    }
+}
+
+/// A streaming frame decoder over an arbitrary byte-chunk sequence.
+///
+/// Feed it whatever the socket yields ([`FrameDecoder::feed`]) and pull
+/// complete frames with [`FrameDecoder::next_frame`]; partial frames stay
+/// buffered until their remaining bytes arrive. Errors are sticky: a
+/// malformed or oversized frame poisons the connection (framing can no
+/// longer be trusted), so every later call returns the same error.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    start: usize,
+    max_frame_len: usize,
+    poisoned: Option<WireError>,
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing `max_frame_len` as the body-length cap.
+    pub fn new(max_frame_len: usize) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            start: 0,
+            max_frame_len,
+            poisoned: None,
+        }
+    }
+
+    /// Appends raw bytes from the transport.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing: drop the consumed prefix once it
+        // dominates the buffer so memory stays bounded by one frame.
+        if self.start > 4096 && self.start * 2 >= self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Number of buffered bytes not yet consumed by a complete frame.
+    /// Non-zero at end-of-stream means the peer disconnected mid-frame.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Decodes the next complete frame, `Ok(None)` if more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::FrameTooLong`] for a declared body beyond the cap,
+    /// [`WireError::Malformed`] for structural violations. Errors are
+    /// sticky — the stream cannot be re-synchronised after one.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        if let Some(err) = &self.poisoned {
+            return Err(err.clone());
+        }
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let body_len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if body_len == 0 {
+            return Err(self.poison(WireError::Malformed {
+                message: "empty frame body".into(),
+            }));
+        }
+        if body_len > self.max_frame_len {
+            return Err(self.poison(WireError::FrameTooLong {
+                len: body_len,
+                max: self.max_frame_len,
+            }));
+        }
+        if avail.len() < 4 + body_len {
+            return Ok(None);
+        }
+        let body = &avail[4..4 + body_len];
+        match parse_body(body) {
+            Ok(frame) => {
+                self.start += 4 + body_len;
+                Ok(Some(frame))
+            }
+            Err(err) => Err(self.poison(err)),
+        }
+    }
+
+    fn poison(&mut self, err: WireError) -> WireError {
+        self.poisoned = Some(err.clone());
+        err
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream_id() -> StreamId {
+        StreamId::from_raw(3, 17, 2)
+    }
+
+    fn sample_batch() -> SampleBatch {
+        let mut batch = SampleBatch::new(stream_id());
+        batch.push(0.05, "xtrack", 0.4);
+        batch.push(0.05, "speed", 5.0);
+        batch.push(0.10, "xtrack", f64::NAN);
+        batch.push(0.10, "gnss_x", -12.5);
+        batch
+    }
+
+    fn decode_all(bytes: &[u8]) -> Vec<Frame> {
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        dec.feed(bytes);
+        let mut frames = Vec::new();
+        while let Some(frame) = dec.next_frame().expect("valid frames") {
+            frames.push(frame);
+        }
+        assert_eq!(dec.pending(), 0);
+        frames
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        let mut out = Vec::new();
+        encode_hello(&mut out);
+        encode_open_stream(&mut out, 1);
+        encode_sample_batch(&mut out, 2, &sample_batch()).unwrap();
+        encode_close_stream(&mut out, 3, stream_id());
+        encode_get_metrics(&mut out, 4);
+        encode_ack(&mut out, 0, &AckBody::Hello { version: VERSION });
+        encode_ack(
+            &mut out,
+            1,
+            &AckBody::StreamOpened {
+                stream: stream_id(),
+            },
+        );
+        encode_ack(&mut out, 2, &AckBody::BatchApplied);
+        encode_ack(
+            &mut out,
+            3,
+            &AckBody::StreamClosed {
+                report_json: b"{\"violations\":[]}".to_vec(),
+            },
+        );
+        encode_ack(
+            &mut out,
+            4,
+            &AckBody::Metrics {
+                summary_json: b"{}".to_vec(),
+            },
+        );
+        encode_nack(&mut out, 9, NackReason::Saturated, 150);
+
+        let frames = decode_all(&out);
+        assert_eq!(frames.len(), 11);
+        assert_eq!(frames[0], Frame::Hello { version: VERSION });
+        assert_eq!(frames[1], Frame::OpenStream { seq: 1, flags: 0 });
+        match &frames[2] {
+            Frame::SampleBatch { seq: 2, batch } => {
+                let expected = sample_batch();
+                assert_eq!(batch.stream, expected.stream);
+                assert_eq!(batch.samples.len(), expected.samples.len());
+                for (a, b) in batch.samples.iter().zip(&expected.samples) {
+                    assert_eq!(a.t.to_bits(), b.t.to_bits());
+                    assert_eq!(a.channel, b.channel);
+                    assert_eq!(a.value.to_bits(), b.value.to_bits());
+                }
+            }
+            other => panic!("expected sample batch, got {other:?}"),
+        }
+        assert_eq!(
+            frames[3],
+            Frame::CloseStream {
+                seq: 3,
+                stream: stream_id()
+            }
+        );
+        assert_eq!(frames[4], Frame::GetMetrics { seq: 4 });
+        assert_eq!(
+            frames[10],
+            Frame::Nack {
+                seq: 9,
+                reason: NackReason::Saturated,
+                retry_after_us: 150
+            }
+        );
+    }
+
+    #[test]
+    fn byte_at_a_time_feeding_reassembles_frames() {
+        let mut out = Vec::new();
+        encode_hello(&mut out);
+        encode_sample_batch(&mut out, 0, &sample_batch()).unwrap();
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        let mut frames = Vec::new();
+        for &b in &out {
+            dec.feed(&[b]);
+            while let Some(frame) = dec.next_frame().unwrap() {
+                frames.push(frame);
+            }
+        }
+        assert_eq!(frames.len(), 2);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn oversized_declared_length_is_rejected_before_buffering() {
+        let mut dec = FrameDecoder::new(1024);
+        dec.feed(&(u32::MAX).to_le_bytes());
+        assert_eq!(
+            dec.next_frame(),
+            Err(WireError::FrameTooLong {
+                len: u32::MAX as usize,
+                max: 1024
+            })
+        );
+        // Sticky: the framing is unrecoverable.
+        dec.feed(&[0u8; 16]);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(WireError::FrameTooLong { .. })
+        ));
+    }
+
+    #[test]
+    fn channel_index_out_of_range_is_typed() {
+        let mut out = Vec::new();
+        encode_sample_batch(&mut out, 0, &sample_batch()).unwrap();
+        // The index section starts right after the name table; corrupt the
+        // first index to an out-of-range value.
+        let table_len_at = 4 + 1 + 8 + 12 + 4 + 4;
+        let table_len =
+            u32::from_le_bytes(out[table_len_at..table_len_at + 4].try_into().unwrap()) as usize;
+        let idx_at = table_len_at + 4 + table_len;
+        out[idx_at..idx_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        dec.feed(&out);
+        assert!(matches!(dec.next_frame(), Err(WireError::Malformed { .. })));
+    }
+
+    #[test]
+    fn newline_in_channel_name_is_an_encode_error() {
+        let mut batch = SampleBatch::new(stream_id());
+        batch.push(0.1, "bad\nname", 1.0);
+        let mut out = Vec::new();
+        assert!(matches!(
+            encode_sample_batch(&mut out, 0, &batch),
+            Err(WireError::Malformed { .. })
+        ));
+    }
+}

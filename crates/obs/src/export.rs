@@ -13,12 +13,12 @@ use std::fmt::Write as _;
 pub fn prometheus(snap: &MetricsSnapshot) -> String {
     let mut out = String::with_capacity(4096);
 
-    counter_header(
+    push_counter(
         &mut out,
         "adassure_cycles_total",
         "Monitor cycles evaluated",
+        snap.cycles,
     );
-    let _ = writeln!(out, "adassure_cycles_total {}", snap.cycles);
 
     counter_header(
         &mut out,
@@ -85,12 +85,12 @@ pub fn prometheus(snap: &MetricsSnapshot) -> String {
         &snap.guard_transitions,
     );
 
-    counter_header(
+    push_counter(
         &mut out,
         "adassure_events_emitted_total",
         "Events that passed the filter",
+        snap.events_emitted,
     );
-    let _ = writeln!(out, "adassure_events_emitted_total {}", snap.events_emitted);
 
     histogram_block(
         &mut out,
@@ -116,6 +116,41 @@ pub fn json(snap: &MetricsSnapshot) -> String {
 fn counter_header(out: &mut String, name: &str, help: &str) {
     let _ = writeln!(out, "# HELP {name} {help}");
     let _ = writeln!(out, "# TYPE {name} counter");
+}
+
+/// Appends one unlabeled counter with its `HELP`/`TYPE` header.
+///
+/// Building block for services that expose their own counters next to the
+/// snapshot series (the monitor server's ingest counters, for instance).
+pub fn push_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    counter_header(out, name, help);
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Appends one unlabeled gauge with its `HELP`/`TYPE` header.
+pub fn push_gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Appends a histogram as a Prometheus summary — `quantile`-labeled p50
+/// and p99 samples plus `_sum`/`_count` — the compact form for latency
+/// series where full bucket curves would drown the page.
+pub fn push_quantiles(out: &mut String, name: &str, help: &str, h: &Histogram) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} summary");
+    for (q, v) in [("0.5", h.p50()), ("0.99", h.p99())] {
+        if let Some(v) = v {
+            let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+        }
+    }
+    if h.sum.is_finite() {
+        let _ = writeln!(out, "{name}_sum {}", h.sum);
+    } else {
+        let _ = writeln!(out, "{name}_sum 0");
+    }
+    let _ = writeln!(out, "{name}_count {}", h.count);
 }
 
 fn transition_block(out: &mut String, name: &str, help: &str, transitions: &[Transition]) {
@@ -208,6 +243,32 @@ mod tests {
             assert!(v >= last, "non-monotone bucket line: {line}");
             last = v;
         }
+    }
+
+    #[test]
+    fn push_helpers_render_well_formed_series() {
+        let mut out = String::new();
+        push_counter(&mut out, "x_total", "things", 7);
+        push_gauge(&mut out, "x_live", "live things", 2.5);
+        let mut h = Histogram::nanos();
+        for v in [100.0, 200.0, 400.0] {
+            h.record(v);
+        }
+        push_quantiles(&mut out, "x_latency_ns", "latency", &h);
+        assert!(out.contains("# TYPE x_total counter"));
+        assert!(out.contains("x_total 7"));
+        assert!(out.contains("# TYPE x_live gauge"));
+        assert!(out.contains("x_live 2.5"));
+        assert!(out.contains("# TYPE x_latency_ns summary"));
+        assert!(out.contains("x_latency_ns{quantile=\"0.5\"}"));
+        assert!(out.contains("x_latency_ns{quantile=\"0.99\"}"));
+        assert!(out.contains("x_latency_ns_count 3"));
+
+        // An empty histogram still renders sum/count, no quantiles.
+        let mut out = String::new();
+        push_quantiles(&mut out, "y_ns", "empty", &Histogram::nanos());
+        assert!(out.contains("y_ns_count 0"));
+        assert!(!out.contains("quantile"));
     }
 
     #[test]
