@@ -51,6 +51,19 @@ echo "== network ingest soak smoke (loopback TCP, zero lost samples) =="
 cargo run --release -q -p adassure-bench --bin net_soak -- \
     --smoke --out target/ci_net_soak.json
 
+echo "== wire framing properties (any fragmentation/truncation reassembles) =="
+cargo test -q -p adassure-fleet --test wire_props
+
+echo "== checkpoint properties (restore continues bit-identically, any split) =="
+cargo test -q -p adassure-fleet --test checkpoint_props
+
+echo "== crash resilience (seeded cuts, checkpointed restart, connection cap) =="
+cargo test -q -p adassure-fleet --test resilience
+
+echo "== chaos soak smoke (faulted sockets + server crash, byte-identical) =="
+cargo run --release -q -p adassure-bench --bin chaos_soak -- \
+    --smoke --out target/ci_chaos_soak.json
+
 echo "== cargo bench --no-run (benchmarks stay compilable) =="
 cargo bench --workspace --no-run
 

@@ -38,6 +38,10 @@ struct SignalState {
     last_step: Option<(f64, f64)>,
 }
 
+/// A slot's sample-and-hold state flattened to plain data for
+/// checkpointing: `(seen, time, value, last_step)`.
+pub(crate) type SlotState = (bool, f64, f64, Option<(f64, f64)>);
+
 impl Default for SignalState {
     fn default() -> Self {
         SignalState {
@@ -113,6 +117,35 @@ impl Env {
         }
         state.time = t;
         state.value = value;
+    }
+
+    /// Raw sample-and-hold state of `slot` as
+    /// `(seen, time, value, last_step)`, for checkpointing. `None` if the
+    /// slot was never interned.
+    pub(crate) fn slot_state(&self, slot: u32) -> Option<SlotState> {
+        let state = self.states.get(slot as usize)?;
+        Some((state.seen, state.time, state.value, state.last_step))
+    }
+
+    /// Overwrites the sample-and-hold state of `slot`, growing the state
+    /// vector if needed. Restore-path counterpart of [`Env::slot_state`].
+    pub(crate) fn restore_slot_state(
+        &mut self,
+        slot: u32,
+        seen: bool,
+        time: f64,
+        value: f64,
+        last_step: Option<(f64, f64)>,
+    ) {
+        if slot as usize >= self.states.len() {
+            self.states.resize_with(slot as usize + 1, Default::default);
+        }
+        self.states[slot as usize] = SignalState {
+            seen,
+            time,
+            value,
+            last_step,
+        };
     }
 
     /// Newest value of `signal`, if seen.

@@ -60,9 +60,12 @@ pub mod report;
 pub mod spec;
 pub mod violation;
 
-pub use assertion::{Assertion, AssertionId, Condition, Severity, Temporal};
+pub use assertion::{Assertion, AssertionId, Condition, Eval, Severity, Temporal};
 pub use expr::SignalExpr;
 pub use lane::{check_columnar, LANES};
-pub use online::{CheckerPlan, CycleError, HealthConfig, HealthState, MonitorPlan, OnlineChecker};
+pub use online::{
+    CheckerPlan, CheckerState, CycleError, HealthConfig, HealthState, MonitorPlan, MonitorSnapshot,
+    OnlineChecker, RestoreError, SignalSnapshot,
+};
 pub use report::CheckReport;
 pub use violation::Violation;

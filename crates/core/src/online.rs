@@ -265,6 +265,103 @@ impl MonitorRt {
     }
 }
 
+/// Plain-data snapshot of one signal slot's sample-and-hold state, as
+/// stored inside a [`CheckerState`]. Slot order follows the plan's
+/// interned table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SignalSnapshot {
+    /// Whether the slot has received at least one finite sample.
+    pub seen: bool,
+    /// Timestamp of the newest sample.
+    pub time: f64,
+    /// Newest (finite) value.
+    pub value: f64,
+    /// `(delta, dt)` of the last two distinct-time updates.
+    pub last_step: Option<(f64, f64)>,
+}
+
+/// Plain-data snapshot of one monitor's mutable state (health machine,
+/// verdict cache, episode bookkeeping), parallel to the plan's monitor
+/// list.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorSnapshot {
+    /// Telemetry health of the monitor.
+    pub health: HealthState,
+    /// Consecutive degraded cycles (drives quarantine).
+    pub degraded_streak: u32,
+    /// Consecutive clean cycles (drives hysteretic recovery).
+    pub clean_streak: u32,
+    /// Verdict of the last evaluation, replayed while no input changes.
+    pub cached: Option<Eval>,
+    /// Onset time of the current violation episode, if one is open.
+    pub episode_start: Option<f64>,
+    /// Whether the current episode has already alarmed.
+    pub alarmed_this_episode: bool,
+    /// Whether the condition has ever evaluated healthy.
+    pub ever_healthy: bool,
+    /// Whether any evaluation (healthy or violated) has happened.
+    pub saw_first_sample: bool,
+    /// Index into the violation list of this episode's alarm.
+    pub open_violation: Option<u64>,
+    /// Verdict of the previous cycle, for flip counting.
+    pub last_verdict: ObsVerdict,
+}
+
+/// The complete serializable mutable state of an [`OnlineChecker`],
+/// captured between cycles by [`OnlineChecker::save_state`] and replayed
+/// into a fresh checker by [`OnlineChecker::restore`]. All fields are
+/// plain data; the compiled plan itself is *not* part of the state — the
+/// restore side must supply an identical plan (same catalog, same interned
+/// table), which callers validate via assertion ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckerState {
+    /// The environment clock at capture time.
+    pub now: f64,
+    /// Per-slot sample-and-hold state for every plan slot, in slot order.
+    pub signals: Vec<SignalSnapshot>,
+    /// Per-monitor mutable state, in catalog order.
+    pub monitors: Vec<MonitorSnapshot>,
+    /// Per-slot poison flags, in slot order.
+    pub poisoned: Vec<bool>,
+    /// Monitor-cycles that produced [`Eval::Inconclusive`].
+    pub inconclusive_cycles: u64,
+    /// Timestamp of the last opened cycle (monotonicity fence).
+    pub last_cycle: Option<f64>,
+    /// Violations raised so far, in detection order.
+    pub violations: Vec<Violation>,
+    /// Per-assertion observability counters, in catalog order.
+    pub stats: Vec<AssertionStats>,
+    /// Health-transition counts across all monitors.
+    pub health_grid: [[u64; 3]; 3],
+    /// Wall-clock evaluation latency histogram (carried for counter
+    /// continuity; never part of deterministic summaries).
+    pub eval_ns: Histogram,
+    /// Cycles closed so far.
+    pub cycles: u64,
+    /// Events that passed the filter so far.
+    pub events_emitted: u64,
+    /// Run id stamped on emitted events.
+    pub run_id: u64,
+    /// Whether the RunStart event has been emitted.
+    pub started: bool,
+}
+
+/// Error returned by [`OnlineChecker::restore`] when a [`CheckerState`]
+/// does not fit the supplied plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RestoreError {
+    /// What did not line up between the state and the plan.
+    pub message: String,
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "checker state does not fit the plan: {}", self.message)
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 /// The incremental checker.
 ///
 /// # Example
@@ -783,6 +880,162 @@ impl OnlineChecker {
         report.inconclusive_cycles = self.inconclusive_cycles;
         (report, snapshot, sink)
     }
+
+    /// Captures the checker's complete mutable state as plain data.
+    ///
+    /// Must be called *between* cycles (after `end_cycle`, before the next
+    /// `begin_cycle`): the dirty mask is clear and no cycle is open, so the
+    /// snapshot together with the plan fully determines all future
+    /// verdicts. Signal slots interned after compilation (unknown to every
+    /// assertion) are not captured — no condition can read them.
+    pub fn save_state(&self) -> CheckerState {
+        debug_assert!(!self.cycle_open, "save_state inside an open cycle");
+        let width = self.plan.width;
+        let signals = (0..width as u32)
+            .map(|slot| {
+                let (seen, time, value, last_step) =
+                    self.env.slot_state(slot).unwrap_or((false, 0.0, 0.0, None));
+                SignalSnapshot {
+                    seen,
+                    time,
+                    value,
+                    last_step,
+                }
+            })
+            .collect();
+        let monitors = self
+            .monitors
+            .iter()
+            .map(|m| MonitorSnapshot {
+                health: m.health,
+                degraded_streak: m.degraded_streak,
+                clean_streak: m.clean_streak,
+                cached: m.cached,
+                episode_start: m.episode_start,
+                alarmed_this_episode: m.alarmed_this_episode,
+                ever_healthy: m.ever_healthy,
+                saw_first_sample: m.saw_first_sample,
+                open_violation: m.open_violation.map(|i| i as u64),
+                last_verdict: m.last_verdict,
+            })
+            .collect();
+        CheckerState {
+            now: self.env.now(),
+            signals,
+            monitors,
+            poisoned: self.poisoned.to_vec(),
+            inconclusive_cycles: self.inconclusive_cycles,
+            last_cycle: self.last_cycle,
+            violations: self.violations.clone(),
+            stats: self.stats.to_vec(),
+            health_grid: self.health_grid.counts(),
+            eval_ns: self.eval_ns.clone(),
+            cycles: self.cycles,
+            events_emitted: self.events_emitted,
+            run_id: self.run_id,
+            started: self.started,
+        }
+    }
+
+    /// Rebuilds a checker from a [`CheckerState`] previously captured with
+    /// [`OnlineChecker::save_state`], over the *same* compiled plan. The
+    /// restored checker produces bit-identical verdicts to one that ran
+    /// uninterrupted.
+    ///
+    /// No event sink is attached (the fleet path runs sinkless); attach
+    /// one afterwards with [`OnlineChecker::set_event_sink`] if needed.
+    ///
+    /// # Errors
+    ///
+    /// Rejects states whose dimensions (monitor count, slot width, stats
+    /// ids, violation indices) do not match the plan.
+    pub fn restore(
+        plan: Arc<CheckerPlan>,
+        health_config: HealthConfig,
+        state: CheckerState,
+    ) -> Result<Self, RestoreError> {
+        let mismatch = |message: String| RestoreError { message };
+        if state.monitors.len() != plan.monitors.len() {
+            return Err(mismatch(format!(
+                "state has {} monitors, plan has {}",
+                state.monitors.len(),
+                plan.monitors.len()
+            )));
+        }
+        if state.stats.len() != plan.monitors.len() {
+            return Err(mismatch(format!(
+                "state has {} stat rows, plan has {} monitors",
+                state.stats.len(),
+                plan.monitors.len()
+            )));
+        }
+        for (stat, mp) in state.stats.iter().zip(&plan.monitors) {
+            if stat.id != mp.assertion.id.as_str() {
+                return Err(mismatch(format!(
+                    "stat row for assertion {:?} does not match plan assertion {:?}",
+                    stat.id,
+                    mp.assertion.id.as_str()
+                )));
+            }
+        }
+        if state.signals.len() != plan.width {
+            return Err(mismatch(format!(
+                "state has {} signal slots, plan width is {}",
+                state.signals.len(),
+                plan.width
+            )));
+        }
+        if state.poisoned.len() != plan.width {
+            return Err(mismatch(format!(
+                "state has {} poison flags, plan width is {}",
+                state.poisoned.len(),
+                plan.width
+            )));
+        }
+        for m in &state.monitors {
+            if let Some(idx) = m.open_violation {
+                if idx as usize >= state.violations.len() {
+                    return Err(mismatch(format!(
+                        "open violation index {idx} out of range ({} violations)",
+                        state.violations.len()
+                    )));
+                }
+            }
+        }
+        let mut checker = OnlineChecker::from_plan(plan, health_config);
+        checker.env.set_time(state.now);
+        for (slot, s) in state.signals.iter().enumerate() {
+            checker
+                .env
+                .restore_slot_state(slot as u32, s.seen, s.time, s.value, s.last_step);
+        }
+        for (rt, m) in checker.monitors.iter_mut().zip(&state.monitors) {
+            *rt = MonitorRt {
+                health: m.health,
+                degraded_streak: m.degraded_streak,
+                clean_streak: m.clean_streak,
+                cached: m.cached,
+                episode_start: m.episode_start,
+                alarmed_this_episode: m.alarmed_this_episode,
+                ever_healthy: m.ever_healthy,
+                saw_first_sample: m.saw_first_sample,
+                open_violation: m.open_violation.map(|i| i as usize),
+                last_verdict: m.last_verdict,
+            };
+        }
+        checker.poisoned = state.poisoned.into_boxed_slice();
+        checker.inconclusive_cycles = state.inconclusive_cycles;
+        checker.last_cycle = state.last_cycle;
+        checker.violations = state.violations;
+        checker.stats = state.stats.into_boxed_slice();
+        checker.health_grid = TransitionGrid::from_counts(state.health_grid);
+        checker.eval_ns = state.eval_ns;
+        checker.cycles = state.cycles;
+        checker.events_emitted = state.events_emitted;
+        checker.run_id = state.run_id;
+        checker.started = state.started;
+        Ok(checker)
+    }
 }
 
 /// Forwards `ev` to the sink if one is attached and the filter accepts it.
@@ -1182,6 +1435,92 @@ mod tests {
         assert_eq!(metrics.assertions[0].verdicts.pass, 1);
         assert_eq!(metrics.assertions[0].verdicts.violated, 1);
         assert_eq!(metrics.events_emitted, 0, "no sink, no events");
+    }
+
+    #[test]
+    fn save_restore_round_trip_is_bit_identical() {
+        let catalog = || {
+            vec![
+                bound_assertion(1.0).with_temporal(Temporal::Sustained(0.15)),
+                Assertion::new(
+                    "A13",
+                    "gnss fresh",
+                    Severity::Critical,
+                    Condition::Fresh {
+                        signal: "gnss_x".into(),
+                        max_age: 0.3,
+                    },
+                ),
+            ]
+        };
+        let cfg = HealthConfig {
+            stale_after: 0.5,
+            quarantine_after: 3,
+            recover_after: 2,
+        };
+        // Telemetry that walks through degradation, suspension, recovery
+        // and a mid-episode sustained excursion.
+        let feed: Vec<(f64, Option<f64>, Option<f64>)> = (1..=40)
+            .map(|k| {
+                let t = 0.1 * k as f64;
+                let x = match k % 7 {
+                    0 => f64::NAN,
+                    1..=3 => 2.0,
+                    _ => 0.2,
+                };
+                let gnss = (k % 3 != 0).then_some(k as f64);
+                (t, Some(x), gnss)
+            })
+            .collect();
+        let drive_one = |c: &mut OnlineChecker, (t, x, gnss): (f64, Option<f64>, Option<f64>)| {
+            c.begin_cycle(t).unwrap();
+            if let Some(x) = x {
+                c.update("x", x);
+            }
+            if let Some(g) = gnss {
+                c.update("gnss_x", g);
+            }
+            c.end_cycle();
+        };
+
+        for cut in [1usize, 5, 13, 21, 39] {
+            let mut oracle = OnlineChecker::with_health(catalog(), cfg);
+            let mut live = OnlineChecker::with_health(catalog(), cfg);
+            for &step in &feed[..cut] {
+                drive_one(&mut oracle, step);
+                drive_one(&mut live, step);
+            }
+            let state = live.save_state();
+            let mut restored =
+                OnlineChecker::restore(live.plan().clone(), cfg, state).expect("restore");
+            drop(live);
+            for &step in &feed[cut..] {
+                drive_one(&mut oracle, step);
+                drive_one(&mut restored, step);
+            }
+            let (oracle_report, oracle_metrics, _) = oracle.finish_observed(5.0);
+            let (report, metrics, _) = restored.finish_observed(5.0);
+            assert_eq!(
+                serde_json::to_vec(&report).unwrap(),
+                serde_json::to_vec(&oracle_report).unwrap(),
+                "report diverged after restore at cut {cut}"
+            );
+            assert_eq!(
+                serde_json::to_vec(&metrics.summary()).unwrap(),
+                serde_json::to_vec(&oracle_metrics.summary()).unwrap(),
+                "metrics diverged after restore at cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_plan() {
+        let c = OnlineChecker::new([bound_assertion(1.0)]);
+        let state = c.save_state();
+        let other = OnlineChecker::new([bound_assertion(1.0), bound_assertion(2.0)]);
+        assert!(
+            OnlineChecker::restore(other.plan().clone(), HealthConfig::default(), state).is_err()
+        );
     }
 
     #[test]

@@ -13,20 +13,30 @@
 //! ```text
 //! monitor-server [--streams N] [--shards N] [--bind ADDR] [--port P]
 //!                [--ingest PORT] [--ticks N] [--once]
+//!                [--checkpoint-dir DIR] [--checkpoint-every SECS]
+//!                [--max-connections N]
 //! ```
 //!
 //! `--streams 0` disables the synthetic driver (ingest-only service).
 //! `--once` runs `--ticks` ingestion ticks and prints the Prometheus
 //! export to stdout instead of serving — the CI smoke mode.
+//!
+//! With `--checkpoint-dir` (and `--ingest`), the server writes a
+//! periodic [`adassure_fleet::checkpoint`] snapshot of the whole fleet —
+//! checker state, guardians, session sequences — to
+//! `DIR/fleet.adckpt`, atomically. On startup it restores from that
+//! file when present, so producers that reconnect with their session
+//! token resume exactly where the checkpoint left them.
 
 use std::io::{Read, Write};
 use std::net::TcpListener;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 use adassure_core::{Assertion, Condition, Severity, SignalExpr};
 use adassure_fleet::{
-    Fleet, FleetConfig, IngestConfig, IngestListener, IngestServer, IngestStatsSnapshot,
-    SampleBatch, StreamId, SubmitError,
+    restore_server, Fleet, FleetConfig, IngestConfig, IngestListener, IngestServer,
+    IngestStatsSnapshot, SampleBatch, SessionSeed, StreamId, SubmitError,
 };
 use adassure_obs::export;
 
@@ -38,6 +48,9 @@ struct Args {
     ingest: Option<u16>,
     ticks: u64,
     once: bool,
+    checkpoint_dir: Option<PathBuf>,
+    checkpoint_every: u64,
+    max_connections: usize,
 }
 
 /// Startup failures that should reach the operator as a message and a
@@ -50,6 +63,8 @@ enum ServerError {
         addr: String,
         source: std::io::Error,
     },
+    /// A checkpoint file exists but cannot be restored.
+    Restore { path: PathBuf, message: String },
 }
 
 impl std::fmt::Display for ServerError {
@@ -57,6 +72,9 @@ impl std::fmt::Display for ServerError {
         match self {
             ServerError::Bind { what, addr, source } => {
                 write!(f, "cannot bind {what} listener on {addr}: {source}")
+            }
+            ServerError::Restore { path, message } => {
+                write!(f, "cannot restore checkpoint {}: {message}", path.display())
             }
         }
     }
@@ -71,6 +89,9 @@ fn parse_args() -> Args {
         ingest: None,
         ticks: 200,
         once: false,
+        checkpoint_dir: None,
+        checkpoint_every: 30,
+        max_connections: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -92,6 +113,14 @@ fn parse_args() -> Args {
             "--ingest" => args.ingest = Some(grab("--ingest") as u16),
             "--ticks" => args.ticks = grab("--ticks"),
             "--once" => args.once = true,
+            "--checkpoint-dir" => {
+                args.checkpoint_dir = Some(PathBuf::from(it.next().unwrap_or_else(|| {
+                    eprintln!("--checkpoint-dir needs a path");
+                    std::process::exit(2);
+                })))
+            }
+            "--checkpoint-every" => args.checkpoint_every = grab("--checkpoint-every"),
+            "--max-connections" => args.max_connections = grab("--max-connections") as usize,
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -245,6 +274,21 @@ fn metrics_page(fleet: &Fleet, ingest: Option<&IngestStatsSnapshot>) -> String {
                 ingest.connections,
             ),
             (
+                "adassure_ingest_rejected_connections",
+                "Connections refused at the connection cap",
+                ingest.rejected_connections,
+            ),
+            (
+                "adassure_ingest_resumes_total",
+                "Producer sessions resumed after a reconnect",
+                ingest.resumes,
+            ),
+            (
+                "adassure_ingest_checkpoints_total",
+                "Fleet checkpoints written",
+                ingest.checkpoints,
+            ),
+            (
                 "adassure_ingest_frames_total",
                 "Wire frames decoded",
                 ingest.frames,
@@ -318,13 +362,47 @@ fn metrics_page(fleet: &Fleet, ingest: Option<&IngestStatsSnapshot>) -> String {
 }
 
 fn run(args: Args) -> Result<(), ServerError> {
-    let mut fleet = Fleet::new(
-        catalog(),
-        FleetConfig {
-            shards: args.shards,
-            ..FleetConfig::default()
-        },
-    );
+    let fleet_config = FleetConfig {
+        shards: args.shards,
+        ..FleetConfig::default()
+    };
+    // Restore from the last checkpoint when one exists: the fleet comes
+    // back with every stream's checker state, and the session seed lets
+    // reconnecting producers resume exactly where the snapshot left
+    // them.
+    let checkpoint_path = args
+        .checkpoint_dir
+        .as_ref()
+        .map(|dir| dir.join("fleet.adckpt"));
+    let mut session_seed: Option<SessionSeed> = None;
+    let mut fleet = match &checkpoint_path {
+        Some(path) if path.exists() && !args.once => {
+            let restore = std::fs::read(path)
+                .map_err(|e| (path, e.to_string()))
+                .and_then(|bytes| {
+                    restore_server(catalog(), fleet_config, &bytes)
+                        .map_err(|e| (path, e.to_string()))
+                });
+            match restore {
+                Ok((fleet, seed)) => {
+                    eprintln!(
+                        "monitor-server: restored {} sessions from {}",
+                        seed.len(),
+                        path.display()
+                    );
+                    session_seed = Some(seed);
+                    fleet
+                }
+                Err((path, message)) => {
+                    return Err(ServerError::Restore {
+                        path: path.clone(),
+                        message,
+                    })
+                }
+            }
+        }
+        _ => Fleet::new(catalog(), fleet_config),
+    };
     let ids: Vec<StreamId> = (0..args.streams).map(|_| fleet.open_stream()).collect();
     let mut synths: Vec<Synth> = (0..args.streams).map(|i| Synth::new(i as u64)).collect();
 
@@ -354,11 +432,21 @@ fn run(args: Args) -> Result<(), ServerError> {
                     addr: addr.clone(),
                     source,
                 })?;
-            let server = IngestServer::spawn(
-                Arc::clone(&fleet),
-                IngestListener::Tcp(listener),
-                IngestConfig::default(),
-            )
+            let config = IngestConfig {
+                max_connections: args.max_connections,
+                ..IngestConfig::default()
+            };
+            let server = match session_seed.take() {
+                Some(seed) => IngestServer::spawn_restored(
+                    Arc::clone(&fleet),
+                    IngestListener::Tcp(listener),
+                    config,
+                    seed,
+                ),
+                None => {
+                    IngestServer::spawn(Arc::clone(&fleet), IngestListener::Tcp(listener), config)
+                }
+            }
             .map_err(|source| ServerError::Bind {
                 what: "ingest",
                 addr,
@@ -369,6 +457,31 @@ fn run(args: Args) -> Result<(), ServerError> {
         }
         None => None,
     };
+
+    // Periodic crash-recovery snapshots, atomically replacing
+    // DIR/fleet.adckpt. Only meaningful alongside the wire listener —
+    // the checkpoint covers the sessions producers resume into.
+    if let (Some(server), Some(path)) = (&ingest, &checkpoint_path) {
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let checkpointer = server.checkpointer();
+        let every = std::time::Duration::from_secs(args.checkpoint_every.max(1));
+        eprintln!(
+            "monitor-server: checkpointing to {} every {}s",
+            path.display(),
+            every.as_secs()
+        );
+        let path = path.clone();
+        std::thread::spawn(move || loop {
+            std::thread::sleep(every);
+            if let Err(e) = checkpointer.checkpoint_to(&path) {
+                eprintln!("monitor-server: checkpoint failed: {e}");
+            }
+        });
+    } else if checkpoint_path.is_some() && !args.once {
+        eprintln!("monitor-server: --checkpoint-dir is ignored without --ingest");
+    }
 
     if !ids.is_empty() {
         let fleet = Arc::clone(&fleet);

@@ -1,0 +1,1039 @@
+//! Versioned binary checkpoints of fleet state.
+//!
+//! A checkpoint is the complete serialized state of a [`Fleet`] — every
+//! live stream's checker (sample-and-hold signals, health machines,
+//! verdict caches, violations, counters), guardian state machines, slab
+//! layout including generation counters and free-list order, the merged
+//! retired metrics, and the stream-sequence counter — plus, when written
+//! by an ingest server, every producer session's applied-sequence
+//! high-water mark and its ring of recent encoded responses. Restoring a
+//! checkpoint and replaying the post-checkpoint batches yields verdicts
+//! **bit-identical** to an uninterrupted run; the proptest in
+//! `tests/checkpoint_props.rs` and the chaos soak pin that property.
+//!
+//! # Format
+//!
+//! The encoding mirrors the `.adt`/ADWIRE conventions: explicit magic,
+//! version and endianness markers, every integer and float little-endian,
+//! and a bounds-checked decoder that returns typed [`CheckpointError`]s
+//! instead of panicking on corrupt input.
+//!
+//! ```text
+//! checkpoint := magic b"ADCKPT", version u8 (=1), endianness u8 (=1),
+//!               fleet-section, session-section
+//! ```
+//!
+//! The fleet section stores the catalog's assertion ids (validated on
+//! restore — a checkpoint is only meaningful against the same compiled
+//! plan), the health config, the shard layout, and per shard the slab
+//! slots with their checker/guardian states. The session section stores
+//! `(token, expected_seq, durable_seq, recent responses)` per producer
+//! session, so a restarted server can resume producers exactly where the
+//! checkpoint cut them (see DESIGN.md §13).
+//!
+//! Streams carrying a fault injector are rejected with
+//! [`CheckpointError::Unsupported`]: injector RNG state is not
+//! serializable, and the wire path never attaches injectors.
+
+use std::sync::Arc;
+
+use adassure_core::{
+    Assertion, CheckerPlan, CheckerState, Eval, HealthConfig, HealthState, MonitorSnapshot,
+    SignalSnapshot, Violation,
+};
+use adassure_core::{AssertionId, Severity};
+use adassure_obs::{AssertionStats, Guard, Histogram, Verdict, VerdictCounts};
+
+use crate::fleet::{Fleet, FleetConfig, FleetState};
+use crate::guard::{GuardConfig, GuardState};
+use crate::shard::{DrainStats, ShardState, SlotState, StreamState};
+
+/// Magic bytes opening every checkpoint.
+pub const CKPT_MAGIC: &[u8; 6] = b"ADCKPT";
+/// Current checkpoint format version.
+pub const CKPT_VERSION: u8 = 1;
+const CKPT_LITTLE_ENDIAN: u8 = 1;
+
+/// Typed checkpoint encode/decode/restore failures.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Reading or writing the checkpoint file failed.
+    Io(std::io::Error),
+    /// The bytes are not a structurally valid checkpoint (bad magic,
+    /// truncation, out-of-range tags).
+    Malformed {
+        /// What was wrong.
+        message: String,
+    },
+    /// The checkpoint is valid but does not fit the supplied catalog,
+    /// health config or fleet layout.
+    Incompatible {
+        /// What did not line up.
+        message: String,
+    },
+    /// The fleet state cannot be checkpointed (e.g. a stream carries a
+    /// fault injector with non-serializable RNG state).
+    Unsupported {
+        /// Which stream/feature blocked the checkpoint.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            CheckpointError::Malformed { message } => {
+                write!(f, "malformed checkpoint: {message}")
+            }
+            CheckpointError::Incompatible { message } => {
+                write!(f, "incompatible checkpoint: {message}")
+            }
+            CheckpointError::Unsupported { message } => {
+                write!(f, "unsupported checkpoint request: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// One producer session as stored in a checkpoint: its token, the next
+/// sequence the server expects, the durable (checkpoint-covered)
+/// sequence, and the ring of recently sent encoded responses for resume
+/// replay.
+#[derive(Debug, Clone)]
+pub(crate) struct SessionSeedEntry {
+    pub(crate) token: u64,
+    pub(crate) expected_seq: u64,
+    pub(crate) acks: Vec<(u64, Vec<u8>)>,
+}
+
+/// The producer sessions recovered from a checkpoint, to be handed to
+/// [`crate::IngestServer::spawn_restored`]. Opaque plain data.
+#[derive(Debug, Default)]
+pub struct SessionSeed {
+    pub(crate) sessions: Vec<SessionSeedEntry>,
+}
+
+impl SessionSeed {
+    /// Number of sessions in the seed.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Whether the seed holds no sessions.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u16_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    debug_assert!(bytes.len() <= u16::MAX as usize, "oversized id string");
+    #[allow(clippy::cast_possible_truncation)]
+    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        None => out.push(0),
+    }
+}
+
+fn put_histogram(out: &mut Vec<u8>, h: &Histogram) {
+    out.extend_from_slice(&h.lo.to_le_bytes());
+    #[allow(clippy::cast_possible_truncation)]
+    out.extend_from_slice(&(h.buckets.len() as u32).to_le_bytes());
+    for &b in &h.buckets {
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+    out.extend_from_slice(&h.underflow.to_le_bytes());
+    out.extend_from_slice(&h.overflow.to_le_bytes());
+    out.extend_from_slice(&h.rejected.to_le_bytes());
+    out.extend_from_slice(&h.count.to_le_bytes());
+    out.extend_from_slice(&h.sum.to_le_bytes());
+    out.extend_from_slice(&h.max.to_le_bytes());
+}
+
+fn put_grid(out: &mut Vec<u8>, grid: &[[u64; 3]; 3]) {
+    for row in grid {
+        for &cell in row {
+            out.extend_from_slice(&cell.to_le_bytes());
+        }
+    }
+}
+
+fn put_drain_stats(out: &mut Vec<u8>, s: &DrainStats) {
+    for v in [
+        s.batches,
+        s.samples,
+        s.cycles,
+        s.violations,
+        s.bad_cycles,
+        s.stale_batches,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn severity_byte(s: Severity) -> u8 {
+    match s {
+        Severity::Info => 0,
+        Severity::Warning => 1,
+        Severity::Critical => 2,
+    }
+}
+
+fn verdict_byte(v: Verdict) -> u8 {
+    match v {
+        Verdict::Unknown => 0,
+        Verdict::Pass => 1,
+        Verdict::Inconclusive => 2,
+        Verdict::Violated => 3,
+    }
+}
+
+fn put_violation(out: &mut Vec<u8>, v: &Violation) {
+    put_u16_str(out, v.assertion.as_str());
+    out.push(severity_byte(v.severity));
+    out.extend_from_slice(&v.onset.to_le_bytes());
+    out.extend_from_slice(&v.detected.to_le_bytes());
+    out.extend_from_slice(&v.value.to_le_bytes());
+    put_opt_f64(out, v.recovered);
+}
+
+fn put_checker(out: &mut Vec<u8>, c: &CheckerState) {
+    out.extend_from_slice(&c.now.to_le_bytes());
+    #[allow(clippy::cast_possible_truncation)]
+    out.extend_from_slice(&(c.signals.len() as u32).to_le_bytes());
+    for s in &c.signals {
+        out.push(u8::from(s.seen));
+        out.extend_from_slice(&s.time.to_le_bytes());
+        out.extend_from_slice(&s.value.to_le_bytes());
+        match s.last_step {
+            Some((delta, dt)) => {
+                out.push(1);
+                out.extend_from_slice(&delta.to_le_bytes());
+                out.extend_from_slice(&dt.to_le_bytes());
+            }
+            None => out.push(0),
+        }
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    out.extend_from_slice(&(c.monitors.len() as u32).to_le_bytes());
+    for m in &c.monitors {
+        match m.health {
+            HealthState::Active => out.push(0),
+            HealthState::Degraded(n) => {
+                out.push(1);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            HealthState::Suspended => out.push(2),
+        }
+        out.extend_from_slice(&m.degraded_streak.to_le_bytes());
+        out.extend_from_slice(&m.clean_streak.to_le_bytes());
+        match m.cached {
+            None => out.push(0),
+            Some(Eval::Healthy) => out.push(1),
+            Some(Eval::Violated(v)) => {
+                out.push(2);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Some(Eval::Unknown) => out.push(3),
+            Some(Eval::Inconclusive) => out.push(4),
+        }
+        put_opt_f64(out, m.episode_start);
+        out.push(u8::from(m.alarmed_this_episode));
+        out.push(u8::from(m.ever_healthy));
+        out.push(u8::from(m.saw_first_sample));
+        match m.open_violation {
+            Some(idx) => {
+                out.push(1);
+                out.extend_from_slice(&idx.to_le_bytes());
+            }
+            None => out.push(0),
+        }
+        out.push(verdict_byte(m.last_verdict));
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    out.extend_from_slice(&(c.poisoned.len() as u32).to_le_bytes());
+    for &p in &c.poisoned {
+        out.push(u8::from(p));
+    }
+    out.extend_from_slice(&c.inconclusive_cycles.to_le_bytes());
+    put_opt_f64(out, c.last_cycle);
+    #[allow(clippy::cast_possible_truncation)]
+    out.extend_from_slice(&(c.violations.len() as u32).to_le_bytes());
+    for v in &c.violations {
+        put_violation(out, v);
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    out.extend_from_slice(&(c.stats.len() as u32).to_le_bytes());
+    for s in &c.stats {
+        put_u16_str(out, &s.id);
+        for v in [
+            s.verdicts.unknown,
+            s.verdicts.pass,
+            s.verdicts.inconclusive,
+            s.verdicts.violated,
+            s.flips,
+            s.episodes,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    put_grid(out, &c.health_grid);
+    put_histogram(out, &c.eval_ns);
+    out.extend_from_slice(&c.cycles.to_le_bytes());
+    out.extend_from_slice(&c.events_emitted.to_le_bytes());
+    out.extend_from_slice(&c.run_id.to_le_bytes());
+    out.push(u8::from(c.started));
+}
+
+fn put_guard(out: &mut Vec<u8>, g: &GuardState) {
+    out.extend_from_slice(&g.config.confirm_cycles.to_le_bytes());
+    out.extend_from_slice(&g.config.recover_cycles.to_le_bytes());
+    out.push(g.state.index() as u8);
+    out.extend_from_slice(&g.alarm_streak.to_le_bytes());
+    out.extend_from_slice(&g.clean_streak.to_le_bytes());
+    put_grid(out, &g.grid);
+}
+
+/// Encodes a captured fleet state plus producer sessions into checkpoint
+/// bytes.
+pub(crate) fn encode(state: &FleetState, sessions: &[SessionSeedEntry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4096);
+    out.extend_from_slice(CKPT_MAGIC);
+    out.push(CKPT_VERSION);
+    out.push(CKPT_LITTLE_ENDIAN);
+    #[allow(clippy::cast_possible_truncation)]
+    out.extend_from_slice(&(state.assertion_ids.len() as u32).to_le_bytes());
+    for id in &state.assertion_ids {
+        put_u16_str(&mut out, id);
+    }
+    out.extend_from_slice(&state.health.stale_after.to_le_bytes());
+    out.extend_from_slice(&state.health.quarantine_after.to_le_bytes());
+    out.extend_from_slice(&state.health.recover_after.to_le_bytes());
+    out.extend_from_slice(&state.next_seq.to_le_bytes());
+    out.extend_from_slice(&state.closed_streams.to_le_bytes());
+    let retired = serde_json::to_vec(&state.retired).expect("metrics snapshot serializes");
+    #[allow(clippy::cast_possible_truncation)]
+    out.extend_from_slice(&(retired.len() as u32).to_le_bytes());
+    out.extend_from_slice(&retired);
+    #[allow(clippy::cast_possible_truncation)]
+    out.extend_from_slice(&(state.shards.len() as u32).to_le_bytes());
+    for (shard, &rejected) in state.shards.iter().zip(
+        state
+            .rejected
+            .iter()
+            .chain(std::iter::repeat(&0))
+            .take(state.shards.len()),
+    ) {
+        out.extend_from_slice(&rejected.to_le_bytes());
+        put_drain_stats(&mut out, &shard.totals);
+        out.extend_from_slice(&shard.cycle_counter.to_le_bytes());
+        put_histogram(&mut out, &shard.cycle_ns);
+        #[allow(clippy::cast_possible_truncation)]
+        out.extend_from_slice(&(shard.slots.len() as u32).to_le_bytes());
+        for slot in &shard.slots {
+            out.extend_from_slice(&slot.gen.to_le_bytes());
+            match &slot.stream {
+                None => out.push(0),
+                Some(stream) => {
+                    out.push(1);
+                    out.extend_from_slice(&stream.seq.to_le_bytes());
+                    out.extend_from_slice(&stream.last_t.to_le_bytes());
+                    match &stream.guard {
+                        Some(g) => {
+                            out.push(1);
+                            put_guard(&mut out, g);
+                        }
+                        None => out.push(0),
+                    }
+                    put_checker(&mut out, &stream.checker);
+                }
+            }
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        out.extend_from_slice(&(shard.free.len() as u32).to_le_bytes());
+        for &f in &shard.free {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    out.extend_from_slice(&(sessions.len() as u32).to_le_bytes());
+    for session in sessions {
+        out.extend_from_slice(&session.token.to_le_bytes());
+        out.extend_from_slice(&session.expected_seq.to_le_bytes());
+        #[allow(clippy::cast_possible_truncation)]
+        out.extend_from_slice(&(session.acks.len() as u32).to_le_bytes());
+        for (seq, bytes) in &session.acks {
+            out.extend_from_slice(&seq.to_le_bytes());
+            #[allow(clippy::cast_possible_truncation)]
+            out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+            out.extend_from_slice(bytes);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+struct Cur<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn bad(message: impl Into<String>) -> CheckpointError {
+        CheckpointError::Malformed {
+            message: message.into(),
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CheckpointError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| Cur::bad(format!("truncated: {what} needs {n} bytes")))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, CheckpointError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn bool(&mut self, what: &str) -> Result<bool, CheckpointError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(Cur::bad(format!("{what}: invalid bool byte {other}"))),
+        }
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, CheckpointError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, CheckpointError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, CheckpointError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn opt_f64(&mut self, what: &str) -> Result<Option<f64>, CheckpointError> {
+        Ok(if self.bool(what)? {
+            Some(self.f64(what)?)
+        } else {
+            None
+        })
+    }
+
+    fn str16(&mut self, what: &str) -> Result<String, CheckpointError> {
+        let len = self.u16(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| Cur::bad(format!("{what}: invalid UTF-8")))
+    }
+
+    /// Length prefix for a repeated section; capped so corrupt counts
+    /// cannot drive huge allocations before the bytes run out.
+    fn count(&mut self, what: &str) -> Result<usize, CheckpointError> {
+        let n = self.u32(what)? as usize;
+        if n > self.bytes.len().saturating_sub(self.pos) {
+            return Err(Cur::bad(format!(
+                "{what}: count {n} exceeds the remaining {} bytes",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(n)
+    }
+
+    fn histogram(&mut self, what: &str) -> Result<Histogram, CheckpointError> {
+        let lo = self.f64(what)?;
+        if !(lo.is_finite() && lo > 0.0) {
+            return Err(Cur::bad(format!("{what}: invalid histogram lo {lo}")));
+        }
+        let buckets = self.count(what)?;
+        let mut h = Histogram::new(lo, buckets.max(1));
+        h.buckets.clear();
+        for _ in 0..buckets {
+            h.buckets.push(self.u64(what)?);
+        }
+        h.underflow = self.u64(what)?;
+        h.overflow = self.u64(what)?;
+        h.rejected = self.u64(what)?;
+        h.count = self.u64(what)?;
+        h.sum = self.f64(what)?;
+        h.max = self.f64(what)?;
+        Ok(h)
+    }
+
+    fn grid(&mut self, what: &str) -> Result<[[u64; 3]; 3], CheckpointError> {
+        let mut grid = [[0u64; 3]; 3];
+        for row in &mut grid {
+            for cell in row.iter_mut() {
+                *cell = self.u64(what)?;
+            }
+        }
+        Ok(grid)
+    }
+
+    fn drain_stats(&mut self) -> Result<DrainStats, CheckpointError> {
+        Ok(DrainStats {
+            batches: self.u64("totals")?,
+            samples: self.u64("totals")?,
+            cycles: self.u64("totals")?,
+            violations: self.u64("totals")?,
+            bad_cycles: self.u64("totals")?,
+            stale_batches: self.u64("totals")?,
+        })
+    }
+}
+
+fn severity_from(b: u8) -> Result<Severity, CheckpointError> {
+    Ok(match b {
+        0 => Severity::Info,
+        1 => Severity::Warning,
+        2 => Severity::Critical,
+        other => return Err(Cur::bad(format!("invalid severity byte {other}"))),
+    })
+}
+
+fn verdict_from(b: u8) -> Result<Verdict, CheckpointError> {
+    Ok(match b {
+        0 => Verdict::Unknown,
+        1 => Verdict::Pass,
+        2 => Verdict::Inconclusive,
+        3 => Verdict::Violated,
+        other => return Err(Cur::bad(format!("invalid verdict byte {other}"))),
+    })
+}
+
+fn read_checker(c: &mut Cur<'_>) -> Result<CheckerState, CheckpointError> {
+    let now = c.f64("checker now")?;
+    let signal_count = c.count("signal count")?;
+    let mut signals = Vec::with_capacity(signal_count);
+    for _ in 0..signal_count {
+        let seen = c.bool("signal seen")?;
+        let time = c.f64("signal time")?;
+        let value = c.f64("signal value")?;
+        let last_step = if c.bool("signal step flag")? {
+            Some((c.f64("signal delta")?, c.f64("signal dt")?))
+        } else {
+            None
+        };
+        signals.push(SignalSnapshot {
+            seen,
+            time,
+            value,
+            last_step,
+        });
+    }
+    let monitor_count = c.count("monitor count")?;
+    let mut monitors = Vec::with_capacity(monitor_count);
+    for _ in 0..monitor_count {
+        let health = match c.u8("monitor health")? {
+            0 => HealthState::Active,
+            1 => HealthState::Degraded(c.u32("degraded count")?),
+            2 => HealthState::Suspended,
+            other => return Err(Cur::bad(format!("invalid health tag {other}"))),
+        };
+        let degraded_streak = c.u32("degraded streak")?;
+        let clean_streak = c.u32("clean streak")?;
+        let cached = match c.u8("cached verdict tag")? {
+            0 => None,
+            1 => Some(Eval::Healthy),
+            2 => Some(Eval::Violated(c.f64("cached violated value")?)),
+            3 => Some(Eval::Unknown),
+            4 => Some(Eval::Inconclusive),
+            other => return Err(Cur::bad(format!("invalid cached verdict tag {other}"))),
+        };
+        let episode_start = c.opt_f64("episode start")?;
+        let alarmed_this_episode = c.bool("alarmed flag")?;
+        let ever_healthy = c.bool("ever-healthy flag")?;
+        let saw_first_sample = c.bool("first-sample flag")?;
+        let open_violation = if c.bool("open violation flag")? {
+            Some(c.u64("open violation index")?)
+        } else {
+            None
+        };
+        let last_verdict = verdict_from(c.u8("last verdict")?)?;
+        monitors.push(MonitorSnapshot {
+            health,
+            degraded_streak,
+            clean_streak,
+            cached,
+            episode_start,
+            alarmed_this_episode,
+            ever_healthy,
+            saw_first_sample,
+            open_violation,
+            last_verdict,
+        });
+    }
+    let poison_count = c.count("poison count")?;
+    let mut poisoned = Vec::with_capacity(poison_count);
+    for _ in 0..poison_count {
+        poisoned.push(c.bool("poison flag")?);
+    }
+    let inconclusive_cycles = c.u64("inconclusive cycles")?;
+    let last_cycle = c.opt_f64("last cycle")?;
+    let violation_count = c.count("violation count")?;
+    let mut violations = Vec::with_capacity(violation_count);
+    for _ in 0..violation_count {
+        let assertion = AssertionId::new(c.str16("violation assertion")?);
+        let severity = severity_from(c.u8("violation severity")?)?;
+        let onset = c.f64("violation onset")?;
+        let detected = c.f64("violation detected")?;
+        let value = c.f64("violation value")?;
+        let recovered = c.opt_f64("violation recovered")?;
+        violations.push(Violation {
+            assertion,
+            severity,
+            onset,
+            detected,
+            value,
+            recovered,
+        });
+    }
+    let stat_count = c.count("stat count")?;
+    let mut stats = Vec::with_capacity(stat_count);
+    for _ in 0..stat_count {
+        let id = c.str16("stat id")?;
+        let verdicts = VerdictCounts {
+            unknown: c.u64("stat unknown")?,
+            pass: c.u64("stat pass")?,
+            inconclusive: c.u64("stat inconclusive")?,
+            violated: c.u64("stat violated")?,
+        };
+        let flips = c.u64("stat flips")?;
+        let episodes = c.u64("stat episodes")?;
+        let mut stat = AssertionStats::new(&id);
+        stat.verdicts = verdicts;
+        stat.flips = flips;
+        stat.episodes = episodes;
+        stats.push(stat);
+    }
+    let health_grid = c.grid("health grid")?;
+    let eval_ns = c.histogram("eval histogram")?;
+    let cycles = c.u64("checker cycles")?;
+    let events_emitted = c.u64("events emitted")?;
+    let run_id = c.u64("run id")?;
+    let started = c.bool("started flag")?;
+    Ok(CheckerState {
+        now,
+        signals,
+        monitors,
+        poisoned,
+        inconclusive_cycles,
+        last_cycle,
+        violations,
+        stats,
+        health_grid,
+        eval_ns,
+        cycles,
+        events_emitted,
+        run_id,
+        started,
+    })
+}
+
+fn read_guard(c: &mut Cur<'_>) -> Result<GuardState, CheckpointError> {
+    let config = GuardConfig {
+        confirm_cycles: c.u32("guard confirm cycles")?,
+        recover_cycles: c.u32("guard recover cycles")?,
+    };
+    let state_idx = c.u8("guard state")? as usize;
+    let state = *Guard::ALL
+        .get(state_idx)
+        .ok_or_else(|| Cur::bad(format!("invalid guard state index {state_idx}")))?;
+    let alarm_streak = c.u32("guard alarm streak")?;
+    let clean_streak = c.u32("guard clean streak")?;
+    let grid = c.grid("guard grid")?;
+    Ok(GuardState {
+        config,
+        state,
+        alarm_streak,
+        clean_streak,
+        grid,
+    })
+}
+
+/// Decodes checkpoint bytes into the plain-data fleet state plus the
+/// producer sessions.
+pub(crate) fn decode(bytes: &[u8]) -> Result<(FleetState, Vec<SessionSeedEntry>), CheckpointError> {
+    let mut c = Cur { bytes, pos: 0 };
+    let magic = c.take(6, "magic")?;
+    if magic != CKPT_MAGIC {
+        return Err(Cur::bad("bad magic (not an ADCKPT checkpoint)"));
+    }
+    let version = c.u8("version")?;
+    if version != CKPT_VERSION {
+        return Err(CheckpointError::Incompatible {
+            message: format!("checkpoint version {version}, this build speaks {CKPT_VERSION}"),
+        });
+    }
+    let endian = c.u8("endianness")?;
+    if endian != CKPT_LITTLE_ENDIAN {
+        return Err(CheckpointError::Incompatible {
+            message: format!("unsupported endianness marker {endian}"),
+        });
+    }
+    let id_count = c.count("assertion count")?;
+    let mut assertion_ids = Vec::with_capacity(id_count);
+    for _ in 0..id_count {
+        assertion_ids.push(c.str16("assertion id")?);
+    }
+    let health = HealthConfig {
+        stale_after: c.f64("health stale-after")?,
+        quarantine_after: c.u32("health quarantine-after")?,
+        recover_after: c.u32("health recover-after")?,
+    };
+    let next_seq = c.u64("next stream seq")?;
+    let closed_streams = c.u64("closed streams")?;
+    let retired_len = c.count("retired metrics length")?;
+    let retired_bytes = c.take(retired_len, "retired metrics")?;
+    let retired = serde_json::from_slice(retired_bytes)
+        .map_err(|e| Cur::bad(format!("retired metrics JSON: {e}")))?;
+    let shard_count = c.count("shard count")?;
+    let mut shards = Vec::with_capacity(shard_count);
+    let mut rejected = Vec::with_capacity(shard_count);
+    for _ in 0..shard_count {
+        rejected.push(c.u64("rejected batches")?);
+        let totals = c.drain_stats()?;
+        let cycle_counter = c.u64("cycle counter")?;
+        let cycle_ns = c.histogram("cycle histogram")?;
+        let slot_count = c.count("slot count")?;
+        let mut slots = Vec::with_capacity(slot_count);
+        for _ in 0..slot_count {
+            let gen = c.u32("slot generation")?;
+            let stream = if c.bool("slot live flag")? {
+                let seq = c.u64("stream seq")?;
+                let last_t = c.f64("stream last-t")?;
+                let guard = if c.bool("guard flag")? {
+                    Some(read_guard(&mut c)?)
+                } else {
+                    None
+                };
+                let checker = read_checker(&mut c)?;
+                Some(StreamState {
+                    seq,
+                    last_t,
+                    checker,
+                    guard,
+                })
+            } else {
+                None
+            };
+            slots.push(SlotState { gen, stream });
+        }
+        let free_count = c.count("free-list count")?;
+        let mut free = Vec::with_capacity(free_count);
+        for _ in 0..free_count {
+            free.push(c.u32("free-list entry")?);
+        }
+        shards.push(ShardState {
+            slots,
+            free,
+            totals,
+            cycle_ns,
+            cycle_counter,
+        });
+    }
+    let session_count = c.count("session count")?;
+    let mut sessions = Vec::with_capacity(session_count);
+    for _ in 0..session_count {
+        let token = c.u64("session token")?;
+        let expected_seq = c.u64("session expected seq")?;
+        let ack_count = c.count("session ack count")?;
+        let mut acks = Vec::with_capacity(ack_count);
+        for _ in 0..ack_count {
+            let seq = c.u64("ack seq")?;
+            let len = c.count("ack length")?;
+            acks.push((seq, c.take(len, "ack bytes")?.to_vec()));
+        }
+        sessions.push(SessionSeedEntry {
+            token,
+            expected_seq,
+            acks,
+        });
+    }
+    if c.pos != bytes.len() {
+        return Err(Cur::bad(format!(
+            "{} trailing bytes after checkpoint",
+            bytes.len() - c.pos
+        )));
+    }
+    Ok((
+        FleetState {
+            assertion_ids,
+            health,
+            next_seq,
+            closed_streams,
+            retired,
+            rejected,
+            shards,
+        },
+        sessions,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Public fleet-level API
+// ---------------------------------------------------------------------------
+
+impl Fleet {
+    /// Drains every queue, then serializes the fleet's complete state
+    /// into versioned checkpoint bytes. Restoring them with
+    /// [`Fleet::restore`] (same catalog, same config) and replaying the
+    /// post-checkpoint batches yields bit-identical verdicts to an
+    /// uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Unsupported`] when a live stream carries a
+    /// fault injector (its RNG state is not serializable).
+    pub fn checkpoint(&mut self) -> Result<Vec<u8>, CheckpointError> {
+        let state = self
+            .capture_state()
+            .map_err(|message| CheckpointError::Unsupported { message })?;
+        Ok(encode(&state, &[]))
+    }
+
+    /// Rebuilds a fleet from checkpoint bytes, compiling `catalog` and
+    /// validating it against the checkpoint's stored assertion ids.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Malformed`] for corrupt bytes,
+    /// [`CheckpointError::Incompatible`] when the catalog, health config
+    /// or shard count does not match the checkpoint.
+    pub fn restore(
+        catalog: impl IntoIterator<Item = Assertion>,
+        config: FleetConfig,
+        bytes: &[u8],
+    ) -> Result<Self, CheckpointError> {
+        Fleet::restore_with_plan(Arc::new(CheckerPlan::compile(catalog)), config, bytes)
+    }
+
+    /// [`Fleet::restore`] over an already-compiled plan.
+    pub fn restore_with_plan(
+        plan: Arc<CheckerPlan>,
+        config: FleetConfig,
+        bytes: &[u8],
+    ) -> Result<Self, CheckpointError> {
+        let (state, _sessions) = decode(bytes)?;
+        Fleet::restore_with_state(plan, config, state)
+            .map_err(|message| CheckpointError::Incompatible { message })
+    }
+}
+
+/// Decodes a server checkpoint into a restored [`Fleet`] plus the
+/// [`SessionSeed`] to hand to [`crate::IngestServer::spawn_restored`], so
+/// reconnecting producers resume exactly at the checkpointed sequence.
+pub fn restore_server(
+    catalog: impl IntoIterator<Item = Assertion>,
+    config: FleetConfig,
+    bytes: &[u8],
+) -> Result<(Fleet, SessionSeed), CheckpointError> {
+    let (state, sessions) = decode(bytes)?;
+    let fleet = Fleet::restore_with_state(Arc::new(CheckerPlan::compile(catalog)), config, state)
+        .map_err(|message| CheckpointError::Incompatible { message })?;
+    Ok((fleet, SessionSeed { sessions }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::SampleBatch;
+    use adassure_core::{Condition, Severity, SignalExpr};
+    use adassure_exp::Runtime;
+
+    fn catalog() -> Vec<Assertion> {
+        vec![
+            Assertion::new(
+                "C1",
+                "bounded x",
+                Severity::Critical,
+                Condition::AtMost {
+                    expr: SignalExpr::signal("x").abs(),
+                    limit: 1.0,
+                },
+            ),
+            Assertion::new(
+                "C2",
+                "fresh gnss",
+                Severity::Warning,
+                Condition::Fresh {
+                    signal: "gnss".into(),
+                    max_age: 0.3,
+                },
+            ),
+        ]
+    }
+
+    fn config() -> FleetConfig {
+        FleetConfig {
+            shards: 2,
+            runtime: Runtime::with_workers(1),
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_continues_bit_identically() {
+        let mut fleet = Fleet::new(catalog(), config());
+        let mut oracle = Fleet::new(catalog(), config());
+        let ids: Vec<_> = (0..3).map(|_| fleet.open_stream()).collect();
+        let oracle_ids: Vec<_> = (0..3).map(|_| oracle.open_stream()).collect();
+        let feed = |fleet: &Fleet, ids: &[crate::StreamId], k: u64| {
+            for (s, &id) in ids.iter().enumerate() {
+                let mut batch = SampleBatch::new(id);
+                let t = 0.1 * k as f64;
+                let x = if (k + s as u64).is_multiple_of(5) {
+                    2.0
+                } else {
+                    0.3
+                };
+                batch.push(t, "x", x);
+                if !k.is_multiple_of(3) {
+                    batch.push(t, "gnss", 1.0);
+                }
+                fleet.submit(batch).unwrap();
+            }
+        };
+        for k in 1..=10 {
+            feed(&fleet, &ids, k);
+            feed(&oracle, &oracle_ids, k);
+        }
+        oracle.poll();
+        let bytes = fleet.checkpoint().expect("checkpoint");
+        drop(fleet);
+        let restored = Fleet::restore(catalog(), config(), &bytes).expect("restore");
+        let mut fleet = restored;
+        for k in 11..=20 {
+            feed(&fleet, &ids, k);
+            feed(&oracle, &oracle_ids, k);
+        }
+        fleet.poll();
+        oracle.poll();
+        for (&id, &oid) in ids.iter().zip(&oracle_ids) {
+            let (report, _) = fleet.close_stream(id).unwrap();
+            let (oreport, _) = oracle.close_stream(oid).unwrap();
+            assert_eq!(
+                serde_json::to_vec(&report).unwrap(),
+                serde_json::to_vec(&oreport).unwrap()
+            );
+        }
+        assert_eq!(
+            serde_json::to_vec(&fleet.metrics().summary()).unwrap(),
+            serde_json::to_vec(&oracle.metrics().summary()).unwrap()
+        );
+    }
+
+    #[test]
+    fn restore_rejects_wrong_catalog_and_layout() {
+        let mut fleet = Fleet::new(catalog(), config());
+        let _ = fleet.open_stream();
+        let bytes = fleet.checkpoint().unwrap();
+        let other = vec![Assertion::new(
+            "Z9",
+            "different",
+            Severity::Info,
+            Condition::AtMost {
+                expr: SignalExpr::signal("z"),
+                limit: 0.0,
+            },
+        )];
+        assert!(matches!(
+            Fleet::restore(other, config(), &bytes),
+            Err(CheckpointError::Incompatible { .. })
+        ));
+        let narrow = FleetConfig {
+            shards: 1,
+            ..config()
+        };
+        assert!(matches!(
+            Fleet::restore(catalog(), narrow, &bytes),
+            Err(CheckpointError::Incompatible { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_bytes_are_typed_not_panics() {
+        let mut fleet = Fleet::new(catalog(), config());
+        let _ = fleet.open_stream();
+        let bytes = fleet.checkpoint().unwrap();
+        assert!(matches!(
+            decode(b"NOTACKPT"),
+            Err(CheckpointError::Malformed { .. })
+        ));
+        for cut in [0, 7, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode(&bytes[..cut]).is_err(),
+                "truncation at {cut} must fail"
+            );
+        }
+        let mut flipped = bytes.clone();
+        flipped[6] = 99; // version byte
+        assert!(matches!(
+            decode(&flipped),
+            Err(CheckpointError::Incompatible { .. })
+        ));
+    }
+
+    #[test]
+    fn injector_streams_are_refused_with_a_typed_error() {
+        use crate::shard::StreamConfig;
+        use adassure_attacks::{ChannelFaultInjector, FaultKind, FaultSpec, Window};
+        let mut fleet = Fleet::new(catalog(), config());
+        let spec = FaultSpec::new(FaultKind::Dropout, 0.5, Window::always());
+        let _ = fleet.open_stream_with(StreamConfig {
+            injector: Some(ChannelFaultInjector::new(spec, 7)),
+            guard: None,
+        });
+        assert!(matches!(
+            fleet.checkpoint(),
+            Err(CheckpointError::Unsupported { .. })
+        ));
+    }
+}

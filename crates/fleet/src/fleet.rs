@@ -9,8 +9,23 @@ use adassure_core::{Assertion, CheckReport, CheckerPlan, HealthConfig};
 use adassure_exp::Runtime;
 use adassure_obs::{Histogram, MetricsSnapshot};
 
-use crate::shard::{DrainStats, Shard, StreamConfig, StreamError};
+use crate::shard::{DrainStats, Shard, ShardState, StreamConfig, StreamError};
 use crate::stream::{SampleBatch, StreamId};
+
+/// Plain-data snapshot of a whole fleet, captured between polls. The
+/// binary encoding lives in [`crate::checkpoint`].
+#[derive(Debug, Clone)]
+pub(crate) struct FleetState {
+    /// Assertion ids of the plan the state was captured under, in catalog
+    /// order — the restore side validates its plan against them.
+    pub(crate) assertion_ids: Vec<String>,
+    pub(crate) health: HealthConfig,
+    pub(crate) next_seq: u64,
+    pub(crate) closed_streams: u64,
+    pub(crate) retired: MetricsSnapshot,
+    pub(crate) rejected: Vec<u64>,
+    pub(crate) shards: Vec<ShardState>,
+}
 
 /// Fleet construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -354,6 +369,89 @@ impl Fleet {
             stats.rejected_batches += rejected.load(Ordering::Relaxed);
         }
         stats
+    }
+
+    /// Drains every queue, then captures the fleet's complete state as
+    /// plain data: slab layouts, checker and guardian states, merged
+    /// retired metrics, and the stream-sequence counter. Together with the
+    /// plan this determines every future verdict, which is what makes
+    /// checkpoint/restore bit-identical (see [`crate::checkpoint`]).
+    pub(crate) fn capture_state(&mut self) -> Result<FleetState, String> {
+        self.poll();
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            shards.push(shard.lock().expect("shard lock poisoned").save_state()?);
+        }
+        Ok(FleetState {
+            assertion_ids: self
+                .plan
+                .monitors()
+                .iter()
+                .map(|m| m.assertion().id.as_str().to_owned())
+                .collect(),
+            health: self.health,
+            next_seq: self.next_seq,
+            closed_streams: self.closed_streams,
+            retired: self.retired.clone(),
+            rejected: self
+                .rejected
+                .iter()
+                .map(|r| r.load(Ordering::Relaxed))
+                .collect(),
+            shards,
+        })
+    }
+
+    /// Rebuilds a fleet from a captured [`FleetState`] over `plan`. The
+    /// plan must carry the same catalog (validated by assertion ids) and
+    /// `config` must match the state's shard count and health config —
+    /// stream ids encode their shard, so the layout is part of the state.
+    pub(crate) fn restore_with_state(
+        plan: Arc<CheckerPlan>,
+        config: FleetConfig,
+        state: FleetState,
+    ) -> Result<Self, String> {
+        let plan_ids: Vec<&str> = plan
+            .monitors()
+            .iter()
+            .map(|m| m.assertion().id.as_str())
+            .collect();
+        if plan_ids.len() != state.assertion_ids.len()
+            || plan_ids
+                .iter()
+                .zip(&state.assertion_ids)
+                .any(|(p, s)| p != s)
+        {
+            return Err(format!(
+                "checkpoint catalog {:?} does not match the supplied catalog {plan_ids:?}",
+                state.assertion_ids
+            ));
+        }
+        if config.health != state.health {
+            return Err("checkpoint health config does not match the supplied config".into());
+        }
+        if config.shards.max(1) != state.shards.len() {
+            return Err(format!(
+                "checkpoint has {} shards, config requests {}",
+                state.shards.len(),
+                config.shards.max(1)
+            ));
+        }
+        let mut fleet = Fleet::with_plan(plan, config);
+        for (shard, shard_state) in fleet.shards.iter().zip(state.shards) {
+            shard.lock().expect("shard lock poisoned").restore_state(
+                shard_state,
+                &fleet.plan,
+                fleet.health,
+            )?;
+        }
+        for (counter, value) in fleet.rejected.iter().zip(&state.rejected) {
+            counter.store(*value, Ordering::Relaxed);
+        }
+        fleet.next_seq = state.next_seq;
+        fleet.closed_streams = state.closed_streams;
+        fleet.retired = state.retired;
+        Ok(fleet)
     }
 
     /// Sampled wall-clock per-cycle latency, merged across shards. For

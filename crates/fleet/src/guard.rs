@@ -30,6 +30,23 @@ impl Default for GuardConfig {
     }
 }
 
+/// Plain-data snapshot of a [`StreamGuard`], captured with
+/// [`StreamGuard::save_state`] and replayed with
+/// [`StreamGuard::from_state`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuardState {
+    /// The guardian's parameters.
+    pub config: GuardConfig,
+    /// Current mode.
+    pub state: Guard,
+    /// Consecutive alarmed cycles (confirmation progress).
+    pub alarm_streak: u32,
+    /// Consecutive clean cycles (recovery progress).
+    pub clean_streak: u32,
+    /// Mode-transition counts, row-major `[from][to]`.
+    pub grid: [[u64; 3]; 3],
+}
+
 /// The per-stream guardian state machine. See the module docs.
 #[derive(Debug, Clone)]
 pub struct StreamGuard {
@@ -91,6 +108,31 @@ impl StreamGuard {
     /// The current mode.
     pub fn state(&self) -> Guard {
         self.state
+    }
+
+    /// Captures the guardian's complete mutable state as plain data, for
+    /// checkpointing. Mid-confirmation and mid-recovery streaks are
+    /// preserved exactly.
+    pub fn save_state(&self) -> GuardState {
+        GuardState {
+            config: self.config,
+            state: self.state,
+            alarm_streak: self.alarm_streak,
+            clean_streak: self.clean_streak,
+            grid: self.grid.counts(),
+        }
+    }
+
+    /// Rebuilds a guardian from a [`GuardState`]; the restored machine
+    /// continues bit-identically to one that ran uninterrupted.
+    pub fn from_state(state: GuardState) -> Self {
+        StreamGuard {
+            config: state.config,
+            state: state.state,
+            alarm_streak: state.alarm_streak,
+            clean_streak: state.clean_streak,
+            grid: TransitionGrid::from_counts(state.grid),
+        }
     }
 
     /// Mode transitions so far, as named sparse counts.

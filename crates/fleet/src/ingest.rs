@@ -22,26 +22,45 @@
 //! sequence on. The result is exactly-once, in-order application of
 //! every batch, which is what makes wire-path output bit-identical to
 //! in-process submission (pinned by `tests/ingest_differential.rs`).
+//!
+//! # Sessions and crash recovery
+//!
+//! The sequence discipline lives in a *session*, not the connection. A
+//! fresh `Hello` allocates a session token; the server keeps the
+//! session's expected sequence and a bounded ring of its recent encoded
+//! responses after the connection drops. A producer that reconnects with
+//! `Hello{session}` + `Resume{last_acked}` learns the server's next
+//! expected sequence, receives replayed responses for frames it sent but
+//! never saw answered, and rewinds its retained window — exactly-once
+//! application survives the cut. Periodic [`Checkpointer`] snapshots
+//! (see [`crate::checkpoint`]) extend the same guarantee across a server
+//! crash: a restored server nacks nothing, it simply answers `Resume`
+//! with the checkpointed sequence and producers replay the gap from
+//! their retained frames. `BatchApplied` acks carry the session's
+//! durable (checkpoint-covered) sequence so producers can trim that
+//! retention.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use adassure_obs::Histogram;
 
+use crate::checkpoint::{self, CheckpointError, SessionSeed, SessionSeedEntry};
 use crate::fleet::{Fleet, FleetHandle, SubmitError};
 use crate::shard::StreamError;
 use crate::stream::{SampleBatch, StreamId};
 use crate::wire::{
-    encode_ack, encode_close_stream, encode_get_metrics, encode_hello, encode_nack,
-    encode_open_stream, encode_sample_batch, AckBody, Frame, FrameDecoder, NackReason, WireError,
-    DEFAULT_MAX_FRAME_LEN, VERSION,
+    encode_ack, encode_close_stream, encode_get_metrics, encode_hello, encode_hello_session,
+    encode_nack, encode_open_stream, encode_resume, encode_sample_batch, AckBody, Frame,
+    FrameDecoder, NackReason, WireError, DEFAULT_MAX_FRAME_LEN, VERSION,
 };
 
 /// Sample the per-frame decode latency every `DECODE_TIMING_MASK + 1`
@@ -60,6 +79,19 @@ pub struct IngestConfig {
     /// idle); a positive value sleeps that many µs between polls —
     /// useful in tests to force queue saturation.
     pub poll_interval_us: u64,
+    /// Cap on concurrently served connections; an accept beyond it is
+    /// answered with a [`NackReason::ConnectionLimit`] nack (carrying
+    /// the retry hint) and closed, counted in
+    /// [`IngestStats::rejected_connections`]. 0 = unlimited.
+    pub max_connections: usize,
+    /// Per-session ring of recent encoded responses retained for resume
+    /// replay. A reconnecting producer whose `last_acked` has fallen out
+    /// of the ring is refused with [`NackReason::ResumeGap`].
+    pub session_ack_ring: usize,
+    /// Cap on retained sessions; at the cap a new `Hello` evicts the
+    /// oldest detached session, or is refused when every session is
+    /// live. 0 = unlimited.
+    pub max_sessions: usize,
 }
 
 impl Default for IngestConfig {
@@ -68,6 +100,9 @@ impl Default for IngestConfig {
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
             retry_after_us: 100,
             poll_interval_us: 0,
+            max_connections: 0,
+            session_ack_ring: 256,
+            max_sessions: 4096,
         }
     }
 }
@@ -87,6 +122,12 @@ pub enum IngestListener {
 pub struct IngestStats {
     /// Connections accepted.
     pub connections: AtomicU64,
+    /// Connections refused at [`IngestConfig::max_connections`].
+    pub rejected_connections: AtomicU64,
+    /// Successful session resumptions.
+    pub resumes: AtomicU64,
+    /// Checkpoints written via [`Checkpointer::checkpoint_to`].
+    pub checkpoints: AtomicU64,
     /// Frames decoded (all types).
     pub frames: AtomicU64,
     /// Sample batches applied to shard queues.
@@ -104,7 +145,8 @@ pub struct IngestStats {
     pub superseded_nacks: AtomicU64,
     /// Batches addressed to a shard the fleet does not have.
     pub rejected_unknown_shard: AtomicU64,
-    /// Close requests for stale or unknown streams.
+    /// Close requests for stale or unknown streams, unknown-session
+    /// hellos, and resume attempts past the ack ring.
     pub rejected_stale: AtomicU64,
     /// Protocol-level rejections: malformed or oversized frames, bad
     /// magic, unsupported versions, pre-handshake traffic.
@@ -121,6 +163,9 @@ impl Default for IngestStats {
     fn default() -> Self {
         IngestStats {
             connections: AtomicU64::new(0),
+            rejected_connections: AtomicU64::new(0),
+            resumes: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
             frames: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             samples: AtomicU64::new(0),
@@ -143,6 +188,12 @@ impl Default for IngestStats {
 pub struct IngestStatsSnapshot {
     /// Connections accepted.
     pub connections: u64,
+    /// Connections refused at the connection cap.
+    pub rejected_connections: u64,
+    /// Successful session resumptions.
+    pub resumes: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
     /// Frames decoded.
     pub frames: u64,
     /// Batches applied.
@@ -159,7 +210,7 @@ pub struct IngestStatsSnapshot {
     pub superseded_nacks: u64,
     /// Unknown-shard rejections.
     pub rejected_unknown_shard: u64,
-    /// Stale/unknown-stream rejections.
+    /// Stale/unknown-stream and stale-session rejections.
     pub rejected_stale: u64,
     /// Protocol-level rejections (malformed frames, bad magic,
     /// unsupported version, pre-handshake traffic).
@@ -177,6 +228,9 @@ impl IngestStats {
     pub fn snapshot(&self) -> IngestStatsSnapshot {
         IngestStatsSnapshot {
             connections: self.connections.load(Ordering::Relaxed),
+            rejected_connections: self.rejected_connections.load(Ordering::Relaxed),
+            resumes: self.resumes.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
             frames: self.frames.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             samples: self.samples.load(Ordering::Relaxed),
@@ -191,6 +245,236 @@ impl IngestStats {
             bytes_rx: self.bytes_rx.load(Ordering::Relaxed),
             decode_ns: self.decode_ns.lock().expect("decode hist lock").clone(),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sessions
+// ---------------------------------------------------------------------------
+
+/// One producer session's server-side state: the go-back-N high-water
+/// mark, the durable (checkpoint-covered) sequence, whether a connection
+/// currently owns it, and the bounded ring of recent encoded responses
+/// for resume replay.
+#[derive(Debug)]
+struct SessionEntry {
+    expected_seq: u64,
+    durable_seq: u64,
+    attached: bool,
+    acks: VecDeque<(u64, Vec<u8>)>,
+}
+
+impl SessionEntry {
+    fn push_ack(&mut self, seq: u64, bytes: Vec<u8>, cap: usize) {
+        self.acks.push_back((seq, bytes));
+        while self.acks.len() > cap.max(1) {
+            self.acks.pop_front();
+        }
+    }
+}
+
+/// All sessions, keyed by token, plus the checkpoint gate: connection
+/// threads hold the gate shared while handling a windowed frame, a
+/// checkpoint holds it exclusively — so a checkpoint always observes the
+/// fleet and every session at a frame boundary.
+#[derive(Debug)]
+struct SessionTable {
+    inner: Mutex<TableInner>,
+    gate: RwLock<()>,
+    max_sessions: usize,
+}
+
+#[derive(Debug, Default)]
+struct TableInner {
+    sessions: BTreeMap<u64, Arc<Mutex<SessionEntry>>>,
+    next_token: u64,
+}
+
+impl SessionTable {
+    fn new(max_sessions: usize) -> Self {
+        SessionTable {
+            inner: Mutex::new(TableInner {
+                sessions: BTreeMap::new(),
+                next_token: 1,
+            }),
+            gate: RwLock::new(()),
+            max_sessions,
+        }
+    }
+
+    fn seeded(max_sessions: usize, seed: SessionSeed) -> Self {
+        let table = SessionTable::new(max_sessions);
+        {
+            let mut inner = table.inner.lock().expect("session table lock");
+            for entry in seed.sessions {
+                inner.next_token = inner.next_token.max(entry.token + 1);
+                inner.sessions.insert(
+                    entry.token,
+                    Arc::new(Mutex::new(SessionEntry {
+                        expected_seq: entry.expected_seq,
+                        // Everything the checkpoint covers is durable by
+                        // definition of being in the checkpoint.
+                        durable_seq: entry.expected_seq.saturating_sub(1),
+                        attached: false,
+                        acks: entry.acks.into_iter().collect(),
+                    })),
+                );
+            }
+        }
+        table
+    }
+
+    /// Allocates a fresh session, evicting the oldest detached one at
+    /// the cap. `None` when the table is full of live sessions.
+    fn create(&self) -> Option<(u64, Arc<Mutex<SessionEntry>>)> {
+        let mut inner = self.inner.lock().expect("session table lock");
+        if self.max_sessions > 0 && inner.sessions.len() >= self.max_sessions {
+            let victim = inner
+                .sessions
+                .iter()
+                .find(|(_, e)| !e.lock().expect("session lock").attached)
+                .map(|(token, _)| *token);
+            match victim {
+                Some(token) => {
+                    inner.sessions.remove(&token);
+                }
+                None => return None,
+            }
+        }
+        let token = inner.next_token;
+        inner.next_token += 1;
+        let entry = Arc::new(Mutex::new(SessionEntry {
+            expected_seq: 1,
+            durable_seq: 0,
+            attached: true,
+            acks: VecDeque::new(),
+        }));
+        inner.sessions.insert(token, Arc::clone(&entry));
+        Some((token, entry))
+    }
+
+    /// Attaches to an existing detached session. `None` for unknown
+    /// tokens or sessions another connection still owns.
+    fn attach(&self, token: u64) -> Option<Arc<Mutex<SessionEntry>>> {
+        let inner = self.inner.lock().expect("session table lock");
+        let entry = inner.sessions.get(&token)?;
+        let mut locked = entry.lock().expect("session lock");
+        if locked.attached {
+            return None;
+        }
+        locked.attached = true;
+        Some(Arc::clone(entry))
+    }
+
+    /// Captures every session for a checkpoint. Returns the seed entries
+    /// plus `(token, expected_seq)` marks for the post-write durable
+    /// bump. Caller must hold the gate exclusively.
+    fn snapshot(&self) -> (Vec<SessionSeedEntry>, Vec<(u64, u64)>) {
+        let inner = self.inner.lock().expect("session table lock");
+        let mut seed = Vec::with_capacity(inner.sessions.len());
+        let mut marks = Vec::with_capacity(inner.sessions.len());
+        for (&token, entry) in &inner.sessions {
+            let e = entry.lock().expect("session lock");
+            seed.push(SessionSeedEntry {
+                token,
+                expected_seq: e.expected_seq,
+                acks: e.acks.iter().cloned().collect(),
+            });
+            marks.push((token, e.expected_seq));
+        }
+        (seed, marks)
+    }
+
+    /// Advances durable sequences after a checkpoint file is safely on
+    /// disk. Monotone (`max`), so a stale mark can never regress one.
+    fn bump_durable(&self, marks: &[(u64, u64)]) {
+        let inner = self.inner.lock().expect("session table lock");
+        for (token, expected) in marks {
+            if let Some(entry) = inner.sessions.get(token) {
+                let mut e = entry.lock().expect("session lock");
+                e.durable_seq = e.durable_seq.max(expected.saturating_sub(1));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Everything a connection thread needs, bundled once.
+#[derive(Debug)]
+struct ConnShared {
+    fleet: Arc<Mutex<Fleet>>,
+    stats: Arc<IngestStats>,
+    stop: Arc<AtomicBool>,
+    sessions: Arc<SessionTable>,
+    live_conns: Arc<AtomicUsize>,
+    config: IngestConfig,
+}
+
+/// A clonable checkpoint handle, detached from the [`IngestServer`]'s
+/// lifetime so a periodic thread can snapshot while the server serves.
+///
+/// Capture holds the session gate exclusively (stalling windowed-frame
+/// handling for the duration of the in-memory copy), drains the fleet,
+/// and serializes fleet plus session state; the file write happens
+/// outside the gate, atomically (`.tmp` + rename), and only *after* the
+/// rename do the sessions' durable sequences advance — so a `durable_seq`
+/// a producer ever sees is always backed by a fully written file.
+#[derive(Debug, Clone)]
+pub struct Checkpointer {
+    fleet: Arc<Mutex<Fleet>>,
+    sessions: Arc<SessionTable>,
+    stats: Arc<IngestStats>,
+    io_lock: Arc<Mutex<()>>,
+}
+
+/// Captured checkpoint bytes plus the `(session, durable_seq)` marks to
+/// apply once those bytes are safely on disk.
+type Capture = (Vec<u8>, Vec<(u64, u64)>);
+
+impl Checkpointer {
+    fn capture(&self) -> Result<Capture, CheckpointError> {
+        let _gate = self.sessions.gate.write().expect("checkpoint gate");
+        let state = self
+            .fleet
+            .lock()
+            .expect("fleet lock")
+            .capture_state()
+            .map_err(|message| CheckpointError::Unsupported { message })?;
+        let (seed, marks) = self.sessions.snapshot();
+        Ok((checkpoint::encode(&state, &seed), marks))
+    }
+
+    /// Serializes the fleet and session state to checkpoint bytes
+    /// without touching disk (durable sequences do not advance).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Unsupported`] when a stream cannot be
+    /// checkpointed.
+    pub fn checkpoint_bytes(&self) -> Result<Vec<u8>, CheckpointError> {
+        Ok(self.capture()?.0)
+    }
+
+    /// Writes a checkpoint atomically to `path` (`path.tmp` + rename)
+    /// and then advances the sessions' durable sequences.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Io`] on filesystem failure,
+    /// [`CheckpointError::Unsupported`] when a stream cannot be
+    /// checkpointed.
+    pub fn checkpoint_to(&self, path: &Path) -> Result<(), CheckpointError> {
+        let _io = self.io_lock.lock().expect("checkpoint io lock");
+        let (bytes, marks) = self.capture()?;
+        let tmp = path.with_extension("adckpt.tmp");
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, path)?;
+        self.sessions.bump_durable(&marks);
+        self.stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+        Ok(())
     }
 }
 
@@ -210,6 +494,8 @@ pub struct IngestServer {
     stop: Arc<AtomicBool>,
     threads: Vec<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    sessions: Arc<SessionTable>,
+    io_lock: Arc<Mutex<()>>,
     local_addr: Option<SocketAddr>,
 }
 
@@ -226,33 +512,77 @@ impl IngestServer {
         listener: IngestListener,
         config: IngestConfig,
     ) -> std::io::Result<Self> {
+        IngestServer::spawn_with_sessions(
+            fleet,
+            listener,
+            config,
+            SessionTable::new(config.max_sessions),
+        )
+    }
+
+    /// Starts a server whose session table is pre-seeded from a restored
+    /// checkpoint (see [`crate::restore_server`]): reconnecting
+    /// producers resume exactly at the checkpointed sequence instead of
+    /// being refused as unknown.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the listener cannot be switched to
+    /// non-blocking accept mode.
+    pub fn spawn_restored(
+        fleet: Arc<Mutex<Fleet>>,
+        listener: IngestListener,
+        config: IngestConfig,
+        seed: SessionSeed,
+    ) -> std::io::Result<Self> {
+        IngestServer::spawn_with_sessions(
+            fleet,
+            listener,
+            config,
+            SessionTable::seeded(config.max_sessions, seed),
+        )
+    }
+
+    fn spawn_with_sessions(
+        fleet: Arc<Mutex<Fleet>>,
+        listener: IngestListener,
+        config: IngestConfig,
+        sessions: SessionTable,
+    ) -> std::io::Result<Self> {
         let stats = Arc::new(IngestStats::default());
         let stop = Arc::new(AtomicBool::new(false));
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let sessions = Arc::new(sessions);
         let local_addr = match &listener {
             IngestListener::Tcp(l) => Some(l.local_addr()?),
             #[cfg(unix)]
             IngestListener::Unix(_) => None,
         };
+        let shared = Arc::new(ConnShared {
+            fleet: Arc::clone(&fleet),
+            stats: Arc::clone(&stats),
+            stop: Arc::clone(&stop),
+            sessions: Arc::clone(&sessions),
+            live_conns: Arc::new(AtomicUsize::new(0)),
+            config,
+        });
 
         let mut threads = Vec::new();
         {
-            let fleet = Arc::clone(&fleet);
-            let stats = Arc::clone(&stats);
-            let stop = Arc::clone(&stop);
+            let shared = Arc::clone(&shared);
             let conn_threads = Arc::clone(&conn_threads);
             match listener {
                 IngestListener::Tcp(l) => {
                     l.set_nonblocking(true)?;
                     threads.push(std::thread::spawn(move || {
-                        accept_tcp(&l, &fleet, &stats, &stop, &conn_threads, config);
+                        accept_tcp(&l, &shared, &conn_threads);
                     }));
                 }
                 #[cfg(unix)]
                 IngestListener::Unix(l) => {
                     l.set_nonblocking(true)?;
                     threads.push(std::thread::spawn(move || {
-                        accept_unix(&l, &fleet, &stats, &stop, &conn_threads, config);
+                        accept_unix(&l, &shared, &conn_threads);
                     }));
                 }
             }
@@ -271,6 +601,8 @@ impl IngestServer {
             stop,
             threads,
             conn_threads,
+            sessions,
+            io_lock: Arc::new(Mutex::new(())),
             local_addr,
         })
     }
@@ -289,6 +621,27 @@ impl IngestServer {
     /// A point-in-time copy of the ingestion counters.
     pub fn stats(&self) -> IngestStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    /// A clonable checkpoint handle for periodic snapshot threads.
+    pub fn checkpointer(&self) -> Checkpointer {
+        Checkpointer {
+            fleet: Arc::clone(&self.fleet),
+            sessions: Arc::clone(&self.sessions),
+            stats: Arc::clone(&self.stats),
+            io_lock: Arc::clone(&self.io_lock),
+        }
+    }
+
+    /// Writes a checkpoint atomically to `path`. See
+    /// [`Checkpointer::checkpoint_to`].
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError`] on filesystem failure or non-checkpointable
+    /// state.
+    pub fn checkpoint_to(&self, path: &Path) -> Result<(), CheckpointError> {
+        self.checkpointer().checkpoint_to(path)
     }
 
     /// Stops accepting, waits for every connection and drain thread, and
@@ -313,22 +666,84 @@ impl IngestServer {
         self.fleet.lock().expect("fleet lock").poll();
         self.stats.snapshot()
     }
+
+    /// Abrupt stop for crash drills: tears the threads down without the
+    /// final drain, abandoning whatever post-checkpoint progress was in
+    /// flight — exactly what a process kill would lose. The fleet behind
+    /// the server should be discarded and rebuilt from the last
+    /// checkpoint.
+    pub fn kill(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        let conns: Vec<_> = self
+            .conn_threads
+            .lock()
+            .expect("conn thread list lock")
+            .drain(..)
+            .collect();
+        for t in conns {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Joins finished connection threads in place; called every accept
+/// iteration so a long-lived server does not accumulate one parked
+/// handle per past connection.
+fn reap_finished(conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>) {
+    let mut list = conn_threads.lock().expect("conn thread list lock");
+    let mut i = 0;
+    while i < list.len() {
+        if list[i].is_finished() {
+            let handle = list.swap_remove(i);
+            let _ = handle.join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Refuses a connection at the cap: one `ConnectionLimit` nack (with the
+/// retry hint), then close.
+fn reject_over_limit<C: Read + Write>(mut conn: C, shared: &ConnShared) {
+    shared
+        .stats
+        .rejected_connections
+        .fetch_add(1, Ordering::Relaxed);
+    let mut out = Vec::with_capacity(32);
+    encode_nack(
+        &mut out,
+        0,
+        NackReason::ConnectionLimit,
+        shared.config.retry_after_us,
+    );
+    let _ = conn.write_all(&out);
+    let _ = conn.flush();
+}
+
+fn over_limit(shared: &ConnShared) -> bool {
+    shared.config.max_connections > 0
+        && shared.live_conns.load(Ordering::Relaxed) >= shared.config.max_connections
 }
 
 fn accept_tcp(
     listener: &TcpListener,
-    fleet: &Arc<Mutex<Fleet>>,
-    stats: &Arc<IngestStats>,
-    stop: &Arc<AtomicBool>,
+    shared: &Arc<ConnShared>,
     conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-    config: IngestConfig,
 ) {
-    while !stop.load(Ordering::SeqCst) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        reap_finished(conn_threads);
         match listener.accept() {
             Ok((conn, _)) => {
                 let _ = conn.set_nodelay(true);
                 let _ = conn.set_read_timeout(Some(Duration::from_millis(20)));
-                spawn_conn(conn, fleet, stats, stop, conn_threads, config);
+                if over_limit(shared) {
+                    reject_over_limit(conn, shared);
+                } else {
+                    spawn_conn(conn, shared, conn_threads);
+                }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(1));
@@ -341,17 +756,19 @@ fn accept_tcp(
 #[cfg(unix)]
 fn accept_unix(
     listener: &UnixListener,
-    fleet: &Arc<Mutex<Fleet>>,
-    stats: &Arc<IngestStats>,
-    stop: &Arc<AtomicBool>,
+    shared: &Arc<ConnShared>,
     conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-    config: IngestConfig,
 ) {
-    while !stop.load(Ordering::SeqCst) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        reap_finished(conn_threads);
         match listener.accept() {
             Ok((conn, _)) => {
                 let _ = conn.set_read_timeout(Some(Duration::from_millis(20)));
-                spawn_conn(conn, fleet, stats, stop, conn_threads, config);
+                if over_limit(shared) {
+                    reject_over_limit(conn, shared);
+                } else {
+                    spawn_conn(conn, shared, conn_threads);
+                }
             }
             Err(e) if e.kind() == ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(1));
@@ -363,17 +780,16 @@ fn accept_unix(
 
 fn spawn_conn<C: Read + Write + Send + 'static>(
     conn: C,
-    fleet: &Arc<Mutex<Fleet>>,
-    stats: &Arc<IngestStats>,
-    stop: &Arc<AtomicBool>,
+    shared: &Arc<ConnShared>,
     conn_threads: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-    config: IngestConfig,
 ) {
-    stats.connections.fetch_add(1, Ordering::Relaxed);
-    let fleet = Arc::clone(fleet);
-    let stats = Arc::clone(stats);
-    let stop = Arc::clone(stop);
-    let handle = std::thread::spawn(move || serve_conn(conn, &fleet, &stats, &stop, config));
+    shared.stats.connections.fetch_add(1, Ordering::Relaxed);
+    shared.live_conns.fetch_add(1, Ordering::Relaxed);
+    let shared = Arc::clone(shared);
+    let handle = std::thread::spawn(move || {
+        serve_conn(conn, &shared);
+        shared.live_conns.fetch_sub(1, Ordering::Relaxed);
+    });
     conn_threads
         .lock()
         .expect("conn thread list lock")
@@ -396,10 +812,20 @@ fn drain_loop(fleet: &Arc<Mutex<Fleet>>, stop: &Arc<AtomicBool>, config: IngestC
     fleet.lock().expect("fleet lock").poll();
 }
 
+/// Connection handshake progression: bare/new-session hello goes
+/// straight to `Ready`; a session-bearing hello must `Resume` first.
+#[derive(Debug, PartialEq, Eq)]
+enum Phase {
+    AwaitHello,
+    AwaitResume,
+    Ready,
+}
+
 /// Per-connection protocol state.
 struct Conn {
-    handshaken: bool,
-    expected_seq: u64,
+    phase: Phase,
+    token: u64,
+    entry: Option<Arc<Mutex<SessionEntry>>>,
     frame_counter: u64,
 }
 
@@ -408,27 +834,21 @@ enum Step {
     Close,
 }
 
-fn serve_conn<C: Read + Write>(
-    mut conn: C,
-    fleet: &Arc<Mutex<Fleet>>,
-    stats: &Arc<IngestStats>,
-    stop: &Arc<AtomicBool>,
-    config: IngestConfig,
-) {
-    let handle = fleet.lock().expect("fleet lock").handle();
-    let mut decoder = FrameDecoder::new(config.max_frame_len);
+fn serve_conn<C: Read + Write>(mut conn: C, shared: &ConnShared) {
+    let handle = shared.fleet.lock().expect("fleet lock").handle();
+    let stats = &shared.stats;
+    let mut decoder = FrameDecoder::new(shared.config.max_frame_len);
     let mut state = Conn {
-        handshaken: false,
-        // Sequence numbers start at 1; 0 is reserved for the handshake
-        // ack so it can never collide with a windowed frame.
-        expected_seq: 1,
+        phase: Phase::AwaitHello,
+        token: 0,
+        entry: None,
         frame_counter: 0,
     };
     let mut rbuf = vec![0u8; 64 * 1024];
     let mut out: Vec<u8> = Vec::with_capacity(4096);
 
     'conn: loop {
-        if stop.load(Ordering::SeqCst) {
+        if shared.stop.load(Ordering::SeqCst) {
             break;
         }
         let n = match conn.read(&mut rbuf) {
@@ -466,7 +886,7 @@ fn serve_conn<C: Read + Write>(
                     }
                     state.frame_counter += 1;
                     stats.frames.fetch_add(1, Ordering::Relaxed);
-                    match handle_frame(frame, &mut state, fleet, &handle, stats, config, &mut out) {
+                    match handle_frame(frame, &mut state, shared, &handle, &mut out) {
                         Step::Continue => {}
                         Step::Close => {
                             let _ = conn.write_all(&out);
@@ -477,7 +897,7 @@ fn serve_conn<C: Read + Write>(
                 }
                 Err(_) => {
                     stats.malformed.fetch_add(1, Ordering::Relaxed);
-                    encode_nack(&mut out, state.expected_seq, NackReason::Malformed, 0);
+                    encode_nack(&mut out, 0, NackReason::Malformed, 0);
                     let _ = conn.write_all(&out);
                     let _ = conn.flush();
                     break 'conn;
@@ -495,35 +915,143 @@ fn serve_conn<C: Read + Write>(
             out.clear();
         }
     }
+    // The session outlives the connection: detach so a reconnecting
+    // producer can claim it.
+    if let Some(entry) = &state.entry {
+        entry.lock().expect("session lock").attached = false;
+    }
 }
 
 fn handle_frame(
     frame: Frame,
     state: &mut Conn,
-    fleet: &Arc<Mutex<Fleet>>,
+    shared: &ConnShared,
     handle: &FleetHandle,
-    stats: &Arc<IngestStats>,
-    config: IngestConfig,
     out: &mut Vec<u8>,
 ) -> Step {
+    let stats = &shared.stats;
     match frame {
-        Frame::Hello { version } => {
-            if state.handshaken || version != VERSION {
+        Frame::Hello { version, session } => {
+            if state.phase != Phase::AwaitHello || version != VERSION {
                 stats.malformed.fetch_add(1, Ordering::Relaxed);
                 encode_nack(out, 0, NackReason::Unsupported, 0);
                 return Step::Close;
             }
-            state.handshaken = true;
-            encode_ack(out, 0, &AckBody::Hello { version: VERSION });
+            if session == 0 {
+                let Some((token, entry)) = shared.sessions.create() else {
+                    stats.rejected_stale.fetch_add(1, Ordering::Relaxed);
+                    encode_nack(out, 0, NackReason::Saturated, shared.config.retry_after_us);
+                    return Step::Close;
+                };
+                state.token = token;
+                state.entry = Some(entry);
+                state.phase = Phase::Ready;
+                encode_ack(
+                    out,
+                    0,
+                    &AckBody::Hello {
+                        version: VERSION,
+                        session: token,
+                    },
+                );
+            } else {
+                let Some(entry) = shared.sessions.attach(session) else {
+                    stats.rejected_stale.fetch_add(1, Ordering::Relaxed);
+                    encode_nack(out, 0, NackReason::UnknownSession, 0);
+                    return Step::Close;
+                };
+                state.token = session;
+                state.entry = Some(entry);
+                state.phase = Phase::AwaitResume;
+                encode_ack(
+                    out,
+                    0,
+                    &AckBody::Hello {
+                        version: VERSION,
+                        session,
+                    },
+                );
+            }
             Step::Continue
         }
-        _ if !state.handshaken => {
+        Frame::Resume {
+            session,
+            last_acked,
+        } => {
+            if state.phase != Phase::AwaitResume || session != state.token {
+                stats.malformed.fetch_add(1, Ordering::Relaxed);
+                encode_nack(out, 0, NackReason::Malformed, 0);
+                return Step::Close;
+            }
+            let entry = state.entry.clone().expect("attached in AwaitResume");
+            let _gate = shared.sessions.gate.read().expect("checkpoint gate");
+            let e = entry.lock().expect("session lock");
+            if last_acked + 1 < e.expected_seq {
+                // Replay needs every response in (last_acked, expected);
+                // the ring is contiguous, so only its oldest entry
+                // matters.
+                let oldest = e.acks.front().map(|(s, _)| *s);
+                if oldest.is_none_or(|s| s > last_acked + 1) {
+                    stats.rejected_stale.fetch_add(1, Ordering::Relaxed);
+                    encode_nack(out, 0, NackReason::ResumeGap, 0);
+                    return Step::Close;
+                }
+            }
+            state.phase = Phase::Ready;
+            stats.resumes.fetch_add(1, Ordering::Relaxed);
+            encode_ack(
+                out,
+                0,
+                &AckBody::Resumed {
+                    next_seq: e.expected_seq,
+                },
+            );
+            for (seq, bytes) in &e.acks {
+                if *seq > last_acked {
+                    out.extend_from_slice(bytes);
+                }
+            }
+            Step::Continue
+        }
+        _ if state.phase != Phase::Ready => {
             stats.malformed.fetch_add(1, Ordering::Relaxed);
             encode_nack(out, 0, NackReason::Malformed, 0);
             Step::Close
         }
+        Frame::Ack { .. } | Frame::Nack { .. } => {
+            // Server-to-client frames arriving at the server are a
+            // protocol violation.
+            stats.malformed.fetch_add(1, Ordering::Relaxed);
+            encode_nack(out, 0, NackReason::Malformed, 0);
+            Step::Close
+        }
+        windowed => {
+            let entry = state.entry.clone().expect("attached when Ready");
+            let _gate = shared.sessions.gate.read().expect("checkpoint gate");
+            let mut e = entry.lock().expect("session lock");
+            handle_windowed(windowed, &mut e, shared, handle, out)
+        }
+    }
+}
+
+/// Handles one sequence-disciplined frame under the session lock (and
+/// the checkpoint gate, held shared by the caller). Every response that
+/// advances the expected sequence is also stored in the session's ack
+/// ring for resume replay.
+fn handle_windowed(
+    frame: Frame,
+    e: &mut SessionEntry,
+    shared: &ConnShared,
+    handle: &FleetHandle,
+    out: &mut Vec<u8>,
+) -> Step {
+    let stats = &shared.stats;
+    let config = shared.config;
+    let mark = out.len();
+    let mut advanced: Option<u64> = None;
+    let step = match frame {
         Frame::OpenStream { seq, flags } => {
-            if seq != state.expected_seq {
+            if seq != e.expected_seq {
                 stats.superseded_nacks.fetch_add(1, Ordering::Relaxed);
                 encode_nack(out, seq, NackReason::Superseded, 0);
                 return Step::Continue;
@@ -533,14 +1061,15 @@ fn handle_frame(
                 encode_nack(out, seq, NackReason::Unsupported, 0);
                 return Step::Close;
             }
-            state.expected_seq += 1;
-            let stream = fleet.lock().expect("fleet lock").open_stream();
+            e.expected_seq += 1;
+            advanced = Some(seq);
+            let stream = shared.fleet.lock().expect("fleet lock").open_stream();
             stats.opens.fetch_add(1, Ordering::Relaxed);
             encode_ack(out, seq, &AckBody::StreamOpened { stream });
             Step::Continue
         }
         Frame::SampleBatch { seq, batch } => {
-            if seq != state.expected_seq {
+            if seq != e.expected_seq {
                 stats.superseded_nacks.fetch_add(1, Ordering::Relaxed);
                 encode_nack(out, seq, NackReason::Superseded, 0);
                 return Step::Continue;
@@ -548,10 +1077,17 @@ fn handle_frame(
             let samples = batch.samples.len() as u64;
             match handle.submit(batch) {
                 Ok(()) => {
-                    state.expected_seq += 1;
+                    e.expected_seq += 1;
+                    advanced = Some(seq);
                     stats.batches.fetch_add(1, Ordering::Relaxed);
                     stats.samples.fetch_add(samples, Ordering::Relaxed);
-                    encode_ack(out, seq, &AckBody::BatchApplied);
+                    encode_ack(
+                        out,
+                        seq,
+                        &AckBody::BatchApplied {
+                            durable_seq: e.durable_seq,
+                        },
+                    );
                     Step::Continue
                 }
                 Err(SubmitError::Saturated { .. }) => {
@@ -562,7 +1098,8 @@ fn handle_frame(
                     Step::Continue
                 }
                 Err(SubmitError::UnknownShard { .. }) => {
-                    state.expected_seq += 1;
+                    e.expected_seq += 1;
+                    advanced = Some(seq);
                     stats.rejected_unknown_shard.fetch_add(1, Ordering::Relaxed);
                     encode_nack(out, seq, NackReason::UnknownShard, 0);
                     Step::Continue
@@ -574,13 +1111,18 @@ fn handle_frame(
             }
         }
         Frame::CloseStream { seq, stream } => {
-            if seq != state.expected_seq {
+            if seq != e.expected_seq {
                 stats.superseded_nacks.fetch_add(1, Ordering::Relaxed);
                 encode_nack(out, seq, NackReason::Superseded, 0);
                 return Step::Continue;
             }
-            state.expected_seq += 1;
-            let closed = fleet.lock().expect("fleet lock").close_stream(stream);
+            e.expected_seq += 1;
+            advanced = Some(seq);
+            let closed = shared
+                .fleet
+                .lock()
+                .expect("fleet lock")
+                .close_stream(stream);
             match closed {
                 Ok((report, _snapshot)) => {
                     let report_json = serde_json::to_vec(&report).expect("report serializes");
@@ -599,25 +1141,26 @@ fn handle_frame(
             Step::Continue
         }
         Frame::GetMetrics { seq } => {
-            if seq != state.expected_seq {
+            if seq != e.expected_seq {
                 stats.superseded_nacks.fetch_add(1, Ordering::Relaxed);
                 encode_nack(out, seq, NackReason::Superseded, 0);
                 return Step::Continue;
             }
-            state.expected_seq += 1;
-            let summary = fleet.lock().expect("fleet lock").metrics().summary();
+            e.expected_seq += 1;
+            advanced = Some(seq);
+            let summary = shared.fleet.lock().expect("fleet lock").metrics().summary();
             let summary_json = serde_json::to_vec(&summary).expect("summary serializes");
             encode_ack(out, seq, &AckBody::Metrics { summary_json });
             Step::Continue
         }
-        Frame::Ack { .. } | Frame::Nack { .. } => {
-            // Server-to-client frames arriving at the server are a
-            // protocol violation.
-            stats.malformed.fetch_add(1, Ordering::Relaxed);
-            encode_nack(out, state.expected_seq, NackReason::Malformed, 0);
-            Step::Close
+        Frame::Hello { .. } | Frame::Resume { .. } | Frame::Ack { .. } | Frame::Nack { .. } => {
+            unreachable!("routed by handle_frame")
         }
+    };
+    if let Some(seq) = advanced {
+        e.push_ack(seq, out[mark..].to_vec(), config.session_ack_ring);
     }
+    step
 }
 
 // ---------------------------------------------------------------------------
@@ -643,6 +1186,14 @@ pub enum ProducerError {
     Protocol(String),
     /// The connection closed while responses were still outstanding.
     Disconnected,
+    /// A resume needs frames the producer has already released from its
+    /// replay retention ([`ProducerConfig::retain_for_replay`]).
+    ReplayExhausted {
+        /// The sequence the server asked to continue from.
+        needed: u64,
+        /// The oldest sequence still retained.
+        floor: u64,
+    },
 }
 
 impl std::fmt::Display for ProducerError {
@@ -655,6 +1206,10 @@ impl std::fmt::Display for ProducerError {
             }
             ProducerError::Protocol(m) => write!(f, "protocol violation: {m}"),
             ProducerError::Disconnected => write!(f, "server disconnected"),
+            ProducerError::ReplayExhausted { needed, floor } => write!(
+                f,
+                "resume needs frame {needed} but replay retention starts at {floor}"
+            ),
         }
     }
 }
@@ -682,6 +1237,12 @@ pub struct ProducerConfig {
     pub window: usize,
     /// Decoder cap for server responses.
     pub max_frame_len: usize,
+    /// Acknowledged frames retained for crash-resume replay, beyond the
+    /// unacked window. 0 disables retention (a resume can then only
+    /// rewind to the first unacknowledged frame). Frames at or below the
+    /// server's durable sequence are trimmed eagerly regardless of the
+    /// cap.
+    pub retain_for_replay: usize,
 }
 
 impl Default for ProducerConfig {
@@ -689,11 +1250,13 @@ impl Default for ProducerConfig {
         ProducerConfig {
             window: 64,
             max_frame_len: DEFAULT_MAX_FRAME_LEN,
+            retain_for_replay: 0,
         }
     }
 }
 
-/// Lifetime counters for one producer connection.
+/// Lifetime counters for one producer connection (carried across
+/// resumes).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProducerStats {
     /// Batches acknowledged as applied.
@@ -703,8 +1266,13 @@ pub struct ProducerStats {
     /// `Superseded` nacks received (in-flight frames the rewind already
     /// covered).
     pub superseded_nacks: u64,
-    /// Frames re-sent during rewinds.
+    /// Frames re-sent during saturation rewinds.
     pub resent_frames: u64,
+    /// Successful session resumptions onto a fresh transport.
+    pub reconnects: u64,
+    /// Frames re-sent during resumes (from the window and the replay
+    /// retention).
+    pub replayed_frames: u64,
 }
 
 /// One in-flight (sent, unacknowledged) frame, retained for rewinds.
@@ -712,6 +1280,29 @@ pub struct ProducerStats {
 struct InFlight {
     seq: u64,
     bytes: Vec<u8>,
+}
+
+/// Everything a dead producer needs to resume its session on a fresh
+/// transport: token, sequence marks, retained frames and lifetime stats.
+/// Obtained from [`IngestProducer::into_recovery`], consumed by
+/// [`IngestProducer::resume`]. Opaque plain data — no I/O handles.
+#[derive(Debug)]
+pub struct RecoveryState {
+    session: u64,
+    next_seq: u64,
+    acked_seq: u64,
+    durable_seq: u64,
+    /// Retained frames in ascending sequence order: replay retention
+    /// (acknowledged) followed by the unacknowledged window.
+    frames: VecDeque<InFlight>,
+    stats: ProducerStats,
+}
+
+impl RecoveryState {
+    /// The session token to resume.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
 }
 
 /// The client side of the ingest protocol: frame encoding with buffer
@@ -728,18 +1319,53 @@ pub struct IngestProducer<C: Read + Write> {
     config: ProducerConfig,
     /// Encoded-but-unacknowledged frames, oldest first.
     window: VecDeque<InFlight>,
+    /// Acknowledged frames retained for crash-resume replay
+    /// ([`ProducerConfig::retain_for_replay`]-bounded), oldest first.
+    settled: VecDeque<InFlight>,
     /// Recycled frame buffers ([`ProducerConfig::window`]-bounded).
     spare: Vec<Vec<u8>>,
     /// Outbound coalescing buffer, flushed before every read.
     obuf: Vec<u8>,
     rbuf: Vec<u8>,
+    session: u64,
     next_seq: u64,
+    /// Highest acknowledged sequence.
+    acked_seq: u64,
+    /// Highest server-durable (checkpoint-covered) sequence seen.
+    durable_seq: u64,
     stats: ProducerStats,
-    /// The ack body captured for the sequence number a waiter asked for.
-    captured: Option<(u64, AckBody)>,
+    /// Response bodies captured for sequence numbers waiters ask for.
+    /// More than one can be pending while a resume replays responses.
+    captured: Vec<(u64, AckBody)>,
+    /// Highest sequence ever answered by the server. Responses arrive in
+    /// sequence order, so everything at or below it is settled — the
+    /// resume path re-applies this after re-installing retained frames,
+    /// because replayed responses can land in the same read chunk as the
+    /// `Resumed` ack, before the frames are back in the window.
+    settle_mark: u64,
 }
 
 impl<C: Read + Write> IngestProducer<C> {
+    fn empty(conn: C, config: ProducerConfig) -> Self {
+        IngestProducer {
+            conn,
+            decoder: FrameDecoder::new(config.max_frame_len),
+            config,
+            window: VecDeque::new(),
+            settled: VecDeque::new(),
+            spare: Vec::new(),
+            obuf: Vec::with_capacity(256 * 1024),
+            rbuf: vec![0u8; 64 * 1024],
+            session: 0,
+            next_seq: 1,
+            acked_seq: 0,
+            durable_seq: 0,
+            stats: ProducerStats::default(),
+            captured: Vec::new(),
+            settle_mark: 0,
+        }
+    }
+
     /// Performs the handshake on `conn` and returns the ready producer.
     ///
     /// # Errors
@@ -747,32 +1373,156 @@ impl<C: Read + Write> IngestProducer<C> {
     /// [`ProducerError`] when the transport fails or the server refuses
     /// the protocol version.
     pub fn connect(conn: C, config: ProducerConfig) -> Result<Self, ProducerError> {
-        let mut producer = IngestProducer {
-            conn,
-            decoder: FrameDecoder::new(config.max_frame_len),
-            config,
-            window: VecDeque::new(),
-            spare: Vec::new(),
-            obuf: Vec::with_capacity(256 * 1024),
-            rbuf: vec![0u8; 64 * 1024],
-            next_seq: 1,
-            stats: ProducerStats::default(),
-            captured: None,
-        };
-        let mut hello = Vec::new();
-        encode_hello(&mut hello);
-        producer.obuf.extend_from_slice(&hello);
+        let mut producer = IngestProducer::empty(conn, config);
+        encode_hello(&mut producer.obuf);
         match producer.wait_ack(0)? {
-            AckBody::Hello { .. } => Ok(producer),
+            AckBody::Hello { session, .. } => {
+                producer.session = session;
+                Ok(producer)
+            }
             other => Err(ProducerError::Protocol(format!(
                 "expected hello ack, got {other:?}"
             ))),
         }
     }
 
+    /// Resumes a session on a fresh transport: handshakes with the
+    /// retained session token, asks the server for its next expected
+    /// sequence, and rewinds — re-sending retained frames the server
+    /// lost and awaiting replayed responses for frames it already
+    /// applied. On failure the recovery state comes back for another
+    /// attempt.
+    ///
+    /// # Errors
+    ///
+    /// The pair of the intact [`RecoveryState`] and the typed failure:
+    /// transport errors are retryable; [`ProducerError::Rejected`] with
+    /// [`NackReason::UnknownSession`] / [`NackReason::ResumeGap`] and
+    /// [`ProducerError::ReplayExhausted`] are terminal for the session.
+    #[allow(clippy::result_large_err)]
+    pub fn resume(
+        conn: C,
+        config: ProducerConfig,
+        recovery: RecoveryState,
+    ) -> Result<Self, (RecoveryState, Box<ProducerError>)> {
+        let mut p = IngestProducer::empty(conn, config);
+        p.session = recovery.session;
+        p.next_seq = recovery.next_seq;
+        p.acked_seq = recovery.acked_seq;
+        p.durable_seq = recovery.durable_seq;
+        p.stats = recovery.stats;
+        p.settle_mark = recovery.acked_seq;
+
+        let handshake = (|p: &mut Self| -> Result<u64, ProducerError> {
+            encode_hello_session(&mut p.obuf, p.session);
+            match p.wait_ack(0)? {
+                AckBody::Hello { session, .. } if session == p.session => {}
+                other => {
+                    return Err(ProducerError::Protocol(format!(
+                        "expected hello ack for session {}, got {other:?}",
+                        p.session
+                    )))
+                }
+            }
+            encode_resume(&mut p.obuf, p.session, p.acked_seq);
+            match p.wait_ack(0)? {
+                AckBody::Resumed { next_seq } => Ok(next_seq),
+                other => Err(ProducerError::Protocol(format!(
+                    "expected resumed ack, got {other:?}"
+                ))),
+            }
+        })(&mut p);
+        let next = match handshake {
+            Ok(next) => next,
+            Err(e) => {
+                let mut recovery = recovery;
+                recovery.stats = p.stats;
+                return Err((recovery, Box::new(e)));
+            }
+        };
+        if next > p.next_seq {
+            return Err((
+                recovery,
+                Box::new(ProducerError::Protocol(format!(
+                    "server expects frame {next} but only {} were ever sent",
+                    p.next_seq - 1
+                ))),
+            ));
+        }
+        let floor = recovery
+            .frames
+            .front()
+            .map_or(p.next_seq, |f| f.seq.min(p.next_seq));
+        if next < floor {
+            return Err((
+                recovery,
+                Box::new(ProducerError::ReplayExhausted {
+                    needed: next,
+                    floor,
+                }),
+            ));
+        }
+        // Partition the retained frames. Frames the server still has
+        // applied (below `next` and acknowledged) stay settled; frames
+        // from `next` on are re-sent; acknowledged-here-but-unapplied
+        // frames cannot exist (`next` never exceeds durable+window
+        // bounds checked above). Unacknowledged frames below `next` stay
+        // windowed without re-send — the server replays their responses
+        // right after the resume ack.
+        let mut recovery = recovery;
+        for frame in recovery.frames.drain(..) {
+            if frame.seq >= next {
+                p.obuf.extend_from_slice(&frame.bytes);
+                p.stats.replayed_frames += 1;
+                p.window.push_back(frame);
+            } else if frame.seq <= p.acked_seq {
+                p.settled.push_back(frame);
+            } else {
+                p.window.push_back(frame);
+            }
+        }
+        // Replayed responses may already have been read alongside the
+        // Resumed ack, before the frames above were re-installed; settle
+        // up to the highest answered sequence so those frames don't wait
+        // for acks that already arrived.
+        let mark = p.settle_mark;
+        p.settle(mark);
+        p.stats.reconnects += 1;
+        Ok(p)
+    }
+
+    /// Tears the producer down into plain-data [`RecoveryState`] for a
+    /// later [`IngestProducer::resume`] on a fresh transport. The dead
+    /// transport is dropped.
+    pub fn into_recovery(self) -> RecoveryState {
+        let mut frames = self.settled;
+        frames.extend(self.window);
+        RecoveryState {
+            session: self.session,
+            next_seq: self.next_seq,
+            acked_seq: self.acked_seq,
+            durable_seq: self.durable_seq,
+            frames,
+            stats: self.stats,
+        }
+    }
+
     /// Lifetime counters.
     pub fn stats(&self) -> ProducerStats {
         self.stats
+    }
+
+    /// The session token the server assigned at handshake.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// The next sequence number this producer will assign. Exposed so a
+    /// reconnect wrapper can tell whether a failed send was windowed
+    /// (sequence consumed — the resume replays it) or not (safe to
+    /// re-issue).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
     }
 
     /// Opens a stream on the server and returns its wire id.
@@ -858,12 +1608,25 @@ impl<C: Read + Write> IngestProducer<C> {
         Ok(())
     }
 
+    /// Waits for and returns the response to `seq`. Exposed for resume
+    /// wrappers that need to re-await a windowed frame's replayed
+    /// response after reconnecting.
+    ///
+    /// # Errors
+    ///
+    /// [`ProducerError`] on transport failure or rejection.
+    pub fn wait_response(&mut self, seq: u64) -> Result<AckBody, ProducerError> {
+        self.wait_ack(seq)
+    }
+
     /// Returns the transport and final stats, consuming the producer.
     pub fn into_parts(self) -> (C, ProducerStats) {
         (self.conn, self.stats)
     }
 
     /// Encodes one frame (via `encode`), windows it and queues its bytes.
+    /// The sequence number is consumed only on successful encode, so an
+    /// encode failure leaves the producer/server sequences aligned.
     fn send_frame(
         &mut self,
         encode: impl FnOnce(&mut Vec<u8>, u64) -> Result<(), ProducerError>,
@@ -872,10 +1635,13 @@ impl<C: Read + Write> IngestProducer<C> {
             self.pump()?;
         }
         let seq = self.next_seq;
-        self.next_seq += 1;
         let mut bytes = self.spare.pop().unwrap_or_default();
         bytes.clear();
-        encode(&mut bytes, seq)?;
+        if let Err(e) = encode(&mut bytes, seq) {
+            self.recycle(bytes);
+            return Err(e);
+        }
+        self.next_seq += 1;
         self.obuf.extend_from_slice(&bytes);
         self.window.push_back(InFlight { seq, bytes });
         if self.obuf.len() >= 128 * 1024 {
@@ -887,11 +1653,14 @@ impl<C: Read + Write> IngestProducer<C> {
     /// Blocks until the response for `seq` arrives and returns its body.
     fn wait_ack(&mut self, seq: u64) -> Result<AckBody, ProducerError> {
         loop {
-            if self.captured.as_ref().is_some_and(|(got, _)| *got == seq) {
-                let (_, body) = self.captured.take().expect("matched above");
-                return Ok(body);
+            if let Some(i) = self.captured.iter().position(|(got, _)| *got == seq) {
+                return Ok(self.captured.swap_remove(i).1);
             }
-            if seq > 0 && !self.window.iter().any(|f| f.seq == seq) && self.next_seq > seq {
+            if seq > 0
+                && seq < self.next_seq
+                && !self.window.iter().any(|f| f.seq == seq)
+                && !self.settled.iter().any(|f| f.seq == seq)
+            {
                 // Already acknowledged without capture — protocol bug on
                 // our side rather than the server's.
                 return Err(ProducerError::Protocol(format!(
@@ -932,12 +1701,16 @@ impl<C: Read + Write> IngestProducer<C> {
     fn apply_response(&mut self, frame: Frame) -> Result<(), ProducerError> {
         match frame {
             Frame::Ack { seq, body } => {
-                let was_batch = matches!(body, AckBody::BatchApplied);
-                self.settle(seq);
-                if was_batch {
+                if seq > 0 {
+                    self.settle_mark = self.settle_mark.max(seq);
+                }
+                if let AckBody::BatchApplied { durable_seq } = body {
+                    self.durable_seq = self.durable_seq.max(durable_seq);
+                    self.settle(seq);
                     self.stats.acked_batches += 1;
                 } else {
-                    self.captured = Some((seq, body));
+                    self.settle(seq);
+                    self.captured.push((seq, body));
                 }
                 Ok(())
             }
@@ -971,6 +1744,9 @@ impl<C: Read + Write> IngestProducer<C> {
                 Ok(())
             }
             Frame::Nack { seq, reason, .. } => {
+                if seq > 0 {
+                    self.settle_mark = self.settle_mark.max(seq);
+                }
                 self.settle(seq);
                 Err(ProducerError::Rejected { seq, reason })
             }
@@ -980,17 +1756,35 @@ impl<C: Read + Write> IngestProducer<C> {
         }
     }
 
-    /// Retires `seq` (and anything older) from the window, recycling
-    /// buffers.
+    /// Retires `seq` (and anything older) from the window into the
+    /// replay retention (or straight to the recycle pile when retention
+    /// is off), then trims retention by the durable sequence and the
+    /// cap.
     fn settle(&mut self, seq: u64) {
         while let Some(front) = self.window.front() {
             if front.seq > seq {
                 break;
             }
             let retired = self.window.pop_front().expect("front checked");
-            if self.spare.len() < self.config.window {
-                self.spare.push(retired.bytes);
+            self.acked_seq = self.acked_seq.max(retired.seq);
+            if self.config.retain_for_replay > 0 {
+                self.settled.push_back(retired);
+            } else {
+                self.recycle(retired.bytes);
             }
+        }
+        while let Some(front) = self.settled.front() {
+            if front.seq > self.durable_seq && self.settled.len() <= self.config.retain_for_replay {
+                break;
+            }
+            let evicted = self.settled.pop_front().expect("front checked");
+            self.recycle(evicted.bytes);
+        }
+    }
+
+    fn recycle(&mut self, bytes: Vec<u8>) {
+        if self.spare.len() < self.config.window {
+            self.spare.push(bytes);
         }
     }
 }

@@ -21,7 +21,15 @@
 //!   ingest protocol (validating streaming decoder, typed nack reasons);
 //! - [`ingest`] runs that protocol: a connection-per-producer TCP/UDS
 //!   server feeding the shard queues, and the windowed client-side
-//!   [`IngestProducer`] with go-back-N retry on saturation.
+//!   [`IngestProducer`] with go-back-N retry on saturation;
+//! - [`checkpoint`] snapshots the whole fleet — per-stream checker
+//!   state, guardians, health, session sequences — into a versioned
+//!   binary image a restarted server restores bit-identically;
+//! - [`resilient`] wraps the producer with reconnect-and-resume so
+//!   connection cuts and server restarts preserve exactly-once batch
+//!   application;
+//! - [`chaos`] injects deterministic, seeded transport faults
+//!   (mid-frame cuts, stalls) for resilience drills.
 //!
 //! # Determinism
 //!
@@ -37,19 +45,25 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
+pub mod checkpoint;
 pub mod fleet;
 pub mod guard;
 pub mod ingest;
+pub mod resilient;
 pub mod shard;
 pub mod stream;
 pub mod wire;
 
+pub use chaos::{ChaosConfig, ChaosTransport, Severable};
+pub use checkpoint::{restore_server, CheckpointError, SessionSeed};
 pub use fleet::{Fleet, FleetConfig, FleetHandle, FleetStats, PollStats, SubmitError};
-pub use guard::{GuardConfig, StreamGuard};
+pub use guard::{GuardConfig, GuardState, StreamGuard};
 pub use ingest::{
-    IngestConfig, IngestListener, IngestProducer, IngestServer, IngestStats, IngestStatsSnapshot,
-    ProducerConfig, ProducerError, ProducerStats,
+    Checkpointer, IngestConfig, IngestListener, IngestProducer, IngestServer, IngestStats,
+    IngestStatsSnapshot, ProducerConfig, ProducerError, ProducerStats, RecoveryState,
 };
+pub use resilient::{ReconnectPolicy, ResilientError, ResilientProducer, Transport};
 pub use shard::{DrainStats, StreamConfig, StreamError};
 pub use stream::{Sample, SampleBatch, StreamId};
 pub use wire::{FrameDecoder, NackReason, WireError};

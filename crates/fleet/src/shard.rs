@@ -12,10 +12,12 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use adassure_attacks::ChannelFaultInjector;
-use adassure_core::{CheckReport, CheckerPlan, HealthConfig, OnlineChecker, Severity};
+use adassure_core::{
+    CheckReport, CheckerPlan, CheckerState, HealthConfig, OnlineChecker, Severity,
+};
 use adassure_obs::{Histogram, MetricsSnapshot};
 
-use crate::guard::StreamGuard;
+use crate::guard::{GuardState, StreamGuard};
 use crate::stream::{SampleBatch, StreamId};
 
 /// Sample the per-cycle wall-clock latency every `TIMING_MASK + 1` cycles
@@ -104,6 +106,35 @@ impl std::fmt::Display for StreamError {
 }
 
 impl std::error::Error for StreamError {}
+
+/// Plain-data snapshot of one live stream inside a shard checkpoint.
+#[derive(Debug, Clone)]
+pub(crate) struct StreamState {
+    pub(crate) seq: u64,
+    pub(crate) last_t: f64,
+    pub(crate) checker: CheckerState,
+    pub(crate) guard: Option<GuardState>,
+}
+
+/// Plain-data snapshot of one slab slot (generation plus optional live
+/// stream).
+#[derive(Debug, Clone)]
+pub(crate) struct SlotState {
+    pub(crate) gen: u32,
+    pub(crate) stream: Option<StreamState>,
+}
+
+/// Plain-data snapshot of a whole shard: slab layout (including the free
+/// list, whose order determines future slot reuse), cumulative counters,
+/// and the timing histogram.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardState {
+    pub(crate) slots: Vec<SlotState>,
+    pub(crate) free: Vec<u32>,
+    pub(crate) totals: DrainStats,
+    pub(crate) cycle_ns: Histogram,
+    pub(crate) cycle_counter: u64,
+}
 
 #[derive(Debug)]
 pub(crate) struct Shard {
@@ -277,6 +308,104 @@ impl Shard {
             self.cycle_counter += 1;
             i = end;
         }
+    }
+
+    /// Captures the shard's complete state (slab layout, checkers,
+    /// guardians, counters) as plain data. The caller must have drained
+    /// the shard first so the queue is empty — queued batches are not part
+    /// of the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Streams carrying a [`ChannelFaultInjector`] are rejected with a
+    /// description: injector RNG state is not serializable, so
+    /// checkpointing is only supported for clean-link streams (the wire
+    /// path never attaches injectors).
+    pub(crate) fn save_state(&self) -> Result<ShardState, String> {
+        let mut slots = Vec::with_capacity(self.slots.len());
+        for (index, slab) in self.slots.iter().enumerate() {
+            let stream = match &slab.state {
+                None => None,
+                Some(stream) => {
+                    if stream.injector.is_some() {
+                        return Err(format!(
+                            "stream in shard {} slot {index} carries a fault injector; \
+                             injector-bearing streams cannot be checkpointed",
+                            self.index
+                        ));
+                    }
+                    Some(StreamState {
+                        seq: stream.seq,
+                        last_t: stream.last_t,
+                        checker: stream.checker.save_state(),
+                        guard: stream.guard.as_ref().map(StreamGuard::save_state),
+                    })
+                }
+            };
+            slots.push(SlotState {
+                gen: slab.gen,
+                stream,
+            });
+        }
+        Ok(ShardState {
+            slots,
+            free: self.free.clone(),
+            totals: self.totals,
+            cycle_ns: self.cycle_ns.clone(),
+            cycle_counter: self.cycle_counter,
+        })
+    }
+
+    /// Replaces this (freshly constructed, empty) shard's state with a
+    /// previously captured [`ShardState`]. Slot indices, generations and
+    /// free-list order are restored exactly, so post-restore opens reuse
+    /// slots identically to an uninterrupted run.
+    pub(crate) fn restore_state(
+        &mut self,
+        state: ShardState,
+        plan: &Arc<CheckerPlan>,
+        health: HealthConfig,
+    ) -> Result<(), String> {
+        debug_assert!(self.slots.is_empty(), "restore into a used shard");
+        let mut live = 0;
+        let mut slots = Vec::with_capacity(state.slots.len());
+        for (index, slot) in state.slots.into_iter().enumerate() {
+            let stream = match slot.stream {
+                None => None,
+                Some(s) => {
+                    let checker = OnlineChecker::restore(Arc::clone(plan), health, s.checker)
+                        .map_err(|e| format!("shard {} slot {index}: {e}", self.index))?;
+                    live += 1;
+                    Some(StreamSlot {
+                        seq: s.seq,
+                        checker,
+                        injector: None,
+                        guard: s.guard.map(StreamGuard::from_state),
+                        last_t: s.last_t,
+                    })
+                }
+            };
+            slots.push(SlabSlot {
+                gen: slot.gen,
+                state: stream,
+            });
+        }
+        for &slot in &state.free {
+            if slot as usize >= slots.len() {
+                return Err(format!(
+                    "shard {}: free-list entry {slot} out of range ({} slots)",
+                    self.index,
+                    slots.len()
+                ));
+            }
+        }
+        self.slots = slots;
+        self.free = state.free;
+        self.live = live;
+        self.totals = state.totals;
+        self.cycle_ns = state.cycle_ns;
+        self.cycle_counter = state.cycle_counter;
+        Ok(())
     }
 
     /// Appends `(seq, snapshot)` for every live stream, guard transitions

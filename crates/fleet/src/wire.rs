@@ -22,11 +22,12 @@
 //!
 //! | type | frame | payload |
 //! |------|-------|---------|
-//! | 0x01 | `Hello` | magic `b"ADWIRE"`, version `u8`, endianness `u8` (1 = LE) |
+//! | 0x01 | `Hello` | magic `b"ADWIRE"`, version `u8`, endianness `u8` (1 = LE), optional session token `u64` (absent or 0 = request a new session) |
 //! | 0x02 | `OpenStream` | seq `u64`, flags `u32` (must be 0) |
 //! | 0x03 | `SampleBatch` | seq `u64`, stream id (`u32`×3), channel count `u32`, sample count `u32`, name-table length `u32`, name table (names joined `\n`), channel indices `u32`×n, times `f64`×n, values `f64`×n |
 //! | 0x04 | `CloseStream` | seq `u64`, stream id (`u32`×3) |
 //! | 0x07 | `GetMetrics` | seq `u64` |
+//! | 0x08 | `Resume` | session `u64`, last-acked seq `u64` (handshake-scoped; answered at seq 0) |
 //!
 //! Server → client:
 //!
@@ -34,6 +35,16 @@
 //! |------|-------|---------|
 //! | 0x05 | `Ack` | seq `u64`, kind `u8`, kind-specific body |
 //! | 0x06 | `Nack` | seq `u64`, reason `u8`, retry-after `u32` (µs) |
+//!
+//! The optional Hello session token and the `Resume` frame are the
+//! crash-recovery extension (DESIGN.md §13): a producer that reconnects
+//! presents its previous session token in `Hello`, then sends `Resume`
+//! carrying the highest sequence it has a response for; the server
+//! answers with [`AckBody::Resumed`] (its next expected sequence),
+//! replays the stored responses in between, and the producer rewinds its
+//! go-back-N window to the server's high-water mark instead of dying.
+//! A bare `Hello` without the trailing token is exactly the pre-resume
+//! v1 encoding, so old producers keep working unchanged.
 //!
 //! Sample batches are columnar inside the frame (index run, then time
 //! run, then value run) so the decoder reads each section with one
@@ -64,12 +75,14 @@ const TYPE_CLOSE_STREAM: u8 = 0x04;
 const TYPE_ACK: u8 = 0x05;
 const TYPE_NACK: u8 = 0x06;
 const TYPE_GET_METRICS: u8 = 0x07;
+const TYPE_RESUME: u8 = 0x08;
 
 const ACK_HELLO: u8 = 0;
 const ACK_STREAM_OPENED: u8 = 1;
 const ACK_BATCH_APPLIED: u8 = 2;
 const ACK_STREAM_CLOSED: u8 = 3;
 const ACK_METRICS: u8 = 4;
+const ACK_RESUMED: u8 = 5;
 
 /// Typed decode/encode failures. Never a panic: every malformed input
 /// maps to one of these.
@@ -131,6 +144,18 @@ pub enum NackReason {
     Unsupported,
     /// The fleet is shutting down; the connection closes.
     ShuttingDown,
+    /// The Hello presented a session token the server does not know (it
+    /// restarted without a checkpoint covering it, evicted the session,
+    /// or another connection holds it). The connection closes; state
+    /// continuity cannot be guaranteed.
+    UnknownSession,
+    /// A [`Frame::Resume`] asked for responses the server's bounded ack
+    /// ring has already evicted. The connection closes.
+    ResumeGap,
+    /// The server is at its configured connection cap
+    /// ([`crate::IngestConfig::max_connections`]); reconnect after the
+    /// retry-after hint.
+    ConnectionLimit,
 }
 
 impl NackReason {
@@ -144,6 +169,9 @@ impl NackReason {
             NackReason::Malformed => 5,
             NackReason::Unsupported => 6,
             NackReason::ShuttingDown => 7,
+            NackReason::UnknownSession => 8,
+            NackReason::ResumeGap => 9,
+            NackReason::ConnectionLimit => 10,
         }
     }
 
@@ -157,6 +185,9 @@ impl NackReason {
             5 => NackReason::Malformed,
             6 => NackReason::Unsupported,
             7 => NackReason::ShuttingDown,
+            8 => NackReason::UnknownSession,
+            9 => NackReason::ResumeGap,
+            10 => NackReason::ConnectionLimit,
             other => {
                 return Err(WireError::Malformed {
                     message: format!("unknown nack reason {other}"),
@@ -177,6 +208,9 @@ impl std::fmt::Display for NackReason {
             NackReason::Malformed => "malformed",
             NackReason::Unsupported => "unsupported",
             NackReason::ShuttingDown => "shutting-down",
+            NackReason::UnknownSession => "unknown-session",
+            NackReason::ResumeGap => "resume-gap",
+            NackReason::ConnectionLimit => "connection-limit",
         };
         f.write_str(name)
     }
@@ -185,10 +219,14 @@ impl std::fmt::Display for NackReason {
 /// The body of a positive server response.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AckBody {
-    /// Handshake accepted; the server speaks `version`.
+    /// Handshake accepted; the server speaks `version` and assigned (or
+    /// re-attached) the given session.
     Hello {
         /// Server protocol version.
         version: u8,
+        /// Session token: present the same token in a later Hello to
+        /// resume after a disconnect.
+        session: u64,
     },
     /// A stream was opened for this connection.
     StreamOpened {
@@ -196,7 +234,12 @@ pub enum AckBody {
         stream: StreamId,
     },
     /// The batch was queued on its shard.
-    BatchApplied,
+    BatchApplied {
+        /// Highest sequence of this session covered by a persisted
+        /// checkpoint; frames at or below it can never be asked for again
+        /// and may be dropped from replay buffers.
+        durable_seq: u64,
+    },
     /// The stream was drained and closed.
     StreamClosed {
         /// The final [`adassure_core::CheckReport`], JSON-encoded.
@@ -208,6 +251,15 @@ pub enum AckBody {
         /// The summary JSON bytes.
         summary_json: Vec<u8>,
     },
+    /// A [`Frame::Resume`] was accepted: the server's next expected
+    /// sequence follows, and the stored responses between the producer's
+    /// last-acked sequence and the high-water mark are replayed right
+    /// after this ack.
+    Resumed {
+        /// The server will apply this sequence next; re-send everything
+        /// from here on.
+        next_seq: u64,
+    },
 }
 
 /// One decoded protocol frame.
@@ -217,6 +269,10 @@ pub enum Frame {
     Hello {
         /// Producer protocol version.
         version: u8,
+        /// Session token to re-attach to, `0` to request a new session.
+        /// Encoded as an optional trailing field: a bare v1 Hello decodes
+        /// as `session == 0`.
+        session: u64,
     },
     /// Request a new stream with default per-stream options.
     OpenStream {
@@ -243,6 +299,16 @@ pub enum Frame {
     GetMetrics {
         /// Sequence number.
         seq: u64,
+    },
+    /// Rewind request after a reconnect. Only valid directly after a
+    /// [`Frame::Hello`] that presented the same session token, before any
+    /// windowed frame; answered at sequence 0.
+    Resume {
+        /// The session being resumed.
+        session: u64,
+        /// Highest sequence the producer already holds a response for;
+        /// the server replays stored responses above it.
+        last_acked: u64,
     },
     /// Positive response to the frame with the same sequence number.
     Ack {
@@ -284,13 +350,35 @@ fn put_stream(out: &mut Vec<u8>, stream: StreamId) {
     out.extend_from_slice(&gen.to_le_bytes());
 }
 
-/// Appends an encoded [`Frame::Hello`] to `out`.
+/// Appends an encoded [`Frame::Hello`] requesting a new session (the
+/// bare pre-resume v1 form, without the trailing session token).
 pub fn encode_hello(out: &mut Vec<u8>) {
     with_frame(out, |out| {
         out.push(TYPE_HELLO);
         out.extend_from_slice(MAGIC);
         out.push(VERSION);
         out.push(LITTLE_ENDIAN);
+    });
+}
+
+/// Appends an encoded [`Frame::Hello`] carrying an explicit session
+/// token (`0` requests a new session; a previous token re-attaches).
+pub fn encode_hello_session(out: &mut Vec<u8>, session: u64) {
+    with_frame(out, |out| {
+        out.push(TYPE_HELLO);
+        out.extend_from_slice(MAGIC);
+        out.push(VERSION);
+        out.push(LITTLE_ENDIAN);
+        out.extend_from_slice(&session.to_le_bytes());
+    });
+}
+
+/// Appends an encoded [`Frame::Resume`] to `out`.
+pub fn encode_resume(out: &mut Vec<u8>, session: u64, last_acked: u64) {
+    with_frame(out, |out| {
+        out.push(TYPE_RESUME);
+        out.extend_from_slice(&session.to_le_bytes());
+        out.extend_from_slice(&last_acked.to_le_bytes());
     });
 }
 
@@ -390,15 +478,19 @@ pub fn encode_ack(out: &mut Vec<u8>, seq: u64, body: &AckBody) {
         out.push(TYPE_ACK);
         out.extend_from_slice(&seq.to_le_bytes());
         match body {
-            AckBody::Hello { version } => {
+            AckBody::Hello { version, session } => {
                 out.push(ACK_HELLO);
                 out.push(*version);
+                out.extend_from_slice(&session.to_le_bytes());
             }
             AckBody::StreamOpened { stream } => {
                 out.push(ACK_STREAM_OPENED);
                 put_stream(out, *stream);
             }
-            AckBody::BatchApplied => out.push(ACK_BATCH_APPLIED),
+            AckBody::BatchApplied { durable_seq } => {
+                out.push(ACK_BATCH_APPLIED);
+                out.extend_from_slice(&durable_seq.to_le_bytes());
+            }
             AckBody::StreamClosed { report_json } => {
                 out.push(ACK_STREAM_CLOSED);
                 #[allow(clippy::cast_possible_truncation)]
@@ -410,6 +502,10 @@ pub fn encode_ack(out: &mut Vec<u8>, seq: u64, body: &AckBody) {
                 #[allow(clippy::cast_possible_truncation)]
                 out.extend_from_slice(&(summary_json.len() as u32).to_le_bytes());
                 out.extend_from_slice(summary_json);
+            }
+            AckBody::Resumed { next_seq } => {
+                out.push(ACK_RESUMED);
+                out.extend_from_slice(&next_seq.to_le_bytes());
             }
         }
     });
@@ -480,6 +576,10 @@ impl<'a> Cursor<'a> {
         Ok(StreamId::from_raw(shard, slot, gen))
     }
 
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
     fn done(&self, what: &str) -> Result<(), WireError> {
         if self.pos != self.bytes.len() {
             return Err(Cursor::bad(format!(
@@ -508,8 +608,15 @@ fn parse_body(body: &[u8]) -> Result<Frame, WireError> {
                     "unsupported endianness marker {endian}"
                 )));
             }
+            // The session token is an optional trailing field: bare v1
+            // hellos decode as "request a new session".
+            let session = if c.remaining() == 0 {
+                0
+            } else {
+                c.u64("hello session")?
+            };
             c.done("hello")?;
-            Ok(Frame::Hello { version })
+            Ok(Frame::Hello { version, session })
         }
         TYPE_OPEN_STREAM => {
             let seq = c.u64("open seq")?;
@@ -581,17 +688,29 @@ fn parse_body(body: &[u8]) -> Result<Frame, WireError> {
             c.done("get-metrics")?;
             Ok(Frame::GetMetrics { seq })
         }
+        TYPE_RESUME => {
+            let session = c.u64("resume session")?;
+            let last_acked = c.u64("resume last-acked")?;
+            c.done("resume")?;
+            Ok(Frame::Resume {
+                session,
+                last_acked,
+            })
+        }
         TYPE_ACK => {
             let seq = c.u64("ack seq")?;
             let kind = c.u8("ack kind")?;
             let body = match kind {
                 ACK_HELLO => AckBody::Hello {
                     version: c.u8("server version")?,
+                    session: c.u64("server session")?,
                 },
                 ACK_STREAM_OPENED => AckBody::StreamOpened {
                     stream: c.stream()?,
                 },
-                ACK_BATCH_APPLIED => AckBody::BatchApplied,
+                ACK_BATCH_APPLIED => AckBody::BatchApplied {
+                    durable_seq: c.u64("durable seq")?,
+                },
                 ACK_STREAM_CLOSED => {
                     let len = c.u32("report length")? as usize;
                     AckBody::StreamClosed {
@@ -604,6 +723,9 @@ fn parse_body(body: &[u8]) -> Result<Frame, WireError> {
                         summary_json: c.take(len, "summary JSON")?.to_vec(),
                     }
                 }
+                ACK_RESUMED => AckBody::Resumed {
+                    next_seq: c.u64("resume next seq")?,
+                },
                 other => return Err(Cursor::bad(format!("unknown ack kind {other}"))),
             };
             c.done("ack")?;
@@ -750,7 +872,14 @@ mod tests {
         encode_sample_batch(&mut out, 2, &sample_batch()).unwrap();
         encode_close_stream(&mut out, 3, stream_id());
         encode_get_metrics(&mut out, 4);
-        encode_ack(&mut out, 0, &AckBody::Hello { version: VERSION });
+        encode_ack(
+            &mut out,
+            0,
+            &AckBody::Hello {
+                version: VERSION,
+                session: 7,
+            },
+        );
         encode_ack(
             &mut out,
             1,
@@ -758,7 +887,7 @@ mod tests {
                 stream: stream_id(),
             },
         );
-        encode_ack(&mut out, 2, &AckBody::BatchApplied);
+        encode_ack(&mut out, 2, &AckBody::BatchApplied { durable_seq: 1 });
         encode_ack(
             &mut out,
             3,
@@ -777,7 +906,13 @@ mod tests {
 
         let frames = decode_all(&out);
         assert_eq!(frames.len(), 11);
-        assert_eq!(frames[0], Frame::Hello { version: VERSION });
+        assert_eq!(
+            frames[0],
+            Frame::Hello {
+                version: VERSION,
+                session: 0
+            }
+        );
         assert_eq!(frames[1], Frame::OpenStream { seq: 1, flags: 0 });
         match &frames[2] {
             Frame::SampleBatch { seq: 2, batch } => {
@@ -808,6 +943,110 @@ mod tests {
                 retry_after_us: 150
             }
         );
+    }
+
+    #[test]
+    fn session_and_resume_frames_round_trip() {
+        let mut out = Vec::new();
+        encode_hello_session(&mut out, 0xDEAD_BEEF_0042);
+        encode_hello_session(&mut out, 0);
+        encode_resume(&mut out, 0xDEAD_BEEF_0042, 17);
+        encode_ack(&mut out, 0, &AckBody::Resumed { next_seq: 18 });
+        encode_ack(&mut out, 2, &AckBody::BatchApplied { durable_seq: 0 });
+        encode_nack(&mut out, 0, NackReason::UnknownSession, 0);
+        encode_nack(&mut out, 0, NackReason::ResumeGap, 0);
+        encode_nack(&mut out, 0, NackReason::ConnectionLimit, 5_000);
+
+        let frames = decode_all(&out);
+        assert_eq!(
+            frames[0],
+            Frame::Hello {
+                version: VERSION,
+                session: 0xDEAD_BEEF_0042
+            }
+        );
+        assert_eq!(
+            frames[1],
+            Frame::Hello {
+                version: VERSION,
+                session: 0
+            }
+        );
+        assert_eq!(
+            frames[2],
+            Frame::Resume {
+                session: 0xDEAD_BEEF_0042,
+                last_acked: 17
+            }
+        );
+        assert_eq!(
+            frames[3],
+            Frame::Ack {
+                seq: 0,
+                body: AckBody::Resumed { next_seq: 18 }
+            }
+        );
+        assert_eq!(
+            frames[4],
+            Frame::Ack {
+                seq: 2,
+                body: AckBody::BatchApplied { durable_seq: 0 }
+            }
+        );
+        assert_eq!(
+            frames[5],
+            Frame::Nack {
+                seq: 0,
+                reason: NackReason::UnknownSession,
+                retry_after_us: 0
+            }
+        );
+        assert_eq!(
+            frames[6],
+            Frame::Nack {
+                seq: 0,
+                reason: NackReason::ResumeGap,
+                retry_after_us: 0
+            }
+        );
+        assert_eq!(
+            frames[7],
+            Frame::Nack {
+                seq: 0,
+                reason: NackReason::ConnectionLimit,
+                retry_after_us: 5_000
+            }
+        );
+    }
+
+    #[test]
+    fn bare_hello_and_session_hello_are_both_accepted() {
+        // The bare (pre-resume) Hello encoding must keep decoding as
+        // session 0 — old producers stay compatible.
+        let mut bare = Vec::new();
+        encode_hello(&mut bare);
+        let mut with_session = Vec::new();
+        encode_hello_session(&mut with_session, 0);
+        assert_eq!(bare.len() + 8, with_session.len());
+        assert_eq!(
+            decode_all(&bare)[0],
+            Frame::Hello {
+                version: VERSION,
+                session: 0
+            }
+        );
+        // A partial trailing token is malformed, not silently truncated.
+        let mut dec = FrameDecoder::new(DEFAULT_MAX_FRAME_LEN);
+        let mut bad = Vec::new();
+        with_frame(&mut bad, |out| {
+            out.push(TYPE_HELLO);
+            out.extend_from_slice(MAGIC);
+            out.push(VERSION);
+            out.push(LITTLE_ENDIAN);
+            out.extend_from_slice(&[1, 2, 3]);
+        });
+        dec.feed(&bad);
+        assert!(matches!(dec.next_frame(), Err(WireError::Malformed { .. })));
     }
 
     #[test]

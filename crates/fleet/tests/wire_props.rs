@@ -1,0 +1,170 @@
+//! Property-based tests of the wire codec's framing invariants: a valid
+//! multi-frame byte stream decodes to the same frames no matter how the
+//! transport fragments it, and truncating it anywhere yields the intact
+//! prefix and a clean need-more-bytes state — never an error.
+
+use adassure_fleet::wire::{
+    encode_ack, encode_close_stream, encode_get_metrics, encode_hello_session, encode_nack,
+    encode_open_stream, encode_resume, encode_sample_batch, AckBody, Frame, FrameDecoder,
+    NackReason, VERSION,
+};
+use adassure_fleet::{SampleBatch, StreamId};
+use proptest::prelude::*;
+
+const CHANNELS: [&str; 4] = ["xtrack", "speed", "gnss_x", "yaw"];
+
+fn batch_strategy() -> impl Strategy<Value = SampleBatch> {
+    (
+        0u32..4,
+        0u32..64,
+        0u32..4,
+        proptest::collection::vec((0u8..4, 1u32..1000, -1000i32..1000), 0..12),
+    )
+        .prop_map(|(shard, slot, gen, raw)| {
+            let mut batch = SampleBatch::new(StreamId::from_raw(shard, slot, gen));
+            let mut t = 0.0;
+            for (channel, dt_millis, value) in raw {
+                t += f64::from(dt_millis) / 1000.0;
+                batch.push(t, CHANNELS[channel as usize], f64::from(value) / 10.0);
+            }
+            batch
+        })
+}
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    let nack_reasons = [
+        NackReason::Saturated,
+        NackReason::UnknownShard,
+        NackReason::StaleGeneration,
+        NackReason::UnknownSlot,
+        NackReason::Superseded,
+        NackReason::Malformed,
+        NackReason::Unsupported,
+        NackReason::ShuttingDown,
+        NackReason::UnknownSession,
+        NackReason::ResumeGap,
+        NackReason::ConnectionLimit,
+    ];
+    prop_oneof![
+        (0u64..1_000_000).prop_map(|session| Frame::Hello {
+            version: VERSION,
+            session,
+        }),
+        (1u64..1_000_000).prop_map(|seq| Frame::OpenStream { seq, flags: 0 }),
+        (1u64..1_000_000, batch_strategy())
+            .prop_map(|(seq, batch)| Frame::SampleBatch { seq, batch }),
+        (1u64..1_000_000, 0u32..4, 0u32..64, 0u32..4).prop_map(|(seq, shard, slot, gen)| {
+            Frame::CloseStream {
+                seq,
+                stream: StreamId::from_raw(shard, slot, gen),
+            }
+        }),
+        (1u64..1_000_000).prop_map(|seq| Frame::GetMetrics { seq }),
+        (1u64..1_000_000, 0u64..1_000_000).prop_map(|(session, last_acked)| Frame::Resume {
+            session,
+            last_acked,
+        }),
+        (0u64..1_000_000, 0u64..1_000_000).prop_map(|(seq, next_seq)| Frame::Ack {
+            seq,
+            body: AckBody::Resumed { next_seq },
+        }),
+        (0u64..1_000_000, 0u64..1_000_000).prop_map(|(seq, durable_seq)| Frame::Ack {
+            seq,
+            body: AckBody::BatchApplied { durable_seq },
+        }),
+        (0u64..1_000_000, proptest::collection::vec(0u8..128, 0..40)).prop_map(
+            |(seq, report_json)| Frame::Ack {
+                seq,
+                body: AckBody::StreamClosed { report_json },
+            }
+        ),
+        (0u64..1_000_000, 0usize..11, 0u32..5000).prop_map(move |(seq, reason, retry)| {
+            Frame::Nack {
+                seq,
+                reason: nack_reasons[reason],
+                retry_after_us: retry,
+            }
+        }),
+    ]
+}
+
+fn encode_frame(out: &mut Vec<u8>, frame: &Frame) {
+    match frame {
+        Frame::Hello { session, .. } => encode_hello_session(out, *session),
+        Frame::OpenStream { seq, .. } => encode_open_stream(out, *seq),
+        Frame::SampleBatch { seq, batch } => {
+            encode_sample_batch(out, *seq, batch).expect("generated channels encode");
+        }
+        Frame::CloseStream { seq, stream } => encode_close_stream(out, *seq, *stream),
+        Frame::GetMetrics { seq } => encode_get_metrics(out, *seq),
+        Frame::Resume {
+            session,
+            last_acked,
+        } => encode_resume(out, *session, *last_acked),
+        Frame::Ack { seq, body } => encode_ack(out, *seq, body),
+        Frame::Nack {
+            seq,
+            reason,
+            retry_after_us,
+        } => encode_nack(out, *seq, *reason, *retry_after_us),
+    }
+}
+
+fn drain(decoder: &mut FrameDecoder) -> Vec<Frame> {
+    let mut frames = Vec::new();
+    while let Some(frame) = decoder.next_frame().expect("valid stream decodes") {
+        frames.push(frame);
+    }
+    frames
+}
+
+proptest! {
+    #[test]
+    fn any_fragmentation_reassembles_the_same_frames(
+        frames in proptest::collection::vec(frame_strategy(), 1..20),
+        chunks in proptest::collection::vec(1usize..64, 1..40),
+    ) {
+        let mut bytes = Vec::new();
+        for frame in &frames {
+            encode_frame(&mut bytes, frame);
+        }
+        let mut decoder = FrameDecoder::new(1 << 20);
+        let mut decoded = Vec::new();
+        let mut offset = 0;
+        let mut next_chunk = 0;
+        while offset < bytes.len() {
+            let len = chunks[next_chunk % chunks.len()].min(bytes.len() - offset);
+            next_chunk += 1;
+            decoder.feed(&bytes[offset..offset + len]);
+            offset += len;
+            decoded.extend(drain(&mut decoder));
+        }
+        prop_assert_eq!(decoded, frames);
+        prop_assert_eq!(decoder.pending(), 0, "no residual bytes after full stream");
+    }
+
+    #[test]
+    fn any_truncation_point_is_need_more_bytes(
+        frames in proptest::collection::vec(frame_strategy(), 1..8),
+        cut_roll in 0u32..1_000_000,
+    ) {
+        let mut bytes = Vec::new();
+        let mut boundaries = Vec::new();
+        for frame in &frames {
+            encode_frame(&mut bytes, frame);
+            boundaries.push(bytes.len());
+        }
+        let cut = 1 + (cut_roll as usize) % bytes.len().max(1);
+        let mut decoder = FrameDecoder::new(1 << 20);
+        decoder.feed(&bytes[..cut]);
+        let decoded = drain(&mut decoder);
+        let whole = boundaries.iter().filter(|&&b| b <= cut).count();
+        prop_assert_eq!(decoded.len(), whole, "exactly the complete frames decode");
+        prop_assert_eq!(&decoded[..], &frames[..whole]);
+        // Feeding the rest completes the stream without loss.
+        decoder.feed(&bytes[cut..]);
+        let rest = drain(&mut decoder);
+        prop_assert_eq!(&rest[..], &frames[whole..]);
+        prop_assert_eq!(decoder.pending(), 0);
+    }
+}

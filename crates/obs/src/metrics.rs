@@ -112,6 +112,18 @@ impl TransitionGrid {
         self.counts.iter().flatten().sum()
     }
 
+    /// The raw 3×3 count matrix, row-major `[from][to]` — the stable
+    /// serialization surface used by checkpoint encoders.
+    pub fn counts(&self) -> [[u64; 3]; 3] {
+        self.counts
+    }
+
+    /// Rebuilds a grid from a count matrix previously obtained via
+    /// [`TransitionGrid::counts`].
+    pub fn from_counts(counts: [[u64; 3]; 3]) -> Self {
+        TransitionGrid { counts }
+    }
+
     /// Adds `other` into `self`.
     pub fn merge(&mut self, other: &TransitionGrid) {
         for (row, orow) in self.counts.iter_mut().zip(&other.counts) {
