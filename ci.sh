@@ -64,6 +64,21 @@ echo "== chaos soak smoke (faulted sockets + server crash, byte-identical) =="
 cargo run --release -q -p adassure-bench --bin chaos_soak -- \
     --smoke --out target/ci_chaos_soak.json
 
+echo "== debug replay (bit-identical time travel + checkpoint resume) =="
+cargo test -q -p adassure-debug --test replay
+
+echo "== minimizer property (reproduces at stamped cycle, 1-minimal) =="
+cargo test -q -p adassure-debug --test minimize_prop
+
+echo "== debug smoke (seeded replay-to-cycle + minimize -> rerun round trip) =="
+cargo run --release -q -p adassure-debug --bin addebug -- replay \
+    --scenario straight --seed 1 --attack gnss_bias --cycle 1234 \
+    > target/ci_addebug_replay.txt
+cargo run --release -q -p adassure-debug --bin addebug -- minimize \
+    --scenario straight --seed 1 --attack gnss_bias --max-runs 40 \
+    --out target/ci_repro.json
+cargo run --release -q -p adassure-debug --bin addebug -- rerun target/ci_repro.json
+
 echo "== cargo bench --no-run (benchmarks stay compilable) =="
 cargo bench --workspace --no-run
 

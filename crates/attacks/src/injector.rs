@@ -50,6 +50,39 @@ impl AttackInjector {
     pub fn window(&self) -> &Window {
         &self.window
     }
+
+    /// Captures the injector's mutable state (RNG words, freeze anchors,
+    /// delay history) as plain data for mid-run checkpoints.
+    pub fn state(&self) -> InjectorState {
+        InjectorState {
+            rng: self.rng.state(),
+            frozen_fix: self.frozen_fix,
+            frozen_speed: self.frozen_speed,
+            delay_buffer: self.delay_buffer.iter().copied().collect(),
+        }
+    }
+
+    /// Reinstates a state captured with [`AttackInjector::state`]. The
+    /// injector must have been built from the same kind/window/seed.
+    pub fn restore(&mut self, s: &InjectorState) {
+        self.rng = SmallRng::from_state(s.rng);
+        self.frozen_fix = s.frozen_fix;
+        self.frozen_speed = s.frozen_speed;
+        self.delay_buffer = s.delay_buffer.iter().copied().collect();
+    }
+}
+
+/// Plain-data snapshot of an [`AttackInjector`]'s mutable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InjectorState {
+    /// Attack RNG state (xoshiro256++ words).
+    pub rng: [u64; 4],
+    /// First fix seen by an active freeze attack, if any.
+    pub frozen_fix: Option<Vec2>,
+    /// First wheel speed seen by an active freeze attack, if any.
+    pub frozen_speed: Option<f64>,
+    /// Buffered `(time, fix)` history of a delay attack.
+    pub delay_buffer: Vec<(f64, Vec2)>,
 }
 
 impl SensorTap for AttackInjector {

@@ -37,8 +37,12 @@ mod fault;
 mod injector;
 mod kind;
 mod schedule;
+mod timeline;
 
-pub use fault::{ChannelFaultInjector, Delivery, FaultKind, FaultSpec};
-pub use injector::AttackInjector;
+pub use fault::{
+    ChannelFaultInjector, Delivery, FaultChannelState, FaultInjectorState, FaultKind, FaultSpec,
+};
+pub use injector::{AttackInjector, InjectorState};
 pub use kind::{AttackKind, Channel};
 pub use schedule::Window;
+pub use timeline::{AttackTimeline, MultiInjector};

@@ -13,12 +13,49 @@ use serde::{Deserialize, Serialize};
 /// assert!(w.contains(11.9));
 /// assert!(!w.contains(12.0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Window {
     /// Activation time (s), inclusive.
     pub start: f64,
     /// Deactivation time (s), exclusive. `f64::INFINITY` = never ends.
     pub end: f64,
+}
+
+// JSON cannot represent an infinite float, so the serialized form writes an
+// open-ended window's `end` as `null` and reads it back as infinity. The
+// impls are manual because the derive would emit `null` too (losing the
+// window on re-read).
+impl Serialize for Window {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut s = serializer.serialize_struct("Window", 2)?;
+        s.serialize_field("start", &self.start)?;
+        s.serialize_field("end", &self.end.is_finite().then_some(self.end))?;
+        s.end()
+    }
+}
+
+impl<'de> Deserialize<'de> for Window {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::{from_content, take_field, Content, Error};
+        match deserializer.deserialize_content()? {
+            Content::Map(mut entries) => {
+                let start: f64 = from_content(take_field(&mut entries, "start"))?;
+                let end: Option<f64> = from_content(take_field(&mut entries, "end"))?;
+                let end = end.unwrap_or(f64::INFINITY);
+                if !(start.is_finite() && end >= start) {
+                    return Err(D::Error::custom(format_args!(
+                        "attack window must satisfy finite start <= end, got [{start}, {end})"
+                    )));
+                }
+                Ok(Window { start, end })
+            }
+            other => Err(D::Error::custom(format_args!(
+                "expected object, found {}",
+                other.kind()
+            ))),
+        }
+    }
 }
 
 impl Window {

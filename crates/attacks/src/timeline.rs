@@ -1,0 +1,269 @@
+//! Compound attack timelines: several [`AttackSpec`]s injected in one run.
+//!
+//! The minimal-repro minimizer works on timelines: a violating run's
+//! attack is lifted into a (possibly multi-entry) [`AttackTimeline`],
+//! entries are dropped / windows narrowed / magnitudes shrunk, and each
+//! candidate is re-executed through a [`MultiInjector`]. A one-entry
+//! timeline seeded with `seed` behaves exactly like
+//! [`AttackSpec::injector`] with the same seed, so minimized repros slot
+//! back into the single-attack campaign machinery unchanged.
+
+use serde::{Deserialize, Serialize};
+
+use adassure_sim::engine::SensorTap;
+use adassure_sim::sensor::SensorFrame;
+use adassure_sim::vehicle::VehicleState;
+
+use crate::campaign::AttackSpec;
+use crate::injector::InjectorState;
+use crate::{AttackInjector, Window};
+
+/// A sequence of attacks applied to the same run, each with its own
+/// window. Order matters: injectors tap the frame in entry order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttackTimeline {
+    /// The attacks, in application order.
+    pub entries: Vec<AttackSpec>,
+}
+
+impl AttackTimeline {
+    /// A timeline over the given entries.
+    pub fn new(entries: impl IntoIterator<Item = AttackSpec>) -> Self {
+        AttackTimeline {
+            entries: entries.into_iter().collect(),
+        }
+    }
+
+    /// A one-entry timeline wrapping a single campaign attack.
+    pub fn single(spec: AttackSpec) -> Self {
+        AttackTimeline {
+            entries: vec![spec],
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the timeline is empty (a clean run).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The timeline restricted to the entries at `indices` (in timeline
+    /// order, duplicates ignored) — the ddmin subset operation.
+    pub fn subset(&self, indices: &[usize]) -> AttackTimeline {
+        let mut keep: Vec<usize> = indices.to_vec();
+        keep.sort_unstable();
+        keep.dedup();
+        AttackTimeline {
+            entries: keep
+                .into_iter()
+                .filter_map(|i| self.entries.get(i).copied())
+                .collect(),
+        }
+    }
+
+    /// A copy with entry `index`'s window replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    pub fn with_window(&self, index: usize, window: Window) -> AttackTimeline {
+        let mut next = self.clone();
+        next.entries[index].window = window;
+        next
+    }
+
+    /// A copy with entry `index`'s magnitude scaled by `factor` (see
+    /// [`crate::campaign::scale_attack`]; magnitude-free attacks are
+    /// unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of bounds.
+    pub fn with_scaled(&self, index: usize, factor: f64) -> AttackTimeline {
+        let mut next = self.clone();
+        next.entries[index].kind = crate::campaign::scale_attack(next.entries[index].kind, factor);
+        next
+    }
+
+    /// Builds the compound injector for this timeline. Entry 0 is seeded
+    /// with `seed` itself (matching [`AttackSpec::injector`]); later
+    /// entries derive distinct seeds so stochastic attacks stay
+    /// independent.
+    pub fn injector(&self, seed: u64) -> MultiInjector {
+        MultiInjector {
+            injectors: self
+                .entries
+                .iter()
+                .enumerate()
+                .map(|(i, spec)| {
+                    spec.injector(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A [`SensorTap`] applying every entry of an [`AttackTimeline`] in order.
+#[derive(Debug, Clone)]
+pub struct MultiInjector {
+    injectors: Vec<AttackInjector>,
+}
+
+impl MultiInjector {
+    /// The per-entry injectors, in application order.
+    pub fn injectors(&self) -> &[AttackInjector] {
+        &self.injectors
+    }
+
+    /// Captures every injector's mutable state for mid-run checkpoints.
+    pub fn state(&self) -> Vec<InjectorState> {
+        self.injectors.iter().map(AttackInjector::state).collect()
+    }
+
+    /// Reinstates states captured with [`MultiInjector::state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the entry count does not match.
+    pub fn restore(&mut self, states: &[InjectorState]) -> Result<(), String> {
+        if states.len() != self.injectors.len() {
+            return Err(format!(
+                "injector snapshot has {} entries, timeline has {}",
+                states.len(),
+                self.injectors.len()
+            ));
+        }
+        for (inj, s) in self.injectors.iter_mut().zip(states) {
+            inj.restore(s);
+        }
+        Ok(())
+    }
+}
+
+impl SensorTap for MultiInjector {
+    fn tap(&mut self, frame: &mut SensorFrame, truth: &VehicleState) {
+        for inj in &mut self.injectors {
+            inj.tap(frame, truth);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AttackKind;
+    use adassure_sim::geometry::Vec2;
+
+    fn frame(t: f64, gnss: Option<Vec2>) -> SensorFrame {
+        SensorFrame {
+            time: t,
+            gnss,
+            wheel_speed: 5.0,
+            imu_yaw_rate: 0.1,
+            imu_accel: 0.0,
+            compass: 0.2,
+        }
+    }
+
+    fn truth() -> VehicleState {
+        VehicleState::at([0.0, 0.0], 0.0)
+    }
+
+    #[test]
+    fn single_entry_timeline_matches_plain_injector() {
+        let spec = AttackSpec::new(AttackKind::GnssNoise { std_dev: 2.0 }, Window::always());
+        let mut single = spec.injector(42);
+        let mut multi = AttackTimeline::single(spec).injector(42);
+        for i in 0..50 {
+            let t = f64::from(i) * 0.1;
+            let mut a = frame(t, Some(Vec2::ZERO));
+            let mut b = a;
+            single.tap(&mut a, &truth());
+            multi.tap(&mut b, &truth());
+            assert_eq!(a, b, "cycle {i} diverged");
+        }
+    }
+
+    #[test]
+    fn entries_apply_in_order() {
+        let timeline = AttackTimeline::new([
+            AttackSpec::new(
+                AttackKind::GnssBias {
+                    offset: Vec2::new(10.0, 0.0),
+                },
+                Window::always(),
+            ),
+            AttackSpec::new(AttackKind::GnssDropout, Window::always()),
+        ]);
+        let mut inj = timeline.injector(0);
+        let mut f = frame(0.0, Some(Vec2::ZERO));
+        inj.tap(&mut f, &truth());
+        assert_eq!(f.gnss, None, "dropout wins when applied after bias");
+    }
+
+    #[test]
+    fn subset_and_window_and_scale_edits() {
+        let timeline = AttackTimeline::new([
+            AttackSpec::new(
+                AttackKind::ImuYawBias { bias: 0.08 },
+                Window::new(5.0, 20.0),
+            ),
+            AttackSpec::new(AttackKind::GnssFreeze, Window::from_start(10.0)),
+        ]);
+        let only_second = timeline.subset(&[1]);
+        assert_eq!(only_second.len(), 1);
+        assert_eq!(only_second.entries[0].kind, AttackKind::GnssFreeze);
+
+        let narrowed = timeline.with_window(0, Window::new(8.0, 9.0));
+        assert_eq!(narrowed.entries[0].window, Window::new(8.0, 9.0));
+        assert_eq!(narrowed.entries[1].window, Window::from_start(10.0));
+
+        let softened = timeline.with_scaled(0, 0.5);
+        assert_eq!(
+            softened.entries[0].kind,
+            AttackKind::ImuYawBias { bias: 0.04 }
+        );
+    }
+
+    #[test]
+    fn multi_injector_state_round_trips() {
+        let timeline = AttackTimeline::new([
+            AttackSpec::new(AttackKind::GnssNoise { std_dev: 1.0 }, Window::always()),
+            AttackSpec::new(AttackKind::GnssFreeze, Window::always()),
+        ]);
+        let mut a = timeline.injector(7);
+        // Advance a few cycles, snapshot, advance both copies identically.
+        for i in 0..10 {
+            let mut f = frame(f64::from(i) * 0.1, Some(Vec2::new(1.0, 1.0)));
+            a.tap(&mut f, &truth());
+        }
+        let snap = a.state();
+        let mut b = timeline.injector(7);
+        b.restore(&snap).unwrap();
+        for i in 10..30 {
+            let mut fa = frame(f64::from(i) * 0.1, Some(Vec2::new(2.0, 2.0)));
+            let mut fb = fa;
+            a.tap(&mut fa, &truth());
+            b.tap(&mut fb, &truth());
+            assert_eq!(fa, fb, "cycle {i} diverged after restore");
+        }
+        assert!(b.restore(&snap[..1]).is_err());
+    }
+
+    #[test]
+    fn timeline_serializes_round_trip() {
+        let timeline = AttackTimeline::new([AttackSpec::new(
+            AttackKind::GnssDrift {
+                rate: Vec2::new(0.4, 0.3),
+            },
+            Window::new(12.0, 30.0),
+        )]);
+        let json = serde_json::to_string(&timeline).unwrap();
+        let back: AttackTimeline = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, timeline);
+    }
+}

@@ -19,8 +19,8 @@ use adassure_exp::agg::fmt_mean_std;
 use adassure_exp::{AttackSet, Campaign, Grid};
 use adassure_scenarios::{Scenario, ScenarioKind};
 
-fn main() {
-    let scenario = Scenario::of_kind(ScenarioKind::SCurve).expect("library scenario");
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::of_kind(ScenarioKind::SCurve)?;
     let seeds = [1u64, 2, 3];
     let grid = Grid::new()
         .scenarios([scenario.kind])
@@ -30,7 +30,7 @@ fn main() {
         .seeds(seeds);
     let report = Campaign::new("ab3_estimator", grid)
         .run()
-        .expect("campaign");
+        .map_err(|e| format!("ab3 campaign: {e}"))?;
 
     println!(
         "AB3: estimator ablation under GNSS attacks (scenario `{}`, pure_pursuit, seeds {seeds:?})",
@@ -65,6 +65,9 @@ fn main() {
     println!(" the rejected fixes never steer the car — while the innovation");
     println!(" assertion still fires, so detection is not traded away.)");
 
-    let path = report.write_json("results").expect("write results json");
+    let path = report
+        .write_json("results")
+        .map_err(|e| format!("write results json: {e}"))?;
     eprintln!("wrote {}", path.display());
+    Ok(())
 }

@@ -84,10 +84,10 @@ struct ColumnarBatch {
     speedup: f64,
 }
 
-fn main() {
-    let online_ns = measure_online();
-    let observed_ns = measure_online_observed();
-    let (offline_ns, batch, columnar) = measure_offline();
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let online_ns = measure_online()?;
+    let observed_ns = measure_online_observed()?;
+    let (offline_ns, batch, columnar) = measure_offline()?;
     let obs_overhead = ObsOverhead {
         id: "online_checker/100_cycles_16_assertions+jsonl",
         plain_ns: online_ns,
@@ -146,14 +146,17 @@ fn main() {
         report.obs_overhead.observed_ns, report.obs_overhead.overhead_pct
     );
 
-    let json = serde_json::to_string_pretty(&report).expect("report serializes");
-    std::fs::write("BENCH_checker.json", json + "\n").expect("write BENCH_checker.json");
+    let json =
+        serde_json::to_string_pretty(&report).map_err(|e| format!("serialize report: {e}"))?;
+    std::fs::write("BENCH_checker.json", json + "\n")
+        .map_err(|e| format!("write BENCH_checker.json: {e}"))?;
     println!("wrote BENCH_checker.json");
+    Ok(())
 }
 
 /// The criterion online workload: warmed checker, then 99 cycles updating
 /// all 30 well-known signals. Returns best mean ns per 99-cycle iteration.
-fn measure_online() -> f64 {
+fn measure_online() -> Result<f64, String> {
     measure_online_with(|cat| OnlineChecker::new(cat.iter().cloned()))
 }
 
@@ -161,7 +164,7 @@ fn measure_online() -> f64 {
 /// counters, transition grids, the default 1-in-64 timing sample and a
 /// JSONL event sink (into `io::sink`, so the cost measured is
 /// serialization, not disk).
-fn measure_online_observed() -> f64 {
+fn measure_online_observed() -> Result<f64, String> {
     measure_online_with(|cat| {
         OnlineChecker::with_observability(
             cat.iter().cloned(),
@@ -172,22 +175,27 @@ fn measure_online_observed() -> f64 {
     })
 }
 
-fn measure_online_with(make: impl Fn(&[adassure_core::Assertion]) -> OnlineChecker) -> f64 {
+fn measure_online_with(
+    make: impl Fn(&[adassure_core::Assertion]) -> OnlineChecker,
+) -> Result<f64, String> {
     let cat = catalog::build(&CatalogConfig::default().with_goal_distance(300.0));
     let signals: Vec<SignalId> = adassure_trace::well_known::ALL
         .iter()
         .map(SignalId::new)
         .collect();
 
-    let run_iter = |checker: &mut OnlineChecker| {
+    let run_iter = |checker: &mut OnlineChecker| -> Result<(), String> {
         for i in 1..100u32 {
             let t = f64::from(i) * 0.01;
-            checker.begin_cycle(t).unwrap();
+            checker
+                .begin_cycle(t)
+                .map_err(|e| format!("begin cycle at t={t}: {e}"))?;
             for s in &signals {
                 checker.update(s.clone(), 0.1 + f64::from(i) * 1e-4);
             }
             checker.end_cycle();
         }
+        Ok(())
     };
 
     let mut best = f64::INFINITY;
@@ -196,19 +204,21 @@ fn measure_online_with(make: impl Fn(&[adassure_core::Assertion]) -> OnlineCheck
         let mut total = 0.0;
         for _ in 0..iters {
             let mut checker = make(&cat);
-            checker.begin_cycle(0.0).unwrap();
+            checker
+                .begin_cycle(0.0)
+                .map_err(|e| format!("begin warm-up cycle: {e}"))?;
             for s in &signals {
                 checker.update(s.clone(), 0.1);
             }
             checker.end_cycle();
             let start = Instant::now();
-            run_iter(&mut checker);
+            run_iter(&mut checker)?;
             total += start.elapsed().as_secs_f64();
             std::hint::black_box(checker.violations().len());
         }
         best = best.min(total * 1e9 / f64::from(iters));
     }
-    best
+    Ok(best)
 }
 
 /// `offline_batch` (16 traces of one 75 s Straight run each) measured at
@@ -220,17 +230,21 @@ const BASELINE_BATCH_TRACES_PER_SEC: f64 = 222.39;
 /// parallel batch throughput over campaign-generated traces — once through
 /// the `Trace`-input path and once over pre-converted columnar documents
 /// (the `.adt` corpus shape, conversion outside the timed region).
-fn measure_offline() -> (f64, Batch, ColumnarBatch) {
-    let scenario = Scenario::of_kind(ScenarioKind::Straight).expect("scenario");
+fn measure_offline() -> Result<(f64, Batch, ColumnarBatch), String> {
+    let scenario =
+        Scenario::of_kind(ScenarioKind::Straight).map_err(|e| format!("workload scenario: {e}"))?;
     let cat = catalog_for(&scenario);
 
     // Campaign-generated traces, one per seed, produced in parallel like
     // any other harness sweep.
     let seeds: Vec<u64> = (1..=16).collect();
     let traces: Vec<Trace> = par::map(&seeds, |&seed| {
-        let (out, _) = run_clean(&scenario, ControllerKind::PurePursuit, seed, &cat).expect("run");
-        out.trace
-    });
+        run_clean(&scenario, ControllerKind::PurePursuit, seed, &cat)
+            .map(|(out, _)| out.trace)
+            .map_err(|e| format!("clean run, seed {seed}: {e}"))
+    })
+    .into_iter()
+    .collect::<Result<_, _>>()?;
 
     // Single-trace serial check: comparable to the criterion bench.
     let mut best = f64::INFINITY;
@@ -283,5 +297,5 @@ fn measure_offline() -> (f64, Batch, ColumnarBatch) {
         baseline_traces_per_sec: BASELINE_BATCH_TRACES_PER_SEC,
         speedup: columnar_tps / BASELINE_BATCH_TRACES_PER_SEC,
     };
-    (best, batch, columnar)
+    Ok((best, batch, columnar))
 }

@@ -8,9 +8,9 @@ use adassure_exp::campaign::{execute, standard_catalog};
 use adassure_exp::{par, AttackSet, Grid};
 use adassure_scenarios::{Scenario, ScenarioKind};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     for sk in [ScenarioKind::Straight, ScenarioKind::SCurve] {
-        let scenario = Scenario::of_kind(sk).expect("library scenario");
+        let scenario = Scenario::of_kind(sk)?;
         let cat = standard_catalog(&scenario);
         println!(
             "=== scenario {} (len {:.0} m) ===",
@@ -28,9 +28,11 @@ fn main() {
             .seeds([1])
             .cells();
         let mut results = par::map(&cells, |spec| {
-            let (out, report) = execute(spec, &cat).expect("run");
-            (*spec, out, report)
-        });
+            execute(spec, &cat).map(|(out, report)| (*spec, out, report))
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("probe cell on {sk}: {e}"))?;
 
         let (_, out, clean) = results.remove(0);
         println!(
@@ -46,7 +48,7 @@ fn main() {
         let steer = out
             .trace
             .require(adassure_trace::well_known::STEER_CMD)
-            .unwrap();
+            .map_err(|e| format!("clean run on {sk}: {e}"))?;
         let d = steer.differentiate();
         let max_rate = d
             .samples()
@@ -60,7 +62,7 @@ fn main() {
         let ws = out
             .trace
             .require(adassure_trace::well_known::WHEEL_SPEED)
-            .unwrap();
+            .map_err(|e| format!("clean run on {sk}: {e}"))?;
         let max_gap = gs
             .map(|gs| {
                 gs.samples()
@@ -72,7 +74,9 @@ fn main() {
             .unwrap_or(0.0);
         println!("clean envelope: max|d steer/dt|={max_rate:.2} rad/s, max|gnss-wheel speed|={max_gap:.2} m/s");
         for (spec, _, report) in &results {
-            let attack = spec.attack.expect("attacked cell");
+            let Some(attack) = spec.attack else {
+                continue; // only the leading clean cell has no attack
+            };
             let latency = report
                 .detection_latency(attack.window.start)
                 .map(|l| format!("{l:.2}s"))
@@ -96,4 +100,5 @@ fn main() {
             );
         }
     }
+    Ok(())
 }

@@ -19,8 +19,8 @@ use adassure_scenarios::{Scenario, ScenarioKind};
 use adassure_sim::geometry::Vec2;
 use adassure_trace::well_known as sig;
 
-fn main() {
-    let scenario = Scenario::of_kind(ScenarioKind::SCurve).expect("library scenario");
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::of_kind(ScenarioKind::SCurve)?;
     let controller = ControllerKind::PurePursuit;
     let seed = 1;
     let cat = standard_catalog(&scenario);
@@ -45,9 +45,12 @@ fn main() {
             seed,
         })
         .collect();
-    let mut outputs = par::map(&cells, |spec| execute(spec, &cat).expect("run"));
-    let (attacked_out, report) = outputs.pop().expect("attacked cell");
-    let (clean_out, _) = outputs.pop().expect("clean cell");
+    let mut outputs = par::map(&cells, |spec| execute(spec, &cat))
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| format!("F1 cell: {e}"))?;
+    let (attacked_out, report) = outputs.pop().ok_or("missing attacked cell")?;
+    let (clean_out, _) = outputs.pop().ok_or("missing clean cell")?;
 
     println!(
         "F1: gnss_drift anatomy on `{}` ({} stack), attack from t = {:.0} s",
@@ -61,13 +64,19 @@ fn main() {
     let clean_xt = clean_out
         .trace
         .require(sig::TRUE_XTRACK_ERR)
-        .expect("signal");
+        .map_err(|e| format!("clean run: {e}"))?;
     let att_true_xt = attacked_out
         .trace
         .require(sig::TRUE_XTRACK_ERR)
-        .expect("signal");
-    let att_est_xt = attacked_out.trace.require(sig::XTRACK_ERR).expect("signal");
-    let att_innov = attacked_out.trace.require(sig::INNOVATION).expect("signal");
+        .map_err(|e| format!("attacked run: {e}"))?;
+    let att_est_xt = attacked_out
+        .trace
+        .require(sig::XTRACK_ERR)
+        .map_err(|e| format!("attacked run: {e}"))?;
+    let att_innov = attacked_out
+        .trace
+        .require(sig::INNOVATION)
+        .map_err(|e| format!("attacked run: {e}"))?;
 
     println!(
         "\n{:>6} {:>14} {:>14} {:>14} {:>12}",
@@ -96,10 +105,12 @@ fn main() {
         t += 0.1;
     }
 
-    std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write("results/fig1_attack_anatomy.csv", csv).expect("write csv");
+    std::fs::create_dir_all("results").map_err(|e| format!("create results dir: {e}"))?;
+    std::fs::write("results/fig1_attack_anatomy.csv", csv)
+        .map_err(|e| format!("write results/fig1_attack_anatomy.csv: {e}"))?;
     println!("\nfull series written to results/fig1_attack_anatomy.csv");
     println!("\n(the drift attack's signature: the *estimated* cross-track error stays");
     println!(" small — the stack happily follows the spoofed path — while the *true*");
     println!(" error grows without bound until behavioural assertions fire.)");
+    Ok(())
 }

@@ -23,17 +23,18 @@ struct GuardedCell {
     engage_delay: Option<f64>,
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     for kind in ScenarioKind::GUARDIAN_SET {
-        run_scenario(kind);
+        run_scenario(kind)?;
     }
     println!("\n(safe-stopping on the first critical violation bounds the physical");
     println!(" damage of every fast-detected attack; the stealthy drift class keeps");
     println!(" leaking error in proportion to its detection latency.)");
+    Ok(())
 }
 
-fn run_scenario(kind: ScenarioKind) {
-    let scenario = Scenario::of_kind(kind).expect("library scenario");
+fn run_scenario(kind: ScenarioKind) -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = Scenario::of_kind(kind)?;
     let controller = ControllerKind::PurePursuit;
     let seeds = [1u64, 2, 3];
     let cat = standard_catalog(&scenario);
@@ -44,14 +45,16 @@ fn run_scenario(kind: ScenarioKind) {
         .seeds(seeds);
 
     let cells = grid.cells();
-    let results = par::map(&cells, |spec| {
+    let results = par::map(&cells, |spec| -> Result<GuardedCell, String> {
         // Plain stack, through the campaign executor.
-        let (out, report) = execute(spec, &cat).expect("run");
+        let (out, report) = execute(spec, &cat).map_err(|e| format!("cell {}: {e}", spec.index))?;
         let plain = RunRecord::from_run(spec, &out, &report);
 
         // Guarded twin: the same cell with the stack wrapped in the
         // Guardian (a driver the campaign executor cannot express).
-        let attack = spec.attack.expect("attacked grid");
+        let attack = spec
+            .attack
+            .ok_or_else(|| format!("cell {}: guardian grid must be attacked", spec.index))?;
         let stack = AdStack::new(
             run::stack_config(&scenario, controller),
             scenario.track.clone(),
@@ -60,20 +63,22 @@ fn run_scenario(kind: ScenarioKind) {
         let mut injector = attack.injector(spec.seed);
         let out = run::engine_for(&scenario, spec.seed)
             .run_with_tap(&mut guardian, &mut injector)
-            .expect("guarded run");
+            .map_err(|e| format!("guarded cell {}: {e}", spec.index))?;
         let engage_delay = match guardian.state() {
             GuardState::SafeStop { since, .. } => Some(since - attack.window.start),
             _ => None,
         };
-        GuardedCell {
+        Ok(GuardedCell {
             plain,
             guarded_worst: adassure_exp::record::worst_xtrack_after(
                 &out.trace,
                 attack.window.start,
             ),
             engage_delay,
-        }
-    });
+        })
+    })
+    .into_iter()
+    .collect::<Result<Vec<_>, _>>()?;
 
     println!(
         "\nF5: guardian mitigation (scenario `{}`, {} stack, seeds {seeds:?})",
@@ -110,4 +115,5 @@ fn run_scenario(kind: ScenarioKind) {
             }
         );
     }
+    Ok(())
 }

@@ -12,7 +12,7 @@ use adassure_exp::agg::fmt_mean_std;
 use adassure_exp::{AttackSet, Campaign, Grid};
 use adassure_scenarios::ScenarioKind;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seeds = [1u64, 2, 3];
     let grid = Grid::new()
         .scenarios([ScenarioKind::Straight, ScenarioKind::SCurve])
@@ -22,7 +22,7 @@ fn main() {
     let runs_per_cell = 2 * seeds.len();
     let report = Campaign::new("t2_detection_latency", grid)
         .run()
-        .expect("campaign");
+        .map_err(|e| format!("t2 campaign: {e}"))?;
 
     println!(
         "T2: detection rate (of {runs_per_cell} runs) and latency (s, mean±std) per attack x controller"
@@ -53,6 +53,9 @@ fn main() {
     println!(" the cross-consistency checks and surface only behaviourally, tens of");
     println!(" seconds later — the expected shape for slow-drag attacks.)");
 
-    let path = report.write_json("results").expect("write results json");
+    let path = report
+        .write_json("results")
+        .map_err(|e| format!("write results json: {e}"))?;
     eprintln!("wrote {}", path.display());
+    Ok(())
 }

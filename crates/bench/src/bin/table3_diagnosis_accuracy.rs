@@ -13,7 +13,7 @@ use adassure_exp::record::cause_of;
 use adassure_exp::{AttackSet, Campaign, Grid, RunRecord};
 use adassure_scenarios::ScenarioKind;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let seeds = [1u64, 2, 3];
     let grid = Grid::new()
         .scenarios([ScenarioKind::Straight, ScenarioKind::SCurve])
@@ -23,7 +23,7 @@ fn main() {
     let per_cell = 2 * 2 * seeds.len();
     let report = Campaign::new("t3_diagnosis_accuracy", grid)
         .run()
-        .expect("campaign");
+        .map_err(|e| format!("t3 campaign: {e}"))?;
 
     println!("T3: diagnosis accuracy per attack (over {per_cell} runs each)");
     println!("scenarios: straight + s_curve; controllers: pure_pursuit + stanley\n");
@@ -62,6 +62,9 @@ fn main() {
         percent(grand.2, grand.0)
     );
 
-    let path = report.write_json("results").expect("write results json");
+    let path = report
+        .write_json("results")
+        .map_err(|e| format!("write results json: {e}"))?;
     eprintln!("wrote {}", path.display());
+    Ok(())
 }

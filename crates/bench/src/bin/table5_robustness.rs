@@ -40,8 +40,12 @@ fn config_label(config: FaultConfig) -> String {
 /// Executes one grid cell with the guarded stack and an optionally faulty
 /// telemetry link, returning the record plus the guardian's final metrics
 /// (checker counters + mode-transition grid).
-fn run_guarded(config: FaultConfig, spec: &RunSpec) -> (RunRecord, MetricsSnapshot) {
-    let scenario = Scenario::of_kind(spec.scenario).expect("library scenario");
+fn run_guarded(
+    config: FaultConfig,
+    spec: &RunSpec,
+) -> Result<(RunRecord, MetricsSnapshot), String> {
+    let scenario =
+        Scenario::of_kind(spec.scenario).map_err(|e| format!("cell {}: {e}", spec.index))?;
     let stack_config = run::stack_config(&scenario, spec.controller).with_estimator(spec.estimator);
     let stack = AdStack::new(stack_config, scenario.track.clone());
     let mut guardian = Guardian::new(
@@ -57,12 +61,17 @@ fn run_guarded(config: FaultConfig, spec: &RunSpec) -> (RunRecord, MetricsSnapsh
     let out = match spec.attack {
         Some(attack) => {
             let mut injector = attack.injector(spec.seed);
-            engine
-                .run_with_tap(&mut guardian, &mut injector)
-                .expect("guarded run")
+            engine.run_with_tap(&mut guardian, &mut injector)
         }
-        None => engine.run(&mut guardian).expect("guarded run"),
-    };
+        None => engine.run(&mut guardian),
+    }
+    .map_err(|e| {
+        format!(
+            "guarded cell {} ({}): {e}",
+            spec.index,
+            config_label(config)
+        )
+    })?;
     let guard_state = match guardian.state() {
         GuardState::Nominal => "nominal",
         GuardState::Degraded { .. } => "degraded",
@@ -74,7 +83,7 @@ fn run_guarded(config: FaultConfig, spec: &RunSpec) -> (RunRecord, MetricsSnapsh
     record.fault = config.map(|(kind, _)| kind.name().to_owned());
     record.fault_rate = config.map(|(_, rate)| rate);
     record.guard_state = Some(guard_state.to_owned());
-    (record, metrics)
+    Ok((record, metrics))
 }
 
 /// Detection rate over attacked runs and false-alarm rate over clean runs.
@@ -97,7 +106,7 @@ fn rates(records: &[&RunRecord]) -> (f64, f64) {
     )
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::args().any(|arg| arg == "--smoke");
 
     let (scenarios, controllers, seeds): (Vec<_>, Vec<_>, Vec<u64>) = if smoke {
@@ -140,7 +149,9 @@ fn main() {
         .iter()
         .flat_map(|config| cells.iter().map(|cell| (*config, *cell)))
         .collect();
-    let outcomes = par::map(&jobs, |(config, spec)| run_guarded(*config, spec));
+    let outcomes = par::map(&jobs, |(config, spec)| run_guarded(*config, spec))
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
     // Deterministic roll-up: merge per-run metrics in job order (the same
     // order whatever ADASSURE_THREADS says) and record each detection
     // latency.
@@ -227,6 +238,9 @@ fn main() {
         summaries,
         obs: merged.summary(),
     };
-    let path = report.write_json("results").expect("write results json");
+    let path = report
+        .write_json("results")
+        .map_err(|e| format!("write results json: {e}"))?;
     println!("\nwrote {}", path.display());
+    Ok(())
 }

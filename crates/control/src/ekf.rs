@@ -84,6 +84,21 @@ pub struct Ekf {
     rejected_fixes: usize,
 }
 
+/// Plain-data snapshot of an [`Ekf`]'s mutable state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EkfState {
+    /// State vector `[x, y, θ, v]`.
+    pub state: [f64; 4],
+    /// State covariance.
+    pub covariance: [[f64; 4]; 4],
+    /// Whether the first GNSS fix has been ingested.
+    pub initialized: bool,
+    /// Magnitude of the most recent GNSS innovation (m).
+    pub last_innovation: f64,
+    /// GNSS fixes rejected by the innovation gate so far.
+    pub rejected_fixes: u64,
+}
+
 impl Ekf {
     /// Creates a filter awaiting its first GNSS fix.
     pub fn new(config: EkfConfig) -> Self {
@@ -120,6 +135,27 @@ impl Ekf {
         (self.covariance[0][0] + self.covariance[1][1])
             .max(0.0)
             .sqrt()
+    }
+
+    /// Captures the filter's mutable state (the config is not included —
+    /// restore pairs a snapshot with an identically-configured filter).
+    pub fn state(&self) -> EkfState {
+        EkfState {
+            state: self.state,
+            covariance: self.covariance,
+            initialized: self.initialized,
+            last_innovation: self.last_innovation,
+            rejected_fixes: self.rejected_fixes as u64,
+        }
+    }
+
+    /// Reinstates a state captured with [`Ekf::state`].
+    pub fn restore(&mut self, s: &EkfState) {
+        self.state = s.state;
+        self.covariance = s.covariance;
+        self.initialized = s.initialized;
+        self.last_innovation = s.last_innovation;
+        self.rejected_fixes = s.rejected_fixes as usize;
     }
 
     /// Ingests one sensor frame and returns the updated estimate.

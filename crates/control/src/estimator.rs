@@ -144,6 +144,42 @@ impl Estimator {
             yaw_rate: frame.imu_yaw_rate,
         }
     }
+
+    /// Captures the filter's mutable state (the config is not included —
+    /// restore pairs a snapshot with an identically-configured filter).
+    pub fn state(&self) -> EstimatorState {
+        EstimatorState {
+            position: self.position,
+            heading: self.heading,
+            speed: self.speed,
+            initialized: self.initialized,
+            last_innovation: self.last_innovation,
+        }
+    }
+
+    /// Reinstates a state captured with [`Estimator::state`].
+    pub fn restore(&mut self, s: &EstimatorState) {
+        self.position = s.position;
+        self.heading = s.heading;
+        self.speed = s.speed;
+        self.initialized = s.initialized;
+        self.last_innovation = s.last_innovation;
+    }
+}
+
+/// Plain-data snapshot of an [`Estimator`]'s mutable state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatorState {
+    /// Estimated position (m).
+    pub position: Vec2,
+    /// Estimated heading (rad).
+    pub heading: f64,
+    /// Estimated speed (m/s).
+    pub speed: f64,
+    /// Whether the first GNSS fix has been ingested.
+    pub initialized: bool,
+    /// Magnitude of the most recent GNSS innovation (m).
+    pub last_innovation: f64,
 }
 
 #[cfg(test)]

@@ -57,6 +57,17 @@ impl Default for LqrConfig {
     }
 }
 
+/// Plain-data snapshot of an [`Lqr`]'s mutable state. `cached_speed` may
+/// be NaN (the never-refreshed sentinel), so snapshots must round-trip
+/// NaN bit patterns exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LqrState {
+    /// Speed the cached gains were solved for (NaN = never solved).
+    pub cached_speed: f64,
+    /// Cached feedback gains `[k_e, k_θ]`.
+    pub gains: [f64; 2],
+}
+
 /// The LQR controller with speed-scheduled gains.
 #[derive(Debug, Clone)]
 pub struct Lqr {
@@ -80,6 +91,20 @@ impl Lqr {
     /// The feedback gains `[k_e, k_θ]` currently in use.
     pub fn gains(&self) -> [f64; 2] {
         self.gains
+    }
+
+    /// Captures the controller's mutable state (the gain cache).
+    pub fn state(&self) -> LqrState {
+        LqrState {
+            cached_speed: self.cached_speed,
+            gains: self.gains,
+        }
+    }
+
+    /// Reinstates a state captured with [`Lqr::state`].
+    pub fn restore(&mut self, s: &LqrState) {
+        self.cached_speed = s.cached_speed;
+        self.gains = s.gains;
     }
 
     /// Solves the DARE for speed `v` by fixed-point iteration.

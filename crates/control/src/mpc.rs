@@ -72,6 +72,17 @@ impl Default for MpcConfig {
     }
 }
 
+/// Plain-data snapshot of an [`Mpc`]'s mutable state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpcState {
+    /// The most recent optimised steering plan.
+    pub plan: Vec<f64>,
+    /// Cycles elapsed since the plan was last recomputed.
+    pub cycles_since_plan: u64,
+    /// Steering command issued last cycle (slew-limit anchor).
+    pub last_command: f64,
+}
+
 /// The MPC-lite controller.
 #[derive(Debug, Clone)]
 pub struct Mpc {
@@ -106,6 +117,22 @@ impl Mpc {
     /// The most recent optimised steering plan.
     pub fn plan(&self) -> &[f64] {
         &self.plan
+    }
+
+    /// Captures the controller's mutable state.
+    pub fn state(&self) -> MpcState {
+        MpcState {
+            plan: self.plan.clone(),
+            cycles_since_plan: self.cycles_since_plan as u64,
+            last_command: self.last_command,
+        }
+    }
+
+    /// Reinstates a state captured with [`Mpc::state`].
+    pub fn restore(&mut self, s: &MpcState) {
+        self.plan = s.plan.clone();
+        self.cycles_since_plan = s.cycles_since_plan as usize;
+        self.last_command = s.last_command;
     }
 
     /// Rollout cost of a candidate plan from the given estimate.

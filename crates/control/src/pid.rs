@@ -89,6 +89,29 @@ impl Pid {
         self.integral = 0.0;
         self.last_error = None;
     }
+
+    /// Captures the controller's mutable state.
+    pub fn state(&self) -> PidState {
+        PidState {
+            integral: self.integral,
+            last_error: self.last_error,
+        }
+    }
+
+    /// Reinstates a state captured with [`Pid::state`].
+    pub fn restore(&mut self, s: &PidState) {
+        self.integral = s.integral;
+        self.last_error = s.last_error;
+    }
+}
+
+/// Plain-data snapshot of a [`Pid`]'s mutable state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PidState {
+    /// Accumulated (clamped) error integral.
+    pub integral: f64,
+    /// Previous cycle's error, if any.
+    pub last_error: Option<f64>,
 }
 
 impl Default for Pid {

@@ -14,11 +14,11 @@ use adassure_sim::track::Track;
 use adassure_sim::vehicle::Controls;
 use adassure_trace::{well_known as sig, Trace};
 
-use crate::ekf::{Ekf, EkfConfig};
-use crate::estimator::{Estimator, EstimatorConfig};
-use crate::lqr::{Lqr, LqrConfig};
-use crate::mpc::{Mpc, MpcConfig};
-use crate::pid::{Pid, PidConfig};
+use crate::ekf::{Ekf, EkfConfig, EkfState};
+use crate::estimator::{Estimator, EstimatorConfig, EstimatorState};
+use crate::lqr::{Lqr, LqrConfig, LqrState};
+use crate::mpc::{Mpc, MpcConfig, MpcState};
+use crate::pid::{Pid, PidConfig, PidState};
 use crate::pure_pursuit::{PurePursuit, PurePursuitConfig};
 use crate::stanley::{Stanley, StanleyConfig};
 use crate::{ControllerKind, Estimate, LateralController};
@@ -188,6 +188,42 @@ impl LateralController for Lateral {
     }
 }
 
+/// Plain-data snapshot of whichever estimator family an [`AdStack`] runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnyEstimatorState {
+    /// Complementary-filter state.
+    Complementary(EstimatorState),
+    /// EKF state (plain or gated — the gate lives in the config).
+    Ekf(EkfState),
+}
+
+/// Plain-data snapshot of whichever lateral controller an [`AdStack`] runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LateralState {
+    /// Pure pursuit and Stanley carry no mutable state.
+    Stateless,
+    /// LQR gain cache.
+    Lqr(LqrState),
+    /// MPC plan and slew anchor.
+    Mpc(MpcState),
+}
+
+/// The complete mutable state of an [`AdStack`], captured between control
+/// cycles (see [`AdStack::save_state`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StackState {
+    /// Estimator internals.
+    pub estimator: AnyEstimatorState,
+    /// Lateral-controller internals.
+    pub lateral: LateralState,
+    /// Longitudinal PID internals.
+    pub pid: PidState,
+    /// Unwrapped arc-length progress of the estimated pose (m).
+    pub progress: f64,
+    /// Track station at the previous cycle, if any.
+    pub last_station: Option<f64>,
+}
+
 /// The full AD control stack (estimator + lateral + longitudinal).
 #[derive(Debug)]
 pub struct AdStack {
@@ -251,6 +287,63 @@ impl AdStack {
             target = target.min((2.0 * self.config.goal_decel * remaining).sqrt());
         }
         target
+    }
+
+    /// Captures the stack's complete mutable state as plain data — the
+    /// estimator, lateral controller and PID internals plus the progress
+    /// tracker. Restoring it into a stack built from the same
+    /// [`StackConfig`] and track resumes the control law bit-identically.
+    pub fn save_state(&self) -> StackState {
+        StackState {
+            estimator: match &self.estimator {
+                AnyEstimator::Complementary(e) => AnyEstimatorState::Complementary(e.state()),
+                AnyEstimator::Ekf(e) => AnyEstimatorState::Ekf(e.state()),
+            },
+            lateral: match &self.lateral {
+                Lateral::PurePursuit(_) | Lateral::Stanley(_) => LateralState::Stateless,
+                Lateral::Lqr(c) => LateralState::Lqr(c.state()),
+                Lateral::Mpc(c) => LateralState::Mpc(c.state()),
+            },
+            pid: self.pid.state(),
+            progress: self.progress,
+            last_station: self.last_station,
+        }
+    }
+
+    /// Reinstates a state captured with [`AdStack::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the snapshot's estimator/controller family
+    /// does not match this stack's configuration.
+    pub fn restore_state(&mut self, s: &StackState) -> Result<(), String> {
+        match (&mut self.estimator, &s.estimator) {
+            (AnyEstimator::Complementary(e), AnyEstimatorState::Complementary(snap)) => {
+                e.restore(snap);
+            }
+            (AnyEstimator::Ekf(e), AnyEstimatorState::Ekf(snap)) => e.restore(snap),
+            _ => {
+                return Err(format!(
+                    "estimator snapshot does not match the stack's {} estimator",
+                    self.config.estimator_kind
+                ))
+            }
+        }
+        match (&mut self.lateral, &s.lateral) {
+            (Lateral::PurePursuit(_) | Lateral::Stanley(_), LateralState::Stateless) => {}
+            (Lateral::Lqr(c), LateralState::Lqr(snap)) => c.restore(snap),
+            (Lateral::Mpc(c), LateralState::Mpc(snap)) => c.restore(snap),
+            _ => {
+                return Err(format!(
+                    "controller snapshot does not match the stack's {} controller",
+                    self.config.controller
+                ))
+            }
+        }
+        self.pid.restore(&s.pid);
+        self.progress = s.progress;
+        self.last_station = s.last_station;
+        Ok(())
     }
 
     fn update_progress(&mut self, station: f64) {

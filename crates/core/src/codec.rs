@@ -1,0 +1,731 @@
+//! Shared binary codec helpers for versioned checkpoint formats.
+//!
+//! Both the fleet checkpoints (`adassure-fleet`, `ADCKPT`) and the sim
+//! debug checkpoints (`adassure-debug`, `ADSIM`) serialize checker state
+//! into little-endian binary images with explicit magic/version markers.
+//! The primitives live here so the two formats share one bounds-checked
+//! cursor, one [`CheckerState`] encoding, and one typed error surface —
+//! a checkpoint written by either side decodes checker state with the
+//! exact same bit-for-bit semantics.
+//!
+//! Conventions (mirroring `.adt`/ADWIRE):
+//!
+//! - every integer and float is little-endian; floats are stored as raw
+//!   IEEE-754 bits so NaNs round-trip exactly,
+//! - variable-length strings are `u16` length + UTF-8 bytes,
+//! - repeated sections carry a `u32` count validated against the bytes
+//!   remaining, so corrupt counts cannot drive huge allocations,
+//! - decoding returns a typed [`CodecError`] instead of panicking.
+
+use adassure_obs::{AssertionStats, Histogram, Verdict, VerdictCounts};
+
+use crate::assertion::{AssertionId, Eval, Severity};
+use crate::online::{CheckerState, HealthState, MonitorSnapshot, SignalSnapshot};
+use crate::violation::Violation;
+
+/// Typed encode/decode/restore failures shared by every checkpoint
+/// format in the workspace.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Reading or writing the underlying file failed.
+    Io(std::io::Error),
+    /// The bytes are not structurally valid (bad magic, truncation,
+    /// out-of-range tags).
+    Malformed {
+        /// What was wrong.
+        message: String,
+    },
+    /// The bytes are valid but do not fit the supplied catalog, config
+    /// or layout.
+    Incompatible {
+        /// What did not line up.
+        message: String,
+    },
+    /// The state cannot be checkpointed or restored as requested.
+    Unsupported {
+        /// Which feature blocked the operation.
+        message: String,
+    },
+}
+
+impl CodecError {
+    /// A [`CodecError::Malformed`] with the given message.
+    pub fn malformed(message: impl Into<String>) -> Self {
+        CodecError::Malformed {
+            message: message.into(),
+        }
+    }
+
+    /// A [`CodecError::Incompatible`] with the given message.
+    pub fn incompatible(message: impl Into<String>) -> Self {
+        CodecError::Incompatible {
+            message: message.into(),
+        }
+    }
+
+    /// A [`CodecError::Unsupported`] with the given message.
+    pub fn unsupported(message: impl Into<String>) -> Self {
+        CodecError::Unsupported {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+            CodecError::Malformed { message } => write!(f, "malformed checkpoint: {message}"),
+            CodecError::Incompatible { message } => {
+                write!(f, "incompatible checkpoint: {message}")
+            }
+            CodecError::Unsupported { message } => {
+                write!(f, "unsupported checkpoint request: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding primitives
+// ---------------------------------------------------------------------------
+
+/// Appends a `u16` length-prefixed UTF-8 string.
+pub fn put_u16_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    debug_assert!(bytes.len() <= u16::MAX as usize, "oversized id string");
+    #[allow(clippy::cast_possible_truncation)]
+    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// Appends a presence byte followed by the raw bits when `Some`.
+pub fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        None => out.push(0),
+    }
+}
+
+/// Appends a `u32` element count (callers must keep sections under 4 G
+/// entries, which every in-memory state satisfies by construction).
+pub fn put_count(out: &mut Vec<u8>, n: usize) {
+    debug_assert!(n <= u32::MAX as usize, "oversized section");
+    #[allow(clippy::cast_possible_truncation)]
+    out.extend_from_slice(&(n as u32).to_le_bytes());
+}
+
+/// Appends a bounded-memory histogram.
+pub fn put_histogram(out: &mut Vec<u8>, h: &Histogram) {
+    out.extend_from_slice(&h.lo.to_le_bytes());
+    put_count(out, h.buckets.len());
+    for &b in &h.buckets {
+        out.extend_from_slice(&b.to_le_bytes());
+    }
+    out.extend_from_slice(&h.underflow.to_le_bytes());
+    out.extend_from_slice(&h.overflow.to_le_bytes());
+    out.extend_from_slice(&h.rejected.to_le_bytes());
+    out.extend_from_slice(&h.count.to_le_bytes());
+    out.extend_from_slice(&h.sum.to_le_bytes());
+    out.extend_from_slice(&h.max.to_le_bytes());
+}
+
+/// Appends a 3x3 transition grid.
+pub fn put_grid(out: &mut Vec<u8>, grid: &[[u64; 3]; 3]) {
+    for row in grid {
+        for &cell in row {
+            out.extend_from_slice(&cell.to_le_bytes());
+        }
+    }
+}
+
+/// The wire byte of a [`Severity`].
+pub fn severity_byte(s: Severity) -> u8 {
+    match s {
+        Severity::Info => 0,
+        Severity::Warning => 1,
+        Severity::Critical => 2,
+    }
+}
+
+/// The wire byte of a [`Verdict`].
+pub fn verdict_byte(v: Verdict) -> u8 {
+    match v {
+        Verdict::Unknown => 0,
+        Verdict::Pass => 1,
+        Verdict::Inconclusive => 2,
+        Verdict::Violated => 3,
+    }
+}
+
+/// Appends one violation episode.
+pub fn put_violation(out: &mut Vec<u8>, v: &Violation) {
+    put_u16_str(out, v.assertion.as_str());
+    out.push(severity_byte(v.severity));
+    out.extend_from_slice(&v.onset.to_le_bytes());
+    out.extend_from_slice(&v.detected.to_le_bytes());
+    out.extend_from_slice(&v.value.to_le_bytes());
+    out.extend_from_slice(&v.cycle.to_le_bytes());
+    put_opt_f64(out, v.recovered);
+}
+
+/// Appends a complete [`CheckerState`] snapshot.
+pub fn put_checker(out: &mut Vec<u8>, c: &CheckerState) {
+    out.extend_from_slice(&c.now.to_le_bytes());
+    put_count(out, c.signals.len());
+    for s in &c.signals {
+        out.push(u8::from(s.seen));
+        out.extend_from_slice(&s.time.to_le_bytes());
+        out.extend_from_slice(&s.value.to_le_bytes());
+        match s.last_step {
+            Some((delta, dt)) => {
+                out.push(1);
+                out.extend_from_slice(&delta.to_le_bytes());
+                out.extend_from_slice(&dt.to_le_bytes());
+            }
+            None => out.push(0),
+        }
+    }
+    put_count(out, c.monitors.len());
+    for m in &c.monitors {
+        match m.health {
+            HealthState::Active => out.push(0),
+            HealthState::Degraded(n) => {
+                out.push(1);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+            HealthState::Suspended => out.push(2),
+        }
+        out.extend_from_slice(&m.degraded_streak.to_le_bytes());
+        out.extend_from_slice(&m.clean_streak.to_le_bytes());
+        match m.cached {
+            None => out.push(0),
+            Some(Eval::Healthy) => out.push(1),
+            Some(Eval::Violated(v)) => {
+                out.push(2);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Some(Eval::Unknown) => out.push(3),
+            Some(Eval::Inconclusive) => out.push(4),
+        }
+        put_opt_f64(out, m.episode_start);
+        out.push(u8::from(m.alarmed_this_episode));
+        out.push(u8::from(m.ever_healthy));
+        out.push(u8::from(m.saw_first_sample));
+        match m.open_violation {
+            Some(idx) => {
+                out.push(1);
+                out.extend_from_slice(&idx.to_le_bytes());
+            }
+            None => out.push(0),
+        }
+        out.push(verdict_byte(m.last_verdict));
+    }
+    put_count(out, c.poisoned.len());
+    for &p in &c.poisoned {
+        out.push(u8::from(p));
+    }
+    out.extend_from_slice(&c.inconclusive_cycles.to_le_bytes());
+    put_opt_f64(out, c.last_cycle);
+    put_count(out, c.violations.len());
+    for v in &c.violations {
+        put_violation(out, v);
+    }
+    put_count(out, c.stats.len());
+    for s in &c.stats {
+        put_u16_str(out, &s.id);
+        for v in [
+            s.verdicts.unknown,
+            s.verdicts.pass,
+            s.verdicts.inconclusive,
+            s.verdicts.violated,
+            s.flips,
+            s.episodes,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    put_grid(out, &c.health_grid);
+    put_histogram(out, &c.eval_ns);
+    out.extend_from_slice(&c.cycles.to_le_bytes());
+    out.extend_from_slice(&c.events_emitted.to_le_bytes());
+    out.extend_from_slice(&c.run_id.to_le_bytes());
+    out.push(u8::from(c.started));
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked little-endian cursor over checkpoint bytes.
+#[derive(Debug)]
+pub struct Cur<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    /// Starts a cursor at the beginning of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Cur { bytes, pos: 0 }
+    }
+
+    /// A [`CodecError::Malformed`] (convenience for decode sites).
+    pub fn bad(message: impl Into<String>) -> CodecError {
+        CodecError::malformed(message)
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Errors unless the cursor consumed the input exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Malformed`] when trailing bytes remain.
+    pub fn expect_end(&self) -> Result<(), CodecError> {
+        if self.pos != self.bytes.len() {
+            return Err(Cur::bad(format!(
+                "{} trailing bytes after checkpoint",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+
+    /// Consumes `n` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Malformed`] on truncation.
+    pub fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CodecError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| Cur::bad(format!("truncated: {what} needs {n} bytes")))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Malformed`] on truncation.
+    pub fn u8(&mut self, what: &str) -> Result<u8, CodecError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a strict boolean byte (0 or 1).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Malformed`] on truncation or any other byte value.
+    pub fn bool(&mut self, what: &str) -> Result<bool, CodecError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(Cur::bad(format!("{what}: invalid bool byte {other}"))),
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Malformed`] on truncation.
+    pub fn u16(&mut self, what: &str) -> Result<u16, CodecError> {
+        let b = self.take(2, what)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Malformed`] on truncation.
+    pub fn u32(&mut self, what: &str) -> Result<u32, CodecError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Malformed`] on truncation.
+    pub fn u64(&mut self, what: &str) -> Result<u64, CodecError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a little-endian `usize` stored as `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Malformed`] on truncation or a value exceeding the
+    /// platform's pointer width.
+    pub fn usize64(&mut self, what: &str) -> Result<usize, CodecError> {
+        usize::try_from(self.u64(what)?)
+            .map_err(|_| Cur::bad(format!("{what}: value exceeds usize")))
+    }
+
+    /// Reads an `f64` from raw IEEE-754 bits.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Malformed`] on truncation.
+    pub fn f64(&mut self, what: &str) -> Result<f64, CodecError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Reads an optional `f64` (presence byte + bits).
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Malformed`] on truncation or an invalid presence
+    /// byte.
+    pub fn opt_f64(&mut self, what: &str) -> Result<Option<f64>, CodecError> {
+        Ok(if self.bool(what)? {
+            Some(self.f64(what)?)
+        } else {
+            None
+        })
+    }
+
+    /// Reads a `u16` length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Malformed`] on truncation or invalid UTF-8.
+    pub fn str16(&mut self, what: &str) -> Result<String, CodecError> {
+        let len = self.u16(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| Cur::bad(format!("{what}: invalid UTF-8")))
+    }
+
+    /// Length prefix for a repeated section; capped so corrupt counts
+    /// cannot drive huge allocations before the bytes run out.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Malformed`] on truncation or an impossible count.
+    pub fn count(&mut self, what: &str) -> Result<usize, CodecError> {
+        let n = self.u32(what)? as usize;
+        if n > self.bytes.len().saturating_sub(self.pos) {
+            return Err(Cur::bad(format!(
+                "{what}: count {n} exceeds the remaining {} bytes",
+                self.bytes.len() - self.pos
+            )));
+        }
+        Ok(n)
+    }
+
+    /// Reads a bounded-memory histogram.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Malformed`] on truncation or an invalid layout.
+    pub fn histogram(&mut self, what: &str) -> Result<Histogram, CodecError> {
+        let lo = self.f64(what)?;
+        if !(lo.is_finite() && lo > 0.0) {
+            return Err(Cur::bad(format!("{what}: invalid histogram lo {lo}")));
+        }
+        let buckets = self.count(what)?;
+        let mut h = Histogram::new(lo, buckets.max(1));
+        h.buckets.clear();
+        for _ in 0..buckets {
+            h.buckets.push(self.u64(what)?);
+        }
+        h.underflow = self.u64(what)?;
+        h.overflow = self.u64(what)?;
+        h.rejected = self.u64(what)?;
+        h.count = self.u64(what)?;
+        h.sum = self.f64(what)?;
+        h.max = self.f64(what)?;
+        Ok(h)
+    }
+
+    /// Reads a 3x3 transition grid.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Malformed`] on truncation.
+    pub fn grid(&mut self, what: &str) -> Result<[[u64; 3]; 3], CodecError> {
+        let mut grid = [[0u64; 3]; 3];
+        for row in &mut grid {
+            for cell in row.iter_mut() {
+                *cell = self.u64(what)?;
+            }
+        }
+        Ok(grid)
+    }
+}
+
+/// Decodes a [`Severity`] wire byte.
+///
+/// # Errors
+///
+/// [`CodecError::Malformed`] on an unknown byte.
+pub fn severity_from(b: u8) -> Result<Severity, CodecError> {
+    Ok(match b {
+        0 => Severity::Info,
+        1 => Severity::Warning,
+        2 => Severity::Critical,
+        other => return Err(Cur::bad(format!("invalid severity byte {other}"))),
+    })
+}
+
+/// Decodes a [`Verdict`] wire byte.
+///
+/// # Errors
+///
+/// [`CodecError::Malformed`] on an unknown byte.
+pub fn verdict_from(b: u8) -> Result<Verdict, CodecError> {
+    Ok(match b {
+        0 => Verdict::Unknown,
+        1 => Verdict::Pass,
+        2 => Verdict::Inconclusive,
+        3 => Verdict::Violated,
+        other => return Err(Cur::bad(format!("invalid verdict byte {other}"))),
+    })
+}
+
+/// Reads one violation episode.
+///
+/// # Errors
+///
+/// [`CodecError::Malformed`] on truncation or invalid tags.
+pub fn read_violation(c: &mut Cur<'_>) -> Result<Violation, CodecError> {
+    let assertion = AssertionId::new(c.str16("violation assertion")?);
+    let severity = severity_from(c.u8("violation severity")?)?;
+    let onset = c.f64("violation onset")?;
+    let detected = c.f64("violation detected")?;
+    let value = c.f64("violation value")?;
+    let cycle = c.u64("violation cycle")?;
+    let recovered = c.opt_f64("violation recovered")?;
+    Ok(Violation {
+        assertion,
+        severity,
+        onset,
+        detected,
+        value,
+        cycle,
+        recovered,
+    })
+}
+
+/// Reads a complete [`CheckerState`] snapshot (inverse of
+/// [`put_checker`]).
+///
+/// # Errors
+///
+/// [`CodecError::Malformed`] on truncation or invalid tags.
+pub fn read_checker(c: &mut Cur<'_>) -> Result<CheckerState, CodecError> {
+    let now = c.f64("checker now")?;
+    let signal_count = c.count("signal count")?;
+    let mut signals = Vec::with_capacity(signal_count);
+    for _ in 0..signal_count {
+        let seen = c.bool("signal seen")?;
+        let time = c.f64("signal time")?;
+        let value = c.f64("signal value")?;
+        let last_step = if c.bool("signal step flag")? {
+            Some((c.f64("signal delta")?, c.f64("signal dt")?))
+        } else {
+            None
+        };
+        signals.push(SignalSnapshot {
+            seen,
+            time,
+            value,
+            last_step,
+        });
+    }
+    let monitor_count = c.count("monitor count")?;
+    let mut monitors = Vec::with_capacity(monitor_count);
+    for _ in 0..monitor_count {
+        let health = match c.u8("monitor health")? {
+            0 => HealthState::Active,
+            1 => HealthState::Degraded(c.u32("degraded count")?),
+            2 => HealthState::Suspended,
+            other => return Err(Cur::bad(format!("invalid health tag {other}"))),
+        };
+        let degraded_streak = c.u32("degraded streak")?;
+        let clean_streak = c.u32("clean streak")?;
+        let cached = match c.u8("cached verdict tag")? {
+            0 => None,
+            1 => Some(Eval::Healthy),
+            2 => Some(Eval::Violated(c.f64("cached violated value")?)),
+            3 => Some(Eval::Unknown),
+            4 => Some(Eval::Inconclusive),
+            other => return Err(Cur::bad(format!("invalid cached verdict tag {other}"))),
+        };
+        let episode_start = c.opt_f64("episode start")?;
+        let alarmed_this_episode = c.bool("alarmed flag")?;
+        let ever_healthy = c.bool("ever-healthy flag")?;
+        let saw_first_sample = c.bool("first-sample flag")?;
+        let open_violation = if c.bool("open violation flag")? {
+            Some(c.u64("open violation index")?)
+        } else {
+            None
+        };
+        let last_verdict = verdict_from(c.u8("last verdict")?)?;
+        monitors.push(MonitorSnapshot {
+            health,
+            degraded_streak,
+            clean_streak,
+            cached,
+            episode_start,
+            alarmed_this_episode,
+            ever_healthy,
+            saw_first_sample,
+            open_violation,
+            last_verdict,
+        });
+    }
+    let poison_count = c.count("poison count")?;
+    let mut poisoned = Vec::with_capacity(poison_count);
+    for _ in 0..poison_count {
+        poisoned.push(c.bool("poison flag")?);
+    }
+    let inconclusive_cycles = c.u64("inconclusive cycles")?;
+    let last_cycle = c.opt_f64("last cycle")?;
+    let violation_count = c.count("violation count")?;
+    let mut violations = Vec::with_capacity(violation_count);
+    for _ in 0..violation_count {
+        violations.push(read_violation(c)?);
+    }
+    let stat_count = c.count("stat count")?;
+    let mut stats = Vec::with_capacity(stat_count);
+    for _ in 0..stat_count {
+        let id = c.str16("stat id")?;
+        let verdicts = VerdictCounts {
+            unknown: c.u64("stat unknown")?,
+            pass: c.u64("stat pass")?,
+            inconclusive: c.u64("stat inconclusive")?,
+            violated: c.u64("stat violated")?,
+        };
+        let flips = c.u64("stat flips")?;
+        let episodes = c.u64("stat episodes")?;
+        let mut stat = AssertionStats::new(&id);
+        stat.verdicts = verdicts;
+        stat.flips = flips;
+        stat.episodes = episodes;
+        stats.push(stat);
+    }
+    let health_grid = c.grid("health grid")?;
+    let eval_ns = c.histogram("eval histogram")?;
+    let cycles = c.u64("checker cycles")?;
+    let events_emitted = c.u64("events emitted")?;
+    let run_id = c.u64("run id")?;
+    let started = c.bool("started flag")?;
+    Ok(CheckerState {
+        now,
+        signals,
+        monitors,
+        poisoned,
+        inconclusive_cycles,
+        last_cycle,
+        violations,
+        stats,
+        health_grid,
+        eval_ns,
+        cycles,
+        events_emitted,
+        run_id,
+        started,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_round_trips_including_cycle() {
+        let v = Violation {
+            assertion: AssertionId::new("A7"),
+            severity: Severity::Critical,
+            onset: 12.5,
+            detected: 12.8,
+            value: f64::NAN,
+            cycle: 1280,
+            recovered: Some(14.0),
+        };
+        let mut bytes = Vec::new();
+        put_violation(&mut bytes, &v);
+        let mut c = Cur::new(&bytes);
+        let back = read_violation(&mut c).expect("decodes");
+        c.expect_end().expect("fully consumed");
+        assert_eq!(back.assertion, v.assertion);
+        assert_eq!(back.cycle, 1280);
+        assert_eq!(back.value.to_bits(), v.value.to_bits(), "NaN bits survive");
+        assert_eq!(back.recovered, v.recovered);
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_are_typed() {
+        let v = Violation {
+            assertion: AssertionId::new("A1"),
+            severity: Severity::Info,
+            onset: 0.0,
+            detected: 0.1,
+            value: 1.0,
+            cycle: 10,
+            recovered: None,
+        };
+        let mut bytes = Vec::new();
+        put_violation(&mut bytes, &v);
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            let mut c = Cur::new(&bytes[..cut]);
+            assert!(
+                matches!(read_violation(&mut c), Err(CodecError::Malformed { .. })),
+                "truncation at {cut} must fail"
+            );
+        }
+        let mut flipped = bytes.clone();
+        flipped[4] = 99; // severity byte (after u16 len + "A1")
+        let mut c = Cur::new(&flipped);
+        assert!(read_violation(&mut c).is_err());
+    }
+
+    #[test]
+    fn counts_are_capped_by_remaining_bytes() {
+        let mut bytes = Vec::new();
+        put_count(&mut bytes, 1000);
+        let mut c = Cur::new(&bytes);
+        assert!(matches!(
+            c.count("huge section"),
+            Err(CodecError::Malformed { .. })
+        ));
+    }
+}

@@ -1129,6 +1129,7 @@ fn run_group<const METRICS: bool>(
                             onset: cold.episode_start[l],
                             detected: now[l],
                             value: vals[l],
+                            cycle: k as u64,
                             recovered: None,
                         },
                     ));
@@ -1177,6 +1178,7 @@ fn run_group<const METRICS: bool>(
                     onset: pm.assertion.grace,
                     detected: end_time,
                     value: f64::NAN,
+                    cycle: group[l].cycle_count() as u64,
                     recovered: None,
                 });
             }

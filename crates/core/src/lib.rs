@@ -50,6 +50,7 @@
 pub mod assertion;
 pub mod catalog;
 pub mod checker;
+pub mod codec;
 pub mod compile;
 pub mod diagnosis;
 pub mod expr;
@@ -67,5 +68,5 @@ pub use online::{
     CheckerPlan, CheckerState, CycleError, HealthConfig, HealthState, MonitorPlan, MonitorSnapshot,
     OnlineChecker, RestoreError, SignalSnapshot,
 };
-pub use report::CheckReport;
+pub use report::{CheckReport, RunContext};
 pub use violation::Violation;

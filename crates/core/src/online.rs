@@ -613,6 +613,7 @@ impl OnlineChecker {
             filter,
             events_emitted,
             run_id,
+            cycles,
             ..
         } = self;
         let plan = &**plan;
@@ -751,6 +752,7 @@ impl OnlineChecker {
                             onset,
                             detected: t,
                             value,
+                            cycle: *cycles,
                             recovered: None,
                         });
                     }
@@ -853,6 +855,7 @@ impl OnlineChecker {
                     onset: mp.assertion.grace,
                     detected: end_time,
                     value: f64::NAN,
+                    cycle: self.cycles,
                     recovered: None,
                 });
             }

@@ -8,6 +8,27 @@ use serde::{Deserialize, Serialize};
 use crate::assertion::AssertionId;
 use crate::violation::Violation;
 
+/// The originating run of a report: everything a debugger or minimizer
+/// needs to re-execute the exact deterministic run that produced it.
+///
+/// The checker itself cannot know these — they describe the *producer*
+/// of the samples — so the campaign engine stamps them onto the report
+/// after checking. All fields are plain names resolvable by
+/// `adassure-exp` / `adassure-scenarios`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunContext {
+    /// Simulation seed of the run.
+    pub seed: u64,
+    /// Scenario name (e.g. `"s_curve"`).
+    pub scenario: String,
+    /// Controller name (e.g. `"stanley"`).
+    pub controller: String,
+    /// Estimator name (e.g. `"ekf"`).
+    pub estimator: String,
+    /// Attack name, or `None` for a clean run.
+    pub attack: Option<String>,
+}
+
 /// The result of checking one run against a catalog.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CheckReport {
@@ -21,6 +42,11 @@ pub struct CheckReport {
     /// [`crate::assertion::Eval::Inconclusive`] verdict (0 on healthy
     /// streams).
     pub inconclusive_cycles: u64,
+    /// The run that produced the checked samples, when the caller knows
+    /// it (the campaign engine stamps this; raw trace checks leave it
+    /// `None`). Additive JSON field: absent in old reports, `null` when
+    /// unknown.
+    pub context: Option<RunContext>,
 }
 
 impl CheckReport {
@@ -32,6 +58,7 @@ impl CheckReport {
             end_time,
             assertions_checked,
             inconclusive_cycles: 0,
+            context: None,
         }
     }
 
@@ -108,6 +135,7 @@ mod tests {
             onset: detected - 0.1,
             detected,
             value: 1.0,
+            cycle: (detected * 100.0) as u64,
             recovered: None,
         }
     }

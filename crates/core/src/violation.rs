@@ -24,6 +24,11 @@ pub struct Violation {
     /// Value of the monitored expression at the alarm instant (for
     /// freshness assertions: the observed staleness).
     pub value: f64,
+    /// Zero-based monitor-cycle index at the alarm instant — the exact
+    /// cycle a deterministic replay must reach to observe this firing
+    /// (`Eventually` violations judged at run end carry the total cycle
+    /// count, one past the last cycle).
+    pub cycle: u64,
     /// Instant the condition returned to healthy, ending the episode;
     /// `None` while the episode is still open (or the run ended inside it).
     pub recovered: Option<f64>,
@@ -63,6 +68,7 @@ mod tests {
             onset: 2.0,
             detected: 2.3,
             value: 1.8,
+            cycle: 230,
             recovered: None,
         };
         assert!((v.debounce_delay() - 0.3).abs() < 1e-12);
@@ -79,6 +85,7 @@ mod tests {
             onset: 5.0,
             detected: 5.2,
             value: 3.0,
+            cycle: 520,
             recovered: Some(9.0),
         };
         assert_eq!(v.episode_duration(), Some(4.0));

@@ -24,6 +24,7 @@ struct ReferenceChecker {
     poisoned: BTreeSet<SignalId>,
     monitors: Vec<ReferenceMonitor>,
     violations: Vec<Violation>,
+    cycles: u64,
 }
 
 struct ReferenceMonitor {
@@ -70,6 +71,7 @@ impl ReferenceChecker {
                 })
                 .collect(),
             violations: Vec::new(),
+            cycles: 0,
         }
     }
 
@@ -157,12 +159,14 @@ impl ReferenceChecker {
                             onset,
                             detected: t,
                             value,
+                            cycle: self.cycles,
                             recovered: None,
                         });
                     }
                 }
             }
         }
+        self.cycles += 1;
         self.violations.len() - before
     }
 
@@ -178,6 +182,7 @@ impl ReferenceChecker {
                     onset: monitor.assertion.grace,
                     detected: end_time,
                     value: f64::NAN,
+                    cycle: self.cycles,
                     recovered: None,
                 });
             }
@@ -201,6 +206,7 @@ fn assert_same_violations(compiled: &[Violation], reference: &[Violation]) {
             "detected differs"
         );
         assert_eq!(c.value.to_bits(), r.value.to_bits(), "value differs");
+        assert_eq!(c.cycle, r.cycle, "cycle index differs");
         assert_eq!(
             c.recovered.map(f64::to_bits),
             r.recovered.map(f64::to_bits),

@@ -1,0 +1,354 @@
+//! `addebug` — time-travel debugging CLI for ADAssure runs.
+//!
+//! ```text
+//! addebug replay   --scenario S --seed N [--controller C] [--estimator E] \
+//!                  [--attack a,b,...] --cycle K [--interval N]
+//! addebug replay   --repro FILE --cycle K [--interval N]
+//! addebug minimize --scenario S --seed N [--controller C] [--estimator E] \
+//!                  --attack a,b,... --out FILE [--assertion ID] [--max-runs N]
+//! addebug rerun    FILE
+//! ```
+//!
+//! `replay` re-executes the run deterministically to cycle `K` (restoring
+//! the nearest checkpoint for backward jumps) and dumps signals,
+//! per-assertion verdicts/health, compiled-expression values and the
+//! violations so far. `minimize` shrinks the attack timeline to a
+//! 1-minimal repro and writes it as a self-contained JSON case. `rerun`
+//! re-executes such a case and verifies it still reproduces.
+
+use std::process::ExitCode;
+
+use adassure_attacks::campaign::{extended_attacks, AttackSpec};
+use adassure_attacks::AttackTimeline;
+use adassure_control::pipeline::EstimatorKind;
+use adassure_control::ControllerKind;
+use adassure_core::HealthState;
+use adassure_debug::{minimize, DebugSession, DebugSpec, MinimizeConfig, StateDump};
+use adassure_exp::rerun::{reproduces, run_repro};
+use adassure_scenarios::{ReproCase, Scenario, ScenarioKind};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("addebug: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    match args.first().map(String::as_str) {
+        Some("replay") => replay(&args[1..]),
+        Some("minimize") => cmd_minimize(&args[1..]),
+        Some("rerun") => rerun(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n{USAGE}")),
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  addebug replay   --scenario S --seed N [--controller C] [--estimator E] \\
+                   [--attack a,b,...] --cycle K [--interval N]
+  addebug replay   --repro FILE --cycle K [--interval N]
+  addebug minimize --scenario S --seed N [--controller C] [--estimator E] \\
+                   --attack a,b,... --out FILE [--assertion ID] [--max-runs N]
+  addebug rerun    FILE
+
+--controller defaults to pure_pursuit, --estimator to complementary.
+";
+
+/// Flag parser shared by `replay` and `minimize`: collects `--flag value`
+/// pairs, rejecting anything unknown.
+struct Flags {
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String], allowed: &[&str]) -> Result<Flags, String> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            if !allowed.contains(&flag.as_str()) {
+                return Err(format!("unknown flag {flag:?}\n{USAGE}"));
+            }
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag {flag} needs a value"))?;
+            pairs.push((flag.clone(), value.clone()));
+        }
+        Ok(Flags { pairs })
+    }
+
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .find(|(f, _)| f == flag)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn require(&self, flag: &str) -> Result<&str, String> {
+        self.get(flag).ok_or_else(|| format!("missing {flag}"))
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, String> {
+        match self.get(flag) {
+            None => Ok(None),
+            Some(raw) => raw
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("{flag}: cannot parse {raw:?}")),
+        }
+    }
+}
+
+fn find_by_name<T: Copy>(
+    what: &str,
+    name: &str,
+    all: impl IntoIterator<Item = T>,
+    name_of: impl Fn(T) -> &'static str,
+) -> Result<T, String> {
+    let mut names = Vec::new();
+    for item in all {
+        if name_of(item) == name {
+            return Ok(item);
+        }
+        names.push(name_of(item));
+    }
+    Err(format!(
+        "unknown {what} {name:?}; expected one of: {}",
+        names.join(", ")
+    ))
+}
+
+/// Resolves a comma-separated attack name list against the extended
+/// catalog for the scenario (standard magnitudes and windows).
+fn parse_timeline(names: Option<&str>, scenario: &Scenario) -> Result<AttackTimeline, String> {
+    let Some(names) = names else {
+        return Ok(AttackTimeline::new([]));
+    };
+    let catalog = extended_attacks(scenario.attack_start);
+    let mut entries: Vec<AttackSpec> = Vec::new();
+    for name in names.split(',').filter(|s| !s.is_empty()) {
+        let spec = catalog.iter().find(|s| s.name() == name).ok_or_else(|| {
+            let known: Vec<&str> = catalog.iter().map(AttackSpec::name).collect();
+            format!(
+                "unknown attack {name:?}; expected one of: {}",
+                known.join(", ")
+            )
+        })?;
+        entries.push(*spec);
+    }
+    Ok(AttackTimeline::new(entries))
+}
+
+/// Builds the `DebugSpec` from flags — either `--repro FILE` or the
+/// explicit `--scenario/--controller/--estimator/--seed/--attack` set.
+fn spec_from_flags(flags: &Flags) -> Result<DebugSpec, String> {
+    if let Some(path) = flags.get("--repro") {
+        let case = ReproCase::load(path).map_err(|e| e.to_string())?;
+        return Ok(DebugSpec::from_repro(&case));
+    }
+    let scenario = find_by_name(
+        "scenario",
+        flags.require("--scenario")?,
+        ScenarioKind::ALL,
+        ScenarioKind::name,
+    )?;
+    let controller = find_by_name(
+        "controller",
+        flags.get("--controller").unwrap_or("pure_pursuit"),
+        ControllerKind::ALL,
+        ControllerKind::name,
+    )?;
+    let estimator = find_by_name(
+        "estimator",
+        flags.get("--estimator").unwrap_or("complementary"),
+        EstimatorKind::ALL,
+        EstimatorKind::name,
+    )?;
+    let seed = flags
+        .parsed::<u64>("--seed")?
+        .ok_or_else(|| "missing --seed".to_owned())?;
+    let full = Scenario::of_kind(scenario).map_err(|e| e.to_string())?;
+    let timeline = parse_timeline(flags.get("--attack"), &full)?;
+    Ok(DebugSpec {
+        scenario,
+        controller,
+        estimator,
+        seed,
+        timeline,
+    })
+}
+
+fn replay(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "--scenario",
+            "--controller",
+            "--estimator",
+            "--seed",
+            "--attack",
+            "--repro",
+            "--cycle",
+            "--interval",
+        ],
+    )?;
+    let spec = spec_from_flags(&flags)?;
+    let cycle = flags
+        .parsed::<u64>("--cycle")?
+        .ok_or_else(|| "missing --cycle".to_owned())?;
+    let interval = flags.parsed::<u64>("--interval")?.unwrap_or(500);
+    let mut session = DebugSession::new(&spec, interval).map_err(|e| e.to_string())?;
+    session.run_to(cycle).map_err(|e| e.to_string())?;
+    print_dump(&spec, &session.inspect(), session.checkpoints().len());
+    Ok(ExitCode::SUCCESS)
+}
+
+fn print_dump(spec: &DebugSpec, dump: &StateDump, checkpoints: usize) {
+    let ctx = spec.context();
+    println!(
+        "run: {} / {} / {}  seed {}  attack {}",
+        ctx.scenario,
+        ctx.controller,
+        ctx.estimator,
+        ctx.seed,
+        ctx.attack.as_deref().unwrap_or("none"),
+    );
+    println!(
+        "paused at cycle {} (t = {:.2} s), {checkpoints} checkpoint(s) captured",
+        dump.cycle, dump.time
+    );
+    let v = &dump.vehicle;
+    println!(
+        "vehicle: x={:.3} y={:.3} heading={:.4} speed={:.3} lateral_speed={:.4} yaw_rate={:.4}",
+        v.position.x, v.position.y, v.heading, v.speed, v.lateral_speed, v.yaw_rate
+    );
+    println!("signals ({}):", dump.signals.len());
+    for s in &dump.signals {
+        println!("  {:<24} t={:<8.2} {:+.6}", s.name, s.time, s.value);
+    }
+    println!("assertions ({}):", dump.assertions.len());
+    for a in &dump.assertions {
+        let value = a
+            .value
+            .map_or_else(|| "-".to_owned(), |x| format!("{x:+.6}"));
+        let health = match a.health {
+            HealthState::Active => "active".to_owned(),
+            HealthState::Degraded(n) => format!("degraded({n})"),
+            HealthState::Suspended => "suspended".to_owned(),
+        };
+        println!(
+            "  {:<6} {:<12} {:<12} value={:<14} {}",
+            a.id,
+            a.verdict.name(),
+            health,
+            value,
+            a.description
+        );
+    }
+    if dump.violations.is_empty() {
+        println!("violations so far: none");
+    } else {
+        println!("violations so far ({}):", dump.violations.len());
+        for v in &dump.violations {
+            println!(
+                "  {:<6} cycle {:<7} onset {:.2} s detected {:.2} s value {:+.4}",
+                v.assertion.as_str(),
+                v.cycle,
+                v.onset,
+                v.detected,
+                v.value
+            );
+        }
+    }
+}
+
+fn cmd_minimize(args: &[String]) -> Result<ExitCode, String> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "--scenario",
+            "--controller",
+            "--estimator",
+            "--seed",
+            "--attack",
+            "--repro",
+            "--out",
+            "--assertion",
+            "--max-runs",
+        ],
+    )?;
+    let spec = spec_from_flags(&flags)?;
+    let out = flags.require("--out")?.to_owned();
+    let mut config = MinimizeConfig::default();
+    if let Some(max_runs) = flags.parsed::<usize>("--max-runs")? {
+        config.max_runs = max_runs;
+    }
+    let minimized = match flags.get("--assertion") {
+        Some(id) => adassure_debug::minimize::minimize_target(&spec, Some(id), &config),
+        None => minimize(&spec, &config),
+    }
+    .map_err(|e| e.to_string())?;
+    let case = &minimized.case;
+    println!(
+        "minimized in {} run(s): {} -> {} attack entr{}",
+        minimized.runs,
+        minimized.original_entries,
+        case.timeline.len(),
+        if case.timeline.len() == 1 { "y" } else { "ies" },
+    );
+    for entry in &case.timeline.entries {
+        let end = if entry.window.end.is_finite() {
+            format!("{:.2}", entry.window.end)
+        } else {
+            "open".to_owned()
+        };
+        println!(
+            "  {:<16} window [{:.2} s, {end} s)  {:?}",
+            entry.name(),
+            entry.window.start,
+            entry.kind
+        );
+    }
+    println!(
+        "reproduces {} at cycle {}",
+        case.expect.assertion, case.expect.cycle
+    );
+    case.write(&out).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn rerun(args: &[String]) -> Result<ExitCode, String> {
+    let [path] = args else {
+        return Err(format!("rerun takes exactly one file argument\n{USAGE}"));
+    };
+    let case = ReproCase::load(path).map_err(|e| e.to_string())?;
+    let (_, report) = run_repro(&case).map_err(|e| e.to_string())?;
+    println!("case: {}", case.description);
+    if reproduces(&case, &report) {
+        let v = report
+            .violations_of(&case.expect.assertion)
+            .next()
+            .ok_or_else(|| "violation vanished between check and print".to_owned())?;
+        println!(
+            "reproduced: {} fired at cycle {} (expected cycle {}), onset {:.2} s, value {:+.4}",
+            case.expect.assertion, v.cycle, case.expect.cycle, v.onset, v.value
+        );
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!(
+            "NOT reproduced: {} did not fire ({} other violation(s))",
+            case.expect.assertion,
+            report.violations.len()
+        );
+        Ok(ExitCode::from(2))
+    }
+}

@@ -1,0 +1,435 @@
+//! Automatic minimal repro: shrinks a violating attack timeline to a
+//! 1-minimal, tight-windowed, small-magnitude repro case.
+//!
+//! The minimizer treats the run as a black-box oracle — "does this
+//! candidate timeline still fire the target assertion?" — and applies
+//! three shrinking phases, each preserving the invariant that the current
+//! timeline has been *verified to fire* by an actual re-execution:
+//!
+//! 1. **Entry ddmin** — classic delta debugging over the timeline's
+//!    entries (subsets, then complements, with granularity doubling).
+//!    Terminating at granularity `n == len` tests every singleton and
+//!    every leave-one-out split, so the surviving entry set is 1-minimal:
+//!    dropping any single entry stops the violation.
+//! 2. **Window narrowing** — per entry, binary-searches the latest
+//!    activation and earliest deactivation that still fire, to
+//!    [`MinimizeConfig::time_tolerance`] seconds.
+//! 3. **Magnitude shrinking** — per entry, bisects the smallest scale
+//!    factor in `(0, 1]` of the attack magnitude that still fires, to
+//!    [`MinimizeConfig::scale_tolerance`] (magnitude-free attacks are
+//!    skipped).
+//!
+//! A final re-execution verifies the result and stamps the expectation
+//! (assertion id + detection cycle), producing a self-contained
+//! [`ReproCase`] that `adassure_exp::rerun::run_repro` — and the `addebug
+//! rerun` command — replays bit-identically.
+
+use adassure_attacks::{AttackTimeline, Window};
+use adassure_core::CheckReport;
+use adassure_exp::rerun::run_repro;
+use adassure_scenarios::{ReproCase, ReproExpectation, Scenario};
+
+use crate::session::DebugSpec;
+use crate::DebugError;
+
+/// Tuning knobs for [`minimize`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MinimizeConfig {
+    /// Hard cap on oracle re-executions across all shrinking phases (the
+    /// initial and final verification runs are always performed). When the
+    /// budget runs out, shrinking stops early at the last verified
+    /// timeline — the result still reproduces, it just may not be fully
+    /// tightened.
+    pub max_runs: usize,
+    /// Window-narrowing resolution (s).
+    pub time_tolerance: f64,
+    /// Magnitude-shrinking resolution (relative scale factor).
+    pub scale_tolerance: f64,
+}
+
+impl Default for MinimizeConfig {
+    fn default() -> Self {
+        MinimizeConfig {
+            max_runs: 120,
+            time_tolerance: 0.25,
+            scale_tolerance: 0.05,
+        }
+    }
+}
+
+/// The outcome of [`minimize`]: a verified, self-contained repro.
+#[derive(Debug, Clone)]
+pub struct Minimized {
+    /// The minimized, re-verified repro case (timeline + expectation).
+    pub case: ReproCase,
+    /// The report of the final verification run of `case`.
+    pub report: CheckReport,
+    /// Total re-executions spent (including the initial and final runs).
+    pub runs: usize,
+    /// Entry count of the timeline before minimization.
+    pub original_entries: usize,
+}
+
+/// The re-execution oracle: runs a candidate timeline through the
+/// campaign plumbing and asks whether the target assertion still fires.
+struct Oracle<'a> {
+    spec: &'a DebugSpec,
+    target: String,
+    runs: usize,
+    max_runs: usize,
+}
+
+impl Oracle<'_> {
+    /// Whether the exploration budget allows another probe.
+    fn remaining(&self) -> bool {
+        self.runs < self.max_runs
+    }
+
+    /// Re-executes `timeline` and reports the full check report.
+    fn execute(&mut self, timeline: &AttackTimeline) -> Result<CheckReport, DebugError> {
+        self.runs += 1;
+        let case = self.spec.repro_case(
+            "minimizer probe",
+            timeline.clone(),
+            ReproExpectation {
+                assertion: self.target.clone(),
+                cycle: 0,
+            },
+        );
+        let (_, report) = run_repro(&case)?;
+        Ok(report)
+    }
+
+    /// Whether `timeline` still fires the target assertion.
+    fn fires(&mut self, timeline: &AttackTimeline) -> Result<bool, DebugError> {
+        let report = self.execute(timeline)?;
+        let fired = report.violations_of(&self.target).next().is_some();
+        Ok(fired)
+    }
+}
+
+/// Minimizes `spec`'s timeline against the *first* violation its run
+/// raises. See the module docs for the phases.
+///
+/// # Errors
+///
+/// [`DebugError::NoViolation`] when the run raises no violation at all,
+/// plus simulator errors from re-execution.
+pub fn minimize(spec: &DebugSpec, config: &MinimizeConfig) -> Result<Minimized, DebugError> {
+    minimize_target(spec, None, config)
+}
+
+/// [`minimize`], but targeting a specific assertion id (`None` = the
+/// first violation of the initial run).
+///
+/// # Errors
+///
+/// [`DebugError::NoViolation`] when the targeted assertion (or, for
+/// `None`, any assertion) does not fire on the unminimized run.
+pub fn minimize_target(
+    spec: &DebugSpec,
+    target: Option<&str>,
+    config: &MinimizeConfig,
+) -> Result<Minimized, DebugError> {
+    // Initial run: establish the target and verify the full timeline fires.
+    let mut oracle = Oracle {
+        spec,
+        target: target.unwrap_or_default().to_owned(),
+        runs: 0,
+        max_runs: usize::MAX,
+    };
+    let initial = oracle.execute(&spec.timeline)?;
+    let target = match target {
+        Some(id) => {
+            if initial.violations_of(id).next().is_none() {
+                return Err(DebugError::NoViolation);
+            }
+            id.to_owned()
+        }
+        None => match initial.violations.first() {
+            Some(v) => v.assertion.as_str().to_owned(),
+            None => return Err(DebugError::NoViolation),
+        },
+    };
+    oracle.target = target;
+    oracle.max_runs = oracle.runs + config.max_runs;
+
+    let duration = Scenario::of_kind(spec.scenario)?.duration;
+    let mut current = ddmin_entries(&mut oracle, &spec.timeline)?;
+    current = narrow_windows(&mut oracle, current, duration, config.time_tolerance)?;
+    current = shrink_magnitudes(&mut oracle, current, config.scale_tolerance)?;
+
+    // Final verification run (outside the exploration budget): every
+    // accepted move was itself a firing run, so this must fire too.
+    oracle.max_runs = usize::MAX;
+    let report = oracle.execute(&current)?;
+    let first = report
+        .violations_of(&oracle.target)
+        .next()
+        .ok_or_else(|| {
+            DebugError::Checker(format!(
+                "minimized timeline no longer fires {} on re-verification",
+                oracle.target
+            ))
+        })?
+        .clone();
+    let case = spec.repro_case(
+        format!(
+            "minimized {} violation: {} of {} attack entries, seed {}",
+            oracle.target,
+            current.len(),
+            spec.timeline.len(),
+            spec.seed
+        ),
+        current,
+        ReproExpectation {
+            assertion: oracle.target.clone(),
+            cycle: first.cycle,
+        },
+    );
+    Ok(Minimized {
+        case,
+        report,
+        runs: oracle.runs,
+        original_entries: spec.timeline.len(),
+    })
+}
+
+/// Splits `0..len` into `n` contiguous chunks of near-equal size.
+fn chunk_indices(len: usize, n: usize) -> Vec<Vec<usize>> {
+    let mut chunks = Vec::with_capacity(n);
+    let base = len / n;
+    let extra = len % n;
+    let mut next = 0;
+    for i in 0..n {
+        let size = base + usize::from(i < extra);
+        chunks.push((next..next + size).collect());
+        next += size;
+    }
+    chunks
+}
+
+/// Phase 1: classic ddmin over timeline entries. Returns a verified-firing
+/// timeline that (budget permitting) is 1-minimal in its entry set.
+fn ddmin_entries(
+    oracle: &mut Oracle<'_>,
+    timeline: &AttackTimeline,
+) -> Result<AttackTimeline, DebugError> {
+    let mut current = timeline.clone();
+    let mut n = 2usize;
+    while current.len() >= 2 && oracle.remaining() {
+        let len = current.len();
+        let n_eff = n.min(len);
+        let chunks = chunk_indices(len, n_eff);
+        let mut reduced = None;
+        // Try each chunk alone ("reduce to subset").
+        for chunk in &chunks {
+            if !oracle.remaining() {
+                break;
+            }
+            let candidate = current.subset(chunk);
+            if oracle.fires(&candidate)? {
+                reduced = Some((candidate, 2));
+                break;
+            }
+        }
+        // Try dropping each chunk ("reduce to complement"); at n == 2 the
+        // complements are the subsets just tried, so skip.
+        if reduced.is_none() && n_eff > 2 {
+            for chunk in &chunks {
+                if !oracle.remaining() {
+                    break;
+                }
+                let complement: Vec<usize> = (0..len).filter(|i| !chunk.contains(i)).collect();
+                let candidate = current.subset(&complement);
+                if oracle.fires(&candidate)? {
+                    reduced = Some((candidate, (n_eff - 1).max(2)));
+                    break;
+                }
+            }
+        }
+        match reduced {
+            Some((candidate, next_n)) => {
+                current = candidate;
+                n = next_n;
+            }
+            None => {
+                if n_eff >= len {
+                    break; // every singleton and leave-one-out failed: 1-minimal
+                }
+                n = (n_eff * 2).min(len);
+            }
+        }
+    }
+    Ok(current)
+}
+
+/// Phase 2: per entry, binary-search the latest start and earliest end
+/// that still fire. Open-ended windows are first clamped to the run
+/// duration (kept open if the clamp stops the violation — the tail past
+/// the run's end is unobservable anyway, but we never keep an unverified
+/// edit).
+fn narrow_windows(
+    oracle: &mut Oracle<'_>,
+    mut current: AttackTimeline,
+    duration: f64,
+    tolerance: f64,
+) -> Result<AttackTimeline, DebugError> {
+    for i in 0..current.len() {
+        // Latest activation that still fires. Invariant: `lo` fires.
+        let window = current.entries[i].window;
+        let end_bound = if window.end.is_finite() {
+            window.end.min(duration)
+        } else {
+            duration
+        };
+        let mut lo = window.start;
+        let mut hi = end_bound;
+        while hi - lo > tolerance && oracle.remaining() {
+            let mid = 0.5 * (lo + hi);
+            let candidate = current.with_window(i, Window::new(mid, window.end));
+            if oracle.fires(&candidate)? {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        if lo > window.start {
+            current = current.with_window(i, Window::new(lo, window.end));
+        }
+
+        // Earliest deactivation that still fires. Invariant: `hi` fires.
+        let window = current.entries[i].window;
+        let mut hi = if window.end.is_finite() {
+            window.end
+        } else {
+            let clamped = current.with_window(i, Window::new(window.start, duration));
+            if oracle.remaining() && oracle.fires(&clamped)? {
+                current = clamped;
+                duration
+            } else {
+                continue;
+            }
+        };
+        let mut lo = window.start;
+        while hi - lo > tolerance && oracle.remaining() {
+            let mid = 0.5 * (lo + hi);
+            let candidate = current.with_window(i, Window::new(window.start, mid));
+            if oracle.fires(&candidate)? {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        current = current.with_window(i, Window::new(window.start, hi));
+    }
+    Ok(current)
+}
+
+/// Phase 3: per entry, bisect the smallest magnitude scale factor in
+/// `(0, 1]` that still fires. Invariant: `hi` fires.
+fn shrink_magnitudes(
+    oracle: &mut Oracle<'_>,
+    mut current: AttackTimeline,
+    tolerance: f64,
+) -> Result<AttackTimeline, DebugError> {
+    for i in 0..current.len() {
+        if current.with_scaled(i, 0.5) == current {
+            continue; // magnitude-free attack: scaling is a no-op
+        }
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        while hi - lo > tolerance && oracle.remaining() {
+            let mid = 0.5 * (lo + hi);
+            let candidate = current.with_scaled(i, mid);
+            if oracle.fires(&candidate)? {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        if hi < 1.0 {
+            current = current.with_scaled(i, hi);
+        }
+    }
+    Ok(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adassure_attacks::campaign::AttackSpec;
+    use adassure_attacks::AttackKind;
+    use adassure_exp::grid::{AttackSet, Grid};
+    use adassure_exp::rerun::{reproduces, run_repro};
+    use adassure_sim::geometry::Vec2;
+
+    /// A known-violating campaign cell: the first standard-attack cell
+    /// (gnss_bias on the straight) with seed 1.
+    fn violating_spec() -> DebugSpec {
+        let grid = Grid::new().attacks(AttackSet::Standard).seeds([1]);
+        DebugSpec::from_run_spec(&grid.cells()[0])
+    }
+
+    #[test]
+    fn chunking_covers_all_indices() {
+        for len in 1..8 {
+            for n in 1..=len {
+                let chunks = chunk_indices(len, n);
+                assert_eq!(chunks.len(), n);
+                let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+                assert_eq!(flat, (0..len).collect::<Vec<_>>(), "len {len} n {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn clean_run_has_nothing_to_minimize() {
+        let mut spec = violating_spec();
+        spec.timeline = AttackTimeline::new([]);
+        assert!(matches!(
+            minimize(&spec, &MinimizeConfig::default()),
+            Err(DebugError::NoViolation)
+        ));
+    }
+
+    #[test]
+    fn minimizer_drops_a_decoy_entry_and_verifies() {
+        // The real attack plus a decoy that never activates (window opens
+        // after the run ends): the minimizer must shed the decoy.
+        let mut spec = violating_spec();
+        let decoy = AttackSpec::new(
+            AttackKind::GnssBias {
+                offset: Vec2::new(50.0, 50.0),
+            },
+            Window::from_start(1.0e6),
+        );
+        spec.timeline = AttackTimeline::new([spec.timeline.entries[0], decoy]);
+        let config = MinimizeConfig {
+            max_runs: 40,
+            ..MinimizeConfig::default()
+        };
+        let minimized = minimize(&spec, &config).expect("minimization must succeed");
+        assert_eq!(minimized.original_entries, 2);
+        assert_eq!(
+            minimized.case.timeline.len(),
+            1,
+            "decoy entry must be dropped"
+        );
+        assert_ne!(
+            minimized.case.timeline.entries[0].kind, decoy.kind,
+            "the surviving entry is the real attack"
+        );
+        assert!(reproduces(&minimized.case, &minimized.report));
+
+        // The emitted case is self-contained: an independent re-execution
+        // through the campaign plumbing fires the expected assertion at
+        // the expected cycle.
+        let (_, report) = run_repro(&minimized.case).unwrap();
+        let v = report
+            .violations_of(&minimized.case.expect.assertion)
+            .next()
+            .expect("repro case must still fire");
+        assert_eq!(v.cycle, minimized.case.expect.cycle);
+    }
+}

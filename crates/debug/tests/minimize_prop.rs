@@ -1,0 +1,106 @@
+//! Property pins for the minimizer: across seeded random compound
+//! timelines, the minimized repro (a) still fires the same assertion on
+//! independent re-execution, and (b) is 1-minimal — dropping any single
+//! surviving entry stops the violation.
+
+use adassure_attacks::campaign::{extended_attacks, AttackSpec};
+use adassure_attacks::{AttackKind, AttackTimeline, Window};
+use adassure_control::pipeline::EstimatorKind;
+use adassure_control::ControllerKind;
+use adassure_debug::{minimize, DebugError, DebugSpec, MinimizeConfig};
+use adassure_exp::rerun::{reproduces, run_repro};
+use adassure_scenarios::{ReproCase, Scenario, ScenarioKind};
+use adassure_sim::geometry::Vec2;
+use proptest::prelude::*;
+
+/// Decoy entries that cannot cause a violation on their own: inactive
+/// (window opens after the run ends) or negligible in magnitude.
+fn decoy(index: usize) -> AttackSpec {
+    match index {
+        0 => AttackSpec::new(
+            AttackKind::GnssBias {
+                offset: Vec2::new(40.0, 40.0),
+            },
+            Window::from_start(1.0e6),
+        ),
+        1 => AttackSpec::new(AttackKind::ImuYawBias { bias: 1.0e-7 }, Window::always()),
+        _ => AttackSpec::new(
+            AttackKind::GnssNoise { std_dev: 1.0e-6 },
+            Window::from_start(5.0),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn minimized_repro_fires_and_is_one_minimal(
+        seed in 1u64..12,
+        decoy_index in 0usize..3,
+        decoy_first in any::<bool>(),
+    ) {
+        let scenario = Scenario::of_kind(ScenarioKind::Straight).expect("standard scenario");
+        let real = extended_attacks(scenario.attack_start)
+            .into_iter()
+            .find(|s| s.name() == "gnss_bias")
+            .expect("catalog has gnss_bias");
+        let decoy = decoy(decoy_index);
+        let entries = if decoy_first {
+            [decoy, real]
+        } else {
+            [real, decoy]
+        };
+        let spec = DebugSpec {
+            scenario: ScenarioKind::Straight,
+            controller: ControllerKind::PurePursuit,
+            estimator: EstimatorKind::Complementary,
+            seed,
+            timeline: AttackTimeline::new(entries),
+        };
+        // Loose tolerances keep the oracle-run count small: the property
+        // under test is minimality/reproduction, not tightness.
+        let config = MinimizeConfig {
+            max_runs: 30,
+            time_tolerance: 2.0,
+            scale_tolerance: 0.25,
+        };
+        let minimized = match minimize(&spec, &config) {
+            Ok(m) => m,
+            // This seed's compound run happens not to violate at all —
+            // nothing to minimize, nothing to assert.
+            Err(DebugError::NoViolation) => return,
+            Err(other) => panic!("minimize failed: {other}"),
+        };
+
+        // (a) The emitted case is self-contained and still fires the same
+        // assertion on an independent re-execution, at the stamped cycle.
+        let (_, report) = run_repro(&minimized.case).expect("repro run");
+        prop_assert!(reproduces(&minimized.case, &report), "repro case no longer fires");
+        let first = report
+            .violations_of(&minimized.case.expect.assertion)
+            .next()
+            .expect("reproduces() implies a violation");
+        prop_assert_eq!(first.cycle, minimized.case.expect.cycle, "detection cycle moved");
+
+        // (b) 1-minimality: dropping any single surviving entry stops the
+        // violation.
+        let len = minimized.case.timeline.len();
+        prop_assert!(len >= 1);
+        for drop in 0..len {
+            let keep: Vec<usize> = (0..len).filter(|&i| i != drop).collect();
+            let smaller = ReproCase {
+                timeline: minimized.case.timeline.subset(&keep),
+                ..minimized.case.clone()
+            };
+            let (_, smaller_report) = run_repro(&smaller).expect("leave-one-out run");
+            prop_assert!(
+                smaller_report
+                    .violations_of(&minimized.case.expect.assertion)
+                    .next()
+                    .is_none(),
+                "timeline is not 1-minimal: entry {drop} of {len} is droppable"
+            );
+        }
+    }
+}

@@ -84,8 +84,9 @@ pub fn execute_observed(
     sink: Box<dyn EventSink>,
 ) -> Result<ObservedRun, SimError> {
     let output = simulate(spec)?;
-    let (report, metrics, sink) =
+    let (mut report, metrics, sink) =
         checker::check_observed(cat, &output.trace, spec.index as u64, obs, sink);
+    report.context = Some(spec.context());
     Ok((output, report, metrics, sink))
 }
 
@@ -317,7 +318,8 @@ impl<'a> Campaign<'a> {
         let mut merged = MetricsSnapshot::empty();
         let mut runs: Vec<RunRecord> = Vec::with_capacity(cells.len());
         for ((spec, output), slot) in cells.iter().zip(&sim_outputs).zip(per_cell) {
-            let (report, metrics) = slot.expect("every cell checked in exactly one lane group");
+            let (mut report, metrics) = slot.expect("every cell checked in exactly one lane group");
+            report.context = Some(spec.context());
             merged.merge(&metrics);
             let record = RunRecord::from_run(spec, output, &report);
             if let Some(latency) = record.detection_latency {

@@ -66,6 +66,18 @@ impl RunSpec {
     pub fn alarm_start(&self) -> f64 {
         self.attack.map_or(0.0, |a| a.window.start)
     }
+
+    /// The run context stamped onto this cell's [`adassure_core::CheckReport`]:
+    /// the names + seed a debugger needs to re-execute the identical run.
+    pub fn context(&self) -> adassure_core::RunContext {
+        adassure_core::RunContext {
+            seed: self.seed,
+            scenario: self.scenario.name().to_owned(),
+            controller: self.controller.name().to_owned(),
+            estimator: self.estimator.name().to_owned(),
+            attack: self.attack.map(|a| a.name().to_owned()),
+        }
+    }
 }
 
 /// A declarative sweep over the experiment axes.

@@ -48,6 +48,7 @@ pub mod check;
 pub mod grid;
 pub mod par;
 pub mod record;
+pub mod rerun;
 pub mod runtime;
 
 pub use campaign::Campaign;

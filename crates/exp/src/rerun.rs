@@ -1,0 +1,218 @@
+//! Re-execution hooks: from a stored result back to the identical run.
+//!
+//! Campaign artifacts are debugging entry points: a [`RunRecord`] names
+//! the cell that misbehaved, and a [`ReproCase`] is a minimized violation
+//! emitted by the `adassure-debug` minimizer. Both re-execute through the
+//! exact same plumbing ([`crate::campaign::execute`] /
+//! [`adassure_core::checker::check`]) as the original campaign, so a rerun
+//! reproduces the original verdicts bit for bit.
+
+use std::fmt;
+
+use adassure_attacks::campaign::extended_attacks;
+use adassure_control::pipeline::EstimatorKind;
+use adassure_control::ControllerKind;
+use adassure_core::{checker, CheckReport, RunContext};
+use adassure_scenarios::{ReproCase, Scenario, ScenarioKind};
+use adassure_sim::engine::SimOutput;
+use adassure_sim::SimError;
+
+use crate::campaign::{execute, standard_catalog};
+use crate::grid::RunSpec;
+use crate::record::RunRecord;
+
+/// Failure reconstructing or re-executing a stored run.
+#[derive(Debug)]
+pub enum RerunError {
+    /// A name in the record does not match any known scenario, controller,
+    /// estimator or catalog attack.
+    UnknownName(String),
+    /// The reconstructed run failed in the simulator.
+    Sim(SimError),
+}
+
+impl fmt::Display for RerunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RerunError::UnknownName(what) => write!(f, "rerun: unknown {what}"),
+            RerunError::Sim(err) => write!(f, "rerun: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for RerunError {}
+
+impl From<SimError> for RerunError {
+    fn from(err: SimError) -> Self {
+        RerunError::Sim(err)
+    }
+}
+
+/// Reconstructs the [`RunSpec`] of a campaign cell from its record — the
+/// names and seed stored in every `results/<name>.json` are enough to
+/// rebuild the exact grid cell.
+///
+/// # Errors
+///
+/// Returns [`RerunError::UnknownName`] when a stored name matches no known
+/// kind (a record from an incompatible version).
+pub fn respec(record: &RunRecord) -> Result<RunSpec, RerunError> {
+    let scenario = ScenarioKind::ALL
+        .into_iter()
+        .find(|k| k.name() == record.scenario)
+        .ok_or_else(|| RerunError::UnknownName(format!("scenario {:?}", record.scenario)))?;
+    let controller = ControllerKind::ALL
+        .into_iter()
+        .find(|k| k.name() == record.controller)
+        .ok_or_else(|| RerunError::UnknownName(format!("controller {:?}", record.controller)))?;
+    let estimator = EstimatorKind::ALL
+        .into_iter()
+        .find(|k| k.name() == record.estimator)
+        .ok_or_else(|| RerunError::UnknownName(format!("estimator {:?}", record.estimator)))?;
+    let attack = match &record.attack {
+        None => None,
+        Some(name) => {
+            let attack_start = Scenario::of_kind(scenario)?.attack_start;
+            Some(
+                extended_attacks(attack_start)
+                    .into_iter()
+                    .find(|s| s.name() == name.as_str())
+                    .ok_or_else(|| RerunError::UnknownName(format!("attack {name:?}")))?,
+            )
+        }
+    };
+    Ok(RunSpec {
+        index: record.cell,
+        scenario,
+        controller,
+        estimator,
+        attack,
+        seed: record.seed,
+    })
+}
+
+/// Re-executes one campaign cell from its record, with the standard
+/// catalog: the returned report is bit-identical to the campaign's for
+/// that cell.
+///
+/// # Errors
+///
+/// Returns [`RerunError::UnknownName`] for unrecognized stored names and
+/// [`RerunError::Sim`] for simulator failures.
+pub fn rerun(record: &RunRecord) -> Result<(SimOutput, CheckReport), RerunError> {
+    let spec = respec(record)?;
+    let scenario = Scenario::of_kind(spec.scenario)?;
+    execute(&spec, &standard_catalog(&scenario)).map_err(RerunError::from)
+}
+
+/// Runs a self-contained [`ReproCase`] through the campaign engine's
+/// standard catalog. The repro "reproduces" when the returned report
+/// contains a violation of `case.expect.assertion`.
+///
+/// # Errors
+///
+/// Propagates simulator errors ([`SimError`]).
+pub fn run_repro(case: &ReproCase) -> Result<(SimOutput, CheckReport), SimError> {
+    let scenario = Scenario::of_kind(case.scenario)?;
+    let output = case.execute()?;
+    let mut report = checker::check(&standard_catalog(&scenario), &output.trace);
+    report.context = Some(RunContext {
+        seed: case.seed,
+        scenario: case.scenario.name().to_owned(),
+        controller: case.controller.name().to_owned(),
+        estimator: case.estimator.name().to_owned(),
+        attack: match case.timeline.len() {
+            0 => None,
+            1 => Some(case.timeline.entries[0].name().to_owned()),
+            n => Some(format!("timeline[{n}]")),
+        },
+    });
+    Ok((output, report))
+}
+
+/// Whether a repro's expectation holds against a report from
+/// [`run_repro`]: the expected assertion fired.
+pub fn reproduces(case: &ReproCase, report: &CheckReport) -> bool {
+    report
+        .violations_of(&case.expect.assertion)
+        .next()
+        .is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{AttackSet, Grid};
+    use adassure_attacks::AttackTimeline;
+    use adassure_scenarios::ReproExpectation;
+
+    #[test]
+    fn respec_round_trips_a_grid_cell() {
+        let grid = Grid::new().attacks(AttackSet::Standard).seeds([3]);
+        let cells = grid.cells();
+        let spec = cells[4];
+        let scenario = Scenario::of_kind(spec.scenario).unwrap();
+        let (output, report) = execute(&spec, &standard_catalog(&scenario)).unwrap();
+        let record = crate::record::RunRecord::from_run(&spec, &output, &report);
+        let back = respec(&record).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn rerun_reproduces_the_original_report() {
+        let grid = Grid::new().attacks(AttackSet::Standard).seeds([1]);
+        let spec = grid.cells()[1];
+        let scenario = Scenario::of_kind(spec.scenario).unwrap();
+        let (output, original) = execute(&spec, &standard_catalog(&scenario)).unwrap();
+        let record = crate::record::RunRecord::from_run(&spec, &output, &original);
+        let (_, rerun_report) = rerun(&record).unwrap();
+        assert_eq!(rerun_report, original);
+    }
+
+    #[test]
+    fn unknown_names_are_typed_errors() {
+        let grid = Grid::new().attacks(AttackSet::None).include_clean(true);
+        let spec = grid.cells()[0];
+        let scenario = Scenario::of_kind(spec.scenario).unwrap();
+        let (output, report) = execute(&spec, &standard_catalog(&scenario)).unwrap();
+        let mut record = crate::record::RunRecord::from_run(&spec, &output, &report);
+        record.scenario = "no_such_road".into();
+        assert!(matches!(respec(&record), Err(RerunError::UnknownName(_))));
+    }
+
+    #[test]
+    fn run_repro_fires_the_expected_assertion() {
+        // A known violating single-attack run: gnss_bias on the straight.
+        let grid = Grid::new().attacks(AttackSet::Standard).seeds([1]);
+        let spec = grid.cells()[0];
+        let attack = spec.attack.unwrap();
+        let scenario = Scenario::of_kind(spec.scenario).unwrap();
+        let (_, report) = execute(&spec, &standard_catalog(&scenario)).unwrap();
+        let first = report
+            .violations
+            .first()
+            .expect("gnss_bias must violate the standard catalog");
+        let case = ReproCase {
+            description: "unit".into(),
+            scenario: spec.scenario,
+            controller: spec.controller,
+            estimator: spec.estimator,
+            seed: spec.seed,
+            timeline: AttackTimeline::single(attack),
+            expect: ReproExpectation {
+                assertion: first.assertion.as_str().to_owned(),
+                cycle: first.cycle,
+            },
+        };
+        let (_, repro_report) = run_repro(&case).unwrap();
+        assert!(reproduces(&case, &repro_report));
+        // A single-entry timeline is the same injector stream, so the whole
+        // report matches the original except for the context stamp.
+        assert_eq!(repro_report.violations, report.violations);
+        let v = repro_report
+            .violations_of(&case.expect.assertion)
+            .next()
+            .unwrap();
+        assert_eq!(v.cycle, case.expect.cycle);
+    }
+}

@@ -37,12 +37,9 @@
 
 use std::sync::Arc;
 
-use adassure_core::{
-    Assertion, CheckerPlan, CheckerState, Eval, HealthConfig, HealthState, MonitorSnapshot,
-    SignalSnapshot, Violation,
-};
-use adassure_core::{AssertionId, Severity};
-use adassure_obs::{AssertionStats, Guard, Histogram, Verdict, VerdictCounts};
+use adassure_core::codec::{self, Cur};
+use adassure_core::{Assertion, CheckerPlan, HealthConfig};
+use adassure_obs::Guard;
 
 use crate::fleet::{Fleet, FleetConfig, FleetState};
 use crate::guard::{GuardConfig, GuardState};
@@ -50,66 +47,17 @@ use crate::shard::{DrainStats, ShardState, SlotState, StreamState};
 
 /// Magic bytes opening every checkpoint.
 pub const CKPT_MAGIC: &[u8; 6] = b"ADCKPT";
-/// Current checkpoint format version.
-pub const CKPT_VERSION: u8 = 1;
+/// Current checkpoint format version. Version 2 added the violation
+/// cycle index to the shared checker encoding.
+pub const CKPT_VERSION: u8 = 2;
 const CKPT_LITTLE_ENDIAN: u8 = 1;
 
 /// Typed checkpoint encode/decode/restore failures.
-#[derive(Debug)]
-pub enum CheckpointError {
-    /// Reading or writing the checkpoint file failed.
-    Io(std::io::Error),
-    /// The bytes are not a structurally valid checkpoint (bad magic,
-    /// truncation, out-of-range tags).
-    Malformed {
-        /// What was wrong.
-        message: String,
-    },
-    /// The checkpoint is valid but does not fit the supplied catalog,
-    /// health config or fleet layout.
-    Incompatible {
-        /// What did not line up.
-        message: String,
-    },
-    /// The fleet state cannot be checkpointed (e.g. a stream carries a
-    /// fault injector with non-serializable RNG state).
-    Unsupported {
-        /// Which stream/feature blocked the checkpoint.
-        message: String,
-    },
-}
-
-impl std::fmt::Display for CheckpointError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CheckpointError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
-            CheckpointError::Malformed { message } => {
-                write!(f, "malformed checkpoint: {message}")
-            }
-            CheckpointError::Incompatible { message } => {
-                write!(f, "incompatible checkpoint: {message}")
-            }
-            CheckpointError::Unsupported { message } => {
-                write!(f, "unsupported checkpoint request: {message}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for CheckpointError {
-    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
-        match self {
-            CheckpointError::Io(e) => Some(e),
-            _ => None,
-        }
-    }
-}
-
-impl From<std::io::Error> for CheckpointError {
-    fn from(e: std::io::Error) -> Self {
-        CheckpointError::Io(e)
-    }
-}
+///
+/// The fleet checkpoint shares its error surface (and the checker-state
+/// codec) with the sim debug checkpoints; see
+/// [`adassure_core::codec`].
+pub type CheckpointError = codec::CodecError;
 
 /// One producer session as stored in a checkpoint: its token, the next
 /// sequence the server expects, the durable (checkpoint-covered)
@@ -145,46 +93,7 @@ impl SessionSeed {
 // Encoding
 // ---------------------------------------------------------------------------
 
-fn put_u16_str(out: &mut Vec<u8>, s: &str) {
-    let bytes = s.as_bytes();
-    debug_assert!(bytes.len() <= u16::MAX as usize, "oversized id string");
-    #[allow(clippy::cast_possible_truncation)]
-    out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
-    out.extend_from_slice(bytes);
-}
-
-fn put_opt_f64(out: &mut Vec<u8>, v: Option<f64>) {
-    match v {
-        Some(v) => {
-            out.push(1);
-            out.extend_from_slice(&v.to_le_bytes());
-        }
-        None => out.push(0),
-    }
-}
-
-fn put_histogram(out: &mut Vec<u8>, h: &Histogram) {
-    out.extend_from_slice(&h.lo.to_le_bytes());
-    #[allow(clippy::cast_possible_truncation)]
-    out.extend_from_slice(&(h.buckets.len() as u32).to_le_bytes());
-    for &b in &h.buckets {
-        out.extend_from_slice(&b.to_le_bytes());
-    }
-    out.extend_from_slice(&h.underflow.to_le_bytes());
-    out.extend_from_slice(&h.overflow.to_le_bytes());
-    out.extend_from_slice(&h.rejected.to_le_bytes());
-    out.extend_from_slice(&h.count.to_le_bytes());
-    out.extend_from_slice(&h.sum.to_le_bytes());
-    out.extend_from_slice(&h.max.to_le_bytes());
-}
-
-fn put_grid(out: &mut Vec<u8>, grid: &[[u64; 3]; 3]) {
-    for row in grid {
-        for &cell in row {
-            out.extend_from_slice(&cell.to_le_bytes());
-        }
-    }
-}
+use codec::{put_grid, put_histogram, put_u16_str};
 
 fn put_drain_stats(out: &mut Vec<u8>, s: &DrainStats) {
     for v in [
@@ -197,120 +106,6 @@ fn put_drain_stats(out: &mut Vec<u8>, s: &DrainStats) {
     ] {
         out.extend_from_slice(&v.to_le_bytes());
     }
-}
-
-fn severity_byte(s: Severity) -> u8 {
-    match s {
-        Severity::Info => 0,
-        Severity::Warning => 1,
-        Severity::Critical => 2,
-    }
-}
-
-fn verdict_byte(v: Verdict) -> u8 {
-    match v {
-        Verdict::Unknown => 0,
-        Verdict::Pass => 1,
-        Verdict::Inconclusive => 2,
-        Verdict::Violated => 3,
-    }
-}
-
-fn put_violation(out: &mut Vec<u8>, v: &Violation) {
-    put_u16_str(out, v.assertion.as_str());
-    out.push(severity_byte(v.severity));
-    out.extend_from_slice(&v.onset.to_le_bytes());
-    out.extend_from_slice(&v.detected.to_le_bytes());
-    out.extend_from_slice(&v.value.to_le_bytes());
-    put_opt_f64(out, v.recovered);
-}
-
-fn put_checker(out: &mut Vec<u8>, c: &CheckerState) {
-    out.extend_from_slice(&c.now.to_le_bytes());
-    #[allow(clippy::cast_possible_truncation)]
-    out.extend_from_slice(&(c.signals.len() as u32).to_le_bytes());
-    for s in &c.signals {
-        out.push(u8::from(s.seen));
-        out.extend_from_slice(&s.time.to_le_bytes());
-        out.extend_from_slice(&s.value.to_le_bytes());
-        match s.last_step {
-            Some((delta, dt)) => {
-                out.push(1);
-                out.extend_from_slice(&delta.to_le_bytes());
-                out.extend_from_slice(&dt.to_le_bytes());
-            }
-            None => out.push(0),
-        }
-    }
-    #[allow(clippy::cast_possible_truncation)]
-    out.extend_from_slice(&(c.monitors.len() as u32).to_le_bytes());
-    for m in &c.monitors {
-        match m.health {
-            HealthState::Active => out.push(0),
-            HealthState::Degraded(n) => {
-                out.push(1);
-                out.extend_from_slice(&n.to_le_bytes());
-            }
-            HealthState::Suspended => out.push(2),
-        }
-        out.extend_from_slice(&m.degraded_streak.to_le_bytes());
-        out.extend_from_slice(&m.clean_streak.to_le_bytes());
-        match m.cached {
-            None => out.push(0),
-            Some(Eval::Healthy) => out.push(1),
-            Some(Eval::Violated(v)) => {
-                out.push(2);
-                out.extend_from_slice(&v.to_le_bytes());
-            }
-            Some(Eval::Unknown) => out.push(3),
-            Some(Eval::Inconclusive) => out.push(4),
-        }
-        put_opt_f64(out, m.episode_start);
-        out.push(u8::from(m.alarmed_this_episode));
-        out.push(u8::from(m.ever_healthy));
-        out.push(u8::from(m.saw_first_sample));
-        match m.open_violation {
-            Some(idx) => {
-                out.push(1);
-                out.extend_from_slice(&idx.to_le_bytes());
-            }
-            None => out.push(0),
-        }
-        out.push(verdict_byte(m.last_verdict));
-    }
-    #[allow(clippy::cast_possible_truncation)]
-    out.extend_from_slice(&(c.poisoned.len() as u32).to_le_bytes());
-    for &p in &c.poisoned {
-        out.push(u8::from(p));
-    }
-    out.extend_from_slice(&c.inconclusive_cycles.to_le_bytes());
-    put_opt_f64(out, c.last_cycle);
-    #[allow(clippy::cast_possible_truncation)]
-    out.extend_from_slice(&(c.violations.len() as u32).to_le_bytes());
-    for v in &c.violations {
-        put_violation(out, v);
-    }
-    #[allow(clippy::cast_possible_truncation)]
-    out.extend_from_slice(&(c.stats.len() as u32).to_le_bytes());
-    for s in &c.stats {
-        put_u16_str(out, &s.id);
-        for v in [
-            s.verdicts.unknown,
-            s.verdicts.pass,
-            s.verdicts.inconclusive,
-            s.verdicts.violated,
-            s.flips,
-            s.episodes,
-        ] {
-            out.extend_from_slice(&v.to_le_bytes());
-        }
-    }
-    put_grid(out, &c.health_grid);
-    put_histogram(out, &c.eval_ns);
-    out.extend_from_slice(&c.cycles.to_le_bytes());
-    out.extend_from_slice(&c.events_emitted.to_le_bytes());
-    out.extend_from_slice(&c.run_id.to_le_bytes());
-    out.push(u8::from(c.started));
 }
 
 fn put_guard(out: &mut Vec<u8>, g: &GuardState) {
@@ -373,7 +168,7 @@ pub(crate) fn encode(state: &FleetState, sessions: &[SessionSeedEntry]) -> Vec<u
                         }
                         None => out.push(0),
                     }
-                    put_checker(&mut out, &stream.checker);
+                    codec::put_checker(&mut out, &stream.checker);
                 }
             }
         }
@@ -404,276 +199,14 @@ pub(crate) fn encode(state: &FleetState, sessions: &[SessionSeedEntry]) -> Vec<u
 // Decoding
 // ---------------------------------------------------------------------------
 
-struct Cur<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Cur<'a> {
-    fn bad(message: impl Into<String>) -> CheckpointError {
-        CheckpointError::Malformed {
-            message: message.into(),
-        }
-    }
-
-    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CheckpointError> {
-        let end = self
-            .pos
-            .checked_add(n)
-            .filter(|&e| e <= self.bytes.len())
-            .ok_or_else(|| Cur::bad(format!("truncated: {what} needs {n} bytes")))?;
-        let slice = &self.bytes[self.pos..end];
-        self.pos = end;
-        Ok(slice)
-    }
-
-    fn u8(&mut self, what: &str) -> Result<u8, CheckpointError> {
-        Ok(self.take(1, what)?[0])
-    }
-
-    fn bool(&mut self, what: &str) -> Result<bool, CheckpointError> {
-        match self.u8(what)? {
-            0 => Ok(false),
-            1 => Ok(true),
-            other => Err(Cur::bad(format!("{what}: invalid bool byte {other}"))),
-        }
-    }
-
-    fn u16(&mut self, what: &str) -> Result<u16, CheckpointError> {
-        let b = self.take(2, what)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
-    }
-
-    fn u32(&mut self, what: &str) -> Result<u32, CheckpointError> {
-        let b = self.take(4, what)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
-    }
-
-    fn u64(&mut self, what: &str) -> Result<u64, CheckpointError> {
-        let b = self.take(8, what)?;
-        Ok(u64::from_le_bytes([
-            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
-        ]))
-    }
-
-    fn f64(&mut self, what: &str) -> Result<f64, CheckpointError> {
-        Ok(f64::from_bits(self.u64(what)?))
-    }
-
-    fn opt_f64(&mut self, what: &str) -> Result<Option<f64>, CheckpointError> {
-        Ok(if self.bool(what)? {
-            Some(self.f64(what)?)
-        } else {
-            None
-        })
-    }
-
-    fn str16(&mut self, what: &str) -> Result<String, CheckpointError> {
-        let len = self.u16(what)? as usize;
-        let bytes = self.take(len, what)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| Cur::bad(format!("{what}: invalid UTF-8")))
-    }
-
-    /// Length prefix for a repeated section; capped so corrupt counts
-    /// cannot drive huge allocations before the bytes run out.
-    fn count(&mut self, what: &str) -> Result<usize, CheckpointError> {
-        let n = self.u32(what)? as usize;
-        if n > self.bytes.len().saturating_sub(self.pos) {
-            return Err(Cur::bad(format!(
-                "{what}: count {n} exceeds the remaining {} bytes",
-                self.bytes.len() - self.pos
-            )));
-        }
-        Ok(n)
-    }
-
-    fn histogram(&mut self, what: &str) -> Result<Histogram, CheckpointError> {
-        let lo = self.f64(what)?;
-        if !(lo.is_finite() && lo > 0.0) {
-            return Err(Cur::bad(format!("{what}: invalid histogram lo {lo}")));
-        }
-        let buckets = self.count(what)?;
-        let mut h = Histogram::new(lo, buckets.max(1));
-        h.buckets.clear();
-        for _ in 0..buckets {
-            h.buckets.push(self.u64(what)?);
-        }
-        h.underflow = self.u64(what)?;
-        h.overflow = self.u64(what)?;
-        h.rejected = self.u64(what)?;
-        h.count = self.u64(what)?;
-        h.sum = self.f64(what)?;
-        h.max = self.f64(what)?;
-        Ok(h)
-    }
-
-    fn grid(&mut self, what: &str) -> Result<[[u64; 3]; 3], CheckpointError> {
-        let mut grid = [[0u64; 3]; 3];
-        for row in &mut grid {
-            for cell in row.iter_mut() {
-                *cell = self.u64(what)?;
-            }
-        }
-        Ok(grid)
-    }
-
-    fn drain_stats(&mut self) -> Result<DrainStats, CheckpointError> {
-        Ok(DrainStats {
-            batches: self.u64("totals")?,
-            samples: self.u64("totals")?,
-            cycles: self.u64("totals")?,
-            violations: self.u64("totals")?,
-            bad_cycles: self.u64("totals")?,
-            stale_batches: self.u64("totals")?,
-        })
-    }
-}
-
-fn severity_from(b: u8) -> Result<Severity, CheckpointError> {
-    Ok(match b {
-        0 => Severity::Info,
-        1 => Severity::Warning,
-        2 => Severity::Critical,
-        other => return Err(Cur::bad(format!("invalid severity byte {other}"))),
-    })
-}
-
-fn verdict_from(b: u8) -> Result<Verdict, CheckpointError> {
-    Ok(match b {
-        0 => Verdict::Unknown,
-        1 => Verdict::Pass,
-        2 => Verdict::Inconclusive,
-        3 => Verdict::Violated,
-        other => return Err(Cur::bad(format!("invalid verdict byte {other}"))),
-    })
-}
-
-fn read_checker(c: &mut Cur<'_>) -> Result<CheckerState, CheckpointError> {
-    let now = c.f64("checker now")?;
-    let signal_count = c.count("signal count")?;
-    let mut signals = Vec::with_capacity(signal_count);
-    for _ in 0..signal_count {
-        let seen = c.bool("signal seen")?;
-        let time = c.f64("signal time")?;
-        let value = c.f64("signal value")?;
-        let last_step = if c.bool("signal step flag")? {
-            Some((c.f64("signal delta")?, c.f64("signal dt")?))
-        } else {
-            None
-        };
-        signals.push(SignalSnapshot {
-            seen,
-            time,
-            value,
-            last_step,
-        });
-    }
-    let monitor_count = c.count("monitor count")?;
-    let mut monitors = Vec::with_capacity(monitor_count);
-    for _ in 0..monitor_count {
-        let health = match c.u8("monitor health")? {
-            0 => HealthState::Active,
-            1 => HealthState::Degraded(c.u32("degraded count")?),
-            2 => HealthState::Suspended,
-            other => return Err(Cur::bad(format!("invalid health tag {other}"))),
-        };
-        let degraded_streak = c.u32("degraded streak")?;
-        let clean_streak = c.u32("clean streak")?;
-        let cached = match c.u8("cached verdict tag")? {
-            0 => None,
-            1 => Some(Eval::Healthy),
-            2 => Some(Eval::Violated(c.f64("cached violated value")?)),
-            3 => Some(Eval::Unknown),
-            4 => Some(Eval::Inconclusive),
-            other => return Err(Cur::bad(format!("invalid cached verdict tag {other}"))),
-        };
-        let episode_start = c.opt_f64("episode start")?;
-        let alarmed_this_episode = c.bool("alarmed flag")?;
-        let ever_healthy = c.bool("ever-healthy flag")?;
-        let saw_first_sample = c.bool("first-sample flag")?;
-        let open_violation = if c.bool("open violation flag")? {
-            Some(c.u64("open violation index")?)
-        } else {
-            None
-        };
-        let last_verdict = verdict_from(c.u8("last verdict")?)?;
-        monitors.push(MonitorSnapshot {
-            health,
-            degraded_streak,
-            clean_streak,
-            cached,
-            episode_start,
-            alarmed_this_episode,
-            ever_healthy,
-            saw_first_sample,
-            open_violation,
-            last_verdict,
-        });
-    }
-    let poison_count = c.count("poison count")?;
-    let mut poisoned = Vec::with_capacity(poison_count);
-    for _ in 0..poison_count {
-        poisoned.push(c.bool("poison flag")?);
-    }
-    let inconclusive_cycles = c.u64("inconclusive cycles")?;
-    let last_cycle = c.opt_f64("last cycle")?;
-    let violation_count = c.count("violation count")?;
-    let mut violations = Vec::with_capacity(violation_count);
-    for _ in 0..violation_count {
-        let assertion = AssertionId::new(c.str16("violation assertion")?);
-        let severity = severity_from(c.u8("violation severity")?)?;
-        let onset = c.f64("violation onset")?;
-        let detected = c.f64("violation detected")?;
-        let value = c.f64("violation value")?;
-        let recovered = c.opt_f64("violation recovered")?;
-        violations.push(Violation {
-            assertion,
-            severity,
-            onset,
-            detected,
-            value,
-            recovered,
-        });
-    }
-    let stat_count = c.count("stat count")?;
-    let mut stats = Vec::with_capacity(stat_count);
-    for _ in 0..stat_count {
-        let id = c.str16("stat id")?;
-        let verdicts = VerdictCounts {
-            unknown: c.u64("stat unknown")?,
-            pass: c.u64("stat pass")?,
-            inconclusive: c.u64("stat inconclusive")?,
-            violated: c.u64("stat violated")?,
-        };
-        let flips = c.u64("stat flips")?;
-        let episodes = c.u64("stat episodes")?;
-        let mut stat = AssertionStats::new(&id);
-        stat.verdicts = verdicts;
-        stat.flips = flips;
-        stat.episodes = episodes;
-        stats.push(stat);
-    }
-    let health_grid = c.grid("health grid")?;
-    let eval_ns = c.histogram("eval histogram")?;
-    let cycles = c.u64("checker cycles")?;
-    let events_emitted = c.u64("events emitted")?;
-    let run_id = c.u64("run id")?;
-    let started = c.bool("started flag")?;
-    Ok(CheckerState {
-        now,
-        signals,
-        monitors,
-        poisoned,
-        inconclusive_cycles,
-        last_cycle,
-        violations,
-        stats,
-        health_grid,
-        eval_ns,
-        cycles,
-        events_emitted,
-        run_id,
-        started,
+fn read_drain_stats(c: &mut Cur<'_>) -> Result<DrainStats, CheckpointError> {
+    Ok(DrainStats {
+        batches: c.u64("totals")?,
+        samples: c.u64("totals")?,
+        cycles: c.u64("totals")?,
+        violations: c.u64("totals")?,
+        bad_cycles: c.u64("totals")?,
+        stale_batches: c.u64("totals")?,
     })
 }
 
@@ -701,7 +234,7 @@ fn read_guard(c: &mut Cur<'_>) -> Result<GuardState, CheckpointError> {
 /// Decodes checkpoint bytes into the plain-data fleet state plus the
 /// producer sessions.
 pub(crate) fn decode(bytes: &[u8]) -> Result<(FleetState, Vec<SessionSeedEntry>), CheckpointError> {
-    let mut c = Cur { bytes, pos: 0 };
+    let mut c = Cur::new(bytes);
     let magic = c.take(6, "magic")?;
     if magic != CKPT_MAGIC {
         return Err(Cur::bad("bad magic (not an ADCKPT checkpoint)"));
@@ -739,7 +272,7 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<(FleetState, Vec<SessionSeedEntry>)
     let mut rejected = Vec::with_capacity(shard_count);
     for _ in 0..shard_count {
         rejected.push(c.u64("rejected batches")?);
-        let totals = c.drain_stats()?;
+        let totals = read_drain_stats(&mut c)?;
         let cycle_counter = c.u64("cycle counter")?;
         let cycle_ns = c.histogram("cycle histogram")?;
         let slot_count = c.count("slot count")?;
@@ -754,7 +287,7 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<(FleetState, Vec<SessionSeedEntry>)
                 } else {
                     None
                 };
-                let checker = read_checker(&mut c)?;
+                let checker = codec::read_checker(&mut c)?;
                 Some(StreamState {
                     seq,
                     last_t,
@@ -797,12 +330,7 @@ pub(crate) fn decode(bytes: &[u8]) -> Result<(FleetState, Vec<SessionSeedEntry>)
             acks,
         });
     }
-    if c.pos != bytes.len() {
-        return Err(Cur::bad(format!(
-            "{} trailing bytes after checkpoint",
-            bytes.len() - c.pos
-        )));
-    }
+    c.expect_end()?;
     Ok((
         FleetState {
             assertion_ids,

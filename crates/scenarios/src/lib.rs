@@ -23,7 +23,9 @@
 #![warn(missing_debug_implementations)]
 
 mod library;
+pub mod repro;
 pub mod run;
 mod scenario;
 
+pub use repro::{ReproCase, ReproError, ReproExpectation};
 pub use scenario::{Scenario, ScenarioKind};

@@ -1,0 +1,197 @@
+//! Self-contained violation repros: everything needed to re-execute one
+//! failing run from a file.
+//!
+//! A [`ReproCase`] pins the scenario, the full stack configuration, the
+//! seed and the attack timeline of a violating run, together with the
+//! assertion the run is expected to fire. The minimizer in
+//! `adassure-debug` emits these after shrinking a violating timeline; the
+//! campaign engine re-runs them through `adassure_exp::rerun::run_repro`.
+//!
+//! The file format is plain JSON so repros can be attached to bug reports
+//! and diffed by eye.
+
+use std::fmt;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use adassure_attacks::AttackTimeline;
+use adassure_control::pipeline::AdStack;
+use adassure_control::pipeline::EstimatorKind;
+use adassure_control::ControllerKind;
+use adassure_sim::engine::SimOutput;
+use adassure_sim::SimError;
+
+use crate::{run, Scenario, ScenarioKind};
+
+/// What a repro is expected to reproduce when re-executed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReproExpectation {
+    /// The assertion id that must fire (e.g. `"A7"`).
+    pub assertion: String,
+    /// The monitor cycle the first violation of that assertion was
+    /// detected at in the emitting run (0-based).
+    pub cycle: u64,
+}
+
+/// A self-contained, re-executable violating run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReproCase {
+    /// Human-readable provenance (which run this was minimized from).
+    pub description: String,
+    /// The scenario to drive.
+    pub scenario: ScenarioKind,
+    /// The lateral controller under test.
+    pub controller: ControllerKind,
+    /// The state estimator under test.
+    pub estimator: EstimatorKind,
+    /// The simulation seed.
+    pub seed: u64,
+    /// The (minimized) attack timeline to inject.
+    pub timeline: AttackTimeline,
+    /// The violation this case reproduces.
+    pub expect: ReproExpectation,
+}
+
+/// Failure loading or storing a [`ReproCase`] file.
+#[derive(Debug)]
+pub enum ReproError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The file exists but is not a valid repro case.
+    Parse(String),
+}
+
+impl fmt::Display for ReproError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReproError::Io(err) => write!(f, "repro file I/O: {err}"),
+            ReproError::Parse(message) => write!(f, "repro file parse: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ReproError {}
+
+impl From<io::Error> for ReproError {
+    fn from(err: io::Error) -> Self {
+        ReproError::Io(err)
+    }
+}
+
+impl ReproCase {
+    /// Re-executes the case's run — same scenario, stack, seed and
+    /// timeline as the emitting run, bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors ([`SimError`]).
+    pub fn execute(&self) -> Result<SimOutput, SimError> {
+        let scenario = Scenario::of_kind(self.scenario)?;
+        let config = run::stack_config(&scenario, self.controller).with_estimator(self.estimator);
+        let mut stack = AdStack::new(config, scenario.track.clone());
+        let engine = run::engine_for(&scenario, self.seed);
+        if self.timeline.is_empty() {
+            engine.run(&mut stack)
+        } else {
+            let mut injector = self.timeline.injector(self.seed);
+            engine.run_with_tap(&mut stack, &mut injector)
+        }
+    }
+
+    /// Serializes the case as pretty-printed JSON (trailing newline
+    /// included).
+    pub fn to_json(&self) -> String {
+        let mut text = serde_json::to_string_pretty(self).expect("repro cases serialize");
+        text.push('\n');
+        text
+    }
+
+    /// Parses a case from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReproError::Parse`] when the text is not a repro case.
+    pub fn from_json(text: &str) -> Result<Self, ReproError> {
+        serde_json::from_str(text).map_err(|e| ReproError::Parse(e.to_string()))
+    }
+
+    /// Writes the case to `path` as JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self, path: impl AsRef<Path>) -> Result<(), ReproError> {
+        std::fs::write(path, self.to_json())?;
+        Ok(())
+    }
+
+    /// Loads a case from a JSON file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReproError::Io`] when the file cannot be read and
+    /// [`ReproError::Parse`] when its contents are not a repro case.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ReproError> {
+        Self::from_json(&std::fs::read_to_string(path)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adassure_attacks::{campaign::AttackSpec, AttackKind, Window};
+    use adassure_sim::geometry::Vec2;
+
+    fn case() -> ReproCase {
+        ReproCase {
+            description: "unit".into(),
+            scenario: ScenarioKind::Straight,
+            controller: ControllerKind::PurePursuit,
+            estimator: EstimatorKind::Complementary,
+            seed: 1,
+            timeline: AttackTimeline::single(AttackSpec::new(
+                AttackKind::GnssBias {
+                    offset: Vec2::new(6.0, 0.0),
+                },
+                Window::from_start(8.0),
+            )),
+            expect: ReproExpectation {
+                assertion: "A7".into(),
+                cycle: 850,
+            },
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let c = case();
+        let back = ReproCase::from_json(&c.to_json()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn garbage_is_a_parse_error() {
+        assert!(matches!(
+            ReproCase::from_json("{\"not\": \"a repro\"}"),
+            Err(ReproError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn execute_matches_direct_run() {
+        let c = case();
+        let via_case = c.execute().unwrap();
+        let scenario = Scenario::of_kind(c.scenario).unwrap();
+        let mut stack = AdStack::new(
+            run::stack_config(&scenario, c.controller).with_estimator(c.estimator),
+            scenario.track.clone(),
+        );
+        let mut injector = c.timeline.entries[0].injector(c.seed);
+        let direct = run::engine_for(&scenario, c.seed)
+            .run_with_tap(&mut stack, &mut injector)
+            .unwrap();
+        assert_eq!(via_case.trace, direct.trace);
+    }
+}

@@ -225,162 +225,351 @@ impl Engine {
         driver: &mut dyn Driver,
         tap: &mut dyn SensorTap,
     ) -> Result<SimOutput, SimError> {
+        let mut session = self.session()?;
+        while session.step(driver, tap)? {}
+        Ok(session.finish())
+    }
+
+    /// Opens a steppable session over this engine: the same loop
+    /// [`Engine::run_with_tap`] drives, but advanced one cycle at a time
+    /// by the caller, with the mid-run state observable and
+    /// checkpointable between cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a bad configuration.
+    pub fn session(&self) -> Result<SimSession, SimError> {
         self.config.validate()?;
         let cfg = &self.config;
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
-        let mut sensors = SensorSuite::new(cfg.sensors, cfg.dt);
-        let mut steering = Actuator::new(cfg.steering);
-        let mut drivetrain = Actuator::new(cfg.drivetrain);
-        let mut trace = Trace::new();
-
-        let mut state = cfg.initial_state.unwrap_or_else(|| {
+        let state = cfg.initial_state.unwrap_or_else(|| {
             let start = self.track.point_at(0.0);
             VehicleState::at(start, self.track.heading_at(0.0))
         });
+        let last_station = self.track.project(state.position).station;
+        Ok(SimSession {
+            config: cfg.clone(),
+            track: self.track.clone(),
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            sensors: SensorSuite::new(cfg.sensors, cfg.dt),
+            steering: Actuator::new(cfg.steering),
+            drivetrain: Actuator::new(cfg.drivetrain),
+            trace: Trace::new(),
+            state,
+            total_steps: (cfg.duration / cfg.dt).round() as usize,
+            last_fix: None,
+            fix_history: std::collections::VecDeque::new(),
+            wheel_history: std::collections::VecDeque::new(),
+            wheel_jitter: 0.0,
+            last_wheel: None,
+            jitter_alpha: 1.0 - (-cfg.dt / 0.2).exp(),
+            actual_accel: 0.0,
+            true_progress: 0.0,
+            last_station,
+            reached_goal: false,
+            steps: 0,
+        })
+    }
+}
 
-        let total_steps = (cfg.duration / cfg.dt).round() as usize;
-        let mut last_fix: Option<(f64, Vec2)> = None;
-        // GNSS speed is derived over a ~1 s baseline (as receivers smooth
-        // position-derived velocity); fix-to-fix differencing would turn
-        // 0.3 m position noise into ±6 m/s speed noise.
-        let mut fix_history: std::collections::VecDeque<(f64, Vec2)> =
-            std::collections::VecDeque::new();
-        const GNSS_SPEED_BASELINE: f64 = 1.0;
-        // Wheel acceleration is likewise derived over a short baseline so
-        // quantisation noise does not swamp it.
-        let mut wheel_history: std::collections::VecDeque<(f64, f64)> =
-            std::collections::VecDeque::new();
-        const WHEEL_ACCEL_BASELINE: f64 = 0.5;
-        // EWMA of per-cycle wheel-speed change magnitude: a dispersion
-        // measure that exposes zero-mean noise injection.
-        let mut wheel_jitter = 0.0;
-        let mut last_wheel: Option<f64> = None;
-        let jitter_alpha = 1.0 - (-cfg.dt / 0.2).exp();
-        // The IMU measures the physics (actual speed change), not the
-        // drivetrain command.
-        let mut actual_accel = 0.0;
-        let mut true_progress = 0.0;
-        let mut last_station = self.track.project(state.position).station;
-        let mut reached_goal = false;
-        let mut steps = 0;
+// GNSS speed is derived over a ~1 s baseline (as receivers smooth
+// position-derived velocity); fix-to-fix differencing would turn
+// 0.3 m position noise into ±6 m/s speed noise.
+const GNSS_SPEED_BASELINE: f64 = 1.0;
+// Wheel acceleration is likewise derived over a short baseline so
+// quantisation noise does not swamp it.
+const WHEEL_ACCEL_BASELINE: f64 = 0.5;
 
-        for step in 0..total_steps {
-            let t = step as f64 * cfg.dt;
+/// A complete snapshot of a [`SimSession`] between two cycles: restoring
+/// it into a fresh session (same [`SimConfig`], same track) and stepping
+/// on reproduces the uninterrupted run bit for bit.
+///
+/// All fields are plain data; the trace is carried as a full [`Trace`]
+/// clone so the resumed session keeps appending to identical history.
+#[derive(Debug, Clone)]
+pub struct SimSnapshot {
+    /// Sensor-noise RNG state (xoshiro256++ words).
+    pub rng: [u64; 4],
+    /// Cycles sensed so far (GNSS decimation phase).
+    pub sensor_cycle: u64,
+    /// Steering actuator position.
+    pub steering: f64,
+    /// Drivetrain actuator position.
+    pub drivetrain: f64,
+    /// Vehicle ground-truth state.
+    pub state: VehicleState,
+    /// Last GNSS fix seen, if any.
+    pub last_fix: Option<(f64, Vec2)>,
+    /// GNSS fixes inside the speed-derivation baseline.
+    pub fix_history: Vec<(f64, Vec2)>,
+    /// Wheel samples inside the acceleration-derivation baseline.
+    pub wheel_history: Vec<(f64, f64)>,
+    /// EWMA of per-cycle wheel-speed change magnitude.
+    pub wheel_jitter: f64,
+    /// Previous cycle's wheel speed, if any.
+    pub last_wheel: Option<f64>,
+    /// Longitudinal acceleration applied last cycle.
+    pub actual_accel: f64,
+    /// Unwrapped track progress (m).
+    pub true_progress: f64,
+    /// Track station at the previous cycle.
+    pub last_station: f64,
+    /// Whether an open-track run already reached its goal.
+    pub reached_goal: bool,
+    /// Completed cycles.
+    pub steps: u64,
+    /// Everything recorded so far.
+    pub trace: Trace,
+}
 
-            // 1-2. Sense, then attack.
-            let mut frame = sensors.sense(&state, actual_accel, t, &mut rng);
-            tap.tap(&mut frame, &state);
+/// A mid-run simulation: the engine loop with its state held between
+/// cycles instead of locked inside [`Engine::run_with_tap`].
+///
+/// Drive it with [`SimSession::step`] until it returns `Ok(false)`, then
+/// collect the [`SimOutput`] with [`SimSession::finish`]. Between steps
+/// the full loop state can be captured with [`SimSession::snapshot`] and
+/// later reinstated with [`SimSession::restore`] — the basis of the
+/// time-travel debugger's checkpoints.
+#[derive(Debug, Clone)]
+pub struct SimSession {
+    config: SimConfig,
+    track: Track,
+    rng: SmallRng,
+    sensors: SensorSuite,
+    steering: Actuator,
+    drivetrain: Actuator,
+    trace: Trace,
+    state: VehicleState,
+    total_steps: usize,
+    last_fix: Option<(f64, Vec2)>,
+    fix_history: std::collections::VecDeque<(f64, Vec2)>,
+    wheel_history: std::collections::VecDeque<(f64, f64)>,
+    wheel_jitter: f64,
+    last_wheel: Option<f64>,
+    jitter_alpha: f64,
+    actual_accel: f64,
+    true_progress: f64,
+    last_station: f64,
+    reached_goal: bool,
+    steps: usize,
+}
 
-            // Record sensor channels (post-attack: this is what the stack saw).
-            if let Some(fix) = frame.gnss {
-                trace.record(sig::GNSS_X, t, fix.x);
-                trace.record(sig::GNSS_Y, t, fix.y);
-                if let Some((_, p0)) = last_fix {
-                    trace.record(sig::GNSS_JUMP, t, fix.distance(p0));
-                }
-                last_fix = Some((t, fix));
-                fix_history.push_back((t, fix));
-                while fix_history
-                    .front()
-                    .is_some_and(|&(t0, _)| t - t0 > GNSS_SPEED_BASELINE + 0.05)
-                {
-                    fix_history.pop_front();
-                }
-                if let Some(&(t0, p0)) = fix_history.front() {
-                    if t - t0 >= GNSS_SPEED_BASELINE * 0.5 {
-                        trace.record(sig::GNSS_SPEED, t, fix.distance(p0) / (t - t0));
-                    }
-                }
+impl SimSession {
+    /// Completed cycles so far (also the index of the next cycle to run).
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+
+    /// The timestamp the next cycle will carry.
+    pub fn time(&self) -> f64 {
+        self.steps as f64 * self.config.dt
+    }
+
+    /// Cycles the run will execute at most (duration / dt).
+    pub fn total_steps(&self) -> usize {
+        self.total_steps
+    }
+
+    /// Whether the loop has ended (time budget spent or goal reached).
+    pub fn is_done(&self) -> bool {
+        self.steps >= self.total_steps || self.reached_goal
+    }
+
+    /// The vehicle's current ground-truth state.
+    pub fn state(&self) -> &VehicleState {
+        &self.state
+    }
+
+    /// Everything recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Runs one sense → attack → control → actuate → integrate cycle.
+    /// Returns `Ok(false)` once the run is over (nothing was executed).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::NumericalDivergence`] if the physics state stops being
+    /// finite.
+    pub fn step(
+        &mut self,
+        driver: &mut dyn Driver,
+        tap: &mut dyn SensorTap,
+    ) -> Result<bool, SimError> {
+        if self.is_done() {
+            return Ok(false);
+        }
+        let cfg = &self.config;
+        let t = self.steps as f64 * cfg.dt;
+
+        // 1-2. Sense, then attack.
+        let mut frame = self
+            .sensors
+            .sense(&self.state, self.actual_accel, t, &mut self.rng);
+        tap.tap(&mut frame, &self.state);
+
+        // Record sensor channels (post-attack: this is what the stack saw).
+        let trace = &mut self.trace;
+        if let Some(fix) = frame.gnss {
+            trace.record(sig::GNSS_X, t, fix.x);
+            trace.record(sig::GNSS_Y, t, fix.y);
+            if let Some((_, p0)) = self.last_fix {
+                trace.record(sig::GNSS_JUMP, t, fix.distance(p0));
             }
-            trace.record(sig::WHEEL_SPEED, t, frame.wheel_speed);
-            wheel_history.push_back((t, frame.wheel_speed));
-            while wheel_history
+            self.last_fix = Some((t, fix));
+            self.fix_history.push_back((t, fix));
+            while self
+                .fix_history
                 .front()
-                .is_some_and(|&(t0, _)| t - t0 > WHEEL_ACCEL_BASELINE + cfg.dt / 2.0)
+                .is_some_and(|&(t0, _)| t - t0 > GNSS_SPEED_BASELINE + 0.05)
             {
-                wheel_history.pop_front();
+                self.fix_history.pop_front();
             }
-            if let Some(&(t0, v0)) = wheel_history.front() {
-                if t - t0 >= WHEEL_ACCEL_BASELINE * 0.5 {
-                    trace.record(sig::WHEEL_ACCEL, t, (frame.wheel_speed - v0) / (t - t0));
+            if let Some(&(t0, p0)) = self.fix_history.front() {
+                if t - t0 >= GNSS_SPEED_BASELINE * 0.5 {
+                    trace.record(sig::GNSS_SPEED, t, fix.distance(p0) / (t - t0));
                 }
-            }
-            if let Some(prev) = last_wheel {
-                wheel_jitter += jitter_alpha * ((frame.wheel_speed - prev).abs() - wheel_jitter);
-                trace.record(sig::WHEEL_JITTER, t, wheel_jitter);
-            }
-            last_wheel = Some(frame.wheel_speed);
-            trace.record(sig::IMU_YAW_RATE, t, frame.imu_yaw_rate);
-            trace.record(sig::IMU_ACCEL, t, frame.imu_accel);
-            trace.record(sig::COMPASS_HEADING, t, frame.compass);
-
-            // Record ground truth for this cycle.
-            let proj = self.track.project(state.position);
-            let delta_s = if self.track.is_closed() {
-                // Unwrap station deltas across the loop seam.
-                let len = self.track.length();
-                let mut d = proj.station - last_station;
-                if d > len / 2.0 {
-                    d -= len;
-                } else if d < -len / 2.0 {
-                    d += len;
-                }
-                d
-            } else {
-                proj.station - last_station
-            };
-            true_progress += delta_s;
-            last_station = proj.station;
-            trace.record(sig::TRUE_X, t, state.position.x);
-            trace.record(sig::TRUE_Y, t, state.position.y);
-            trace.record(sig::TRUE_HEADING, t, state.heading);
-            trace.record(sig::TRUE_SPEED, t, state.speed);
-            trace.record(sig::TRUE_YAW_RATE, t, state.yaw_rate);
-            trace.record(sig::TRUE_XTRACK_ERR, t, proj.cross_track);
-            trace.record(sig::TRUE_PROGRESS, t, true_progress);
-            trace.record(sig::LAT_ACCEL, t, state.speed * state.yaw_rate);
-
-            // 3. Control.
-            let ctx = DriveCtx {
-                time: t,
-                dt: cfg.dt,
-                frame: &frame,
-            };
-            let controls = driver.control(&ctx, &mut trace);
-            trace.record(sig::STEER_CMD, t, controls.steer);
-            trace.record(sig::ACCEL_CMD, t, controls.accel);
-
-            // 4. Actuate.
-            let steer_actual = steering.step(controls.steer, cfg.dt);
-            let accel_actual = drivetrain.step(controls.accel, cfg.dt);
-            trace.record(sig::STEER_ACTUAL, t, steer_actual);
-
-            // 5. Integrate.
-            let speed_before = state.speed;
-            state = cfg
-                .model
-                .step(&state, Controls::new(steer_actual, accel_actual), cfg.dt);
-            if !state.is_finite() {
-                return Err(SimError::NumericalDivergence { time: t });
-            }
-            actual_accel = (state.speed - speed_before) / cfg.dt;
-
-            steps = step + 1;
-            if cfg.stop_at_goal
-                && !self.track.is_closed()
-                && self.track.length() - proj.station <= cfg.goal_tolerance
-            {
-                reached_goal = true;
-                break;
             }
         }
+        trace.record(sig::WHEEL_SPEED, t, frame.wheel_speed);
+        self.wheel_history.push_back((t, frame.wheel_speed));
+        while self
+            .wheel_history
+            .front()
+            .is_some_and(|&(t0, _)| t - t0 > WHEEL_ACCEL_BASELINE + cfg.dt / 2.0)
+        {
+            self.wheel_history.pop_front();
+        }
+        if let Some(&(t0, v0)) = self.wheel_history.front() {
+            if t - t0 >= WHEEL_ACCEL_BASELINE * 0.5 {
+                trace.record(sig::WHEEL_ACCEL, t, (frame.wheel_speed - v0) / (t - t0));
+            }
+        }
+        if let Some(prev) = self.last_wheel {
+            self.wheel_jitter +=
+                self.jitter_alpha * ((frame.wheel_speed - prev).abs() - self.wheel_jitter);
+            trace.record(sig::WHEEL_JITTER, t, self.wheel_jitter);
+        }
+        self.last_wheel = Some(frame.wheel_speed);
+        trace.record(sig::IMU_YAW_RATE, t, frame.imu_yaw_rate);
+        trace.record(sig::IMU_ACCEL, t, frame.imu_accel);
+        trace.record(sig::COMPASS_HEADING, t, frame.compass);
 
-        Ok(SimOutput {
-            trace,
-            final_state: state,
-            steps,
-            reached_goal,
-        })
+        // Record ground truth for this cycle.
+        let proj = self.track.project(self.state.position);
+        let delta_s = if self.track.is_closed() {
+            // Unwrap station deltas across the loop seam.
+            let len = self.track.length();
+            let mut d = proj.station - self.last_station;
+            if d > len / 2.0 {
+                d -= len;
+            } else if d < -len / 2.0 {
+                d += len;
+            }
+            d
+        } else {
+            proj.station - self.last_station
+        };
+        self.true_progress += delta_s;
+        self.last_station = proj.station;
+        trace.record(sig::TRUE_X, t, self.state.position.x);
+        trace.record(sig::TRUE_Y, t, self.state.position.y);
+        trace.record(sig::TRUE_HEADING, t, self.state.heading);
+        trace.record(sig::TRUE_SPEED, t, self.state.speed);
+        trace.record(sig::TRUE_YAW_RATE, t, self.state.yaw_rate);
+        trace.record(sig::TRUE_XTRACK_ERR, t, proj.cross_track);
+        trace.record(sig::TRUE_PROGRESS, t, self.true_progress);
+        trace.record(sig::LAT_ACCEL, t, self.state.speed * self.state.yaw_rate);
+
+        // 3. Control.
+        let ctx = DriveCtx {
+            time: t,
+            dt: cfg.dt,
+            frame: &frame,
+        };
+        let controls = driver.control(&ctx, trace);
+        trace.record(sig::STEER_CMD, t, controls.steer);
+        trace.record(sig::ACCEL_CMD, t, controls.accel);
+
+        // 4. Actuate.
+        let steer_actual = self.steering.step(controls.steer, cfg.dt);
+        let accel_actual = self.drivetrain.step(controls.accel, cfg.dt);
+        trace.record(sig::STEER_ACTUAL, t, steer_actual);
+
+        // 5. Integrate.
+        let speed_before = self.state.speed;
+        self.state = cfg.model.step(
+            &self.state,
+            Controls::new(steer_actual, accel_actual),
+            cfg.dt,
+        );
+        if !self.state.is_finite() {
+            return Err(SimError::NumericalDivergence { time: t });
+        }
+        self.actual_accel = (self.state.speed - speed_before) / cfg.dt;
+
+        self.steps += 1;
+        if cfg.stop_at_goal
+            && !self.track.is_closed()
+            && self.track.length() - proj.station <= cfg.goal_tolerance
+        {
+            self.reached_goal = true;
+        }
+        Ok(true)
+    }
+
+    /// Closes the session into the run result.
+    pub fn finish(self) -> SimOutput {
+        SimOutput {
+            trace: self.trace,
+            final_state: self.state,
+            steps: self.steps,
+            reached_goal: self.reached_goal,
+        }
+    }
+
+    /// Captures the complete between-cycles loop state.
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            rng: self.rng.state(),
+            sensor_cycle: self.sensors.cycle() as u64,
+            steering: self.steering.value(),
+            drivetrain: self.drivetrain.value(),
+            state: self.state,
+            last_fix: self.last_fix,
+            fix_history: self.fix_history.iter().copied().collect(),
+            wheel_history: self.wheel_history.iter().copied().collect(),
+            wheel_jitter: self.wheel_jitter,
+            last_wheel: self.last_wheel,
+            actual_accel: self.actual_accel,
+            true_progress: self.true_progress,
+            last_station: self.last_station,
+            reached_goal: self.reached_goal,
+            steps: self.steps as u64,
+            trace: self.trace.clone(),
+        }
+    }
+
+    /// Reinstates a snapshot taken from a session over the same engine.
+    /// Stepping on from here is bit-identical to the uninterrupted run
+    /// (pinned by `checkpoint_resume_matches_straight_run`).
+    pub fn restore(&mut self, snap: &SimSnapshot) {
+        self.rng = SmallRng::from_state(snap.rng);
+        self.sensors.restore_cycle(snap.sensor_cycle as usize);
+        self.steering.reset(snap.steering);
+        self.drivetrain.reset(snap.drivetrain);
+        self.state = snap.state;
+        self.last_fix = snap.last_fix;
+        self.fix_history = snap.fix_history.iter().copied().collect();
+        self.wheel_history = snap.wheel_history.iter().copied().collect();
+        self.wheel_jitter = snap.wheel_jitter;
+        self.last_wheel = snap.last_wheel;
+        self.actual_accel = snap.actual_accel;
+        self.true_progress = snap.true_progress;
+        self.last_station = snap.last_station;
+        self.reached_goal = snap.reached_goal;
+        self.steps = snap.steps as usize;
+        self.trace = snap.trace.clone();
     }
 }
 

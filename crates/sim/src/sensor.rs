@@ -120,6 +120,17 @@ impl SensorSuite {
         self.gnss_every
     }
 
+    /// The number of cycles sensed so far (the suite's only mutable state).
+    pub fn cycle(&self) -> usize {
+        self.cycle
+    }
+
+    /// Rewinds/forwards the cycle counter — checkpoint restore only; the
+    /// caller is responsible for pairing it with the matching RNG state.
+    pub fn restore_cycle(&mut self, cycle: usize) {
+        self.cycle = cycle;
+    }
+
     /// Produces the sensor frame for the current cycle and advances the
     /// cycle counter.
     ///

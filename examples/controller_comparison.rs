@@ -37,7 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Clean baseline for tracking quality.
         let clean = run::clean(&scenario, controller, seed)?;
         let xtrack = clean.trace.require(sig::TRUE_XTRACK_ERR)?;
-        let stats = SummaryStats::from_series(xtrack).expect("non-empty run");
+        let stats = SummaryStats::from_series(xtrack)
+            .ok_or_else(|| format!("empty clean run for {}", controller.name()))?;
 
         // Attacked run for detection latency.
         let mut injector = attack.injector(seed);

@@ -61,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "\nverdict: debug the {} channel first",
-        verdict.top().expect("non-empty").name()
+        verdict
+            .top()
+            .ok_or("diagnosis produced no candidates")?
+            .name()
     );
     Ok(())
 }

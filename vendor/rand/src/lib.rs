@@ -139,6 +139,32 @@ pub mod rngs {
         }
     }
 
+    impl SmallRng {
+        /// Returns the raw xoshiro256++ state words.
+        ///
+        /// Together with [`SmallRng::from_state`] this lets deterministic
+        /// replay tooling checkpoint a generator mid-stream and resume it
+        /// bit-identically.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Reconstructs a generator from raw state words previously
+        /// obtained via [`SmallRng::state`].
+        ///
+        /// An all-zero state (a fixed point of xoshiro) is nudged to the
+        /// same non-zero state `from_seed` would produce, so a restored
+        /// generator is never degenerate.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return SmallRng {
+                    s: [0x9E37_79B9_7F4A_7C15, 1, 2, 3],
+                };
+            }
+            SmallRng { s }
+        }
+    }
+
     impl SeedableRng for SmallRng {
         type Seed = [u8; 32];
 
